@@ -1,0 +1,88 @@
+// Filter ablation (paper Sec. 4.2, "Additional filtering/ranking criteria
+// are not considered"): quantifies what the post-filters the paper suggests
+// — similarity pruning, local-optimality filtering, perceptual re-ranking —
+// would have done to each approach's route sets.
+#include "bench_util.h"
+#include "core/engine_registry.h"
+#include "core/filters.h"
+#include "core/quality.h"
+#include "util/random.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+namespace {
+
+struct Aggregate {
+  double routes = 0, stretch = 0, max_sim = 0, turns = 0;
+  int n = 0;
+
+  void Add(const RouteSetQuality& q) {
+    routes += q.num_routes;
+    stretch += q.mean_stretch;
+    max_sim += q.max_pairwise_similarity;
+    turns += q.mean_turns_per_km;
+    ++n;
+  }
+  void Print(const char* label) const {
+    std::printf("  %-28s routes %.2f | stretch %.3f | max-sim %.3f | "
+                "turns/km %.2f\n",
+                label, routes / n, stretch / n, max_sim / n, turns / n);
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Filter ablation (Sec. 4.2) ===\n\n");
+  auto net = City("melbourne", 0.6);
+  auto suite_or = EngineSuite::MakePaperSuite(net);
+  ALTROUTE_CHECK(suite_or.ok());
+  EngineSuite suite = std::move(suite_or).ValueOrDie();
+  const auto& weights = suite.display_weights();
+  Dijkstra dijkstra(*net);
+
+  Rng rng(20220808);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  while (queries.size() < 30) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    if (s != t && HaversineMeters(net->coord(s), net->coord(t)) > 4000.0) {
+      queries.emplace_back(s, t);
+    }
+  }
+
+  for (Approach a : {Approach::kPlateaus, Approach::kDissimilarity,
+                     Approach::kPenalty}) {
+    std::printf("%s:\n", std::string(ApproachName(a)).c_str());
+    Aggregate raw, sim_pruned, lo_pruned, ranked;
+    for (const auto& [s, t] : queries) {
+      auto set = suite.engine(a).Generate(s, t);
+      if (!set.ok()) continue;
+      const double opt = set->optimal_cost;
+      raw.Add(ComputeRouteSetQuality(*net, set->routes, opt, weights));
+
+      const auto after_sim = PruneBySimilarity(*net, set->routes, 0.7);
+      sim_pruned.Add(ComputeRouteSetQuality(*net, after_sim, opt, weights));
+
+      const auto after_lo = PruneByLocalOptimality(*net, set->routes, 0.25,
+                                                   opt, weights, &dijkstra,
+                                                   /*stride=*/4);
+      lo_pruned.Add(ComputeRouteSetQuality(*net, after_lo, opt, weights));
+
+      const auto after_rank = RankPerceptually(*net, set->routes, opt, weights);
+      ranked.Add(ComputeRouteSetQuality(*net, after_rank, opt, weights));
+    }
+    raw.Print("no filters (paper setup)");
+    sim_pruned.Print("+ similarity prune (0.7)");
+    lo_pruned.Print("+ local-optimality (T=.25)");
+    ranked.Print("+ perceptual re-ranking");
+    std::printf("\n");
+  }
+
+  std::printf("Reading: similarity pruning trades route count for diversity; "
+              "local-optimality pruning removes detour-prone alternatives "
+              "(mainly from Penalty, as the paper predicts); re-ranking "
+              "keeps the sets but surfaces smoother routes first.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Google-benchmark microbenchmarks of the four alternative-route engines,
+// verifying the paper's Sec. 2 cost claims: Plateaus ~ two Dijkstra trees;
+// Dissimilarity ~ two trees + dissimilarity checks; Penalty ~ k penalised
+// searches; the commercial stand-in is the heaviest (two generators + rank).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/engine_registry.h"
+#include "util/random.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+namespace {
+
+struct SuiteHolder {
+  std::shared_ptr<RoadNetwork> net;
+  std::unique_ptr<EngineSuite> suite;
+};
+
+SuiteHolder& Holder() {
+  static SuiteHolder holder = [] {
+    SuiteHolder h;
+    h.net = City("melbourne", 0.5);
+    auto suite = EngineSuite::MakePaperSuite(h.net);
+    ALTROUTE_CHECK(suite.ok());
+    h.suite = std::make_unique<EngineSuite>(std::move(suite).ValueOrDie());
+    return h;
+  }();
+  return holder;
+}
+
+void RunEngine(benchmark::State& state, Approach approach) {
+  SuiteHolder& h = Holder();
+  Rng rng(7);
+  size_t routes = 0, sets = 0;
+  for (auto _ : state) {
+    NodeId s, t;
+    do {
+      s = static_cast<NodeId>(rng.NextUint64(h.net->num_nodes()));
+      t = static_cast<NodeId>(rng.NextUint64(h.net->num_nodes()));
+    } while (s == t);
+    auto set = h.suite->engine(approach).Generate(s, t);
+    benchmark::DoNotOptimize(set);
+    if (set.ok()) {
+      routes += set->routes.size();
+      ++sets;
+    }
+  }
+  if (sets > 0) {
+    state.counters["routes/query"] =
+        static_cast<double>(routes) / static_cast<double>(sets);
+  }
+}
+
+void BM_EnginePlateaus(benchmark::State& state) {
+  RunEngine(state, Approach::kPlateaus);
+}
+void BM_EngineDissimilarity(benchmark::State& state) {
+  RunEngine(state, Approach::kDissimilarity);
+}
+void BM_EnginePenalty(benchmark::State& state) {
+  RunEngine(state, Approach::kPenalty);
+}
+void BM_EngineCommercial(benchmark::State& state) {
+  RunEngine(state, Approach::kGoogleMaps);
+}
+
+BENCHMARK(BM_EnginePlateaus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineDissimilarity)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnginePenalty)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineCommercial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

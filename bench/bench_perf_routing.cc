@@ -1,0 +1,172 @@
+// Google-benchmark microbenchmarks of the routing substrate: Dijkstra
+// (one-to-one and full tree), bidirectional Dijkstra, A*, and contraction
+// hierarchies (build + query) on the synthetic study cities.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "routing/astar.h"
+#include "routing/bidirectional_dijkstra.h"
+#include "routing/contraction_hierarchy.h"
+#include "geo/spatial_index.h"
+#include "routing/dijkstra.h"
+#include "routing/many_to_many.h"
+#include "routing/phast.h"
+#include "routing/turn_aware.h"
+#include "util/random.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+namespace {
+
+std::shared_ptr<RoadNetwork> BenchCity() {
+  static std::shared_ptr<RoadNetwork> net = City("melbourne", 0.5);
+  return net;
+}
+
+std::shared_ptr<const ContractionHierarchy> BenchCh() {
+  static std::shared_ptr<const ContractionHierarchy> ch = [] {
+    auto net = BenchCity();
+    auto built = ContractionHierarchy::Build(net, net->travel_times());
+    ALTROUTE_CHECK(built.ok());
+    return std::move(built).ValueOrDie();
+  }();
+  return ch;
+}
+
+std::pair<NodeId, NodeId> RandomQuery(const RoadNetwork& net, Rng* rng) {
+  for (;;) {
+    const auto s = static_cast<NodeId>(rng->NextUint64(net.num_nodes()));
+    const auto t = static_cast<NodeId>(rng->NextUint64(net.num_nodes()));
+    if (s != t) return {s, t};
+  }
+}
+
+void BM_DijkstraPointToPoint(benchmark::State& state) {
+  auto net = BenchCity();
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraPointToPoint);
+
+void BM_DijkstraFullTree(benchmark::State& state) {
+  auto net = BenchCity();
+  Dijkstra dijkstra(*net);
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto tree =
+        dijkstra.BuildTree(s, net->travel_times(), SearchDirection::kForward);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_DijkstraFullTree);
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  auto net = BenchCity();
+  BidirectionalDijkstra bidir(*net);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = bidir.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BidirectionalDijkstra);
+
+void BM_AStar(benchmark::State& state) {
+  auto net = BenchCity();
+  AStar astar(*net, MaxSpeedMps(*net, net->travel_times()));
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = astar.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AStar);
+
+void BM_ChQuery(benchmark::State& state) {
+  auto ch = BenchCh();
+  auto net = BenchCity();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = ch->ShortestPath(s, t);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChQuery);
+
+void BM_ChBuild(benchmark::State& state) {
+  auto net = City("melbourne", 0.25);
+  for (auto _ : state) {
+    auto ch = ContractionHierarchy::Build(net, net->travel_times());
+    benchmark::DoNotOptimize(ch);
+  }
+}
+BENCHMARK(BM_ChBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PhastOneToAll(benchmark::State& state) {
+  auto net = BenchCity();
+  Phast phast(BenchCh());
+  Rng rng(8);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto d = phast.Distances(s);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_PhastOneToAll);
+
+void BM_ManyToMany20x20(benchmark::State& state) {
+  auto net = BenchCity();
+  ManyToMany m2m(BenchCh());
+  Rng rng(10);
+  std::vector<NodeId> sources, targets;
+  for (int i = 0; i < 20; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.NextUint64(net->num_nodes())));
+    targets.push_back(static_cast<NodeId>(rng.NextUint64(net->num_nodes())));
+  }
+  for (auto _ : state) {
+    auto table = m2m.Table(sources, targets);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_ManyToMany20x20)->Unit(benchmark::kMillisecond);
+
+void BM_TurnAwarePointToPoint(benchmark::State& state) {
+  auto net = BenchCity();
+  auto router = TurnAwareRouter::Build(net);
+  ALTROUTE_CHECK(router.ok());
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = (*router)->ShortestPath(s, t);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TurnAwarePointToPoint);
+
+void BM_NearestNeighborSnap(benchmark::State& state) {
+  auto net = BenchCity();
+  SpatialIndex index(net->coords());
+  Rng rng(6);
+  const BoundingBox& box = net->bounds();
+  for (auto _ : state) {
+    const LatLng q(rng.Uniform(box.min_lat, box.max_lat),
+                   rng.Uniform(box.min_lng, box.max_lng));
+    auto r = index.Nearest(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NearestNeighborSnap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Rating-model term ablation (extension): the behavioural model is the one
+// component calibrated rather than derived, so this bench makes it
+// inspectable — each run disables one model term and reports how the
+// headline quantities move. It answers "which documented paper effect
+// drives which part of the reproduced tables".
+#include "bench_util.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  RatingModelParams params;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Rating-model term ablation ===\n\n");
+  auto net = City("melbourne", 0.8);
+
+  const RatingModelParams base;
+  std::vector<Variant> variants;
+  variants.push_back({"full model (calibrated)", base});
+  {
+    RatingModelParams p = base;
+    p.headline_stretch_weight = 0.0;
+    variants.push_back({"- displayed-time anchoring", p});
+  }
+  {
+    RatingModelParams p = base;
+    p.similarity_weight = 0.0;
+    variants.push_back({"- diversity penalty", p});
+  }
+  {
+    RatingModelParams p = base;
+    p.detour_weight = 0.0;
+    variants.push_back({"- apparent-detour penalty", p});
+  }
+  {
+    RatingModelParams p = base;
+    p.headline_familiarity_discount = 0.0;
+    p.familiarity_detour_discount = 0.0;
+    variants.push_back({"- familiarity forgiveness", p});
+  }
+  {
+    RatingModelParams p = base;
+    p.favourite_miss_prob = 0.0;
+    variants.push_back({"- favourite-route bias", p});
+  }
+  {
+    RatingModelParams p = base;
+    p.nonresident_skepticism = 0.0;
+    variants.push_back({"- non-resident skepticism", p});
+  }
+
+  std::printf("%-30s | GM mean | best-OSM | gap   | res-gap | nonres-gap | "
+              "ANOVA p\n",
+              "model variant");
+  std::printf("-------------------------------+---------+----------+-------+"
+              "---------+------------+--------\n");
+  for (const Variant& variant : variants) {
+    StudyConfig config;
+    config.rating_params = variant.params;
+    StudyRunner runner(net, config);
+    auto results = runner.Run();
+    ALTROUTE_CHECK(results.ok());
+
+    auto gap_for = [&](std::optional<bool> resident) {
+      const TableRow row = ComputeRow(*results, "x", resident);
+      const double gm = row.mean[static_cast<size_t>(Approach::kGoogleMaps)];
+      double best = 0.0;
+      for (Approach a : {Approach::kPlateaus, Approach::kDissimilarity,
+                         Approach::kPenalty}) {
+        best = std::max(best, row.mean[static_cast<size_t>(a)]);
+      }
+      return std::pair<double, double>(gm, best - gm);
+    };
+    const auto [gm, gap] = gap_for(std::nullopt);
+    const auto [gm_r, gap_r] = gap_for(true);
+    const auto [gm_n, gap_n] = gap_for(false);
+    (void)gm_r;
+    (void)gm_n;
+    auto anova = StudyAnova(*results);
+    ALTROUTE_CHECK(anova.ok());
+    std::printf("%-30s |   %5.2f |    %5.2f | %+5.2f |  %+5.2f  |   %+5.2f    "
+                "| %6.3f\n",
+                variant.label, gm, gm + gap, gap, gap_r, gap_n,
+                anova->p_value);
+  }
+
+  std::printf("\nReading: removing the displayed-time anchor shrinks the "
+              "commercial deficit the most (the Fig. 4 mechanism); removing "
+              "the diversity penalty lifts every approach and compresses "
+              "the deficit; removing familiarity forgiveness widens it "
+              "(nobody excuses the odd-looking routes); the remaining terms "
+              "move levels and variance more than ordering. Each knob maps "
+              "to one documented Sec. 4.2 effect, so the reproduced tables "
+              "are explainable term by term.\n");
+  return 0;
+}

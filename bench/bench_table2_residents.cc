@@ -1,0 +1,20 @@
+// Reproduces paper Table 2: ratings from Melbourne residents only.
+#include "bench_util.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+int main() {
+  std::printf("=== Table 2: Melbourne residents only ===\n\n");
+  const StudyResults results = RunPaperStudy(City("melbourne"));
+
+  const auto rows = Table2Rows(results);
+  std::printf("%s\n", FormatTable(rows, "Table 2 (measured)").c_str());
+
+  std::printf("Paper vs measured:\n\n");
+  ALTROUTE_CHECK(rows.size() == std::size(kPaperTable2));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PrintComparisonRow(kPaperTable2[i], rows[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Table 3: ratings from non-residents only.
+#include "bench_util.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+int main() {
+  std::printf("=== Table 3: Non-residents only ===\n\n");
+  const StudyResults results = RunPaperStudy(City("melbourne"));
+
+  const auto rows = Table3Rows(results);
+  std::printf("%s\n", FormatTable(rows, "Table 3 (measured)").c_str());
+
+  std::printf("Paper vs measured:\n\n");
+  ALTROUTE_CHECK(rows.size() == std::size(kPaperTable3));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PrintComparisonRow(kPaperTable3[i], rows[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// user_study: runs the complete simulated user study on the three road
+// networks of the extended abstract (Melbourne, Dhaka, Copenhagen) and
+// prints the paper's Tables 1-3 plus the one-way ANOVA for each city.
+//
+//   ./examples/user_study [scale] [seed] [report_prefix]
+//
+// With a report_prefix, a full Markdown report (tables, ANOVA, bootstrap
+// CIs) is written to <prefix>_<city>.md per city.
+//
+// scale in (0, 1] shrinks the cities (default 0.5 keeps runtime modest);
+// the full-size study is what bench_table1_all_responses reports.
+#include <cstdio>
+#include <cstdlib>
+
+#include "citygen/city_generator.h"
+#include "userstudy/report.h"
+#include "userstudy/tables.h"
+
+using namespace altroute;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20225601;
+  const std::string report_prefix = argc > 3 ? argv[3] : "";
+
+  const citygen::CitySpec specs[] = {citygen::MelbourneSpec(),
+                                     citygen::DhakaSpec(),
+                                     citygen::CopenhagenSpec()};
+  for (const citygen::CitySpec& base : specs) {
+    citygen::CitySpec spec = citygen::Scaled(base, scale);
+    auto net_or = citygen::BuildCityNetwork(spec);
+    if (!net_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", base.name.c_str(),
+                   net_or.status().ToString().c_str());
+      return 1;
+    }
+    std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
+    std::printf("\n################ %s (%zu vertices, %zu edges) "
+                "################\n",
+                net->name().c_str(), net->num_nodes(), net->num_edges());
+
+    StudyConfig config;
+    config.seed = seed;
+    StudyRunner runner(net, config);
+    auto results_or = runner.Run();
+    if (!results_or.ok()) {
+      std::fprintf(stderr, "study failed: %s\n",
+                   results_or.status().ToString().c_str());
+      return 1;
+    }
+    const StudyResults& results = *results_or;
+
+    std::printf("\n%s", FormatTable(Table1Rows(results),
+                                    "Table 1: All responses").c_str());
+    std::printf("\n%s", FormatTable(Table2Rows(results),
+                                    "Table 2: Only Melbourne residents")
+                            .c_str());
+    std::printf("\n%s", FormatTable(Table3Rows(results),
+                                    "Table 3: Only non-residents").c_str());
+
+    struct {
+      const char* label;
+      std::optional<bool> resident;
+    } subsets[] = {{"all respondents", std::nullopt},
+                   {"residents", true},
+                   {"non-residents", false}};
+    if (!report_prefix.empty()) {
+      ReportOptions report_options;
+      report_options.title = "User study on " + net->name();
+      report_options.network_description =
+          net->name() + ": " + std::to_string(net->num_nodes()) +
+          " vertices, " + std::to_string(net->num_edges()) + " edges.";
+      const std::string path = report_prefix + "_" + net->name() + ".md";
+      const Status st = WriteStudyReport(*results_or, path, report_options);
+      std::printf("\nReport: %s (%s)\n", path.c_str(), st.ToString().c_str());
+    }
+
+    std::printf("\nOne-way ANOVA (null: equal mean ratings):\n");
+    for (const auto& sub : subsets) {
+      auto anova = StudyAnova(results, sub.resident);
+      if (anova.ok()) {
+        std::printf("  %-16s F(%.0f, %.0f) = %.3f, p = %.3f%s\n", sub.label,
+                    anova->df_between, anova->df_within, anova->f_statistic,
+                    anova->p_value,
+                    anova->SignificantAt(0.05) ? "  (significant!)" : "");
+      }
+    }
+  }
+  return 0;
+}

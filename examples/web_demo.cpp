@@ -1,0 +1,123 @@
+// web_demo: the paper's web-based demonstration system (Sec. 3, Fig. 2) as a
+// self-contained HTTP backend. Endpoints:
+//   GET /       landing page
+//   GET /route  ?slat=&slng=&tlat=&tlng=   -> masked A-D route sets (JSON)
+//   GET /rate   ?a=&b=&c=&d=&resident=     -> store a feedback form
+//   GET /stats  submission count and mean ratings
+//
+//   ./examples/web_demo [port] [--self-test]
+//
+// --self-test starts the server on an ephemeral port, issues a few requests
+// against it through a real socket, prints the responses, and exits (used
+// for demos/CI without an interactive client).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "citygen/city_generator.h"
+#include "server/demo_service.h"
+#include "server/http_server.h"
+#include "util/random.h"
+
+using namespace altroute;
+
+namespace {
+
+/// Minimal HTTP GET for the self-test (loopback only).
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+  ::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t body = out.find("\r\n\r\n");
+  return body == std::string::npos ? out : out.substr(body + 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 8080;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+      port = 0;  // ephemeral
+    } else {
+      port = static_cast<uint16_t>(std::atoi(argv[i]));
+    }
+  }
+
+  citygen::CitySpec spec = citygen::Scaled(citygen::MelbourneSpec(), 0.5);
+  auto net_or = citygen::BuildCityNetwork(spec);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "%s\n", net_or.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
+
+  auto suite_or = EngineSuite::MakePaperSuite(net);
+  if (!suite_or.ok()) {
+    std::fprintf(stderr, "%s\n", suite_or.status().ToString().c_str());
+    return 1;
+  }
+  DemoService service(
+      std::make_unique<QueryProcessor>(std::move(suite_or).ValueOrDie()));
+
+  HttpServer server;
+  service.Install(&server);
+  const Status st = server.Start(port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Demo backend for %s (%zu vertices) on http://127.0.0.1:%u/\n",
+              net->name().c_str(), net->num_nodes(), server.port());
+
+  if (self_test) {
+    // Pick two nodes and drive the full query + rate + stats flow.
+    Rng rng(3);
+    const NodeId s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    NodeId t = s;
+    while (t == s) t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    char target[256];
+    std::snprintf(target, sizeof(target),
+                  "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f",
+                  net->coord(s).lat, net->coord(s).lng, net->coord(t).lat,
+                  net->coord(t).lng);
+    std::printf("\nGET %s\n%.600s...\n", target,
+                HttpGet(server.port(), target).c_str());
+    std::printf("\nGET /rate?a=3&b=4&c=4&d=5&resident=1\n%s\n",
+                HttpGet(server.port(), "/rate?a=3&b=4&c=4&d=5&resident=1").c_str());
+    std::printf("\nGET /stats\n%s\n", HttpGet(server.port(), "/stats").c_str());
+    server.Stop();
+    return 0;
+  }
+
+  std::printf("Try:\n  curl 'http://127.0.0.1:%u/route?slat=%.4f&slng=%.4f"
+              "&tlat=%.4f&tlng=%.4f'\nCtrl-C to stop.\n",
+              server.port(), spec.center.lat - 0.02, spec.center.lng - 0.02,
+              spec.center.lat + 0.02, spec.center.lng + 0.02);
+  // Serve until killed.
+  for (;;) pause();
+}

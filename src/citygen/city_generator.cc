@@ -1,0 +1,310 @@
+#include "citygen/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace altroute {
+namespace citygen {
+
+namespace {
+
+constexpr double kMetersPerDegLat = 111320.0;
+
+/// Accumulates OSM entities with sequential positive ids.
+class OsmScaffold {
+ public:
+  osm::OsmId AddNode(const LatLng& coord) {
+    data_.nodes.push_back({next_node_, coord});
+    return next_node_++;
+  }
+
+  void AddWay(std::vector<osm::OsmId> refs,
+              std::vector<std::pair<std::string, std::string>> tags) {
+    osm::OsmWay way;
+    way.id = next_way_++;
+    way.node_refs = std::move(refs);
+    for (auto& [k, v] : tags) way.tags.emplace(std::move(k), std::move(v));
+    data_.ways.push_back(std::move(way));
+  }
+
+  const LatLng& CoordOf(osm::OsmId id) const {
+    return data_.nodes[static_cast<size_t>(id - 1)].coord;
+  }
+
+  osm::OsmData Take() { return std::move(data_); }
+
+ private:
+  osm::OsmData data_;
+  osm::OsmId next_node_ = 1;
+  osm::OsmId next_way_ = 1;
+};
+
+int Orientation(const LatLng& p, const LatLng& q, const LatLng& r) {
+  const double v =
+      (q.lng - p.lng) * (r.lat - p.lat) - (q.lat - p.lat) * (r.lng - p.lng);
+  if (v > 1e-15) return 1;
+  if (v < -1e-15) return -1;
+  return 0;
+}
+
+/// Proper 2D segment intersection in coordinate space (affine-invariant, so
+/// the lat/lng anisotropy does not matter).
+bool SegmentsIntersect(const LatLng& a, const LatLng& b, const LatLng& c,
+                       const LatLng& d) {
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  return o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0;
+}
+
+/// Grid-line road class: arterial lines become primary, intermediate lines
+/// secondary, the rest residential.
+const char* LineHighway(int index, const CitySpec& spec) {
+  if (spec.arterial_every > 0 && index % spec.arterial_every == 0) {
+    return "primary";
+  }
+  if (spec.secondary_every > 0 && index % spec.secondary_every == 0) {
+    return "secondary";
+  }
+  return "residential";
+}
+
+struct RiverGeometry {
+  LatLng start;
+  LatLng end;
+  std::vector<LatLng> bridge_points;
+};
+
+}  // namespace
+
+Result<osm::OsmData> GenerateCity(const CitySpec& spec) {
+  if (spec.block_m < 20.0) {
+    return Status::InvalidArgument("block size must be at least 20 m");
+  }
+  if (spec.half_width_km <= 0.0 || spec.half_height_km <= 0.0) {
+    return Status::InvalidArgument("city extents must be positive");
+  }
+  const int rows =
+      static_cast<int>(std::lround(2.0 * spec.half_height_km * 1000.0 / spec.block_m)) + 1;
+  const int cols =
+      static_cast<int>(std::lround(2.0 * spec.half_width_km * 1000.0 / spec.block_m)) + 1;
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("city too small for its block size");
+  }
+  if (static_cast<int64_t>(rows) * cols > 4'000'000) {
+    return Status::InvalidArgument("city too large (node budget exceeded)");
+  }
+
+  Rng rng(spec.seed);
+  OsmScaffold scaffold;
+
+  const double dlat_per_m = 1.0 / kMetersPerDegLat;
+  const double dlng_per_m =
+      1.0 / (kMetersPerDegLat * std::max(0.05, std::cos(DegToRad(spec.center.lat))));
+
+  auto at_meters = [&](double east_m, double north_m) {
+    return LatLng(spec.center.lat + north_m * dlat_per_m,
+                  spec.center.lng + east_m * dlng_per_m);
+  };
+
+  auto in_water = [&](const LatLng& p) {
+    for (const WaterBody& w : spec.water) {
+      if (EquirectangularMeters(p, w.center) < w.radius_km * 1000.0) return true;
+    }
+    return false;
+  };
+
+  // Precompute river bridge locations (evenly spaced along each river).
+  std::vector<RiverGeometry> rivers;
+  for (const RiverSpec& r : spec.rivers) {
+    RiverGeometry geo;
+    geo.start = r.start;
+    geo.end = r.end;
+    const int nb = std::max(1, r.num_bridges);
+    for (int i = 1; i <= nb; ++i) {
+      const double t = static_cast<double>(i) / (nb + 1);
+      geo.bridge_points.emplace_back(r.start.lat + t * (r.end.lat - r.start.lat),
+                                     r.start.lng + t * (r.end.lng - r.start.lng));
+    }
+    rivers.push_back(std::move(geo));
+  }
+
+  // River interaction of a candidate street segment:
+  //   0 = no crossing, 1 = crossing near a bridge (keep, upgrade), -1 = cut.
+  auto river_check = [&](const LatLng& a, const LatLng& b) {
+    for (const RiverGeometry& r : rivers) {
+      if (!SegmentsIntersect(a, b, r.start, r.end)) continue;
+      const LatLng mid((a.lat + b.lat) / 2.0, (a.lng + b.lng) / 2.0);
+      for (const LatLng& bp : r.bridge_points) {
+        if (EquirectangularMeters(mid, bp) < spec.block_m * 0.95) return 1;
+      }
+      return -1;
+    }
+    return 0;
+  };
+
+  // --- Grid nodes ----------------------------------------------------------
+  // grid[i][j] == 0 means the cell is under water (node absent).
+  std::vector<std::vector<osm::OsmId>> grid(
+      static_cast<size_t>(rows), std::vector<osm::OsmId>(static_cast<size_t>(cols), 0));
+  const double jit = std::clamp(spec.jitter, 0.0, 0.45) * spec.block_m;
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const double north = (i - (rows - 1) / 2.0) * spec.block_m +
+                           rng.Uniform(-jit, jit);
+      const double east = (j - (cols - 1) / 2.0) * spec.block_m +
+                          rng.Uniform(-jit, jit);
+      const LatLng p = at_meters(east, north);
+      if (in_water(p)) continue;
+      grid[i][j] = scaffold.AddNode(p);
+    }
+  }
+
+  // --- Grid streets ---------------------------------------------------------
+  auto emit_street = [&](osm::OsmId a, osm::OsmId b, const char* highway,
+                         bool removable) {
+    const LatLng& pa = scaffold.CoordOf(a);
+    const LatLng& pb = scaffold.CoordOf(b);
+    const int rc = river_check(pa, pb);
+    if (rc < 0) return;
+    std::string hw = highway;
+    if (rc > 0) hw = "primary";  // bridges are arterial crossings
+    const bool is_residential = (hw == "residential");
+    if (removable && is_residential && rng.Bernoulli(spec.street_removal_prob)) {
+      return;
+    }
+    std::vector<std::pair<std::string, std::string>> tags = {{"highway", hw}};
+    // Per-segment speed heterogeneity: real streets of one class differ in
+    // posted limits, which breaks grid symmetry and creates genuinely
+    // faster/slower corridors.
+    const char* speed = nullptr;
+    if (hw == std::string("residential")) {
+      const double u = rng.NextDouble();
+      speed = u < 0.25 ? "30" : (u < 0.75 ? "40" : "50");
+    } else if (hw == std::string("secondary")) {
+      const double u = rng.NextDouble();
+      speed = u < 0.3 ? "50" : (u < 0.8 ? "60" : "70");
+    } else if (hw == std::string("primary")) {
+      const double u = rng.NextDouble();
+      speed = u < 0.3 ? "60" : (u < 0.8 ? "70" : "80");
+    }
+    if (speed != nullptr) tags.emplace_back("maxspeed", speed);
+    std::vector<osm::OsmId> refs = {a, b};
+    if (is_residential && rng.Bernoulli(spec.oneway_prob)) {
+      tags.emplace_back("oneway", "yes");
+      if (rng.Bernoulli(0.5)) std::swap(refs[0], refs[1]);
+    }
+    scaffold.AddWay(std::move(refs), std::move(tags));
+  };
+
+  for (int i = 0; i < rows; ++i) {
+    const char* hw = LineHighway(i, spec);
+    for (int j = 0; j + 1 < cols; ++j) {
+      if (grid[i][j] && grid[i][j + 1]) {
+        emit_street(grid[i][j], grid[i][j + 1], hw, /*removable=*/true);
+      }
+    }
+  }
+  for (int j = 0; j < cols; ++j) {
+    const char* hw = LineHighway(j, spec);
+    for (int i = 0; i + 1 < rows; ++i) {
+      if (grid[i][j] && grid[i + 1][j]) {
+        emit_street(grid[i][j], grid[i + 1][j], hw, /*removable=*/true);
+      }
+    }
+  }
+
+  // --- Freeways --------------------------------------------------------------
+  // Collect grid node ids + coords once for ramp placement.
+  std::vector<osm::OsmId> grid_ids;
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (grid[i][j]) grid_ids.push_back(grid[i][j]);
+    }
+  }
+  auto nearest_grid_node = [&](const LatLng& p, double max_m) -> osm::OsmId {
+    osm::OsmId best = 0;
+    double best_d = max_m;
+    for (osm::OsmId id : grid_ids) {
+      const double d = EquirectangularMeters(p, scaffold.CoordOf(id));
+      if (d < best_d) {
+        best_d = d;
+        best = id;
+      }
+    }
+    return best;
+  };
+  auto add_ramp = [&](osm::OsmId fw_node) {
+    const osm::OsmId g = nearest_grid_node(scaffold.CoordOf(fw_node),
+                                           spec.block_m * 2.5);
+    if (g != 0) {
+      scaffold.AddWay({fw_node, g}, {{"highway", "primary_link"}});
+    }
+  };
+
+  if (spec.freeway_ring) {
+    const double r_m = spec.freeway_ring_radius_km * 1000.0;
+    const int samples = std::max(24, static_cast<int>(2.0 * kPi * r_m / 700.0));
+    std::vector<osm::OsmId> ring;
+    for (int k = 0; k < samples; ++k) {
+      const double theta = 2.0 * kPi * k / samples;
+      ring.push_back(
+          scaffold.AddNode(at_meters(r_m * std::cos(theta), r_m * std::sin(theta))));
+    }
+    for (int k = 0; k < samples; ++k) {
+      scaffold.AddWay({ring[static_cast<size_t>(k)],
+                       ring[static_cast<size_t>((k + 1) % samples)]},
+                      {{"highway", "motorway"},
+                       {"oneway", "no"},
+                       {"maxspeed", "100"}});
+    }
+    // Interchanges every few ring nodes.
+    for (int k = 0; k < samples; k += 4) add_ramp(ring[static_cast<size_t>(k)]);
+  }
+
+  for (int rad = 0; rad < spec.freeway_radials; ++rad) {
+    const double theta = 2.0 * kPi * rad / std::max(1, spec.freeway_radials) +
+                         kPi / 7.0;  // offset so radials miss grid axes
+    const double r_end = spec.freeway_ring
+                             ? spec.freeway_ring_radius_km * 1000.0
+                             : std::min(spec.half_width_km, spec.half_height_km) * 1000.0;
+    const double r_start = spec.block_m * 3.0;
+    const int samples = std::max(3, static_cast<int>((r_end - r_start) / 600.0));
+    std::vector<osm::OsmId> radial;
+    for (int k = 0; k <= samples; ++k) {
+      const double r_m = r_start + (r_end - r_start) * k / samples;
+      radial.push_back(
+          scaffold.AddNode(at_meters(r_m * std::cos(theta), r_m * std::sin(theta))));
+    }
+    for (size_t k = 0; k + 1 < radial.size(); ++k) {
+      scaffold.AddWay({radial[k], radial[k + 1]},
+                      {{"highway", "motorway"},
+                       {"oneway", "no"},
+                       {"maxspeed", "100"}});
+    }
+    // On/off ramps: endpoints plus every third sample.
+    for (size_t k = 0; k < radial.size(); k += 3) add_ramp(radial[k]);
+    add_ramp(radial.back());
+  }
+
+  return scaffold.Take();
+}
+
+Result<std::shared_ptr<RoadNetwork>> BuildCityNetwork(const CitySpec& spec) {
+  ALTROUTE_ASSIGN_OR_RETURN(osm::OsmData data, GenerateCity(spec));
+  osm::ConstructorOptions options;
+  options.name = spec.name;
+  ALTROUTE_ASSIGN_OR_RETURN(osm::ConstructedNetwork constructed,
+                            osm::ConstructRoadNetwork(data, options));
+  return constructed.network;
+}
+
+}  // namespace citygen
+}  // namespace altroute

@@ -1,0 +1,24 @@
+// Turns a CitySpec into OSM-format data (and, as a convenience, directly
+// into a routable RoadNetwork via the standard constructor pipeline).
+#pragma once
+
+#include <memory>
+
+#include "citygen/city_spec.h"
+#include "graph/road_network.h"
+#include "osm/network_constructor.h"
+#include "osm/osm_data.h"
+#include "util/result.h"
+
+namespace altroute {
+namespace citygen {
+
+/// Generates OSM data for the given spec. Deterministic in spec.seed.
+Result<osm::OsmData> GenerateCity(const CitySpec& spec);
+
+/// GenerateCity + ConstructRoadNetwork with the paper's defaults
+/// (non-freeway factor 1.3, largest SCC only).
+Result<std::shared_ptr<RoadNetwork>> BuildCityNetwork(const CitySpec& spec);
+
+}  // namespace citygen
+}  // namespace altroute

@@ -1,0 +1,103 @@
+#include "citygen/city_spec.h"
+
+namespace altroute {
+namespace citygen {
+
+CitySpec MelbourneSpec() {
+  // Melbourne: regular Hoddle-style grid, strong freeway ring + radials,
+  // Port Phillip Bay cutting off the south-west.
+  CitySpec spec;
+  spec.name = "Melbourne";
+  spec.center = LatLng(-37.8136, 144.9631);
+  spec.half_width_km = 11.0;
+  spec.half_height_km = 9.0;
+  spec.block_m = 320.0;
+  spec.jitter = 0.10;
+  spec.arterial_every = 8;
+  spec.secondary_every = 4;
+  spec.street_removal_prob = 0.05;
+  spec.oneway_prob = 0.04;
+  spec.freeway_ring = true;
+  spec.freeway_ring_radius_km = 7.0;
+  spec.freeway_radials = 6;
+  // The Yarra river flowing roughly east -> CBD with a handful of crossings.
+  spec.rivers.push_back(
+      {LatLng(-37.83, 145.06), LatLng(-37.82, 144.90), /*num_bridges=*/5});
+  // Port Phillip Bay: a large disc to the south-west of the CBD.
+  spec.water.push_back({LatLng(-37.90, 144.86), 5.0});
+  spec.seed = 20220513;
+  return spec;
+}
+
+CitySpec DhakaSpec() {
+  // Dhaka: very dense, irregular street fabric, few arterials, ringed by
+  // rivers (Buriganga south, Turag west) with scarce bridges, no freeways.
+  CitySpec spec;
+  spec.name = "Dhaka";
+  spec.center = LatLng(23.8103, 90.4125);
+  spec.half_width_km = 7.0;
+  spec.half_height_km = 8.0;
+  spec.block_m = 170.0;
+  spec.jitter = 0.32;
+  spec.arterial_every = 12;
+  spec.secondary_every = 5;
+  spec.street_removal_prob = 0.14;
+  spec.oneway_prob = 0.10;
+  spec.freeway_ring = false;
+  spec.freeway_radials = 0;
+  spec.rivers.push_back(
+      {LatLng(23.745, 90.33), LatLng(23.73, 90.48), /*num_bridges=*/3});
+  spec.rivers.push_back(
+      {LatLng(23.74, 90.345), LatLng(23.89, 90.34), /*num_bridges=*/2});
+  spec.seed = 20220514;
+  return spec;
+}
+
+CitySpec CopenhagenSpec() {
+  // Copenhagen: Finger-Plan radials, harbour splitting the city NE-SW with
+  // a limited set of bridges, motorway ring (O3/O4 analogue).
+  CitySpec spec;
+  spec.name = "Copenhagen";
+  spec.center = LatLng(55.6761, 12.5683);
+  spec.half_width_km = 9.0;
+  spec.half_height_km = 8.0;
+  spec.block_m = 260.0;
+  spec.jitter = 0.18;
+  spec.arterial_every = 6;
+  spec.secondary_every = 3;
+  spec.street_removal_prob = 0.07;
+  spec.oneway_prob = 0.06;
+  spec.freeway_ring = true;
+  spec.freeway_ring_radius_km = 6.5;
+  spec.freeway_radials = 5;
+  // The harbour runs roughly NNW-SSE through the center.
+  spec.rivers.push_back(
+      {LatLng(55.72, 12.59), LatLng(55.63, 12.60), /*num_bridges=*/6});
+  spec.seed = 20220515;
+  return spec;
+}
+
+CitySpec Scaled(const CitySpec& spec, double factor) {
+  CitySpec out = spec;
+  if (factor <= 0.0) factor = 1.0;
+  out.half_width_km *= factor;
+  out.half_height_km *= factor;
+  out.freeway_ring_radius_km *= factor;
+  // Rivers/water shrink toward the center so they stay inside the city.
+  auto shrink = [&](const LatLng& p) {
+    return LatLng(spec.center.lat + (p.lat - spec.center.lat) * factor,
+                  spec.center.lng + (p.lng - spec.center.lng) * factor);
+  };
+  for (auto& r : out.rivers) {
+    r.start = shrink(r.start);
+    r.end = shrink(r.end);
+  }
+  for (auto& w : out.water) {
+    w.center = shrink(w.center);
+    w.radius_km *= factor;
+  }
+  return out;
+}
+
+}  // namespace citygen
+}  // namespace altroute

@@ -1,0 +1,64 @@
+// Parametric description of a synthetic city. The generator turns a CitySpec
+// into osm::OsmData, so synthetic cities flow through the identical
+// road-network-constructor pipeline used for real Geofabrik extracts
+// (substitution documented in DESIGN.md Sec. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace altroute {
+namespace citygen {
+
+/// A watercourse crossing the city as a straight line between two points.
+/// Street segments intersecting it are removed unless they cross near one of
+/// the evenly spaced bridges (which get arterial class) — this creates the
+/// bridge-chokepoint structure that dominates alternative routes in Dhaka
+/// and Copenhagen.
+struct RiverSpec {
+  LatLng start;
+  LatLng end;
+  int num_bridges = 3;
+};
+
+/// A water body (bay/lake) approximated as a disc; nodes inside are removed.
+struct WaterBody {
+  LatLng center;
+  double radius_km = 1.0;
+};
+
+/// Full description of a synthetic city.
+struct CitySpec {
+  std::string name;
+  LatLng center;
+  double half_width_km = 10.0;   // east-west half extent
+  double half_height_km = 10.0;  // north-south half extent
+  double block_m = 300.0;        // base block edge length
+  double jitter = 0.15;          // positional noise, fraction of block size
+  int arterial_every = 8;        // every Nth grid line is a primary road
+  int secondary_every = 4;       // every Nth grid line is secondary
+  double street_removal_prob = 0.06;  // residential segments randomly removed
+  double oneway_prob = 0.05;          // residential segments made one-way
+  bool freeway_ring = false;
+  double freeway_ring_radius_km = 7.0;
+  int freeway_radials = 0;  // radial motorways from center to the ring
+  std::vector<RiverSpec> rivers;
+  std::vector<WaterBody> water;
+  uint64_t seed = 42;
+};
+
+/// The three study cities of the extended abstract, with their signature
+/// topologies (see DESIGN.md for the rationale per city).
+CitySpec MelbourneSpec();
+CitySpec DhakaSpec();
+CitySpec CopenhagenSpec();
+
+/// Scales a spec's extents and keeps its structure; factor in (0, 1] shrinks
+/// the city (useful for fast tests).
+CitySpec Scaled(const CitySpec& spec, double factor);
+
+}  // namespace citygen
+}  // namespace altroute

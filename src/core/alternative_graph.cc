@@ -1,0 +1,59 @@
+#include "core/alternative_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace altroute {
+
+namespace {
+
+uint64_t SegmentKey(const RoadNetwork& net, EdgeId e) {
+  NodeId a = net.tail(e);
+  NodeId b = net.head(e);
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+AlternativeGraph BuildAlternativeGraph(const RoadNetwork& net,
+                                       std::span<const Path> routes) {
+  AlternativeGraph out;
+  if (routes.empty()) return out;
+
+  std::unordered_set<uint64_t> segments;
+  std::unordered_set<NodeId> nodes;
+  // node -> distinct neighbour nodes reachable via graph segments leaving it
+  // in travel direction.
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> successors;
+
+  double min_length = routes[0].length_m;
+  double length_sum = 0.0;
+  for (const Path& p : routes) {
+    min_length = std::min(min_length, p.length_m);
+    length_sum += p.length_m;
+    for (EdgeId e : p.edges) {
+      nodes.insert(net.tail(e));
+      nodes.insert(net.head(e));
+      successors[net.tail(e)].insert(net.head(e));
+      if (segments.insert(SegmentKey(net, e)).second) {
+        out.total_length_m += net.length_m(e);
+      }
+    }
+  }
+
+  out.num_unique_segments = segments.size();
+  out.num_nodes = nodes.size();
+  for (const auto& [node, nexts] : successors) {
+    if (nexts.size() >= 2) ++out.num_decision_nodes;
+  }
+  if (min_length > 0.0) {
+    out.total_distance_ratio = out.total_length_m / min_length;
+    out.average_distance_ratio =
+        length_sum / (static_cast<double>(routes.size()) * min_length);
+  }
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,43 @@
+// Alternative route graphs (Bader et al. [4] — the paper's source for the
+// penalty factor 1.4): instead of judging alternatives one by one, overlay a
+// route set into a single subgraph and measure it as a whole. The metrics
+// here follow [4]: total distance (unique road surface relative to the
+// optimum), average distance (mean route stretch), and decision points
+// (nodes where the alternative graph forks, i.e. real choices the driver
+// gets).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/path.h"
+
+namespace altroute {
+
+/// The overlay of a route set.
+struct AlternativeGraph {
+  /// Distinct street segments used by at least one route (an edge and its
+  /// reverse twin count once).
+  size_t num_unique_segments = 0;
+  /// Nodes incident to the graph.
+  size_t num_nodes = 0;
+  /// Nodes where a driver following the graph has a genuine choice
+  /// (more than one distinct outgoing segment within the graph).
+  size_t num_decision_nodes = 0;
+  /// Sum of unique segment lengths in meters.
+  double total_length_m = 0.0;
+  /// total_length_m / length of the shortest route in the set: how much
+  /// extra road surface the alternatives add ("totalDistance" of [4]).
+  double total_distance_ratio = 1.0;
+  /// Mean over routes of route length / shortest route length
+  /// ("averageDistance" of [4]).
+  double average_distance_ratio = 1.0;
+};
+
+/// Builds the overlay metrics for a route set (routes[0] is treated as the
+/// reference/optimal route, matching AlternativeSet conventions). An empty
+/// set yields a default-constructed result.
+AlternativeGraph BuildAlternativeGraph(const RoadNetwork& net,
+                                       std::span<const Path> routes);
+
+}  // namespace altroute

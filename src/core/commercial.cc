@@ -1,0 +1,58 @@
+#include "core/commercial.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace altroute {
+
+CommercialBaseline::CommercialBaseline(std::shared_ptr<const RoadNetwork> net,
+                                       std::vector<double> commercial_weights,
+                                       const AlternativeOptions& options)
+    : net_(std::move(net)),
+      weights_(std::move(commercial_weights)),
+      options_(options) {
+  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+      << "weight vector size mismatch";
+  AlternativeOptions wide = options_;
+  wide.max_routes = std::max(8, options_.max_routes * 3);
+  wide.stretch_bound = options_.stretch_bound * 1.1;
+  plateau_ = std::make_unique<PlateauGenerator>(net_, weights_, wide);
+  AlternativeOptions via_opts = wide;
+  via_opts.dissimilarity_threshold =
+      std::min(0.9, options_.dissimilarity_threshold * 0.8);
+  via_ = std::make_unique<DissimilarityGenerator>(net_, weights_, via_opts);
+}
+
+Result<AlternativeSet> CommercialBaseline::Generate(NodeId source,
+                                                    NodeId target) {
+  // Candidate pool: plateau routes + via-node routes on commercial data.
+  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet plat, plateau_->Generate(source, target));
+  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet via, via_->Generate(source, target));
+
+  AlternativeSet out;
+  out.optimal_cost = plat.optimal_cost;
+  out.work_settled_nodes = plat.work_settled_nodes + via.work_settled_nodes;
+
+  std::vector<Path> pool = std::move(plat.routes);
+  for (Path& p : via.routes) {
+    const bool duplicate = std::any_of(
+        pool.begin(), pool.end(), [&](const Path& q) { return SameEdges(p, q); });
+    if (!duplicate) pool.push_back(std::move(p));
+  }
+
+  // Proprietary-style refinement: enforce the hard stretch bound on the
+  // commercial data, rank by perceptual score, prune near-duplicates.
+  pool = PruneByStretch(pool, out.optimal_cost, options_.stretch_bound, weights_);
+  pool = RankPerceptually(*net_, pool, out.optimal_cost, weights_);
+  pool = PruneBySimilarity(*net_, pool, /*max_similarity=*/0.6);
+
+  if (pool.empty()) return Status::NotFound("no route found");
+  if (static_cast<int>(pool.size()) > options_.max_routes) {
+    pool.resize(static_cast<size_t>(options_.max_routes));
+  }
+  out.routes = std::move(pool);
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,44 @@
+// CommercialBaseline: the stand-in for Google Maps (DESIGN.md Sec. 2). The
+// paper treats Google Maps as a black box characterised by three properties:
+// (1) it optimises travel time on its *own* (traffic-derived) data, (2) it
+// applies additional proprietary filtering/ranking criteria (Sec. 4.2), and
+// (3) it reports up to 3 routes. This engine reproduces exactly those
+// properties: plateau+via-node candidate generation over a divergent
+// commercial weight vector, followed by perceptual ranking and similarity
+// pruning.
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "core/dissimilarity.h"
+#include "core/filters.h"
+#include "core/plateau.h"
+
+namespace altroute {
+
+class CommercialBaseline final : public AlternativeRouteGenerator {
+ public:
+  /// `commercial_weights` should come from a CommercialTrafficModel so the
+  /// engine "sees" different data than the OSM-based engines.
+  CommercialBaseline(std::shared_ptr<const RoadNetwork> net,
+                     std::vector<double> commercial_weights,
+                     const AlternativeOptions& options = {});
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override { return weights_; }
+
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+ private:
+  std::string name_ = "commercial";
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> weights_;
+  AlternativeOptions options_;
+  // Candidate generators run with a wider net (more routes, looser bound)
+  // than what is finally reported.
+  std::unique_ptr<PlateauGenerator> plateau_;
+  std::unique_ptr<DissimilarityGenerator> via_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,95 @@
+#include "core/dissimilarity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace altroute {
+
+DissimilarityGenerator::DissimilarityGenerator(
+    std::shared_ptr<const RoadNetwork> net, std::vector<double> weights,
+    const AlternativeOptions& options, SimilarityMeasure measure)
+    : net_(std::move(net)),
+      weights_(std::move(weights)),
+      options_(options),
+      measure_(measure),
+      dijkstra_(*net_) {
+  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+      << "weight vector size mismatch";
+}
+
+Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,
+                                                        NodeId target) {
+  // Like Plateaus, SSVP-D+ is powered by the two shortest-path trees.
+  ALTROUTE_ASSIGN_OR_RETURN(
+      ShortestPathTree fwd,
+      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward));
+  size_t settled = dijkstra_.last_settled_count();
+  ALTROUTE_ASSIGN_OR_RETURN(
+      ShortestPathTree bwd,
+      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward));
+  settled += dijkstra_.last_settled_count();
+
+  if (!fwd.Reached(target)) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  AlternativeSet out;
+  out.work_settled_nodes = settled;
+  out.optimal_cost = fwd.dist[target];
+  const double cost_limit = options_.stretch_bound * out.optimal_cost;
+
+  // The fastest path seeds the result set P.
+  ALTROUTE_ASSIGN_OR_RETURN(std::vector<EdgeId> sp_edges,
+                            fwd.PathTo(*net_, target));
+  ALTROUTE_ASSIGN_OR_RETURN(
+      Path shortest,
+      MakePath(*net_, source, target, std::move(sp_edges), weights_));
+  out.routes.push_back(std::move(shortest));
+
+  // Candidate via nodes in ascending via-path length, bounded by the
+  // stretch limit. Nodes unreached in either tree are excluded.
+  std::vector<NodeId> candidates;
+  candidates.reserve(net_->num_nodes());
+  for (NodeId v = 0; v < net_->num_nodes(); ++v) {
+    if (!fwd.Reached(v) || !bwd.Reached(v)) continue;
+    const double via = fwd.dist[v] + bwd.dist[v];
+    if (via <= cost_limit + 1e-9) candidates.push_back(v);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    const double va = fwd.dist[a] + bwd.dist[a];
+    const double vb = fwd.dist[b] + bwd.dist[b];
+    if (va != vb) return va < vb;
+    return a < b;  // deterministic ties
+  });
+
+  for (NodeId v : candidates) {
+    if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
+
+    auto prefix_or = fwd.PathTo(*net_, v);
+    auto suffix_or = bwd.PathTo(*net_, v);
+    if (!prefix_or.ok() || !suffix_or.ok()) continue;
+    std::vector<EdgeId> edges = std::move(prefix_or).ValueOrDie();
+    const std::vector<EdgeId> suffix = std::move(suffix_or).ValueOrDie();
+    edges.insert(edges.end(), suffix.begin(), suffix.end());
+
+    auto path_or = MakePath(*net_, source, target, std::move(edges), weights_);
+    if (!path_or.ok()) continue;
+    Path path = std::move(path_or).ValueOrDie();
+
+    // Via-paths whose halves share nodes contain loops; such candidates are
+    // not valid simple alternatives.
+    if (!IsLoopless(*net_, path)) continue;
+
+    // The defining acceptance test: dis(p, P) > theta.
+    if (DissimilarityToSet(*net_, path, out.routes, measure_) <=
+        options_.dissimilarity_threshold) {
+      continue;
+    }
+    out.routes.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace altroute

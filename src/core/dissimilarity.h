@@ -1,0 +1,38 @@
+// The Dissimilarity technique (paper Sec. 2.3): SSVP-D+ of Chondrogiannis et
+// al. [9]. Via-paths sp(s,v)+sp(v,t) are enumerated in ascending length
+// order from the two shortest-path trees; a via-path is accepted only when
+// its dissimilarity to every previously accepted path exceeds the threshold
+// theta, guaranteeing pairwise-dissimilar, short alternatives.
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "core/similarity.h"
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+class DissimilarityGenerator final : public AlternativeRouteGenerator {
+ public:
+  DissimilarityGenerator(std::shared_ptr<const RoadNetwork> net,
+                         std::vector<double> weights,
+                         const AlternativeOptions& options = {},
+                         SimilarityMeasure measure =
+                             SimilarityMeasure::kOverlapOverCandidate);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override { return weights_; }
+
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+ private:
+  std::string name_ = "dissimilarity";
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> weights_;
+  AlternativeOptions options_;
+  SimilarityMeasure measure_;
+  Dijkstra dijkstra_;
+};
+
+}  // namespace altroute

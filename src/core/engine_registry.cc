@@ -1,0 +1,53 @@
+#include "core/engine_registry.h"
+
+#include "core/commercial.h"
+#include "core/dissimilarity.h"
+#include "core/penalty.h"
+#include "core/plateau.h"
+#include "traffic/traffic_model.h"
+
+namespace altroute {
+
+std::string_view ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kGoogleMaps:
+      return "Google Maps";
+    case Approach::kPlateaus:
+      return "Plateaus";
+    case Approach::kDissimilarity:
+      return "Dissimilarity";
+    case Approach::kPenalty:
+      return "Penalty";
+  }
+  return "?";
+}
+
+char ApproachLabel(Approach a) {
+  return static_cast<char>('A' + static_cast<int>(a));
+}
+
+Result<EngineSuite> EngineSuite::MakePaperSuite(
+    std::shared_ptr<const RoadNetwork> net, const AlternativeOptions& options,
+    int commercial_hour) {
+  if (net == nullptr) return Status::InvalidArgument("null network");
+  if (net->num_nodes() == 0) return Status::InvalidArgument("empty network");
+
+  EngineSuite suite;
+  suite.net_ = net;
+  suite.display_weights_ = FreeFlowModel().Weights(*net);
+
+  const CommercialTrafficModel commercial(commercial_hour);
+  suite.engines_[static_cast<size_t>(Approach::kGoogleMaps)] =
+      std::make_unique<CommercialBaseline>(net, commercial.Weights(*net),
+                                           options);
+  suite.engines_[static_cast<size_t>(Approach::kPlateaus)] =
+      std::make_unique<PlateauGenerator>(net, suite.display_weights_, options);
+  suite.engines_[static_cast<size_t>(Approach::kDissimilarity)] =
+      std::make_unique<DissimilarityGenerator>(net, suite.display_weights_,
+                                               options);
+  suite.engines_[static_cast<size_t>(Approach::kPenalty)] =
+      std::make_unique<PenaltyGenerator>(net, suite.display_weights_, options);
+  return suite;
+}
+
+}  // namespace altroute

@@ -1,0 +1,64 @@
+// The paper's four-approach suite with its A-D identity masking (Sec. 3:
+// "A: Google Maps, B: Plateaus, C: Dissimilarity and D: Penalty").
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "core/alternative_generator.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// The four approaches compared in the user study, in the paper's masking
+/// order (A-D).
+enum class Approach : int {
+  kGoogleMaps = 0,    // commercial baseline on divergent data
+  kPlateaus = 1,
+  kDissimilarity = 2,
+  kPenalty = 3,
+};
+
+inline constexpr int kNumApproaches = 4;
+inline constexpr std::array<Approach, kNumApproaches> kAllApproaches = {
+    Approach::kGoogleMaps, Approach::kPlateaus, Approach::kDissimilarity,
+    Approach::kPenalty};
+
+/// Human name as used in the paper's tables.
+std::string_view ApproachName(Approach a);
+
+/// Masked label shown to study participants ('A'..'D').
+char ApproachLabel(Approach a);
+
+/// The full suite: one engine per approach over a single network. The three
+/// OSM-based engines share the network's free-flow weights; the commercial
+/// engine gets its own divergent weight vector.
+class EngineSuite {
+ public:
+  /// Builds the paper's configuration: Penalty/Plateaus/Dissimilarity on
+  /// free-flow OSM weights, CommercialBaseline on CommercialTrafficModel
+  /// weights at `commercial_hour` (paper queries Google at 3:00 am).
+  static Result<EngineSuite> MakePaperSuite(
+      std::shared_ptr<const RoadNetwork> net,
+      const AlternativeOptions& options = {}, int commercial_hour = 3);
+
+  AlternativeRouteGenerator& engine(Approach a) {
+    return *engines_[static_cast<size_t>(a)];
+  }
+  const RoadNetwork& network() const { return *net_; }
+  std::shared_ptr<const RoadNetwork> network_ptr() const { return net_; }
+
+  /// Free-flow OSM weights (what the demo uses to *display* travel times for
+  /// all four approaches, paper Sec. 3 "Query Processor").
+  const std::vector<double>& display_weights() const { return display_weights_; }
+
+ private:
+  EngineSuite() = default;
+
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> display_weights_;
+  std::array<std::unique_ptr<AlternativeRouteGenerator>, kNumApproaches> engines_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,103 @@
+#include "core/filters.h"
+
+#include <algorithm>
+
+namespace altroute {
+
+std::vector<Path> PruneBySimilarity(const RoadNetwork& net,
+                                    std::span<const Path> routes,
+                                    double max_similarity,
+                                    SimilarityMeasure measure) {
+  std::vector<Path> kept;
+  for (size_t i = 0; i < routes.size(); ++i) {
+    const Path& cand = routes[i];
+    bool ok = true;
+    if (i > 0) {
+      for (const Path& k : kept) {
+        if (Similarity(net, cand, k, measure) > max_similarity) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) kept.push_back(cand);
+  }
+  return kept;
+}
+
+std::vector<Path> PruneByStretch(std::span<const Path> routes,
+                                 double optimal_cost, double stretch_bound,
+                                 std::span<const double> weights) {
+  std::vector<Path> kept;
+  const double limit = optimal_cost * stretch_bound + 1e-9;
+  for (const Path& p : routes) {
+    if (CostUnder(p, weights) <= limit) kept.push_back(p);
+  }
+  return kept;
+}
+
+std::vector<Path> PruneByDetours(const RoadNetwork& net,
+                                 std::span<const Path> routes, int max_detours,
+                                 const QualityOptions& options) {
+  std::vector<Path> kept;
+  for (size_t i = 0; i < routes.size(); ++i) {
+    if (i == 0) {
+      kept.push_back(routes[i]);
+      continue;
+    }
+    // Stretch is irrelevant to the detour count; pass 1.0 as optimal.
+    const RouteQuality q =
+        ComputeRouteQuality(net, routes[i], 1.0, net.travel_times(), options);
+    if (q.detour_count <= max_detours) kept.push_back(routes[i]);
+  }
+  return kept;
+}
+
+std::vector<Path> PruneByLocalOptimality(const RoadNetwork& net,
+                                         std::span<const Path> routes,
+                                         double alpha, double optimal_cost,
+                                         std::span<const double> weights,
+                                         Dijkstra* dijkstra, int stride) {
+  (void)net;
+  std::vector<Path> kept;
+  for (size_t i = 0; i < routes.size(); ++i) {
+    if (i == 0) {
+      kept.push_back(routes[i]);
+      continue;
+    }
+    const LocalOptimalityResult lo = TestLocalOptimality(
+        dijkstra->network(), routes[i], alpha, optimal_cost, weights, dijkstra,
+        stride);
+    if (lo.AllPassed()) kept.push_back(routes[i]);
+  }
+  return kept;
+}
+
+std::vector<Path> RankPerceptually(const RoadNetwork& net,
+                                   std::span<const Path> routes,
+                                   double optimal_cost,
+                                   std::span<const double> weights,
+                                   const RankingWeights& rw,
+                                   const QualityOptions& options) {
+  std::vector<Path> out(routes.begin(), routes.end());
+  if (out.size() <= 2) return out;
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t i = 1; i < out.size(); ++i) {
+    const RouteQuality q =
+        ComputeRouteQuality(net, out[i], optimal_cost, weights, options);
+    const double score = rw.stretch * q.stretch +
+                         rw.turns_per_km * q.turns_per_km +
+                         rw.minor_road_share * q.minor_road_share +
+                         rw.detour * q.detour_count -
+                         rw.freeway_bonus * q.freeway_share;
+    scored.emplace_back(score, i);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Path> ranked;
+  ranked.push_back(out[0]);
+  for (const auto& [score, idx] : scored) ranked.push_back(out[idx]);
+  return ranked;
+}
+
+}  // namespace altroute

@@ -1,0 +1,65 @@
+// Post-filters and re-ranking criteria for alternative route sets (paper
+// Sec. 4.2, "Additional filtering/ranking criteria are not considered"): the
+// refinements the paper says could be layered on any of the techniques —
+// similarity pruning, local-optimality filtering, and perceptual ranking
+// (fewer turns, wider roads). The filter-ablation bench quantifies their
+// effect.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/path.h"
+#include "core/quality.h"
+#include "core/similarity.h"
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// Greedily keeps routes (in input order, position 0 always kept) whose
+/// similarity to every kept route is at most `max_similarity`.
+std::vector<Path> PruneBySimilarity(const RoadNetwork& net,
+                                    std::span<const Path> routes,
+                                    double max_similarity,
+                                    SimilarityMeasure measure =
+                                        SimilarityMeasure::kOverlapOverShorter);
+
+/// Drops routes costing more than `stretch_bound` times `optimal_cost` under
+/// `weights`.
+std::vector<Path> PruneByStretch(std::span<const Path> routes,
+                                 double optimal_cost, double stretch_bound,
+                                 std::span<const double> weights);
+
+/// Drops routes with more than `max_detours` detour events (position 0
+/// always kept).
+std::vector<Path> PruneByDetours(const RoadNetwork& net,
+                                 std::span<const Path> routes, int max_detours,
+                                 const QualityOptions& options = {});
+
+/// Drops routes failing a sampled T-local-optimality test with T =
+/// alpha * optimal_cost (position 0 always kept). `stride` bounds work.
+std::vector<Path> PruneByLocalOptimality(const RoadNetwork& net,
+                                         std::span<const Path> routes,
+                                         double alpha, double optimal_cost,
+                                         std::span<const double> weights,
+                                         Dijkstra* dijkstra, int stride = 4);
+
+/// Perceptual ranking weights (tuned so one unit of stretch dominates).
+struct RankingWeights {
+  double stretch = 1.0;
+  double turns_per_km = 0.02;       // "less zig-zag is better"
+  double minor_road_share = 0.25;   // prefer "wider roads"
+  double detour = 0.05;
+  double freeway_bonus = 0.10;      // negative contribution
+};
+
+/// Re-orders routes[1..] by ascending perceptual score (routes[0], the
+/// fastest path, keeps its position).
+std::vector<Path> RankPerceptually(const RoadNetwork& net,
+                                   std::span<const Path> routes,
+                                   double optimal_cost,
+                                   std::span<const double> weights,
+                                   const RankingWeights& rw = {},
+                                   const QualityOptions& options = {});
+
+}  // namespace altroute

@@ -1,0 +1,53 @@
+// Path: the unit of output of every alternative-route generator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "graph/road_network.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// A directed s-t path as an edge-id sequence plus cached aggregates.
+struct Path {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::vector<EdgeId> edges;
+  /// Cost under the weights the generator searched with.
+  double cost = 0.0;
+  /// Length in meters (sum of edge lengths).
+  double length_m = 0.0;
+  /// Free-flow OSM travel time in seconds (network weights) — the number the
+  /// demo displays to users regardless of which engine produced the route.
+  double travel_time_s = 0.0;
+
+  bool empty() const { return edges.empty(); }
+  size_t num_edges() const { return edges.size(); }
+};
+
+/// Builds a Path from an edge sequence, validating contiguity (each edge's
+/// tail equals the previous edge's head) and filling the cached aggregates.
+/// `cost` is computed under `weights` (pass net.travel_times() when the
+/// search weights are the network defaults).
+Result<Path> MakePath(const RoadNetwork& net, NodeId source, NodeId target,
+                      std::vector<EdgeId> edges, std::span<const double> weights);
+
+/// Node sequence of a path (source first, target last). For an empty path
+/// returns {source}.
+std::vector<NodeId> PathNodes(const RoadNetwork& net, const Path& path);
+
+/// Coordinate sequence of a path (for polyline encoding / display).
+std::vector<LatLng> PathCoords(const RoadNetwork& net, const Path& path);
+
+/// True when the path visits no node twice.
+bool IsLoopless(const RoadNetwork& net, const Path& path);
+
+/// True when two paths consist of exactly the same edge sequence.
+inline bool SameEdges(const Path& a, const Path& b) { return a.edges == b.edges; }
+
+/// Sum of `weights` over the path's edges (re-costing under another model).
+double CostUnder(const Path& path, std::span<const double> weights);
+
+}  // namespace altroute

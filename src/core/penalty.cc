@@ -1,0 +1,76 @@
+#include "core/penalty.h"
+
+#include <algorithm>
+
+#include "core/similarity.h"
+#include "util/logging.h"
+
+namespace altroute {
+
+PenaltyGenerator::PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
+                                   std::vector<double> weights,
+                                   const AlternativeOptions& options)
+    : net_(std::move(net)),
+      weights_(std::move(weights)),
+      options_(options),
+      dijkstra_(*net_) {
+  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+      << "weight vector size mismatch";
+}
+
+Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target) {
+  AlternativeSet out;
+  penalized_.assign(weights_.begin(), weights_.end());
+
+  // Iteration 1 yields the true shortest path (no penalties applied yet).
+  auto first = dijkstra_.ShortestPath(source, target, penalized_);
+  if (!first.ok()) return first.status();
+  out.work_settled_nodes += dijkstra_.last_settled_count();
+
+  ALTROUTE_ASSIGN_OR_RETURN(
+      Path shortest, MakePath(*net_, source, target, std::move(first->edges),
+                              weights_));
+  out.optimal_cost = shortest.cost;
+  const double cost_limit = options_.stretch_bound * out.optimal_cost;
+  out.routes.push_back(std::move(shortest));
+
+  int iterations = 1;
+  while (static_cast<int>(out.routes.size()) < options_.max_routes &&
+         iterations < options_.max_iterations) {
+    ++iterations;
+    // Penalize the edges of the most recent path (and their reverse twins,
+    // so the search does not sidestep the penalty by driving the opposite
+    // carriageway of the same street).
+    for (EdgeId e : out.routes.back().edges) {
+      penalized_[e] *= options_.penalty_factor;
+      const EdgeId twin = net_->FindEdge(net_->head(e), net_->tail(e));
+      if (twin != kInvalidEdge) penalized_[twin] *= options_.penalty_factor;
+    }
+
+    auto next = dijkstra_.ShortestPath(source, target, penalized_);
+    if (!next.ok()) break;  // penalties cannot disconnect, but stay defensive
+    out.work_settled_nodes += dijkstra_.last_settled_count();
+
+    auto path_or = MakePath(*net_, source, target, std::move(next->edges),
+                            weights_);
+    if (!path_or.ok()) return path_or.status();
+    Path path = std::move(path_or).ValueOrDie();
+
+    // Real (unpenalized) cost must respect the stretch bound; once the
+    // cheapest new path exceeds it, later iterations only get worse in
+    // penalized cost but can oscillate in real cost, so keep iterating
+    // until the iteration cap — but never accept an over-bound path.
+    if (path.cost > cost_limit + 1e-9) continue;
+
+    // Reject exact duplicates of already accepted paths.
+    const bool duplicate =
+        std::any_of(out.routes.begin(), out.routes.end(),
+                    [&](const Path& p) { return SameEdges(p, path); });
+    if (duplicate) continue;
+
+    out.routes.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace altroute

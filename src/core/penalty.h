@@ -1,0 +1,36 @@
+// The Penalty technique (paper Sec. 2.1, following [3, 7]): iteratively
+// re-run the shortest-path search, multiplying the weights of edges used by
+// the previous result by a penalty factor, until k sufficiently distinct
+// paths within the stretch bound are collected.
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+class PenaltyGenerator final : public AlternativeRouteGenerator {
+ public:
+  /// `weights` must have one entry per edge; it is copied (the penalty
+  /// overlay never mutates the caller's vector or the network).
+  PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
+                   std::vector<double> weights,
+                   const AlternativeOptions& options = {});
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override { return weights_; }
+
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+ private:
+  std::string name_ = "penalty";
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> weights_;
+  AlternativeOptions options_;
+  Dijkstra dijkstra_;
+  std::vector<double> penalized_;  // workspace reused across queries
+};
+
+}  // namespace altroute

@@ -1,0 +1,141 @@
+#include "core/plateau.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace altroute {
+
+PlateauGenerator::PlateauGenerator(std::shared_ptr<const RoadNetwork> net,
+                                   std::vector<double> weights,
+                                   const AlternativeOptions& options)
+    : net_(std::move(net)),
+      weights_(std::move(weights)),
+      options_(options),
+      dijkstra_(*net_) {
+  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+      << "weight vector size mismatch";
+}
+
+Result<std::vector<Plateau>> PlateauGenerator::PlateausFromTrees(
+    const ShortestPathTree& fwd, const ShortestPathTree& bwd) {
+  const RoadNetwork& net = *net_;
+
+  // An edge e = (u, v) is a plateau edge iff it is the forward-tree parent
+  // of v AND the backward-tree parent of u: both trees route through e.
+  std::vector<bool> is_plateau(net.num_edges(), false);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const EdgeId e = fwd.parent_edge[v];
+    if (e == kInvalidEdge) continue;
+    const NodeId u = net.tail(e);
+    if (bwd.parent_edge[u] == e) is_plateau[e] = true;
+  }
+
+  // Chain maximal runs. A run starts at edge e when the forward parent of
+  // tail(e) is not itself a plateau edge.
+  std::vector<Plateau> plateaus;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const EdgeId first = fwd.parent_edge[v];
+    if (first == kInvalidEdge || !is_plateau[first]) continue;
+    const NodeId u = net.tail(first);
+    const EdgeId pred = fwd.parent_edge[u];
+    if (pred != kInvalidEdge && is_plateau[pred]) continue;  // not a run start
+
+    Plateau pl;
+    pl.start = u;
+    EdgeId e = first;
+    for (;;) {
+      pl.edges.push_back(e);
+      pl.length += weights_[e];
+      const NodeId head = net.head(e);
+      pl.end = head;
+      const EdgeId next = bwd.parent_edge[head];
+      if (next == kInvalidEdge || !is_plateau[next]) break;
+      e = next;
+    }
+    pl.route_cost = fwd.dist[pl.start] + pl.length + bwd.dist[pl.end];
+    plateaus.push_back(std::move(pl));
+  }
+
+  std::sort(plateaus.begin(), plateaus.end(),
+            [](const Plateau& a, const Plateau& b) {
+              if (a.length != b.length) return a.length > b.length;
+              return a.route_cost < b.route_cost;  // deterministic ties
+            });
+  return plateaus;
+}
+
+Result<std::vector<Plateau>> PlateauGenerator::ComputePlateaus(NodeId source,
+                                                               NodeId target) {
+  ALTROUTE_ASSIGN_OR_RETURN(
+      ShortestPathTree fwd,
+      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward));
+  ALTROUTE_ASSIGN_OR_RETURN(
+      ShortestPathTree bwd,
+      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward));
+  if (!fwd.Reached(target)) {
+    return Status::NotFound("target unreachable from source");
+  }
+  return PlateausFromTrees(fwd, bwd);
+}
+
+Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target) {
+  // Two full Dijkstra trees dominate the cost, exactly as the paper notes.
+  ALTROUTE_ASSIGN_OR_RETURN(
+      ShortestPathTree fwd,
+      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward));
+  size_t settled = dijkstra_.last_settled_count();
+  ALTROUTE_ASSIGN_OR_RETURN(
+      ShortestPathTree bwd,
+      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward));
+  settled += dijkstra_.last_settled_count();
+
+  if (!fwd.Reached(target)) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  AlternativeSet out;
+  out.work_settled_nodes = settled;
+  out.optimal_cost = fwd.dist[target];
+  const double cost_limit = options_.stretch_bound * out.optimal_cost;
+
+  // The fastest path is reported first (it is itself the plateau that spans
+  // the whole optimal route, but we extract it directly from the tree).
+  ALTROUTE_ASSIGN_OR_RETURN(std::vector<EdgeId> sp_edges,
+                            fwd.PathTo(*net_, target));
+  ALTROUTE_ASSIGN_OR_RETURN(
+      Path shortest,
+      MakePath(*net_, source, target, std::move(sp_edges), weights_));
+  out.routes.push_back(std::move(shortest));
+
+  ALTROUTE_ASSIGN_OR_RETURN(std::vector<Plateau> plateaus,
+                            PlateausFromTrees(fwd, bwd));
+
+  for (const Plateau& pl : plateaus) {
+    if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
+    if (pl.route_cost > cost_limit + 1e-9) continue;
+
+    auto prefix_or = fwd.PathTo(*net_, pl.start);
+    auto suffix_or = bwd.PathTo(*net_, pl.end);
+    if (!prefix_or.ok() || !suffix_or.ok()) continue;
+    std::vector<EdgeId> edges = std::move(prefix_or).ValueOrDie();
+    edges.insert(edges.end(), pl.edges.begin(), pl.edges.end());
+    const std::vector<EdgeId> suffix = std::move(suffix_or).ValueOrDie();
+    edges.insert(edges.end(), suffix.begin(), suffix.end());
+
+    auto path_or = MakePath(*net_, source, target, std::move(edges), weights_);
+    if (!path_or.ok()) continue;  // defensive: malformed joins are dropped
+    Path path = std::move(path_or).ValueOrDie();
+
+    const bool duplicate =
+        std::any_of(out.routes.begin(), out.routes.end(),
+                    [&](const Path& p) { return SameEdges(p, path); });
+    if (duplicate) continue;
+    if (!IsLoopless(*net_, path)) continue;  // tree joins can rarely loop
+
+    out.routes.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,51 @@
+// The Plateaus technique (paper Sec. 2.2, Choice Routing [11], analysed in
+// [2]): join the forward shortest-path tree rooted at s with the backward
+// tree rooted at t; maximal branches common to both trees are "plateaus".
+// Longer plateaus yield more meaningful alternatives, so the top-k plateaus
+// by length are turned into routes sp(s,u) + plateau(u,v) + sp(v,t).
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// A maximal common branch of the two trees.
+struct Plateau {
+  NodeId start = kInvalidNode;  // end closer to the source
+  NodeId end = kInvalidNode;    // end closer to the target
+  std::vector<EdgeId> edges;    // chain from start to end
+  double length = 0.0;          // total weight of the chain (search weights)
+  /// Cost of the full alternative route through this plateau.
+  double route_cost = 0.0;
+};
+
+class PlateauGenerator final : public AlternativeRouteGenerator {
+ public:
+  PlateauGenerator(std::shared_ptr<const RoadNetwork> net,
+                   std::vector<double> weights,
+                   const AlternativeOptions& options = {});
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override { return weights_; }
+
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+  /// Exposed for tests and the Fig. 1 walkthrough: all plateaus of the query
+  /// in descending length order (no stretch filtering, no k cap).
+  Result<std::vector<Plateau>> ComputePlateaus(NodeId source, NodeId target);
+
+ private:
+  Result<std::vector<Plateau>> PlateausFromTrees(const ShortestPathTree& fwd,
+                                                 const ShortestPathTree& bwd);
+
+  std::string name_ = "plateau";
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> weights_;
+  AlternativeOptions options_;
+  Dijkstra dijkstra_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,135 @@
+#include "core/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/similarity.h"
+
+namespace altroute {
+
+RouteQuality ComputeRouteQuality(const RoadNetwork& net, const Path& path,
+                                 double optimal_cost,
+                                 std::span<const double> weights,
+                                 const QualityOptions& options) {
+  RouteQuality q;
+  if (path.empty()) return q;
+
+  const double cost = CostUnder(path, weights);
+  q.stretch = optimal_cost > 0.0 ? cost / optimal_cost : 1.0;
+
+  // Turns.
+  const auto coords = PathCoords(net, path);
+  for (size_t i = 1; i + 1 < coords.size(); ++i) {
+    if (TurnAngleDegrees(coords[i - 1], coords[i], coords[i + 1]) >
+        options.turn_threshold_deg) {
+      ++q.turn_count;
+    }
+  }
+  const double km = std::max(1e-3, path.length_m / 1000.0);
+  q.turns_per_km = q.turn_count / km;
+
+  // Detour events: count local excursions away from the target.
+  const LatLng goal = net.coord(path.target);
+  double min_so_far = HaversineMeters(coords.front(), goal);
+  bool in_detour = false;
+  for (const LatLng& p : coords) {
+    const double d = HaversineMeters(p, goal);
+    if (d < min_so_far) {
+      min_so_far = d;
+      in_detour = false;
+    } else if (!in_detour && d > min_so_far + options.detour_threshold_m) {
+      in_detour = true;
+      ++q.detour_count;
+    }
+  }
+
+  // Road-class composition (length-weighted).
+  double lanes_sum = 0.0;
+  double freeway_len = 0.0;
+  double minor_len = 0.0;
+  for (EdgeId e : path.edges) {
+    const RoadClass rc = net.road_class(e);
+    const double len = net.length_m(e);
+    lanes_sum += TypicalLanes(rc) * len;
+    if (IsFreeway(rc)) freeway_len += len;
+    if (rc == RoadClass::kResidential || rc == RoadClass::kService) {
+      minor_len += len;
+    }
+  }
+  if (path.length_m > 0.0) {
+    q.mean_lanes = lanes_sum / path.length_m;
+    q.freeway_share = freeway_len / path.length_m;
+    q.minor_road_share = minor_len / path.length_m;
+  }
+  return q;
+}
+
+LocalOptimalityResult TestLocalOptimality(const RoadNetwork& net,
+                                          const Path& path, double alpha,
+                                          double optimal_cost,
+                                          std::span<const double> weights,
+                                          Dijkstra* dijkstra, int stride) {
+  LocalOptimalityResult result;
+  if (path.empty() || dijkstra == nullptr) return result;
+  stride = std::max(1, stride);
+  const double t_bound = alpha * optimal_cost;
+  const auto nodes = PathNodes(net, path);
+
+  // Prefix costs for O(1) subpath cost lookups.
+  std::vector<double> prefix(nodes.size(), 0.0);
+  for (size_t i = 0; i < path.edges.size(); ++i) {
+    prefix[i + 1] = prefix[i] + weights[path.edges[i]];
+  }
+
+  for (size_t i = 0; i + 1 < nodes.size();
+       i += static_cast<size_t>(stride)) {
+    // Maximal j with subpath cost <= t_bound.
+    size_t j = i + 1;
+    while (j + 1 < nodes.size() && prefix[j + 1] - prefix[i] <= t_bound) ++j;
+    if (prefix[j] - prefix[i] > t_bound) continue;  // single edge too long
+    ++result.windows_tested;
+    auto sp = dijkstra->ShortestPath(nodes[i], nodes[j], weights);
+    const double sub_cost = prefix[j] - prefix[i];
+    if (sp.ok() && sp->cost >= sub_cost - 1e-6) {
+      ++result.windows_passed;
+    }
+  }
+  return result;
+}
+
+RouteSetQuality ComputeRouteSetQuality(const RoadNetwork& net,
+                                       std::span<const Path> routes,
+                                       double optimal_cost,
+                                       std::span<const double> weights,
+                                       const QualityOptions& options) {
+  RouteSetQuality out;
+  out.num_routes = static_cast<int>(routes.size());
+  if (routes.empty()) return out;
+
+  double stretch_sum = 0.0, turns_sum = 0.0, detour_sum = 0.0, lanes_sum = 0.0;
+  for (const Path& p : routes) {
+    const RouteQuality q =
+        ComputeRouteQuality(net, p, optimal_cost, weights, options);
+    out.max_stretch = std::max(out.max_stretch, q.stretch);
+    stretch_sum += q.stretch;
+    turns_sum += q.turns_per_km;
+    detour_sum += q.detour_count;
+    lanes_sum += q.mean_lanes;
+  }
+  out.mean_stretch = stretch_sum / routes.size();
+  out.mean_turns_per_km = turns_sum / routes.size();
+  out.mean_detours = detour_sum / routes.size();
+  out.mean_lanes = lanes_sum / routes.size();
+
+  for (size_t i = 0; i < routes.size(); ++i) {
+    for (size_t j = i + 1; j < routes.size(); ++j) {
+      out.max_pairwise_similarity = std::max(
+          out.max_pairwise_similarity,
+          Similarity(net, routes[i], routes[j],
+                     SimilarityMeasure::kOverlapOverShorter));
+    }
+  }
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,94 @@
+// Route-quality metrics. Combines the quantitative criteria of Abraham et
+// al. [2] (stretch / uniformly bounded stretch, local optimality, sharing)
+// with the perceptual features the paper's participants mention in Sec. 4.2
+// (turns, zig-zag, road width, apparent detours). The user-study rating
+// model consumes these features.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/path.h"
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// Feature vector of a single route relative to the optimal s-t route.
+struct RouteQuality {
+  /// cost / optimal cost under the evaluation weights (>= 1 for exact opt).
+  double stretch = 1.0;
+  /// Number of significant turns (bearing change > 45 degrees).
+  int turn_count = 0;
+  /// Turns per km — "less zig-zag is better".
+  double turns_per_km = 0.0;
+  /// Number of detour events: stretches where the route moves away from the
+  /// target by more than a threshold before approaching again.
+  int detour_count = 0;
+  /// Length-weighted mean of typical lane counts — "wider roads" proxy.
+  double mean_lanes = 1.0;
+  /// Fraction of length on motorway/trunk.
+  double freeway_share = 0.0;
+  /// Fraction of length on residential/service streets.
+  double minor_road_share = 0.0;
+};
+
+/// Knobs for the perceptual feature extraction.
+struct QualityOptions {
+  double turn_threshold_deg = 45.0;
+  /// A detour event begins once the great-circle distance to the target has
+  /// grown by this many meters from a local minimum.
+  double detour_threshold_m = 250.0;
+};
+
+/// Computes the feature vector. `optimal_cost` is the best s-t cost under
+/// `weights` (pass the generator's own measurement or recompute).
+RouteQuality ComputeRouteQuality(const RoadNetwork& net, const Path& path,
+                                 double optimal_cost,
+                                 std::span<const double> weights,
+                                 const QualityOptions& options = {});
+
+/// Result of a (sampled) local-optimality test in the sense of [2]: a path
+/// is T-locally optimal when every subpath of cost <= T is itself a shortest
+/// path between its endpoints.
+struct LocalOptimalityResult {
+  /// Subpath windows examined / passed.
+  int windows_tested = 0;
+  int windows_passed = 0;
+  bool AllPassed() const { return windows_tested == windows_passed; }
+  double PassFraction() const {
+    return windows_tested == 0
+               ? 1.0
+               : static_cast<double>(windows_passed) / windows_tested;
+  }
+};
+
+/// Tests T-local optimality with T = `alpha` * optimal_cost by sliding a
+/// window over the path and verifying each maximal subpath of cost <= T
+/// against a fresh shortest-path query. `stride` > 1 skips windows to bound
+/// cost on long paths. Exact when stride == 1.
+LocalOptimalityResult TestLocalOptimality(const RoadNetwork& net,
+                                          const Path& path, double alpha,
+                                          double optimal_cost,
+                                          std::span<const double> weights,
+                                          Dijkstra* dijkstra, int stride = 1);
+
+/// Aggregate statistics of a *set* of alternatives (what the user sees).
+struct RouteSetQuality {
+  int num_routes = 0;
+  double max_stretch = 1.0;
+  double mean_stretch = 1.0;
+  /// Highest pairwise similarity (kOverlapOverShorter) within the set.
+  double max_pairwise_similarity = 0.0;
+  double mean_turns_per_km = 0.0;
+  double mean_detours = 0.0;
+  double mean_lanes = 1.0;
+};
+
+/// Computes set-level quality from per-route features + pairwise overlap.
+RouteSetQuality ComputeRouteSetQuality(const RoadNetwork& net,
+                                       std::span<const Path> routes,
+                                       double optimal_cost,
+                                       std::span<const double> weights,
+                                       const QualityOptions& options = {});
+
+}  // namespace altroute

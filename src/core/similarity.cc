@@ -1,0 +1,68 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace altroute {
+
+namespace {
+
+/// Canonical key treating an edge and its reverse twin as the same street.
+uint64_t StreetKey(const RoadNetwork& net, EdgeId e) {
+  NodeId a = net.tail(e);
+  NodeId b = net.head(e);
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+double SharedLengthMeters(const RoadNetwork& net, const Path& a, const Path& b) {
+  const Path& small = a.edges.size() <= b.edges.size() ? a : b;
+  const Path& large = a.edges.size() <= b.edges.size() ? b : a;
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(small.edges.size() * 2);
+  for (EdgeId e : small.edges) keys.insert(StreetKey(net, e));
+  double shared = 0.0;
+  // Dedup against double-counting if `large` traverses the same street twice.
+  for (EdgeId e : large.edges) {
+    auto it = keys.find(StreetKey(net, e));
+    if (it != keys.end()) {
+      shared += net.length_m(e);
+      keys.erase(it);
+    }
+  }
+  return shared;
+}
+
+double Similarity(const RoadNetwork& net, const Path& a, const Path& b,
+                  SimilarityMeasure measure) {
+  if (a.empty() || b.empty()) return (a.empty() && b.empty()) ? 1.0 : 0.0;
+  const double shared = SharedLengthMeters(net, a, b);
+  double denom = 1.0;
+  switch (measure) {
+    case SimilarityMeasure::kOverlapOverShorter:
+      denom = std::min(a.length_m, b.length_m);
+      break;
+    case SimilarityMeasure::kJaccardByLength:
+      denom = a.length_m + b.length_m - shared;
+      break;
+    case SimilarityMeasure::kOverlapOverCandidate:
+      denom = a.length_m;
+      break;
+  }
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(shared / denom, 0.0, 1.0);
+}
+
+double DissimilarityToSet(const RoadNetwork& net, const Path& candidate,
+                          std::span<const Path> accepted,
+                          SimilarityMeasure measure) {
+  double dis = 1.0;
+  for (const Path& q : accepted) {
+    dis = std::min(dis, 1.0 - Similarity(net, candidate, q, measure));
+  }
+  return dis;
+}
+
+}  // namespace altroute

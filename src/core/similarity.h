@@ -1,0 +1,42 @@
+// Path similarity / dissimilarity measures (paper Sec. 2.3). Overlap is
+// measured by shared edge *length* in meters, following the KSPwLO line of
+// work [9, 10]: two routes that share a long arterial stretch are similar
+// even if their edge counts differ.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/path.h"
+
+namespace altroute {
+
+/// Which normalisation the similarity ratio uses.
+enum class SimilarityMeasure {
+  /// shared_length / length(shorter path) — conservative: a short path fully
+  /// contained in a long one counts as identical.
+  kOverlapOverShorter,
+  /// shared_length / length(union) — Jaccard by length.
+  kJaccardByLength,
+  /// shared_length / length(candidate) — the KSPwLO OVL(p, p') ratio used by
+  /// the threshold test "add p iff OVL(p, p') <= theta for all accepted p'".
+  kOverlapOverCandidate,
+};
+
+/// Sum of lengths (meters) of edges present in both paths. An edge and its
+/// reverse twin count as shared road surface (the same physical street).
+double SharedLengthMeters(const RoadNetwork& net, const Path& a, const Path& b);
+
+/// Similarity in [0, 1] under the chosen measure; 1 means identical.
+/// For kOverlapOverCandidate, `a` is the candidate being tested.
+double Similarity(const RoadNetwork& net, const Path& a, const Path& b,
+                  SimilarityMeasure measure = SimilarityMeasure::kOverlapOverCandidate);
+
+/// Dissimilarity dis(p, P) = min over q in P of (1 - Similarity(p, q)).
+/// Empty set yields 1.0 (a lone path is maximally dissimilar).
+double DissimilarityToSet(const RoadNetwork& net, const Path& candidate,
+                          std::span<const Path> accepted,
+                          SimilarityMeasure measure =
+                              SimilarityMeasure::kOverlapOverCandidate);
+
+}  // namespace altroute

@@ -1,0 +1,80 @@
+#include "core/skyline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace altroute {
+
+SkylineGenerator::SkylineGenerator(std::shared_ptr<const RoadNetwork> net,
+                                   std::vector<double> weights,
+                                   const AlternativeOptions& options)
+    : net_(std::move(net)),
+      weights_(std::move(weights)),
+      lengths_(net_->lengths().begin(), net_->lengths().end()),
+      options_(options),
+      search_(*net_) {
+  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+      << "weight vector size mismatch";
+  // Zero-length edges would make the secondary criterion non-positive for
+  // the label-setting search; clamp to a centimeter.
+  for (double& len : lengths_) len = std::max(len, 0.01);
+}
+
+Result<AlternativeSet> SkylineGenerator::Generate(NodeId source,
+                                                  NodeId target) {
+  BiCriteriaOptions search_options;
+  search_options.cost1_bound_factor = options_.stretch_bound;
+  ALTROUTE_ASSIGN_OR_RETURN(
+      std::vector<ParetoPath> front,
+      search_.ParetoPaths(source, target, weights_, lengths_, search_options));
+
+  AlternativeSet out;
+  // front is ordered by ascending cost1 = travel time; front[0] is fastest.
+  out.optimal_cost = front.front().cost1;
+  const double cost_limit = options_.stretch_bound * out.optimal_cost;
+
+  std::vector<Path> candidates;
+  for (ParetoPath& pp : front) {
+    if (pp.cost1 > cost_limit + 1e-9) break;
+    auto path_or =
+        MakePath(*net_, source, target, std::move(pp.edges), weights_);
+    if (!path_or.ok()) continue;
+    if (!IsLoopless(*net_, *path_or)) continue;
+    candidates.push_back(std::move(path_or).ValueOrDie());
+  }
+  if (candidates.empty()) return Status::NotFound("no route found");
+
+  // Greedy diverse subset: always keep the fastest, then repeatedly add the
+  // candidate most dissimilar to the kept set (skyline fronts contain many
+  // near-identical tradeoff points; raw truncation would return duplicates).
+  out.routes.push_back(candidates.front());
+  std::vector<bool> used(candidates.size(), false);
+  used[0] = true;
+  while (static_cast<int>(out.routes.size()) < options_.max_routes) {
+    double best_dis = -1.0;
+    size_t best_idx = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const double dis = DissimilarityToSet(*net_, candidates[i], out.routes);
+      if (dis > best_dis) {
+        best_dis = dis;
+        best_idx = i;
+      }
+    }
+    if (best_dis < 0.0) break;  // exhausted
+    used[best_idx] = true;
+    // Avoid returning exact duplicates (fully dominated tradeoffs differ in
+    // cost but may reuse the same street sequence after loop removal).
+    if (best_dis == 0.0 &&
+        std::any_of(out.routes.begin(), out.routes.end(), [&](const Path& p) {
+          return SameEdges(p, candidates[best_idx]);
+        })) {
+      continue;
+    }
+    out.routes.push_back(candidates[best_idx]);
+  }
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,40 @@
+// SkylineGenerator: alternative routes from the Pareto front over
+// (travel time, distance) — the "Pareto optimal paths [5, 6]" family the
+// paper lists among other alternative-route techniques (Sec. 2.4). Not part
+// of the four-approach user study; provided as an extension engine so the
+// technique can be compared on the same harness.
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "core/similarity.h"
+#include "routing/pareto.h"
+
+namespace altroute {
+
+class SkylineGenerator final : public AlternativeRouteGenerator {
+ public:
+  /// `weights` is the primary criterion (travel time); the edge lengths of
+  /// `net` are the secondary criterion.
+  SkylineGenerator(std::shared_ptr<const RoadNetwork> net,
+                   std::vector<double> weights,
+                   const AlternativeOptions& options = {});
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override { return weights_; }
+
+  /// Reports the fastest path plus up to k-1 Pareto-optimal alternatives
+  /// within the stretch bound, greedily selected for pairwise diversity.
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+ private:
+  std::string name_ = "skyline";
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> weights_;
+  std::vector<double> lengths_;
+  AlternativeOptions options_;
+  BiCriteriaSearch search_;
+};
+
+}  // namespace altroute

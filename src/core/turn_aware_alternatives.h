@@ -1,0 +1,70 @@
+// Turn-aware alternative routes: runs any of the paper's generators on an
+// explicit edge-expanded road network, so the alternatives respect turn
+// costs and turn restrictions (paper Sec. 4.2: participants' complaints
+// about "zig-zag" routes and apparent detours largely stem from node-based
+// routing ignoring maneuver costs).
+//
+// Expansion layout (a standard line-graph construction):
+//   * one "departure gateway" node per original node (arcs only leave it),
+//   * one "arrival gateway" node per original node (arcs only enter it),
+//   * one state node per original directed edge,
+//   * arcs: gateway_out(v) -> state(e) for e leaving v (cost of e),
+//           state(e) -> state(e') for each permitted maneuver
+//           (cost of e' + turn penalty), and
+//           state(e) -> gateway_in(head(e)) (negligible epsilon cost).
+// Keeping the two gateways separate prevents through-traffic from skipping
+// turn penalties at intermediate nodes.
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "routing/turn_aware.h"
+
+namespace altroute {
+
+/// The expanded network plus the mappings needed to translate results back.
+struct TurnExpandedNetwork {
+  std::shared_ptr<RoadNetwork> expanded;
+  /// Original node -> its gateway nodes in the expansion.
+  std::vector<NodeId> out_gateway;  // departures start here
+  std::vector<NodeId> in_gateway;   // arrivals end here
+  /// Expanded edge id -> original edge traversed (kInvalidEdge for the
+  /// virtual arrival arcs).
+  std::vector<EdgeId> original_edge;
+
+  /// Builds the expansion. Restriction validation mirrors TurnAwareRouter.
+  static Result<TurnExpandedNetwork> Build(
+      const RoadNetwork& net, const TurnCostModel& model = {},
+      std::span<const TurnRestriction> restrictions = {});
+};
+
+/// Which of the study generators to run on the expansion.
+enum class TurnAwareBase { kPlateaus, kDissimilarity, kPenalty };
+
+/// An AlternativeRouteGenerator over the ORIGINAL network's node ids whose
+/// routes respect turn costs/restrictions. Route costs include maneuver
+/// penalties; lengths/travel times aggregate the original edges.
+class TurnAwareAlternatives final : public AlternativeRouteGenerator {
+ public:
+  static Result<std::unique_ptr<TurnAwareAlternatives>> Create(
+      std::shared_ptr<const RoadNetwork> net, TurnAwareBase base,
+      const TurnCostModel& model = {},
+      std::span<const TurnRestriction> restrictions = {},
+      const AlternativeOptions& options = {});
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override;
+
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+ private:
+  TurnAwareAlternatives() = default;
+
+  std::string name_;
+  std::shared_ptr<const RoadNetwork> net_;
+  TurnExpandedNetwork expansion_;
+  std::unique_ptr<AlternativeRouteGenerator> inner_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,35 @@
+// YenOverlapGenerator: k-shortest-paths-with-limited-overlap in the style of
+// KSPwLO [8] (paper Sec. 2.4): enumerate loopless paths in increasing cost
+// with Yen's algorithm and keep those whose overlap with every already
+// accepted path stays below a threshold. Not part of the four-approach user
+// study; provided as an extension engine.
+#pragma once
+
+#include <memory>
+
+#include "core/alternative_generator.h"
+#include "core/similarity.h"
+#include "routing/yen.h"
+
+namespace altroute {
+
+class YenOverlapGenerator final : public AlternativeRouteGenerator {
+ public:
+  YenOverlapGenerator(std::shared_ptr<const RoadNetwork> net,
+                      std::vector<double> weights,
+                      const AlternativeOptions& options = {});
+
+  const std::string& name() const override { return name_; }
+  const std::vector<double>& weights() const override { return weights_; }
+
+  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+
+ private:
+  std::string name_ = "yen-overlap";
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<double> weights_;
+  AlternativeOptions options_;
+  YenKShortestPaths yen_;
+};
+
+}  // namespace altroute

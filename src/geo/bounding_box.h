@@ -1,0 +1,55 @@
+// Axis-aligned geographic bounding box, used by the road-network constructor
+// to clip OSM extracts to the study area (paper Sec. 3).
+#pragma once
+
+#include <algorithm>
+
+#include "geo/latlng.h"
+
+namespace altroute {
+
+/// Rectangle in lat/lng space. Does not handle antimeridian wrap (the three
+/// study cities are nowhere near it).
+struct BoundingBox {
+  double min_lat = 90.0;
+  double min_lng = 180.0;
+  double max_lat = -90.0;
+  double max_lng = -180.0;
+
+  BoundingBox() = default;
+  BoundingBox(double min_lat_deg, double min_lng_deg, double max_lat_deg,
+              double max_lng_deg)
+      : min_lat(min_lat_deg),
+        min_lng(min_lng_deg),
+        max_lat(max_lat_deg),
+        max_lng(max_lng_deg) {}
+
+  /// An empty (inverted) box that Extend() can grow from.
+  static BoundingBox Empty() { return BoundingBox(); }
+
+  bool IsEmpty() const { return min_lat > max_lat || min_lng > max_lng; }
+
+  bool Contains(const LatLng& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lng >= min_lng &&
+           p.lng <= max_lng;
+  }
+
+  /// Grows the box to include `p`.
+  void Extend(const LatLng& p) {
+    min_lat = std::min(min_lat, p.lat);
+    max_lat = std::max(max_lat, p.lat);
+    min_lng = std::min(min_lng, p.lng);
+    max_lng = std::max(max_lng, p.lng);
+  }
+
+  LatLng Center() const {
+    return LatLng((min_lat + max_lat) / 2.0, (min_lng + max_lng) / 2.0);
+  }
+
+  bool Intersects(const BoundingBox& o) const {
+    return !(o.min_lat > max_lat || o.max_lat < min_lat || o.min_lng > max_lng ||
+             o.max_lng < min_lng);
+  }
+};
+
+}  // namespace altroute

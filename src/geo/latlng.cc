@@ -1,0 +1,62 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+
+namespace altroute {
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = DegToRad(a.lat);
+  const double lat2 = DegToRad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlng = DegToRad(b.lng - a.lng);
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlng = std::sin(dlng / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlng * sin_dlng;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double EquirectangularMeters(const LatLng& a, const LatLng& b) {
+  const double mean_lat = DegToRad((a.lat + b.lat) / 2.0);
+  const double x = DegToRad(b.lng - a.lng) * std::cos(mean_lat);
+  const double y = DegToRad(b.lat - a.lat);
+  return std::sqrt(x * x + y * y) * kEarthRadiusMeters;
+}
+
+double InitialBearingDegrees(const LatLng& a, const LatLng& b) {
+  const double lat1 = DegToRad(a.lat);
+  const double lat2 = DegToRad(b.lat);
+  const double dlng = DegToRad(b.lng - a.lng);
+  const double y = std::sin(dlng) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlng);
+  double deg = RadToDeg(std::atan2(y, x));
+  if (deg < 0.0) deg += 360.0;
+  return deg;
+}
+
+double TurnAngleDegrees(const LatLng& a, const LatLng& b, const LatLng& c) {
+  const double in = InitialBearingDegrees(a, b);
+  const double out = InitialBearingDegrees(b, c);
+  double diff = std::fabs(out - in);
+  if (diff > 180.0) diff = 360.0 - diff;
+  return diff;
+}
+
+LatLng Offset(const LatLng& origin, double bearing_deg, double distance_m) {
+  const double ang = distance_m / kEarthRadiusMeters;
+  const double brg = DegToRad(bearing_deg);
+  const double lat1 = DegToRad(origin.lat);
+  const double lng1 = DegToRad(origin.lng);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lng2 =
+      lng1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  double lng_deg = RadToDeg(lng2);
+  while (lng_deg > 180.0) lng_deg -= 360.0;
+  while (lng_deg < -180.0) lng_deg += 360.0;
+  return LatLng(RadToDeg(lat2), lng_deg);
+}
+
+}  // namespace altroute

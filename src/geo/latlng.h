@@ -1,0 +1,56 @@
+// Geographic coordinate primitives: LatLng, great-circle distance, bearings.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace altroute {
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+inline double DegToRad(double deg) { return deg * kPi / 180.0; }
+inline double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+/// A WGS84 coordinate in degrees. Plain value type.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  constexpr LatLng() = default;
+  constexpr LatLng(double lat_deg, double lng_deg) : lat(lat_deg), lng(lng_deg) {}
+
+  bool operator==(const LatLng& o) const { return lat == o.lat && lng == o.lng; }
+  bool operator!=(const LatLng& o) const { return !(*this == o); }
+
+  /// True when latitude is in [-90, 90] and longitude in [-180, 180].
+  bool IsValid() const {
+    return lat >= -90.0 && lat <= 90.0 && lng >= -180.0 && lng <= 180.0;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const LatLng& p) {
+  return os << "(" << p.lat << ", " << p.lng << ")";
+}
+
+/// Great-circle distance in meters (haversine formula).
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Fast equirectangular approximation of distance in meters. Accurate to well
+/// under 1% at city scale; used in inner loops (A* heuristic, snapping).
+double EquirectangularMeters(const LatLng& a, const LatLng& b);
+
+/// Initial bearing from `a` to `b` in degrees [0, 360).
+double InitialBearingDegrees(const LatLng& a, const LatLng& b);
+
+/// Absolute turn angle in degrees [0, 180] when traveling a->b->c.
+/// 0 means straight through; 180 means full U-turn.
+double TurnAngleDegrees(const LatLng& a, const LatLng& b, const LatLng& c);
+
+/// Destination point starting at `origin`, moving `distance_m` meters along
+/// `bearing_deg` (great-circle).
+LatLng Offset(const LatLng& origin, double bearing_deg, double distance_m);
+
+}  // namespace altroute

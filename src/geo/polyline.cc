@@ -1,0 +1,76 @@
+#include "geo/polyline.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace altroute {
+
+namespace {
+
+void EncodeValue(int32_t value, std::string* out) {
+  // Zigzag: left-shift and invert negatives so sign lives in the low bit.
+  uint32_t v = static_cast<uint32_t>(value) << 1;
+  if (value < 0) v = ~v;
+  while (v >= 0x20) {
+    out->push_back(static_cast<char>((0x20 | (v & 0x1F)) + 63));
+    v >>= 5;
+  }
+  out->push_back(static_cast<char>(v + 63));
+}
+
+int32_t RoundE5(double deg) {
+  return static_cast<int32_t>(std::lround(deg * 1e5));
+}
+
+}  // namespace
+
+std::string EncodePolyline(const std::vector<LatLng>& points) {
+  std::string out;
+  int32_t prev_lat = 0;
+  int32_t prev_lng = 0;
+  for (const LatLng& p : points) {
+    const int32_t lat = RoundE5(p.lat);
+    const int32_t lng = RoundE5(p.lng);
+    EncodeValue(lat - prev_lat, &out);
+    EncodeValue(lng - prev_lng, &out);
+    prev_lat = lat;
+    prev_lng = lng;
+  }
+  return out;
+}
+
+Result<std::vector<LatLng>> DecodePolyline(const std::string& encoded) {
+  std::vector<LatLng> points;
+  size_t i = 0;
+  int32_t lat = 0;
+  int32_t lng = 0;
+  while (i < encoded.size()) {
+    int32_t deltas[2];
+    for (int32_t& delta : deltas) {
+      uint32_t result = 0;
+      int shift = 0;
+      for (;;) {
+        if (i >= encoded.size()) {
+          return Status::InvalidArgument("truncated polyline");
+        }
+        int c = encoded[i++] - 63;
+        if (c < 0 || c > 63) {
+          return Status::InvalidArgument("invalid polyline character");
+        }
+        result |= static_cast<uint32_t>(c & 0x1F) << shift;
+        shift += 5;
+        if (c < 0x20) break;
+        if (shift > 30) return Status::InvalidArgument("polyline varint overflow");
+      }
+      // Undo zigzag.
+      delta = (result & 1) ? ~static_cast<int32_t>(result >> 1)
+                           : static_cast<int32_t>(result >> 1);
+    }
+    lat += deltas[0];
+    lng += deltas[1];
+    points.emplace_back(lat * 1e-5, lng * 1e-5);
+  }
+  return points;
+}
+
+}  // namespace altroute

@@ -1,0 +1,21 @@
+// Google "Encoded Polyline Algorithm Format" codec. The paper's demo passes
+// routes to the Google Maps JS API; encoded polylines are the wire format the
+// web demo uses to ship geometry to the browser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// Encodes a sequence of coordinates with 1e-5 precision.
+std::string EncodePolyline(const std::vector<LatLng>& points);
+
+/// Decodes an encoded polyline. Returns InvalidArgument on malformed input
+/// (truncated varint or chunk values out of range).
+Result<std::vector<LatLng>> DecodePolyline(const std::string& encoded);
+
+}  // namespace altroute

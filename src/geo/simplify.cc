@@ -1,0 +1,69 @@
+#include "geo/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace altroute {
+
+double CrossTrackDistanceMeters(const LatLng& p, const LatLng& a,
+                                const LatLng& b) {
+  // Project into a local planar frame centered at `a`.
+  const double m_per_deg_lat = kEarthRadiusMeters * kPi / 180.0;
+  const double m_per_deg_lng =
+      m_per_deg_lat * std::max(0.01, std::cos(DegToRad(a.lat)));
+  const double px = (p.lng - a.lng) * m_per_deg_lng;
+  const double py = (p.lat - a.lat) * m_per_deg_lat;
+  const double bx = (b.lng - a.lng) * m_per_deg_lng;
+  const double by = (b.lat - a.lat) * m_per_deg_lat;
+  const double seg_len2 = bx * bx + by * by;
+  if (seg_len2 <= 1e-12) {
+    return std::sqrt(px * px + py * py);  // degenerate segment: point dist
+  }
+  // Clamp the projection onto the segment.
+  double t = (px * bx + py * by) / seg_len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = px - t * bx;
+  const double dy = py - t * by;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<LatLng> SimplifyPolyline(const std::vector<LatLng>& points,
+                                     double tolerance_m) {
+  if (tolerance_m <= 0.0 || points.size() < 3) return points;
+
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = keep.back() = true;
+
+  // Iterative RDP (explicit stack; recursion depth can hit path length).
+  std::vector<std::pair<size_t, size_t>> stack = {{0, points.size() - 1}};
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi <= lo + 1) continue;
+    double worst = -1.0;
+    size_t worst_idx = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double d = CrossTrackDistanceMeters(points[i], points[lo],
+                                                points[hi]);
+      if (d > worst) {
+        worst = d;
+        worst_idx = i;
+      }
+    }
+    if (worst > tolerance_m) {
+      keep[worst_idx] = true;
+      stack.emplace_back(lo, worst_idx);
+      stack.emplace_back(worst_idx, hi);
+    }
+  }
+
+  std::vector<LatLng> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+}  // namespace altroute

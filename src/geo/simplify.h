@@ -1,0 +1,26 @@
+// Polyline simplification (Ramer-Douglas-Peucker). The web demo ships route
+// geometry to the browser; at city scale a raw path can carry hundreds of
+// nearly collinear points, and RDP with a few-meter tolerance cuts the
+// payload severalfold without visible change.
+#pragma once
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace altroute {
+
+/// Perpendicular (cross-track) distance in meters from `p` to the segment
+/// a-b, using the local equirectangular approximation (exact enough for
+/// city-scale simplification).
+double CrossTrackDistanceMeters(const LatLng& p, const LatLng& a,
+                                const LatLng& b);
+
+/// Ramer-Douglas-Peucker: returns the subsequence of `points` (always
+/// keeping the endpoints) such that every removed point lies within
+/// `tolerance_m` meters of the simplified chain. tolerance_m <= 0 or fewer
+/// than 3 points returns the input unchanged.
+std::vector<LatLng> SimplifyPolyline(const std::vector<LatLng>& points,
+                                     double tolerance_m);
+
+}  // namespace altroute

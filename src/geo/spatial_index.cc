@@ -1,0 +1,129 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace altroute {
+
+SpatialIndex::SpatialIndex(std::vector<LatLng> points,
+                           double target_points_per_cell)
+    : points_(std::move(points)) {
+  for (const LatLng& p : points_) bounds_.Extend(p);
+  if (points_.empty()) {
+    bounds_ = BoundingBox(0, 0, 0, 0);
+  }
+  const double n = static_cast<double>(std::max<size_t>(points_.size(), 1));
+  const int cells = std::max(1, static_cast<int>(n / std::max(1.0, target_points_per_cell)));
+  const int side = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(cells))));
+  rows_ = side;
+  cols_ = side;
+  const double lat_span = std::max(1e-9, bounds_.max_lat - bounds_.min_lat);
+  const double lng_span = std::max(1e-9, bounds_.max_lng - bounds_.min_lng);
+  cell_lat_ = lat_span / rows_;
+  cell_lng_ = lng_span / cols_;
+
+  // Counting sort of points into cells (CSR layout).
+  const size_t num_cells = static_cast<size_t>(rows_) * cols_;
+  std::vector<uint32_t> counts(num_cells + 1, 0);
+  std::vector<uint32_t> cell_of(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const size_t c = CellIndex(CellRow(points_[i].lat), CellCol(points_[i].lng));
+    cell_of[i] = static_cast<uint32_t>(c);
+    ++counts[c + 1];
+  }
+  for (size_t c = 1; c <= num_cells; ++c) counts[c] += counts[c - 1];
+  cell_start_ = counts;
+  cell_points_.resize(points_.size());
+  std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    cell_points_[cursor[cell_of[i]]++] = static_cast<uint32_t>(i);
+  }
+}
+
+int SpatialIndex::CellRow(double lat) const {
+  int r = static_cast<int>((lat - bounds_.min_lat) / cell_lat_);
+  return std::clamp(r, 0, rows_ - 1);
+}
+
+int SpatialIndex::CellCol(double lng) const {
+  int c = static_cast<int>((lng - bounds_.min_lng) / cell_lng_);
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+Result<uint32_t> SpatialIndex::Nearest(const LatLng& query) const {
+  if (points_.empty()) return Status::NotFound("spatial index is empty");
+
+  const int qr = CellRow(query.lat);
+  const int qc = CellCol(query.lng);
+  double best_dist = std::numeric_limits<double>::infinity();
+  uint32_t best_id = 0;
+
+  // Meters per degree at the query latitude, for the ring-stopping bound.
+  const double m_per_deg_lat = kEarthRadiusMeters * kPi / 180.0;
+  const double m_per_deg_lng =
+      m_per_deg_lat * std::max(0.01, std::cos(DegToRad(query.lat)));
+  const double cell_m =
+      std::min(cell_lat_ * m_per_deg_lat, cell_lng_ * m_per_deg_lng);
+
+  const int max_ring = std::max(rows_, cols_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate is found, scanning one extra ring guarantees
+    // correctness: any point in a farther ring is at least ring*cell_m away.
+    if (best_dist < std::numeric_limits<double>::infinity() &&
+        static_cast<double>(ring - 1) * cell_m > best_dist) {
+      break;
+    }
+    bool any_cell = false;
+    for (int dr = -ring; dr <= ring; ++dr) {
+      const int r = qr + dr;
+      if (r < 0 || r >= rows_) continue;
+      const bool edge_row = (dr == -ring || dr == ring);
+      const int step = edge_row ? 1 : 2 * ring;
+      for (int dc = -ring; dc <= ring; dc += (step == 0 ? 1 : step)) {
+        const int c = qc + dc;
+        if (c < 0 || c >= cols_) continue;
+        any_cell = true;
+        const size_t cell = CellIndex(r, c);
+        for (uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1]; ++k) {
+          const uint32_t id = cell_points_[k];
+          const double d = EquirectangularMeters(query, points_[id]);
+          if (d < best_dist) {
+            best_dist = d;
+            best_id = id;
+          }
+        }
+        if (step == 0) break;  // ring == 0: single cell
+      }
+    }
+    if (!any_cell && best_dist < std::numeric_limits<double>::infinity()) break;
+  }
+  return best_id;
+}
+
+std::vector<uint32_t> SpatialIndex::WithinRadius(const LatLng& query,
+                                                 double radius_m) const {
+  std::vector<uint32_t> out;
+  if (points_.empty() || radius_m < 0.0) return out;
+  const double m_per_deg_lat = kEarthRadiusMeters * kPi / 180.0;
+  const double m_per_deg_lng =
+      m_per_deg_lat * std::max(0.01, std::cos(DegToRad(query.lat)));
+  const double dlat = radius_m / m_per_deg_lat;
+  const double dlng = radius_m / m_per_deg_lng;
+  const int r0 = CellRow(query.lat - dlat);
+  const int r1 = CellRow(query.lat + dlat);
+  const int c0 = CellCol(query.lng - dlng);
+  const int c1 = CellCol(query.lng + dlng);
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      const size_t cell = CellIndex(r, c);
+      for (uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1]; ++k) {
+        const uint32_t id = cell_points_[k];
+        if (HaversineMeters(query, points_[id]) <= radius_m) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace altroute

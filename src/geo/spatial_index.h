@@ -1,0 +1,55 @@
+// Uniform-grid spatial index over points, used by the query processor for
+// geo-coordinate matching (paper Sec. 3: snap user clicks to the closest
+// road-network vertex).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/latlng.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// Grid index mapping cells to point ids. Nearest-neighbour queries expand
+/// rings of cells outward until the best candidate provably beats any point
+/// in unexplored cells.
+class SpatialIndex {
+ public:
+  /// Builds an index over `points`; ids are indices into the input vector.
+  /// `target_points_per_cell` tunes the grid resolution.
+  explicit SpatialIndex(std::vector<LatLng> points,
+                        double target_points_per_cell = 4.0);
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+  /// Id of the nearest point to `query`, or NotFound when the index is empty.
+  Result<uint32_t> Nearest(const LatLng& query) const;
+
+  /// Ids of all points within `radius_m` meters of `query` (unsorted).
+  std::vector<uint32_t> WithinRadius(const LatLng& query, double radius_m) const;
+
+  /// The indexed coordinates (id -> position).
+  const std::vector<LatLng>& points() const { return points_; }
+
+ private:
+  int CellRow(double lat) const;
+  int CellCol(double lng) const;
+  size_t CellIndex(int row, int col) const {
+    return static_cast<size_t>(row) * cols_ + static_cast<size_t>(col);
+  }
+
+  std::vector<LatLng> points_;
+  BoundingBox bounds_;
+  int rows_ = 1;
+  int cols_ = 1;
+  double cell_lat_ = 1.0;  // cell height in degrees
+  double cell_lng_ = 1.0;  // cell width in degrees
+  // CSR-style cell buckets.
+  std::vector<uint32_t> cell_start_;
+  std::vector<uint32_t> cell_points_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,151 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace altroute {
+
+std::vector<uint32_t> ComponentDecomposition::Sizes() const {
+  std::vector<uint32_t> sizes(count, 0);
+  for (uint32_t c : component_of) ++sizes[c];
+  return sizes;
+}
+
+uint32_t ComponentDecomposition::LargestComponent() const {
+  const auto sizes = Sizes();
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < count; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  return best;
+}
+
+ComponentDecomposition WeaklyConnectedComponents(const RoadNetwork& net) {
+  const size_t n = net.num_nodes();
+  ComponentDecomposition out;
+  out.component_of.assign(n, static_cast<uint32_t>(-1));
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.component_of[start] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t comp = out.count++;
+    out.component_of[start] = comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (EdgeId e : net.OutEdges(u)) {
+        const NodeId v = net.head(e);
+        if (out.component_of[v] == static_cast<uint32_t>(-1)) {
+          out.component_of[v] = comp;
+          stack.push_back(v);
+        }
+      }
+      for (EdgeId e : net.InEdges(u)) {
+        const NodeId v = net.tail(e);
+        if (out.component_of[v] == static_cast<uint32_t>(-1)) {
+          out.component_of[v] = comp;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ComponentDecomposition StronglyConnectedComponents(const RoadNetwork& net) {
+  // Iterative Tarjan to avoid recursion depth limits on long road chains.
+  const size_t n = net.num_nodes();
+  ComponentDecomposition out;
+  out.component_of.assign(n, static_cast<uint32_t>(-1));
+
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    size_t edge_pos;  // position within OutEdges(node)
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId u = frame.node;
+      const auto edges = net.OutEdges(u);
+      bool descended = false;
+      while (frame.edge_pos < edges.size()) {
+        const NodeId v = net.head(edges[frame.edge_pos]);
+        ++frame.edge_pos;
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[v] = true;
+          call_stack.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) lowlink[u] = std::min(lowlink[u], index[v]);
+      }
+      if (descended) continue;
+
+      // u finished: pop SCC if u is a root, then propagate lowlink upward.
+      if (lowlink[u] == index[u]) {
+        const uint32_t comp = out.count++;
+        for (;;) {
+          const NodeId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          out.component_of[w] = comp;
+          if (w == u) break;
+        }
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const NodeId parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<SccExtraction> ExtractLargestScc(const RoadNetwork& net) {
+  if (net.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot extract SCC of empty network");
+  }
+  const auto scc = StronglyConnectedComponents(net);
+  const uint32_t keep = scc.LargestComponent();
+
+  SccExtraction out;
+  out.old_to_new.assign(net.num_nodes(), kInvalidNode);
+  GraphBuilder builder(net.name());
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    if (scc.component_of[u] == keep) {
+      out.old_to_new[u] = builder.AddNode(net.coord(u));
+      out.new_to_old.push_back(u);
+    }
+  }
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    const NodeId t = out.old_to_new[net.tail(e)];
+    const NodeId h = out.old_to_new[net.head(e)];
+    if (t != kInvalidNode && h != kInvalidNode) {
+      builder.AddEdge(t, h, net.length_m(e), net.travel_time_s(e),
+                      net.road_class(e));
+    }
+  }
+  ALTROUTE_ASSIGN_OR_RETURN(out.network, builder.Build());
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,42 @@
+// Connectivity analysis. Road-network constructors keep only the largest
+// strongly connected component so every (s, t) query is feasible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// Result of a component decomposition: component_of[node] in [0, count).
+struct ComponentDecomposition {
+  std::vector<uint32_t> component_of;
+  uint32_t count = 0;
+
+  /// Sizes indexed by component id.
+  std::vector<uint32_t> Sizes() const;
+  /// Id of the largest component (ties broken by smaller id).
+  uint32_t LargestComponent() const;
+};
+
+/// Weakly connected components (direction-blind reachability).
+ComponentDecomposition WeaklyConnectedComponents(const RoadNetwork& net);
+
+/// Strongly connected components via iterative Tarjan.
+ComponentDecomposition StronglyConnectedComponents(const RoadNetwork& net);
+
+/// Subnetwork induced by the largest SCC plus the mapping from old node ids.
+struct SccExtraction {
+  std::shared_ptr<RoadNetwork> network;
+  /// old node id -> new node id, kInvalidNode for dropped nodes.
+  std::vector<NodeId> old_to_new;
+  /// new node id -> old node id.
+  std::vector<NodeId> new_to_old;
+};
+
+/// Extracts the largest strongly connected component as a fresh network.
+Result<SccExtraction> ExtractLargestScc(const RoadNetwork& net);
+
+}  // namespace altroute

@@ -1,0 +1,102 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace altroute {
+
+NodeId GraphBuilder::AddNode(const LatLng& coord) {
+  coords_.push_back(coord);
+  return static_cast<NodeId>(coords_.size() - 1);
+}
+
+void GraphBuilder::AddEdge(NodeId tail, NodeId head, double length_m,
+                           double travel_time_s, RoadClass road_class) {
+  edges_.push_back({tail, head, length_m, travel_time_s, road_class});
+}
+
+void GraphBuilder::AddBidirectionalEdge(NodeId a, NodeId b, double length_m,
+                                        double travel_time_s,
+                                        RoadClass road_class) {
+  AddEdge(a, b, length_m, travel_time_s, road_class);
+  AddEdge(b, a, length_m, travel_time_s, road_class);
+}
+
+Result<std::shared_ptr<RoadNetwork>> GraphBuilder::Build() {
+  const size_t n = coords_.size();
+  for (const PendingEdge& e : edges_) {
+    if (e.tail >= n || e.head >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (!(e.travel_time_s > 0.0) || !std::isfinite(e.travel_time_s)) {
+      return Status::InvalidArgument("edge travel time must be positive/finite");
+    }
+    if (e.length_m < 0.0 || !std::isfinite(e.length_m)) {
+      return Status::InvalidArgument("edge length must be non-negative/finite");
+    }
+  }
+
+  // Drop self-loops; they can never appear on a shortest or alternative path.
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const PendingEdge& e) { return e.tail == e.head; }),
+               edges_.end());
+
+  // Sort by (tail, head, travel_time) then collapse parallel edges keeping
+  // the fastest representative.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              if (a.tail != b.tail) return a.tail < b.tail;
+              if (a.head != b.head) return a.head < b.head;
+              return a.travel_time_s < b.travel_time_s;
+            });
+  std::vector<PendingEdge> dedup;
+  dedup.reserve(edges_.size());
+  for (const PendingEdge& e : edges_) {
+    if (!dedup.empty() && dedup.back().tail == e.tail &&
+        dedup.back().head == e.head) {
+      continue;  // keep the fastest (first after sort)
+    }
+    dedup.push_back(e);
+  }
+
+  auto net = std::shared_ptr<RoadNetwork>(new RoadNetwork());
+  net->name_ = name_;
+  net->coords_ = std::move(coords_);
+  for (const LatLng& c : net->coords_) net->bounds_.Extend(c);
+
+  const size_t m = dedup.size();
+  net->first_out_.assign(n + 1, 0);
+  net->tail_.resize(m);
+  net->head_.resize(m);
+  net->length_m_.resize(m);
+  net->travel_time_s_.resize(m);
+  net->road_class_.resize(m);
+  net->out_edge_ids_.resize(m);
+
+  for (size_t i = 0; i < m; ++i) {
+    const PendingEdge& e = dedup[i];
+    net->tail_[i] = e.tail;
+    net->head_[i] = e.head;
+    net->length_m_[i] = e.length_m;
+    net->travel_time_s_[i] = e.travel_time_s;
+    net->road_class_[i] = e.road_class;
+    net->out_edge_ids_[i] = static_cast<EdgeId>(i);
+    ++net->first_out_[e.tail + 1];
+  }
+  for (size_t v = 1; v <= n; ++v) net->first_out_[v] += net->first_out_[v - 1];
+
+  // Reverse CSR: bucket edges by head.
+  net->first_in_.assign(n + 1, 0);
+  for (size_t i = 0; i < m; ++i) ++net->first_in_[net->head_[i] + 1];
+  for (size_t v = 1; v <= n; ++v) net->first_in_[v] += net->first_in_[v - 1];
+  net->in_edge_ids_.resize(m);
+  std::vector<uint32_t> cursor(net->first_in_.begin(), net->first_in_.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    net->in_edge_ids_[cursor[net->head_[i]]++] = static_cast<EdgeId>(i);
+  }
+
+  edges_.clear();
+  return net;
+}
+
+}  // namespace altroute

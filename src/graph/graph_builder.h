@@ -1,0 +1,55 @@
+// GraphBuilder: mutable accumulation of nodes and directed edges, finalized
+// into an immutable CSR RoadNetwork.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "graph/road_network.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// Accumulates nodes/edges and produces a RoadNetwork. Not thread-safe.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string name = "") : name_(std::move(name)) {}
+
+  /// Adds a node and returns its dense id.
+  NodeId AddNode(const LatLng& coord);
+
+  /// Adds a directed edge. Travel time must be positive and finite; length
+  /// non-negative. Self-loops are rejected at Build() time.
+  void AddEdge(NodeId tail, NodeId head, double length_m, double travel_time_s,
+               RoadClass road_class = RoadClass::kUnclassified);
+
+  /// Convenience: adds edges in both directions with identical attributes.
+  void AddBidirectionalEdge(NodeId a, NodeId b, double length_m,
+                            double travel_time_s,
+                            RoadClass road_class = RoadClass::kUnclassified);
+
+  size_t num_nodes() const { return coords_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable network. Validates endpoints and weights,
+  /// drops self-loops, and collapses parallel edges keeping the one with the
+  /// smallest travel time. The builder is left empty afterwards.
+  Result<std::shared_ptr<RoadNetwork>> Build();
+
+ private:
+  struct PendingEdge {
+    NodeId tail;
+    NodeId head;
+    double length_m;
+    double travel_time_s;
+    RoadClass road_class;
+  };
+
+  std::string name_;
+  std::vector<LatLng> coords_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,98 @@
+#include "graph/road_class.h"
+
+namespace altroute {
+
+double DefaultSpeedKmh(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kMotorway:
+      return 100.0;
+    case RoadClass::kTrunk:
+      return 80.0;
+    case RoadClass::kPrimary:
+      return 60.0;
+    case RoadClass::kSecondary:
+      return 50.0;
+    case RoadClass::kTertiary:
+      return 50.0;
+    case RoadClass::kResidential:
+      return 40.0;
+    case RoadClass::kService:
+      return 20.0;
+    case RoadClass::kUnclassified:
+      return 40.0;
+  }
+  return 40.0;
+}
+
+bool IsFreeway(RoadClass road_class) {
+  return road_class == RoadClass::kMotorway || road_class == RoadClass::kTrunk;
+}
+
+RoadClass RoadClassFromHighwayTag(std::string_view value) {
+  // `_link` ramps inherit the class of the road they serve.
+  auto strip_link = [](std::string_view v) {
+    constexpr std::string_view kLink = "_link";
+    if (v.size() > kLink.size() &&
+        v.substr(v.size() - kLink.size()) == kLink) {
+      return v.substr(0, v.size() - kLink.size());
+    }
+    return v;
+  };
+  value = strip_link(value);
+  if (value == "motorway") return RoadClass::kMotorway;
+  if (value == "trunk") return RoadClass::kTrunk;
+  if (value == "primary") return RoadClass::kPrimary;
+  if (value == "secondary") return RoadClass::kSecondary;
+  if (value == "tertiary") return RoadClass::kTertiary;
+  if (value == "residential" || value == "living_street") {
+    return RoadClass::kResidential;
+  }
+  if (value == "service") return RoadClass::kService;
+  return RoadClass::kUnclassified;
+}
+
+std::string_view RoadClassName(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kMotorway:
+      return "motorway";
+    case RoadClass::kTrunk:
+      return "trunk";
+    case RoadClass::kPrimary:
+      return "primary";
+    case RoadClass::kSecondary:
+      return "secondary";
+    case RoadClass::kTertiary:
+      return "tertiary";
+    case RoadClass::kResidential:
+      return "residential";
+    case RoadClass::kService:
+      return "service";
+    case RoadClass::kUnclassified:
+      return "unclassified";
+  }
+  return "unclassified";
+}
+
+double TypicalLanes(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kMotorway:
+      return 3.0;
+    case RoadClass::kTrunk:
+      return 2.5;
+    case RoadClass::kPrimary:
+      return 2.0;
+    case RoadClass::kSecondary:
+      return 1.5;
+    case RoadClass::kTertiary:
+      return 1.0;
+    case RoadClass::kResidential:
+      return 1.0;
+    case RoadClass::kService:
+      return 0.5;
+    case RoadClass::kUnclassified:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace altroute

@@ -1,0 +1,43 @@
+// Road classification mirroring OSM `highway=` values, with the default
+// speed model the paper's road-network constructor uses.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace altroute {
+
+/// Functional class of a road segment, ordered from most to least important.
+enum class RoadClass : uint8_t {
+  kMotorway = 0,      // freeway / motorway (no 1.3 intersection factor)
+  kTrunk = 1,
+  kPrimary = 2,
+  kSecondary = 3,
+  kTertiary = 4,
+  kResidential = 5,
+  kService = 6,
+  kUnclassified = 7,
+};
+
+inline constexpr int kNumRoadClasses = 8;
+
+/// Default maximum speed (km/h) when OSM lacks a `maxspeed` tag. Values match
+/// common practice in OSM-based routing engines for urban extracts.
+double DefaultSpeedKmh(RoadClass road_class);
+
+/// True for roads exempt from the paper's 1.3 intersection slowdown factor
+/// (freeways/motorways, incl. trunk roads with grade-separated behaviour).
+bool IsFreeway(RoadClass road_class);
+
+/// Parses an OSM `highway=` tag value ("motorway", "primary_link", ...).
+/// Unknown values map to kUnclassified.
+RoadClass RoadClassFromHighwayTag(std::string_view value);
+
+/// Stable lowercase name ("motorway", "primary", ...).
+std::string_view RoadClassName(RoadClass road_class);
+
+/// Proxy for road width used by ranking criteria ("wider roads" comments in
+/// paper Sec. 4.2): number of effective lanes per direction.
+double TypicalLanes(RoadClass road_class);
+
+}  // namespace altroute

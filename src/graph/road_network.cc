@@ -1,0 +1,12 @@
+#include "graph/road_network.h"
+
+namespace altroute {
+
+EdgeId RoadNetwork::FindEdge(NodeId tail, NodeId head) const {
+  for (EdgeId e : OutEdges(tail)) {
+    if (head_[e] == head) return e;
+  }
+  return kInvalidEdge;
+}
+
+}  // namespace altroute

@@ -1,0 +1,96 @@
+// RoadNetwork: immutable directed road graph in CSR (compressed sparse row)
+// form with both forward and reverse adjacency, node coordinates, and
+// per-edge attributes. Built via GraphBuilder; all routing algorithms consume
+// this structure plus an explicit weight vector (so weight overlays — e.g.
+// the Penalty method or alternative traffic models — never mutate the graph).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/latlng.h"
+#include "graph/road_class.h"
+
+namespace altroute {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// Immutable directed road network. Nodes are dense ids [0, num_nodes);
+/// edges are dense ids [0, num_edges) sorted by tail node (CSR order).
+class RoadNetwork {
+ public:
+  /// Outgoing edge ids of `node`, contiguous by construction.
+  std::span<const EdgeId> OutEdges(NodeId node) const {
+    return {out_edge_ids_.data() + first_out_[node],
+            out_edge_ids_.data() + first_out_[node + 1]};
+  }
+
+  /// Incoming edge ids of `node` (ids refer to the same edge arrays).
+  std::span<const EdgeId> InEdges(NodeId node) const {
+    return {in_edge_ids_.data() + first_in_[node],
+            in_edge_ids_.data() + first_in_[node + 1]};
+  }
+
+  size_t num_nodes() const { return first_out_.size() - 1; }
+  size_t num_edges() const { return head_.size(); }
+
+  NodeId tail(EdgeId e) const { return tail_[e]; }
+  NodeId head(EdgeId e) const { return head_[e]; }
+  /// Segment length in meters.
+  double length_m(EdgeId e) const { return length_m_[e]; }
+  /// Free-flow travel time in seconds (the paper's OSM weight: length /
+  /// maxspeed, x1.3 on non-freeway segments).
+  double travel_time_s(EdgeId e) const { return travel_time_s_[e]; }
+  RoadClass road_class(EdgeId e) const { return road_class_[e]; }
+  const LatLng& coord(NodeId n) const { return coords_[n]; }
+  const std::vector<LatLng>& coords() const { return coords_; }
+
+  /// The default weight vector (travel_time_s for every edge). Algorithms
+  /// take weights explicitly so callers can substitute overlays.
+  std::span<const double> travel_times() const { return travel_time_s_; }
+  std::span<const double> lengths() const { return length_m_; }
+
+  /// Bounding box of all node coordinates.
+  const BoundingBox& bounds() const { return bounds_; }
+
+  /// Finds a directed edge from `tail` to `head`; kInvalidEdge if absent.
+  EdgeId FindEdge(NodeId tail, NodeId head) const;
+
+  /// Optional display name of the network ("Melbourne", ...).
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class GraphBuilder;
+  friend class NetworkSerializer;
+
+  RoadNetwork() = default;
+
+  std::string name_;
+  std::vector<LatLng> coords_;
+  BoundingBox bounds_;
+
+  // Forward CSR.
+  std::vector<uint32_t> first_out_;   // size num_nodes + 1
+  std::vector<EdgeId> out_edge_ids_;  // size num_edges (identity permutation)
+
+  // Reverse CSR.
+  std::vector<uint32_t> first_in_;  // size num_nodes + 1
+  std::vector<EdgeId> in_edge_ids_;
+
+  // Edge attribute columns (indexed by EdgeId).
+  std::vector<NodeId> tail_;
+  std::vector<NodeId> head_;
+  std::vector<double> length_m_;
+  std::vector<double> travel_time_s_;
+  std::vector<RoadClass> road_class_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,187 @@
+#include "graph/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace altroute {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'L', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t Digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void Raw(const void* data, size_t len) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+    hash_.Update(data, len);
+  }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+  uint64_t Digest() const { return hash_.Digest(); }
+  bool good() const { return out_.good(); }
+
+ private:
+  std::ostream& out_;
+  Fnv1a hash_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  bool Raw(void* data, size_t len) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    if (!in_.good() && !(in_.eof() && static_cast<size_t>(in_.gcount()) == len)) {
+      return false;
+    }
+    hash_.Update(data, len);
+    return true;
+  }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > (1u << 20)) return false;  // sanity bound on name length
+    s->resize(len);
+    return len == 0 || Raw(s->data(), len);
+  }
+  template <typename T>
+  bool Vec(std::vector<T>* v, uint64_t max_elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t len = 0;
+    if (!U64(&len)) return false;
+    if (len > max_elems) return false;
+    v->resize(len);
+    return len == 0 || Raw(v->data(), len * sizeof(T));
+  }
+  uint64_t Digest() const { return hash_.Digest(); }
+
+ private:
+  std::istream& in_;
+  Fnv1a hash_;
+};
+
+// Hard sanity limit: a continental network would be ~1e8; refuse beyond 2^31.
+constexpr uint64_t kMaxElems = 1ull << 31;
+
+}  // namespace
+
+Status NetworkSerializer::Save(const RoadNetwork& net, std::ostream& out) {
+  Writer w(out);
+  w.Raw(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.Str(net.name_);
+  w.Vec(net.coords_);
+  w.Vec(net.first_out_);
+  w.Vec(net.out_edge_ids_);
+  w.Vec(net.first_in_);
+  w.Vec(net.in_edge_ids_);
+  w.Vec(net.tail_);
+  w.Vec(net.head_);
+  w.Vec(net.length_m_);
+  w.Vec(net.travel_time_s_);
+  w.Vec(net.road_class_);
+  const uint64_t digest = w.Digest();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  if (!out.good()) return Status::IOError("failed to write network");
+  return Status::OK();
+}
+
+Result<std::shared_ptr<RoadNetwork>> NetworkSerializer::Load(std::istream& in) {
+  Reader r(in);
+  char magic[4];
+  if (!r.Raw(magic, sizeof(magic)) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  uint32_t version = 0;
+  if (!r.U32(&version)) return Status::Corruption("truncated header");
+  if (version != kVersion) {
+    return Status::Corruption("unsupported network format version " +
+                              std::to_string(version));
+  }
+  auto net = std::shared_ptr<RoadNetwork>(new RoadNetwork());
+  bool ok = r.Str(&net->name_) && r.Vec(&net->coords_, kMaxElems) &&
+            r.Vec(&net->first_out_, kMaxElems) &&
+            r.Vec(&net->out_edge_ids_, kMaxElems) &&
+            r.Vec(&net->first_in_, kMaxElems) &&
+            r.Vec(&net->in_edge_ids_, kMaxElems) &&
+            r.Vec(&net->tail_, kMaxElems) && r.Vec(&net->head_, kMaxElems) &&
+            r.Vec(&net->length_m_, kMaxElems) &&
+            r.Vec(&net->travel_time_s_, kMaxElems) &&
+            r.Vec(&net->road_class_, kMaxElems);
+  if (!ok) return Status::Corruption("truncated network payload");
+  const uint64_t expected = r.Digest();
+  uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (in.gcount() != sizeof(stored)) return Status::Corruption("missing checksum");
+  if (stored != expected) return Status::Corruption("checksum mismatch");
+
+  // Structural validation.
+  const size_t n = net->coords_.size();
+  const size_t m = net->head_.size();
+  if (net->first_out_.size() != n + 1 || net->first_in_.size() != n + 1 ||
+      net->tail_.size() != m || net->out_edge_ids_.size() != m ||
+      net->in_edge_ids_.size() != m || net->length_m_.size() != m ||
+      net->travel_time_s_.size() != m || net->road_class_.size() != m) {
+    return Status::Corruption("inconsistent array sizes");
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (net->tail_[i] >= n || net->head_[i] >= n) {
+      return Status::Corruption("edge endpoint out of range");
+    }
+  }
+  if (n > 0 && (net->first_out_[0] != 0 || net->first_out_[n] != m ||
+                net->first_in_[0] != 0 || net->first_in_[n] != m)) {
+    return Status::Corruption("bad CSR offsets");
+  }
+  for (const LatLng& c : net->coords_) net->bounds_.Extend(c);
+  return net;
+}
+
+Status NetworkSerializer::SaveToFile(const RoadNetwork& net,
+                                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return Save(net, out);
+}
+
+Result<std::shared_ptr<RoadNetwork>> NetworkSerializer::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return Load(in);
+}
+
+}  // namespace altroute

@@ -1,0 +1,31 @@
+// Binary (de)serialization of RoadNetwork with format versioning and a
+// checksum, so city networks can be built once and memory-mapped style
+// reloaded by benchmarks.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "graph/road_network.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// Reads/writes the on-disk network format:
+///   magic "ALTR" | u32 version | name | node count + coords |
+///   edge count + attribute columns | u64 FNV-1a checksum of the payload.
+class NetworkSerializer {
+ public:
+  /// Serializes `net` to `out`. Returns IOError on stream failure.
+  static Status Save(const RoadNetwork& net, std::ostream& out);
+
+  /// Deserializes a network. Returns Corruption on checksum/format errors.
+  static Result<std::shared_ptr<RoadNetwork>> Load(std::istream& in);
+
+  /// Convenience file wrappers.
+  static Status SaveToFile(const RoadNetwork& net, const std::string& path);
+  static Result<std::shared_ptr<RoadNetwork>> LoadFromFile(const std::string& path);
+};
+
+}  // namespace altroute

@@ -1,0 +1,84 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace altroute {
+
+NetworkStatistics ComputeNetworkStatistics(const RoadNetwork& net) {
+  NetworkStatistics stats;
+  stats.num_nodes = net.num_nodes();
+  stats.num_edges = net.num_edges();
+  if (net.num_nodes() == 0) return stats;
+
+  double total_length_m = 0.0;
+  double total_time_s = 0.0;
+  std::array<double, kNumRoadClasses> class_length{};
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    total_length_m += net.length_m(e);
+    total_time_s += net.travel_time_s(e);
+    class_length[static_cast<size_t>(net.road_class(e))] += net.length_m(e);
+  }
+  stats.total_length_km = total_length_m / 1000.0;
+  if (total_time_s > 0.0) {
+    stats.mean_speed_kmh = (total_length_m / total_time_s) * 3.6;
+  }
+  if (total_length_m > 0.0) {
+    for (int c = 0; c < kNumRoadClasses; ++c) {
+      stats.class_length_share[static_cast<size_t>(c)] =
+          class_length[static_cast<size_t>(c)] / total_length_m;
+    }
+  }
+
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const size_t degree = net.OutEdges(v).size();
+    stats.max_degree = std::max(stats.max_degree, degree);
+    if (degree == 1) ++stats.dead_ends;
+    if (degree >= 3) ++stats.intersections;
+  }
+  stats.mean_degree =
+      static_cast<double>(net.num_edges()) / static_cast<double>(net.num_nodes());
+
+  const BoundingBox& box = net.bounds();
+  if (!box.IsEmpty()) {
+    const double height_km =
+        HaversineMeters(LatLng(box.min_lat, box.min_lng),
+                        LatLng(box.max_lat, box.min_lng)) /
+        1000.0;
+    const double width_km =
+        HaversineMeters(LatLng(box.min_lat, box.min_lng),
+                        LatLng(box.min_lat, box.max_lng)) /
+        1000.0;
+    const double area = height_km * width_km;
+    if (area > 1e-9) {
+      stats.node_density_per_km2 =
+          static_cast<double>(net.num_nodes()) / area;
+    }
+  }
+  return stats;
+}
+
+std::string FormatNetworkStatistics(const NetworkStatistics& stats) {
+  std::ostringstream os;
+  os << "nodes: " << stats.num_nodes << ", edges: " << stats.num_edges
+     << ", total " << FormatFixed(stats.total_length_km, 1) << " km\n";
+  os << "mean speed " << FormatFixed(stats.mean_speed_kmh, 1)
+     << " km/h, mean out-degree " << FormatFixed(stats.mean_degree, 2)
+     << " (max " << stats.max_degree << "), " << stats.intersections
+     << " intersections, " << stats.dead_ends << " dead ends\n";
+  os << "density " << FormatFixed(stats.node_density_per_km2, 1)
+     << " nodes/km^2\nclass shares:";
+  for (int c = 0; c < kNumRoadClasses; ++c) {
+    const double share = stats.class_length_share[static_cast<size_t>(c)];
+    if (share < 0.001) continue;
+    os << " " << RoadClassName(static_cast<RoadClass>(c)) << " "
+       << FormatFixed(100.0 * share, 1) << "%";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace altroute

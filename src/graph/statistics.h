@@ -1,0 +1,40 @@
+// Network-level descriptive statistics: the numbers used to sanity-check
+// that a constructed (or synthesised) road network looks like a real city —
+// size, density, class composition, degree distribution, speeds.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "graph/road_network.h"
+
+namespace altroute {
+
+/// Aggregate description of a road network.
+struct NetworkStatistics {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  /// Total directed-edge length in km.
+  double total_length_km = 0.0;
+  /// Length-weighted mean speed (km/h) implied by length/travel time.
+  double mean_speed_kmh = 0.0;
+  /// Mean out-degree.
+  double mean_degree = 0.0;
+  size_t max_degree = 0;
+  /// Count of nodes with out-degree 1 (dead ends in the directed sense).
+  size_t dead_ends = 0;
+  /// Count of intersections (out-degree >= 3).
+  size_t intersections = 0;
+  /// Share of total length per road class, indexed by RoadClass.
+  std::array<double, kNumRoadClasses> class_length_share{};
+  /// Nodes per square km of the bounding box (0 for degenerate boxes).
+  double node_density_per_km2 = 0.0;
+};
+
+/// Computes statistics in one pass. Empty networks yield zeros.
+NetworkStatistics ComputeNetworkStatistics(const RoadNetwork& net);
+
+/// Multi-line human-readable rendering.
+std::string FormatNetworkStatistics(const NetworkStatistics& stats);
+
+}  // namespace altroute

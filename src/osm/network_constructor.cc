@@ -1,0 +1,105 @@
+#include "osm/network_constructor.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+#include "graph/graph_builder.h"
+#include "osm/speed_model.h"
+#include "util/string_util.h"
+
+namespace altroute {
+namespace osm {
+
+Result<ConstructedNetwork> ConstructRoadNetwork(
+    const OsmData& data, const ConstructorOptions& options) {
+  if (options.non_freeway_factor < 1.0) {
+    return Status::InvalidArgument("non_freeway_factor must be >= 1.0");
+  }
+  const auto node_index = data.BuildNodeIndex();
+  const bool do_clip = !options.clip.IsEmpty();
+
+  // First pass: which OSM nodes are actually used by routable ways (and
+  // inside the clip rectangle)? Assign dense graph ids to those.
+  auto usable = [&](OsmId ref, size_t* idx) {
+    auto it = node_index.find(ref);
+    if (it == node_index.end()) return false;  // dangling ref: skip
+    if (do_clip && !options.clip.Contains(data.nodes[it->second].coord)) {
+      return false;
+    }
+    *idx = it->second;
+    return true;
+  };
+
+  GraphBuilder builder(options.name);
+  std::unordered_map<OsmId, NodeId> graph_id;
+  std::vector<OsmId> node_osm_ids;
+  auto intern = [&](OsmId ref, size_t idx) {
+    auto it = graph_id.find(ref);
+    if (it != graph_id.end()) return it->second;
+    const NodeId id = builder.AddNode(data.nodes[idx].coord);
+    graph_id.emplace(ref, id);
+    node_osm_ids.push_back(ref);
+    return id;
+  };
+
+  for (const OsmWay& way : data.ways) {
+    if (!IsRoutableHighway(way)) continue;
+    const RoadClass rc = RoadClassFromHighwayTag(ToLower(way.GetTag("highway")));
+    const double speed_kmh = EffectiveSpeedKmh(way, rc);
+    const double speed_mps = speed_kmh / 3.6;
+    const OnewayDirection dir = ParseOneway(way, rc);
+    const double factor = IsFreeway(rc) ? 1.0 : options.non_freeway_factor;
+
+    // Each consecutive usable node pair becomes a segment. A node outside
+    // the clip (or missing) breaks the chain, cutting the way at the border.
+    for (size_t i = 0; i + 1 < way.node_refs.size(); ++i) {
+      size_t idx_a, idx_b;
+      if (!usable(way.node_refs[i], &idx_a)) continue;
+      if (!usable(way.node_refs[i + 1], &idx_b)) {
+        ++i;  // the far endpoint is unusable: skip past it
+        continue;
+      }
+      const LatLng& a = data.nodes[idx_a].coord;
+      const LatLng& b = data.nodes[idx_b].coord;
+      const double length_m = HaversineMeters(a, b);
+      if (length_m <= 0.0) continue;  // coincident points
+      const double time_s = length_m / speed_mps * factor;
+      const NodeId na = intern(way.node_refs[i], idx_a);
+      const NodeId nb = intern(way.node_refs[i + 1], idx_b);
+      switch (dir) {
+        case OnewayDirection::kBidirectional:
+          builder.AddBidirectionalEdge(na, nb, length_m, time_s, rc);
+          break;
+        case OnewayDirection::kForward:
+          builder.AddEdge(na, nb, length_m, time_s, rc);
+          break;
+        case OnewayDirection::kReverse:
+          builder.AddEdge(nb, na, length_m, time_s, rc);
+          break;
+      }
+    }
+  }
+
+  if (builder.num_nodes() == 0 || builder.num_edges() == 0) {
+    return Status::InvalidArgument(
+        "OSM data yields an empty road network (no routable ways in area)");
+  }
+
+  ConstructedNetwork out;
+  ALTROUTE_ASSIGN_OR_RETURN(out.network, builder.Build());
+  out.node_osm_ids = std::move(node_osm_ids);
+
+  if (options.largest_scc_only) {
+    ALTROUTE_ASSIGN_OR_RETURN(SccExtraction scc, ExtractLargestScc(*out.network));
+    std::vector<OsmId> remapped(scc.new_to_old.size());
+    for (size_t i = 0; i < scc.new_to_old.size(); ++i) {
+      remapped[i] = out.node_osm_ids[scc.new_to_old[i]];
+    }
+    out.network = std::move(scc.network);
+    out.node_osm_ids = std::move(remapped);
+  }
+  return out;
+}
+
+}  // namespace osm
+}  // namespace altroute

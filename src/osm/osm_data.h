@@ -1,0 +1,85 @@
+// In-memory OpenStreetMap model: the exchange format between the OSM XML
+// parser, the synthetic city generators, and the road-network constructor.
+// Using one shared representation guarantees that synthetic cities flow
+// through exactly the pipeline the paper used for real extracts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace altroute {
+namespace osm {
+
+using OsmId = int64_t;
+
+/// A raw OSM node: id + position. Tags on nodes are irrelevant for routing
+/// and dropped at parse time.
+struct OsmNode {
+  OsmId id = 0;
+  LatLng coord;
+};
+
+/// A raw OSM way: ordered node references + key/value tags.
+struct OsmWay {
+  OsmId id = 0;
+  std::vector<OsmId> node_refs;
+  std::unordered_map<std::string, std::string> tags;
+
+  /// Value of tag `key`, or "" when absent.
+  std::string GetTag(const std::string& key) const {
+    auto it = tags.find(key);
+    return it == tags.end() ? std::string() : it->second;
+  }
+  bool HasTag(const std::string& key) const { return tags.count(key) > 0; }
+};
+
+/// A member of an OSM relation.
+struct OsmRelationMember {
+  std::string type;  // "node", "way", "relation"
+  OsmId ref = 0;
+  std::string role;  // "from", "via", "to", ...
+};
+
+/// A raw OSM relation: members + tags. Only `type=restriction` relations
+/// are consumed downstream (turn restrictions); others are carried through.
+struct OsmRelation {
+  OsmId id = 0;
+  std::vector<OsmRelationMember> members;
+  std::unordered_map<std::string, std::string> tags;
+
+  std::string GetTag(const std::string& key) const {
+    auto it = tags.find(key);
+    return it == tags.end() ? std::string() : it->second;
+  }
+
+  /// First member with the given type and role, or nullptr.
+  const OsmRelationMember* FindMember(const std::string& type,
+                                      const std::string& role) const {
+    for (const OsmRelationMember& m : members) {
+      if (m.type == type && m.role == role) return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// A parsed OSM extract.
+struct OsmData {
+  std::vector<OsmNode> nodes;
+  std::vector<OsmWay> ways;
+  std::vector<OsmRelation> relations;
+
+  /// Index nodes by id (built on demand by consumers).
+  std::unordered_map<OsmId, size_t> BuildNodeIndex() const {
+    std::unordered_map<OsmId, size_t> index;
+    index.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i].id, i);
+    return index;
+  }
+};
+
+}  // namespace osm
+}  // namespace altroute

@@ -1,0 +1,292 @@
+#include "osm/osm_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace altroute {
+namespace osm {
+
+namespace {
+
+/// Decodes the five predefined XML entities plus decimal/hex character refs.
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    const size_t semi = s.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out.push_back(s[i++]);  // lone ampersand: keep as-is (lenient)
+      continue;
+    }
+    const std::string_view ent = s.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code > 0 && code < 128) {
+        out.push_back(static_cast<char>(code));
+      } else {
+        out.push_back('?');  // non-ASCII refs are irrelevant to routing tags
+      }
+    } else {
+      out.append(s.substr(i, semi - i + 1));  // unknown entity: literal
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+/// A single parsed XML tag: name + attributes + open/close/self-closing kind.
+struct XmlTag {
+  std::string_view name;
+  bool is_closing = false;      // </name>
+  bool is_self_closing = false;  // <name ... />
+  std::vector<std::pair<std::string_view, std::string_view>> attrs;
+
+  std::string_view Attr(std::string_view key) const {
+    for (const auto& [k, v] : attrs) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+};
+
+/// Pull-parser over the raw text; yields tags and skips text content,
+/// comments, CDATA, processing instructions and the doctype.
+class XmlScanner {
+ public:
+  explicit XmlScanner(std::string_view text) : text_(text) {}
+
+  /// Advances to the next tag. Returns false at end of input; sets *error on
+  /// malformed markup.
+  bool Next(XmlTag* tag, std::string* error) {
+    for (;;) {
+      const size_t lt = text_.find('<', pos_);
+      if (lt == std::string_view::npos) return false;
+      pos_ = lt + 1;
+      if (pos_ >= text_.size()) {
+        *error = "dangling '<' at end of input";
+        return false;
+      }
+      // Skip non-element markup.
+      if (text_[pos_] == '?') {  // <? ... ?>
+        const size_t end = text_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          *error = "unterminated processing instruction";
+          return false;
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (text_.compare(pos_, 3, "!--") == 0) {  // comment
+        const size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          *error = "unterminated comment";
+          return false;
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (text_[pos_] == '!') {  // doctype / CDATA: skip to '>'
+        const size_t end = text_.find('>', pos_);
+        if (end == std::string_view::npos) {
+          *error = "unterminated declaration";
+          return false;
+        }
+        pos_ = end + 1;
+        continue;
+      }
+      return ParseTag(tag, error);
+    }
+  }
+
+ private:
+  bool ParseTag(XmlTag* tag, std::string* error) {
+    tag->attrs.clear();
+    tag->is_closing = false;
+    tag->is_self_closing = false;
+    if (text_[pos_] == '/') {
+      tag->is_closing = true;
+      ++pos_;
+    }
+    const size_t name_start = pos_;
+    while (pos_ < text_.size() && !IsSpace(text_[pos_]) && text_[pos_] != '>' &&
+           text_[pos_] != '/') {
+      ++pos_;
+    }
+    tag->name = text_.substr(name_start, pos_ - name_start);
+    if (tag->name.empty()) {
+      *error = "empty tag name";
+      return false;
+    }
+    // Attributes.
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        *error = "unterminated tag <" + std::string(tag->name);
+        return false;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        return true;
+      }
+      if (text_[pos_] == '/') {
+        ++pos_;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          *error = "malformed self-closing tag";
+          return false;
+        }
+        ++pos_;
+        tag->is_self_closing = true;
+        return true;
+      }
+      // key="value" or key='value'
+      const size_t key_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '=' && !IsSpace(text_[pos_]) &&
+             text_[pos_] != '>') {
+        ++pos_;
+      }
+      const std::string_view key = text_.substr(key_start, pos_ - key_start);
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        *error = "attribute '" + std::string(key) + "' missing '='";
+        return false;
+      }
+      ++pos_;
+      SkipSpace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        *error = "attribute '" + std::string(key) + "' missing quote";
+        return false;
+      }
+      const char quote = text_[pos_++];
+      const size_t val_start = pos_;
+      const size_t val_end = text_.find(quote, pos_);
+      if (val_end == std::string_view::npos) {
+        *error = "unterminated attribute value";
+        return false;
+      }
+      tag->attrs.emplace_back(key, text_.substr(val_start, val_end - val_start));
+      pos_ = val_end + 1;
+    }
+  }
+
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<OsmData> ParseOsmXml(std::string_view xml) {
+  OsmData data;
+  XmlScanner scanner(xml);
+  XmlTag tag;
+  std::string error;
+
+  OsmWay* open_way = nullptr;            // inside <way>...</way>
+  OsmRelation* open_relation = nullptr;  // inside <relation>...</relation>
+  while (scanner.Next(&tag, &error)) {
+    if (tag.is_closing) {
+      if (tag.name == "way") open_way = nullptr;
+      if (tag.name == "relation") open_relation = nullptr;
+      continue;
+    }
+    if (tag.name == "node") {
+      OsmNode node;
+      auto id = ParseInt64(tag.Attr("id"));
+      auto lat = ParseDouble(tag.Attr("lat"));
+      auto lon = ParseDouble(tag.Attr("lon"));
+      if (!id.ok() || !lat.ok() || !lon.ok()) {
+        return Status::Corruption("node with missing/invalid id/lat/lon");
+      }
+      node.id = *id;
+      node.coord = LatLng(*lat, *lon);
+      if (!node.coord.IsValid()) {
+        return Status::Corruption("node " + std::to_string(node.id) +
+                                  " has out-of-range coordinates");
+      }
+      data.nodes.push_back(node);
+      // Node tags (inside non-self-closing <node>) are skipped naturally:
+      // they parse as <tag> elements with open_way == nullptr.
+    } else if (tag.name == "way") {
+      auto id = ParseInt64(tag.Attr("id"));
+      if (!id.ok()) return Status::Corruption("way with missing/invalid id");
+      data.ways.emplace_back();
+      data.ways.back().id = *id;
+      open_way = tag.is_self_closing ? nullptr : &data.ways.back();
+      open_relation = nullptr;
+    } else if (tag.name == "relation") {
+      auto id = ParseInt64(tag.Attr("id"));
+      if (!id.ok()) return Status::Corruption("relation with invalid id");
+      data.relations.emplace_back();
+      data.relations.back().id = *id;
+      open_relation = tag.is_self_closing ? nullptr : &data.relations.back();
+      open_way = nullptr;
+    } else if (tag.name == "member") {
+      if (open_relation != nullptr) {
+        auto ref = ParseInt64(tag.Attr("ref"));
+        if (!ref.ok()) return Status::Corruption("member with invalid ref");
+        OsmRelationMember member;
+        member.type = std::string(tag.Attr("type"));
+        member.ref = *ref;
+        member.role = std::string(tag.Attr("role"));
+        open_relation->members.push_back(std::move(member));
+      }
+    } else if (tag.name == "nd") {
+      if (open_way != nullptr) {
+        auto ref = ParseInt64(tag.Attr("ref"));
+        if (!ref.ok()) return Status::Corruption("nd with invalid ref");
+        open_way->node_refs.push_back(*ref);
+      }
+    } else if (tag.name == "tag") {
+      if (open_way != nullptr) {
+        open_way->tags.emplace(DecodeEntities(tag.Attr("k")),
+                               DecodeEntities(tag.Attr("v")));
+      } else if (open_relation != nullptr) {
+        open_relation->tags.emplace(DecodeEntities(tag.Attr("k")),
+                                    DecodeEntities(tag.Attr("v")));
+      }
+    }
+    // Other elements (<bounds>, ...) are ignored.
+  }
+  if (!error.empty()) return Status::Corruption("XML parse error: " + error);
+  return data;
+}
+
+Result<OsmData> ParseOsmFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseOsmXml(ss.str());
+}
+
+}  // namespace osm
+}  // namespace altroute

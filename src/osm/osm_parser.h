@@ -1,0 +1,23 @@
+// Minimal, dependency-free parser for OSM XML extracts (the .osm format
+// Geofabrik ships, paper Sec. 3). Handles the subset the road-network
+// constructor needs: <node>, <way>, <nd>, <tag> elements with either quoting
+// style, self-closing or nested forms, and the five standard XML entities.
+#pragma once
+
+#include <string_view>
+
+#include "osm/osm_data.h"
+#include "util/result.h"
+
+namespace altroute {
+namespace osm {
+
+/// Parses OSM XML text. Returns InvalidArgument/Corruption on malformed
+/// input. Relations and node tags are skipped (not needed for routing).
+Result<OsmData> ParseOsmXml(std::string_view xml);
+
+/// Parses an .osm file from disk.
+Result<OsmData> ParseOsmFile(const std::string& path);
+
+}  // namespace osm
+}  // namespace altroute

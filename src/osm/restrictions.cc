@@ -1,0 +1,123 @@
+#include "osm/restrictions.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace altroute {
+namespace osm {
+
+namespace {
+
+/// Graph edges (u, via) for every node u adjacent to `via` within `way`
+/// such that the directed edge u -> via exists in the network.
+std::vector<EdgeId> ApproachEdges(const RoadNetwork& net, const OsmWay& way,
+                                  OsmId via,
+                                  const std::unordered_map<OsmId, NodeId>& node_of) {
+  std::vector<EdgeId> edges;
+  auto via_it = node_of.find(via);
+  if (via_it == node_of.end()) return edges;
+  for (size_t i = 0; i < way.node_refs.size(); ++i) {
+    if (way.node_refs[i] != via) continue;
+    for (int delta : {-1, 1}) {
+      const auto j = static_cast<int64_t>(i) + delta;
+      if (j < 0 || j >= static_cast<int64_t>(way.node_refs.size())) continue;
+      auto u_it = node_of.find(way.node_refs[static_cast<size_t>(j)]);
+      if (u_it == node_of.end()) continue;
+      const EdgeId e = net.FindEdge(u_it->second, via_it->second);
+      if (e != kInvalidEdge) edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+/// Graph edges (via, w) leaving `via` along `way`.
+std::vector<EdgeId> DepartureEdges(const RoadNetwork& net, const OsmWay& way,
+                                   OsmId via,
+                                   const std::unordered_map<OsmId, NodeId>& node_of) {
+  std::vector<EdgeId> edges;
+  auto via_it = node_of.find(via);
+  if (via_it == node_of.end()) return edges;
+  for (size_t i = 0; i < way.node_refs.size(); ++i) {
+    if (way.node_refs[i] != via) continue;
+    for (int delta : {-1, 1}) {
+      const auto j = static_cast<int64_t>(i) + delta;
+      if (j < 0 || j >= static_cast<int64_t>(way.node_refs.size())) continue;
+      auto w_it = node_of.find(way.node_refs[static_cast<size_t>(j)]);
+      if (w_it == node_of.end()) continue;
+      const EdgeId e = net.FindEdge(via_it->second, w_it->second);
+      if (e != kInvalidEdge) edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<TurnRestriction> ExtractTurnRestrictions(
+    const OsmData& data, const ConstructedNetwork& built) {
+  const RoadNetwork& net = *built.network;
+
+  // OSM node id -> graph node id (post-SCC).
+  std::unordered_map<OsmId, NodeId> node_of;
+  node_of.reserve(built.node_osm_ids.size());
+  for (NodeId v = 0; v < built.node_osm_ids.size(); ++v) {
+    node_of.emplace(built.node_osm_ids[v], v);
+  }
+  // OSM way id -> way.
+  std::unordered_map<OsmId, const OsmWay*> way_of;
+  way_of.reserve(data.ways.size());
+  for (const OsmWay& w : data.ways) way_of.emplace(w.id, &w);
+
+  std::vector<TurnRestriction> out;
+  for (const OsmRelation& rel : data.relations) {
+    if (ToLower(rel.GetTag("type")) != "restriction") continue;
+    const std::string kind = ToLower(rel.GetTag("restriction"));
+    const bool is_no = StartsWith(kind, "no_");
+    const bool is_only = StartsWith(kind, "only_");
+    if (!is_no && !is_only) continue;
+
+    const OsmRelationMember* from = rel.FindMember("way", "from");
+    const OsmRelationMember* to = rel.FindMember("way", "to");
+    const OsmRelationMember* via = rel.FindMember("node", "via");
+    if (from == nullptr || to == nullptr || via == nullptr) continue;
+    auto from_way = way_of.find(from->ref);
+    auto to_way = way_of.find(to->ref);
+    auto via_node = node_of.find(via->ref);
+    if (from_way == way_of.end() || to_way == way_of.end() ||
+        via_node == node_of.end()) {
+      continue;
+    }
+
+    const auto approaches =
+        ApproachEdges(net, *from_way->second, via->ref, node_of);
+    const auto departures =
+        DepartureEdges(net, *to_way->second, via->ref, node_of);
+    if (approaches.empty() || departures.empty()) continue;
+
+    if (is_no) {
+      for (EdgeId f : approaches) {
+        for (EdgeId t : departures) {
+          out.push_back({f, t});
+        }
+      }
+    } else {  // only_*: ban every departure that is NOT on the to-way.
+      for (EdgeId f : approaches) {
+        for (EdgeId t : net.OutEdges(via_node->second)) {
+          if (std::find(departures.begin(), departures.end(), t) !=
+              departures.end()) {
+            continue;
+          }
+          // Never ban the reverse twin here: U-turn policy is the router's.
+          if (net.head(t) == net.tail(f)) continue;
+          out.push_back({f, t});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace osm
+}  // namespace altroute

@@ -1,0 +1,27 @@
+// Turn-restriction extraction: resolves OSM `type=restriction` relations
+// (no_left_turn, no_right_turn, no_u_turn, no_straight_on, only_*) against a
+// constructed road network into the edge-pair bans the turn-aware router
+// consumes. This is the data behind the paper's "no left turn available
+// near the Shrine of Remembrance" example (Sec. 4.2).
+#pragma once
+
+#include <vector>
+
+#include "osm/network_constructor.h"
+#include "osm/osm_data.h"
+#include "routing/turn_aware.h"
+
+namespace altroute {
+namespace osm {
+
+/// Extracts turn restrictions from `data.relations`, resolved against the
+/// nodes/edges of `built`. Relations that cannot be resolved (members
+/// missing from the extract, clipped away, or unsupported via-way forms)
+/// are skipped — standard lenient OSM consumer behaviour. `only_*`
+/// restrictions are expanded into bans of every other maneuver at the via
+/// node.
+std::vector<TurnRestriction> ExtractTurnRestrictions(
+    const OsmData& data, const ConstructedNetwork& built);
+
+}  // namespace osm
+}  // namespace altroute

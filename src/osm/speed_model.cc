@@ -1,0 +1,85 @@
+#include "osm/speed_model.h"
+
+#include "util/string_util.h"
+
+namespace altroute {
+namespace osm {
+
+std::optional<double> ParseMaxSpeedKmh(std::string_view value) {
+  std::string v = ToLower(std::string(Trim(value)));
+  if (v.empty() || v == "none" || v == "signals" || v == "variable") {
+    return std::nullopt;
+  }
+  if (v == "walk") return 5.0;
+  // Strip a unit suffix if present.
+  double factor = 1.0;
+  auto strip_suffix = [&](std::string_view suffix, double f) {
+    if (EndsWith(v, suffix)) {
+      v = std::string(Trim(v.substr(0, v.size() - suffix.size())));
+      factor = f;
+      return true;
+    }
+    return false;
+  };
+  strip_suffix("km/h", 1.0) || strip_suffix("kmh", 1.0) ||
+      strip_suffix("kph", 1.0) || strip_suffix("mph", 1.609344) ||
+      strip_suffix("knots", 1.852);
+  auto parsed = ParseDouble(v);
+  if (!parsed.ok()) return std::nullopt;
+  const double kmh = *parsed * factor;
+  if (kmh <= 0.0 || kmh > 200.0) return std::nullopt;
+  return kmh;
+}
+
+double EffectiveSpeedKmh(const OsmWay& way, RoadClass road_class) {
+  if (way.HasTag("maxspeed")) {
+    if (auto kmh = ParseMaxSpeedKmh(way.GetTag("maxspeed"))) return *kmh;
+  }
+  return DefaultSpeedKmh(road_class);
+}
+
+OnewayDirection ParseOneway(const OsmWay& way, RoadClass road_class) {
+  const std::string v = ToLower(way.GetTag("oneway"));
+  if (v == "yes" || v == "true" || v == "1") return OnewayDirection::kForward;
+  if (v == "-1" || v == "reverse") return OnewayDirection::kReverse;
+  if (v == "no" || v == "false" || v == "0") {
+    return OnewayDirection::kBidirectional;
+  }
+  // Motorways and roundabouts are implicitly oneway in OSM.
+  if (road_class == RoadClass::kMotorway) return OnewayDirection::kForward;
+  if (ToLower(way.GetTag("junction")) == "roundabout") {
+    return OnewayDirection::kForward;
+  }
+  return OnewayDirection::kBidirectional;
+}
+
+bool IsRoutableHighway(const OsmWay& way) {
+  if (!way.HasTag("highway")) return false;
+  const std::string hw = ToLower(way.GetTag("highway"));
+  // Reject non-car infrastructure explicitly; everything else maps through
+  // RoadClassFromHighwayTag (unknown values become kUnclassified but must
+  // still be road-like, so whitelist instead).
+  static const char* kAllowed[] = {
+      "motorway",      "motorway_link", "trunk",         "trunk_link",
+      "primary",       "primary_link",  "secondary",     "secondary_link",
+      "tertiary",      "tertiary_link", "residential",   "living_street",
+      "service",       "unclassified",  "road"};
+  bool allowed = false;
+  for (const char* a : kAllowed) {
+    if (hw == a) {
+      allowed = true;
+      break;
+    }
+  }
+  if (!allowed) return false;
+  if (ToLower(way.GetTag("access")) == "no" ||
+      ToLower(way.GetTag("access")) == "private") {
+    return false;
+  }
+  if (ToLower(way.GetTag("motor_vehicle")) == "no") return false;
+  if (way.node_refs.size() < 2) return false;
+  return true;
+}
+
+}  // namespace osm
+}  // namespace altroute

@@ -1,0 +1,38 @@
+// Speed and direction semantics of OSM way tags: maxspeed parsing with unit
+// handling, per-class fallbacks, and oneway interpretation.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "graph/road_class.h"
+#include "osm/osm_data.h"
+
+namespace altroute {
+namespace osm {
+
+/// Directionality of a way.
+enum class OnewayDirection {
+  kBidirectional,  // both directions
+  kForward,        // only in node-ref order
+  kReverse,        // only against node-ref order (oneway=-1)
+};
+
+/// Parses a `maxspeed=` value: "60", "60 km/h", "40 mph", "walk", "none".
+/// Returns nullopt for unparseable or non-numeric values (caller falls back
+/// to the class default).
+std::optional<double> ParseMaxSpeedKmh(std::string_view value);
+
+/// Effective speed for a way: explicit maxspeed when present and sane,
+/// otherwise the class default.
+double EffectiveSpeedKmh(const OsmWay& way, RoadClass road_class);
+
+/// Interprets `oneway=` (+ motorway implied oneway).
+OnewayDirection ParseOneway(const OsmWay& way, RoadClass road_class);
+
+/// True when the way is a routable road for cars (has a supported highway
+/// tag and is not a footpath/cycleway/construction/etc.).
+bool IsRoutableHighway(const OsmWay& way);
+
+}  // namespace osm
+}  // namespace altroute

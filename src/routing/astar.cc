@@ -1,0 +1,82 @@
+#include "routing/astar.h"
+
+#include <algorithm>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+double MaxSpeedMps(const RoadNetwork& net, std::span<const double> weights) {
+  double max_speed = 0.0;
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    const double crow =
+        HaversineMeters(net.coord(net.tail(e)), net.coord(net.head(e)));
+    if (weights[e] > 0.0) {
+      max_speed = std::max(max_speed, crow / weights[e]);
+    }
+  }
+  return max_speed > 0.0 ? max_speed : 1.0;
+}
+
+AStar::AStar(const RoadNetwork& net, double max_speed_mps)
+    : net_(net), max_speed_mps_(max_speed_mps > 0.0 ? max_speed_mps : 1.0) {}
+
+Result<RouteResult> AStar::ShortestPath(NodeId source, NodeId target,
+                                        std::span<const double> weights) {
+  const size_t n = net_.num_nodes();
+  if (source >= n || target >= n) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (weights.size() != net_.num_edges()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+
+  const LatLng goal = net_.coord(target);
+  auto h = [&](NodeId v) {
+    return HaversineMeters(net_.coord(v), goal) / max_speed_mps_;
+  };
+
+  std::vector<double> g(n, kInfCost);
+  std::vector<EdgeId> parent(n, kInvalidEdge);
+  std::vector<bool> settled(n, false);
+  IndexedHeap<double> open(n);
+
+  g[source] = 0.0;
+  open.PushOrDecrease(source, h(source));
+  last_settled_ = 0;
+
+  while (!open.Empty()) {
+    const auto [u, fu] = open.PopMin();
+    (void)fu;
+    if (settled[u]) continue;
+    settled[u] = true;
+    ++last_settled_;
+    if (u == target) break;
+    for (EdgeId e : net_.OutEdges(u)) {
+      const NodeId v = net_.head(e);
+      if (settled[v]) continue;
+      const double gv = g[u] + weights[e];
+      if (gv < g[v]) {
+        g[v] = gv;
+        parent[v] = e;
+        open.PushOrDecrease(v, gv + h(v));
+      }
+    }
+  }
+
+  if (!settled[target]) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  RouteResult out;
+  out.cost = g[target];
+  for (NodeId cur = target; cur != source;) {
+    const EdgeId e = parent[cur];
+    out.edges.push_back(e);
+    cur = net_.tail(e);
+  }
+  std::reverse(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+}  // namespace altroute

@@ -1,0 +1,36 @@
+// A* search with a great-circle admissible heuristic. For travel-time
+// weights the heuristic is straight-line-distance / max-network-speed, which
+// never overestimates the remaining cost.
+#pragma once
+
+#include <span>
+
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// Reusable A* engine for travel-time weights. Not thread-safe.
+class AStar {
+ public:
+  /// `max_speed_mps` upper-bounds distance/time over every edge the search
+  /// may use; pass MaxSpeedMps(net, weights) for an admissible heuristic.
+  AStar(const RoadNetwork& net, double max_speed_mps);
+
+  /// One-to-one shortest path; same contract as Dijkstra::ShortestPath.
+  Result<RouteResult> ShortestPath(NodeId source, NodeId target,
+                                   std::span<const double> weights);
+
+  size_t last_settled_count() const { return last_settled_; }
+
+ private:
+  const RoadNetwork& net_;
+  double max_speed_mps_;
+  size_t last_settled_ = 0;
+};
+
+/// The fastest straight-line speed (meters/second) consistent with `weights`:
+/// max over edges of great-circle endpoint distance / weight. Using geometric
+/// (not polyline) length keeps the heuristic admissible even for curvy edges.
+double MaxSpeedMps(const RoadNetwork& net, std::span<const double> weights);
+
+}  // namespace altroute

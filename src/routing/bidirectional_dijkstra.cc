@@ -1,0 +1,111 @@
+#include "routing/bidirectional_dijkstra.h"
+
+#include <algorithm>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& net)
+    : net_(net) {}
+
+Result<RouteResult> BidirectionalDijkstra::ShortestPath(
+    NodeId source, NodeId target, std::span<const double> weights) {
+  const size_t n = net_.num_nodes();
+  if (source >= n || target >= n) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (weights.size() != net_.num_edges()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+  if (source == target) return RouteResult{0.0, {}};
+
+  std::vector<double> dist_f(n, kInfCost), dist_b(n, kInfCost);
+  std::vector<EdgeId> parent_f(n, kInvalidEdge), parent_b(n, kInvalidEdge);
+  std::vector<bool> settled_f(n, false), settled_b(n, false);
+  IndexedHeap<double> heap_f(n), heap_b(n);
+
+  dist_f[source] = 0.0;
+  dist_b[target] = 0.0;
+  heap_f.PushOrDecrease(source, 0.0);
+  heap_b.PushOrDecrease(target, 0.0);
+
+  double best = kInfCost;
+  NodeId meet = kInvalidNode;
+  last_settled_ = 0;
+
+  auto try_improve = [&](NodeId v) {
+    if (dist_f[v] < kInfCost && dist_b[v] < kInfCost &&
+        dist_f[v] + dist_b[v] < best) {
+      best = dist_f[v] + dist_b[v];
+      meet = v;
+    }
+  };
+
+  while (!heap_f.Empty() || !heap_b.Empty()) {
+    const double top_f = heap_f.Empty() ? kInfCost : heap_f.Top().second;
+    const double top_b = heap_b.Empty() ? kInfCost : heap_b.Top().second;
+    // Standard stopping criterion: no shorter s-t path can exist once the
+    // sum of frontier minima reaches the best meeting cost.
+    if (top_f + top_b >= best) break;
+
+    if (top_f <= top_b) {
+      const auto [u, du] = heap_f.PopMin();
+      if (settled_f[u]) continue;
+      settled_f[u] = true;
+      ++last_settled_;
+      for (EdgeId e : net_.OutEdges(u)) {
+        const NodeId v = net_.head(e);
+        const double dv = du + weights[e];
+        if (dv < dist_f[v]) {
+          dist_f[v] = dv;
+          parent_f[v] = e;
+          heap_f.PushOrDecrease(v, dv);
+        }
+        try_improve(v);
+      }
+    } else {
+      const auto [u, du] = heap_b.PopMin();
+      if (settled_b[u]) continue;
+      settled_b[u] = true;
+      ++last_settled_;
+      for (EdgeId e : net_.InEdges(u)) {
+        const NodeId v = net_.tail(e);
+        const double dv = du + weights[e];
+        if (dv < dist_b[v]) {
+          dist_b[v] = dv;
+          parent_b[v] = e;
+          heap_b.PushOrDecrease(v, dv);
+        }
+        try_improve(v);
+      }
+    }
+  }
+
+  if (meet == kInvalidNode) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  RouteResult out;
+  out.cost = best;
+  // Forward half: meet back to source.
+  std::vector<EdgeId> fwd;
+  for (NodeId cur = meet; cur != source;) {
+    const EdgeId e = parent_f[cur];
+    fwd.push_back(e);
+    cur = net_.tail(e);
+  }
+  std::reverse(fwd.begin(), fwd.end());
+  // Backward half: meet forward to target.
+  std::vector<EdgeId> bwd;
+  for (NodeId cur = meet; cur != target;) {
+    const EdgeId e = parent_b[cur];
+    bwd.push_back(e);
+    cur = net_.head(e);
+  }
+  out.edges = std::move(fwd);
+  out.edges.insert(out.edges.end(), bwd.begin(), bwd.end());
+  return out;
+}
+
+}  // namespace altroute

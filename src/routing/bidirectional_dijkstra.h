@@ -1,0 +1,29 @@
+// Bidirectional Dijkstra: simultaneous forward search from s and backward
+// search from t, meeting in the middle. Roughly halves the settled-node count
+// on road networks versus unidirectional Dijkstra.
+#pragma once
+
+#include <span>
+
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// Reusable bidirectional engine. Not thread-safe.
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const RoadNetwork& net);
+
+  /// One-to-one shortest path; semantics identical to Dijkstra::ShortestPath.
+  Result<RouteResult> ShortestPath(NodeId source, NodeId target,
+                                   std::span<const double> weights);
+
+  /// Nodes settled by the last query across both frontiers.
+  size_t last_settled_count() const { return last_settled_; }
+
+ private:
+  const RoadNetwork& net_;
+  size_t last_settled_ = 0;
+};
+
+}  // namespace altroute

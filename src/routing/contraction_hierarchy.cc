@@ -1,0 +1,330 @@
+#include "routing/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+namespace {
+
+/// Live multigraph used during contraction: per-node arc-id lists that shrink
+/// as neighbors get contracted and grow as shortcuts are added.
+struct LiveGraph {
+  std::vector<std::vector<uint32_t>> out;  // arc ids leaving node
+  std::vector<std::vector<uint32_t>> in;   // arc ids entering node
+};
+
+/// Local Dijkstra for witness searches: bounded settle count and cost.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(size_t n) : dist_(n, kInfCost), stamp_(n, 0), heap_(n) {}
+
+  /// Shortest u->w distance avoiding `banned`, giving up (returning kInfCost
+  /// conservatively may force a redundant shortcut but never breaks
+  /// correctness) after `settle_limit` settles or when cost exceeds `bound`.
+  /// `targets_left` lets the caller stop early once all targets are settled.
+  void Run(const std::vector<ContractionHierarchy::Arc>& arcs,
+           const LiveGraph& live, const std::vector<bool>& contracted,
+           NodeId source, NodeId banned, double bound, size_t settle_limit) {
+    ++stamp_now_;
+    heap_.Clear();
+    Relax(source, 0.0);
+    size_t settled = 0;
+    while (!heap_.Empty() && settled < settle_limit) {
+      const auto [u, du] = heap_.PopMin();
+      if (du > bound) break;
+      ++settled;
+      for (uint32_t aid : live.out[u]) {
+        const auto& a = arcs[aid];
+        if (a.to == banned || contracted[a.to]) continue;
+        Relax(a.to, du + a.weight);
+      }
+    }
+  }
+
+  double DistanceTo(NodeId v) const {
+    return stamp_[v] == stamp_now_ ? dist_[v] : kInfCost;
+  }
+
+ private:
+  void Relax(NodeId v, double d) {
+    if (stamp_[v] != stamp_now_ || d < dist_[v]) {
+      stamp_[v] = stamp_now_;
+      dist_[v] = d;
+      heap_.PushOrDecrease(v, d);
+    }
+  }
+
+  std::vector<double> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t stamp_now_ = 0;
+  IndexedHeap<double> heap_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const ContractionHierarchy>> ContractionHierarchy::Build(
+    std::shared_ptr<const RoadNetwork> net, std::span<const double> weights,
+    const ChOptions& options) {
+  if (net == nullptr) return Status::InvalidArgument("null network");
+  if (weights.size() != net->num_edges()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("CH weights must be positive and finite");
+    }
+  }
+
+  const size_t n = net->num_nodes();
+  auto ch = std::shared_ptr<ContractionHierarchy>(new ContractionHierarchy());
+  ch->net_ = net;
+  ch->rank_.assign(n, 0);
+
+  // Seed arcs from the original edges.
+  LiveGraph live;
+  live.out.resize(n);
+  live.in.resize(n);
+  ch->arcs_.reserve(net->num_edges() * 2);
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    const uint32_t aid = static_cast<uint32_t>(ch->arcs_.size());
+    ch->arcs_.push_back(
+        {net->tail(e), net->head(e), weights[e], e, kNoChild, kNoChild});
+    live.out[net->tail(e)].push_back(aid);
+    live.in[net->head(e)].push_back(aid);
+  }
+
+  std::vector<bool> contracted(n, false);
+  std::vector<uint32_t> deleted_neighbors(n, 0);
+  WitnessSearch witness(n);
+
+  // Simulates or performs the contraction of `v`. When `commit` is true the
+  // shortcuts are added to the arc set and live graph; otherwise only the
+  // shortcut count is computed (for priority evaluation).
+  auto contract = [&](NodeId v, bool commit) -> int {
+    int shortcuts = 0;
+    int removed = 0;
+    for (uint32_t in_aid : live.in[v]) {
+      if (contracted[ch->arcs_[in_aid].from]) continue;
+      ++removed;
+    }
+    for (uint32_t out_aid : live.out[v]) {
+      if (contracted[ch->arcs_[out_aid].to]) continue;
+      ++removed;
+    }
+    for (uint32_t in_aid : live.in[v]) {
+      const Arc in_arc = ch->arcs_[in_aid];
+      const NodeId u = in_arc.from;
+      if (contracted[u] || u == v) continue;
+      // Bound for witness search: longest potential shortcut via v from u.
+      double max_via = 0.0;
+      for (uint32_t out_aid : live.out[v]) {
+        const Arc& out_arc = ch->arcs_[out_aid];
+        if (contracted[out_arc.to] || out_arc.to == u) continue;
+        max_via = std::max(max_via, in_arc.weight + out_arc.weight);
+      }
+      if (max_via == 0.0) continue;
+      witness.Run(ch->arcs_, live, contracted, u, v, max_via,
+                  options.witness_settle_limit);
+      for (uint32_t out_aid : live.out[v]) {
+        const Arc out_arc = ch->arcs_[out_aid];
+        const NodeId w = out_arc.to;
+        if (contracted[w] || w == u) continue;
+        const double via = in_arc.weight + out_arc.weight;
+        if (witness.DistanceTo(w) <= via) continue;  // witness found
+        ++shortcuts;
+        if (!commit) continue;
+        // Collapse parallels: replace an existing u->w arc if heavier.
+        bool replaced = false;
+        for (uint32_t aid : live.out[u]) {
+          Arc& a = ch->arcs_[aid];
+          if (a.to == w && !contracted[w]) {
+            if (via < a.weight) {
+              a.weight = via;
+              a.orig_edge = kInvalidEdge;
+              a.child1 = in_aid;
+              a.child2 = out_aid;
+            }
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) {
+          const uint32_t aid = static_cast<uint32_t>(ch->arcs_.size());
+          ch->arcs_.push_back({u, w, via, kInvalidEdge, in_aid, out_aid});
+          live.out[u].push_back(aid);
+          live.in[w].push_back(aid);
+          ++ch->num_shortcuts_;
+        }
+      }
+    }
+    return shortcuts - removed;  // edge difference
+  };
+
+  auto priority = [&](NodeId v) {
+    const int edge_diff = contract(v, /*commit=*/false);
+    return options.edge_difference_weight * edge_diff +
+           options.deleted_neighbors_weight * deleted_neighbors[v];
+  };
+
+  IndexedHeap<double> order(n);
+  for (NodeId v = 0; v < n; ++v) order.PushOrDecrease(v, priority(v));
+
+  uint32_t next_rank = 0;
+  while (!order.Empty()) {
+    // Lazy update: recompute the top's priority; reinsert if it got worse.
+    const auto [v, old_p] = order.PopMin();
+    const double new_p = priority(v);
+    if (!order.Empty() && new_p > order.Top().second) {
+      order.PushOrDecrease(v, new_p);
+      continue;
+    }
+    (void)old_p;
+    contract(v, /*commit=*/true);
+    contracted[v] = true;
+    ch->rank_[v] = next_rank++;
+    for (uint32_t aid : live.out[v]) {
+      const NodeId w = ch->arcs_[aid].to;
+      if (!contracted[w]) ++deleted_neighbors[w];
+    }
+    for (uint32_t aid : live.in[v]) {
+      const NodeId u = ch->arcs_[aid].from;
+      if (!contracted[u]) ++deleted_neighbors[u];
+    }
+  }
+
+  // Freeze the search graphs: every arc goes either into the upward graph
+  // (bucketed by tail) or the downward graph (bucketed by head). Redundant
+  // parallel arcs are harmless for correctness — Dijkstra takes the minimum.
+  std::vector<uint32_t> up_count(n + 1, 0), down_count(n + 1, 0);
+  for (uint32_t aid = 0; aid < ch->arcs_.size(); ++aid) {
+    const Arc& a = ch->arcs_[aid];
+    if (ch->rank_[a.to] > ch->rank_[a.from]) {
+      ++up_count[a.from + 1];
+    } else {
+      ++down_count[a.to + 1];
+    }
+  }
+  for (size_t v = 1; v <= n; ++v) {
+    up_count[v] += up_count[v - 1];
+    down_count[v] += down_count[v - 1];
+  }
+  ch->up_first_ = up_count;
+  ch->down_first_ = down_count;
+  ch->up_arcs_.resize(up_count[n]);
+  ch->down_arcs_.resize(down_count[n]);
+  std::vector<uint32_t> up_cur(ch->up_first_.begin(), ch->up_first_.end() - 1);
+  std::vector<uint32_t> down_cur(ch->down_first_.begin(),
+                                 ch->down_first_.end() - 1);
+  for (uint32_t aid = 0; aid < ch->arcs_.size(); ++aid) {
+    const Arc& a = ch->arcs_[aid];
+    if (ch->rank_[a.to] > ch->rank_[a.from]) {
+      ch->up_arcs_[up_cur[a.from]++] = aid;
+    } else {
+      ch->down_arcs_[down_cur[a.to]++] = aid;
+    }
+  }
+  return std::shared_ptr<const ContractionHierarchy>(std::move(ch));
+}
+
+void ContractionHierarchy::UnpackArc(uint32_t arc,
+                                     std::vector<EdgeId>* out) const {
+  const Arc& a = arcs_[arc];
+  if (a.orig_edge != kInvalidEdge) {
+    out->push_back(a.orig_edge);
+    return;
+  }
+  ALTROUTE_CHECK(a.child1 != kNoChild && a.child2 != kNoChild)
+      << "shortcut without children";
+  UnpackArc(a.child1, out);
+  UnpackArc(a.child2, out);
+}
+
+Result<RouteResult> ContractionHierarchy::ShortestPath(NodeId source,
+                                                       NodeId target) const {
+  const size_t n = net_->num_nodes();
+  if (source >= n || target >= n) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (source == target) return RouteResult{0.0, {}};
+
+  std::vector<double> dist_f(n, kInfCost), dist_b(n, kInfCost);
+  std::vector<uint32_t> parent_f(n, kNoChild), parent_b(n, kNoChild);
+  IndexedHeap<double> heap_f(n), heap_b(n);
+
+  dist_f[source] = 0.0;
+  dist_b[target] = 0.0;
+  heap_f.PushOrDecrease(source, 0.0);
+  heap_b.PushOrDecrease(target, 0.0);
+
+  double best = kInfCost;
+  NodeId meet = kInvalidNode;
+
+  // Both searches go strictly upward; neither can be stopped at the first
+  // meeting, so run each to exhaustion of entries below `best`.
+  while (!heap_f.Empty() || !heap_b.Empty()) {
+    const double tf = heap_f.Empty() ? kInfCost : heap_f.Top().second;
+    const double tb = heap_b.Empty() ? kInfCost : heap_b.Top().second;
+    if (std::min(tf, tb) >= best) break;
+    if (tf <= tb) {
+      const auto [u, du] = heap_f.PopMin();
+      if (dist_b[u] < kInfCost && du + dist_b[u] < best) {
+        best = du + dist_b[u];
+        meet = u;
+      }
+      for (uint32_t i = up_first_[u]; i < up_first_[u + 1]; ++i) {
+        const uint32_t aid = up_arcs_[i];
+        const Arc& a = arcs_[aid];
+        const double dv = du + a.weight;
+        if (dv < dist_f[a.to]) {
+          dist_f[a.to] = dv;
+          parent_f[a.to] = aid;
+          heap_f.PushOrDecrease(a.to, dv);
+        }
+      }
+    } else {
+      const auto [u, du] = heap_b.PopMin();
+      if (dist_f[u] < kInfCost && du + dist_f[u] < best) {
+        best = du + dist_f[u];
+        meet = u;
+      }
+      for (uint32_t i = down_first_[u]; i < down_first_[u + 1]; ++i) {
+        const uint32_t aid = down_arcs_[i];
+        const Arc& a = arcs_[aid];  // arc a.from -> u with rank[a.from] higher
+        const double dv = du + a.weight;
+        if (dv < dist_b[a.from]) {
+          dist_b[a.from] = dv;
+          parent_b[a.from] = aid;
+          heap_b.PushOrDecrease(a.from, dv);
+        }
+      }
+    }
+  }
+
+  if (meet == kInvalidNode) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  RouteResult out;
+  out.cost = best;
+  // Forward chain: source .. meet (arcs recorded at their heads).
+  std::vector<uint32_t> fwd_arcs;
+  for (NodeId cur = meet; cur != source;) {
+    const uint32_t aid = parent_f[cur];
+    fwd_arcs.push_back(aid);
+    cur = arcs_[aid].from;
+  }
+  std::reverse(fwd_arcs.begin(), fwd_arcs.end());
+  for (uint32_t aid : fwd_arcs) UnpackArc(aid, &out.edges);
+  // Backward chain: meet .. target (arcs recorded at their tails).
+  for (NodeId cur = meet; cur != target;) {
+    const uint32_t aid = parent_b[cur];
+    UnpackArc(aid, &out.edges);
+    cur = arcs_[aid].to;
+  }
+  return out;
+}
+
+}  // namespace altroute

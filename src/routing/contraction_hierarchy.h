@@ -1,0 +1,89 @@
+// Contraction Hierarchies (Geisberger et al.): preprocessing-based exact
+// shortest paths. The paper's related work leans on preprocessing-heavy
+// indexes (hub labels [1], dynamic indexes [13]); CH is the canonical such
+// substrate and gives the demo server sub-millisecond point-to-point queries.
+//
+// The hierarchy is built for one fixed weight vector. Queries run a
+// bidirectional upward search and unpack shortcuts into original edge ids.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// Tuning knobs for CH preprocessing.
+struct ChOptions {
+  /// Witness searches stop after settling this many nodes; smaller builds
+  /// faster hierarchies with a few redundant shortcuts (still correct).
+  size_t witness_settle_limit = 60;
+  /// Importance term weights (classic edge-difference heuristic).
+  double edge_difference_weight = 4.0;
+  double deleted_neighbors_weight = 2.0;
+};
+
+/// An immutable contraction hierarchy over a RoadNetwork + weight vector.
+class ContractionHierarchy {
+ public:
+  /// Builds the hierarchy. `weights` must have one positive finite entry per
+  /// edge of `net` and is captured by value (queries are self-contained).
+  static Result<std::shared_ptr<const ContractionHierarchy>> Build(
+      std::shared_ptr<const RoadNetwork> net, std::span<const double> weights,
+      const ChOptions& options = {});
+
+  /// Point-to-point query. Thread-compatible: each call allocates its own
+  /// workspace (see Query class for a reusable-workspace variant).
+  Result<RouteResult> ShortestPath(NodeId source, NodeId target) const;
+
+  /// Contraction rank of each node (0 = contracted first).
+  const std::vector<uint32_t>& ranks() const { return rank_; }
+
+  /// Total arcs including shortcuts (instrumentation).
+  size_t num_arcs() const { return arcs_.size(); }
+  size_t num_shortcuts() const { return num_shortcuts_; }
+
+  const RoadNetwork& network() const { return *net_; }
+
+  /// Internal arc representation, exposed for the preprocessing helpers.
+  struct Arc {
+    NodeId from;
+    NodeId to;
+    double weight;
+    EdgeId orig_edge;   // kInvalidEdge for shortcuts
+    uint32_t child1;    // arc ids of the two replaced arcs (shortcuts only)
+    uint32_t child2;
+  };
+  static constexpr uint32_t kNoChild = static_cast<uint32_t>(-1);
+
+  /// Read access to the search graphs for CH-based algorithms (PHAST).
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  const std::vector<uint32_t>& up_first() const { return up_first_; }
+  const std::vector<uint32_t>& up_arcs() const { return up_arcs_; }
+  const std::vector<uint32_t>& down_first() const { return down_first_; }
+  const std::vector<uint32_t>& down_arcs() const { return down_arcs_; }
+
+ private:
+  ContractionHierarchy() = default;
+
+  void UnpackArc(uint32_t arc, std::vector<EdgeId>* out) const;
+
+  std::shared_ptr<const RoadNetwork> net_;
+  std::vector<uint32_t> rank_;
+  std::vector<Arc> arcs_;
+  size_t num_shortcuts_ = 0;
+
+  // Upward graph for the forward search: arcs with rank[to] > rank[from].
+  std::vector<uint32_t> up_first_;   // CSR by `from`
+  std::vector<uint32_t> up_arcs_;
+  // Upward graph for the backward search: arcs with rank[from] > rank[to],
+  // bucketed by `to` (traversed in reverse).
+  std::vector<uint32_t> down_first_;  // CSR by `to`
+  std::vector<uint32_t> down_arcs_;
+};
+
+}  // namespace altroute

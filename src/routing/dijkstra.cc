@@ -1,0 +1,144 @@
+#include "routing/dijkstra.h"
+
+#include <algorithm>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+Result<std::vector<EdgeId>> ShortestPathTree::PathTo(const RoadNetwork& net,
+                                                     NodeId v) const {
+  if (v >= dist.size()) return Status::InvalidArgument("node out of range");
+  if (!Reached(v)) return Status::NotFound("node unreached in tree");
+  std::vector<EdgeId> edges;
+  NodeId cur = v;
+  while (cur != root) {
+    const EdgeId e = parent_edge[cur];
+    if (e == kInvalidEdge) return Status::Internal("broken tree parent chain");
+    edges.push_back(e);
+    cur = (direction == SearchDirection::kForward) ? net.tail(e) : net.head(e);
+  }
+  if (direction == SearchDirection::kForward) {
+    std::reverse(edges.begin(), edges.end());
+  }
+  return edges;
+}
+
+struct Dijkstra::HeapHolder {
+  explicit HeapHolder(size_t n) : heap(n) {}
+  IndexedHeap<double> heap;
+};
+
+Dijkstra::Dijkstra(const RoadNetwork& net)
+    : net_(net),
+      dist_(net.num_nodes(), kInfCost),
+      parent_(net.num_nodes(), kInvalidEdge),
+      stamp_(net.num_nodes(), 0),
+      heap_(std::make_shared<HeapHolder>(net.num_nodes())) {}
+
+Status Dijkstra::ValidateInputs(NodeId source,
+                                std::span<const double> weights) const {
+  if (source >= net_.num_nodes()) {
+    return Status::InvalidArgument("source node out of range");
+  }
+  if (weights.size() != net_.num_edges()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+  return Status::OK();
+}
+
+Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
+                                           std::span<const double> weights,
+                                           const EdgeFilter& skip_edge) {
+  ALTROUTE_RETURN_NOT_OK(ValidateInputs(source, weights));
+  if (target >= net_.num_nodes()) {
+    return Status::InvalidArgument("target node out of range");
+  }
+
+  ++current_stamp_;
+  auto& heap = heap_->heap;
+  heap.Clear();
+  last_settled_ = 0;
+
+  auto relax = [&](NodeId v, double d, EdgeId via) {
+    if (stamp_[v] != current_stamp_ || d < dist_[v]) {
+      stamp_[v] = current_stamp_;
+      dist_[v] = d;
+      parent_[v] = via;
+      heap.PushOrDecrease(v, d);
+    }
+  };
+
+  relax(source, 0.0, kInvalidEdge);
+  while (!heap.Empty()) {
+    const auto [u, du] = heap.PopMin();
+    ++last_settled_;
+    if (u == target) break;
+    for (EdgeId e : net_.OutEdges(u)) {
+      if (skip_edge && skip_edge(e)) continue;
+      relax(net_.head(e), du + weights[e], e);
+    }
+  }
+
+  if (stamp_[target] != current_stamp_ || dist_[target] == kInfCost ||
+      (target != source && parent_[target] == kInvalidEdge)) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  RouteResult out;
+  out.cost = dist_[target];
+  NodeId cur = target;
+  while (cur != source) {
+    const EdgeId e = parent_[cur];
+    out.edges.push_back(e);
+    cur = net_.tail(e);
+  }
+  std::reverse(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
+                                             std::span<const double> weights,
+                                             SearchDirection direction,
+                                             double max_cost) {
+  ALTROUTE_RETURN_NOT_OK(ValidateInputs(root, weights));
+
+  ShortestPathTree tree;
+  tree.root = root;
+  tree.direction = direction;
+  tree.dist.assign(net_.num_nodes(), kInfCost);
+  tree.parent_edge.assign(net_.num_nodes(), kInvalidEdge);
+
+  auto& heap = heap_->heap;
+  heap.Clear();
+  ++current_stamp_;  // keep the stamp space consistent with ShortestPath runs
+  last_settled_ = 0;
+
+  tree.dist[root] = 0.0;
+  heap.PushOrDecrease(root, 0.0);
+  std::vector<bool> settled(net_.num_nodes(), false);
+
+  while (!heap.Empty()) {
+    const auto [u, du] = heap.PopMin();
+    if (du > max_cost) break;
+    settled[u] = true;
+    ++last_settled_;
+    const auto edges = (direction == SearchDirection::kForward)
+                           ? net_.OutEdges(u)
+                           : net_.InEdges(u);
+    for (EdgeId e : edges) {
+      const NodeId v =
+          (direction == SearchDirection::kForward) ? net_.head(e) : net_.tail(e);
+      if (settled[v]) continue;
+      const double dv = du + weights[e];
+      if (dv < tree.dist[v]) {
+        tree.dist[v] = dv;
+        tree.parent_edge[v] = e;
+        heap.PushOrDecrease(v, dv);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace altroute

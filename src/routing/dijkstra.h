@@ -1,0 +1,90 @@
+// Dijkstra's algorithm over a RoadNetwork with an explicit edge-weight
+// vector: one-to-one queries, one-to-all searches, and full shortest-path
+// tree construction (forward trees rooted at a source, backward trees rooted
+// at a target). Plateau and via-node alternative generators consume the
+// trees directly (paper Sec. 2.2-2.3).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "util/result.h"
+
+namespace altroute {
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// Search orientation. A forward tree holds shortest paths *from* the root;
+/// a backward tree (run on reverse adjacency) holds shortest paths *to* it.
+enum class SearchDirection { kForward, kBackward };
+
+/// Dense shortest-path tree: per-node distance and the tree edge that reaches
+/// the node (for forward trees, parent_edge[v] enters v; for backward trees,
+/// parent_edge[v] leaves v toward the root).
+struct ShortestPathTree {
+  NodeId root = kInvalidNode;
+  SearchDirection direction = SearchDirection::kForward;
+  std::vector<double> dist;        // kInfCost when unreached
+  std::vector<EdgeId> parent_edge;  // kInvalidEdge at root / unreached
+
+  bool Reached(NodeId v) const { return dist[v] < kInfCost; }
+
+  /// Edge sequence of the tree path between root and `v` in travel order
+  /// (root->v for forward trees, v->root for backward trees). Empty when
+  /// v == root; NotFound when v is unreached.
+  Result<std::vector<EdgeId>> PathTo(const RoadNetwork& net, NodeId v) const;
+};
+
+/// A computed route: total cost under the query weights plus edge sequence.
+struct RouteResult {
+  double cost = kInfCost;
+  std::vector<EdgeId> edges;
+};
+
+/// Optional per-edge predicate; edges where it returns true are skipped.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// Reusable Dijkstra engine. Holds workspace arrays sized to the network so
+/// repeated queries do not reallocate. Not thread-safe; use one instance per
+/// thread.
+class Dijkstra {
+ public:
+  explicit Dijkstra(const RoadNetwork& net);
+
+  /// One-to-one shortest path under `weights` (size num_edges). Returns
+  /// NotFound when t is unreachable from s, InvalidArgument on bad inputs.
+  Result<RouteResult> ShortestPath(NodeId source, NodeId target,
+                                   std::span<const double> weights,
+                                   const EdgeFilter& skip_edge = nullptr);
+
+  /// Full shortest-path tree from `root` in the given direction. Nodes
+  /// farther than `max_cost` may be left unreached (pruning bound).
+  Result<ShortestPathTree> BuildTree(NodeId root, std::span<const double> weights,
+                                     SearchDirection direction,
+                                     double max_cost = kInfCost);
+
+  /// Number of nodes settled by the most recent query (instrumentation).
+  size_t last_settled_count() const { return last_settled_; }
+
+  const RoadNetwork& network() const { return net_; }
+
+ private:
+  Status ValidateInputs(NodeId source, std::span<const double> weights) const;
+
+  const RoadNetwork& net_;
+  // Timestamped workspace: entries are valid only when stamp matches.
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_;
+  std::vector<uint32_t> stamp_;
+  uint32_t current_stamp_ = 0;
+  size_t last_settled_ = 0;
+
+  // Heap is recreated cheaply per query via Clear(); allocation is retained.
+  struct HeapHolder;
+  std::shared_ptr<HeapHolder> heap_;
+};
+
+}  // namespace altroute

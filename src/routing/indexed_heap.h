@@ -1,0 +1,133 @@
+// Indexed 4-ary min-heap with decrease-key, keyed by dense ids. The standard
+// priority queue for label-setting shortest-path algorithms: each id appears
+// at most once, and PushOrDecrease updates its priority in place.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace altroute {
+
+/// Min-heap over ids [0, capacity) with priorities of type P.
+/// 4-ary layout: shallower trees and better cache behaviour than binary for
+/// the decrease-key-heavy workloads of Dijkstra on road networks.
+template <typename P>
+class IndexedHeap {
+ public:
+  explicit IndexedHeap(size_t capacity = 0) { Reset(capacity); }
+
+  /// Clears the heap and resizes the id space.
+  void Reset(size_t capacity) {
+    pos_.assign(capacity, kAbsent);
+    heap_.clear();
+  }
+
+  /// Removes all entries, keeping the id space.
+  void Clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+  size_t Capacity() const { return pos_.size(); }
+
+  bool Contains(uint32_t id) const { return pos_[id] != kAbsent; }
+
+  /// Priority of a contained id. Precondition: Contains(id).
+  P PriorityOf(uint32_t id) const {
+    ALTROUTE_DCHECK(Contains(id));
+    return heap_[pos_[id]].priority;
+  }
+
+  /// Inserts id, or decreases its priority if already present with a larger
+  /// one. Returns true if the heap changed.
+  bool PushOrDecrease(uint32_t id, P priority) {
+    ALTROUTE_DCHECK(id < pos_.size());
+    const uint32_t p = pos_[id];
+    if (p == kAbsent) {
+      heap_.push_back({priority, id});
+      pos_[id] = static_cast<uint32_t>(heap_.size() - 1);
+      SiftUp(heap_.size() - 1);
+      return true;
+    }
+    if (priority < heap_[p].priority) {
+      heap_[p].priority = priority;
+      SiftUp(p);
+      return true;
+    }
+    return false;
+  }
+
+  /// Smallest entry without removing it. Precondition: !Empty().
+  std::pair<uint32_t, P> Top() const {
+    ALTROUTE_DCHECK(!Empty());
+    return {heap_[0].id, heap_[0].priority};
+  }
+
+  /// Removes and returns (id, priority) of the smallest entry.
+  std::pair<uint32_t, P> PopMin() {
+    ALTROUTE_DCHECK(!Empty());
+    const Entry top = heap_[0];
+    pos_[top.id] = kAbsent;
+    if (heap_.size() > 1) {
+      heap_[0] = heap_.back();
+      pos_[heap_[0].id] = 0;
+      heap_.pop_back();
+      SiftDown(0);
+    } else {
+      heap_.pop_back();
+    }
+    return {top.id, top.priority};
+  }
+
+ private:
+  static constexpr uint32_t kAbsent = static_cast<uint32_t>(-1);
+  static constexpr size_t kArity = 4;
+
+  struct Entry {
+    P priority;
+    uint32_t id;
+  };
+
+  void SiftUp(size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!(e.priority < heap_[parent].priority)) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = static_cast<uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<uint32_t>(i);
+  }
+
+  void SiftDown(size_t i) {
+    Entry e = heap_[i];
+    const size_t n = heap_.size();
+    for (;;) {
+      const size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      size_t best = first_child;
+      const size_t last_child = std::min(first_child + kArity, n);
+      for (size_t c = first_child + 1; c < last_child; ++c) {
+        if (heap_[c].priority < heap_[best].priority) best = c;
+      }
+      if (!(heap_[best].priority < e.priority)) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i].id] = static_cast<uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<uint32_t>(i);
+  }
+
+  std::vector<uint32_t> pos_;  // id -> heap slot, kAbsent when not contained
+  std::vector<Entry> heap_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,93 @@
+#include "routing/many_to_many.h"
+
+#include <algorithm>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+ManyToMany::ManyToMany(std::shared_ptr<const ContractionHierarchy> ch)
+    : ch_(std::move(ch)) {
+  const size_t n = ch_->ranks().size();
+  buckets_.resize(n);
+  dist_.assign(n, kInfCost);
+  stamp_.assign(n, 0);
+}
+
+Result<std::vector<std::vector<double>>> ManyToMany::Table(
+    std::span<const NodeId> sources, std::span<const NodeId> targets) {
+  const size_t n = ch_->ranks().size();
+  for (NodeId s : sources) {
+    if (s >= n) return Status::InvalidArgument("source out of range");
+  }
+  for (NodeId t : targets) {
+    if (t >= n) return Status::InvalidArgument("target out of range");
+  }
+  const auto& arcs = ch_->arcs();
+  const auto& up_first = ch_->up_first();
+  const auto& up_arcs = ch_->up_arcs();
+  const auto& down_first = ch_->down_first();
+  const auto& down_arcs = ch_->down_arcs();
+
+  // Phase 1: backward upward search from every target; record (target,
+  // distance) in the bucket of every settled node.
+  std::vector<NodeId> touched;  // nodes whose buckets must be cleared later
+  IndexedHeap<double> heap(n);
+  for (uint32_t ti = 0; ti < targets.size(); ++ti) {
+    ++now_;
+    heap.Clear();
+    dist_[targets[ti]] = 0.0;
+    stamp_[targets[ti]] = now_;
+    heap.PushOrDecrease(targets[ti], 0.0);
+    while (!heap.Empty()) {
+      const auto [u, du] = heap.PopMin();
+      if (stamp_[u] != now_ || du > dist_[u]) continue;
+      if (buckets_[u].empty()) touched.push_back(u);
+      buckets_[u].push_back({ti, du});
+      // Backward upward: arcs v -> u with rank[v] > rank[u].
+      for (uint32_t k = down_first[u]; k < down_first[u + 1]; ++k) {
+        const auto& a = arcs[down_arcs[k]];
+        const double dv = du + a.weight;
+        if (stamp_[a.from] != now_ || dv < dist_[a.from]) {
+          stamp_[a.from] = now_;
+          dist_[a.from] = dv;
+          heap.PushOrDecrease(a.from, dv);
+        }
+      }
+    }
+  }
+
+  // Phase 2: forward upward search from every source; scan buckets.
+  std::vector<std::vector<double>> table(
+      sources.size(), std::vector<double>(targets.size(), kInfCost));
+  for (uint32_t si = 0; si < sources.size(); ++si) {
+    ++now_;
+    heap.Clear();
+    dist_[sources[si]] = 0.0;
+    stamp_[sources[si]] = now_;
+    heap.PushOrDecrease(sources[si], 0.0);
+    auto& row = table[si];
+    while (!heap.Empty()) {
+      const auto [u, du] = heap.PopMin();
+      if (stamp_[u] != now_ || du > dist_[u]) continue;
+      for (const BucketEntry& entry : buckets_[u]) {
+        row[entry.target_index] =
+            std::min(row[entry.target_index], du + entry.dist);
+      }
+      for (uint32_t k = up_first[u]; k < up_first[u + 1]; ++k) {
+        const auto& a = arcs[up_arcs[k]];
+        const double dv = du + a.weight;
+        if (stamp_[a.to] != now_ || dv < dist_[a.to]) {
+          stamp_[a.to] = now_;
+          dist_[a.to] = dv;
+          heap.PushOrDecrease(a.to, dv);
+        }
+      }
+    }
+  }
+
+  for (NodeId u : touched) buckets_[u].clear();
+  return table;
+}
+
+}  // namespace altroute

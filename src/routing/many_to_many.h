@@ -1,0 +1,40 @@
+// Many-to-many shortest-path distance tables over a contraction hierarchy
+// (the bucket algorithm of Knopp et al.): one backward upward search per
+// target fills per-node buckets, one forward upward search per source scans
+// them. Computes |S| x |T| tables orders of magnitude faster than |S| x |T|
+// point-to-point queries — the substrate for batch evaluation workloads
+// (e.g. scoring many candidate study queries at once).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "routing/contraction_hierarchy.h"
+
+namespace altroute {
+
+/// Reusable many-to-many engine bound to a hierarchy. Not thread-safe.
+class ManyToMany {
+ public:
+  explicit ManyToMany(std::shared_ptr<const ContractionHierarchy> ch);
+
+  /// distances[i][j] = shortest-path cost sources[i] -> targets[j]
+  /// (kInfCost when unreachable). InvalidArgument on out-of-range ids.
+  Result<std::vector<std::vector<double>>> Table(
+      std::span<const NodeId> sources, std::span<const NodeId> targets);
+
+ private:
+  std::shared_ptr<const ContractionHierarchy> ch_;
+
+  struct BucketEntry {
+    uint32_t target_index;
+    double dist;
+  };
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::vector<double> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t now_ = 0;
+};
+
+}  // namespace altroute

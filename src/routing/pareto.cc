@@ -1,0 +1,141 @@
+#include "routing/pareto.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace altroute {
+
+namespace {
+
+struct Label {
+  double c1;
+  double c2;
+  NodeId node;
+  uint32_t parent;   // label index, kNoParent at the source
+  EdgeId via_edge;   // kInvalidEdge at the source
+  bool pruned;
+};
+
+constexpr uint32_t kNoParent = static_cast<uint32_t>(-1);
+
+/// Heap entry ordered lexicographically by (c1, c2); min-heap.
+struct QueueEntry {
+  double c1;
+  double c2;
+  uint32_t label;
+  bool operator>(const QueueEntry& o) const {
+    if (c1 != o.c1) return c1 > o.c1;
+    return c2 > o.c2;
+  }
+};
+
+bool Dominates(double a1, double a2, double b1, double b2) {
+  return a1 <= b1 && a2 <= b2;
+}
+
+}  // namespace
+
+BiCriteriaSearch::BiCriteriaSearch(const RoadNetwork& net) : net_(net) {}
+
+Result<std::vector<ParetoPath>> BiCriteriaSearch::ParetoPaths(
+    NodeId source, NodeId target, std::span<const double> weights1,
+    std::span<const double> weights2, const BiCriteriaOptions& options) {
+  const size_t n = net_.num_nodes();
+  if (source >= n || target >= n) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (weights1.size() != net_.num_edges() ||
+      weights2.size() != net_.num_edges()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+
+  std::vector<Label> arena;
+  arena.reserve(4 * n);
+  // Per-node nondominated label ids, kept sorted by c1 ascending (and thus
+  // c2 descending).
+  std::vector<std::vector<uint32_t>> frontier(n);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+
+  // Tries to add a label to `node`'s frontier; returns false when dominated.
+  auto try_insert = [&](NodeId node, double c1, double c2, uint32_t parent,
+                        EdgeId via) {
+    auto& labels = frontier[node];
+    // Find insertion point by c1.
+    const auto pos = std::lower_bound(
+        labels.begin(), labels.end(), c1,
+        [&](uint32_t id, double value) { return arena[id].c1 < value; });
+    // Everything before pos has c1 <= c1: dominated if any has c2 <= c2.
+    for (auto it = labels.begin(); it != pos; ++it) {
+      if (arena[*it].c2 <= c2) return false;
+    }
+    // A label at pos with equal c1 and better-or-equal c2 also dominates.
+    if (pos != labels.end() && arena[*pos].c1 == c1 && arena[*pos].c2 <= c2) {
+      return false;
+    }
+    const uint32_t id = static_cast<uint32_t>(arena.size());
+    arena.push_back({c1, c2, node, parent, via, false});
+    // Remove labels after pos that the new one dominates (c1 >= ours, so
+    // dominated iff their c2 >= ours).
+    auto insert_at = labels.insert(pos, id);
+    auto kept = insert_at + 1;
+    for (auto it = insert_at + 1; it != labels.end(); ++it) {
+      if (Dominates(c1, c2, arena[*it].c1, arena[*it].c2)) {
+        arena[*it].pruned = true;
+      } else {
+        *kept++ = *it;
+      }
+    }
+    labels.erase(kept, labels.end());
+    // Per-node cap: drop the worst-c1 label.
+    if (labels.size() > options.max_labels_per_node) {
+      arena[labels.back()].pruned = true;
+      labels.pop_back();
+    }
+    if (!arena[id].pruned) queue.push({c1, c2, id});
+    return !arena[id].pruned;
+  };
+
+  try_insert(source, 0.0, 0.0, kNoParent, kInvalidEdge);
+
+  double best_target_c1 = kInfCost;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const Label label = arena[top.label];
+    if (label.pruned) continue;
+    if (best_target_c1 < kInfCost && options.cost1_bound_factor > 0.0 &&
+        label.c1 > options.cost1_bound_factor * best_target_c1) {
+      continue;
+    }
+    if (label.node == target) {
+      best_target_c1 = std::min(best_target_c1, label.c1);
+      continue;  // labels at the target need no expansion
+    }
+    for (EdgeId e : net_.OutEdges(label.node)) {
+      try_insert(net_.head(e), label.c1 + weights1[e], label.c2 + weights2[e],
+                 top.label, e);
+    }
+  }
+
+  if (frontier[target].empty()) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  std::vector<ParetoPath> paths;
+  paths.reserve(frontier[target].size());
+  for (uint32_t id : frontier[target]) {
+    ParetoPath path;
+    path.cost1 = arena[id].c1;
+    path.cost2 = arena[id].c2;
+    for (uint32_t cur = id; arena[cur].parent != kNoParent;
+         cur = arena[cur].parent) {
+      path.edges.push_back(arena[cur].via_edge);
+    }
+    std::reverse(path.edges.begin(), path.edges.end());
+    paths.push_back(std::move(path));
+  }
+  // frontier is sorted by c1 already.
+  return paths;
+}
+
+}  // namespace altroute

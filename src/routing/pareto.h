@@ -1,0 +1,51 @@
+// Bi-criteria (Pareto / skyline) shortest paths, paper Sec. 2.4: "Pareto
+// optimal [5, 6] paths (i.e., skyline paths) report the paths that are not
+// dominated by any other path according to given criteria (e.g., distance,
+// travel time)". Implemented as a label-setting multi-criteria Dijkstra with
+// per-node Pareto sets and a bound on labels per node to keep the (worst
+// case exponential) frontier tractable on city-scale graphs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "routing/dijkstra.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// One Pareto-optimal s-t path under two criteria.
+struct ParetoPath {
+  double cost1 = 0.0;  // primary criterion (e.g., travel time)
+  double cost2 = 0.0;  // secondary criterion (e.g., distance)
+  std::vector<EdgeId> edges;
+};
+
+/// Knobs for the bi-criteria search.
+struct BiCriteriaOptions {
+  /// Hard cap on nondominated labels kept per node; when exceeded, labels
+  /// with the worst cost1 are dropped (the result is then a subset of the
+  /// true Pareto front, never a superset).
+  size_t max_labels_per_node = 24;
+  /// Labels whose cost1 exceeds bound1 * (best cost1 to the target) are
+  /// pruned; <= 0 disables the bound.
+  double cost1_bound_factor = 2.0;
+};
+
+/// Computes Pareto-optimal s-t paths under (weights1, weights2), ordered by
+/// ascending cost1 (hence descending cost2). Both weight vectors must be
+/// positive and sized num_edges. Returns NotFound when t is unreachable.
+class BiCriteriaSearch {
+ public:
+  explicit BiCriteriaSearch(const RoadNetwork& net);
+
+  Result<std::vector<ParetoPath>> ParetoPaths(
+      NodeId source, NodeId target, std::span<const double> weights1,
+      std::span<const double> weights2, const BiCriteriaOptions& options = {});
+
+ private:
+  const RoadNetwork& net_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,66 @@
+#include "routing/phast.h"
+
+#include <algorithm>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+Phast::Phast(std::shared_ptr<const ContractionHierarchy> ch)
+    : ch_(std::move(ch)) {
+  const auto& arcs = ch_->arcs();
+  const auto& rank = ch_->ranks();
+  const auto& down_first = ch_->down_first();
+  const auto& down_arcs = ch_->down_arcs();
+  const size_t n = rank.size();
+
+  sweep_.reserve(down_arcs.size());
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint32_t k = down_first[v]; k < down_first[v + 1]; ++k) {
+      const auto& a = arcs[down_arcs[k]];
+      sweep_.push_back({a.from, a.to, a.weight});
+    }
+  }
+  std::sort(sweep_.begin(), sweep_.end(),
+            [&](const SweepArc& a, const SweepArc& b) {
+              return rank[a.from] > rank[b.from];
+            });
+  dist_.assign(n, kInfCost);
+}
+
+Result<std::vector<double>> Phast::Distances(NodeId source) {
+  const size_t n = ch_->ranks().size();
+  if (source >= n) return Status::InvalidArgument("source out of range");
+  const auto& arcs = ch_->arcs();
+  const auto& up_first = ch_->up_first();
+  const auto& up_arcs = ch_->up_arcs();
+
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+
+  // Phase 1: upward Dijkstra from the source.
+  IndexedHeap<double> heap(n);
+  dist_[source] = 0.0;
+  heap.PushOrDecrease(source, 0.0);
+  while (!heap.Empty()) {
+    const auto [u, du] = heap.PopMin();
+    if (du > dist_[u]) continue;
+    for (uint32_t k = up_first[u]; k < up_first[u + 1]; ++k) {
+      const auto& a = arcs[up_arcs[k]];
+      const double dv = du + a.weight;
+      if (dv < dist_[a.to]) {
+        dist_[a.to] = dv;
+        heap.PushOrDecrease(a.to, dv);
+      }
+    }
+  }
+
+  // Phase 2: one sweep over downward arcs in descending tail rank.
+  for (const SweepArc& a : sweep_) {
+    if (dist_[a.from] == kInfCost) continue;
+    const double d = dist_[a.from] + a.weight;
+    if (d < dist_[a.to]) dist_[a.to] = d;
+  }
+  return dist_;
+}
+
+}  // namespace altroute

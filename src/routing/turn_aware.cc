@@ -1,0 +1,150 @@
+#include "routing/turn_aware.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "routing/indexed_heap.h"
+
+namespace altroute {
+
+namespace {
+
+uint64_t RestrictionKey(EdgeId from, EdgeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+bool IsUTurn(const RoadNetwork& net, EdgeId from, EdgeId to) {
+  return net.tail(from) == net.head(to) && net.head(from) == net.tail(to);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TurnAwareRouter>> TurnAwareRouter::Build(
+    std::shared_ptr<const RoadNetwork> net, const TurnCostModel& model,
+    std::span<const TurnRestriction> restrictions) {
+  if (net == nullptr) return Status::InvalidArgument("null network");
+
+  std::unordered_set<uint64_t> banned;
+  for (const TurnRestriction& r : restrictions) {
+    if (r.from_edge >= net->num_edges() || r.to_edge >= net->num_edges()) {
+      return Status::InvalidArgument("turn restriction edge out of range");
+    }
+    if (net->head(r.from_edge) != net->tail(r.to_edge)) {
+      return Status::InvalidArgument(
+          "turn restriction edges do not share a via node");
+    }
+    banned.insert(RestrictionKey(r.from_edge, r.to_edge));
+  }
+
+  auto router = std::unique_ptr<TurnAwareRouter>(new TurnAwareRouter());
+  router->net_ = net;
+  router->model_ = model;
+
+  const size_t m = net->num_edges();
+  router->first_arc_.assign(m + 1, 0);
+
+  auto penalty_of = [&](EdgeId from, EdgeId to) -> double {
+    if (banned.count(RestrictionKey(from, to))) return kInfCost;
+    if (IsUTurn(*net, from, to)) {
+      return model.ban_u_turns ? kInfCost : model.u_turn_penalty_s;
+    }
+    const double angle = TurnAngleDegrees(net->coord(net->tail(from)),
+                                          net->coord(net->head(from)),
+                                          net->coord(net->head(to)));
+    if (angle > model.sharp_threshold_deg) return model.sharp_turn_penalty_s;
+    if (angle > model.turn_threshold_deg) return model.turn_penalty_s;
+    return 0.0;
+  };
+
+  // Two passes: count, then fill.
+  for (EdgeId from = 0; from < m; ++from) {
+    for (EdgeId to : net->OutEdges(net->head(from))) {
+      if (penalty_of(from, to) < kInfCost) ++router->first_arc_[from + 1];
+    }
+  }
+  for (size_t i = 1; i <= m; ++i) {
+    router->first_arc_[i] += router->first_arc_[i - 1];
+  }
+  router->arc_head_.resize(router->first_arc_[m]);
+  router->arc_weight_.resize(router->first_arc_[m]);
+  std::vector<uint32_t> cursor(router->first_arc_.begin(),
+                               router->first_arc_.end() - 1);
+  for (EdgeId from = 0; from < m; ++from) {
+    for (EdgeId to : net->OutEdges(net->head(from))) {
+      const double penalty = penalty_of(from, to);
+      if (penalty >= kInfCost) continue;
+      router->arc_head_[cursor[from]] = to;
+      router->arc_weight_[cursor[from]] = net->travel_time_s(to) + penalty;
+      ++cursor[from];
+    }
+  }
+
+  router->dist_.assign(m, kInfCost);
+  router->parent_state_.assign(m, kInvalidEdge);
+  return router;
+}
+
+double TurnAwareRouter::ManeuverPenalty(EdgeId from_edge, EdgeId to_edge) const {
+  for (uint32_t k = first_arc_[from_edge]; k < first_arc_[from_edge + 1]; ++k) {
+    if (arc_head_[k] == to_edge) {
+      return arc_weight_[k] - net_->travel_time_s(to_edge);
+    }
+  }
+  return kInfCost;
+}
+
+Result<RouteResult> TurnAwareRouter::ShortestPath(NodeId source,
+                                                  NodeId target) {
+  const RoadNetwork& net = *net_;
+  if (source >= net.num_nodes() || target >= net.num_nodes()) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (source == target) return RouteResult{0.0, {}};
+
+  const size_t m = net.num_edges();
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  std::fill(parent_state_.begin(), parent_state_.end(), kInvalidEdge);
+  IndexedHeap<double> heap(m);
+
+  // Virtual source: every edge leaving `source` is an initial state costing
+  // its own travel time (departure has no turn penalty).
+  for (EdgeId e : net.OutEdges(source)) {
+    dist_[e] = net.travel_time_s(e);
+    heap.PushOrDecrease(e, dist_[e]);
+  }
+
+  double best = kInfCost;
+  EdgeId best_state = kInvalidEdge;
+  while (!heap.Empty()) {
+    const auto [state, d] = heap.PopMin();
+    if (d >= best) break;  // all remaining states are worse than a found t
+    if (net.head(state) == target) {
+      best = d;
+      best_state = state;
+      continue;
+    }
+    for (uint32_t k = first_arc_[state]; k < first_arc_[state + 1]; ++k) {
+      const EdgeId next = arc_head_[k];
+      const double nd = d + arc_weight_[k];
+      if (nd < dist_[next]) {
+        dist_[next] = nd;
+        parent_state_[next] = state;
+        heap.PushOrDecrease(next, nd);
+      }
+    }
+  }
+
+  if (best_state == kInvalidEdge) {
+    return Status::NotFound("target unreachable under turn restrictions");
+  }
+  RouteResult out;
+  out.cost = best;
+  for (EdgeId state = best_state; state != kInvalidEdge;
+       state = parent_state_[state]) {
+    out.edges.push_back(state);
+  }
+  std::reverse(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+}  // namespace altroute

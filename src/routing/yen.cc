@@ -1,0 +1,97 @@
+#include "routing/yen.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace altroute {
+
+namespace {
+
+/// Node sequence of an edge path starting at `source`.
+std::vector<NodeId> NodesOf(const RoadNetwork& net, NodeId source,
+                            const std::vector<EdgeId>& edges) {
+  std::vector<NodeId> nodes = {source};
+  for (EdgeId e : edges) nodes.push_back(net.head(e));
+  return nodes;
+}
+
+}  // namespace
+
+YenKShortestPaths::YenKShortestPaths(const RoadNetwork& net)
+    : net_(net), dijkstra_(net) {}
+
+Result<std::vector<RouteResult>> YenKShortestPaths::Compute(
+    NodeId source, NodeId target, size_t k, std::span<const double> weights) {
+  std::vector<RouteResult> result;
+  if (k == 0) return result;
+
+  auto first = dijkstra_.ShortestPath(source, target, weights);
+  if (!first.ok()) return first.status();
+  result.push_back(std::move(first).ValueOrDie());
+
+  // Candidate pool ordered by (cost, edges) for deterministic tie-breaking.
+  auto cmp = [](const RouteResult& a, const RouteResult& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.edges < b.edges;
+  };
+  std::set<RouteResult, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const RouteResult& prev = result.back();
+    const std::vector<NodeId> prev_nodes = NodesOf(net_, source, prev.edges);
+
+    // Deviate at every node of the previous path (classic Yen).
+    for (size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+      const NodeId spur_node = prev_nodes[i];
+      // Root path: prefix of prev up to the spur node.
+      std::vector<EdgeId> root_edges(prev.edges.begin(),
+                                     prev.edges.begin() + static_cast<long>(i));
+      double root_cost = 0.0;
+      for (EdgeId e : root_edges) root_cost += weights[e];
+
+      // Ban edges that would recreate an already-accepted path with this
+      // exact root, and ban root nodes to keep paths loopless.
+      std::unordered_set<EdgeId> banned_edges;
+      for (const RouteResult& accepted : result) {
+        if (accepted.edges.size() >= i &&
+            std::equal(root_edges.begin(), root_edges.end(),
+                       accepted.edges.begin())) {
+          if (accepted.edges.size() > i) banned_edges.insert(accepted.edges[i]);
+        }
+      }
+      for (const RouteResult& cand : candidates) {
+        if (cand.edges.size() >= i &&
+            std::equal(root_edges.begin(), root_edges.end(), cand.edges.begin())) {
+          if (cand.edges.size() > i) banned_edges.insert(cand.edges[i]);
+        }
+      }
+      std::unordered_set<NodeId> banned_nodes(prev_nodes.begin(),
+                                              prev_nodes.begin() + static_cast<long>(i));
+
+      auto skip = [&](EdgeId e) {
+        if (banned_edges.count(e)) return true;
+        const NodeId h = net_.head(e);
+        const NodeId t = net_.tail(e);
+        return banned_nodes.count(h) > 0 || banned_nodes.count(t) > 0;
+      };
+
+      auto spur = dijkstra_.ShortestPath(spur_node, target, weights, skip);
+      if (!spur.ok()) continue;  // no deviation here
+
+      RouteResult total;
+      total.cost = root_cost + spur->cost;
+      total.edges = root_edges;
+      total.edges.insert(total.edges.end(), spur->edges.begin(),
+                         spur->edges.end());
+      candidates.insert(std::move(total));
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace altroute

@@ -1,0 +1,30 @@
+// Yen's algorithm for k shortest loopless paths (paper Sec. 2.4). Included as
+// a baseline: the k shortest paths are typically near-duplicates, which is
+// exactly why dedicated alternative-route methods exist; filter-augmented
+// variants (KSPwLO-style) are built on top of this in core/.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "routing/dijkstra.h"
+
+namespace altroute {
+
+/// Computes up to k shortest loopless paths from source to target, ordered by
+/// nondecreasing cost. Returns fewer than k when the graph runs out of
+/// distinct loopless paths. Errors mirror Dijkstra::ShortestPath.
+class YenKShortestPaths {
+ public:
+  explicit YenKShortestPaths(const RoadNetwork& net);
+
+  Result<std::vector<RouteResult>> Compute(NodeId source, NodeId target,
+                                           size_t k,
+                                           std::span<const double> weights);
+
+ private:
+  const RoadNetwork& net_;
+  Dijkstra dijkstra_;
+};
+
+}  // namespace altroute

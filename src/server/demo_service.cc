@@ -1,0 +1,161 @@
+#include "server/demo_service.h"
+
+#include "server/directions.h"
+#include "server/json.h"
+#include "util/string_util.h"
+
+namespace altroute {
+
+DemoService::DemoService(std::unique_ptr<QueryProcessor> processor)
+    : processor_(std::move(processor)) {}
+
+void DemoService::Install(HttpServer* server) {
+  server->Route("/", [this](const HttpRequest& r) { return HandleIndex(r); });
+  server->Route("/route",
+                [this](const HttpRequest& r) { return HandleRoute(r); });
+  server->Route("/directions",
+                [this](const HttpRequest& r) { return HandleDirections(r); });
+  server->Route("/rate", [this](const HttpRequest& r) { return HandleRate(r); });
+  server->Route("/stats",
+                [this](const HttpRequest& r) { return HandleStats(r); });
+}
+
+namespace {
+
+/// Fetches a required double query parameter.
+Result<double> QueryDouble(const HttpRequest& req, const std::string& key) {
+  auto it = req.query.find(key);
+  if (it == req.query.end()) {
+    return Status::InvalidArgument("missing parameter '" + key + "'");
+  }
+  return ParseDouble(it->second);
+}
+
+}  // namespace
+
+HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
+  auto slat = QueryDouble(req, "slat");
+  auto slng = QueryDouble(req, "slng");
+  auto tlat = QueryDouble(req, "tlat");
+  auto tlng = QueryDouble(req, "tlng");
+  for (const auto* p : {&slat, &slng, &tlat, &tlng}) {
+    if (!p->ok()) return HttpResponse::Error(400, p->status().ToString());
+  }
+  auto response =
+      processor_->Process(LatLng(*slat, *slng), LatLng(*tlat, *tlng));
+  if (!response.ok()) {
+    const int code = response.status().IsInvalidArgument() ? 400 : 404;
+    return HttpResponse::Error(code, response.status().ToString());
+  }
+  return HttpResponse::Json(processor_->ToJson(*response));
+}
+
+HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
+  auto slat = QueryDouble(req, "slat");
+  auto slng = QueryDouble(req, "slng");
+  auto tlat = QueryDouble(req, "tlat");
+  auto tlng = QueryDouble(req, "tlng");
+  for (const auto* p : {&slat, &slng, &tlat, &tlng}) {
+    if (!p->ok()) return HttpResponse::Error(400, p->status().ToString());
+  }
+  auto label_it = req.query.find("label");
+  const std::string label = label_it == req.query.end() ? "B" : label_it->second;
+  if (label.size() != 1 || label[0] < 'A' ||
+      label[0] >= 'A' + kNumApproaches) {
+    return HttpResponse::Error(400, "label must be one of A-D");
+  }
+  const auto approach = static_cast<Approach>(label[0] - 'A');
+
+  auto set = processor_->GenerateFor(LatLng(*slat, *slng),
+                                     LatLng(*tlat, *tlng), approach);
+  if (!set.ok()) {
+    const int code = set.status().IsInvalidArgument() ? 400 : 404;
+    return HttpResponse::Error(code, set.status().ToString());
+  }
+  if (set->routes.empty()) return HttpResponse::Error(404, "no route found");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("label").String(label);
+  w.Key("steps").BeginArray();
+  for (const DirectionStep& step :
+       BuildDirections(processor_->network(), set->routes[0])) {
+    w.BeginObject();
+    w.Key("maneuver").String(std::string(ManeuverName(step.maneuver)));
+    w.Key("text").String(step.text);
+    w.Key("distance_m").Number(step.distance_m);
+    w.Key("duration_s").Number(step.duration_s);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(w.TakeString());
+}
+
+HttpResponse DemoService::HandleRate(const HttpRequest& req) {
+  RatingSubmission submission;
+  const char* keys[kNumApproaches] = {"a", "b", "c", "d"};
+  for (int i = 0; i < kNumApproaches; ++i) {
+    auto it = req.query.find(keys[i]);
+    if (it == req.query.end()) {
+      return HttpResponse::Error(400, std::string("missing rating '") +
+                                          keys[i] + "'");
+    }
+    auto v = ParseInt64(it->second);
+    if (!v.ok()) return HttpResponse::Error(400, v.status().ToString());
+    submission.ratings[static_cast<size_t>(i)] = static_cast<int>(*v);
+  }
+  if (auto it = req.query.find("resident"); it != req.query.end()) {
+    submission.melbourne_resident = (it->second == "1" || it->second == "yes");
+  }
+  if (auto it = req.query.find("comment"); it != req.query.end()) {
+    submission.comment = it->second;
+  }
+  const Status st = ratings_.Add(submission);
+  if (!st.ok()) return HttpResponse::Error(400, st.ToString());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("stored").Bool(true);
+  w.Key("total_submissions").Int(static_cast<int64_t>(ratings_.size()));
+  w.EndObject();
+  return HttpResponse::Json(w.TakeString());
+}
+
+HttpResponse DemoService::HandleStats(const HttpRequest&) const {
+  const auto means = ratings_.MeanRatings();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("submissions").Int(static_cast<int64_t>(ratings_.size()));
+  w.Key("mean_ratings").BeginObject();
+  const char* keys[kNumApproaches] = {"A", "B", "C", "D"};
+  for (int i = 0; i < kNumApproaches; ++i) {
+    w.Key(keys[i]).Number(means[static_cast<size_t>(i)]);
+  }
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse::Json(w.TakeString());
+}
+
+HttpResponse DemoService::HandleIndex(const HttpRequest&) const {
+  HttpResponse r;
+  r.content_type = "text/html";
+  r.body =
+      "<!doctype html><html><head><title>Alternative Route Planning "
+      "Demo</title></head><body>"
+      "<h1>Comparing Alternative Route Planning Techniques</h1>"
+      "<p>Pick a source and target inside the study area, then call "
+      "<code>/route?slat=&amp;slng=&amp;tlat=&amp;tlng=</code>. Four route "
+      "sets labelled A&ndash;D are returned; the identities of the "
+      "approaches are masked to avoid bias. Rate each approach from 1 "
+      "(worst) to 5 (best) via <code>/rate?a=&amp;b=&amp;c=&amp;d=&amp;"
+      "resident=</code>.</p>"
+      "<p>Network: " +
+      processor_->network().name() + ", " +
+      std::to_string(processor_->network().num_nodes()) + " vertices, " +
+      std::to_string(processor_->network().num_edges()) +
+      " edges.</p></body></html>";
+  return r;
+}
+
+}  // namespace altroute

@@ -1,0 +1,39 @@
+// DemoService: wires the query processor and rating store into HTTP routes,
+// forming the complete web demo backend of paper Sec. 3 / Figs. 2-3:
+//   GET /            - landing page (instructions, Fig. 2 stand-in)
+//   GET /route       - ?slat=&slng=&tlat=&tlng= -> masked A-D route sets
+//   GET /directions  - ?slat=&slng=&tlat=&tlng=&label=A..D -> turn-by-turn
+//   GET /rate        - ?a=&b=&c=&d=&resident=&comment= -> store a form
+//   GET /stats       - submission count + mean rating per masked label
+#pragma once
+
+#include <memory>
+
+#include "server/http_server.h"
+#include "server/query_processor.h"
+#include "server/rating_store.h"
+
+namespace altroute {
+
+class DemoService {
+ public:
+  explicit DemoService(std::unique_ptr<QueryProcessor> processor);
+
+  /// Registers all demo routes on `server`. The service must outlive it.
+  void Install(HttpServer* server);
+
+  RatingStore& ratings() { return ratings_; }
+  QueryProcessor& processor() { return *processor_; }
+
+ private:
+  HttpResponse HandleRoute(const HttpRequest& req);
+  HttpResponse HandleDirections(const HttpRequest& req);
+  HttpResponse HandleRate(const HttpRequest& req);
+  HttpResponse HandleStats(const HttpRequest& req) const;
+  HttpResponse HandleIndex(const HttpRequest& req) const;
+
+  std::unique_ptr<QueryProcessor> processor_;
+  RatingStore ratings_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,155 @@
+#include "server/directions.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace altroute {
+
+std::string_view ManeuverName(ManeuverType type) {
+  switch (type) {
+    case ManeuverType::kDepart:
+      return "depart";
+    case ManeuverType::kContinue:
+      return "continue";
+    case ManeuverType::kSlightLeft:
+      return "slight_left";
+    case ManeuverType::kSlightRight:
+      return "slight_right";
+    case ManeuverType::kLeft:
+      return "left";
+    case ManeuverType::kRight:
+      return "right";
+    case ManeuverType::kSharpLeft:
+      return "sharp_left";
+    case ManeuverType::kSharpRight:
+      return "sharp_right";
+    case ManeuverType::kUTurn:
+      return "u_turn";
+    case ManeuverType::kArrive:
+      return "arrive";
+  }
+  return "?";
+}
+
+double SignedTurnDegrees(const LatLng& a, const LatLng& b, const LatLng& c) {
+  const double in = InitialBearingDegrees(a, b);
+  const double out = InitialBearingDegrees(b, c);
+  double delta = out - in;
+  while (delta > 180.0) delta -= 360.0;
+  while (delta <= -180.0) delta += 360.0;
+  return delta;
+}
+
+namespace {
+
+ManeuverType ClassifyTurn(double signed_deg, const DirectionsOptions& options) {
+  const double magnitude = std::fabs(signed_deg);
+  if (magnitude >= options.u_turn_threshold_deg) return ManeuverType::kUTurn;
+  if (magnitude < options.slight_threshold_deg) return ManeuverType::kContinue;
+  const bool right = signed_deg > 0.0;
+  if (magnitude < options.normal_threshold_deg) {
+    return right ? ManeuverType::kSlightRight : ManeuverType::kSlightLeft;
+  }
+  if (magnitude < options.sharp_threshold_deg) {
+    return right ? ManeuverType::kRight : ManeuverType::kLeft;
+  }
+  return right ? ManeuverType::kSharpRight : ManeuverType::kSharpLeft;
+}
+
+std::string HumanDistance(double meters) {
+  if (meters < 950.0) {
+    return FormatFixed(std::round(meters / 10.0) * 10.0, 0) + " m";
+  }
+  return FormatFixed(meters / 1000.0, 1) + " km";
+}
+
+std::string VerbFor(ManeuverType type) {
+  switch (type) {
+    case ManeuverType::kDepart:
+      return "head out on";
+    case ManeuverType::kContinue:
+      return "continue on";
+    case ManeuverType::kSlightLeft:
+      return "bear left onto";
+    case ManeuverType::kSlightRight:
+      return "bear right onto";
+    case ManeuverType::kLeft:
+      return "turn left onto";
+    case ManeuverType::kRight:
+      return "turn right onto";
+    case ManeuverType::kSharpLeft:
+      return "turn sharply left onto";
+    case ManeuverType::kSharpRight:
+      return "turn sharply right onto";
+    case ManeuverType::kUTurn:
+      return "make a U-turn onto";
+    case ManeuverType::kArrive:
+      return "arrive";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<DirectionStep> BuildDirections(const RoadNetwork& net,
+                                           const Path& path,
+                                           const DirectionsOptions& options) {
+  std::vector<DirectionStep> steps;
+  if (path.empty()) {
+    DirectionStep arrive;
+    arrive.maneuver = ManeuverType::kArrive;
+    arrive.text = "arrive (start and destination coincide)";
+    steps.push_back(std::move(arrive));
+    return steps;
+  }
+
+  // Start the first leg with a depart maneuver.
+  DirectionStep current;
+  current.maneuver = ManeuverType::kDepart;
+  current.road_class = net.road_class(path.edges.front());
+
+  auto flush = [&](DirectionStep next) {
+    current.text = VerbFor(current.maneuver) + " " +
+                   std::string(RoadClassName(current.road_class)) + " road, " +
+                   HumanDistance(current.distance_m);
+    steps.push_back(current);
+    current = std::move(next);
+  };
+
+  for (size_t i = 0; i < path.edges.size(); ++i) {
+    const EdgeId e = path.edges[i];
+    current.distance_m += net.length_m(e);
+    current.duration_s += net.travel_time_s(e);
+    if (i + 1 >= path.edges.size()) break;
+
+    const EdgeId next_edge = path.edges[i + 1];
+    const double turn = SignedTurnDegrees(net.coord(net.tail(e)),
+                                          net.coord(net.head(e)),
+                                          net.coord(net.head(next_edge)));
+    ManeuverType maneuver = ClassifyTurn(turn, options);
+    const RoadClass next_class = net.road_class(next_edge);
+    // A new leg begins on any real turn, or when the road class changes
+    // (announced as "continue on X").
+    if (maneuver == ManeuverType::kContinue &&
+        next_class == current.road_class) {
+      continue;  // same leg keeps accumulating
+    }
+    DirectionStep next;
+    next.maneuver = maneuver;
+    next.road_class = next_class;
+    flush(std::move(next));
+  }
+
+  // Emit the final driving leg, then the arrival marker.
+  DirectionStep arrive;
+  arrive.maneuver = ManeuverType::kArrive;
+  flush(std::move(arrive));
+  current.text =
+      "arrive at destination (" + HumanDistance(path.length_m) + " total, " +
+      FormatFixed(path.travel_time_s / 60.0, 0) + " min)";
+  steps.push_back(current);
+  return steps;
+}
+
+}  // namespace altroute

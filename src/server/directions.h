@@ -1,0 +1,61 @@
+// Turn-by-turn directions: renders a Path as the human-readable instruction
+// list a navigation UI displays next to the map (the textual half of the
+// demo's route presentation). Instructions are derived purely from geometry
+// and road class — depart, continue, slight/normal/sharp left/right,
+// U-turn, arrive — with distances and durations per leg.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/path.h"
+
+namespace altroute {
+
+/// The maneuver starting a leg.
+enum class ManeuverType {
+  kDepart,
+  kContinue,       // road class changes without a significant turn
+  kSlightLeft,
+  kSlightRight,
+  kLeft,
+  kRight,
+  kSharpLeft,
+  kSharpRight,
+  kUTurn,
+  kArrive,
+};
+
+/// Stable lowercase name ("left", "slight_right", ...).
+std::string_view ManeuverName(ManeuverType type);
+
+/// One instruction: maneuver + the stretch driven until the next one.
+struct DirectionStep {
+  ManeuverType maneuver = ManeuverType::kDepart;
+  /// Road class driven on during this leg.
+  RoadClass road_class = RoadClass::kUnclassified;
+  double distance_m = 0.0;
+  double duration_s = 0.0;
+  /// Rendered instruction, e.g. "turn left onto secondary road, 1.2 km".
+  std::string text;
+};
+
+/// Thresholds separating slight / normal / sharp turns (degrees).
+struct DirectionsOptions {
+  double slight_threshold_deg = 25.0;  // below: continue straight
+  double normal_threshold_deg = 60.0;  // slight until here
+  double sharp_threshold_deg = 120.0;  // normal until here, sharp beyond
+  double u_turn_threshold_deg = 165.0;
+};
+
+/// Builds the instruction list for a path. An empty path yields just a
+/// depart+arrive pair collapsed to arrive. Never fails on a valid Path.
+std::vector<DirectionStep> BuildDirections(const RoadNetwork& net,
+                                           const Path& path,
+                                           const DirectionsOptions& options = {});
+
+/// Signed turn angle at b when traveling a -> b -> c, in (-180, 180]:
+/// negative = left, positive = right, 0 = straight.
+double SignedTurnDegrees(const LatLng& a, const LatLng& b, const LatLng& c);
+
+}  // namespace altroute

@@ -1,0 +1,63 @@
+#include "server/geojson.h"
+
+#include <cmath>
+
+#include "server/json.h"
+
+namespace altroute {
+
+namespace {
+
+void WriteFeature(JsonWriter* w, const RoadNetwork& net, const Path& path,
+                  int rank) {
+  w->BeginObject();
+  w->Key("type").String("Feature");
+  w->Key("geometry").BeginObject();
+  w->Key("type").String("LineString");
+  w->Key("coordinates").BeginArray();
+  for (const LatLng& p : PathCoords(net, path)) {
+    w->BeginArray();
+    w->Number(p.lng);  // GeoJSON order is [lng, lat]
+    w->Number(p.lat);
+    w->EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+  w->Key("properties").BeginObject();
+  w->Key("rank").Int(rank);
+  w->Key("travel_time_min")
+      .Int(static_cast<int64_t>(std::lround(path.travel_time_s / 60.0)));
+  w->Key("length_km").Number(path.length_m / 1000.0);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string RouteToGeoJson(const RoadNetwork& net, const Path& path,
+                           int rank) {
+  JsonWriter w;
+  WriteFeature(&w, net, path, rank);
+  return w.TakeString();
+}
+
+std::string AlternativeSetToGeoJson(const RoadNetwork& net,
+                                    const AlternativeSet& set,
+                                    char masked_label) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("FeatureCollection");
+  w.Key("properties").BeginObject();
+  w.Key("label").String(std::string(1, masked_label));
+  w.Key("num_routes").Int(static_cast<int64_t>(set.routes.size()));
+  w.EndObject();
+  w.Key("features").BeginArray();
+  for (size_t i = 0; i < set.routes.size(); ++i) {
+    WriteFeature(&w, net, set.routes[i], static_cast<int>(i) + 1);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace altroute

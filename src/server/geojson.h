@@ -1,0 +1,25 @@
+// GeoJSON (RFC 7946) serialisation of routes and route sets: the interop
+// format for dropping altroute output onto any web map (Leaflet, Mapbox,
+// geojson.io) — the modern equivalent of the demo's Google-Maps-API
+// plotting (paper Sec. 3).
+#pragma once
+
+#include <string>
+
+#include "core/alternative_generator.h"
+#include "core/path.h"
+
+namespace altroute {
+
+/// One route as a GeoJSON Feature with a LineString geometry and
+/// properties {travel_time_min, length_km, rank}.
+std::string RouteToGeoJson(const RoadNetwork& net, const Path& path,
+                           int rank = 0);
+
+/// An alternative set as a FeatureCollection; properties carry the masked
+/// label and per-route rank so a client can colour them like the demo.
+std::string AlternativeSetToGeoJson(const RoadNetwork& net,
+                                    const AlternativeSet& set,
+                                    char masked_label = '?');
+
+}  // namespace altroute

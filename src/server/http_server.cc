@@ -1,0 +1,176 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "server/json.h"
+#include "server/url.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace altroute {
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error").String(message);
+  w.EndObject();
+  HttpResponse r;
+  r.status = status;
+  r.body = w.TakeString();
+  return r;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& path, HttpHandler handler) {
+  ALTROUTE_CHECK(!running_.load()) << "Route() after Start()";
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind() failed (port in use?)");
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() unblocks accept(); close() releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;  // transient accept error
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read until the end of headers (plus Content-Length body bytes).
+  std::string data;
+  char buf[4096];
+  size_t header_end = std::string::npos;
+  while (data.size() < (1u << 20)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+    header_end = data.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+  }
+  if (header_end == std::string::npos) return;
+
+  HttpRequest req;
+  {
+    std::istringstream head(data.substr(0, header_end));
+    std::string request_line;
+    std::getline(head, request_line);
+    if (!request_line.empty() && request_line.back() == '\r') {
+      request_line.pop_back();
+    }
+    const auto parts = Split(request_line, ' ');
+    if (parts.size() < 2) return;
+    req.method = parts[0];
+    std::string raw_query;
+    SplitTarget(parts[1], &req.path, &raw_query);
+    req.query = ParseQueryString(raw_query);
+
+    std::string header_line;
+    while (std::getline(head, header_line)) {
+      if (!header_line.empty() && header_line.back() == '\r') {
+        header_line.pop_back();
+      }
+      const size_t colon = header_line.find(':');
+      if (colon == std::string::npos) continue;
+      req.headers[ToLower(Trim(header_line.substr(0, colon)))] =
+          std::string(Trim(header_line.substr(colon + 1)));
+    }
+  }
+
+  // Body (bounded at 1 MiB).
+  size_t content_length = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (parsed.ok() && *parsed >= 0 && *parsed <= (1 << 20)) {
+      content_length = static_cast<size_t>(*parsed);
+    }
+  }
+  const size_t body_start = header_end + 4;
+  while (data.size() - body_start < content_length) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  req.body = data.substr(body_start,
+                         std::min(content_length, data.size() - body_start));
+
+  HttpResponse resp;
+  auto it = routes_.find(req.path);
+  if (it == routes_.end()) {
+    resp = HttpResponse::Error(404, "no such endpoint: " + req.path);
+  } else {
+    resp = it->second(req);
+  }
+
+  const char* reason = resp.status == 200   ? "OK"
+                       : resp.status == 400 ? "Bad Request"
+                       : resp.status == 404 ? "Not Found"
+                                            : "Error";
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << reason << "\r\n"
+      << "Content-Type: " << resp.content_type << "\r\n"
+      << "Content-Length: " << resp.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << resp.body;
+  const std::string payload = out.str();
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace altroute

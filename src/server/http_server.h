@@ -1,0 +1,74 @@
+// A minimal blocking HTTP/1.1 server sufficient for the web demo (paper
+// Sec. 3 / Fig. 2): routed GET/POST handlers, query-string parsing, JSON
+// responses. One accept loop on a background thread; requests are handled
+// sequentially (the demo serialises routing queries anyway).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+
+namespace altroute {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST"
+  std::string path;    // percent-decoded, without query
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  // lowercased keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(std::string json) {
+    HttpResponse r;
+    r.body = std::move(json);
+    return r;
+  }
+  static HttpResponse Error(int status, const std::string& message);
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path (any method). Must be called
+  /// before Start().
+  void Route(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(uint16_t port);
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, HttpHandler> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace altroute

@@ -1,0 +1,138 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace altroute {
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  char& top = stack_.back();
+  if (top == 'A') {
+    if (!first_in_container_) out_ << ",";
+    first_in_container_ = false;
+  } else if (top == 'o') {
+    top = 'O';  // value written; next comes a key
+  } else {
+    ALTROUTE_DCHECK(false) << "JSON value written where key expected";
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << "{";
+  stack_.push_back('O');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  ALTROUTE_DCHECK(!stack_.empty() && stack_.back() == 'O');
+  stack_.pop_back();
+  out_ << "}";
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << "[";
+  stack_.push_back('A');
+  first_in_container_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  ALTROUTE_DCHECK(!stack_.empty() && stack_.back() == 'A');
+  stack_.pop_back();
+  out_ << "]";
+  first_in_container_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  ALTROUTE_DCHECK(!stack_.empty() && stack_.back() == 'O');
+  if (!first_in_container_) out_ << ",";
+  first_in_container_ = false;
+  out_ << '"' << Escape(key) << "\":";
+  stack_.back() = 'o';
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ << '"' << Escape(value) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  if (std::isfinite(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  ALTROUTE_DCHECK(stack_.empty()) << "unclosed JSON containers";
+  return out_.str();
+}
+
+}  // namespace altroute

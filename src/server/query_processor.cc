@@ -1,0 +1,114 @@
+#include "server/query_processor.h"
+
+#include <cmath>
+
+#include "core/path.h"
+#include "geo/polyline.h"
+#include "geo/simplify.h"
+#include "server/json.h"
+
+namespace altroute {
+
+QueryProcessor::QueryProcessor(EngineSuite suite)
+    : suite_(std::move(suite)), index_(suite_.network().coords()) {}
+
+namespace {
+struct Snapped {
+  NodeId source;
+  NodeId target;
+  double source_dist_m;
+  double target_dist_m;
+};
+}  // namespace
+
+/// Shared geo-coordinate matching for all endpoints.
+static Result<Snapped> Snap(const SpatialIndex& index, const RoadNetwork& net,
+                            const LatLng& source, const LatLng& target,
+                            double max_snap_m) {
+  if (!source.IsValid() || !target.IsValid()) {
+    return Status::InvalidArgument("coordinates out of range");
+  }
+  Snapped out;
+  ALTROUTE_ASSIGN_OR_RETURN(out.source, index.Nearest(source));
+  ALTROUTE_ASSIGN_OR_RETURN(out.target, index.Nearest(target));
+  out.source_dist_m = HaversineMeters(source, net.coord(out.source));
+  out.target_dist_m = HaversineMeters(target, net.coord(out.target));
+  if (out.source_dist_m > max_snap_m || out.target_dist_m > max_snap_m) {
+    return Status::InvalidArgument(
+        "clicked location is outside the study area");
+  }
+  if (out.source == out.target) {
+    return Status::InvalidArgument("source and target snap to the same vertex");
+  }
+  return out;
+}
+
+Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
+                                              const LatLng& target) {
+  ALTROUTE_ASSIGN_OR_RETURN(
+      Snapped snapped, Snap(index_, suite_.network(), source, target,
+                            max_snap_distance_m_));
+  QueryResponse response;
+  const NodeId s = snapped.source;
+  const NodeId t = snapped.target;
+  response.snapped_source = s;
+  response.snapped_target = t;
+  response.snap_distance_source_m = snapped.source_dist_m;
+  response.snap_distance_target_m = snapped.target_dist_m;
+
+  const std::vector<double>& display = suite_.display_weights();
+  for (Approach a : kAllApproaches) {
+    ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet set, suite_.engine(a).Generate(s, t));
+    ApproachDisplay ad;
+    ad.label = ApproachLabel(a);
+    for (const Path& p : set.routes) {
+      DisplayedRoute route;
+      // The demo computes every approach's displayed travel time from the
+      // OSM data and rounds to minutes (paper Sec. 3).
+      route.travel_time_min =
+          static_cast<int>(std::lround(CostUnder(p, display) / 60.0));
+      route.length_km = p.length_m / 1000.0;
+      route.polyline = EncodePolyline(SimplifyPolyline(
+          PathCoords(suite_.network(), p), polyline_tolerance_m_));
+      ad.routes.push_back(std::move(route));
+    }
+    response.approaches.push_back(std::move(ad));
+  }
+  return response;
+}
+
+Result<AlternativeSet> QueryProcessor::GenerateFor(const LatLng& source,
+                                                   const LatLng& target,
+                                                   Approach approach) {
+  ALTROUTE_ASSIGN_OR_RETURN(
+      Snapped snapped, Snap(index_, suite_.network(), source, target,
+                            max_snap_distance_m_));
+  return suite_.engine(approach).Generate(snapped.source, snapped.target);
+}
+
+std::string QueryProcessor::ToJson(const QueryResponse& response) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("snapped_source").Int(static_cast<int64_t>(response.snapped_source));
+  w.Key("snapped_target").Int(static_cast<int64_t>(response.snapped_target));
+  w.Key("approaches").BeginArray();
+  for (const ApproachDisplay& ad : response.approaches) {
+    w.BeginObject();
+    w.Key("label").String(std::string(1, ad.label));
+    w.Key("routes").BeginArray();
+    for (const DisplayedRoute& r : ad.routes) {
+      w.BeginObject();
+      w.Key("travel_time_min").Int(r.travel_time_min);
+      w.Key("length_km").Number(r.length_km);
+      w.Key("polyline").String(r.polyline);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace altroute

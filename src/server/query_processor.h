@@ -1,0 +1,80 @@
+// The demo backend's Query Processor (paper Sec. 3): geo-coordinate matching
+// (snap clicks to the nearest network vertex), alternative-route computation
+// with all four approaches, travel-time display under the OSM data for every
+// approach, and identity-masked (A-D) JSON responses for the web UI.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine_registry.h"
+#include "geo/spatial_index.h"
+
+namespace altroute {
+
+/// A single displayed route.
+struct DisplayedRoute {
+  /// Travel time under the OSM display weights, rounded to whole minutes
+  /// exactly as the demo shows it (paper Sec. 3).
+  int travel_time_min = 0;
+  double length_km = 0.0;
+  /// Geometry as a Google encoded polyline (the wire format the demo's
+  /// Google-Maps-API front end consumes).
+  std::string polyline;
+};
+
+/// One approach's routes, identity-masked.
+struct ApproachDisplay {
+  char label = 'A';  // masked identity shown to the participant
+  std::vector<DisplayedRoute> routes;
+};
+
+/// The full response for a query.
+struct QueryResponse {
+  NodeId snapped_source = kInvalidNode;
+  NodeId snapped_target = kInvalidNode;
+  double snap_distance_source_m = 0.0;
+  double snap_distance_target_m = 0.0;
+  std::vector<ApproachDisplay> approaches;  // in masked order A-D
+};
+
+/// Stateful processor over one city network. Not thread-safe (the demo
+/// serialises queries).
+class QueryProcessor {
+ public:
+  /// Takes ownership of the suite and builds the snapping index.
+  explicit QueryProcessor(EngineSuite suite);
+
+  /// Processes a query given raw clicked coordinates. Returns
+  /// InvalidArgument for coordinates outside the study rectangle (plus a
+  /// tolerance ring) and NotFound when no route exists.
+  Result<QueryResponse> Process(const LatLng& source, const LatLng& target);
+
+  /// Serialises a response to JSON for the web UI.
+  std::string ToJson(const QueryResponse& response) const;
+
+  /// Snaps the clicked coordinates and runs ONE approach, returning the raw
+  /// route set (for directions/GeoJSON endpoints that need geometry).
+  Result<AlternativeSet> GenerateFor(const LatLng& source, const LatLng& target,
+                                     Approach approach);
+
+  const RoadNetwork& network() const { return suite_.network(); }
+
+  /// Maximum distance a click may be from the nearest vertex (meters).
+  double max_snap_distance_m() const { return max_snap_distance_m_; }
+  void set_max_snap_distance_m(double d) { max_snap_distance_m_ = d; }
+
+  /// Ramer-Douglas-Peucker tolerance applied to route geometry before
+  /// polyline encoding; 0 (default) ships the exact geometry.
+  double polyline_tolerance_m() const { return polyline_tolerance_m_; }
+  void set_polyline_tolerance_m(double d) { polyline_tolerance_m_ = d; }
+
+ private:
+  EngineSuite suite_;
+  SpatialIndex index_;
+  double max_snap_distance_m_ = 2000.0;
+  double polyline_tolerance_m_ = 0.0;
+};
+
+}  // namespace altroute

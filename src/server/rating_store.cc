@@ -1,0 +1,59 @@
+#include "server/rating_store.h"
+
+namespace altroute {
+
+Status RatingStore::Add(const RatingSubmission& submission) {
+  for (int r : submission.ratings) {
+    if (r < 1 || r > 5) {
+      return Status::InvalidArgument("ratings must be between 1 and 5");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  submissions_.push_back(submission);
+  return Status::OK();
+}
+
+size_t RatingStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submissions_.size();
+}
+
+std::vector<RatingSubmission> RatingStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submissions_;
+}
+
+std::array<double, kNumApproaches> RatingStore::MeanRatings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::array<double, kNumApproaches> means{};
+  if (submissions_.empty()) return means;
+  for (const RatingSubmission& s : submissions_) {
+    for (int a = 0; a < kNumApproaches; ++a) {
+      means[static_cast<size_t>(a)] += s.ratings[static_cast<size_t>(a)];
+    }
+  }
+  for (double& m : means) m /= static_cast<double>(submissions_.size());
+  return means;
+}
+
+Status RatingStore::ExportCsv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "A,B,C,D,resident,comment\n";
+  for (const RatingSubmission& s : submissions_) {
+    for (int a = 0; a < kNumApproaches; ++a) {
+      out << s.ratings[static_cast<size_t>(a)] << ",";
+    }
+    out << (s.melbourne_resident ? 1 : 0) << ",";
+    // Quote the comment; double embedded quotes per RFC 4180.
+    out << '"';
+    for (char c : s.comment) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << "\"\n";
+  }
+  if (!out.good()) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+}  // namespace altroute

@@ -1,0 +1,43 @@
+// Storage for submitted feedback forms (paper Fig. 3): 1-5 rating per
+// approach plus the residency question and an optional free-text comment.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/engine_registry.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// One completed feedback form.
+struct RatingSubmission {
+  std::array<int, kNumApproaches> ratings{};  // masked order A-D, each 1-5
+  bool melbourne_resident = false;
+  std::string comment;
+};
+
+/// Thread-safe in-memory submission log with CSV export.
+class RatingStore {
+ public:
+  /// Validates that every rating is in [1, 5]; InvalidArgument otherwise.
+  Status Add(const RatingSubmission& submission);
+
+  size_t size() const;
+  std::vector<RatingSubmission> Snapshot() const;
+
+  /// Mean rating per approach over all submissions (0 when empty).
+  std::array<double, kNumApproaches> MeanRatings() const;
+
+  /// Writes "A,B,C,D,resident,comment" rows with a header.
+  Status ExportCsv(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RatingSubmission> submissions_;
+};
+
+}  // namespace altroute

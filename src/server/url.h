@@ -1,0 +1,21 @@
+// URL utilities for the demo HTTP server: percent-decoding and query-string
+// parsing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace altroute {
+
+/// Percent-decodes a URL component ("%2C" -> ",", "+" -> " ").
+std::string UrlDecode(std::string_view s);
+
+/// Splits "a=1&b=two" into {a: "1", b: "two"} with percent-decoding.
+/// Repeated keys keep the last value; keys without '=' map to "".
+std::map<std::string, std::string> ParseQueryString(std::string_view query);
+
+/// Splits a request target "/path?query" into path and raw query.
+void SplitTarget(std::string_view target, std::string* path, std::string* query);
+
+}  // namespace altroute

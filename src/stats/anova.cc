@@ -1,0 +1,50 @@
+#include "stats/anova.h"
+
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace altroute {
+
+Result<AnovaResult> OneWayAnova(std::span<const std::vector<double>> groups) {
+  const size_t k = groups.size();
+  if (k < 2) return Status::InvalidArgument("ANOVA needs at least two groups");
+
+  size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) return Status::InvalidArgument("ANOVA group is empty");
+    total_n += g.size();
+    for (double x : g) grand_sum += x;
+  }
+  if (total_n <= k) {
+    return Status::InvalidArgument("ANOVA needs N > k observations");
+  }
+  const double grand_mean = grand_sum / static_cast<double>(total_n);
+
+  AnovaResult out;
+  for (const auto& g : groups) {
+    const double m = Mean(g);
+    out.ss_between += static_cast<double>(g.size()) * (m - grand_mean) * (m - grand_mean);
+    for (double x : g) out.ss_within += (x - m) * (x - m);
+  }
+  out.df_between = static_cast<double>(k - 1);
+  out.df_within = static_cast<double>(total_n - k);
+
+  const double ms_between = out.ss_between / out.df_between;
+  const double ms_within = out.ss_within / out.df_within;
+  if (ms_within <= 0.0) {
+    // All groups internally constant: F is infinite unless the means agree.
+    out.f_statistic = out.ss_between > 0.0
+                          ? std::numeric_limits<double>::infinity()
+                          : 0.0;
+    out.p_value = out.ss_between > 0.0 ? 0.0 : 1.0;
+    return out;
+  }
+  out.f_statistic = ms_between / ms_within;
+  out.p_value = FDistributionSf(out.f_statistic, out.df_between, out.df_within);
+  return out;
+}
+
+}  // namespace altroute

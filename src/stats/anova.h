@@ -1,0 +1,30 @@
+// One-way ANOVA (paper Sec. 4.1): tests the null hypothesis that the four
+// approaches receive equal mean ratings. The paper reports p = 0.16 (all
+// respondents), 0.68 (residents), 0.18 (non-residents).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/result.h"
+
+namespace altroute {
+
+/// Result of a one-way ANOVA.
+struct AnovaResult {
+  double f_statistic = 0.0;
+  double df_between = 0.0;  // k - 1
+  double df_within = 0.0;   // N - k
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  double p_value = 1.0;
+
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+/// Runs a one-way ANOVA over `groups` (one sample vector per treatment).
+/// Requires at least two groups and N - k > 0 total residual degrees of
+/// freedom; returns InvalidArgument otherwise.
+Result<AnovaResult> OneWayAnova(std::span<const std::vector<double>> groups);
+
+}  // namespace altroute

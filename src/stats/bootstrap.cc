@@ -1,0 +1,82 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace altroute {
+
+namespace {
+
+/// The (lo, hi) percentile bounds of a sorted resample distribution.
+ConfidenceInterval PercentileInterval(std::vector<double> values,
+                                      double confidence, double point) {
+  std::sort(values.begin(), values.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  auto at = [&](double q) {
+    const double idx = q * (static_cast<double>(values.size()) - 1.0);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  ConfidenceInterval ci;
+  ci.lower = at(alpha);
+  ci.upper = at(1.0 - alpha);
+  ci.point = point;
+  return ci;
+}
+
+Status ValidateArgs(size_t sample_size, double confidence, int num_resamples,
+                    Rng* rng) {
+  if (sample_size == 0) return Status::InvalidArgument("empty sample");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  if (num_resamples < 10) {
+    return Status::InvalidArgument("need at least 10 resamples");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  return Status::OK();
+}
+
+std::vector<double> Resample(std::span<const double> sample, Rng* rng) {
+  std::vector<double> out(sample.size());
+  for (double& x : out) {
+    x = sample[rng->NextUint64(sample.size())];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, int num_resamples, Rng* rng) {
+  ALTROUTE_RETURN_NOT_OK(ValidateArgs(sample.size(), confidence,
+                                      num_resamples, rng));
+  std::vector<double> stats;
+  stats.reserve(static_cast<size_t>(num_resamples));
+  for (int i = 0; i < num_resamples; ++i) {
+    stats.push_back(statistic(Resample(sample, rng)));
+  }
+  return PercentileInterval(std::move(stats), confidence, statistic(sample));
+}
+
+Result<ConfidenceInterval> BootstrapMeanDifferenceCi(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    int num_resamples, Rng* rng) {
+  ALTROUTE_RETURN_NOT_OK(ValidateArgs(a.size(), confidence, num_resamples,
+                                      rng));
+  if (b.empty()) return Status::InvalidArgument("empty sample");
+  std::vector<double> diffs;
+  diffs.reserve(static_cast<size_t>(num_resamples));
+  for (int i = 0; i < num_resamples; ++i) {
+    diffs.push_back(Mean(Resample(a, rng)) - Mean(Resample(b, rng)));
+  }
+  return PercentileInterval(std::move(diffs), confidence, Mean(a) - Mean(b));
+}
+
+}  // namespace altroute

@@ -1,0 +1,38 @@
+// Bootstrap resampling: nonparametric confidence intervals for the rating
+// statistics. The paper reports only means/SDs and one ANOVA; bootstrap CIs
+// on the pairwise mean differences make the "not significant" conclusion
+// inspectable (every approach-pair CI straddles zero).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// A two-sided percentile confidence interval.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;  // the statistic on the original sample
+
+  bool Contains(double value) const { return value >= lower && value <= upper; }
+};
+
+/// Percentile-bootstrap CI for `statistic` of one sample.
+/// `confidence` in (0, 1), e.g. 0.95. Deterministic in *rng.
+Result<ConfidenceInterval> BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, int num_resamples, Rng* rng);
+
+/// Percentile-bootstrap CI for mean(a) - mean(b) with independent
+/// resampling of both groups.
+Result<ConfidenceInterval> BootstrapMeanDifferenceCi(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    int num_resamples, Rng* rng);
+
+}  // namespace altroute

@@ -1,0 +1,57 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace altroute {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+}
+
+double Mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  return s.mean();
+}
+
+double SampleStdDev(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  return s.stddev();
+}
+
+double Min(std::span<const double> xs) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+double Max(std::span<const double> xs) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[mid];
+  return (xs[mid - 1] + xs[mid]) / 2.0;
+}
+
+}  // namespace altroute

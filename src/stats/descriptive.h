@@ -1,0 +1,53 @@
+// Descriptive statistics used by the study tables: mean and standard
+// deviation per approach/group, computed with numerically stable one-pass
+// accumulation (Welford).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace altroute {
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Sample variance (n - 1 denominator); 0 when n < 2.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+
+  /// Population variance (n denominator); 0 when n == 0.
+  double population_variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Merges another accumulator (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double Mean(std::span<const double> xs);
+/// Sample standard deviation (n - 1); 0 for fewer than 2 values.
+double SampleStdDev(std::span<const double> xs);
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+/// Median (average of middle two for even sizes); 0 for empty input.
+double Median(std::vector<double> xs);
+
+}  // namespace altroute

@@ -1,0 +1,24 @@
+// Special functions and distribution CDFs needed for significance testing:
+// log-gamma, regularized incomplete beta, the F distribution (ANOVA
+// p-values) and the standard normal.
+#pragma once
+
+namespace altroute {
+
+/// ln(Gamma(x)) for x > 0 (Lanczos approximation, ~1e-13 relative error).
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1], via the Lentz continued-fraction expansion.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of the F distribution with (d1, d2) degrees of freedom.
+double FDistributionCdf(double f, double d1, double d2);
+
+/// Upper tail P(F >= f): the ANOVA p-value.
+double FDistributionSf(double f, double d1, double d2);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+}  // namespace altroute

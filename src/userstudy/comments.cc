@@ -1,0 +1,139 @@
+#include "userstudy/comments.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/quality.h"
+
+namespace altroute {
+
+std::string_view CommentThemeName(CommentTheme theme) {
+  switch (theme) {
+    case CommentTheme::kZigZag:
+      return "zig_zag";
+    case CommentTheme::kFewerTurns:
+      return "fewer_turns";
+    case CommentTheme::kWideRoads:
+      return "wide_roads";
+    case CommentTheme::kApparentDetour:
+      return "apparent_detour";
+    case CommentTheme::kTooSimilar:
+      return "too_similar";
+    case CommentTheme::kAllSame:
+      return "all_same";
+    case CommentTheme::kFavouriteMissing:
+      return "favourite_missing";
+  }
+  return "?";
+}
+
+std::optional<GeneratedComment> MaybeGenerateComment(
+    const RoadNetwork& net,
+    const std::array<AlternativeSet, kNumApproaches>& sets,
+    const std::array<int, kNumApproaches>& ratings, const Participant& who,
+    Rng* rng, const CommentOptions& options) {
+  if (!rng->Bernoulli(options.comment_probability)) return std::nullopt;
+
+  // Per-approach set features.
+  std::array<RouteSetQuality, kNumApproaches> quality;
+  double global_opt = kInfCost;
+  for (const AlternativeSet& set : sets) {
+    if (!set.routes.empty()) {
+      global_opt = std::min(global_opt, set.routes[0].travel_time_s);
+    }
+  }
+  if (!(global_opt < kInfCost)) return std::nullopt;
+  for (int a = 0; a < kNumApproaches; ++a) {
+    quality[static_cast<size_t>(a)] = ComputeRouteSetQuality(
+        net, sets[static_cast<size_t>(a)].routes, global_opt,
+        net.travel_times());
+  }
+
+  // Collect every theme the response triggers, then sample one — real
+  // commenters mention whichever aspect happened to bother or delight them.
+  std::vector<GeneratedComment> candidates;
+
+  // Favourite route missing (the "Blackburn rd" anecdote; the rating-model
+  // cap shows up as uniformly middling ratings).
+  if (who.has_favourite_route &&
+      *std::max_element(ratings.begin(), ratings.end()) <= 3) {
+    candidates.push_back(
+        {CommentTheme::kFavouriteMissing,
+         "none of the routes use the road I always take"});
+  }
+  // All four rated identically -> indistinguishable.
+  if (std::all_of(ratings.begin(), ratings.end(),
+                  [&](int r) { return r == ratings[0]; })) {
+    candidates.push_back(
+        {CommentTheme::kAllSame,
+         "I don't see these approaches as very distinct from each other."});
+  }
+  // Praise the approach with clearly the fewest turns, if it also got
+  // this participant's top rating.
+  int fewest_turns = 0;
+  for (int a = 1; a < kNumApproaches; ++a) {
+    if (quality[static_cast<size_t>(a)].mean_turns_per_km <
+        quality[static_cast<size_t>(fewest_turns)].mean_turns_per_km) {
+      fewest_turns = a;
+    }
+  }
+  const int top_rating = *std::max_element(ratings.begin(), ratings.end());
+  double mean_turns = 0.0;
+  for (const RouteSetQuality& q : quality) mean_turns += q.mean_turns_per_km;
+  mean_turns /= kNumApproaches;
+  if (ratings[static_cast<size_t>(fewest_turns)] == top_rating &&
+      quality[static_cast<size_t>(fewest_turns)].mean_turns_per_km + 0.4 <
+          mean_turns) {
+    candidates.push_back(
+        {CommentTheme::kFewerTurns,
+         std::string("Approach ") +
+             ApproachLabel(static_cast<Approach>(fewest_turns)) +
+             " provides paths with less turns"});
+  }
+  // Zig-zag complaint when any set is notably winding.
+  for (int a = 0; a < kNumApproaches; ++a) {
+    if (quality[static_cast<size_t>(a)].mean_turns_per_km >
+        options.zigzag_turns_per_km) {
+      candidates.push_back({CommentTheme::kZigZag, "less zig-zag is better"});
+      break;
+    }
+  }
+  // Wide-roads praise when the top-rated set rides arterials.
+  for (int a = 0; a < kNumApproaches; ++a) {
+    if (ratings[static_cast<size_t>(a)] == top_rating &&
+        quality[static_cast<size_t>(a)].mean_lanes > options.wide_road_lanes) {
+      candidates.push_back({CommentTheme::kWideRoads,
+                            "highest rated path follows wide roads"});
+      break;
+    }
+  }
+  // Apparent detours (non-residents especially, per Sec. 4.2).
+  for (int a = 0; a < kNumApproaches; ++a) {
+    if (quality[static_cast<size_t>(a)].mean_detours >= 1.0 &&
+        who.familiarity < 0.5) {
+      candidates.push_back(
+          {CommentTheme::kApparentDetour,
+           std::string("the route from approach ") +
+               ApproachLabel(static_cast<Approach>(a)) +
+               " looks like it takes a detour"});
+      break;
+    }
+  }
+  // Overlapping alternatives.
+  for (int a = 0; a < kNumApproaches; ++a) {
+    if (quality[static_cast<size_t>(a)].max_pairwise_similarity >
+        options.too_similar_threshold) {
+      candidates.push_back(
+          {CommentTheme::kTooSimilar,
+           std::string("approach ") +
+               ApproachLabel(static_cast<Approach>(a)) +
+               "'s alternatives are nearly the same route"});
+      break;
+    }
+  }
+
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng->NextUint64(candidates.size())];
+}
+
+}  // namespace altroute

@@ -1,0 +1,57 @@
+// Free-text participant feedback. The paper quotes several comments ("less
+// zig-zag is better", "Approach C provides paths with less turns", "highest
+// rated path follows wide roads", "no route using Blackburn rd", "I don't
+// see these approaches as very distinct from each other") and uses them to
+// motivate the Sec. 4.2 limitations. The simulator generates comments from
+// the same measurable features, so the comment stream can be analysed the
+// way the authors analysed theirs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/engine_registry.h"
+#include "userstudy/participant.h"
+
+namespace altroute {
+
+/// What a comment is about.
+enum class CommentTheme : int {
+  kZigZag = 0,          // complains about winding routes
+  kFewerTurns = 1,      // praises the approach with the fewest turns
+  kWideRoads = 2,       // praises wide/arterial routes
+  kApparentDetour = 3,  // suspects a detour
+  kTooSimilar = 4,      // alternatives overlap too much
+  kAllSame = 5,         // approaches indistinguishable
+  kFavouriteMissing = 6,  // their usual route was not offered
+};
+
+inline constexpr int kNumCommentThemes = 7;
+
+/// Stable lowercase slug ("zig_zag", "fewer_turns", ...).
+std::string_view CommentThemeName(CommentTheme theme);
+
+/// A generated comment.
+struct GeneratedComment {
+  CommentTheme theme;
+  std::string text;  // rendered with masked approach labels, like the paper
+};
+
+/// Knobs for comment generation.
+struct CommentOptions {
+  /// Probability a participant bothers to leave a comment at all.
+  double comment_probability = 0.12;
+  double zigzag_turns_per_km = 2.2;     // threshold to complain
+  double wide_road_lanes = 2.05;        // threshold to praise width
+  double too_similar_threshold = 0.75;  // max pairwise similarity
+};
+
+/// Possibly generates one comment for a submitted response. Deterministic in
+/// *rng. `ratings` are the four masked ratings the participant just gave.
+std::optional<GeneratedComment> MaybeGenerateComment(
+    const RoadNetwork& net,
+    const std::array<AlternativeSet, kNumApproaches>& sets,
+    const std::array<int, kNumApproaches>& ratings, const Participant& who,
+    Rng* rng, const CommentOptions& options = {});
+
+}  // namespace altroute

@@ -1,0 +1,92 @@
+#include "userstudy/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace altroute {
+
+namespace {
+constexpr const char* kHeader =
+    "participant,resident,source,target,fastest_minutes,bucket,"
+    "rating_a,rating_b,rating_c,rating_d";
+}  // namespace
+
+Status ExportStudyCsv(const StudyResults& results, std::ostream& out) {
+  out << kHeader << "\n";
+  for (const ResponseRecord& r : results.responses) {
+    out << r.participant_id << "," << (r.resident ? 1 : 0) << "," << r.source
+        << "," << r.target << "," << FormatFixed(r.fastest_minutes, 4) << ","
+        << r.bucket;
+    for (int rating : r.ratings) out << "," << rating;
+    out << "\n";
+  }
+  if (!out.good()) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Result<StudyResults> ImportStudyCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::Corruption("missing or unexpected CSV header");
+  }
+  StudyResults results;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != 10) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected 10 fields");
+    }
+    ResponseRecord r;
+    auto pid = ParseInt64(fields[0]);
+    auto resident = ParseInt64(fields[1]);
+    auto source = ParseInt64(fields[2]);
+    auto target = ParseInt64(fields[3]);
+    auto minutes = ParseDouble(fields[4]);
+    auto bucket = ParseInt64(fields[5]);
+    if (!pid.ok() || !resident.ok() || !source.ok() || !target.ok() ||
+        !minutes.ok() || !bucket.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": malformed numeric field");
+    }
+    r.participant_id = static_cast<int>(*pid);
+    r.resident = (*resident != 0);
+    r.source = static_cast<NodeId>(*source);
+    r.target = static_cast<NodeId>(*target);
+    r.fastest_minutes = *minutes;
+    r.bucket = static_cast<int>(*bucket);
+    if (r.bucket != BucketOf(r.fastest_minutes)) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bucket does not match fastest_minutes");
+    }
+    for (int a = 0; a < kNumApproaches; ++a) {
+      auto rating = ParseInt64(fields[static_cast<size_t>(6 + a)]);
+      if (!rating.ok() || *rating < 1 || *rating > 5) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": rating out of range");
+      }
+      r.ratings[static_cast<size_t>(a)] = static_cast<int>(*rating);
+    }
+    results.responses.push_back(r);
+  }
+  return results;
+}
+
+Status ExportStudyCsvToFile(const StudyResults& results,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return ExportStudyCsv(results, out);
+}
+
+Result<StudyResults> ImportStudyCsvFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return ImportStudyCsv(in);
+}
+
+}  // namespace altroute

@@ -1,0 +1,27 @@
+// CSV persistence of study results, so a simulated (or real, collected via
+// the web demo) response set can be archived and re-analysed without
+// re-running the engines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "userstudy/study_runner.h"
+
+namespace altroute {
+
+/// Writes responses as CSV with a header:
+/// participant,resident,source,target,fastest_minutes,bucket,rating_a..d
+Status ExportStudyCsv(const StudyResults& results, std::ostream& out);
+
+/// Parses a CSV produced by ExportStudyCsv. Validates ranges (ratings 1-5,
+/// bucket derived from fastest_minutes) and returns Corruption on malformed
+/// rows.
+Result<StudyResults> ImportStudyCsv(std::istream& in);
+
+/// File convenience wrappers.
+Status ExportStudyCsvToFile(const StudyResults& results,
+                            const std::string& path);
+Result<StudyResults> ImportStudyCsvFromFile(const std::string& path);
+
+}  // namespace altroute

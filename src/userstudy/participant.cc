@@ -1,0 +1,54 @@
+#include "userstudy/participant.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace altroute {
+
+int BucketOf(double fastest_minutes) {
+  if (fastest_minutes > 0.0 && fastest_minutes <= 10.0) {
+    return static_cast<int>(RouteBucket::kSmall);
+  }
+  if (fastest_minutes > 10.0 && fastest_minutes <= 25.0) {
+    return static_cast<int>(RouteBucket::kMedium);
+  }
+  if (fastest_minutes > 25.0 && fastest_minutes <= 80.0) {
+    return static_cast<int>(RouteBucket::kLong);
+  }
+  return -1;
+}
+
+const char* BucketName(int bucket) {
+  switch (bucket) {
+    case 0:
+      return "Small Routes (0, 10] (mins)";
+    case 1:
+      return "Medium Routes (10, 25] (mins)";
+    case 2:
+      return "Long Routes (25, 80] (mins)";
+    default:
+      return "Unknown";
+  }
+}
+
+std::vector<Participant> MakePopulation(int num_residents, int num_nonresidents,
+                                        Rng* rng) {
+  std::vector<Participant> population;
+  population.reserve(static_cast<size_t>(num_residents + num_nonresidents));
+  int id = 0;
+  auto make = [&](bool resident) {
+    Participant p;
+    p.id = id++;
+    p.melbourne_resident = resident;
+    p.leniency = rng->Gaussian(0.0, 0.55);
+    p.noise_sd = rng->Uniform(1.05, 1.45);
+    p.familiarity = resident ? rng->Uniform(0.55, 1.0) : rng->Uniform(0.0, 0.35);
+    p.has_favourite_route = rng->Bernoulli(resident ? 0.18 : 0.06);
+    return p;
+  };
+  for (int i = 0; i < num_residents; ++i) population.push_back(make(true));
+  for (int i = 0; i < num_nonresidents; ++i) population.push_back(make(false));
+  return population;
+}
+
+}  // namespace altroute

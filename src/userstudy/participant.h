@@ -1,0 +1,52 @@
+// Simulated study participants (DESIGN.md Sec. 2: the human raters are the
+// one component of the paper we cannot obtain; we substitute a behavioural
+// model whose terms encode the paper's own Sec. 4.2 analysis of what drove
+// ratings).
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace altroute {
+
+/// Trip-length buckets exactly as the paper defines them (Sec. 4.1).
+enum class RouteBucket : int {
+  kSmall = 0,   // fastest time in (0, 10] minutes
+  kMedium = 1,  // (10, 25]
+  kLong = 2,    // (25, 80]
+};
+
+inline constexpr int kNumBuckets = 3;
+
+/// Bucket of a fastest travel time, or -1 when outside (0, 80] minutes
+/// (such queries were not part of the study).
+int BucketOf(double fastest_minutes);
+
+/// Display name "Small Routes (0, 10] (mins)" etc.
+const char* BucketName(int bucket);
+
+/// A simulated participant with stable personal traits.
+struct Participant {
+  int id = 0;
+  bool melbourne_resident = true;
+  /// Personal anchor shift on the 1-5 scale (some people rate high, some
+  /// low); drawn N(0, 0.55) at creation.
+  double leniency = 0.0;
+  /// Std-dev of per-rating noise; drawn U(0.85, 1.25).
+  double noise_sd = 1.0;
+  /// Road familiarity in [0, 1]: residents high, non-residents low. Drives
+  /// whether apparent-but-legitimate detours are recognised (Sec. 4.2).
+  double familiarity = 0.5;
+  /// This participant judges routes against a favourite route of their own
+  /// (Sec. 4.2 "no route using Blackburn rd"); when none of the displayed
+  /// routes matches it, their ratings are capped.
+  bool has_favourite_route = false;
+};
+
+/// Deterministically creates the study population: `num_residents` residents
+/// followed by `num_nonresidents` non-residents.
+std::vector<Participant> MakePopulation(int num_residents, int num_nonresidents,
+                                        Rng* rng);
+
+}  // namespace altroute

@@ -1,0 +1,95 @@
+#include "userstudy/rating_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/similarity.h"
+
+namespace altroute {
+
+double PerceivedQuality(const RoadNetwork& net, const AlternativeSet& set,
+                        std::span<const double> display_weights,
+                        double global_display_opt, const Participant& who,
+                        const RatingModelParams& params) {
+  if (set.routes.empty()) return 1.0;
+
+  // All features are evaluated under the *display* weights: that is what the
+  // participant sees, regardless of which data the engine searched on.
+  const RouteSetQuality q = ComputeRouteSetQuality(
+      net, set.routes, global_display_opt, display_weights);
+
+  double score = params.anchor + who.leniency;
+
+  // Displayed travel times relative to the best number on screen. The
+  // headline (first-presented) route's excess is weighted heavily — an
+  // approach whose primary suggestion already looks slow is visibly
+  // inferior — discounted by familiarity (familiar users recognise it may be
+  // legitimate). The mean captures how slow the alternatives look overall.
+  const double headline_stretch =
+      CostUnder(set.routes.front(), display_weights) / global_display_opt;
+  score -= params.headline_stretch_weight *
+           (1.0 - params.headline_familiarity_discount * who.familiarity) *
+           std::max(0.0, headline_stretch - 1.0);
+  score -= params.stretch_weight * std::max(0.0, q.mean_stretch - 1.0);
+
+  // Redundant alternatives.
+  score -= params.similarity_weight *
+           std::max(0.0, q.max_pairwise_similarity - params.similarity_free);
+
+  // Apparent detours; familiarity lets the participant recognise legitimate
+  // ones (tunnels, no-left-turns) and forgive them.
+  const double perceived_detours =
+      q.mean_detours *
+      (1.0 - params.familiarity_detour_discount * who.familiarity);
+  score -= params.detour_weight * perceived_detours;
+
+  // Zig-zag above the urban baseline.
+  score -= params.turns_weight *
+           std::max(0.0, q.mean_turns_per_km - params.turns_free);
+
+  // Fewer options than the expected three.
+  score -= params.count_weight * std::max(0, 3 - q.num_routes);
+
+  // Wider roads are perceived as better.
+  score += params.lanes_weight * std::max(0.0, q.mean_lanes - 1.2);
+
+  // Non-residents judge unfamiliar maps more harshly across the board.
+  score -= params.nonresident_skepticism * (1.0 - who.familiarity);
+
+  return score;
+}
+
+std::array<int, kNumApproaches> RateAllApproaches(
+    const RoadNetwork& net,
+    const std::array<AlternativeSet, kNumApproaches>& sets,
+    std::span<const double> display_weights, const Participant& who, Rng* rng,
+    const RatingModelParams& params) {
+  // Best displayed time across every route of every approach: the reference
+  // number the participant anchors on.
+  double global_opt = kInfCost;
+  for (const AlternativeSet& set : sets) {
+    for (const Path& p : set.routes) {
+      global_opt = std::min(global_opt, CostUnder(p, display_weights));
+    }
+  }
+  if (!(global_opt < kInfCost) || global_opt <= 0.0) global_opt = 1.0;
+
+  // Favourite-route bias applies to the whole response: if the participant's
+  // favourite is not among ANY displayed routes, every approach is capped.
+  const bool favourite_missed =
+      who.has_favourite_route && rng->Bernoulli(params.favourite_miss_prob);
+
+  std::array<int, kNumApproaches> ratings{};
+  for (int a = 0; a < kNumApproaches; ++a) {
+    double score = PerceivedQuality(net, sets[static_cast<size_t>(a)],
+                                    display_weights, global_opt, who, params);
+    if (favourite_missed) score = std::min(score, params.favourite_cap);
+    score += rng->Gaussian(0.0, who.noise_sd);
+    const int rating =
+        static_cast<int>(std::lround(std::clamp(score, 1.0, 5.0)));
+    ratings[static_cast<size_t>(a)] = std::clamp(rating, 1, 5);
+  }
+  return ratings;
+}
+
+}  // namespace altroute

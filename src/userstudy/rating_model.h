@@ -1,0 +1,74 @@
+// The behavioural rating model: maps the route sets a participant sees to
+// 1-5 ratings. Every term corresponds to an effect the paper documents:
+//
+//  * displayed travel time (Sec. 3: the demo shows OSM travel times for ALL
+//    four approaches, so commercial routes optimised on different data look
+//    slower — the Fig. 4 rank-flip effect);
+//  * apparent detours, discounted by road familiarity (Sec. 4.2 "Apparent
+//    detours that are not" — only familiar users recognise legitimate ones);
+//  * route diversity (too-similar alternatives are useless);
+//  * zig-zag / turns and road width (Sec. 4.2 participant comments);
+//  * number of options shown;
+//  * favourite-route bias (Sec. 4.2 "no route using Blackburn rd": ratings
+//    capped when none of the routes matches the participant's favourite);
+//  * per-participant leniency anchor and rating noise.
+//
+// The model is calibrated (anchor/weights below) so that aggregate tables
+// land near the paper's; orderings and significance are emergent, never
+// hard-coded per approach.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/engine_registry.h"
+#include "core/quality.h"
+#include "userstudy/participant.h"
+
+namespace altroute {
+
+/// Calibration constants of the rating model.
+struct RatingModelParams {
+  double anchor = 4.05;             // score of a flawless route set
+  /// Penalty per unit of the *headline* (first-presented) route's displayed
+  /// stretch above 1: the strongest signal a participant has is that an
+  /// approach's primary suggestion shows a worse number than the best number
+  /// on screen (the Fig. 4 rank-flip, visible only on the OSM-rendered map).
+  double headline_stretch_weight = 5.5;
+  /// Familiar participants partially recognise that a headline route which
+  /// *looks* slower is probably legitimate on the provider's data (Sec. 4.2
+  /// "apparent detours that are not"); non-residents cannot.
+  double headline_familiarity_discount = 0.55;
+  double stretch_weight = 1.6;      // per unit of displayed mean stretch - 1
+  double similarity_weight = 1.3;   // per unit of excess pairwise similarity
+  double similarity_free = 0.30;    // similarity below this is not penalised
+  double detour_weight = 0.55;      // per perceived detour event
+  double familiarity_detour_discount = 0.75;  // how much familiarity forgives
+  double turns_weight = 0.05;       // per turn/km above the grid baseline
+  double turns_free = 2.5;          // turns/km considered normal
+  double count_weight = 0.30;       // per missing alternative below 3
+  double lanes_weight = 0.35;       // bonus per mean lane above 1.2
+  double nonresident_skepticism = 0.28;  // flat penalty scaled by (1-familiarity)
+  double favourite_miss_prob = 0.55;     // favourite not displayed -> cap
+  double favourite_cap = 3.0;            // max rating in that case
+};
+
+/// Pre-noise perceived quality of one approach's route set, in rating units.
+/// `global_display_opt` is the best displayed (OSM free-flow) travel time
+/// across ALL approaches for this query — participants compare the numbers
+/// they see on screen.
+double PerceivedQuality(const RoadNetwork& net, const AlternativeSet& set,
+                        std::span<const double> display_weights,
+                        double global_display_opt, const Participant& who,
+                        const RatingModelParams& params = {});
+
+/// Rates all four approaches for one query. Deterministic given `rng` state.
+/// Applies the shared favourite-route cap and per-rating noise, clamps and
+/// rounds to the 1-5 scale.
+std::array<int, kNumApproaches> RateAllApproaches(
+    const RoadNetwork& net,
+    const std::array<AlternativeSet, kNumApproaches>& sets,
+    std::span<const double> display_weights, const Participant& who, Rng* rng,
+    const RatingModelParams& params = {});
+
+}  // namespace altroute

@@ -1,0 +1,128 @@
+#include "userstudy/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "stats/bootstrap.h"
+#include "userstudy/comments.h"
+#include "util/string_util.h"
+
+namespace altroute {
+
+Result<std::string> RenderStudyReport(const StudyResults& results,
+                                      const ReportOptions& options) {
+  if (results.responses.empty()) {
+    return Status::InvalidArgument("cannot report on an empty study");
+  }
+
+  std::ostringstream out;
+  out << "# " << options.title << "\n\n";
+  if (!options.network_description.empty()) {
+    out << options.network_description << "\n\n";
+  }
+  const int residents = results.CountMatching(true);
+  const int non_residents = results.CountMatching(false);
+  out << "Responses: **" << results.responses.size() << "** (" << residents
+      << " residents, " << non_residents << " non-residents).\n\n";
+
+  out << "## Table 1 — all responses\n\n"
+      << FormatTable(Table1Rows(results), "") << "\n";
+  if (residents > 0) {
+    out << "## Table 2 — residents only\n\n"
+        << FormatTable(Table2Rows(results), "") << "\n";
+  }
+  if (non_residents > 0) {
+    out << "## Table 3 — non-residents only\n\n"
+        << FormatTable(Table3Rows(results), "") << "\n";
+  }
+
+  out << "## Significance (one-way ANOVA)\n\n";
+  out << "| Subset | F | df | p | significant at 0.05 |\n";
+  out << "|---|---|---|---|---|\n";
+  struct Subset {
+    const char* label;
+    std::optional<bool> resident;
+    int count;
+  } subsets[] = {{"All respondents", std::nullopt,
+                  static_cast<int>(results.responses.size())},
+                 {"Residents", true, residents},
+                 {"Non-residents", false, non_residents}};
+  for (const Subset& subset : subsets) {
+    if (subset.count == 0) continue;
+    auto anova = StudyAnova(results, subset.resident);
+    ALTROUTE_RETURN_NOT_OK(anova.status());
+    out << "| " << subset.label << " | " << FormatFixed(anova->f_statistic, 3)
+        << " | (" << FormatFixed(anova->df_between, 0) << ", "
+        << FormatFixed(anova->df_within, 0) << ") | "
+        << FormatFixed(anova->p_value, 3) << " | "
+        << (anova->SignificantAt(0.05) ? "yes" : "no") << " |\n";
+  }
+  out << "\n";
+
+  out << "## Pairwise mean differences ("
+      << FormatFixed(options.confidence * 100.0, 0)
+      << "% bootstrap CI, all respondents)\n\n";
+  out << "| Pair | difference | CI | excludes 0 |\n|---|---|---|---|\n";
+  Rng rng(options.bootstrap_seed);
+  for (int i = 0; i < kNumApproaches; ++i) {
+    for (int j = i + 1; j < kNumApproaches; ++j) {
+      const auto a = results.RatingsOf(static_cast<Approach>(i));
+      const auto b = results.RatingsOf(static_cast<Approach>(j));
+      ALTROUTE_ASSIGN_OR_RETURN(
+          ConfidenceInterval ci,
+          BootstrapMeanDifferenceCi(a, b, options.confidence,
+                                    options.bootstrap_resamples, &rng));
+      out << "| " << ApproachName(static_cast<Approach>(i)) << " − "
+          << ApproachName(static_cast<Approach>(j)) << " | "
+          << FormatFixed(ci.point, 3) << " | [" << FormatFixed(ci.lower, 3)
+          << ", " << FormatFixed(ci.upper, 3) << "] | "
+          << (ci.Contains(0.0) ? "no" : "yes") << " |\n";
+    }
+  }
+  out << "\n";
+
+  // Participant comments (when the simulator generated any).
+  std::array<int, kNumCommentThemes> histogram{};
+  std::vector<std::string> samples;
+  int commented = 0;
+  for (const ResponseRecord& r : results.responses) {
+    if (r.comment.empty()) continue;
+    ++commented;
+    if (r.comment_theme >= 0 && r.comment_theme < kNumCommentThemes) {
+      ++histogram[static_cast<size_t>(r.comment_theme)];
+    }
+    if (samples.size() < 5 &&
+        std::find(samples.begin(), samples.end(), r.comment) == samples.end()) {
+      samples.push_back(r.comment);
+    }
+  }
+  if (commented > 0) {
+    out << "## Participant comments\n\n" << commented
+        << " respondents left a comment. Themes:\n\n";
+    out << "| Theme | count |\n|---|---|\n";
+    for (int theme = 0; theme < kNumCommentThemes; ++theme) {
+      if (histogram[static_cast<size_t>(theme)] == 0) continue;
+      out << "| " << CommentThemeName(static_cast<CommentTheme>(theme))
+          << " | " << histogram[static_cast<size_t>(theme)] << " |\n";
+    }
+    out << "\nSample quotes:\n\n";
+    for (const std::string& quote : samples) {
+      out << "> \"" << quote << "\"\n>\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteStudyReport(const StudyResults& results, const std::string& path,
+                        const ReportOptions& options) {
+  ALTROUTE_ASSIGN_OR_RETURN(std::string report,
+                            RenderStudyReport(results, options));
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << report;
+  if (!out.good()) return Status::IOError("report write failed");
+  return Status::OK();
+}
+
+}  // namespace altroute

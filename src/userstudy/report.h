@@ -1,0 +1,32 @@
+// Markdown report generation: renders a complete study write-up (all three
+// tables, ANOVA per respondent subset, bootstrap CIs on pairwise
+// differences) from a StudyResults — the artifact a researcher archives
+// next to the raw CSV.
+#pragma once
+
+#include <string>
+
+#include "userstudy/tables.h"
+
+namespace altroute {
+
+/// Report options.
+struct ReportOptions {
+  std::string title = "Alternative Route Planning User Study";
+  /// Network description line (name/size); empty to omit.
+  std::string network_description;
+  int bootstrap_resamples = 2000;
+  double confidence = 0.95;
+  uint64_t bootstrap_seed = 7;
+};
+
+/// Renders the full Markdown report. Fails only if the results cannot
+/// support the analyses (e.g. empty response set).
+Result<std::string> RenderStudyReport(const StudyResults& results,
+                                      const ReportOptions& options = {});
+
+/// Convenience: render + write to a file.
+Status WriteStudyReport(const StudyResults& results, const std::string& path,
+                        const ReportOptions& options = {});
+
+}  // namespace altroute

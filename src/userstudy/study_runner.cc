@@ -1,0 +1,131 @@
+#include "userstudy/study_runner.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+#include "userstudy/comments.h"
+#include "util/logging.h"
+
+namespace altroute {
+
+std::vector<double> StudyResults::RatingsOf(Approach approach,
+                                            std::optional<bool> resident,
+                                            std::optional<int> bucket) const {
+  std::vector<double> out;
+  for (const ResponseRecord& r : responses) {
+    if (resident && r.resident != *resident) continue;
+    if (bucket && r.bucket != *bucket) continue;
+    out.push_back(static_cast<double>(r.ratings[static_cast<size_t>(approach)]));
+  }
+  return out;
+}
+
+int StudyResults::CountMatching(std::optional<bool> resident,
+                                std::optional<int> bucket) const {
+  int n = 0;
+  for (const ResponseRecord& r : responses) {
+    if (resident && r.resident != *resident) continue;
+    if (bucket && r.bucket != *bucket) continue;
+    ++n;
+  }
+  return n;
+}
+
+StudyRunner::StudyRunner(std::shared_ptr<const RoadNetwork> net,
+                         StudyConfig config)
+    : net_(std::move(net)), config_(std::move(config)) {}
+
+Result<StudyResults> StudyRunner::Run() {
+  if (net_ == nullptr || net_->num_nodes() < 2) {
+    return Status::InvalidArgument("study needs a non-trivial network");
+  }
+
+  ALTROUTE_ASSIGN_OR_RETURN(
+      EngineSuite suite,
+      EngineSuite::MakePaperSuite(net_, config_.engine_options,
+                                  config_.commercial_hour));
+
+  Rng rng(config_.seed);
+  // Comments draw from an independent stream so that enabling/disabling
+  // comment generation never perturbs sampling, ratings, or the tables.
+  Rng comment_rng(config_.seed ^ 0xC033E27A11DFULL);
+  std::vector<Participant> population = MakePopulation(
+      config_.num_residents, config_.num_nonresidents, &rng);
+
+  Dijkstra fastest_probe(*net_);
+  const std::vector<double>& display = suite.display_weights();
+
+  // Remaining quota per (resident?, bucket); relaxed when sampling stalls.
+  std::array<std::array<int, kNumBuckets>, 2> quota = {
+      config_.nonresident_bucket_quota, config_.resident_bucket_quota};
+
+  StudyResults results;
+  results.responses.reserve(population.size());
+  int attempts = 0;
+  bool quotas_active = true;
+
+  for (const Participant& who : population) {
+    // Sample a query whose fastest time fits an open bucket for this group.
+    NodeId s = kInvalidNode, t = kInvalidNode;
+    double fastest_min = 0.0;
+    int bucket = -1;
+    for (;;) {
+      ++attempts;
+      if (quotas_active && attempts > config_.max_sample_attempts) {
+        quotas_active = false;  // small network: fill with whatever exists
+      }
+      s = static_cast<NodeId>(rng.NextUint64(net_->num_nodes()));
+      t = static_cast<NodeId>(rng.NextUint64(net_->num_nodes()));
+      if (s == t) continue;
+      auto sp = fastest_probe.ShortestPath(s, t, display);
+      if (!sp.ok()) continue;  // unreachable (only possible w/o SCC pruning)
+      fastest_min = sp->cost / 60.0;
+      bucket = BucketOf(fastest_min);
+      if (bucket < 0) continue;
+      if (quotas_active) {
+        int& q = quota[who.melbourne_resident ? 1 : 0][static_cast<size_t>(bucket)];
+        if (q <= 0) continue;
+        --q;
+      }
+      break;
+    }
+
+    std::array<AlternativeSet, kNumApproaches> sets;
+    bool all_ok = true;
+    for (Approach a : kAllApproaches) {
+      auto set = suite.engine(a).Generate(s, t);
+      if (!set.ok()) {
+        all_ok = false;
+        break;
+      }
+      sets[static_cast<size_t>(a)] = std::move(set).ValueOrDie();
+    }
+    if (!all_ok) {
+      // Should not happen on an SCC-pruned network; surface loudly if it does.
+      return Status::Internal("engine failed on a sampled query");
+    }
+
+    ResponseRecord record;
+    record.participant_id = who.id;
+    record.resident = who.melbourne_resident;
+    record.source = s;
+    record.target = t;
+    record.fastest_minutes = fastest_min;
+    record.bucket = bucket;
+    record.ratings = RateAllApproaches(*net_, sets, display, who, &rng,
+                                       config_.rating_params);
+    if (auto comment = MaybeGenerateComment(*net_, sets, record.ratings, who,
+                                            &comment_rng)) {
+      record.comment = comment->text;
+      record.comment_theme = static_cast<int>(comment->theme);
+    }
+    for (int a = 0; a < kNumApproaches; ++a) {
+      record.num_routes[static_cast<size_t>(a)] =
+          static_cast<int>(sets[static_cast<size_t>(a)].routes.size());
+    }
+    results.responses.push_back(record);
+  }
+  return results;
+}
+
+}  // namespace altroute

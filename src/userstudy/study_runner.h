@@ -1,0 +1,81 @@
+// StudyRunner: executes the full simulated user study — samples (s, t)
+// queries stratified to the paper's per-group trip-length mix, runs all four
+// engines per query, rates them with the behavioural model, and collects the
+// 237 responses (156 residents + 81 non-residents).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine_registry.h"
+#include "userstudy/rating_model.h"
+
+namespace altroute {
+
+/// Study configuration. Defaults reproduce the paper's setup exactly.
+struct StudyConfig {
+  int num_residents = 156;
+  int num_nonresidents = 81;
+  /// Trip-length quotas per bucket, from Table 2 (residents: 38/83/35) and
+  /// Table 3 (non-residents: 28/26/27).
+  std::array<int, kNumBuckets> resident_bucket_quota = {38, 83, 35};
+  std::array<int, kNumBuckets> nonresident_bucket_quota = {28, 26, 27};
+  /// Engine parameters (paper: k=3, UB=1.4, penalty 1.4, theta 0.5).
+  AlternativeOptions engine_options;
+  /// Hour at which the commercial engine's traffic data is sampled
+  /// (paper: 3:00 am to minimise congestion effects).
+  int commercial_hour = 3;
+  RatingModelParams rating_params;
+  uint64_t seed = 20225601;
+  /// Sampling attempts before bucket quotas are relaxed (small test
+  /// networks may not contain any 25-80 minute trips).
+  int max_sample_attempts = 50000;
+};
+
+/// One submitted feedback form.
+struct ResponseRecord {
+  int participant_id = 0;
+  bool resident = true;
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  double fastest_minutes = 0.0;
+  int bucket = -1;
+  std::array<int, kNumApproaches> ratings{};
+  std::array<int, kNumApproaches> num_routes{};
+  /// Optional free-text feedback (paper Sec. 4.2 quotes); empty when the
+  /// participant left none. `comment_theme` indexes CommentTheme, -1 none.
+  std::string comment;
+  int comment_theme = -1;
+};
+
+/// All responses plus selection helpers used by the table benches.
+struct StudyResults {
+  std::vector<ResponseRecord> responses;
+
+  /// Ratings of one approach filtered by residency and/or bucket
+  /// (std::nullopt = no filter).
+  std::vector<double> RatingsOf(Approach approach,
+                                std::optional<bool> resident = std::nullopt,
+                                std::optional<int> bucket = std::nullopt) const;
+
+  /// Number of responses matching the filters.
+  int CountMatching(std::optional<bool> resident = std::nullopt,
+                    std::optional<int> bucket = std::nullopt) const;
+};
+
+/// Runs the study against one city network.
+class StudyRunner {
+ public:
+  StudyRunner(std::shared_ptr<const RoadNetwork> net, StudyConfig config);
+
+  /// Executes the full study. Deterministic in config.seed.
+  Result<StudyResults> Run();
+
+ private:
+  std::shared_ptr<const RoadNetwork> net_;
+  StudyConfig config_;
+};
+
+}  // namespace altroute

@@ -1,0 +1,93 @@
+#include "userstudy/tables.h"
+
+#include <sstream>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace altroute {
+
+TableRow ComputeRow(const StudyResults& results, std::string label,
+                    std::optional<bool> resident, std::optional<int> bucket) {
+  TableRow row;
+  row.label = std::move(label);
+  row.num_responses = results.CountMatching(resident, bucket);
+  double best = -1.0;
+  for (Approach a : kAllApproaches) {
+    const auto ratings = results.RatingsOf(a, resident, bucket);
+    const size_t i = static_cast<size_t>(a);
+    row.mean[i] = Mean(ratings);
+    row.sd[i] = SampleStdDev(ratings);
+    if (row.mean[i] > best) {
+      best = row.mean[i];
+      row.best_approach = static_cast<int>(a);
+    }
+  }
+  return row;
+}
+
+std::vector<TableRow> Table1Rows(const StudyResults& results) {
+  std::vector<TableRow> rows;
+  rows.push_back(ComputeRow(results, "Overall"));
+  rows.push_back(ComputeRow(results, "Melbourne residents", true));
+  rows.push_back(ComputeRow(results, "Non-residents", false));
+  for (int b = 0; b < kNumBuckets; ++b) {
+    rows.push_back(ComputeRow(results, BucketName(b), std::nullopt, b));
+  }
+  return rows;
+}
+
+std::vector<TableRow> Table2Rows(const StudyResults& results) {
+  std::vector<TableRow> rows;
+  rows.push_back(ComputeRow(results, "Melbourne residents", true));
+  for (int b = 0; b < kNumBuckets; ++b) {
+    rows.push_back(ComputeRow(results, BucketName(b), true, b));
+  }
+  return rows;
+}
+
+std::vector<TableRow> Table3Rows(const StudyResults& results) {
+  std::vector<TableRow> rows;
+  rows.push_back(ComputeRow(results, "Non-residents", false));
+  for (int b = 0; b < kNumBuckets; ++b) {
+    rows.push_back(ComputeRow(results, BucketName(b), false, b));
+  }
+  return rows;
+}
+
+std::string FormatTable(const std::vector<TableRow>& rows,
+                        const std::string& caption) {
+  std::ostringstream os;
+  os << "| |";
+  for (Approach a : kAllApproaches) os << " " << ApproachName(a) << " |";
+  os << " #Responses |\n";
+  os << "|---|---|---|---|---|---|\n";
+  for (const TableRow& row : rows) {
+    os << "| " << row.label << " |";
+    for (int a = 0; a < kNumApproaches; ++a) {
+      const size_t i = static_cast<size_t>(a);
+      const std::string cell =
+          FormatFixed(row.mean[i], 2) + " (" + FormatFixed(row.sd[i], 2) + ")";
+      if (a == row.best_approach) {
+        os << " **" << cell << "** |";
+      } else {
+        os << " " << cell << " |";
+      }
+    }
+    os << " " << row.num_responses << " |\n";
+  }
+  os << caption << "\n";
+  return os.str();
+}
+
+Result<AnovaResult> StudyAnova(const StudyResults& results,
+                               std::optional<bool> resident) {
+  std::vector<std::vector<double>> groups;
+  groups.reserve(kNumApproaches);
+  for (Approach a : kAllApproaches) {
+    groups.push_back(results.RatingsOf(a, resident));
+  }
+  return OneWayAnova(groups);
+}
+
+}  // namespace altroute

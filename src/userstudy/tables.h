@@ -1,0 +1,49 @@
+// Table construction and formatting matching the paper's Tables 1-3 layout:
+// "mean (sd)" per approach per row, best-in-row marked, #Responses column,
+// plus the Sec. 4.1 one-way ANOVA summary.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "stats/anova.h"
+#include "userstudy/study_runner.h"
+
+namespace altroute {
+
+/// One table row: aggregate per approach over a response subset.
+struct TableRow {
+  std::string label;
+  std::array<double, kNumApproaches> mean{};
+  std::array<double, kNumApproaches> sd{};
+  int num_responses = 0;
+  /// Index of the approach with the highest mean (the paper's bold cell).
+  int best_approach = 0;
+};
+
+/// Computes a row over the responses matching the filters.
+TableRow ComputeRow(const StudyResults& results, std::string label,
+                    std::optional<bool> resident = std::nullopt,
+                    std::optional<int> bucket = std::nullopt);
+
+/// The paper's Table 1 rows: Overall, residents, non-residents, and the
+/// three bucket rows over all respondents.
+std::vector<TableRow> Table1Rows(const StudyResults& results);
+
+/// Table 2: residents only (overall + buckets).
+std::vector<TableRow> Table2Rows(const StudyResults& results);
+
+/// Table 3: non-residents only (overall + buckets).
+std::vector<TableRow> Table3Rows(const StudyResults& results);
+
+/// Markdown-ish rendering matching the paper (best mean wrapped in "**").
+std::string FormatTable(const std::vector<TableRow>& rows,
+                        const std::string& caption);
+
+/// One-way ANOVA over the four approaches' ratings for a respondent subset
+/// (paper Sec. 4.1; subsets: all, residents, non-residents).
+Result<AnovaResult> StudyAnova(const StudyResults& results,
+                               std::optional<bool> resident = std::nullopt);
+
+}  // namespace altroute

@@ -1,0 +1,79 @@
+// Minimal leveled logging plus CHECK macros for invariant enforcement.
+// CHECK failures abort: they flag programmer errors, never user input errors
+// (those go through Status).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace altroute {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ALTROUTE_LOG(level)                                              \
+  ::altroute::internal::LogMessage(::altroute::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+#define ALTROUTE_CHECK(cond)                                            \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::altroute::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+#define ALTROUTE_CHECK_EQ(a, b) ALTROUTE_CHECK((a) == (b))
+#define ALTROUTE_CHECK_NE(a, b) ALTROUTE_CHECK((a) != (b))
+#define ALTROUTE_CHECK_LT(a, b) ALTROUTE_CHECK((a) < (b))
+#define ALTROUTE_CHECK_LE(a, b) ALTROUTE_CHECK((a) <= (b))
+#define ALTROUTE_CHECK_GT(a, b) ALTROUTE_CHECK((a) > (b))
+#define ALTROUTE_CHECK_GE(a, b) ALTROUTE_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define ALTROUTE_DCHECK(cond) ALTROUTE_CHECK(cond)
+#else
+#define ALTROUTE_DCHECK(cond) \
+  if (true) {                 \
+  } else /* NOLINT */         \
+    ::altroute::internal::FatalMessage(__FILE__, __LINE__, #cond)
+#endif
+
+}  // namespace altroute

@@ -1,0 +1,77 @@
+// Result<T>: value-or-Status, in the style of arrow::Result. Use for
+// fallible factory functions and queries so error handling stays explicit.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace altroute {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. Accessing the value of an errored Result aborts in
+/// debug builds; call ok() first or use ValueOrDie() deliberately.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define ALTROUTE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ALTROUTE_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define ALTROUTE_ASSIGN_OR_RETURN_NAME(a, b) ALTROUTE_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define ALTROUTE_ASSIGN_OR_RETURN(lhs, expr) \
+  ALTROUTE_ASSIGN_OR_RETURN_IMPL(            \
+      ALTROUTE_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace altroute

@@ -1,0 +1,36 @@
+// Small string helpers used across modules (parsing, table formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace altroute {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double; errors on trailing garbage or empty input.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; errors on trailing garbage or empty input.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Formats a double with the given number of decimal places ("3.37").
+std::string FormatFixed(double value, int decimals);
+
+}  // namespace altroute

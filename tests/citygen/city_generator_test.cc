@@ -1,0 +1,150 @@
+#include "citygen/city_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+
+namespace altroute {
+namespace citygen {
+namespace {
+
+CitySpec SmallSpec() {
+  CitySpec spec = Scaled(MelbourneSpec(), 0.3);
+  return spec;
+}
+
+TEST(CityGeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateCity(SmallSpec());
+  auto b = GenerateCity(SmallSpec());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->nodes.size(), b->nodes.size());
+  ASSERT_EQ(a->ways.size(), b->ways.size());
+  for (size_t i = 0; i < a->nodes.size(); ++i) {
+    EXPECT_EQ(a->nodes[i].coord, b->nodes[i].coord);
+  }
+}
+
+TEST(CityGeneratorTest, DifferentSeedsDiffer) {
+  CitySpec spec = SmallSpec();
+  auto a = GenerateCity(spec);
+  spec.seed += 1;
+  auto b = GenerateCity(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = a->nodes.size() != b->nodes.size();
+  for (size_t i = 0; !any_difference && i < a->nodes.size(); ++i) {
+    any_difference = !(a->nodes[i].coord == b->nodes[i].coord);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CityGeneratorTest, RejectsDegenerateSpecs) {
+  CitySpec tiny;
+  tiny.block_m = 5.0;
+  EXPECT_TRUE(GenerateCity(tiny).status().IsInvalidArgument());
+  CitySpec negative;
+  negative.half_width_km = -1.0;
+  EXPECT_TRUE(GenerateCity(negative).status().IsInvalidArgument());
+  CitySpec huge;
+  huge.half_width_km = 2000.0;
+  huge.half_height_km = 2000.0;
+  huge.block_m = 20.0;
+  EXPECT_TRUE(GenerateCity(huge).status().IsInvalidArgument());
+}
+
+TEST(CityGeneratorTest, NetworkIsStronglyConnected) {
+  auto net = BuildCityNetwork(SmallSpec());
+  ASSERT_TRUE(net.ok()) << net.status();
+  const auto scc = StronglyConnectedComponents(**net);
+  EXPECT_EQ(scc.count, 1u);
+  EXPECT_GT((*net)->num_nodes(), 100u);
+}
+
+TEST(CityGeneratorTest, FreewayCityContainsMotorways) {
+  auto net = BuildCityNetwork(SmallSpec());  // Melbourne has ring + radials
+  ASSERT_TRUE(net.ok());
+  int motorway_edges = 0;
+  for (EdgeId e = 0; e < (*net)->num_edges(); ++e) {
+    if ((*net)->road_class(e) == RoadClass::kMotorway) ++motorway_edges;
+  }
+  EXPECT_GT(motorway_edges, 10);
+}
+
+TEST(CityGeneratorTest, DhakaHasNoMotorways) {
+  auto net = BuildCityNetwork(Scaled(DhakaSpec(), 0.3));
+  ASSERT_TRUE(net.ok());
+  for (EdgeId e = 0; e < (*net)->num_edges(); ++e) {
+    EXPECT_NE((*net)->road_class(e), RoadClass::kMotorway);
+  }
+}
+
+TEST(CityGeneratorTest, WaterBodyCarvesHole) {
+  CitySpec with_water = SmallSpec();
+  CitySpec without_water = SmallSpec();
+  without_water.water.clear();
+  auto a = GenerateCity(with_water);
+  auto b = GenerateCity(without_water);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->nodes.size(), b->nodes.size());
+  // No generated node may sit inside the water disc.
+  for (const auto& node : a->nodes) {
+    for (const WaterBody& w : with_water.water) {
+      EXPECT_GE(HaversineMeters(node.coord, w.center), w.radius_km * 999.0);
+    }
+  }
+}
+
+TEST(CityGeneratorTest, RiversLimitCrossings) {
+  // Copenhagen's harbour has 6 bridges; the number of distinct edges
+  // crossing the harbour line must be small (bridges + freeway crossings),
+  // far below what an uninterrupted grid would have.
+  CitySpec spec = Scaled(CopenhagenSpec(), 0.4);
+  auto net_or = BuildCityNetwork(spec);
+  ASSERT_TRUE(net_or.ok());
+  const RoadNetwork& net = **net_or;
+
+  const RiverSpec& harbour = spec.rivers[0];
+  auto orient = [](const LatLng& p, const LatLng& q, const LatLng& r) {
+    const double v =
+        (q.lng - p.lng) * (r.lat - p.lat) - (q.lat - p.lat) * (r.lng - p.lng);
+    return v > 0 ? 1 : (v < 0 ? -1 : 0);
+  };
+  auto crosses = [&](const LatLng& a, const LatLng& b) {
+    return orient(a, b, harbour.start) != orient(a, b, harbour.end) &&
+           orient(harbour.start, harbour.end, a) !=
+               orient(harbour.start, harbour.end, b);
+  };
+  int crossing_streets = 0;
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    if (net.tail(e) < net.head(e) &&
+        crosses(net.coord(net.tail(e)), net.coord(net.head(e)))) {
+      ++crossing_streets;
+    }
+  }
+  EXPECT_GT(crossing_streets, 0);
+  EXPECT_LT(crossing_streets, 40);
+}
+
+TEST(CityGeneratorTest, ScaledShrinksTheCity) {
+  auto full = GenerateCity(Scaled(DhakaSpec(), 0.5));
+  auto small = GenerateCity(Scaled(DhakaSpec(), 0.25));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_GT(full->nodes.size(), small->nodes.size() * 2);
+}
+
+TEST(CityGeneratorTest, AllThreeCityPresetsBuild) {
+  for (const CitySpec& spec :
+       {MelbourneSpec(), DhakaSpec(), CopenhagenSpec()}) {
+    auto net = BuildCityNetwork(Scaled(spec, 0.25));
+    ASSERT_TRUE(net.ok()) << spec.name << ": " << net.status();
+    EXPECT_EQ((*net)->name(), spec.name);
+    EXPECT_GT((*net)->num_nodes(), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace citygen
+}  // namespace altroute

@@ -1,0 +1,69 @@
+#include "core/engine_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(EngineRegistryTest, NamesAndLabelsMatchThePaper) {
+  // Paper Sec. 3: "A: Google Maps, B: Plateaus, C: Dissimilarity, D: Penalty".
+  EXPECT_EQ(ApproachName(Approach::kGoogleMaps), "Google Maps");
+  EXPECT_EQ(ApproachName(Approach::kPlateaus), "Plateaus");
+  EXPECT_EQ(ApproachName(Approach::kDissimilarity), "Dissimilarity");
+  EXPECT_EQ(ApproachName(Approach::kPenalty), "Penalty");
+  EXPECT_EQ(ApproachLabel(Approach::kGoogleMaps), 'A');
+  EXPECT_EQ(ApproachLabel(Approach::kPlateaus), 'B');
+  EXPECT_EQ(ApproachLabel(Approach::kDissimilarity), 'C');
+  EXPECT_EQ(ApproachLabel(Approach::kPenalty), 'D');
+}
+
+TEST(EngineRegistryTest, SuiteBuildsAllFourEngines) {
+  auto net = testutil::GridNetwork(6, 6);
+  auto suite_or = EngineSuite::MakePaperSuite(net);
+  ASSERT_TRUE(suite_or.ok());
+  EngineSuite& suite = *suite_or;
+  EXPECT_EQ(suite.engine(Approach::kGoogleMaps).name(), "commercial");
+  EXPECT_EQ(suite.engine(Approach::kPlateaus).name(), "plateau");
+  EXPECT_EQ(suite.engine(Approach::kDissimilarity).name(), "dissimilarity");
+  EXPECT_EQ(suite.engine(Approach::kPenalty).name(), "penalty");
+}
+
+TEST(EngineRegistryTest, OsmEnginesShareDisplayWeights) {
+  auto net = testutil::GridNetwork(5, 5);
+  auto suite = EngineSuite::MakePaperSuite(net);
+  ASSERT_TRUE(suite.ok());
+  EXPECT_EQ(suite->engine(Approach::kPlateaus).weights(),
+            suite->display_weights());
+  EXPECT_EQ(suite->engine(Approach::kPenalty).weights(),
+            suite->display_weights());
+  EXPECT_EQ(suite->engine(Approach::kDissimilarity).weights(),
+            suite->display_weights());
+  // The commercial engine must see different data.
+  EXPECT_NE(suite->engine(Approach::kGoogleMaps).weights(),
+            suite->display_weights());
+}
+
+TEST(EngineRegistryTest, AllEnginesAnswerTheSameQuery) {
+  auto net = testutil::GridNetwork(6, 6);
+  auto suite = EngineSuite::MakePaperSuite(net);
+  ASSERT_TRUE(suite.ok());
+  for (Approach a : kAllApproaches) {
+    auto set = suite->engine(a).Generate(0, 35);
+    ASSERT_TRUE(set.ok()) << ApproachName(a);
+    EXPECT_FALSE(set->routes.empty()) << ApproachName(a);
+    EXPECT_LE(set->routes.size(), 3u) << ApproachName(a);
+  }
+}
+
+TEST(EngineRegistryTest, RejectsBadInput) {
+  EXPECT_TRUE(
+      EngineSuite::MakePaperSuite(nullptr).status().IsInvalidArgument());
+  GraphBuilder empty_builder;
+  auto empty = std::move(empty_builder.Build()).ValueOrDie();
+  EXPECT_TRUE(EngineSuite::MakePaperSuite(empty).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,113 @@
+#include "core/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+class FiltersFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = testutil::GridNetwork(4, 4);
+    weights_ = testutil::Weights(*net_);
+  }
+
+  Path Make(const std::vector<NodeId>& nodes) {
+    std::vector<EdgeId> edges;
+    for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+      edges.push_back(net_->FindEdge(nodes[i], nodes[i + 1]));
+    }
+    auto p = MakePath(*net_, nodes.front(), nodes.back(), std::move(edges),
+                      weights_);
+    ALTROUTE_CHECK(p.ok());
+    return std::move(p).ValueOrDie();
+  }
+
+  std::shared_ptr<RoadNetwork> net_;
+  std::vector<double> weights_;
+};
+
+TEST_F(FiltersFixture, SimilarityPruneKeepsHeadAndDissimilar) {
+  // Routes 0 -> 3 along the top; a near-duplicate; and a disjoint detour.
+  const Path head = Make({0, 1, 2, 3});
+  const Path duplicate = Make({0, 1, 2, 6, 7});  // shares 2 of its 4 hops
+  const Path distinct = Make({0, 4, 5, 6, 7, 3});
+  const std::vector<Path> routes = {head, duplicate, distinct};
+  const auto kept = PruneBySimilarity(*net_, routes, /*max_similarity=*/0.4);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(SameEdges(kept[0], head));
+  EXPECT_TRUE(SameEdges(kept[1], distinct));
+}
+
+TEST_F(FiltersFixture, SimilarityPruneKeepsAllWhenThresholdIsOne) {
+  const std::vector<Path> routes = {Make({0, 1, 2}), Make({0, 1, 2, 3})};
+  EXPECT_EQ(PruneBySimilarity(*net_, routes, 1.0).size(), 2u);
+}
+
+TEST_F(FiltersFixture, StretchPruneDropsSlowRoutes) {
+  const Path fast = Make({0, 1, 2, 3});                    // 3 hops
+  const Path slow = Make({0, 4, 8, 9, 10, 11, 7, 3});      // 7 hops
+  const std::vector<Path> routes = {fast, slow};
+  const auto kept = PruneByStretch(routes, fast.cost, 1.4, weights_);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(SameEdges(kept[0], fast));
+  // A looser bound keeps both.
+  EXPECT_EQ(PruneByStretch(routes, fast.cost, 3.0, weights_).size(), 2u);
+}
+
+TEST_F(FiltersFixture, DetourPruneAlwaysKeepsHead) {
+  QualityOptions q;
+  q.detour_threshold_m = 100.0;
+  // Head with a detour by construction: move away from target first.
+  const Path detoury = Make({0, 4, 8, 9, 5, 1, 2, 3});
+  const std::vector<Path> routes = {detoury};
+  const auto kept = PruneByDetours(*net_, routes, 0, q);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST_F(FiltersFixture, LocalOptimalityPruneDropsZigZag) {
+  Dijkstra dijkstra(*net_);
+  const Path optimal = Make({0, 1, 2, 3});
+  const Path zigzag = Make({0, 4, 5, 1, 2, 3});  // gratuitous down-up
+  const std::vector<Path> routes = {optimal, zigzag};
+  const auto kept = PruneByLocalOptimality(*net_, routes, /*alpha=*/1.0,
+                                           optimal.cost, weights_, &dijkstra,
+                                           /*stride=*/1);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(SameEdges(kept[0], optimal));
+}
+
+TEST_F(FiltersFixture, PerceptualRankingKeepsHeadFirst) {
+  const Path head = Make({0, 1, 2, 3});
+  const Path turny = Make({0, 4, 5, 1, 2, 3});
+  const Path straight = Make({0, 4, 5, 6, 7, 3});
+  const std::vector<Path> routes = {head, turny, straight};
+  const auto ranked =
+      RankPerceptually(*net_, routes, head.cost, weights_);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_TRUE(SameEdges(ranked[0], head));
+}
+
+TEST_F(FiltersFixture, PerceptualRankingPrefersFewerTurnsAtEqualCost) {
+  const Path head = Make({0, 1, 2, 3});
+  // Both alternatives cost 5 hops; one has more turns.
+  const Path zigzag = Make({0, 4, 5, 1, 2, 3});      // 4 turns
+  const Path smooth = Make({0, 4, 5, 6, 7, 3});      // 2 turns
+  const auto ranked = RankPerceptually(
+      *net_, std::vector<Path>{head, zigzag, smooth}, head.cost, weights_);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_TRUE(SameEdges(ranked[1], smooth));
+  EXPECT_TRUE(SameEdges(ranked[2], zigzag));
+}
+
+TEST_F(FiltersFixture, EmptyAndSingletonInputsPassThrough) {
+  EXPECT_TRUE(PruneBySimilarity(*net_, {}, 0.5).empty());
+  const std::vector<Path> one = {Make({0, 1})};
+  EXPECT_EQ(RankPerceptually(*net_, one, one[0].cost, weights_).size(), 1u);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,159 @@
+#include "core/penalty.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "core/similarity.h"
+
+namespace altroute {
+namespace {
+
+TEST(PenaltyTest, FirstRouteIsTheShortestPath) {
+  auto net = testutil::GridNetwork(6, 6);
+  PenaltyGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 35);
+  ASSERT_TRUE(set.ok());
+  ASSERT_FALSE(set->routes.empty());
+  Dijkstra dijkstra(*net);
+  auto sp = dijkstra.ShortestPath(0, 35, net->travel_times());
+  ASSERT_TRUE(sp.ok());
+  EXPECT_DOUBLE_EQ(set->routes[0].cost, sp->cost);
+  EXPECT_DOUBLE_EQ(set->optimal_cost, sp->cost);
+}
+
+TEST(PenaltyTest, ProducesUpToKDistinctRoutes) {
+  auto net = testutil::GridNetwork(6, 6);
+  AlternativeOptions options;
+  options.max_routes = 3;
+  PenaltyGenerator gen(net, testutil::Weights(*net), options);
+  auto set = gen.Generate(0, 35);
+  ASSERT_TRUE(set.ok());
+  EXPECT_LE(set->routes.size(), 3u);
+  EXPECT_GE(set->routes.size(), 2u);  // a grid has alternatives
+  for (size_t i = 0; i < set->routes.size(); ++i) {
+    for (size_t j = i + 1; j < set->routes.size(); ++j) {
+      EXPECT_FALSE(SameEdges(set->routes[i], set->routes[j]));
+    }
+  }
+}
+
+TEST(PenaltyTest, RespectsStretchBound) {
+  auto net = testutil::GridNetwork(7, 7);
+  AlternativeOptions options;
+  options.stretch_bound = 1.4;
+  PenaltyGenerator gen(net, testutil::Weights(*net), options);
+  auto set = gen.Generate(3, 45);
+  ASSERT_TRUE(set.ok());
+  for (const Path& p : set->routes) {
+    EXPECT_LE(p.cost, options.stretch_bound * set->optimal_cost + 1e-6);
+  }
+}
+
+TEST(PenaltyTest, RoutesAreRealPaths) {
+  auto net = testutil::GridNetwork(5, 8);
+  PenaltyGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 39);
+  ASSERT_TRUE(set.ok());
+  for (const Path& p : set->routes) {
+    NodeId cur = p.source;
+    for (EdgeId e : p.edges) {
+      EXPECT_EQ(net->tail(e), cur);
+      cur = net->head(e);
+    }
+    EXPECT_EQ(cur, p.target);
+    EXPECT_EQ(p.source, 0u);
+    EXPECT_EQ(p.target, 39u);
+  }
+}
+
+TEST(PenaltyTest, LineGraphYieldsOnlyTheSinglePath) {
+  auto net = testutil::LineNetwork(6);
+  PenaltyGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 5);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->routes.size(), 1u);
+}
+
+TEST(PenaltyTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  PenaltyGenerator gen(net, testutil::Weights(*net));
+  EXPECT_TRUE(gen.Generate(0, 1).status().IsNotFound());
+}
+
+TEST(PenaltyTest, DoesNotMutateCallerWeights) {
+  auto net = testutil::GridNetwork(4, 4);
+  const auto weights = testutil::Weights(*net);
+  PenaltyGenerator gen(net, weights);
+  ASSERT_TRUE(gen.Generate(0, 15).ok());
+  // The generator's stored weights must still match the originals.
+  EXPECT_EQ(gen.weights(), weights);
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(net->travel_time_s(e), weights[e]);
+  }
+}
+
+TEST(PenaltyTest, HigherPenaltyFactorDiversifiesFaster) {
+  auto net = testutil::GridNetwork(8, 8);
+  AlternativeOptions mild;
+  mild.penalty_factor = 1.05;
+  mild.max_routes = 3;
+  mild.max_iterations = 4;
+  AlternativeOptions strong = mild;
+  strong.penalty_factor = 2.0;
+  PenaltyGenerator gen_mild(net, testutil::Weights(*net), mild);
+  PenaltyGenerator gen_strong(net, testutil::Weights(*net), strong);
+  auto set_mild = gen_mild.Generate(0, 63);
+  auto set_strong = gen_strong.Generate(0, 63);
+  ASSERT_TRUE(set_mild.ok());
+  ASSERT_TRUE(set_strong.ok());
+  // Within the same iteration budget, a stronger penalty finds at least as
+  // many distinct routes.
+  EXPECT_GE(set_strong->routes.size(), set_mild->routes.size());
+}
+
+TEST(PenaltyTest, RepeatedQueriesAreDeterministic) {
+  auto net = testutil::GridNetwork(6, 6);
+  PenaltyGenerator gen(net, testutil::Weights(*net));
+  auto a = gen.Generate(1, 34);
+  auto b = gen.Generate(1, 34);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->routes.size(), b->routes.size());
+  for (size_t i = 0; i < a->routes.size(); ++i) {
+    EXPECT_TRUE(SameEdges(a->routes[i], b->routes[i]));
+  }
+}
+
+class PenaltyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PenaltyPropertyTest, InvariantsOnRandomNetworks) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 150, 220);
+  PenaltyGenerator gen(net, testutil::Weights(*net));
+  Rng rng(GetParam() + 500);
+  for (int q = 0; q < 10; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    if (s == t) continue;
+    auto set = gen.Generate(s, t);
+    ASSERT_TRUE(set.ok());
+    ASSERT_FALSE(set->routes.empty());
+    for (size_t i = 0; i < set->routes.size(); ++i) {
+      const Path& p = set->routes[i];
+      EXPECT_LE(p.cost, 1.4 * set->optimal_cost + 1e-6);
+      EXPECT_GE(p.cost, set->optimal_cost - 1e-6);
+      for (size_t j = i + 1; j < set->routes.size(); ++j) {
+        EXPECT_FALSE(SameEdges(p, set->routes[j]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PenaltyPropertyTest,
+                         ::testing::Values(81, 82, 83, 84));
+
+}  // namespace
+}  // namespace altroute

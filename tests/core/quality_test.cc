@@ -1,0 +1,153 @@
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+Path PathThrough(const RoadNetwork& net, const std::vector<NodeId>& nodes,
+                 std::span<const double> weights) {
+  std::vector<EdgeId> edges;
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const EdgeId e = net.FindEdge(nodes[i], nodes[i + 1]);
+    ALTROUTE_CHECK(e != kInvalidEdge);
+    edges.push_back(e);
+  }
+  auto p = MakePath(net, nodes.front(), nodes.back(), std::move(edges), weights);
+  ALTROUTE_CHECK(p.ok());
+  return std::move(p).ValueOrDie();
+}
+
+TEST(QualityTest, StraightPathHasNoTurnsOrDetours) {
+  auto net = testutil::LineNetwork(6);
+  const auto weights = testutil::Weights(*net);
+  const Path p = PathThrough(*net, {0, 1, 2, 3, 4, 5}, weights);
+  const RouteQuality q = ComputeRouteQuality(*net, p, p.cost, weights);
+  EXPECT_EQ(q.turn_count, 0);
+  EXPECT_EQ(q.detour_count, 0);
+  EXPECT_DOUBLE_EQ(q.stretch, 1.0);
+}
+
+TEST(QualityTest, StaircasePathCountsTurns) {
+  auto net = testutil::GridNetwork(3, 3);
+  const auto weights = testutil::Weights(*net);
+  // 0 -> 1 -> 4 -> 5 -> 8: two right-angle turns at 1... actually 1->4 turn,
+  // 4->5 turn, 5->8 turn = 3 turns of 90 degrees.
+  const Path p = PathThrough(*net, {0, 1, 4, 5, 8}, weights);
+  const RouteQuality q = ComputeRouteQuality(*net, p, p.cost, weights);
+  EXPECT_EQ(q.turn_count, 3);
+  EXPECT_GT(q.turns_per_km, 0.0);
+}
+
+TEST(QualityTest, StretchIsRelativeToOptimal) {
+  auto net = testutil::GridNetwork(3, 3);
+  const auto weights = testutil::Weights(*net);
+  const Path direct = PathThrough(*net, {0, 1, 2}, weights);
+  const Path longer = PathThrough(*net, {0, 3, 4, 1, 2}, weights);
+  const RouteQuality q =
+      ComputeRouteQuality(*net, longer, direct.cost, weights);
+  EXPECT_DOUBLE_EQ(q.stretch, 2.0);
+}
+
+TEST(QualityTest, DetourDetectedWhenMovingAwayFromTarget) {
+  auto net = testutil::GridNetwork(3, 5, 60.0, 400.0);
+  const auto weights = testutil::Weights(*net);
+  // Target is node 4 (top-right). Walk away from it first: 0 -> 5 -> 10
+  // moves away; then across and up. Use detour threshold 100 m.
+  const Path p = PathThrough(*net, {0, 5, 10, 11, 12, 13, 14, 9, 4}, weights);
+  QualityOptions options;
+  options.detour_threshold_m = 100.0;
+  const RouteQuality q = ComputeRouteQuality(*net, p, p.cost, weights, options);
+  EXPECT_GE(q.detour_count, 1);
+}
+
+TEST(QualityTest, RoadClassSharesAreLengthWeighted) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0, 0.02));
+  builder.AddEdge(0, 1, 1000, 60, RoadClass::kMotorway);
+  builder.AddEdge(1, 2, 3000, 200, RoadClass::kResidential);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const auto weights = testutil::Weights(*net);
+  const Path p = PathThrough(*net, {0, 1, 2}, weights);
+  const RouteQuality q = ComputeRouteQuality(*net, p, p.cost, weights);
+  EXPECT_NEAR(q.freeway_share, 0.25, 1e-9);
+  EXPECT_NEAR(q.minor_road_share, 0.75, 1e-9);
+  EXPECT_NEAR(q.mean_lanes,
+              (TypicalLanes(RoadClass::kMotorway) * 1000 +
+               TypicalLanes(RoadClass::kResidential) * 3000) /
+                  4000,
+              1e-9);
+}
+
+TEST(QualityTest, EmptyPathIsNeutral) {
+  auto net = testutil::LineNetwork(3);
+  const auto weights = testutil::Weights(*net);
+  Path empty;
+  const RouteQuality q = ComputeRouteQuality(*net, empty, 100.0, weights);
+  EXPECT_DOUBLE_EQ(q.stretch, 1.0);
+  EXPECT_EQ(q.turn_count, 0);
+}
+
+TEST(LocalOptimalityTest, ShortestPathIsFullyLocallyOptimal) {
+  auto net = testutil::GridNetwork(5, 5);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  auto sp = dijkstra.ShortestPath(0, 24, weights);
+  ASSERT_TRUE(sp.ok());
+  auto p = MakePath(*net, 0, 24, sp->edges, weights);
+  ASSERT_TRUE(p.ok());
+  const auto lo =
+      TestLocalOptimality(*net, *p, 0.5, sp->cost, weights, &dijkstra, 1);
+  EXPECT_GT(lo.windows_tested, 0);
+  EXPECT_TRUE(lo.AllPassed());
+}
+
+TEST(LocalOptimalityTest, DetouringPathFailsSomewhere) {
+  auto net = testutil::GridNetwork(4, 4);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  // A path with a gratuitous zig: 0 -> 4 -> 5 -> 1 -> 2 -> 3 (from 0 to 3 the
+  // straight row costs 3 hops; this costs 5 and its middle subpath is not a
+  // shortest path).
+  std::vector<EdgeId> edges;
+  const std::vector<NodeId> nodes = {0, 4, 5, 1, 2, 3};
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    edges.push_back(net->FindEdge(nodes[i], nodes[i + 1]));
+  }
+  auto p = MakePath(*net, 0, 3, edges, weights);
+  ASSERT_TRUE(p.ok());
+  const auto lo = TestLocalOptimality(*net, *p, 1.0, 3 * 60.0, weights,
+                                      &dijkstra, 1);
+  EXPECT_GT(lo.windows_tested, 0);
+  EXPECT_FALSE(lo.AllPassed());
+  EXPECT_LT(lo.PassFraction(), 1.0);
+}
+
+TEST(RouteSetQualityTest, AggregatesAcrossRoutes) {
+  auto net = testutil::GridNetwork(3, 3);
+  const auto weights = testutil::Weights(*net);
+  const Path direct = PathThrough(*net, {0, 1, 2}, weights);
+  const Path around = PathThrough(*net, {0, 3, 4, 5, 2}, weights);
+  const std::vector<Path> routes = {direct, around};
+  const RouteSetQuality q =
+      ComputeRouteSetQuality(*net, routes, direct.cost, weights);
+  EXPECT_EQ(q.num_routes, 2);
+  EXPECT_DOUBLE_EQ(q.max_stretch, 2.0);
+  EXPECT_DOUBLE_EQ(q.mean_stretch, 1.5);
+  EXPECT_DOUBLE_EQ(q.max_pairwise_similarity, 0.0);  // disjoint
+}
+
+TEST(RouteSetQualityTest, EmptySet) {
+  auto net = testutil::LineNetwork(3);
+  const auto weights = testutil::Weights(*net);
+  const RouteSetQuality q = ComputeRouteSetQuality(*net, {}, 1.0, weights);
+  EXPECT_EQ(q.num_routes, 0);
+}
+
+}  // namespace
+}  // namespace altroute

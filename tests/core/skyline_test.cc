@@ -1,0 +1,79 @@
+#include "core/skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(SkylineTest, FirstRouteIsTheFastestPath) {
+  auto net = testutil::GridNetwork(6, 6);
+  SkylineGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 35);
+  ASSERT_TRUE(set.ok());
+  ASSERT_FALSE(set->routes.empty());
+  Dijkstra dijkstra(*net);
+  auto sp = dijkstra.ShortestPath(0, 35, net->travel_times());
+  ASSERT_TRUE(sp.ok());
+  EXPECT_DOUBLE_EQ(set->routes[0].cost, sp->cost);
+  EXPECT_DOUBLE_EQ(set->optimal_cost, sp->cost);
+}
+
+TEST(SkylineTest, TradeoffGraphReturnsBothCorridors) {
+  // Fast-long vs slow-short corridors, both within a loose stretch bound.
+  GraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.AddNode(LatLng(0, i * 0.01));
+  builder.AddEdge(0, 1, 500, 10);
+  builder.AddEdge(1, 3, 500, 10);
+  builder.AddEdge(0, 2, 100, 13);
+  builder.AddEdge(2, 3, 100, 13);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  AlternativeOptions options;
+  options.stretch_bound = 1.4;
+  SkylineGenerator gen(net, testutil::Weights(*net), options);
+  auto set = gen.Generate(0, 3);
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set->routes.size(), 2u);
+  EXPECT_DOUBLE_EQ(set->routes[0].cost, 20.0);
+  EXPECT_DOUBLE_EQ(set->routes[1].cost, 26.0);
+}
+
+TEST(SkylineTest, RespectsStretchBound) {
+  auto net = testutil::GridNetwork(7, 7);
+  AlternativeOptions options;
+  options.stretch_bound = 1.4;
+  SkylineGenerator gen(net, testutil::Weights(*net), options);
+  auto set = gen.Generate(0, 48);
+  ASSERT_TRUE(set.ok());
+  for (const Path& p : set->routes) {
+    EXPECT_LE(p.cost, 1.4 * set->optimal_cost + 1e-6);
+    EXPECT_TRUE(IsLoopless(*net, p));
+  }
+  EXPECT_LE(set->routes.size(), 3u);
+}
+
+TEST(SkylineTest, RoutesAreDistinct) {
+  auto net = testutil::RandomConnectedNetwork(61, 150, 200);
+  SkylineGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 90);
+  ASSERT_TRUE(set.ok());
+  for (size_t i = 0; i < set->routes.size(); ++i) {
+    for (size_t j = i + 1; j < set->routes.size(); ++j) {
+      EXPECT_FALSE(SameEdges(set->routes[i], set->routes[j]));
+    }
+  }
+}
+
+TEST(SkylineTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  SkylineGenerator gen(net, testutil::Weights(*net));
+  EXPECT_TRUE(gen.Generate(0, 1).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace altroute

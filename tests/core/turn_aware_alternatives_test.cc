@@ -1,0 +1,139 @@
+#include "core/turn_aware_alternatives.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "core/similarity.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+std::unique_ptr<TurnAwareAlternatives> Make(
+    std::shared_ptr<RoadNetwork> net, TurnAwareBase base,
+    const TurnCostModel& model = {},
+    std::vector<TurnRestriction> restrictions = {},
+    const AlternativeOptions& options = {}) {
+  auto g = TurnAwareAlternatives::Create(std::move(net), base, model,
+                                         restrictions, options);
+  ALTROUTE_CHECK(g.ok()) << g.status();
+  return std::move(g).ValueOrDie();
+}
+
+TEST(TurnExpandedNetworkTest, SizesAreAsExpected) {
+  auto net = testutil::GridNetwork(3, 3);
+  auto expansion = TurnExpandedNetwork::Build(*net);
+  ASSERT_TRUE(expansion.ok());
+  // 2 gateways per node + 1 state per edge.
+  EXPECT_EQ(expansion->expanded->num_nodes(),
+            2 * net->num_nodes() + net->num_edges());
+  // At least departure + arrival per edge.
+  EXPECT_GE(expansion->expanded->num_edges(), 2 * net->num_edges());
+  EXPECT_EQ(expansion->original_edge.size(), expansion->expanded->num_edges());
+}
+
+TEST(TurnAwareAlternativesTest, AgreesWithTurnAwareRouterOnTheOptimum) {
+  auto net = testutil::GridNetwork(5, 5, 60.0);
+  TurnCostModel model;
+  model.turn_penalty_s = 12.0;
+  auto generator = Make(net, TurnAwareBase::kPlateaus, model);
+  auto router = TurnAwareRouter::Build(net, model);
+  ASSERT_TRUE(router.ok());
+  for (const auto& [s, t] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 24}, {2, 20}, {4, 12}}) {
+    auto set = generator->Generate(s, t);
+    auto direct = (*router)->ShortestPath(s, t);
+    ASSERT_TRUE(set.ok());
+    ASSERT_TRUE(direct.ok());
+    // Epsilon arrival arc allowed for in the tolerance.
+    EXPECT_NEAR(set->routes[0].cost, direct->cost, 0.01);
+    EXPECT_EQ(set->routes[0].edges.size(), direct->edges.size());
+  }
+}
+
+TEST(TurnAwareAlternativesTest, RoutesAvoidBannedManeuvers) {
+  auto net = testutil::GridNetwork(4, 4, 60.0);
+  const EdgeId from = net->FindEdge(0, 1);
+  const EdgeId to = net->FindEdge(1, 5);
+  ASSERT_NE(from, kInvalidEdge);
+  ASSERT_NE(to, kInvalidEdge);
+  auto generator =
+      Make(net, TurnAwareBase::kPenalty, {}, {{from, to}});
+  auto set = generator->Generate(0, 15);
+  ASSERT_TRUE(set.ok());
+  for (const Path& p : set->routes) {
+    for (size_t i = 1; i < p.edges.size(); ++i) {
+      EXPECT_FALSE(p.edges[i - 1] == from && p.edges[i] == to)
+          << "banned maneuver used";
+    }
+  }
+}
+
+TEST(TurnAwareAlternativesTest, AllBasesProduceValidAlternatives) {
+  auto net = testutil::GridNetwork(6, 6, 60.0);
+  for (TurnAwareBase base : {TurnAwareBase::kPlateaus,
+                             TurnAwareBase::kDissimilarity,
+                             TurnAwareBase::kPenalty}) {
+    auto generator = Make(net, base);
+    auto set = generator->Generate(0, 35);
+    ASSERT_TRUE(set.ok()) << generator->name();
+    ASSERT_FALSE(set->routes.empty()) << generator->name();
+    for (const Path& p : set->routes) {
+      // Contiguity over ORIGINAL edges (already validated internally, but
+      // assert the public contract).
+      NodeId cur = p.source;
+      for (EdgeId e : p.edges) {
+        ASSERT_EQ(net->tail(e), cur);
+        cur = net->head(e);
+      }
+      EXPECT_EQ(cur, p.target);
+      // Cost includes maneuver penalties: >= raw travel time.
+      EXPECT_GE(p.cost, p.travel_time_s - 0.01);
+    }
+    // No U-turn maneuvers (banned by the default model).
+    for (const Path& p : set->routes) {
+      for (size_t i = 1; i < p.edges.size(); ++i) {
+        const EdgeId a = p.edges[i - 1];
+        const EdgeId b = p.edges[i];
+        EXPECT_FALSE(net->tail(a) == net->head(b) &&
+                     net->head(a) == net->tail(b));
+      }
+    }
+  }
+}
+
+TEST(TurnAwareAlternativesTest, TurnPenaltiesChangeAlternativeShape) {
+  // With very expensive turns, every reported route should have at most
+  // the geometric minimum number of turns + few extras.
+  auto net = testutil::GridNetwork(6, 6, 60.0);
+  TurnCostModel dear;
+  dear.turn_penalty_s = 600.0;
+  AlternativeOptions options;
+  options.stretch_bound = 3.0;  // allow long low-turn detours
+  auto generator = Make(net, TurnAwareBase::kPlateaus, dear, {}, options);
+  auto set = generator->Generate(0, 35);
+  ASSERT_TRUE(set.ok());
+  const Path& best = set->routes[0];
+  int turns = 0;
+  for (size_t i = 1; i < best.edges.size(); ++i) {
+    if (TurnAngleDegrees(net->coord(net->tail(best.edges[i - 1])),
+                         net->coord(net->head(best.edges[i - 1])),
+                         net->coord(net->head(best.edges[i]))) > 45.0) {
+      ++turns;
+    }
+  }
+  EXPECT_EQ(turns, 1);  // corner-to-corner minimum on a grid
+}
+
+TEST(TurnAwareAlternativesTest, InvalidInputsRejected) {
+  auto net = testutil::LineNetwork(4);
+  auto generator = Make(net, TurnAwareBase::kPenalty);
+  EXPECT_TRUE(generator->Generate(99, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      TurnAwareAlternatives::Create(nullptr, TurnAwareBase::kPenalty)
+          .status()
+          .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,76 @@
+#include "core/yen_overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(YenOverlapTest, FirstRouteIsTheShortestPath) {
+  auto net = testutil::GridNetwork(6, 6);
+  YenOverlapGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 35);
+  ASSERT_TRUE(set.ok());
+  ASSERT_FALSE(set->routes.empty());
+  Dijkstra dijkstra(*net);
+  auto sp = dijkstra.ShortestPath(0, 35, net->travel_times());
+  ASSERT_TRUE(sp.ok());
+  EXPECT_DOUBLE_EQ(set->routes[0].cost, sp->cost);
+}
+
+TEST(YenOverlapTest, EnforcesOverlapThreshold) {
+  auto net = testutil::GridNetwork(7, 7);
+  AlternativeOptions options;
+  options.dissimilarity_threshold = 0.5;
+  YenOverlapGenerator gen(net, testutil::Weights(*net), options);
+  auto set = gen.Generate(0, 48);
+  ASSERT_TRUE(set.ok());
+  for (size_t i = 1; i < set->routes.size(); ++i) {
+    std::vector<Path> previous(set->routes.begin(),
+                               set->routes.begin() + static_cast<long>(i));
+    EXPECT_GT(DissimilarityToSet(*net, set->routes[i], previous), 0.5);
+  }
+}
+
+TEST(YenOverlapTest, RoutesAreCostOrderedAndWithinBound) {
+  auto net = testutil::GridNetwork(7, 7);
+  YenOverlapGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 48);
+  ASSERT_TRUE(set.ok());
+  for (size_t i = 1; i < set->routes.size(); ++i) {
+    EXPECT_GE(set->routes[i].cost, set->routes[i - 1].cost - 1e-9);
+    EXPECT_LE(set->routes[i].cost, 1.4 * set->optimal_cost + 1e-6);
+  }
+}
+
+TEST(YenOverlapTest, YenPathsAreLooplessByConstruction) {
+  auto net = testutil::RandomConnectedNetwork(67, 80, 110);
+  YenOverlapGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 40);
+  ASSERT_TRUE(set.ok());
+  for (const Path& p : set->routes) {
+    EXPECT_TRUE(IsLoopless(*net, p));
+  }
+}
+
+TEST(YenOverlapTest, LineGraphYieldsSingleRoute) {
+  auto net = testutil::LineNetwork(6);
+  YenOverlapGenerator gen(net, testutil::Weights(*net));
+  auto set = gen.Generate(0, 5);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->routes.size(), 1u);
+}
+
+TEST(YenOverlapTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  YenOverlapGenerator gen(net, testutil::Weights(*net));
+  EXPECT_TRUE(gen.Generate(0, 1).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,53 @@
+#include "geo/bounding_box.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(BoundingBoxTest, EmptyByDefault) {
+  BoundingBox box = BoundingBox::Empty();
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_FALSE(box.Contains(LatLng(0, 0)));
+}
+
+TEST(BoundingBoxTest, ExtendGrowsToContainPoints) {
+  BoundingBox box = BoundingBox::Empty();
+  box.Extend(LatLng(-37.9, 144.8));
+  box.Extend(LatLng(-37.7, 145.1));
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains(LatLng(-37.8, 144.95)));
+  EXPECT_FALSE(box.Contains(LatLng(-37.6, 144.95)));
+  EXPECT_FALSE(box.Contains(LatLng(-37.8, 145.2)));
+}
+
+TEST(BoundingBoxTest, ContainsIsInclusiveOfBoundary) {
+  BoundingBox box(-1.0, -2.0, 1.0, 2.0);
+  EXPECT_TRUE(box.Contains(LatLng(-1.0, -2.0)));
+  EXPECT_TRUE(box.Contains(LatLng(1.0, 2.0)));
+}
+
+TEST(BoundingBoxTest, Center) {
+  BoundingBox box(-2.0, 10.0, 4.0, 20.0);
+  EXPECT_DOUBLE_EQ(box.Center().lat, 1.0);
+  EXPECT_DOUBLE_EQ(box.Center().lng, 15.0);
+}
+
+TEST(BoundingBoxTest, Intersection) {
+  BoundingBox a(0, 0, 2, 2);
+  BoundingBox b(1, 1, 3, 3);
+  BoundingBox c(2.5, 2.5, 4, 4);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+}
+
+TEST(BoundingBoxTest, TouchingBoxesIntersect) {
+  BoundingBox a(0, 0, 1, 1);
+  BoundingBox b(1, 1, 2, 2);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+}  // namespace
+}  // namespace altroute

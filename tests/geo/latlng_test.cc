@@ -1,0 +1,90 @@
+#include "geo/latlng.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(LatLngTest, ValidityBounds) {
+  EXPECT_TRUE(LatLng(0, 0).IsValid());
+  EXPECT_TRUE(LatLng(-90, 180).IsValid());
+  EXPECT_TRUE(LatLng(90, -180).IsValid());
+  EXPECT_FALSE(LatLng(91, 0).IsValid());
+  EXPECT_FALSE(LatLng(0, 181).IsValid());
+  EXPECT_FALSE(LatLng(-90.01, 0).IsValid());
+}
+
+TEST(HaversineTest, ZeroDistanceForIdenticalPoints) {
+  const LatLng p(-37.8136, 144.9631);
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(HaversineTest, KnownCityPairDistance) {
+  // Melbourne CBD to Sydney CBD is about 714 km great-circle.
+  const LatLng melbourne(-37.8136, 144.9631);
+  const LatLng sydney(-33.8688, 151.2093);
+  EXPECT_NEAR(HaversineMeters(melbourne, sydney), 714000.0, 5000.0);
+}
+
+TEST(HaversineTest, OneDegreeOfLatitude) {
+  // 1 degree of latitude is ~111.2 km everywhere.
+  EXPECT_NEAR(HaversineMeters(LatLng(0, 0), LatLng(1, 0)), 111195.0, 200.0);
+  EXPECT_NEAR(HaversineMeters(LatLng(50, 7), LatLng(51, 7)), 111195.0, 200.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  const LatLng a(10.5, 20.25), b(-3.75, 80.0);
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(EquirectangularTest, CloseToHaversineAtCityScale) {
+  const LatLng a(-37.80, 144.95);
+  const LatLng b(-37.85, 145.05);
+  const double h = HaversineMeters(a, b);
+  const double e = EquirectangularMeters(a, b);
+  EXPECT_NEAR(e / h, 1.0, 0.005);
+}
+
+TEST(BearingTest, CardinalDirections) {
+  const LatLng origin(0, 0);
+  EXPECT_NEAR(InitialBearingDegrees(origin, LatLng(1, 0)), 0.0, 1e-9);    // N
+  EXPECT_NEAR(InitialBearingDegrees(origin, LatLng(0, 1)), 90.0, 1e-9);  // E
+  EXPECT_NEAR(InitialBearingDegrees(origin, LatLng(-1, 0)), 180.0, 1e-9);  // S
+  EXPECT_NEAR(InitialBearingDegrees(origin, LatLng(0, -1)), 270.0, 1e-9);  // W
+}
+
+TEST(TurnAngleTest, StraightThroughIsZero) {
+  EXPECT_NEAR(TurnAngleDegrees(LatLng(0, 0), LatLng(0, 1), LatLng(0, 2)), 0.0,
+              1e-6);
+}
+
+TEST(TurnAngleTest, RightAngleTurn) {
+  EXPECT_NEAR(TurnAngleDegrees(LatLng(0, 0), LatLng(0, 1), LatLng(1, 1)), 90.0,
+              0.1);
+}
+
+TEST(TurnAngleTest, UTurnIs180) {
+  EXPECT_NEAR(TurnAngleDegrees(LatLng(0, 0), LatLng(0, 1), LatLng(0, 0)),
+              180.0, 1e-6);
+}
+
+TEST(OffsetTest, RoundTripDistanceAndDirection) {
+  const LatLng origin(-37.8, 144.9);
+  const LatLng moved = Offset(origin, 45.0, 5000.0);
+  EXPECT_NEAR(HaversineMeters(origin, moved), 5000.0, 1.0);
+  EXPECT_NEAR(InitialBearingDegrees(origin, moved), 45.0, 0.5);
+}
+
+TEST(OffsetTest, LongitudeNormalisation) {
+  const LatLng near_antimeridian(0.0, 179.99);
+  const LatLng moved = Offset(near_antimeridian, 90.0, 10000.0);
+  EXPECT_LE(moved.lng, 180.0);
+  EXPECT_GE(moved.lng, -180.0);
+}
+
+TEST(DegRadTest, RoundTrip) {
+  EXPECT_DOUBLE_EQ(RadToDeg(DegToRad(57.29577951)), 57.29577951);
+}
+
+}  // namespace
+}  // namespace altroute

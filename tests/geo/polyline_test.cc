@@ -1,0 +1,70 @@
+#include "geo/polyline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace altroute {
+namespace {
+
+TEST(PolylineTest, GoogleReferenceVector) {
+  // The worked example from Google's polyline algorithm documentation.
+  const std::vector<LatLng> points = {
+      {38.5, -120.2}, {40.7, -120.95}, {43.252, -126.453}};
+  EXPECT_EQ(EncodePolyline(points), "_p~iF~ps|U_ulLnnqC_mqNvxq`@");
+}
+
+TEST(PolylineTest, EmptyInput) {
+  EXPECT_EQ(EncodePolyline({}), "");
+  auto decoded = DecodePolyline("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PolylineTest, SinglePointRoundTrip) {
+  const std::vector<LatLng> pts = {{-37.81361, 144.96305}};
+  auto decoded = DecodePolyline(EncodePolyline(pts));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_NEAR((*decoded)[0].lat, pts[0].lat, 1e-5);
+  EXPECT_NEAR((*decoded)[0].lng, pts[0].lng, 1e-5);
+}
+
+TEST(PolylineTest, TruncatedInputIsRejected) {
+  const std::string enc = EncodePolyline({{38.5, -120.2}, {40.7, -120.95}});
+  // Chop mid-varint: decoding must fail, not crash or loop.
+  auto decoded = DecodePolyline(enc.substr(0, enc.size() - 1));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(PolylineTest, InvalidCharacterIsRejected) {
+  auto decoded = DecodePolyline("\x01\x02");
+  EXPECT_FALSE(decoded.ok());
+}
+
+class PolylineRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolylineRoundTripTest, RandomPathsRoundTripWithinPrecision) {
+  Rng rng(GetParam());
+  std::vector<LatLng> pts;
+  const int n = 2 + static_cast<int>(rng.NextUint64(60));
+  LatLng cur(rng.Uniform(-80, 80), rng.Uniform(-179, 179));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(cur);
+    cur.lat += rng.Uniform(-0.01, 0.01);
+    cur.lng += rng.Uniform(-0.01, 0.01);
+  }
+  auto decoded = DecodePolyline(EncodePolyline(pts));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR((*decoded)[i].lat, pts[i].lat, 1e-5 + 1e-9);
+    EXPECT_NEAR((*decoded)[i].lng, pts[i].lng, 1e-5 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolylineRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace altroute

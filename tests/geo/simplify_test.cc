@@ -1,0 +1,101 @@
+#include "geo/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace altroute {
+namespace {
+
+TEST(CrossTrackTest, PointOnSegmentIsZero) {
+  const LatLng a(0, 0), b(0, 0.01);
+  EXPECT_NEAR(CrossTrackDistanceMeters(LatLng(0, 0.005), a, b), 0.0, 1e-6);
+}
+
+TEST(CrossTrackTest, PerpendicularOffset) {
+  const LatLng a(0, 0), b(0, 0.01);
+  // 0.001 deg of latitude is ~111.3 m.
+  EXPECT_NEAR(CrossTrackDistanceMeters(LatLng(0.001, 0.005), a, b), 111.3,
+              0.5);
+}
+
+TEST(CrossTrackTest, BeyondEndpointsUsesEndpointDistance) {
+  const LatLng a(0, 0), b(0, 0.01);
+  const LatLng past_b(0, 0.02);
+  EXPECT_NEAR(CrossTrackDistanceMeters(past_b, a, b),
+              EquirectangularMeters(past_b, b), 1.0);
+}
+
+TEST(CrossTrackTest, DegenerateSegment) {
+  const LatLng a(0, 0);
+  EXPECT_NEAR(CrossTrackDistanceMeters(LatLng(0, 0.001), a, a),
+              EquirectangularMeters(LatLng(0, 0.001), a), 1.0);
+}
+
+TEST(SimplifyTest, ShortInputsPassThrough) {
+  const std::vector<LatLng> two = {{0, 0}, {0, 0.01}};
+  EXPECT_EQ(SimplifyPolyline(two, 10.0).size(), 2u);
+  EXPECT_TRUE(SimplifyPolyline({}, 10.0).empty());
+}
+
+TEST(SimplifyTest, ZeroToleranceIsIdentity) {
+  const std::vector<LatLng> pts = {{0, 0}, {0.001, 0.005}, {0, 0.01}};
+  EXPECT_EQ(SimplifyPolyline(pts, 0.0).size(), 3u);
+}
+
+TEST(SimplifyTest, CollinearPointsCollapse) {
+  std::vector<LatLng> pts;
+  for (int i = 0; i <= 10; ++i) pts.emplace_back(0.0, i * 0.001);
+  const auto simplified = SimplifyPolyline(pts, 1.0);
+  ASSERT_EQ(simplified.size(), 2u);
+  EXPECT_EQ(simplified.front(), pts.front());
+  EXPECT_EQ(simplified.back(), pts.back());
+}
+
+TEST(SimplifyTest, SignificantCornerSurvives) {
+  // An L shape: the corner deviates far beyond tolerance.
+  const std::vector<LatLng> pts = {{0, 0}, {0, 0.005}, {0, 0.01},
+                                   {0.005, 0.01}, {0.01, 0.01}};
+  const auto simplified = SimplifyPolyline(pts, 20.0);
+  ASSERT_EQ(simplified.size(), 3u);
+  EXPECT_EQ(simplified[1], LatLng(0, 0.01));  // the corner
+}
+
+TEST(SimplifyTest, ErrorBoundHolds) {
+  // Every dropped point must be within tolerance of the simplified chain.
+  Rng rng(5);
+  std::vector<LatLng> pts;
+  LatLng cur(-37.8, 144.9);
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(cur);
+    cur.lat += rng.Uniform(-0.0004, 0.0004);
+    cur.lng += rng.Uniform(0.0, 0.0008);
+  }
+  const double tolerance = 25.0;
+  const auto simplified = SimplifyPolyline(pts, tolerance);
+  ASSERT_GE(simplified.size(), 2u);
+  EXPECT_LT(simplified.size(), pts.size());
+  for (const LatLng& p : pts) {
+    double best = 1e18;
+    for (size_t i = 0; i + 1 < simplified.size(); ++i) {
+      best = std::min(best, CrossTrackDistanceMeters(p, simplified[i],
+                                                     simplified[i + 1]));
+    }
+    EXPECT_LE(best, tolerance + 1e-6);
+  }
+}
+
+TEST(SimplifyTest, EndpointsAlwaysKept) {
+  Rng rng(6);
+  std::vector<LatLng> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.emplace_back(rng.Uniform(-0.01, 0.01), i * 0.001);
+  }
+  const auto simplified = SimplifyPolyline(pts, 5000.0);  // huge tolerance
+  ASSERT_EQ(simplified.size(), 2u);
+  EXPECT_EQ(simplified.front(), pts.front());
+  EXPECT_EQ(simplified.back(), pts.back());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,82 @@
+#include "geo/spatial_index.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace altroute {
+namespace {
+
+TEST(SpatialIndexTest, EmptyIndexReturnsNotFound) {
+  SpatialIndex index({});
+  EXPECT_TRUE(index.Nearest(LatLng(0, 0)).status().IsNotFound());
+  EXPECT_TRUE(index.WithinRadius(LatLng(0, 0), 1000.0).empty());
+}
+
+TEST(SpatialIndexTest, SinglePoint) {
+  SpatialIndex index({LatLng(10, 20)});
+  auto nearest = index.Nearest(LatLng(50, 60));
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(*nearest, 0u);
+}
+
+TEST(SpatialIndexTest, PicksTheCloserOfTwo) {
+  SpatialIndex index({LatLng(0, 0), LatLng(0, 1)});
+  EXPECT_EQ(*index.Nearest(LatLng(0, 0.1)), 0u);
+  EXPECT_EQ(*index.Nearest(LatLng(0, 0.9)), 1u);
+}
+
+TEST(SpatialIndexTest, WithinRadiusFindsExactlyTheCloseOnes) {
+  std::vector<LatLng> pts;
+  for (int i = 0; i < 10; ++i) pts.emplace_back(0.0, i * 0.01);  // ~1.1 km apart
+  SpatialIndex index(pts);
+  const auto hits = index.WithinRadius(LatLng(0, 0), 2500.0);
+  // Points 0, 1, 2 are within 2.5 km (0, ~1.11, ~2.23 km).
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(SpatialIndexTest, WithinNegativeRadiusIsEmpty) {
+  SpatialIndex index({LatLng(0, 0)});
+  EXPECT_TRUE(index.WithinRadius(LatLng(0, 0), -1.0).empty());
+}
+
+class SpatialIndexOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpatialIndexOracleTest, NearestMatchesBruteForce) {
+  Rng rng(GetParam());
+  std::vector<LatLng> pts;
+  const int n = 200 + static_cast<int>(rng.NextUint64(300));
+  for (int i = 0; i < n; ++i) {
+    pts.emplace_back(rng.Uniform(-37.95, -37.65), rng.Uniform(144.8, 145.2));
+  }
+  SpatialIndex index(pts);
+  for (int q = 0; q < 50; ++q) {
+    const LatLng query(rng.Uniform(-38.0, -37.6), rng.Uniform(144.7, 145.3));
+    // Brute force.
+    double best_d = std::numeric_limits<double>::infinity();
+    uint32_t best = 0;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      const double d = EquirectangularMeters(query, pts[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    auto got = index.Nearest(query);
+    ASSERT_TRUE(got.ok());
+    // Allow distance ties (different id, equal distance).
+    const double got_d = EquirectangularMeters(query, pts[*got]);
+    EXPECT_NEAR(got_d, best_d, 1e-9) << "query " << q;
+    if (got_d != best_d) {
+      EXPECT_EQ(*got, best);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialIndexOracleTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+}  // namespace
+}  // namespace altroute

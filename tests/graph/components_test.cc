@@ -1,0 +1,91 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+std::shared_ptr<RoadNetwork> TwoIslands() {
+  // Island 1: nodes 0-1 (bidirectional). Island 2: nodes 2-3-4 cycle.
+  GraphBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.AddNode(LatLng(0, i * 0.01));
+  builder.AddBidirectionalEdge(0, 1, 10, 5);
+  builder.AddEdge(2, 3, 10, 5);
+  builder.AddEdge(3, 4, 10, 5);
+  builder.AddEdge(4, 2, 10, 5);
+  auto net = builder.Build();
+  return std::move(net).ValueOrDie();
+}
+
+TEST(ComponentsTest, WeaklyConnectedComponentsOfIslands) {
+  auto net = TwoIslands();
+  const auto wcc = WeaklyConnectedComponents(*net);
+  EXPECT_EQ(wcc.count, 2u);
+  EXPECT_EQ(wcc.component_of[0], wcc.component_of[1]);
+  EXPECT_EQ(wcc.component_of[2], wcc.component_of[3]);
+  EXPECT_EQ(wcc.component_of[3], wcc.component_of[4]);
+  EXPECT_NE(wcc.component_of[0], wcc.component_of[2]);
+  const auto sizes = wcc.Sizes();
+  EXPECT_EQ(sizes[wcc.LargestComponent()], 3u);
+}
+
+TEST(ComponentsTest, SccSplitsOneWayChain) {
+  // 0 <-> 1 -> 2: node 2 cannot reach back, so SCCs are {0,1} and {2}.
+  GraphBuilder builder;
+  for (int i = 0; i < 3; ++i) builder.AddNode(LatLng(0, i * 0.01));
+  builder.AddBidirectionalEdge(0, 1, 10, 5);
+  builder.AddEdge(1, 2, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const auto scc = StronglyConnectedComponents(*net);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_NE(scc.component_of[1], scc.component_of[2]);
+}
+
+TEST(ComponentsTest, FullyConnectedGridIsOneScc) {
+  auto net = testutil::GridNetwork(5, 6);
+  const auto scc = StronglyConnectedComponents(*net);
+  EXPECT_EQ(scc.count, 1u);
+}
+
+TEST(ComponentsTest, SccHandlesDeepChainsIteratively) {
+  // A 20k-node bidirectional chain would blow a recursive Tarjan's stack.
+  auto net = testutil::LineNetwork(20000);
+  const auto scc = StronglyConnectedComponents(*net);
+  EXPECT_EQ(scc.count, 1u);
+}
+
+TEST(ComponentsTest, ExtractLargestSccKeepsConnectivityAndAttributes) {
+  auto net = TwoIslands();
+  auto extraction = ExtractLargestScc(*net);
+  ASSERT_TRUE(extraction.ok());
+  const RoadNetwork& sub = *extraction->network;
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);
+  // Mapping invariants.
+  for (NodeId old_id : extraction->new_to_old) {
+    EXPECT_NE(extraction->old_to_new[old_id], kInvalidNode);
+  }
+  EXPECT_EQ(extraction->old_to_new[0], kInvalidNode);
+  EXPECT_EQ(extraction->old_to_new[1], kInvalidNode);
+  // Coordinates carried over.
+  const NodeId new2 = extraction->old_to_new[2];
+  EXPECT_DOUBLE_EQ(sub.coord(new2).lng, net->coord(2).lng);
+}
+
+TEST(ComponentsTest, ExtractOnEmptyNetworkFails) {
+  GraphBuilder builder;
+  auto net = std::move(builder.Build()).ValueOrDie();
+  EXPECT_TRUE(ExtractLargestScc(*net).status().IsInvalidArgument());
+}
+
+TEST(ComponentsTest, RandomNetworkSccIsWholeGraph) {
+  auto net = testutil::RandomConnectedNetwork(77, 200, 100);
+  const auto scc = StronglyConnectedComponents(*net);
+  EXPECT_EQ(scc.count, 1u);
+}
+
+}  // namespace
+}  // namespace altroute

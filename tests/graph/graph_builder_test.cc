@@ -1,0 +1,134 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraphBuilds) {
+  GraphBuilder builder;
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ((*net)->num_nodes(), 0u);
+  EXPECT_EQ((*net)->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, SimpleTriangle) {
+  GraphBuilder builder("tri");
+  const NodeId a = builder.AddNode(LatLng(0, 0));
+  const NodeId b = builder.AddNode(LatLng(0, 0.01));
+  const NodeId c = builder.AddNode(LatLng(0.01, 0));
+  builder.AddEdge(a, b, 100, 10, RoadClass::kPrimary);
+  builder.AddEdge(b, c, 200, 20, RoadClass::kSecondary);
+  builder.AddEdge(c, a, 300, 30, RoadClass::kResidential);
+  auto net_or = builder.Build();
+  ASSERT_TRUE(net_or.ok());
+  const RoadNetwork& net = **net_or;
+  EXPECT_EQ(net.name(), "tri");
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_edges(), 3u);
+  ASSERT_EQ(net.OutEdges(a).size(), 1u);
+  const EdgeId e = net.OutEdges(a)[0];
+  EXPECT_EQ(net.tail(e), a);
+  EXPECT_EQ(net.head(e), b);
+  EXPECT_DOUBLE_EQ(net.length_m(e), 100);
+  EXPECT_DOUBLE_EQ(net.travel_time_s(e), 10);
+  EXPECT_EQ(net.road_class(e), RoadClass::kPrimary);
+}
+
+TEST(GraphBuilderTest, ReverseAdjacencyIsConsistent) {
+  auto net = testutil::GridNetwork(4, 5);
+  // Every edge e must appear exactly once in InEdges(head(e)).
+  std::vector<int> seen(net->num_edges(), 0);
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    for (EdgeId e : net->InEdges(v)) {
+      EXPECT_EQ(net->head(e), v);
+      ++seen[e];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(GraphBuilderTest, OutEdgesTailInvariant) {
+  auto net = testutil::RandomConnectedNetwork(3, 50, 60);
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    for (EdgeId e : net->OutEdges(v)) EXPECT_EQ(net->tail(e), v);
+  }
+}
+
+TEST(GraphBuilderTest, SelfLoopsAreDropped) {
+  GraphBuilder builder;
+  const NodeId a = builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(a, a, 10, 5);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ((*net)->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, ParallelEdgesKeepFastest) {
+  GraphBuilder builder;
+  const NodeId a = builder.AddNode(LatLng(0, 0));
+  const NodeId b = builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(a, b, 100, 50);
+  builder.AddEdge(a, b, 100, 20);  // faster duplicate
+  builder.AddEdge(a, b, 100, 80);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  ASSERT_EQ((*net)->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ((*net)->travel_time_s(0), 20);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddEdge(0, 5, 10, 5);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveTravelTime) {
+  GraphBuilder builder;
+  const NodeId a = builder.AddNode(LatLng(0, 0));
+  const NodeId b = builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(a, b, 10, 0.0);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsNegativeLength) {
+  GraphBuilder builder;
+  const NodeId a = builder.AddNode(LatLng(0, 0));
+  const NodeId b = builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(a, b, -1.0, 5.0);
+  EXPECT_TRUE(builder.Build().status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, FindEdge) {
+  auto net = testutil::LineNetwork(3);
+  EXPECT_NE(net->FindEdge(0, 1), kInvalidEdge);
+  EXPECT_NE(net->FindEdge(1, 0), kInvalidEdge);
+  EXPECT_EQ(net->FindEdge(0, 2), kInvalidEdge);
+}
+
+TEST(GraphBuilderTest, BoundsCoverAllNodes) {
+  auto net = testutil::GridNetwork(3, 3, 60.0, 1000.0);
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    EXPECT_TRUE(net->bounds().Contains(net->coord(v)));
+  }
+}
+
+TEST(GraphBuilderTest, BidirectionalEdgeMakesTwoEdges) {
+  GraphBuilder builder;
+  const NodeId a = builder.AddNode(LatLng(0, 0));
+  const NodeId b = builder.AddNode(LatLng(0, 0.01));
+  builder.AddBidirectionalEdge(a, b, 10, 5);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ((*net)->num_edges(), 2u);
+  EXPECT_NE((*net)->FindEdge(a, b), kInvalidEdge);
+  EXPECT_NE((*net)->FindEdge(b, a), kInvalidEdge);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,60 @@
+#include "graph/road_class.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(RoadClassTest, HighwayTagParsing) {
+  EXPECT_EQ(RoadClassFromHighwayTag("motorway"), RoadClass::kMotorway);
+  EXPECT_EQ(RoadClassFromHighwayTag("trunk"), RoadClass::kTrunk);
+  EXPECT_EQ(RoadClassFromHighwayTag("primary"), RoadClass::kPrimary);
+  EXPECT_EQ(RoadClassFromHighwayTag("secondary"), RoadClass::kSecondary);
+  EXPECT_EQ(RoadClassFromHighwayTag("tertiary"), RoadClass::kTertiary);
+  EXPECT_EQ(RoadClassFromHighwayTag("residential"), RoadClass::kResidential);
+  EXPECT_EQ(RoadClassFromHighwayTag("living_street"), RoadClass::kResidential);
+  EXPECT_EQ(RoadClassFromHighwayTag("service"), RoadClass::kService);
+  EXPECT_EQ(RoadClassFromHighwayTag("gibberish"), RoadClass::kUnclassified);
+}
+
+TEST(RoadClassTest, LinkRampsInheritParentClass) {
+  EXPECT_EQ(RoadClassFromHighwayTag("motorway_link"), RoadClass::kMotorway);
+  EXPECT_EQ(RoadClassFromHighwayTag("primary_link"), RoadClass::kPrimary);
+  EXPECT_EQ(RoadClassFromHighwayTag("tertiary_link"), RoadClass::kTertiary);
+}
+
+TEST(RoadClassTest, FreewayFlag) {
+  EXPECT_TRUE(IsFreeway(RoadClass::kMotorway));
+  EXPECT_TRUE(IsFreeway(RoadClass::kTrunk));
+  EXPECT_FALSE(IsFreeway(RoadClass::kPrimary));
+  EXPECT_FALSE(IsFreeway(RoadClass::kResidential));
+}
+
+TEST(RoadClassTest, DefaultSpeedsDecreaseWithClass) {
+  EXPECT_GT(DefaultSpeedKmh(RoadClass::kMotorway),
+            DefaultSpeedKmh(RoadClass::kPrimary));
+  EXPECT_GT(DefaultSpeedKmh(RoadClass::kPrimary),
+            DefaultSpeedKmh(RoadClass::kService));
+  for (int c = 0; c < kNumRoadClasses; ++c) {
+    EXPECT_GT(DefaultSpeedKmh(static_cast<RoadClass>(c)), 0.0);
+  }
+}
+
+TEST(RoadClassTest, NamesRoundTripThroughParser) {
+  for (int c = 0; c < kNumRoadClasses; ++c) {
+    const auto rc = static_cast<RoadClass>(c);
+    EXPECT_EQ(RoadClassFromHighwayTag(RoadClassName(rc)), rc)
+        << RoadClassName(rc);
+  }
+}
+
+TEST(RoadClassTest, LanesArePositiveAndMonotonicAtExtremes) {
+  EXPECT_GT(TypicalLanes(RoadClass::kMotorway),
+            TypicalLanes(RoadClass::kResidential));
+  for (int c = 0; c < kNumRoadClasses; ++c) {
+    EXPECT_GT(TypicalLanes(static_cast<RoadClass>(c)), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,89 @@
+#include "graph/serialization.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  auto net = testutil::RandomConnectedNetwork(9, 80, 120);
+  std::stringstream buffer;
+  ASSERT_TRUE(NetworkSerializer::Save(*net, buffer).ok());
+  auto loaded_or = NetworkSerializer::Load(buffer);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const RoadNetwork& loaded = **loaded_or;
+
+  ASSERT_EQ(loaded.num_nodes(), net->num_nodes());
+  ASSERT_EQ(loaded.num_edges(), net->num_edges());
+  EXPECT_EQ(loaded.name(), net->name());
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    EXPECT_EQ(loaded.coord(v), net->coord(v));
+    ASSERT_EQ(loaded.OutEdges(v).size(), net->OutEdges(v).size());
+    ASSERT_EQ(loaded.InEdges(v).size(), net->InEdges(v).size());
+  }
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    EXPECT_EQ(loaded.tail(e), net->tail(e));
+    EXPECT_EQ(loaded.head(e), net->head(e));
+    EXPECT_DOUBLE_EQ(loaded.travel_time_s(e), net->travel_time_s(e));
+    EXPECT_DOUBLE_EQ(loaded.length_m(e), net->length_m(e));
+    EXPECT_EQ(loaded.road_class(e), net->road_class(e));
+  }
+}
+
+TEST(SerializationTest, EmptyNetworkRoundTrips) {
+  GraphBuilder builder("empty");
+  auto net = std::move(builder.Build()).ValueOrDie();
+  std::stringstream buffer;
+  ASSERT_TRUE(NetworkSerializer::Save(*net, buffer).ok());
+  auto loaded = NetworkSerializer::Load(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_nodes(), 0u);
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOPE this is not a network";
+  EXPECT_TRUE(NetworkSerializer::Load(buffer).status().IsCorruption());
+}
+
+TEST(SerializationTest, BitFlipDetectedByChecksum) {
+  auto net = testutil::GridNetwork(3, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(NetworkSerializer::Save(*net, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt the payload middle
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(NetworkSerializer::Load(corrupted).ok());
+}
+
+TEST(SerializationTest, TruncationDetected) {
+  auto net = testutil::GridNetwork(3, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(NetworkSerializer::Save(*net, buffer).ok());
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_TRUE(NetworkSerializer::Load(truncated).status().IsCorruption());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  auto net = testutil::LineNetwork(10);
+  const std::string path = ::testing::TempDir() + "/altroute_net_test.bin";
+  ASSERT_TRUE(NetworkSerializer::SaveToFile(*net, path).ok());
+  auto loaded = NetworkSerializer::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_nodes(), 10u);
+  ::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  EXPECT_TRUE(NetworkSerializer::LoadFromFile("/nonexistent/net.bin")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace altroute

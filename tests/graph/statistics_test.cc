@@ -1,0 +1,79 @@
+#include "graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "citygen/city_generator.h"
+
+namespace altroute {
+namespace {
+
+TEST(NetworkStatisticsTest, EmptyNetwork) {
+  GraphBuilder builder;
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const NetworkStatistics stats = ComputeNetworkStatistics(*net);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.total_length_km, 0.0);
+}
+
+TEST(NetworkStatisticsTest, LineNetworkBasics) {
+  auto net = testutil::LineNetwork(5, 60.0, 500.0);  // 4 bidirectional hops
+  const NetworkStatistics stats = ComputeNetworkStatistics(*net);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 8u);
+  EXPECT_NEAR(stats.total_length_km, 4.0, 1e-9);  // 8 x 500 m
+  // 500 m in 60 s = 30 km/h.
+  EXPECT_NEAR(stats.mean_speed_kmh, 30.0, 1e-9);
+  EXPECT_EQ(stats.dead_ends, 2u);        // chain ends have out-degree 1
+  EXPECT_EQ(stats.intersections, 0u);
+  EXPECT_NEAR(stats.mean_degree, 8.0 / 5.0, 1e-12);
+  EXPECT_EQ(stats.max_degree, 2u);
+}
+
+TEST(NetworkStatisticsTest, ClassSharesSumToOne) {
+  auto net = testutil::RandomConnectedNetwork(5, 100, 150);
+  const NetworkStatistics stats = ComputeNetworkStatistics(*net);
+  double sum = 0.0;
+  for (double share : stats.class_length_share) sum += share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NetworkStatisticsTest, GridHasIntersections) {
+  auto net = testutil::GridNetwork(5, 5);
+  const NetworkStatistics stats = ComputeNetworkStatistics(*net);
+  // Interior nodes have out-degree 4, border (non-corner) 3.
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_EQ(stats.intersections, 21u);  // all but the 4 corners
+  EXPECT_EQ(stats.dead_ends, 0u);
+  EXPECT_GT(stats.node_density_per_km2, 0.0);
+}
+
+TEST(NetworkStatisticsTest, CityRealismContrasts) {
+  auto melbourne = *citygen::BuildCityNetwork(
+      citygen::Scaled(citygen::MelbourneSpec(), 0.35));
+  auto dhaka = *citygen::BuildCityNetwork(
+      citygen::Scaled(citygen::DhakaSpec(), 0.35));
+  const NetworkStatistics mel = ComputeNetworkStatistics(*melbourne);
+  const NetworkStatistics dha = ComputeNetworkStatistics(*dhaka);
+
+  // Dhaka's signature: denser fabric, no motorways, slower average speeds.
+  EXPECT_GT(dha.node_density_per_km2, mel.node_density_per_km2 * 1.5);
+  EXPECT_DOUBLE_EQ(
+      dha.class_length_share[static_cast<size_t>(RoadClass::kMotorway)], 0.0);
+  EXPECT_GT(mel.class_length_share[static_cast<size_t>(RoadClass::kMotorway)],
+            0.02);
+  EXPECT_GT(mel.mean_speed_kmh, dha.mean_speed_kmh);
+}
+
+TEST(NetworkStatisticsTest, FormatContainsKeyNumbers) {
+  auto net = testutil::GridNetwork(4, 4);
+  const std::string text =
+      FormatNetworkStatistics(ComputeNetworkStatistics(*net));
+  EXPECT_NE(text.find("nodes: 16"), std::string::npos);
+  EXPECT_NE(text.find("edges: 48"), std::string::npos);
+  EXPECT_NE(text.find("class shares:"), std::string::npos);
+  EXPECT_NE(text.find("residential"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,198 @@
+#include "osm/network_constructor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "osm/osm_parser.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace osm {
+namespace {
+
+// A 3-node east-west primary road (~0.01 deg hops at the equator, ~1.11 km)
+// plus a one-way residential and a motorway segment.
+constexpr const char* kExtract = R"(<osm>
+  <node id="1" lat="0.0" lon="0.000"/>
+  <node id="2" lat="0.0" lon="0.010"/>
+  <node id="3" lat="0.0" lon="0.020"/>
+  <node id="4" lat="0.010" lon="0.010"/>
+  <way id="10">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="60"/>
+  </way>
+  <way id="11">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="12">
+    <nd ref="4"/><nd ref="3"/>
+    <tag k="highway" v="motorway"/>
+    <tag k="oneway" v="no"/>
+    <tag k="maxspeed" v="100"/>
+  </way>
+  <way id="13">
+    <nd ref="1"/><nd ref="3"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>)";
+
+ConstructedNetwork Construct(const char* xml, ConstructorOptions options = {}) {
+  auto data = ParseOsmXml(xml);
+  ALTROUTE_CHECK(data.ok());
+  auto net = ConstructRoadNetwork(*data, options);
+  ALTROUTE_CHECK(net.ok()) << net.status();
+  return std::move(net).ValueOrDie();
+}
+
+TEST(NetworkConstructorTest, BuildsExpectedTopology) {
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  const auto built = Construct(kExtract, options);
+  const RoadNetwork& net = *built.network;
+  // 4 used nodes (footway dropped), edges: way10 2 segs x2 dirs = 4,
+  // way11 oneway = 1, way12 bidirectional motorway = 2. Total 7.
+  EXPECT_EQ(net.num_nodes(), 4u);
+  EXPECT_EQ(net.num_edges(), 7u);
+}
+
+TEST(NetworkConstructorTest, TravelTimeUsesMaxspeedAndFactor) {
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  const auto built = Construct(kExtract, options);
+  const RoadNetwork& net = *built.network;
+  // Find a primary segment (node OSM 1 -> 2).
+  NodeId n1 = kInvalidNode, n2 = kInvalidNode, n4 = kInvalidNode;
+  for (size_t i = 0; i < built.node_osm_ids.size(); ++i) {
+    if (built.node_osm_ids[i] == 1) n1 = static_cast<NodeId>(i);
+    if (built.node_osm_ids[i] == 2) n2 = static_cast<NodeId>(i);
+    if (built.node_osm_ids[i] == 4) n4 = static_cast<NodeId>(i);
+  }
+  ASSERT_NE(n1, kInvalidNode);
+  const EdgeId primary = net.FindEdge(n1, n2);
+  ASSERT_NE(primary, kInvalidEdge);
+  // Paper Sec. 3: time = length / maxspeed * 1.3 (non-freeway).
+  const double expected =
+      net.length_m(primary) / (60.0 / 3.6) * 1.3;
+  EXPECT_NEAR(net.travel_time_s(primary), expected, 1e-6);
+
+  // Motorway segment: no 1.3 factor.
+  NodeId n3 = kInvalidNode;
+  for (size_t i = 0; i < built.node_osm_ids.size(); ++i) {
+    if (built.node_osm_ids[i] == 3) n3 = static_cast<NodeId>(i);
+  }
+  const EdgeId motorway = net.FindEdge(n4, n3);
+  ASSERT_NE(motorway, kInvalidEdge);
+  EXPECT_EQ(net.road_class(motorway), RoadClass::kMotorway);
+  EXPECT_NEAR(net.travel_time_s(motorway),
+              net.length_m(motorway) / (100.0 / 3.6), 1e-6);
+}
+
+TEST(NetworkConstructorTest, OnewayProducesSingleDirection) {
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  const auto built = Construct(kExtract, options);
+  const RoadNetwork& net = *built.network;
+  NodeId n2 = kInvalidNode, n4 = kInvalidNode;
+  for (size_t i = 0; i < built.node_osm_ids.size(); ++i) {
+    if (built.node_osm_ids[i] == 2) n2 = static_cast<NodeId>(i);
+    if (built.node_osm_ids[i] == 4) n4 = static_cast<NodeId>(i);
+  }
+  // Residential edge exists 2 -> 4 but not back (oneway=yes).
+  const EdgeId res = net.FindEdge(n2, n4);
+  ASSERT_NE(res, kInvalidEdge);
+  EXPECT_EQ(net.road_class(res), RoadClass::kResidential);
+  EXPECT_EQ(net.FindEdge(n4, n2), kInvalidEdge);
+}
+
+TEST(NetworkConstructorTest, NonFreewayFactorConfigurable) {
+  auto data = ParseOsmXml(kExtract);
+  ASSERT_TRUE(data.ok());
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  options.non_freeway_factor = 2.0;
+  auto net = ConstructRoadNetwork(*data, options);
+  ASSERT_TRUE(net.ok());
+  // The factor applies to every non-freeway edge.
+  const RoadNetwork& n = *net->network;
+  for (EdgeId e = 0; e < n.num_edges(); ++e) {
+    if (!IsFreeway(n.road_class(e))) {
+      // time = len/speed * 2.0. Primary speed 60 => time/len = 2.0/16.667
+      const double per_meter = n.travel_time_s(e) / n.length_m(e);
+      EXPECT_GT(per_meter, 1.9 / (60.0 / 3.6));
+    }
+  }
+}
+
+TEST(NetworkConstructorTest, FactorBelowOneRejected) {
+  auto data = ParseOsmXml(kExtract);
+  ASSERT_TRUE(data.ok());
+  ConstructorOptions options;
+  options.non_freeway_factor = 0.9;
+  EXPECT_TRUE(
+      ConstructRoadNetwork(*data, options).status().IsInvalidArgument());
+}
+
+TEST(NetworkConstructorTest, ClipRectangleCutsWays) {
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  // Clip to the western half: only nodes 1 and 2 are inside.
+  options.clip = BoundingBox(-0.005, -0.005, 0.005, 0.015);
+  const auto built = Construct(kExtract, options);
+  EXPECT_EQ(built.network->num_nodes(), 2u);
+  EXPECT_EQ(built.network->num_edges(), 2u);  // 1<->2 only
+}
+
+TEST(NetworkConstructorTest, SccPruningKeepsEverythingReachable) {
+  const auto built = Construct(kExtract);  // largest_scc_only = true
+  const RoadNetwork& net = *built.network;
+  EXPECT_GT(net.num_nodes(), 0u);
+  EXPECT_EQ(built.node_osm_ids.size(), net.num_nodes());
+}
+
+TEST(NetworkConstructorTest, EmptyResultIsInvalidArgument) {
+  auto data = ParseOsmXml("<osm><node id=\"1\" lat=\"0\" lon=\"0\"/></osm>");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(ConstructRoadNetwork(*data, {}).status().IsInvalidArgument());
+}
+
+TEST(NetworkConstructorTest, DanglingRefsBreakChains) {
+  // Way references a node that does not exist; the chain must skip it
+  // without crashing and still build 1 <-> 2.
+  auto data = ParseOsmXml(R"(<osm>
+    <node id="1" lat="0" lon="0"/>
+    <node id="2" lat="0" lon="0.01"/>
+    <way id="10"><nd ref="1"/><nd ref="2"/><nd ref="99"/><nd ref="1"/>
+      <tag k="highway" v="primary"/></way>
+  </osm>)");
+  ASSERT_TRUE(data.ok());
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  auto net = ConstructRoadNetwork(*data, options);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->network->num_nodes(), 2u);
+}
+
+TEST(NetworkConstructorTest, CoincidentNodesProduceNoEdge) {
+  auto data = ParseOsmXml(R"(<osm>
+    <node id="1" lat="0" lon="0"/>
+    <node id="2" lat="0" lon="0"/>
+    <node id="3" lat="0" lon="0.01"/>
+    <way id="10"><nd ref="1"/><nd ref="2"/><nd ref="3"/>
+      <tag k="highway" v="primary"/></way>
+  </osm>)");
+  ASSERT_TRUE(data.ok());
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  auto net = ConstructRoadNetwork(*data, options);
+  ASSERT_TRUE(net.ok());
+  // Only the 2 -> 3 segment has positive length.
+  EXPECT_EQ(net->network->num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace osm
+}  // namespace altroute

@@ -1,0 +1,135 @@
+#include "osm/osm_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace osm {
+namespace {
+
+constexpr const char* kSmallExtract = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <bounds minlat="-37.9" minlon="144.8" maxlat="-37.7" maxlon="145.1"/>
+  <node id="100" lat="-37.8136" lon="144.9631"/>
+  <node id="101" lat="-37.8140" lon="144.9700">
+    <tag k="highway" v="traffic_signals"/>
+  </node>
+  <node id='102' lat='-37.8150' lon='144.9750'/>
+  <way id="500">
+    <nd ref="100"/>
+    <nd ref="101"/>
+    <nd ref="102"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="60"/>
+    <tag k="name" v="Flinders &amp; Swanston"/>
+  </way>
+  <way id="501">
+    <nd ref="101"/>
+    <nd ref="102"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <relation id="900">
+    <member type="way" ref="500" role="outer"/>
+  </relation>
+</osm>
+)";
+
+TEST(OsmParserTest, ParsesNodesWaysAndTags) {
+  auto data_or = ParseOsmXml(kSmallExtract);
+  ASSERT_TRUE(data_or.ok()) << data_or.status();
+  const OsmData& data = *data_or;
+  ASSERT_EQ(data.nodes.size(), 3u);
+  EXPECT_EQ(data.nodes[0].id, 100);
+  EXPECT_DOUBLE_EQ(data.nodes[0].coord.lat, -37.8136);
+  EXPECT_DOUBLE_EQ(data.nodes[0].coord.lng, 144.9631);
+
+  ASSERT_EQ(data.ways.size(), 2u);
+  const OsmWay& way = data.ways[0];
+  EXPECT_EQ(way.id, 500);
+  EXPECT_EQ(way.node_refs, (std::vector<OsmId>{100, 101, 102}));
+  EXPECT_EQ(way.GetTag("highway"), "primary");
+  EXPECT_EQ(way.GetTag("maxspeed"), "60");
+  EXPECT_EQ(way.GetTag("missing"), "");
+  EXPECT_TRUE(way.HasTag("name"));
+}
+
+TEST(OsmParserTest, DecodesXmlEntities) {
+  auto data = ParseOsmXml(kSmallExtract);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->ways[0].GetTag("name"), "Flinders & Swanston");
+}
+
+TEST(OsmParserTest, SingleQuotedAttributesAccepted) {
+  auto data = ParseOsmXml(kSmallExtract);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->nodes[2].id, 102);
+}
+
+TEST(OsmParserTest, NodeTagsDoNotLeakIntoWays) {
+  auto data = ParseOsmXml(kSmallExtract);
+  ASSERT_TRUE(data.ok());
+  // The traffic_signals tag on node 101 must not attach to any way.
+  for (const OsmWay& w : data->ways) {
+    EXPECT_NE(w.GetTag("highway"), "traffic_signals");
+  }
+}
+
+TEST(OsmParserTest, RelationsAreIgnored) {
+  auto data = ParseOsmXml(kSmallExtract);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->ways.size(), 2u);
+}
+
+TEST(OsmParserTest, EmptyDocument) {
+  auto data = ParseOsmXml("<osm></osm>");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->nodes.empty());
+  EXPECT_TRUE(data->ways.empty());
+}
+
+TEST(OsmParserTest, MissingNodeCoordinatesRejected) {
+  EXPECT_FALSE(ParseOsmXml(R"(<osm><node id="1" lat="1.0"/></osm>)").ok());
+  EXPECT_FALSE(ParseOsmXml(R"(<osm><node id="1" lat="x" lon="2"/></osm>)").ok());
+}
+
+TEST(OsmParserTest, OutOfRangeCoordinatesRejected) {
+  EXPECT_FALSE(
+      ParseOsmXml(R"(<osm><node id="1" lat="95.0" lon="0.0"/></osm>)").ok());
+}
+
+TEST(OsmParserTest, CommentsAndProcessingInstructionsSkipped) {
+  auto data = ParseOsmXml(
+      "<?xml version=\"1.0\"?><!-- a <node> in a comment -->"
+      "<osm><node id=\"1\" lat=\"1\" lon=\"2\"/></osm>");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->nodes.size(), 1u);
+}
+
+TEST(OsmParserTest, UnterminatedTagRejected) {
+  EXPECT_FALSE(ParseOsmXml("<osm><node id=\"1\" lat=\"1\" lon=\"2\"").ok());
+}
+
+TEST(OsmParserTest, DanglingNdRefsAreKeptForConstructorToSkip) {
+  auto data = ParseOsmXml(
+      R"(<osm><way id="1"><nd ref="42"/><tag k="highway" v="primary"/></way></osm>)");
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->ways.size(), 1u);
+  EXPECT_EQ(data->ways[0].node_refs, (std::vector<OsmId>{42}));
+}
+
+TEST(OsmParserTest, BuildNodeIndex) {
+  auto data = ParseOsmXml(kSmallExtract);
+  ASSERT_TRUE(data.ok());
+  const auto index = data->BuildNodeIndex();
+  EXPECT_EQ(index.at(100), 0u);
+  EXPECT_EQ(index.at(102), 2u);
+  EXPECT_EQ(index.count(999), 0u);
+}
+
+TEST(OsmParserTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ParseOsmFile("/no/such/file.osm").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace osm
+}  // namespace altroute

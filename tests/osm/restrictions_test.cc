@@ -1,0 +1,186 @@
+#include "osm/restrictions.h"
+
+#include <gtest/gtest.h>
+
+#include "osm/osm_parser.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace osm {
+namespace {
+
+// A + intersection: node 2 is the center; arms 1 (west), 3 (east),
+// 4 (north), 5 (south). Ways: 10 = west-east through 2, 11 = north-south
+// through 2. All bidirectional secondaries.
+constexpr const char* kCross = R"(<osm>
+  <node id="1" lat="0.00" lon="-0.01"/>
+  <node id="2" lat="0.00" lon="0.00"/>
+  <node id="3" lat="0.00" lon="0.01"/>
+  <node id="4" lat="0.01" lon="0.00"/>
+  <node id="5" lat="-0.01" lon="0.00"/>
+  <way id="10"><nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="secondary"/></way>
+  <way id="11"><nd ref="4"/><nd ref="2"/><nd ref="5"/>
+    <tag k="highway" v="secondary"/></way>
+  %RELATIONS%
+</osm>)";
+
+std::string WithRelations(const std::string& relations) {
+  std::string xml = kCross;
+  const std::string marker = "%RELATIONS%";
+  xml.replace(xml.find(marker), marker.size(), relations);
+  return xml;
+}
+
+struct BuiltCross {
+  OsmData data;
+  ConstructedNetwork built;
+  NodeId n1, n2, n3, n4, n5;
+};
+
+BuiltCross BuildCross(const std::string& relations) {
+  BuiltCross out;
+  auto data = ParseOsmXml(WithRelations(relations));
+  ALTROUTE_CHECK(data.ok()) << data.status();
+  out.data = std::move(data).ValueOrDie();
+  ConstructorOptions options;
+  options.largest_scc_only = false;
+  auto built = ConstructRoadNetwork(out.data, options);
+  ALTROUTE_CHECK(built.ok());
+  out.built = std::move(built).ValueOrDie();
+  for (NodeId v = 0; v < out.built.node_osm_ids.size(); ++v) {
+    switch (out.built.node_osm_ids[v]) {
+      case 1: out.n1 = v; break;
+      case 2: out.n2 = v; break;
+      case 3: out.n3 = v; break;
+      case 4: out.n4 = v; break;
+      case 5: out.n5 = v; break;
+    }
+  }
+  return out;
+}
+
+TEST(RestrictionsTest, NoRelationsYieldsNothing) {
+  const BuiltCross cross = BuildCross("");
+  EXPECT_TRUE(ExtractTurnRestrictions(cross.data, cross.built).empty());
+}
+
+TEST(RestrictionsTest, NoLeftTurnResolvesToEdgePair) {
+  // Coming from west (way 10) at node 2, turning to north (way 11, node 4)
+  // is banned.
+  const BuiltCross cross = BuildCross(R"(
+    <relation id="100">
+      <member type="way" ref="10" role="from"/>
+      <member type="node" ref="2" role="via"/>
+      <member type="way" ref="11" role="to"/>
+      <tag k="type" v="restriction"/>
+      <tag k="restriction" v="no_left_turn"/>
+    </relation>)");
+  const auto restrictions = ExtractTurnRestrictions(cross.data, cross.built);
+  const RoadNetwork& net = *cross.built.network;
+  // from-way approaches: (1->2) and (3->2); to-way departures: (2->4) and
+  // (2->5). All four combinations are banned (conservative resolution).
+  EXPECT_EQ(restrictions.size(), 4u);
+  for (const TurnRestriction& r : restrictions) {
+    EXPECT_EQ(net.head(r.from_edge), cross.n2);
+    EXPECT_EQ(net.tail(r.to_edge), cross.n2);
+  }
+  // And the specific pair the relation describes is among them.
+  const EdgeId from = net.FindEdge(cross.n1, cross.n2);
+  const EdgeId to = net.FindEdge(cross.n2, cross.n4);
+  const bool found =
+      std::any_of(restrictions.begin(), restrictions.end(),
+                  [&](const TurnRestriction& r) {
+                    return r.from_edge == from && r.to_edge == to;
+                  });
+  EXPECT_TRUE(found);
+}
+
+TEST(RestrictionsTest, OnlyStraightOnBansOtherDepartures) {
+  const BuiltCross cross = BuildCross(R"(
+    <relation id="101">
+      <member type="way" ref="10" role="from"/>
+      <member type="node" ref="2" role="via"/>
+      <member type="way" ref="10" role="to"/>
+      <tag k="type" v="restriction"/>
+      <tag k="restriction" v="only_straight_on"/>
+    </relation>)");
+  const auto restrictions = ExtractTurnRestrictions(cross.data, cross.built);
+  const RoadNetwork& net = *cross.built.network;
+  EXPECT_FALSE(restrictions.empty());
+  // Departures along way 10 itself must never be banned.
+  for (const TurnRestriction& r : restrictions) {
+    const NodeId head = net.head(r.to_edge);
+    EXPECT_TRUE(head == cross.n4 || head == cross.n5)
+        << "only_* must ban only off-way departures";
+  }
+}
+
+TEST(RestrictionsTest, UnresolvableRelationsAreSkipped) {
+  const BuiltCross cross = BuildCross(R"(
+    <relation id="102">
+      <member type="way" ref="999" role="from"/>
+      <member type="node" ref="2" role="via"/>
+      <member type="way" ref="11" role="to"/>
+      <tag k="type" v="restriction"/>
+      <tag k="restriction" v="no_left_turn"/>
+    </relation>
+    <relation id="103">
+      <member type="way" ref="10" role="from"/>
+      <member type="way" ref="11" role="to"/>
+      <tag k="type" v="restriction"/>
+      <tag k="restriction" v="no_right_turn"/>
+    </relation>
+    <relation id="104">
+      <member type="way" ref="10" role="from"/>
+      <member type="node" ref="2" role="via"/>
+      <member type="way" ref="11" role="to"/>
+      <tag k="type" v="multipolygon"/>
+    </relation>)");
+  EXPECT_TRUE(ExtractTurnRestrictions(cross.data, cross.built).empty());
+}
+
+TEST(RestrictionsTest, ExtractedRestrictionsWorkWithTheRouter) {
+  const BuiltCross cross = BuildCross(R"(
+    <relation id="100">
+      <member type="way" ref="10" role="from"/>
+      <member type="node" ref="2" role="via"/>
+      <member type="way" ref="11" role="to"/>
+      <tag k="type" v="restriction"/>
+      <tag k="restriction" v="no_left_turn"/>
+    </relation>)");
+  const auto restrictions = ExtractTurnRestrictions(cross.data, cross.built);
+  auto router =
+      TurnAwareRouter::Build(cross.built.network, {}, restrictions);
+  ASSERT_TRUE(router.ok());
+  // 1 -> 4 required the banned left turn; with U-turns banned there is no
+  // alternative on this tiny network.
+  EXPECT_TRUE((*router)->ShortestPath(cross.n1, cross.n4).status().IsNotFound());
+  // 1 -> 3 (straight on) is unaffected.
+  EXPECT_TRUE((*router)->ShortestPath(cross.n1, cross.n3).ok());
+}
+
+TEST(OsmParserRelationTest, ParsesMembersAndTags) {
+  auto data = ParseOsmXml(WithRelations(R"(
+    <relation id="100">
+      <member type="way" ref="10" role="from"/>
+      <member type="node" ref="2" role="via"/>
+      <member type="way" ref="11" role="to"/>
+      <tag k="type" v="restriction"/>
+      <tag k="restriction" v="no_left_turn"/>
+    </relation>)"));
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->relations.size(), 1u);
+  const OsmRelation& rel = data->relations[0];
+  EXPECT_EQ(rel.id, 100);
+  ASSERT_EQ(rel.members.size(), 3u);
+  EXPECT_EQ(rel.GetTag("restriction"), "no_left_turn");
+  const OsmRelationMember* via = rel.FindMember("node", "via");
+  ASSERT_NE(via, nullptr);
+  EXPECT_EQ(via->ref, 2);
+  EXPECT_EQ(rel.FindMember("way", "banana"), nullptr);
+}
+
+}  // namespace
+}  // namespace osm
+}  // namespace altroute

@@ -1,0 +1,110 @@
+#include "osm/speed_model.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace osm {
+namespace {
+
+OsmWay WayWithTags(
+    std::initializer_list<std::pair<const char*, const char*>> tags,
+    int num_refs = 2) {
+  OsmWay way;
+  way.id = 1;
+  for (int i = 0; i < num_refs; ++i) way.node_refs.push_back(i + 1);
+  for (const auto& [k, v] : tags) way.tags.emplace(k, v);
+  return way;
+}
+
+TEST(MaxSpeedTest, PlainNumberIsKmh) {
+  EXPECT_DOUBLE_EQ(*ParseMaxSpeedKmh("60"), 60.0);
+  EXPECT_DOUBLE_EQ(*ParseMaxSpeedKmh(" 80 "), 80.0);
+}
+
+TEST(MaxSpeedTest, ExplicitUnits) {
+  EXPECT_DOUBLE_EQ(*ParseMaxSpeedKmh("60 km/h"), 60.0);
+  EXPECT_DOUBLE_EQ(*ParseMaxSpeedKmh("50kmh"), 50.0);
+  EXPECT_NEAR(*ParseMaxSpeedKmh("40 mph"), 64.37, 0.01);
+}
+
+TEST(MaxSpeedTest, SpecialValues) {
+  EXPECT_DOUBLE_EQ(*ParseMaxSpeedKmh("walk"), 5.0);
+  EXPECT_FALSE(ParseMaxSpeedKmh("none").has_value());
+  EXPECT_FALSE(ParseMaxSpeedKmh("signals").has_value());
+  EXPECT_FALSE(ParseMaxSpeedKmh("").has_value());
+  EXPECT_FALSE(ParseMaxSpeedKmh("fast").has_value());
+}
+
+TEST(MaxSpeedTest, InsaneValuesRejected) {
+  EXPECT_FALSE(ParseMaxSpeedKmh("0").has_value());
+  EXPECT_FALSE(ParseMaxSpeedKmh("-30").has_value());
+  EXPECT_FALSE(ParseMaxSpeedKmh("500").has_value());
+}
+
+TEST(EffectiveSpeedTest, TagOverridesDefault) {
+  const OsmWay way = WayWithTags({{"highway", "residential"}, {"maxspeed", "30"}});
+  EXPECT_DOUBLE_EQ(EffectiveSpeedKmh(way, RoadClass::kResidential), 30.0);
+}
+
+TEST(EffectiveSpeedTest, FallsBackToClassDefault) {
+  const OsmWay way = WayWithTags({{"highway", "residential"}});
+  EXPECT_DOUBLE_EQ(EffectiveSpeedKmh(way, RoadClass::kResidential),
+                   DefaultSpeedKmh(RoadClass::kResidential));
+  const OsmWay bad = WayWithTags({{"highway", "residential"}, {"maxspeed", "x"}});
+  EXPECT_DOUBLE_EQ(EffectiveSpeedKmh(bad, RoadClass::kResidential),
+                   DefaultSpeedKmh(RoadClass::kResidential));
+}
+
+TEST(OnewayTest, ExplicitValues) {
+  EXPECT_EQ(ParseOneway(WayWithTags({{"oneway", "yes"}}), RoadClass::kPrimary),
+            OnewayDirection::kForward);
+  EXPECT_EQ(ParseOneway(WayWithTags({{"oneway", "1"}}), RoadClass::kPrimary),
+            OnewayDirection::kForward);
+  EXPECT_EQ(ParseOneway(WayWithTags({{"oneway", "-1"}}), RoadClass::kPrimary),
+            OnewayDirection::kReverse);
+  EXPECT_EQ(ParseOneway(WayWithTags({{"oneway", "no"}}), RoadClass::kPrimary),
+            OnewayDirection::kBidirectional);
+}
+
+TEST(OnewayTest, MotorwayImplicitlyOneway) {
+  EXPECT_EQ(ParseOneway(WayWithTags({}), RoadClass::kMotorway),
+            OnewayDirection::kForward);
+  // ... unless explicitly bidirectional.
+  EXPECT_EQ(ParseOneway(WayWithTags({{"oneway", "no"}}), RoadClass::kMotorway),
+            OnewayDirection::kBidirectional);
+}
+
+TEST(OnewayTest, RoundaboutImplicitlyOneway) {
+  EXPECT_EQ(ParseOneway(WayWithTags({{"junction", "roundabout"}}),
+                        RoadClass::kResidential),
+            OnewayDirection::kForward);
+}
+
+TEST(RoutableTest, AcceptsCarRoads) {
+  EXPECT_TRUE(IsRoutableHighway(WayWithTags({{"highway", "motorway"}})));
+  EXPECT_TRUE(IsRoutableHighway(WayWithTags({{"highway", "residential"}})));
+  EXPECT_TRUE(IsRoutableHighway(WayWithTags({{"highway", "primary_link"}})));
+}
+
+TEST(RoutableTest, RejectsNonCarInfrastructure) {
+  EXPECT_FALSE(IsRoutableHighway(WayWithTags({{"highway", "footway"}})));
+  EXPECT_FALSE(IsRoutableHighway(WayWithTags({{"highway", "cycleway"}})));
+  EXPECT_FALSE(IsRoutableHighway(WayWithTags({{"highway", "construction"}})));
+  EXPECT_FALSE(IsRoutableHighway(WayWithTags({})));
+}
+
+TEST(RoutableTest, RejectsAccessRestrictions) {
+  EXPECT_FALSE(IsRoutableHighway(
+      WayWithTags({{"highway", "residential"}, {"access", "private"}})));
+  EXPECT_FALSE(IsRoutableHighway(
+      WayWithTags({{"highway", "residential"}, {"motor_vehicle", "no"}})));
+}
+
+TEST(RoutableTest, RejectsDegenerateWays) {
+  EXPECT_FALSE(
+      IsRoutableHighway(WayWithTags({{"highway", "primary"}}, /*num_refs=*/1)));
+}
+
+}  // namespace
+}  // namespace osm
+}  // namespace altroute

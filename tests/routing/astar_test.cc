@@ -1,0 +1,78 @@
+#include "routing/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(AStarTest, MaxSpeedIsPositiveAndBoundsEdges) {
+  auto net = testutil::GridNetwork(4, 4, 60.0, 500.0);
+  const auto weights = testutil::Weights(*net);
+  const double vmax = MaxSpeedMps(*net, weights);
+  EXPECT_GT(vmax, 0.0);
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    const double crow =
+        HaversineMeters(net->coord(net->tail(e)), net->coord(net->head(e)));
+    EXPECT_LE(crow / weights[e], vmax + 1e-9);
+  }
+}
+
+TEST(AStarTest, SourceEqualsTarget) {
+  auto net = testutil::LineNetwork(4);
+  const auto weights = testutil::Weights(*net);
+  AStar astar(*net, MaxSpeedMps(*net, weights));
+  auto r = astar.ShortestPath(2, 2, weights);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+}
+
+TEST(AStarTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const auto weights = testutil::Weights(*net);
+  AStar astar(*net, MaxSpeedMps(*net, weights));
+  EXPECT_TRUE(astar.ShortestPath(0, 1, weights).status().IsNotFound());
+}
+
+class AStarOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AStarOracleTest, OptimalOnRandomGraphs) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 150, 180);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  AStar astar(*net, MaxSpeedMps(*net, weights));
+  Rng rng(GetParam() + 2000);
+  for (int q = 0; q < 30; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto expected = dijkstra.ShortestPath(s, t, weights);
+    auto got = astar.ShortestPath(s, t, weights);
+    ASSERT_EQ(expected.ok(), got.ok());
+    if (expected.ok()) {
+      EXPECT_NEAR(got->cost, expected->cost, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarOracleTest,
+                         ::testing::Values(61, 62, 63, 64));
+
+TEST(AStarTest, SettlesNoMoreThanDijkstraOnGeometricGraphs) {
+  auto net = testutil::GridNetwork(25, 25);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  AStar astar(*net, MaxSpeedMps(*net, weights));
+  const NodeId s = 12;  // top edge
+  const auto t = static_cast<NodeId>(net->num_nodes() - 13);
+  ASSERT_TRUE(dijkstra.ShortestPath(s, t, weights).ok());
+  ASSERT_TRUE(astar.ShortestPath(s, t, weights).ok());
+  EXPECT_LE(astar.last_settled_count(), dijkstra.last_settled_count());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,85 @@
+#include "routing/bidirectional_dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(BidirectionalTest, SourceEqualsTarget) {
+  auto net = testutil::LineNetwork(4);
+  BidirectionalDijkstra bidir(*net);
+  auto r = bidir.ShortestPath(1, 1, net->travel_times());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  EXPECT_TRUE(r->edges.empty());
+}
+
+TEST(BidirectionalTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  BidirectionalDijkstra bidir(*net);
+  EXPECT_TRUE(
+      bidir.ShortestPath(0, 1, net->travel_times()).status().IsNotFound());
+}
+
+TEST(BidirectionalTest, InvalidInputsRejected) {
+  auto net = testutil::LineNetwork(3);
+  BidirectionalDijkstra bidir(*net);
+  EXPECT_TRUE(bidir.ShortestPath(7, 0, net->travel_times())
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<double> bad(1, 1.0);
+  EXPECT_TRUE(bidir.ShortestPath(0, 2, bad).status().IsInvalidArgument());
+}
+
+class BidirectionalOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BidirectionalOracleTest, AgreesWithDijkstraAndYieldsValidPath) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 150, 200);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  BidirectionalDijkstra bidir(*net);
+  Rng rng(GetParam() + 1000);
+  for (int q = 0; q < 40; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto expected = dijkstra.ShortestPath(s, t, weights);
+    auto got = bidir.ShortestPath(s, t, weights);
+    ASSERT_EQ(expected.ok(), got.ok());
+    if (!expected.ok()) continue;
+    EXPECT_NEAR(got->cost, expected->cost, 1e-6);
+    // The returned edge sequence must be a real s-t path of the stated cost.
+    double cost = 0.0;
+    NodeId cur = s;
+    for (EdgeId e : got->edges) {
+      EXPECT_EQ(net->tail(e), cur);
+      cur = net->head(e);
+      cost += weights[e];
+    }
+    EXPECT_EQ(cur, t);
+    EXPECT_NEAR(cost, got->cost, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BidirectionalOracleTest,
+                         ::testing::Values(51, 52, 53, 54, 55));
+
+TEST(BidirectionalTest, SettlesFewerNodesThanUnidirectionalOnGrids) {
+  auto net = testutil::GridNetwork(30, 30);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  BidirectionalDijkstra bidir(*net);
+  const NodeId s = 0;
+  const auto t = static_cast<NodeId>(net->num_nodes() - 1);
+  ASSERT_TRUE(dijkstra.ShortestPath(s, t, weights).ok());
+  ASSERT_TRUE(bidir.ShortestPath(s, t, weights).ok());
+  EXPECT_LT(bidir.last_settled_count(), dijkstra.last_settled_count());
+}
+
+}  // namespace
+}  // namespace altroute

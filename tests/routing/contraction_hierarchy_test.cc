@@ -1,0 +1,119 @@
+#include "routing/contraction_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+std::shared_ptr<const ContractionHierarchy> BuildCh(
+    const std::shared_ptr<RoadNetwork>& net) {
+  auto ch = ContractionHierarchy::Build(net, net->travel_times());
+  ALTROUTE_CHECK(ch.ok()) << ch.status();
+  return std::move(ch).ValueOrDie();
+}
+
+TEST(ContractionHierarchyTest, RejectsBadWeights) {
+  auto net = testutil::LineNetwork(4);
+  std::vector<double> bad(net->num_edges(), 1.0);
+  bad[0] = 0.0;
+  EXPECT_TRUE(
+      ContractionHierarchy::Build(net, bad).status().IsInvalidArgument());
+  std::vector<double> wrong_size(2, 1.0);
+  EXPECT_TRUE(ContractionHierarchy::Build(net, wrong_size)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ContractionHierarchy::Build(nullptr, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ContractionHierarchyTest, RanksAreAPermutation) {
+  auto net = testutil::GridNetwork(6, 6);
+  auto ch = BuildCh(net);
+  std::vector<bool> seen(net->num_nodes(), false);
+  for (uint32_t r : ch->ranks()) {
+    ASSERT_LT(r, net->num_nodes());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(ContractionHierarchyTest, SourceEqualsTarget) {
+  auto net = testutil::LineNetwork(5);
+  auto ch = BuildCh(net);
+  auto r = ch->ShortestPath(3, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+}
+
+TEST(ContractionHierarchyTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  auto ch = BuildCh(net);
+  EXPECT_TRUE(ch->ShortestPath(0, 1).status().IsNotFound());
+}
+
+class ChOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChOracleTest, MatchesDijkstraAndUnpacksRealPaths) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 120, 160);
+  const auto weights = testutil::Weights(*net);
+  auto ch = BuildCh(net);
+  Dijkstra dijkstra(*net);
+  Rng rng(GetParam() + 3000);
+  for (int q = 0; q < 50; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto expected = dijkstra.ShortestPath(s, t, weights);
+    auto got = ch->ShortestPath(s, t);
+    ASSERT_EQ(expected.ok(), got.ok()) << s << "->" << t;
+    if (!expected.ok()) continue;
+    EXPECT_NEAR(got->cost, expected->cost, 1e-6) << s << "->" << t;
+    // Unpacked path must be contiguous original edges with matching cost.
+    double cost = 0.0;
+    NodeId cur = s;
+    for (EdgeId e : got->edges) {
+      ASSERT_LT(e, net->num_edges());
+      EXPECT_EQ(net->tail(e), cur);
+      cur = net->head(e);
+      cost += weights[e];
+    }
+    EXPECT_EQ(cur, t);
+    EXPECT_NEAR(cost, got->cost, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChOracleTest,
+                         ::testing::Values(71, 72, 73, 74, 75));
+
+TEST(ContractionHierarchyTest, GridExhaustiveSmall) {
+  auto net = testutil::GridNetwork(5, 5);
+  const auto weights = testutil::Weights(*net);
+  auto ch = BuildCh(net);
+  Dijkstra dijkstra(*net);
+  for (NodeId s = 0; s < net->num_nodes(); ++s) {
+    for (NodeId t = 0; t < net->num_nodes(); t += 3) {
+      auto expected = dijkstra.ShortestPath(s, t, weights);
+      auto got = ch->ShortestPath(s, t);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_NEAR(got->cost, expected->cost, 1e-6);
+    }
+  }
+}
+
+TEST(ContractionHierarchyTest, ShortcutCountIsReasonable) {
+  auto net = testutil::GridNetwork(10, 10);
+  auto ch = BuildCh(net);
+  // A healthy CH on a grid adds some shortcuts but far fewer than V^2.
+  EXPECT_GT(ch->num_arcs(), net->num_edges());
+  EXPECT_LT(ch->num_shortcuts(), net->num_nodes() * net->num_nodes());
+}
+
+}  // namespace
+}  // namespace altroute

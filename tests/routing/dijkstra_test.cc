@@ -1,0 +1,192 @@
+#include "routing/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+TEST(DijkstraTest, TrivialSourceEqualsTarget) {
+  auto net = testutil::LineNetwork(5);
+  Dijkstra dijkstra(*net);
+  auto r = dijkstra.ShortestPath(2, 2, net->travel_times());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  EXPECT_TRUE(r->edges.empty());
+}
+
+TEST(DijkstraTest, LineNetworkCost) {
+  auto net = testutil::LineNetwork(10, 60.0);
+  Dijkstra dijkstra(*net);
+  auto r = dijkstra.ShortestPath(0, 9, net->travel_times());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 9 * 60.0);
+  EXPECT_EQ(r->edges.size(), 9u);
+}
+
+TEST(DijkstraTest, PathEdgesAreContiguous) {
+  auto net = testutil::GridNetwork(6, 7);
+  Dijkstra dijkstra(*net);
+  auto r = dijkstra.ShortestPath(0, static_cast<NodeId>(net->num_nodes() - 1),
+                                 net->travel_times());
+  ASSERT_TRUE(r.ok());
+  NodeId cur = 0;
+  for (EdgeId e : r->edges) {
+    EXPECT_EQ(net->tail(e), cur);
+    cur = net->head(e);
+  }
+  EXPECT_EQ(cur, net->num_nodes() - 1);
+}
+
+TEST(DijkstraTest, UnreachableTargetIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0, 0.02));
+  builder.AddEdge(0, 1, 10, 5);  // no path to node 2
+  auto net = std::move(builder.Build()).ValueOrDie();
+  Dijkstra dijkstra(*net);
+  EXPECT_TRUE(
+      dijkstra.ShortestPath(0, 2, net->travel_times()).status().IsNotFound());
+}
+
+TEST(DijkstraTest, InvalidInputs) {
+  auto net = testutil::LineNetwork(3);
+  Dijkstra dijkstra(*net);
+  EXPECT_TRUE(dijkstra.ShortestPath(99, 0, net->travel_times())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(dijkstra.ShortestPath(0, 99, net->travel_times())
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<double> short_weights(1, 1.0);
+  EXPECT_TRUE(
+      dijkstra.ShortestPath(0, 2, short_weights).status().IsInvalidArgument());
+}
+
+TEST(DijkstraTest, EdgeFilterBlocksRoutes) {
+  auto net = testutil::LineNetwork(4);
+  Dijkstra dijkstra(*net);
+  const EdgeId blocked = net->FindEdge(1, 2);
+  auto r = dijkstra.ShortestPath(0, 3, net->travel_times(),
+                                 [&](EdgeId e) { return e == blocked; });
+  EXPECT_TRUE(r.status().IsNotFound());  // the line has no detour
+}
+
+TEST(DijkstraTest, RepeatedQueriesAreIndependent) {
+  auto net = testutil::GridNetwork(5, 5);
+  Dijkstra dijkstra(*net);
+  auto first = dijkstra.ShortestPath(0, 24, net->travel_times());
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto again = dijkstra.ShortestPath(0, 24, net->travel_times());
+    ASSERT_TRUE(again.ok());
+    EXPECT_DOUBLE_EQ(again->cost, first->cost);
+    EXPECT_EQ(again->edges, first->edges);
+  }
+}
+
+class DijkstraOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraOracleTest, MatchesBellmanFordOnRandomGraphs) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 120, 150);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  Rng rng(GetParam() * 31 + 1);
+  const auto source =
+      static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+  const auto oracle = testutil::BellmanFordDistances(*net, source, weights);
+  for (int q = 0; q < 30; ++q) {
+    const auto target = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto r = dijkstra.ShortestPath(source, target, weights);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r->cost, oracle[target], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraOracleTest,
+                         ::testing::Values(41, 42, 43, 44, 45, 46));
+
+TEST(ShortestPathTreeTest, ForwardTreeDistancesMatchOracle) {
+  auto net = testutil::RandomConnectedNetwork(50, 100, 130);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  auto tree_or = dijkstra.BuildTree(3, weights, SearchDirection::kForward);
+  ASSERT_TRUE(tree_or.ok());
+  const auto oracle = testutil::BellmanFordDistances(*net, 3, weights);
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    EXPECT_NEAR(tree_or->dist[v], oracle[v], 1e-6);
+  }
+}
+
+TEST(ShortestPathTreeTest, BackwardTreeIsDistanceToRoot) {
+  // Asymmetric graph: 0 -> 1 (10s), 1 -> 0 (99s).
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(0, 1, 10, 10);
+  builder.AddEdge(1, 0, 10, 99);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  Dijkstra dijkstra(*net);
+  auto bwd = dijkstra.BuildTree(1, net->travel_times(),
+                                SearchDirection::kBackward);
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_DOUBLE_EQ(bwd->dist[0], 10.0);  // cost 0 -> 1, not 1 -> 0
+  auto fwd = dijkstra.BuildTree(1, net->travel_times(),
+                                SearchDirection::kForward);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_DOUBLE_EQ(fwd->dist[0], 99.0);
+}
+
+TEST(ShortestPathTreeTest, PathToReconstructsCorrectEndpointsAndCost) {
+  auto net = testutil::GridNetwork(5, 5);
+  const auto weights = testutil::Weights(*net);
+  Dijkstra dijkstra(*net);
+  auto fwd = dijkstra.BuildTree(0, weights, SearchDirection::kForward);
+  ASSERT_TRUE(fwd.ok());
+  auto edges_or = fwd->PathTo(*net, 24);
+  ASSERT_TRUE(edges_or.ok());
+  double cost = 0.0;
+  NodeId cur = 0;
+  for (EdgeId e : *edges_or) {
+    EXPECT_EQ(net->tail(e), cur);
+    cur = net->head(e);
+    cost += weights[e];
+  }
+  EXPECT_EQ(cur, 24u);
+  EXPECT_NEAR(cost, fwd->dist[24], 1e-9);
+
+  auto bwd = dijkstra.BuildTree(24, weights, SearchDirection::kBackward);
+  ASSERT_TRUE(bwd.ok());
+  auto bedges_or = bwd->PathTo(*net, 0);
+  ASSERT_TRUE(bedges_or.ok());
+  cur = 0;
+  for (EdgeId e : *bedges_or) {
+    EXPECT_EQ(net->tail(e), cur);
+    cur = net->head(e);
+  }
+  EXPECT_EQ(cur, 24u);
+}
+
+TEST(ShortestPathTreeTest, MaxCostPrunesDistantNodes) {
+  auto net = testutil::LineNetwork(100, 60.0);
+  Dijkstra dijkstra(*net);
+  auto tree = dijkstra.BuildTree(0, net->travel_times(),
+                                 SearchDirection::kForward, 5 * 60.0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Reached(5));
+  EXPECT_FALSE(tree->Reached(99));
+}
+
+TEST(ShortestPathTreeTest, PathToUnreachedIsNotFound) {
+  auto net = testutil::LineNetwork(10);
+  Dijkstra dijkstra(*net);
+  auto tree = dijkstra.BuildTree(0, net->travel_times(),
+                                 SearchDirection::kForward, 60.0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->PathTo(*net, 9).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace altroute

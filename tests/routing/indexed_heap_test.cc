@@ -1,0 +1,105 @@
+#include "routing/indexed_heap.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace altroute {
+namespace {
+
+TEST(IndexedHeapTest, EmptyBehaviour) {
+  IndexedHeap<double> heap(10);
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+  EXPECT_FALSE(heap.Contains(3));
+}
+
+TEST(IndexedHeapTest, PushPopSingle) {
+  IndexedHeap<double> heap(4);
+  EXPECT_TRUE(heap.PushOrDecrease(2, 5.0));
+  EXPECT_TRUE(heap.Contains(2));
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(2), 5.0);
+  const auto [id, p] = heap.PopMin();
+  EXPECT_EQ(id, 2u);
+  EXPECT_DOUBLE_EQ(p, 5.0);
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Contains(2));
+}
+
+TEST(IndexedHeapTest, PopsInPriorityOrder) {
+  IndexedHeap<int> heap(8);
+  const int priorities[] = {5, 1, 7, 3, 0, 6, 2, 4};
+  for (uint32_t i = 0; i < 8; ++i) heap.PushOrDecrease(i, priorities[i]);
+  int prev = -1;
+  while (!heap.Empty()) {
+    const auto [id, p] = heap.PopMin();
+    (void)id;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(IndexedHeapTest, DecreaseKeyMovesElementUp) {
+  IndexedHeap<double> heap(4);
+  heap.PushOrDecrease(0, 10.0);
+  heap.PushOrDecrease(1, 20.0);
+  EXPECT_TRUE(heap.PushOrDecrease(1, 5.0));  // decrease
+  EXPECT_EQ(heap.PopMin().first, 1u);
+}
+
+TEST(IndexedHeapTest, IncreaseIsIgnored) {
+  IndexedHeap<double> heap(4);
+  heap.PushOrDecrease(0, 5.0);
+  EXPECT_FALSE(heap.PushOrDecrease(0, 50.0));
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(0), 5.0);
+}
+
+TEST(IndexedHeapTest, ClearRetainsCapacity) {
+  IndexedHeap<double> heap(4);
+  heap.PushOrDecrease(0, 1.0);
+  heap.PushOrDecrease(1, 2.0);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_FALSE(heap.Contains(0));
+  EXPECT_EQ(heap.Capacity(), 4u);
+  heap.PushOrDecrease(0, 3.0);
+  EXPECT_EQ(heap.PopMin().first, 0u);
+}
+
+class IndexedHeapFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexedHeapFuzzTest, MatchesStdPriorityQueueSemantics) {
+  Rng rng(GetParam());
+  const uint32_t n = 500;
+  IndexedHeap<double> heap(n);
+  std::vector<double> best(n, -1.0);  // current priority, -1 = absent
+
+  for (int op = 0; op < 5000; ++op) {
+    if (rng.NextDouble() < 0.7) {
+      const auto id = static_cast<uint32_t>(rng.NextUint64(n));
+      const double p = rng.Uniform(0.0, 1000.0);
+      heap.PushOrDecrease(id, p);
+      if (best[id] < 0.0 || p < best[id]) best[id] = p;
+    } else if (!heap.Empty()) {
+      const auto [id, p] = heap.PopMin();
+      EXPECT_DOUBLE_EQ(p, best[id]);
+      // Must be the global minimum of all present entries.
+      for (uint32_t i = 0; i < n; ++i) {
+        if (best[i] >= 0.0) {
+          EXPECT_LE(p, best[i]);
+        }
+      }
+      best[id] = -1.0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapFuzzTest,
+                         ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace altroute

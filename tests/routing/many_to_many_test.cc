@@ -1,0 +1,108 @@
+#include "routing/many_to_many.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+std::shared_ptr<const ContractionHierarchy> Ch(
+    const std::shared_ptr<RoadNetwork>& net) {
+  auto ch = ContractionHierarchy::Build(net, net->travel_times());
+  ALTROUTE_CHECK(ch.ok());
+  return std::move(ch).ValueOrDie();
+}
+
+TEST(ManyToManyTest, MatchesDijkstraOnGrid) {
+  auto net = testutil::GridNetwork(7, 7);
+  ManyToMany m2m(Ch(net));
+  Dijkstra dijkstra(*net);
+  const std::vector<NodeId> sources = {0, 10, 24, 48};
+  const std::vector<NodeId> targets = {3, 17, 33, 45, 48};
+  auto table = m2m.Table(sources, targets);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_EQ((*table)[i].size(), targets.size());
+    for (size_t j = 0; j < targets.size(); ++j) {
+      auto sp = dijkstra.ShortestPath(sources[i], targets[j],
+                                      net->travel_times());
+      ASSERT_TRUE(sp.ok());
+      EXPECT_NEAR((*table)[i][j], sp->cost, 1e-6)
+          << sources[i] << " -> " << targets[j];
+    }
+  }
+}
+
+TEST(ManyToManyTest, DiagonalIsZero) {
+  auto net = testutil::GridNetwork(4, 4);
+  ManyToMany m2m(Ch(net));
+  const std::vector<NodeId> nodes = {1, 5, 9};
+  auto table = m2m.Table(nodes, nodes);
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*table)[i][i], 0.0);
+  }
+}
+
+TEST(ManyToManyTest, UnreachablePairsAreInfinite) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0, 0.02));
+  builder.AddEdge(0, 1, 10, 5);
+  builder.AddEdge(1, 2, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  ManyToMany m2m(Ch(net));
+  const std::vector<NodeId> all = {0, 1, 2};
+  auto table = m2m.Table(all, all);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ((*table)[0][2], 10.0);
+  EXPECT_EQ((*table)[2][0], kInfCost);  // one-way chain
+}
+
+TEST(ManyToManyTest, RepeatedCallsAreClean) {
+  // Buckets must be cleared between calls or stale entries corrupt results.
+  auto net = testutil::RandomConnectedNetwork(13, 90, 120);
+  ManyToMany m2m(Ch(net));
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<NodeId> sources, targets;
+    for (int i = 0; i < 5; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.NextUint64(net->num_nodes())));
+      targets.push_back(static_cast<NodeId>(rng.NextUint64(net->num_nodes())));
+    }
+    auto table = m2m.Table(sources, targets);
+    ASSERT_TRUE(table.ok());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      for (size_t j = 0; j < targets.size(); ++j) {
+        auto sp = dijkstra.ShortestPath(sources[i], targets[j],
+                                        net->travel_times());
+        ASSERT_TRUE(sp.ok());
+        EXPECT_NEAR((*table)[i][j], sp->cost, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(ManyToManyTest, EmptyInputsYieldEmptyTable) {
+  auto net = testutil::LineNetwork(4);
+  ManyToMany m2m(Ch(net));
+  auto table = m2m.Table({}, {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->empty());
+}
+
+TEST(ManyToManyTest, OutOfRangeRejected) {
+  auto net = testutil::LineNetwork(4);
+  ManyToMany m2m(Ch(net));
+  const std::vector<NodeId> bad = {99};
+  const std::vector<NodeId> ok = {0};
+  EXPECT_TRUE(m2m.Table(bad, ok).status().IsInvalidArgument());
+  EXPECT_TRUE(m2m.Table(ok, bad).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace altroute

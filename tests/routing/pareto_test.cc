@@ -1,0 +1,146 @@
+#include "routing/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+/// Two-corridor graph: a fast-but-long route and a slow-but-short route.
+///   0 -> 1 -> 3   time 10+10=20, dist 500+500=1000
+///   0 -> 2 -> 3   time 30+30=60, dist 100+100=200
+std::shared_ptr<RoadNetwork> Tradeoff() {
+  GraphBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.AddNode(LatLng(0, i * 0.01));
+  builder.AddEdge(0, 1, 500, 10);
+  builder.AddEdge(1, 3, 500, 10);
+  builder.AddEdge(0, 2, 100, 30);
+  builder.AddEdge(2, 3, 100, 30);
+  // A route dominated in both criteria.
+  builder.AddEdge(0, 3, 2000, 100);
+  auto net = builder.Build();
+  return std::move(net).ValueOrDie();
+}
+
+std::vector<double> Lengths(const RoadNetwork& net) {
+  return {net.lengths().begin(), net.lengths().end()};
+}
+
+TEST(ParetoTest, FindsBothTradeoffsAndDropsDominated) {
+  auto net = Tradeoff();
+  BiCriteriaSearch search(*net);
+  auto paths =
+      search.ParetoPaths(0, 3, testutil::Weights(*net), Lengths(*net));
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 2u);
+  // Ordered by cost1 (time): fast/long first.
+  EXPECT_DOUBLE_EQ((*paths)[0].cost1, 20.0);
+  EXPECT_DOUBLE_EQ((*paths)[0].cost2, 1000.0);
+  EXPECT_DOUBLE_EQ((*paths)[1].cost1, 60.0);
+  EXPECT_DOUBLE_EQ((*paths)[1].cost2, 200.0);
+}
+
+TEST(ParetoTest, PathsAreReconstructedCorrectly) {
+  auto net = Tradeoff();
+  BiCriteriaSearch search(*net);
+  auto paths =
+      search.ParetoPaths(0, 3, testutil::Weights(*net), Lengths(*net));
+  ASSERT_TRUE(paths.ok());
+  for (const ParetoPath& p : *paths) {
+    NodeId cur = 0;
+    double c1 = 0, c2 = 0;
+    for (EdgeId e : p.edges) {
+      EXPECT_EQ(net->tail(e), cur);
+      cur = net->head(e);
+      c1 += net->travel_time_s(e);
+      c2 += net->length_m(e);
+    }
+    EXPECT_EQ(cur, 3u);
+    EXPECT_NEAR(c1, p.cost1, 1e-9);
+    EXPECT_NEAR(c2, p.cost2, 1e-9);
+  }
+}
+
+TEST(ParetoTest, SingleCriterionReducesToShortestPath) {
+  // When weights2 == weights1 the front collapses to the shortest path.
+  auto net = testutil::GridNetwork(5, 5);
+  const auto w = testutil::Weights(*net);
+  BiCriteriaSearch search(*net);
+  auto paths = search.ParetoPaths(0, 24, w, w);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 1u);
+  Dijkstra dijkstra(*net);
+  auto sp = dijkstra.ShortestPath(0, 24, w);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_DOUBLE_EQ((*paths)[0].cost1, sp->cost);
+}
+
+TEST(ParetoTest, FrontIsMutuallyNondominated) {
+  auto net = testutil::RandomConnectedNetwork(19, 120, 160);
+  const auto w = testutil::Weights(*net);
+  std::vector<double> lengths = Lengths(*net);
+  BiCriteriaSearch search(*net);
+  auto paths = search.ParetoPaths(0, 60, w, lengths);
+  ASSERT_TRUE(paths.ok());
+  for (size_t i = 0; i < paths->size(); ++i) {
+    for (size_t j = 0; j < paths->size(); ++j) {
+      if (i == j) continue;
+      const bool dominates = (*paths)[i].cost1 <= (*paths)[j].cost1 &&
+                             (*paths)[i].cost2 <= (*paths)[j].cost2;
+      EXPECT_FALSE(dominates) << i << " dominates " << j;
+    }
+  }
+  // Sorted by cost1 ascending implies cost2 strictly descending.
+  for (size_t i = 1; i < paths->size(); ++i) {
+    EXPECT_GT((*paths)[i].cost1, (*paths)[i - 1].cost1);
+    EXPECT_LT((*paths)[i].cost2, (*paths)[i - 1].cost2);
+  }
+}
+
+TEST(ParetoTest, FirstFrontEntryIsTheTimeOptimalPath) {
+  auto net = testutil::RandomConnectedNetwork(23, 100, 140);
+  const auto w = testutil::Weights(*net);
+  BiCriteriaSearch search(*net);
+  Dijkstra dijkstra(*net);
+  for (NodeId t : {5u, 40u, 77u}) {
+    auto paths = search.ParetoPaths(0, t, w, Lengths(*net));
+    auto sp = dijkstra.ShortestPath(0, t, w);
+    ASSERT_EQ(paths.ok(), sp.ok());
+    if (!paths.ok()) continue;
+    EXPECT_NEAR(paths->front().cost1, sp->cost, 1e-9);
+  }
+}
+
+TEST(ParetoTest, UnreachableIsNotFound) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddEdge(1, 0, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  BiCriteriaSearch search(*net);
+  EXPECT_TRUE(search
+                  .ParetoPaths(0, 1, testutil::Weights(*net), Lengths(*net))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ParetoTest, LabelCapBoundsFrontSize) {
+  auto net = testutil::GridNetwork(8, 8);
+  const auto w = testutil::Weights(*net);
+  // Perturbed second criterion so the true front is large.
+  std::vector<double> second = Lengths(*net);
+  for (size_t i = 0; i < second.size(); ++i) {
+    second[i] *= 1.0 + 0.3 * ((i * 2654435761u) % 97) / 97.0;
+  }
+  BiCriteriaOptions options;
+  options.max_labels_per_node = 4;
+  BiCriteriaSearch search(*net);
+  auto paths = search.ParetoPaths(0, 63, w, second, options);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_LE(paths->size(), 4u);
+  EXPECT_GE(paths->size(), 1u);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,92 @@
+#include "routing/phast.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace altroute {
+namespace {
+
+std::shared_ptr<const ContractionHierarchy> Ch(
+    const std::shared_ptr<RoadNetwork>& net) {
+  auto ch = ContractionHierarchy::Build(net, net->travel_times());
+  ALTROUTE_CHECK(ch.ok());
+  return std::move(ch).ValueOrDie();
+}
+
+TEST(PhastTest, MatchesDijkstraTreeOnGrid) {
+  auto net = testutil::GridNetwork(8, 8);
+  Phast phast(Ch(net));
+  Dijkstra dijkstra(*net);
+  for (NodeId source : {0u, 27u, 63u}) {
+    auto got = phast.Distances(source);
+    ASSERT_TRUE(got.ok());
+    auto tree = dijkstra.BuildTree(source, net->travel_times(),
+                                   SearchDirection::kForward);
+    ASSERT_TRUE(tree.ok());
+    for (NodeId v = 0; v < net->num_nodes(); ++v) {
+      EXPECT_NEAR((*got)[v], tree->dist[v], 1e-6) << "source " << source
+                                                  << " node " << v;
+    }
+  }
+}
+
+class PhastOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PhastOracleTest, MatchesDijkstraOnRandomGraphs) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 150, 200);
+  Phast phast(Ch(net));
+  Dijkstra dijkstra(*net);
+  Rng rng(GetParam() + 4000);
+  for (int q = 0; q < 5; ++q) {
+    const auto source = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto got = phast.Distances(source);
+    ASSERT_TRUE(got.ok());
+    auto tree = dijkstra.BuildTree(source, net->travel_times(),
+                                   SearchDirection::kForward);
+    ASSERT_TRUE(tree.ok());
+    for (NodeId v = 0; v < net->num_nodes(); ++v) {
+      EXPECT_NEAR((*got)[v], tree->dist[v], 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhastOracleTest,
+                         ::testing::Values(111, 112, 113));
+
+TEST(PhastTest, HandlesUnreachableNodes) {
+  // One-way pair: from node 0, node 1 is reachable but not vice versa.
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0, 0.02));
+  builder.AddEdge(0, 1, 10, 5);
+  builder.AddEdge(1, 2, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  Phast phast(Ch(net));
+  auto from2 = phast.Distances(2);
+  ASSERT_TRUE(from2.ok());
+  EXPECT_DOUBLE_EQ((*from2)[2], 0.0);
+  EXPECT_EQ((*from2)[0], kInfCost);
+  EXPECT_EQ((*from2)[1], kInfCost);
+}
+
+TEST(PhastTest, RepeatedQueriesAreIndependent) {
+  auto net = testutil::GridNetwork(6, 6);
+  Phast phast(Ch(net));
+  auto first = phast.Distances(0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(phast.Distances(35).ok());
+  auto again = phast.Distances(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*first, *again);
+}
+
+TEST(PhastTest, RejectsOutOfRangeSource) {
+  auto net = testutil::LineNetwork(4);
+  Phast phast(Ch(net));
+  EXPECT_TRUE(phast.Distances(99).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,108 @@
+#include "server/directions.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+Path PathThrough(const RoadNetwork& net, const std::vector<NodeId>& nodes) {
+  std::vector<EdgeId> edges;
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    edges.push_back(net.FindEdge(nodes[i], nodes[i + 1]));
+  }
+  auto p = MakePath(net, nodes.front(), nodes.back(), std::move(edges),
+                    net.travel_times());
+  ALTROUTE_CHECK(p.ok());
+  return std::move(p).ValueOrDie();
+}
+
+TEST(SignedTurnTest, DirectionsAndMagnitudes) {
+  const LatLng a(0, 0), b(0, 0.01);
+  // East then north = left turn (negative).
+  EXPECT_NEAR(SignedTurnDegrees(a, b, LatLng(0.01, 0.01)), -90.0, 0.5);
+  // East then south = right turn (positive).
+  EXPECT_NEAR(SignedTurnDegrees(a, b, LatLng(-0.01, 0.01)), 90.0, 0.5);
+  // Straight.
+  EXPECT_NEAR(SignedTurnDegrees(a, b, LatLng(0, 0.02)), 0.0, 1e-6);
+  // Reverse.
+  EXPECT_NEAR(std::fabs(SignedTurnDegrees(a, b, a)), 180.0, 1e-6);
+}
+
+TEST(DirectionsTest, EmptyPathArrivesImmediately) {
+  auto net = testutil::LineNetwork(3);
+  Path empty;
+  empty.source = empty.target = 1;
+  const auto steps = BuildDirections(*net, empty);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].maneuver, ManeuverType::kArrive);
+}
+
+TEST(DirectionsTest, StraightLineIsDepartThenArrive) {
+  auto net = testutil::LineNetwork(6, 60.0, 500.0);
+  const Path p = PathThrough(*net, {0, 1, 2, 3, 4, 5});
+  const auto steps = BuildDirections(*net, p);
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].maneuver, ManeuverType::kDepart);
+  EXPECT_NEAR(steps[0].distance_m, 2500.0, 1e-6);
+  EXPECT_EQ(steps[1].maneuver, ManeuverType::kArrive);
+  EXPECT_NE(steps[1].text.find("arrive at destination"), std::string::npos);
+}
+
+TEST(DirectionsTest, GridCornerProducesOneTurn) {
+  auto net = testutil::GridNetwork(3, 3, 60.0, 500.0);
+  // East along the bottom row, then north: 0 -> 1 -> 2 -> 5 -> 8.
+  const Path p = PathThrough(*net, {0, 1, 2, 5, 8});
+  const auto steps = BuildDirections(*net, p);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].maneuver, ManeuverType::kDepart);
+  // Grid rows go east, columns go north (increasing lat): east -> north is
+  // a left turn.
+  EXPECT_EQ(steps[1].maneuver, ManeuverType::kLeft);
+  EXPECT_EQ(steps[2].maneuver, ManeuverType::kArrive);
+}
+
+TEST(DirectionsTest, LegDistancesSumToPathLength) {
+  auto net = testutil::GridNetwork(5, 5, 60.0, 400.0);
+  const Path p = PathThrough(*net, {0, 1, 6, 7, 12, 13, 18, 19, 24});
+  const auto steps = BuildDirections(*net, p);
+  double total = 0.0;
+  for (const DirectionStep& s : steps) total += s.distance_m;
+  EXPECT_NEAR(total, p.length_m, 1e-6);
+}
+
+TEST(DirectionsTest, RoadClassChangeAnnouncesContinue) {
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0, 0.02));
+  builder.AddEdge(0, 1, 1000, 60, RoadClass::kPrimary);
+  builder.AddEdge(1, 2, 1000, 90, RoadClass::kResidential);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const Path p = PathThrough(*net, {0, 1, 2});
+  const auto steps = BuildDirections(*net, p);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].road_class, RoadClass::kPrimary);
+  EXPECT_EQ(steps[1].maneuver, ManeuverType::kContinue);
+  EXPECT_EQ(steps[1].road_class, RoadClass::kResidential);
+  EXPECT_NE(steps[1].text.find("continue on residential"), std::string::npos);
+}
+
+TEST(DirectionsTest, ManeuverNamesAreStable) {
+  EXPECT_EQ(ManeuverName(ManeuverType::kLeft), "left");
+  EXPECT_EQ(ManeuverName(ManeuverType::kSlightRight), "slight_right");
+  EXPECT_EQ(ManeuverName(ManeuverType::kUTurn), "u_turn");
+}
+
+TEST(DirectionsTest, TextIncludesHumanDistances) {
+  auto net = testutil::LineNetwork(3, 60.0, 700.0);
+  const Path p = PathThrough(*net, {0, 1, 2});
+  const auto steps = BuildDirections(*net, p);
+  // 1400 m formats as km.
+  EXPECT_NE(steps[0].text.find("1.4 km"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altroute

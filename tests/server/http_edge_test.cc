@@ -1,0 +1,132 @@
+// Robustness of the HTTP server against malformed and hostile input,
+// exercised through raw sockets.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/http_server.h"
+
+namespace altroute {
+namespace {
+
+class RawClient {
+ public:
+  explicit RawClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& bytes) {
+    ::send(fd_, bytes.data(), bytes.size(), 0);
+    ::shutdown(fd_, SHUT_WR);
+  }
+
+  std::string ReadAll() {
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd_, buf, sizeof(buf), 0)) > 0) {
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class HttpEdgeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    server_ = new HttpServer();
+    server_->Route("/ok", [](const HttpRequest& req) {
+      HttpResponse r;
+      r.body = "{\"method\":\"" + req.method + "\",\"body_len\":" +
+               std::to_string(req.body.size()) + "}";
+      return r;
+    });
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+  static void TearDownTestSuite() {
+    server_->Stop();
+    delete server_;
+  }
+  static HttpServer* server_;
+};
+
+HttpServer* HttpEdgeFixture::server_ = nullptr;
+
+TEST_F(HttpEdgeFixture, GarbageBytesDoNotCrashTheServer) {
+  {
+    RawClient client(server_->port());
+    ASSERT_TRUE(client.connected());
+    client.Send("\x00\x01\x02 utter garbage without any structure");
+    client.ReadAll();  // server may close silently
+  }
+  // Server still alive and serving.
+  RawClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("GET /ok HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(client.ReadAll().find("200"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, MissingHttpVersionStillParses) {
+  RawClient client(server_->port());
+  client.Send("GET /ok\r\n\r\n");
+  // Request line has only two tokens; the server accepts method + target.
+  EXPECT_NE(client.ReadAll().find("200"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, EmptyRequestClosesQuietly) {
+  RawClient client(server_->port());
+  client.Send("");
+  EXPECT_TRUE(client.ReadAll().empty());
+}
+
+TEST_F(HttpEdgeFixture, PostBodyRespectsContentLength) {
+  RawClient client(server_->port());
+  client.Send(
+      "POST /ok HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello");
+  const std::string response = client.ReadAll();
+  EXPECT_NE(response.find("\"method\":\"POST\""), std::string::npos);
+  EXPECT_NE(response.find("\"body_len\":5"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, AbsurdContentLengthIsClamped) {
+  RawClient client(server_->port());
+  client.Send("POST /ok HTTP/1.1\r\nHost: x\r\nContent-Length: "
+              "99999999999\r\n\r\nshort");
+  // Out-of-bounds length is treated as 0; the request still completes.
+  EXPECT_NE(client.ReadAll().find("200"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, HeadersAreCaseInsensitive) {
+  RawClient client(server_->port());
+  client.Send("POST /ok HTTP/1.1\r\nhOsT: x\r\ncOnTeNt-LeNgTh: 3\r\n\r\nabc");
+  EXPECT_NE(client.ReadAll().find("\"body_len\":3"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, PercentEncodedPathRoutes) {
+  RawClient client(server_->port());
+  client.Send("GET /%6fk HTTP/1.1\r\nHost: x\r\n\r\n");  // "/ok"
+  EXPECT_NE(client.ReadAll().find("200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,200 @@
+// Integration tests: a real HttpServer + DemoService on an ephemeral port,
+// exercised through actual loopback sockets — the full web-demo flow of
+// paper Figs. 2-3 (query -> masked routes -> rating form -> stats).
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "server/demo_service.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+std::string HttpGet(uint16_t port, const std::string& target,
+                    std::string* status_line = nullptr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: localhost\r\nConnection: "
+                          "close\r\n\r\n";
+  ::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (status_line != nullptr) {
+    *status_line = out.substr(0, out.find("\r\n"));
+  }
+  const size_t body = out.find("\r\n\r\n");
+  return body == std::string::npos ? out : out.substr(body + 4);
+}
+
+class DemoServerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto net = testutil::GridNetwork(6, 6, 60.0, 500.0);
+    net_coord_origin_ = net->coord(0);
+    net_coord_far_ = net->coord(static_cast<NodeId>(net->num_nodes() - 1));
+    auto suite = EngineSuite::MakePaperSuite(net);
+    ALTROUTE_CHECK(suite.ok());
+    service_ = new DemoService(
+        std::make_unique<QueryProcessor>(std::move(suite).ValueOrDie()));
+    server_ = new HttpServer();
+    service_->Install(server_);
+    ALTROUTE_CHECK(server_->Start(0).ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Stop();
+    delete server_;
+    delete service_;
+  }
+
+  static DemoService* service_;
+  static HttpServer* server_;
+  static LatLng net_coord_origin_;
+  static LatLng net_coord_far_;
+};
+
+DemoService* DemoServerFixture::service_ = nullptr;
+HttpServer* DemoServerFixture::server_ = nullptr;
+LatLng DemoServerFixture::net_coord_origin_;
+LatLng DemoServerFixture::net_coord_far_;
+
+TEST_F(DemoServerFixture, ServesLandingPage) {
+  std::string status;
+  const std::string body = HttpGet(server_->port(), "/", &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("Alternative Route Planning"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, RouteEndpointReturnsMaskedApproaches) {
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  std::string status;
+  const std::string body = HttpGet(server_->port(), target, &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"label\":\"A\""), std::string::npos);
+  EXPECT_NE(body.find("\"label\":\"B\""), std::string::npos);
+  EXPECT_NE(body.find("\"label\":\"C\""), std::string::npos);
+  EXPECT_NE(body.find("\"label\":\"D\""), std::string::npos);
+  // Masking: approach names must never leak to the client.
+  EXPECT_EQ(body.find("Plateaus"), std::string::npos);
+  EXPECT_EQ(body.find("Google"), std::string::npos);
+  EXPECT_EQ(body.find("Penalty"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, DirectionsEndpointReturnsSteps) {
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/directions?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f&label=B",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  std::string status;
+  const std::string body = HttpGet(server_->port(), target, &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"steps\":["), std::string::npos);
+  EXPECT_NE(body.find("\"maneuver\":\"depart\""), std::string::npos);
+  EXPECT_NE(body.find("\"maneuver\":\"arrive\""), std::string::npos);
+  EXPECT_NE(body.find("arrive at destination"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, DirectionsEndpointValidatesLabel) {
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/directions?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f&label=Z",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  std::string status;
+  HttpGet(server_->port(), target, &status);
+  EXPECT_NE(status.find("400"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, RouteEndpointValidatesParameters) {
+  std::string status;
+  HttpGet(server_->port(), "/route?slat=1.0", &status);
+  EXPECT_NE(status.find("400"), std::string::npos);
+  HttpGet(server_->port(), "/route?slat=x&slng=1&tlat=2&tlng=3", &status);
+  EXPECT_NE(status.find("400"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, RatingFlowStoresSubmissions) {
+  const size_t before = service_->ratings().size();
+  std::string status;
+  const std::string body = HttpGet(
+      server_->port(), "/rate?a=3&b=4&c=4&d=5&resident=1&comment=less+zigzag",
+      &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"stored\":true"), std::string::npos);
+  EXPECT_EQ(service_->ratings().size(), before + 1);
+  const auto all = service_->ratings().Snapshot();
+  EXPECT_EQ(all.back().comment, "less zigzag");
+  EXPECT_TRUE(all.back().melbourne_resident);
+}
+
+TEST_F(DemoServerFixture, RatingValidation) {
+  std::string status;
+  HttpGet(server_->port(), "/rate?a=9&b=4&c=4&d=5", &status);
+  EXPECT_NE(status.find("400"), std::string::npos);
+  HttpGet(server_->port(), "/rate?a=3&b=4&c=4", &status);
+  EXPECT_NE(status.find("400"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, StatsEndpointAggregates) {
+  ASSERT_TRUE(service_->ratings().Add({{5, 5, 5, 5}, true, ""}).ok());
+  const std::string body = HttpGet(server_->port(), "/stats");
+  EXPECT_NE(body.find("\"submissions\":"), std::string::npos);
+  EXPECT_NE(body.find("\"mean_ratings\":"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, UnknownPathIs404) {
+  std::string status;
+  const std::string body = HttpGet(server_->port(), "/nope", &status);
+  EXPECT_NE(status.find("404"), std::string::npos);
+  EXPECT_NE(body.find("error"), std::string::npos);
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.Route("/ping", [](const HttpRequest&) {
+    return HttpResponse::Json("{\"pong\":true}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const uint16_t port = server.port();
+  EXPECT_GT(port, 0);
+  EXPECT_NE(HttpGet(port, "/ping").find("pong"), std::string::npos);
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, DoubleStartFails) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.Start(0).IsFailedPrecondition());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace altroute

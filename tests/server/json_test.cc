@@ -1,0 +1,90 @@
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{}");
+  JsonWriter w2;
+  w2.BeginArray();
+  w2.EndArray();
+  EXPECT_EQ(w2.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("altroute");
+  w.Key("count").Int(3);
+  w.Key("ratio").Number(0.5);
+  w.Key("ok").Bool(true);
+  w.Key("missing").Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            R"({"name":"altroute","count":3,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("routes").BeginArray();
+  w.BeginObject();
+  w.Key("min").Int(12);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("min").Int(15);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), R"({"routes":[{"min":12},{"min":15}]})");
+}
+
+TEST(JsonWriterTest, ArrayCommaPlacement) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.Int(3);
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, StringValuesAreEscaped) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("comment").String("no route \"using\" Blackburn rd");
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            R"({"comment":"no route \"using\" Blackburn rd"})");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[null,null]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter w;
+  w.Int(42);
+  EXPECT_EQ(w.TakeString(), "42");
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,155 @@
+#include "server/query_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "geo/polyline.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+class QueryProcessorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto net = testutil::GridNetwork(8, 8, 60.0, 500.0);
+    auto suite = EngineSuite::MakePaperSuite(net);
+    ALTROUTE_CHECK(suite.ok());
+    processor_ = new QueryProcessor(std::move(suite).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete processor_;
+    processor_ = nullptr;
+  }
+
+  static QueryProcessor* processor_;
+};
+
+QueryProcessor* QueryProcessorFixture::processor_ = nullptr;
+
+TEST_F(QueryProcessorFixture, SnapsAndReturnsFourMaskedApproaches) {
+  const RoadNetwork& net = processor_->network();
+  // Click slightly off two opposite corners.
+  const LatLng src(net.coord(0).lat + 0.0005, net.coord(0).lng - 0.0005);
+  const NodeId far_node = static_cast<NodeId>(net.num_nodes() - 1);
+  const LatLng dst(net.coord(far_node).lat, net.coord(far_node).lng + 0.0008);
+
+  auto response = processor_->Process(src, dst);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->snapped_source, 0u);
+  EXPECT_EQ(response->snapped_target, far_node);
+  EXPECT_LT(response->snap_distance_source_m, 200.0);
+  ASSERT_EQ(response->approaches.size(), 4u);
+  EXPECT_EQ(response->approaches[0].label, 'A');
+  EXPECT_EQ(response->approaches[3].label, 'D');
+  for (const auto& approach : response->approaches) {
+    EXPECT_GE(approach.routes.size(), 1u);
+    EXPECT_LE(approach.routes.size(), 3u);
+    for (const auto& route : approach.routes) {
+      EXPECT_GT(route.travel_time_min, 0);
+      EXPECT_GT(route.length_km, 0.0);
+      // The polyline must decode to a valid coordinate sequence.
+      auto coords = DecodePolyline(route.polyline);
+      ASSERT_TRUE(coords.ok());
+      EXPECT_GE(coords->size(), 2u);
+    }
+  }
+}
+
+TEST_F(QueryProcessorFixture, DisplayedMinutesUseOsmDataForAllApproaches) {
+  const RoadNetwork& net = processor_->network();
+  auto response =
+      processor_->Process(net.coord(0), net.coord(static_cast<NodeId>(
+                                            net.num_nodes() - 1)));
+  ASSERT_TRUE(response.ok());
+  // All approaches' fastest displayed route must show (roughly) the same
+  // number of minutes: they are measured on the same OSM data (Sec. 3).
+  int best_min = 1 << 30;
+  int best_max = 0;
+  for (const auto& approach : response->approaches) {
+    int fastest = 1 << 30;
+    for (const auto& r : approach.routes) {
+      fastest = std::min(fastest, r.travel_time_min);
+    }
+    best_min = std::min(best_min, fastest);
+    best_max = std::max(best_max, fastest);
+  }
+  EXPECT_LE(best_max - best_min, 3);
+}
+
+TEST_F(QueryProcessorFixture, RejectsFarAwayClicks) {
+  auto response = processor_->Process(LatLng(45.0, 9.0), LatLng(45.1, 9.1));
+  EXPECT_TRUE(response.status().IsInvalidArgument());
+}
+
+TEST_F(QueryProcessorFixture, RejectsInvalidCoordinates) {
+  EXPECT_TRUE(processor_->Process(LatLng(91.0, 0.0), LatLng(0, 0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryProcessorFixture, RejectsSameSnapVertex) {
+  const RoadNetwork& net = processor_->network();
+  const LatLng p = net.coord(5);
+  auto response = processor_->Process(
+      p, LatLng(p.lat + 1e-6, p.lng + 1e-6));  // snaps to the same vertex
+  EXPECT_TRUE(response.status().IsInvalidArgument());
+}
+
+TEST_F(QueryProcessorFixture, GenerateForReturnsRawRoutes) {
+  const RoadNetwork& net = processor_->network();
+  auto set = processor_->GenerateFor(
+      net.coord(0), net.coord(static_cast<NodeId>(net.num_nodes() - 1)),
+      Approach::kPlateaus);
+  ASSERT_TRUE(set.ok()) << set.status();
+  ASSERT_FALSE(set->routes.empty());
+  EXPECT_EQ(set->routes[0].source, 0u);
+  EXPECT_EQ(set->routes[0].target, net.num_nodes() - 1);
+  // Same snapping rules as Process().
+  EXPECT_TRUE(processor_->GenerateFor(LatLng(45, 9), LatLng(45.1, 9.1),
+                                      Approach::kPenalty)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryProcessorFixture, PolylineSimplificationShrinksGeometry) {
+  const RoadNetwork& net = processor_->network();
+  const LatLng a = net.coord(0);
+  const LatLng b = net.coord(static_cast<NodeId>(net.num_nodes() - 1));
+  auto exact = processor_->Process(a, b);
+  ASSERT_TRUE(exact.ok());
+  processor_->set_polyline_tolerance_m(50.0);
+  auto simplified = processor_->Process(a, b);
+  processor_->set_polyline_tolerance_m(0.0);
+  ASSERT_TRUE(simplified.ok());
+  size_t exact_points = 0, simplified_points = 0;
+  for (size_t i = 0; i < exact->approaches.size(); ++i) {
+    for (size_t j = 0; j < exact->approaches[i].routes.size(); ++j) {
+      auto pe = DecodePolyline(exact->approaches[i].routes[j].polyline);
+      auto ps = DecodePolyline(simplified->approaches[i].routes[j].polyline);
+      ASSERT_TRUE(pe.ok());
+      ASSERT_TRUE(ps.ok());
+      exact_points += pe->size();
+      simplified_points += ps->size();
+    }
+  }
+  EXPECT_LT(simplified_points, exact_points);
+}
+
+TEST_F(QueryProcessorFixture, JsonSerialisationIsWellFormed) {
+  const RoadNetwork& net = processor_->network();
+  auto response = processor_->Process(
+      net.coord(1), net.coord(static_cast<NodeId>(net.num_nodes() - 2)));
+  ASSERT_TRUE(response.ok());
+  const std::string json = processor_->ToJson(*response);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"approaches\":["), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"A\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"D\""), std::string::npos);
+  EXPECT_NE(json.find("\"travel_time_min\":"), std::string::npos);
+  EXPECT_NE(json.find("\"polyline\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,81 @@
+#include "server/rating_store.h"
+
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+RatingSubmission Submission(int a, int b, int c, int d, bool resident = true,
+                            std::string comment = "") {
+  RatingSubmission s;
+  s.ratings = {a, b, c, d};
+  s.melbourne_resident = resident;
+  s.comment = std::move(comment);
+  return s;
+}
+
+TEST(RatingStoreTest, AddAndSnapshot) {
+  RatingStore store;
+  EXPECT_EQ(store.size(), 0u);
+  ASSERT_TRUE(store.Add(Submission(3, 4, 5, 2)).ok());
+  ASSERT_TRUE(store.Add(Submission(1, 1, 1, 1, false)).ok());
+  EXPECT_EQ(store.size(), 2u);
+  const auto all = store.Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].ratings[2], 5);
+  EXPECT_FALSE(all[1].melbourne_resident);
+}
+
+TEST(RatingStoreTest, RejectsOutOfRangeRatings) {
+  RatingStore store;
+  EXPECT_TRUE(store.Add(Submission(0, 3, 3, 3)).IsInvalidArgument());
+  EXPECT_TRUE(store.Add(Submission(3, 6, 3, 3)).IsInvalidArgument());
+  EXPECT_TRUE(store.Add(Submission(3, -1, 3, 3)).IsInvalidArgument());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(RatingStoreTest, MeanRatings) {
+  RatingStore store;
+  EXPECT_EQ(store.MeanRatings(), (std::array<double, 4>{0, 0, 0, 0}));
+  store.Add(Submission(2, 4, 3, 5)).ok();
+  store.Add(Submission(4, 2, 3, 1)).ok();
+  const auto means = store.MeanRatings();
+  EXPECT_DOUBLE_EQ(means[0], 3.0);
+  EXPECT_DOUBLE_EQ(means[1], 3.0);
+  EXPECT_DOUBLE_EQ(means[2], 3.0);
+  EXPECT_DOUBLE_EQ(means[3], 3.0);
+}
+
+TEST(RatingStoreTest, CsvExportEscapesQuotes) {
+  RatingStore store;
+  store.Add(Submission(3, 4, 4, 5, true, "less \"zig-zag\" is better")).ok();
+  std::ostringstream out;
+  ASSERT_TRUE(store.ExportCsv(out).ok());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("A,B,C,D,resident,comment"), std::string::npos);
+  EXPECT_NE(csv.find("3,4,4,5,1,\"less \"\"zig-zag\"\" is better\""),
+            std::string::npos);
+}
+
+TEST(RatingStoreTest, ConcurrentAddsAreAllRecorded) {
+  RatingStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&store] {
+      for (int j = 0; j < kPerThread; ++j) {
+        ASSERT_TRUE(store.Add(Submission(3, 3, 3, 3)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,60 @@
+#include "server/url.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(UrlDecodeTest, Basics) {
+  EXPECT_EQ(UrlDecode("hello"), "hello");
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%2C%2F%3F"), ",/?");
+  EXPECT_EQ(UrlDecode("caf%C3%A9"), "caf\xC3\xA9");
+}
+
+TEST(UrlDecodeTest, MalformedEscapesKeptLiteral) {
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("a%2"), "a%2");
+  EXPECT_EQ(UrlDecode("a%zzb"), "a%zzb");
+}
+
+TEST(ParseQueryStringTest, Basics) {
+  const auto q = ParseQueryString("slat=-37.8&slng=144.9&resident=1");
+  EXPECT_EQ(q.at("slat"), "-37.8");
+  EXPECT_EQ(q.at("slng"), "144.9");
+  EXPECT_EQ(q.at("resident"), "1");
+}
+
+TEST(ParseQueryStringTest, EmptyAndEdgeCases) {
+  EXPECT_TRUE(ParseQueryString("").empty());
+  const auto q = ParseQueryString("flag&x=1&&y=");
+  EXPECT_EQ(q.at("flag"), "");
+  EXPECT_EQ(q.at("x"), "1");
+  EXPECT_EQ(q.at("y"), "");
+}
+
+TEST(ParseQueryStringTest, DecodesComponents) {
+  const auto q = ParseQueryString("comment=no+route%20using%3DBlackburn");
+  EXPECT_EQ(q.at("comment"), "no route using=Blackburn");
+}
+
+TEST(ParseQueryStringTest, RepeatedKeysKeepLast) {
+  const auto q = ParseQueryString("a=1&a=2");
+  EXPECT_EQ(q.at("a"), "2");
+}
+
+TEST(SplitTargetTest, WithAndWithoutQuery) {
+  std::string path, query;
+  SplitTarget("/route?slat=1&slng=2", &path, &query);
+  EXPECT_EQ(path, "/route");
+  EXPECT_EQ(query, "slat=1&slng=2");
+  SplitTarget("/stats", &path, &query);
+  EXPECT_EQ(path, "/stats");
+  EXPECT_TRUE(query.empty());
+  SplitTarget("/a%20b?x=1", &path, &query);
+  EXPECT_EQ(path, "/a b");
+}
+
+}  // namespace
+}  // namespace altroute

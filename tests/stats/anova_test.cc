@@ -1,0 +1,109 @@
+#include "stats/anova.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace altroute {
+namespace {
+
+TEST(AnovaTest, RejectsDegenerateInputs) {
+  EXPECT_TRUE(OneWayAnova({}).status().IsInvalidArgument());
+  std::vector<std::vector<double>> one_group = {{1, 2, 3}};
+  EXPECT_TRUE(OneWayAnova(one_group).status().IsInvalidArgument());
+  std::vector<std::vector<double>> with_empty = {{1, 2}, {}};
+  EXPECT_TRUE(OneWayAnova(with_empty).status().IsInvalidArgument());
+  std::vector<std::vector<double>> too_few = {{1}, {2}};
+  EXPECT_TRUE(OneWayAnova(too_few).status().IsInvalidArgument());
+}
+
+TEST(AnovaTest, TextbookExample) {
+  // Classic worked example: three treatments.
+  //   A = {6, 8, 4, 5, 3, 4}, B = {8, 12, 9, 11, 6, 8}, C = {13, 9, 11, 8, 7, 12}
+  // Grand mean = 8, SSB = 84, SSW = 68, F = (84/2) / (68/15) = 9.2647.
+  std::vector<std::vector<double>> groups = {{6, 8, 4, 5, 3, 4},
+                                             {8, 12, 9, 11, 6, 8},
+                                             {13, 9, 11, 8, 7, 12}};
+  auto r = OneWayAnova(groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->ss_between, 84.0, 1e-9);
+  EXPECT_NEAR(r->ss_within, 68.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r->df_between, 2.0);
+  EXPECT_DOUBLE_EQ(r->df_within, 15.0);
+  EXPECT_NEAR(r->f_statistic, 9.2647, 1e-3);
+  // R: pf(9.2647, 2, 15, lower.tail=FALSE) = 0.00239.
+  EXPECT_NEAR(r->p_value, 0.00239, 1e-4);
+  EXPECT_TRUE(r->SignificantAt(0.05));
+}
+
+TEST(AnovaTest, IdenticalGroupsGiveFZero) {
+  std::vector<std::vector<double>> groups = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  auto r = OneWayAnova(groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->f_statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-9);
+  EXPECT_FALSE(r->SignificantAt(0.05));
+}
+
+TEST(AnovaTest, ConstantGroupsWithDifferentMeans) {
+  // Zero within-group variance and different means: p must be 0.
+  std::vector<std::vector<double>> groups = {{2, 2}, {5, 5}};
+  auto r = OneWayAnova(groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->p_value, 0.0);
+}
+
+TEST(AnovaTest, ConstantIdenticalGroups) {
+  std::vector<std::vector<double>> groups = {{3, 3}, {3, 3}};
+  auto r = OneWayAnova(groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->p_value, 1.0);
+}
+
+TEST(AnovaTest, NullDistributionIsRoughlyUniform) {
+  // Under H0, p-values should be approximately uniform: check the rejection
+  // rate at alpha = 0.05 over many simulated experiments.
+  Rng rng(99);
+  int rejections = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::vector<double>> groups(4);
+    for (auto& g : groups) {
+      for (int i = 0; i < 30; ++i) g.push_back(rng.Gaussian(3.5, 1.2));
+    }
+    auto r = OneWayAnova(groups);
+    ASSERT_TRUE(r.ok());
+    if (r->SignificantAt(0.05)) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.11);
+}
+
+TEST(AnovaTest, DetectsARealEffect) {
+  Rng rng(123);
+  std::vector<std::vector<double>> groups(3);
+  const double means[] = {3.0, 3.5, 4.0};
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 100; ++i) {
+      groups[g].push_back(rng.Gaussian(means[g], 0.8));
+    }
+  }
+  auto r = OneWayAnova(groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->SignificantAt(0.001));
+}
+
+TEST(AnovaTest, UnbalancedGroupsSupported) {
+  std::vector<std::vector<double>> groups = {{1, 2, 3, 4, 5, 6},
+                                             {2, 3},
+                                             {4, 5, 6, 7}};
+  auto r = OneWayAnova(groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->df_between, 2.0);
+  EXPECT_DOUBLE_EQ(r->df_within, 9.0);
+  EXPECT_GT(r->f_statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,111 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace altroute {
+namespace {
+
+TEST(BootstrapTest, RejectsBadArguments) {
+  Rng rng(1);
+  auto mean_fn = [](std::span<const double> xs) { return Mean(xs); };
+  EXPECT_TRUE(BootstrapCi({}, mean_fn, 0.95, 100, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<double> xs = {1, 2, 3};
+  EXPECT_TRUE(BootstrapCi(xs, mean_fn, 1.5, 100, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BootstrapCi(xs, mean_fn, 0.95, 5, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BootstrapCi(xs, mean_fn, 0.95, 100, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BootstrapTest, ConstantSampleHasDegenerateInterval) {
+  Rng rng(2);
+  std::vector<double> xs(20, 3.0);
+  auto ci = BootstrapCi(xs, [](std::span<const double> s) { return Mean(s); },
+                        0.95, 200, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->lower, 3.0);
+  EXPECT_DOUBLE_EQ(ci->upper, 3.0);
+  EXPECT_DOUBLE_EQ(ci->point, 3.0);
+}
+
+TEST(BootstrapTest, IntervalContainsPointEstimateAndTruth) {
+  Rng rng(3);
+  Rng data_rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(data_rng.Gaussian(3.5, 1.2));
+  auto ci = BootstrapCi(xs, [](std::span<const double> s) { return Mean(s); },
+                        0.95, 1000, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_TRUE(ci->Contains(ci->point));
+  EXPECT_TRUE(ci->Contains(3.5));
+  // Width should be roughly 2 * 1.96 * sd/sqrt(n) ~ 0.235.
+  EXPECT_NEAR(ci->upper - ci->lower, 0.235, 0.08);
+}
+
+TEST(BootstrapTest, HigherConfidenceGivesWiderInterval) {
+  Rng data_rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(data_rng.Gaussian(0, 1));
+  Rng rng_a(6), rng_b(6);
+  auto mean_fn = [](std::span<const double> s) { return Mean(s); };
+  auto narrow = BootstrapCi(xs, mean_fn, 0.80, 800, &rng_a);
+  auto wide = BootstrapCi(xs, mean_fn, 0.99, 800, &rng_b);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_GT(wide->upper - wide->lower, narrow->upper - narrow->lower);
+}
+
+TEST(BootstrapTest, DeterministicForSameRngSeed) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto mean_fn = [](std::span<const double> s) { return Mean(s); };
+  Rng a(7), b(7);
+  auto ci_a = BootstrapCi(xs, mean_fn, 0.9, 500, &a);
+  auto ci_b = BootstrapCi(xs, mean_fn, 0.9, 500, &b);
+  ASSERT_TRUE(ci_a.ok() && ci_b.ok());
+  EXPECT_DOUBLE_EQ(ci_a->lower, ci_b->lower);
+  EXPECT_DOUBLE_EQ(ci_a->upper, ci_b->upper);
+}
+
+TEST(BootstrapMeanDiffTest, EqualDistributionsStraddleZero) {
+  Rng data_rng(8), rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(data_rng.Gaussian(3.5, 1.2));
+    b.push_back(data_rng.Gaussian(3.5, 1.2));
+  }
+  auto ci = BootstrapMeanDifferenceCi(a, b, 0.95, 1000, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_TRUE(ci->Contains(0.0));
+}
+
+TEST(BootstrapMeanDiffTest, LargeEffectExcludesZero) {
+  Rng data_rng(10), rng(11);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(data_rng.Gaussian(4.0, 0.8));
+    b.push_back(data_rng.Gaussian(3.0, 0.8));
+  }
+  auto ci = BootstrapMeanDifferenceCi(a, b, 0.95, 1000, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_FALSE(ci->Contains(0.0));
+  EXPECT_NEAR(ci->point, 1.0, 0.3);
+}
+
+TEST(BootstrapMeanDiffTest, EmptyGroupRejected) {
+  Rng rng(12);
+  std::vector<double> a = {1, 2};
+  EXPECT_TRUE(BootstrapMeanDifferenceCi(a, {}, 0.95, 100, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,86 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(LogGammaTest, FactorialValues) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCaseAtHalf) {
+  // I_{0.5}(a, a) = 0.5 by symmetry.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, KnownReferenceValues) {
+  // I_{0.5}(2, 3) = 11/16 = 0.6875 (closed form for integer a, b).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 3, 0.5), 0.6875, 1e-10);
+  // I_{0.3}(2, 2) = x^2 (3 - 2x) = 0.09 * 2.4 = 0.216.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, 0.3), 0.216, 1e-10);
+}
+
+TEST(IncompleteBetaTest, InvalidParametersGiveNan) {
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(0.0, 1.0, 0.5)));
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(1.0, -2.0, 0.5)));
+}
+
+TEST(FDistributionTest, CdfBasics) {
+  EXPECT_DOUBLE_EQ(FDistributionCdf(0.0, 3, 10), 0.0);
+  EXPECT_DOUBLE_EQ(FDistributionCdf(-1.0, 3, 10), 0.0);
+  // CDF is increasing in f.
+  EXPECT_LT(FDistributionCdf(0.5, 3, 10), FDistributionCdf(2.0, 3, 10));
+}
+
+TEST(FDistributionTest, ReferenceQuantiles) {
+  // F(3, 944) at f = 1.703 should give p ~ 0.164 (cross-checked with R:
+  // pf(1.703, 3, 944, lower.tail=FALSE) = 0.1643).
+  EXPECT_NEAR(FDistributionSf(1.703, 3, 944), 0.1643, 0.002);
+  // Classic table value: the 95th percentile of F(1, 10) is 4.965.
+  EXPECT_NEAR(FDistributionSf(4.965, 1, 10), 0.05, 0.001);
+  // F(2, 20) 99th percentile is 5.849.
+  EXPECT_NEAR(FDistributionSf(5.849, 2, 20), 0.01, 0.0005);
+}
+
+TEST(FDistributionTest, MedianOfF11IsOne) {
+  // For d1 = d2, the median of F is 1.
+  EXPECT_NEAR(FDistributionCdf(1.0, 7, 7), 0.5, 1e-9);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+}  // namespace
+}  // namespace altroute

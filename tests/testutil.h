@@ -1,0 +1,45 @@
+// Shared helpers for the altroute test suite: canned networks, random
+// connected graphs, and a brute-force shortest-path oracle.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/road_network.h"
+#include "routing/dijkstra.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace altroute {
+namespace testutil {
+
+/// A directed chain 0 -> 1 -> ... -> n-1 (and back), every hop `hop_s`
+/// seconds and `hop_m` meters, nodes spaced along a parallel of latitude.
+std::shared_ptr<RoadNetwork> LineNetwork(int n, double hop_s = 60.0,
+                                         double hop_m = 500.0);
+
+/// A rows x cols bidirectional grid; hop cost `hop_s` seconds. Node (r, c)
+/// has id r * cols + c. Coordinates spread around (0, 0) with `spacing_m`.
+std::shared_ptr<RoadNetwork> GridNetwork(int rows, int cols,
+                                         double hop_s = 60.0,
+                                         double spacing_m = 400.0);
+
+/// A random strongly connected network: a bidirectional random spanning tree
+/// plus `extra_edges` random bidirectional edges with random weights in
+/// [30, 300] seconds. Deterministic in `seed`.
+std::shared_ptr<RoadNetwork> RandomConnectedNetwork(uint64_t seed, int n,
+                                                    int extra_edges);
+
+/// O(V*E) Bellman-Ford oracle: distance from `source` to every node under
+/// `weights`; kInfCost when unreachable.
+std::vector<double> BellmanFordDistances(const RoadNetwork& net, NodeId source,
+                                         std::span<const double> weights);
+
+/// Travel-time weight vector of a network as a std::vector.
+inline std::vector<double> Weights(const RoadNetwork& net) {
+  return {net.travel_times().begin(), net.travel_times().end()};
+}
+
+}  // namespace testutil
+}  // namespace altroute

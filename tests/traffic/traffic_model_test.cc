@@ -1,0 +1,103 @@
+#include "traffic/traffic_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "citygen/city_generator.h"
+
+namespace altroute {
+namespace {
+
+TEST(FreeFlowModelTest, ReturnsNetworkTravelTimes) {
+  auto net = testutil::GridNetwork(4, 4);
+  FreeFlowModel model;
+  const auto weights = model.Weights(*net);
+  ASSERT_EQ(weights.size(), net->num_edges());
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(weights[e], net->travel_time_s(e));
+  }
+  EXPECT_EQ(model.name(), "osm-freeflow");
+}
+
+TEST(CommercialModelTest, WeightsArePositiveAndFinite) {
+  auto net = testutil::RandomConnectedNetwork(4, 100, 120);
+  CommercialTrafficModel model(3);
+  const auto weights = model.Weights(*net);
+  ASSERT_EQ(weights.size(), net->num_edges());
+  for (double w : weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST(CommercialModelTest, DeterministicForSameSeed) {
+  auto net = testutil::GridNetwork(5, 5);
+  CommercialTrafficModel a(3, 99), b(3, 99);
+  EXPECT_EQ(a.Weights(*net), b.Weights(*net));
+}
+
+TEST(CommercialModelTest, DifferentSeedsDiffer) {
+  auto net = testutil::GridNetwork(5, 5);
+  CommercialTrafficModel a(3, 1), b(3, 2);
+  EXPECT_NE(a.Weights(*net), b.Weights(*net));
+}
+
+TEST(CommercialModelTest, NameEncodesHour) {
+  EXPECT_EQ(CommercialTrafficModel(3).name(), "commercial@3");
+  EXPECT_EQ(CommercialTrafficModel(17).name(), "commercial@17");
+  EXPECT_EQ(CommercialTrafficModel(27).hour(), 3);  // wraps
+  EXPECT_EQ(CommercialTrafficModel(-1).hour(), 23);
+}
+
+TEST(CommercialModelTest, RushHourSlowerThanNight) {
+  auto net = *citygen::BuildCityNetwork(
+      citygen::Scaled(citygen::MelbourneSpec(), 0.25));
+  const auto night = CommercialTrafficModel(3).Weights(*net);
+  const auto rush = CommercialTrafficModel(8).Weights(*net);
+  double night_total = 0, rush_total = 0;
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    night_total += night[e];
+    rush_total += rush[e];
+  }
+  EXPECT_GT(rush_total, night_total * 1.05);
+}
+
+TEST(CommercialModelTest, CongestionHitsMotorwaysHardest) {
+  CommercialTrafficModel rush(8);
+  EXPECT_GT(rush.CongestionFactor(RoadClass::kMotorway),
+            rush.CongestionFactor(RoadClass::kResidential));
+  CommercialTrafficModel night(3);
+  EXPECT_NEAR(night.CongestionFactor(RoadClass::kMotorway), 1.0, 0.05);
+}
+
+TEST(CommercialModelTest, DivergesFromFreeFlowAtRouteLevel) {
+  // The whole point of the model: rankings must differ from free-flow.
+  auto net = *citygen::BuildCityNetwork(
+      citygen::Scaled(citygen::MelbourneSpec(), 0.25));
+  const auto freeflow = FreeFlowModel().Weights(*net);
+  const auto commercial = CommercialTrafficModel(3).Weights(*net);
+  // Count edges where the ratio deviates by more than 10% from the median
+  // ratio — regional divergence must affect a substantial share.
+  std::vector<double> ratios;
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    ratios.push_back(commercial[e] / freeflow[e]);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median = ratios[ratios.size() / 2];
+  int divergent = 0;
+  for (double r : ratios) {
+    if (r < median * 0.9 || r > median * 1.1) ++divergent;
+  }
+  EXPECT_GT(divergent, static_cast<int>(ratios.size() / 10));
+}
+
+TEST(PathTimeUnderTest, SumsWeights) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PathTimeUnder(weights, {0, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(PathTimeUnder(weights, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,111 @@
+#include "userstudy/export.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+StudyResults SampleResults() {
+  StudyResults results;
+  ResponseRecord a;
+  a.participant_id = 0;
+  a.resident = true;
+  a.source = 12;
+  a.target = 99;
+  a.fastest_minutes = 7.25;
+  a.bucket = 0;
+  a.ratings = {3, 4, 5, 2};
+  ResponseRecord b;
+  b.participant_id = 1;
+  b.resident = false;
+  b.source = 5;
+  b.target = 42;
+  b.fastest_minutes = 31.5;
+  b.bucket = 2;
+  b.ratings = {1, 5, 3, 4};
+  results.responses = {a, b};
+  return results;
+}
+
+TEST(StudyExportTest, RoundTripPreservesAllFields) {
+  const StudyResults original = SampleResults();
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportStudyCsv(original, buffer).ok());
+  auto loaded = ImportStudyCsv(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->responses.size(), original.responses.size());
+  for (size_t i = 0; i < original.responses.size(); ++i) {
+    const ResponseRecord& want = original.responses[i];
+    const ResponseRecord& got = loaded->responses[i];
+    EXPECT_EQ(got.participant_id, want.participant_id);
+    EXPECT_EQ(got.resident, want.resident);
+    EXPECT_EQ(got.source, want.source);
+    EXPECT_EQ(got.target, want.target);
+    EXPECT_NEAR(got.fastest_minutes, want.fastest_minutes, 1e-4);
+    EXPECT_EQ(got.bucket, want.bucket);
+    EXPECT_EQ(got.ratings, want.ratings);
+  }
+}
+
+TEST(StudyExportTest, MissingHeaderRejected) {
+  std::stringstream buffer("1,1,2,3,5.0,0,3,3,3,3\n");
+  EXPECT_TRUE(ImportStudyCsv(buffer).status().IsCorruption());
+}
+
+TEST(StudyExportTest, WrongFieldCountRejected) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportStudyCsv(SampleResults(), buffer).ok());
+  std::string csv = buffer.str();
+  csv += "1,0,1\n";
+  std::stringstream corrupted(csv);
+  EXPECT_TRUE(ImportStudyCsv(corrupted).status().IsCorruption());
+}
+
+TEST(StudyExportTest, OutOfRangeRatingRejected) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportStudyCsv(SampleResults(), buffer).ok());
+  std::string csv = buffer.str();
+  // Corrupt the first rating of the first row (a "3" after the bucket).
+  const size_t pos = csv.find(",0,3,4,5,2");
+  ASSERT_NE(pos, std::string::npos);
+  csv.replace(pos, 10, ",0,9,4,5,2");
+  std::stringstream corrupted(csv);
+  EXPECT_TRUE(ImportStudyCsv(corrupted).status().IsCorruption());
+}
+
+TEST(StudyExportTest, InconsistentBucketRejected) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportStudyCsv(SampleResults(), buffer).ok());
+  std::string csv = buffer.str();
+  const size_t pos = csv.find("7.2500,0");
+  ASSERT_NE(pos, std::string::npos);
+  csv.replace(pos, 8, "7.2500,2");  // 7.25 minutes is bucket 0, not 2
+  std::stringstream corrupted(csv);
+  EXPECT_TRUE(ImportStudyCsv(corrupted).status().IsCorruption());
+}
+
+TEST(StudyExportTest, EmptyResultsRoundTrip) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportStudyCsv(StudyResults{}, buffer).ok());
+  auto loaded = ImportStudyCsv(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->responses.empty());
+}
+
+TEST(StudyExportTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ImportStudyCsvFromFile("/no/such/file.csv").status().IsIOError());
+}
+
+TEST(StudyExportTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/altroute_study.csv";
+  ASSERT_TRUE(ExportStudyCsvToFile(SampleResults(), path).ok());
+  auto loaded = ImportStudyCsvFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->responses.size(), 2u);
+  ::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,72 @@
+#include "userstudy/participant.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(BucketTest, BoundariesMatchThePaper) {
+  // Paper Sec. 4.1: small (0, 10], medium (10, 25], long (25, 80].
+  EXPECT_EQ(BucketOf(0.0), -1);     // zero-length trips excluded
+  EXPECT_EQ(BucketOf(0.1), 0);
+  EXPECT_EQ(BucketOf(10.0), 0);     // inclusive upper bound
+  EXPECT_EQ(BucketOf(10.01), 1);
+  EXPECT_EQ(BucketOf(25.0), 1);
+  EXPECT_EQ(BucketOf(25.01), 2);
+  EXPECT_EQ(BucketOf(80.0), 2);
+  EXPECT_EQ(BucketOf(80.01), -1);   // beyond the study range
+  EXPECT_EQ(BucketOf(-3.0), -1);
+}
+
+TEST(BucketTest, NamesAreStable) {
+  EXPECT_STREQ(BucketName(0), "Small Routes (0, 10] (mins)");
+  EXPECT_STREQ(BucketName(1), "Medium Routes (10, 25] (mins)");
+  EXPECT_STREQ(BucketName(2), "Long Routes (25, 80] (mins)");
+  EXPECT_STREQ(BucketName(7), "Unknown");
+}
+
+TEST(PopulationTest, CountsAndOrdering) {
+  Rng rng(1);
+  const auto pop = MakePopulation(156, 81, &rng);
+  ASSERT_EQ(pop.size(), 237u);
+  int residents = 0;
+  for (const Participant& p : pop) residents += p.melbourne_resident;
+  EXPECT_EQ(residents, 156);
+  // Residents come first; ids are sequential.
+  for (int i = 0; i < 156; ++i) {
+    EXPECT_TRUE(pop[static_cast<size_t>(i)].melbourne_resident);
+  }
+  for (size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_EQ(pop[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(PopulationTest, ResidentsAreMoreFamiliar) {
+  Rng rng(2);
+  const auto pop = MakePopulation(100, 100, &rng);
+  double res_sum = 0, non_sum = 0;
+  for (const Participant& p : pop) {
+    (p.melbourne_resident ? res_sum : non_sum) += p.familiarity;
+  }
+  EXPECT_GT(res_sum / 100.0, non_sum / 100.0 + 0.2);
+  for (const Participant& p : pop) {
+    EXPECT_GE(p.familiarity, 0.0);
+    EXPECT_LE(p.familiarity, 1.0);
+    EXPECT_GT(p.noise_sd, 0.0);
+  }
+}
+
+TEST(PopulationTest, DeterministicGivenRngState) {
+  Rng rng_a(7), rng_b(7);
+  const auto a = MakePopulation(20, 10, &rng_a);
+  const auto b = MakePopulation(20, 10, &rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].leniency, b[i].leniency);
+    EXPECT_DOUBLE_EQ(a[i].familiarity, b[i].familiarity);
+    EXPECT_EQ(a[i].has_favourite_route, b[i].has_favourite_route);
+  }
+}
+
+}  // namespace
+}  // namespace altroute

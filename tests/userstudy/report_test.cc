@@ -1,0 +1,91 @@
+#include "userstudy/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace altroute {
+namespace {
+
+StudyResults SyntheticResults(int n, uint64_t seed) {
+  Rng rng(seed);
+  StudyResults results;
+  for (int i = 0; i < n; ++i) {
+    ResponseRecord r;
+    r.participant_id = i;
+    r.resident = (i % 3 != 0);
+    r.fastest_minutes = rng.Uniform(2.0, 70.0);
+    r.bucket = BucketOf(r.fastest_minutes);
+    for (int a = 0; a < kNumApproaches; ++a) {
+      r.ratings[static_cast<size_t>(a)] =
+          std::clamp(static_cast<int>(std::lround(rng.Gaussian(3.5, 1.0))), 1, 5);
+    }
+    results.responses.push_back(r);
+  }
+  return results;
+}
+
+TEST(ReportTest, EmptyStudyRejected) {
+  EXPECT_TRUE(RenderStudyReport(StudyResults{}).status().IsInvalidArgument());
+}
+
+TEST(ReportTest, ContainsAllSections) {
+  const StudyResults results = SyntheticResults(90, 1);
+  ReportOptions options;
+  options.title = "Test Study";
+  options.network_description = "Synthetic grid, 100 vertices.";
+  options.bootstrap_resamples = 200;
+  auto report = RenderStudyReport(results, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string& md = *report;
+  EXPECT_NE(md.find("# Test Study"), std::string::npos);
+  EXPECT_NE(md.find("Synthetic grid, 100 vertices."), std::string::npos);
+  EXPECT_NE(md.find("Responses: **90**"), std::string::npos);
+  EXPECT_NE(md.find("## Table 1"), std::string::npos);
+  EXPECT_NE(md.find("## Table 2"), std::string::npos);
+  EXPECT_NE(md.find("## Table 3"), std::string::npos);
+  EXPECT_NE(md.find("one-way ANOVA"), std::string::npos);
+  EXPECT_NE(md.find("Pairwise mean differences"), std::string::npos);
+  // All six pairs present.
+  EXPECT_NE(md.find("Google Maps − Plateaus"), std::string::npos);
+  EXPECT_NE(md.find("Dissimilarity − Penalty"), std::string::npos);
+}
+
+TEST(ReportTest, DeterministicForSameOptions) {
+  const StudyResults results = SyntheticResults(60, 2);
+  ReportOptions options;
+  options.bootstrap_resamples = 100;
+  auto a = RenderStudyReport(results, options);
+  auto b = RenderStudyReport(results, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ReportTest, ResidentsOnlySkipsTable3) {
+  StudyResults results = SyntheticResults(40, 3);
+  for (auto& r : results.responses) r.resident = true;
+  auto report = RenderStudyReport(results);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("## Table 2"), std::string::npos);
+  EXPECT_EQ(report->find("## Table 3"), std::string::npos);
+}
+
+TEST(ReportTest, WritesToFile) {
+  const std::string path = ::testing::TempDir() + "/altroute_report.md";
+  ReportOptions options;
+  options.bootstrap_resamples = 100;
+  ASSERT_TRUE(WriteStudyReport(SyntheticResults(50, 4), path, options).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.rfind("# ", 0), 0u);
+  ::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace altroute

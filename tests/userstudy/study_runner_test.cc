@@ -1,0 +1,112 @@
+#include "userstudy/study_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "citygen/city_generator.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+/// A small city + small study reused across tests (building engine suites is
+/// the expensive part).
+class StudyRunnerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto net = citygen::BuildCityNetwork(
+        citygen::Scaled(citygen::MelbourneSpec(), 0.25));
+    ALTROUTE_CHECK(net.ok());
+    net_ = new std::shared_ptr<RoadNetwork>(std::move(net).ValueOrDie());
+
+    StudyConfig config = SmallConfig();
+    StudyRunner runner(*net_, config);
+    auto results = runner.Run();
+    ALTROUTE_CHECK(results.ok()) << results.status();
+    results_ = new StudyResults(std::move(results).ValueOrDie());
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    delete net_;
+  }
+
+  static StudyConfig SmallConfig() {
+    StudyConfig config;
+    config.num_residents = 30;
+    config.num_nonresidents = 15;
+    config.resident_bucket_quota = {10, 15, 5};
+    config.nonresident_bucket_quota = {5, 7, 3};
+    config.seed = 11;
+    return config;
+  }
+
+  static std::shared_ptr<RoadNetwork>* net_;
+  static StudyResults* results_;
+};
+
+std::shared_ptr<RoadNetwork>* StudyRunnerFixture::net_ = nullptr;
+StudyResults* StudyRunnerFixture::results_ = nullptr;
+
+TEST_F(StudyRunnerFixture, ProducesOneResponsePerParticipant) {
+  EXPECT_EQ(results_->responses.size(), 45u);
+  int residents = 0;
+  for (const auto& r : results_->responses) residents += r.resident;
+  EXPECT_EQ(residents, 30);
+}
+
+TEST_F(StudyRunnerFixture, RatingsAreInRange) {
+  for (const auto& r : results_->responses) {
+    for (int rating : r.ratings) {
+      EXPECT_GE(rating, 1);
+      EXPECT_LE(rating, 5);
+    }
+    for (int n : r.num_routes) {
+      EXPECT_GE(n, 1);
+      EXPECT_LE(n, 3);
+    }
+  }
+}
+
+TEST_F(StudyRunnerFixture, BucketsMatchFastestTimes) {
+  for (const auto& r : results_->responses) {
+    EXPECT_EQ(r.bucket, BucketOf(r.fastest_minutes));
+    EXPECT_GE(r.bucket, 0);
+    EXPECT_NE(r.source, r.target);
+  }
+}
+
+TEST_F(StudyRunnerFixture, FiltersSelectConsistentSubsets) {
+  const int all = results_->CountMatching();
+  const int res = results_->CountMatching(true);
+  const int non = results_->CountMatching(false);
+  EXPECT_EQ(all, res + non);
+  int bucket_total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    bucket_total += results_->CountMatching(std::nullopt, b);
+  }
+  EXPECT_EQ(bucket_total, all);
+
+  const auto ratings = results_->RatingsOf(Approach::kPenalty, true, 1);
+  EXPECT_EQ(static_cast<int>(ratings.size()),
+            results_->CountMatching(true, 1));
+}
+
+TEST_F(StudyRunnerFixture, DeterministicForSameSeed) {
+  StudyRunner runner(*net_, SmallConfig());
+  auto again = runner.Run();
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->responses.size(), results_->responses.size());
+  for (size_t i = 0; i < again->responses.size(); ++i) {
+    EXPECT_EQ(again->responses[i].ratings, results_->responses[i].ratings);
+    EXPECT_EQ(again->responses[i].source, results_->responses[i].source);
+  }
+}
+
+TEST(StudyRunnerTest, RejectsTrivialNetworks) {
+  StudyConfig config;
+  EXPECT_TRUE(
+      StudyRunner(nullptr, config).Run().status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,89 @@
+#include "userstudy/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+/// Hand-built results with known aggregates.
+StudyResults FakeResults() {
+  StudyResults results;
+  auto add = [&](bool resident, int bucket, std::array<int, 4> ratings) {
+    ResponseRecord r;
+    r.resident = resident;
+    r.bucket = bucket;
+    r.fastest_minutes = bucket == 0 ? 5.0 : (bucket == 1 ? 15.0 : 40.0);
+    r.ratings = ratings;
+    results.responses.push_back(r);
+  };
+  // 2 residents, 1 non-resident.
+  add(true, 0, {3, 4, 5, 2});
+  add(true, 1, {1, 4, 3, 2});
+  add(false, 0, {5, 2, 1, 4});
+  return results;
+}
+
+TEST(TablesTest, ComputeRowAggregates) {
+  const StudyResults results = FakeResults();
+  const TableRow overall = ComputeRow(results, "Overall");
+  EXPECT_EQ(overall.num_responses, 3);
+  EXPECT_NEAR(overall.mean[0], 3.0, 1e-9);           // Google: (3+1+5)/3
+  EXPECT_NEAR(overall.mean[1], 10.0 / 3.0, 1e-9);    // Plateaus
+  EXPECT_NEAR(overall.mean[2], 3.0, 1e-9);
+  EXPECT_NEAR(overall.mean[3], 8.0 / 3.0, 1e-9);
+  EXPECT_EQ(overall.best_approach, 1);               // Plateaus wins
+  EXPECT_NEAR(overall.sd[0], 2.0, 1e-9);             // sd of {3,1,5}
+}
+
+TEST(TablesTest, RowFiltersWork) {
+  const StudyResults results = FakeResults();
+  const TableRow residents = ComputeRow(results, "res", true);
+  EXPECT_EQ(residents.num_responses, 2);
+  EXPECT_NEAR(residents.mean[0], 2.0, 1e-9);
+  const TableRow small = ComputeRow(results, "small", std::nullopt, 0);
+  EXPECT_EQ(small.num_responses, 2);
+  const TableRow res_small = ComputeRow(results, "rs", true, 0);
+  EXPECT_EQ(res_small.num_responses, 1);
+  EXPECT_NEAR(res_small.mean[3], 2.0, 1e-9);
+}
+
+TEST(TablesTest, Table1HasSixRows) {
+  const auto rows = Table1Rows(FakeResults());
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].label, "Overall");
+  EXPECT_EQ(rows[1].label, "Melbourne residents");
+  EXPECT_EQ(rows[2].label, "Non-residents");
+  EXPECT_EQ(rows[0].num_responses, 3);
+  EXPECT_EQ(rows[1].num_responses, 2);
+  EXPECT_EQ(rows[2].num_responses, 1);
+}
+
+TEST(TablesTest, Tables2And3HaveFourRows) {
+  EXPECT_EQ(Table2Rows(FakeResults()).size(), 4u);
+  EXPECT_EQ(Table3Rows(FakeResults()).size(), 4u);
+}
+
+TEST(TablesTest, FormatMarksBestWithBold) {
+  const auto rows = Table1Rows(FakeResults());
+  const std::string table = FormatTable(rows, "Table 1: test");
+  EXPECT_NE(table.find("| Overall |"), std::string::npos);
+  EXPECT_NE(table.find("**3.33 (1.15)**"), std::string::npos);  // Plateaus
+  EXPECT_NE(table.find("Google Maps"), std::string::npos);
+  EXPECT_NE(table.find("Table 1: test"), std::string::npos);
+}
+
+TEST(TablesTest, StudyAnovaRunsPerSubset) {
+  const StudyResults results = FakeResults();
+  auto all = StudyAnova(results);
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ(all->df_between, 3.0);
+  EXPECT_DOUBLE_EQ(all->df_within, 8.0);  // 12 observations - 4 groups
+  EXPECT_GE(all->p_value, 0.0);
+  EXPECT_LE(all->p_value, 1.0);
+  auto res = StudyAnova(results, true);
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res->df_within, 4.0);
+}
+
+}  // namespace
+}  // namespace altroute

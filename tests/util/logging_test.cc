@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, FilteredMessagesAreCheap) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // Messages below the level must not crash and should skip formatting work;
+  // this is a smoke test that the << chain compiles for mixed types.
+  ALTROUTE_LOG(Debug) << "dropped " << 42 << " " << 3.14 << " " << "text";
+  ALTROUTE_LOG(Info) << "dropped too";
+  ALTROUTE_LOG(Warning) << "also dropped";
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ALTROUTE_CHECK(1 + 1 == 2) << "never evaluated";
+  ALTROUTE_CHECK_EQ(3, 3);
+  ALTROUTE_CHECK_NE(3, 4);
+  ALTROUTE_CHECK_LT(3, 4);
+  ALTROUTE_CHECK_LE(3, 3);
+  ALTROUTE_CHECK_GT(4, 3);
+  ALTROUTE_CHECK_GE(4, 4);
+}
+
+TEST(LoggingDeathTestSuite, CheckFailureAborts) {
+  EXPECT_DEATH({ ALTROUTE_CHECK(false) << "boom"; }, "Check failed: false");
+}
+
+TEST(LoggingDeathTestSuite, CheckEqFailureMentionsCondition) {
+  EXPECT_DEATH({ ALTROUTE_CHECK_EQ(2 + 2, 5); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,67 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> ok = 3;
+  EXPECT_EQ(ok.ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto fail = []() -> Result<int> { return Status::IOError("io"); };
+  auto use = [&]() -> Status {
+    ALTROUTE_ASSIGN_OR_RETURN(int v, fail());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(use().IsIOError());
+}
+
+TEST(ResultTest, AssignOrReturnMacroExtractsValue) {
+  auto make = []() -> Result<std::vector<int>> {
+    return std::vector<int>{1, 2, 3};
+  };
+  auto use = [&]() -> Status {
+    ALTROUTE_ASSIGN_OR_RETURN(std::vector<int> v, make());
+    return v.size() == 3 ? Status::OK() : Status::Internal("bad size");
+  };
+  EXPECT_TRUE(use().ok());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,40 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresSleep) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedMillis(), 18.0);
+  EXPECT_LT(timer.ElapsedMillis(), 5000.0);  // sanity upper bound
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 10.0);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer timer;
+  const double s = timer.ElapsedSeconds();
+  const double ms = timer.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);  // sampled moments differ slightly
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,276 @@
+// altroute command-line tool: build city networks, query alternative
+// routes, run the user study, and serve the web demo — the library's
+// functionality without writing C++.
+//
+//   altroute_cli build-city melbourne --scale 0.5 --out melbourne.bin
+//   altroute_cli route --city melbourne --from 12 --to 3402 --engine plateau
+//   altroute_cli route --net melbourne.bin --from 12 --to 3402 --geojson
+//   altroute_cli study --city dhaka --seed 7 --csv responses.csv
+//   altroute_cli serve --city melbourne --port 8080
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "citygen/city_generator.h"
+#include "core/engine_registry.h"
+#include "core/quality.h"
+#include "graph/serialization.h"
+#include "server/demo_service.h"
+#include "server/directions.h"
+#include "server/geojson.h"
+#include "userstudy/export.h"
+#include "userstudy/report.h"
+#include "userstudy/tables.h"
+
+namespace altroute {
+namespace {
+
+/// Minimal flag parser: positional args plus --key value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          args.flags[key] = argv[++i];
+        } else {
+          args.flags[key] = "true";
+        }
+      } else {
+        args.positional.push_back(std::move(a));
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr, R"(altroute_cli <command> [options]
+
+Commands:
+  build-city <melbourne|dhaka|copenhagen>
+      --scale S (default 1.0) --seed N --out FILE      build + serialize
+  route
+      --city NAME | --net FILE                         network source
+      --from NODE --to NODE                            query endpoints
+      --engine <plateau|dissimilarity|penalty|commercial|all> (default all)
+      --geojson                                        GeoJSON output
+      --directions                                     turn-by-turn text
+  study
+      --city NAME --scale S --seed N
+      [--csv FILE] [--report FILE.md]                  run the user study
+  serve
+      --city NAME --scale S [--port P]                 web demo backend
+)");
+  return 2;
+}
+
+Result<std::shared_ptr<RoadNetwork>> LoadNetwork(const Args& args,
+                                                 double default_scale) {
+  const std::string net_file = args.Get("net");
+  if (!net_file.empty()) {
+    ALTROUTE_ASSIGN_OR_RETURN(std::shared_ptr<RoadNetwork> net,
+                              NetworkSerializer::LoadFromFile(net_file));
+    return net;
+  }
+  const std::string city = args.Get("city", "melbourne");
+  citygen::CitySpec spec;
+  if (city == "dhaka") {
+    spec = citygen::DhakaSpec();
+  } else if (city == "copenhagen") {
+    spec = citygen::CopenhagenSpec();
+  } else if (city == "melbourne") {
+    spec = citygen::MelbourneSpec();
+  } else {
+    return Status::InvalidArgument("unknown city: " + city);
+  }
+  spec = citygen::Scaled(spec, args.GetDouble("scale", default_scale));
+  if (args.flags.count("seed")) {
+    spec.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+  }
+  return citygen::BuildCityNetwork(spec);
+}
+
+int CmdBuildCity(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  Args with_city = args;
+  with_city.flags["city"] = args.positional[1];
+  auto net = LoadNetwork(with_city, 1.0);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Built %s: %zu vertices, %zu edges\n", (*net)->name().c_str(),
+              (*net)->num_nodes(), (*net)->num_edges());
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    const Status st = NetworkSerializer::SaveToFile(**net, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Serialized to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdRoute(const Args& args) {
+  auto net_or = LoadNetwork(args, 0.5);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "%s\n", net_or.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
+  const auto from = static_cast<NodeId>(args.GetInt("from", 0));
+  const auto to = static_cast<NodeId>(
+      args.GetInt("to", static_cast<int64_t>(net->num_nodes()) - 1));
+
+  auto suite_or = EngineSuite::MakePaperSuite(net);
+  if (!suite_or.ok()) {
+    std::fprintf(stderr, "%s\n", suite_or.status().ToString().c_str());
+    return 1;
+  }
+  EngineSuite suite = std::move(suite_or).ValueOrDie();
+
+  const std::string engine_name = args.Get("engine", "all");
+  const bool geojson = args.flags.count("geojson") > 0;
+  for (Approach a : kAllApproaches) {
+    const std::string name(suite.engine(a).name());
+    if (engine_name != "all" && name != engine_name) continue;
+    auto set = suite.engine(a).Generate(from, to);
+    if (!set.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   set.status().ToString().c_str());
+      return 1;
+    }
+    if (geojson) {
+      std::printf("%s\n",
+                  AlternativeSetToGeoJson(*net, *set, ApproachLabel(a)).c_str());
+      continue;
+    }
+    std::printf("%c %s (%zu routes):\n", ApproachLabel(a), name.c_str(),
+                set->routes.size());
+    for (size_t i = 0; i < set->routes.size(); ++i) {
+      const Path& p = set->routes[i];
+      const RouteQuality q = ComputeRouteQuality(
+          *net, p, set->routes[0].travel_time_s, net->travel_times());
+      std::printf("  #%zu %6.1f min  %6.1f km  stretch %.2f  %d turns\n",
+                  i + 1, p.travel_time_s / 60.0, p.length_m / 1000.0,
+                  q.stretch, q.turn_count);
+    }
+    if (args.flags.count("directions") && !set->routes.empty()) {
+      std::printf("  turn-by-turn for route #1:\n");
+      for (const DirectionStep& step :
+           BuildDirections(*net, set->routes[0])) {
+        std::printf("    - %s\n", step.text.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdStudy(const Args& args) {
+  auto net_or = LoadNetwork(args, 1.0);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "%s\n", net_or.status().ToString().c_str());
+    return 1;
+  }
+  StudyConfig config;
+  if (args.flags.count("seed")) {
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+  }
+  StudyRunner runner(std::move(net_or).ValueOrDie(), config);
+  auto results = runner.Run();
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", FormatTable(Table1Rows(*results),
+                                  "Table 1: All responses").c_str());
+  auto anova = StudyAnova(*results);
+  if (anova.ok()) {
+    std::printf("One-way ANOVA: F = %.3f, p = %.3f\n", anova->f_statistic,
+                anova->p_value);
+  }
+  const std::string report = args.Get("report");
+  if (!report.empty()) {
+    const Status st = WriteStudyReport(*results, report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Report written to %s\n", report.c_str());
+  }
+  const std::string csv = args.Get("csv");
+  if (!csv.empty()) {
+    const Status st = ExportStudyCsvToFile(*results, csv);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Responses written to %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  auto net_or = LoadNetwork(args, 0.5);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "%s\n", net_or.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
+  auto suite = EngineSuite::MakePaperSuite(net);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "%s\n", suite.status().ToString().c_str());
+    return 1;
+  }
+  DemoService service(
+      std::make_unique<QueryProcessor>(std::move(suite).ValueOrDie()));
+  HttpServer server;
+  service.Install(&server);
+  const Status st =
+      server.Start(static_cast<uint16_t>(args.GetInt("port", 8080)));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Serving %s on http://127.0.0.1:%u/ (Ctrl-C to stop)\n",
+              net->name().c_str(), server.port());
+  for (;;) pause();
+}
+
+}  // namespace
+}  // namespace altroute
+
+int main(int argc, char** argv) {
+  using namespace altroute;
+  const Args args = Args::Parse(argc, argv);
+  if (args.positional.empty()) return Usage();
+  const std::string& command = args.positional[0];
+  if (command == "build-city") return CmdBuildCity(args);
+  if (command == "route") return CmdRoute(args);
+  if (command == "study") return CmdStudy(args);
+  if (command == "serve") return CmdServe(args);
+  return Usage();
+}
