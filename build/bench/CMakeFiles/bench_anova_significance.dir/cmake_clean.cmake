@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anova_significance.dir/bench_anova_significance.cc.o"
+  "CMakeFiles/bench_anova_significance.dir/bench_anova_significance.cc.o.d"
+  "bench_anova_significance"
+  "bench_anova_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anova_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

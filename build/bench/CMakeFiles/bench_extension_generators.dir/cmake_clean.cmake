@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_generators.dir/bench_extension_generators.cc.o"
+  "CMakeFiles/bench_extension_generators.dir/bench_extension_generators.cc.o.d"
+  "bench_extension_generators"
+  "bench_extension_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_plateaus.dir/bench_fig1_plateaus.cc.o"
+  "CMakeFiles/bench_fig1_plateaus.dir/bench_fig1_plateaus.cc.o.d"
+  "bench_fig1_plateaus"
+  "bench_fig1_plateaus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_plateaus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_data_mismatch.dir/bench_fig4_data_mismatch.cc.o"
+  "CMakeFiles/bench_fig4_data_mismatch.dir/bench_fig4_data_mismatch.cc.o.d"
+  "bench_fig4_data_mismatch"
+  "bench_fig4_data_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_data_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_data_mismatch.
+# This may be replaced when dependencies are built.

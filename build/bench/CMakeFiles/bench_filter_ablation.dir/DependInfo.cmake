@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_filter_ablation.cc" "bench/CMakeFiles/bench_filter_ablation.dir/bench_filter_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_filter_ablation.dir/bench_filter_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/userstudy/CMakeFiles/altroute_userstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/citygen/CMakeFiles/altroute_citygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/altroute_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/altroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/altroute_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/altroute_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_engines.dir/bench_perf_engines.cc.o"
+  "CMakeFiles/bench_perf_engines.dir/bench_perf_engines.cc.o.d"
+  "bench_perf_engines"
+  "bench_perf_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

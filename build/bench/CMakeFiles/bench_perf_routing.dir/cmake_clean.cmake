@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_routing.dir/bench_perf_routing.cc.o"
+  "CMakeFiles/bench_perf_routing.dir/bench_perf_routing.cc.o.d"
+  "bench_perf_routing"
+  "bench_perf_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

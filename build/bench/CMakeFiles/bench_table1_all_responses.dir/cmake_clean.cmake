@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_all_responses.dir/bench_table1_all_responses.cc.o"
+  "CMakeFiles/bench_table1_all_responses.dir/bench_table1_all_responses.cc.o.d"
+  "bench_table1_all_responses"
+  "bench_table1_all_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_all_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

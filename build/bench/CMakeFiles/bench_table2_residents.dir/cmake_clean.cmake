@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_residents.dir/bench_table2_residents.cc.o"
+  "CMakeFiles/bench_table2_residents.dir/bench_table2_residents.cc.o.d"
+  "bench_table2_residents"
+  "bench_table2_residents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_residents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

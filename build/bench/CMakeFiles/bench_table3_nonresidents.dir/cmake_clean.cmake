@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nonresidents.dir/bench_table3_nonresidents.cc.o"
+  "CMakeFiles/bench_table3_nonresidents.dir/bench_table3_nonresidents.cc.o.d"
+  "bench_table3_nonresidents"
+  "bench_table3_nonresidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nonresidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_cities.dir/bench_three_cities.cc.o"
+  "CMakeFiles/bench_three_cities.dir/bench_three_cities.cc.o.d"
+  "bench_three_cities"
+  "bench_three_cities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

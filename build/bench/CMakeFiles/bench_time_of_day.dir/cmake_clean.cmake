@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_of_day.dir/bench_time_of_day.cc.o"
+  "CMakeFiles/bench_time_of_day.dir/bench_time_of_day.cc.o.d"
+  "bench_time_of_day"
+  "bench_time_of_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_of_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_turn_ablation.dir/bench_turn_ablation.cc.o"
+  "CMakeFiles/bench_turn_ablation.dir/bench_turn_ablation.cc.o.d"
+  "bench_turn_ablation"
+  "bench_turn_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_turn_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

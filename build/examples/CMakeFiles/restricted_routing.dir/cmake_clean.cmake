@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restricted_routing.dir/restricted_routing.cpp.o"
+  "CMakeFiles/restricted_routing.dir/restricted_routing.cpp.o.d"
+  "restricted_routing"
+  "restricted_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restricted_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

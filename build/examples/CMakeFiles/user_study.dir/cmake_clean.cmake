@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_study.dir/user_study.cpp.o"
+  "CMakeFiles/user_study.dir/user_study.cpp.o.d"
+  "user_study"
+  "user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_demo.dir/web_demo.cpp.o"
+  "CMakeFiles/web_demo.dir/web_demo.cpp.o.d"
+  "web_demo"
+  "web_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_citygen.dir/city_generator.cc.o"
+  "CMakeFiles/altroute_citygen.dir/city_generator.cc.o.d"
+  "CMakeFiles/altroute_citygen.dir/city_spec.cc.o"
+  "CMakeFiles/altroute_citygen.dir/city_spec.cc.o.d"
+  "libaltroute_citygen.a"
+  "libaltroute_citygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_citygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

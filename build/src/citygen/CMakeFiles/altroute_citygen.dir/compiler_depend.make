@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for altroute_citygen.
+# This may be replaced when dependencies are built.

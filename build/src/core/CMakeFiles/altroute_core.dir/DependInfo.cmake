@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alternative_graph.cc" "src/core/CMakeFiles/altroute_core.dir/alternative_graph.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/alternative_graph.cc.o.d"
+  "/root/repo/src/core/commercial.cc" "src/core/CMakeFiles/altroute_core.dir/commercial.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/commercial.cc.o.d"
+  "/root/repo/src/core/dissimilarity.cc" "src/core/CMakeFiles/altroute_core.dir/dissimilarity.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/dissimilarity.cc.o.d"
+  "/root/repo/src/core/engine_registry.cc" "src/core/CMakeFiles/altroute_core.dir/engine_registry.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/engine_registry.cc.o.d"
+  "/root/repo/src/core/filters.cc" "src/core/CMakeFiles/altroute_core.dir/filters.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/filters.cc.o.d"
+  "/root/repo/src/core/path.cc" "src/core/CMakeFiles/altroute_core.dir/path.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/path.cc.o.d"
+  "/root/repo/src/core/penalty.cc" "src/core/CMakeFiles/altroute_core.dir/penalty.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/penalty.cc.o.d"
+  "/root/repo/src/core/plateau.cc" "src/core/CMakeFiles/altroute_core.dir/plateau.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/plateau.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/altroute_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/altroute_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/skyline.cc" "src/core/CMakeFiles/altroute_core.dir/skyline.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/skyline.cc.o.d"
+  "/root/repo/src/core/turn_aware_alternatives.cc" "src/core/CMakeFiles/altroute_core.dir/turn_aware_alternatives.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/turn_aware_alternatives.cc.o.d"
+  "/root/repo/src/core/yen_overlap.cc" "src/core/CMakeFiles/altroute_core.dir/yen_overlap.cc.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/yen_overlap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/altroute_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

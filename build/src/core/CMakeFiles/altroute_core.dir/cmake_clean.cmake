@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_core.dir/alternative_graph.cc.o"
+  "CMakeFiles/altroute_core.dir/alternative_graph.cc.o.d"
+  "CMakeFiles/altroute_core.dir/commercial.cc.o"
+  "CMakeFiles/altroute_core.dir/commercial.cc.o.d"
+  "CMakeFiles/altroute_core.dir/dissimilarity.cc.o"
+  "CMakeFiles/altroute_core.dir/dissimilarity.cc.o.d"
+  "CMakeFiles/altroute_core.dir/engine_registry.cc.o"
+  "CMakeFiles/altroute_core.dir/engine_registry.cc.o.d"
+  "CMakeFiles/altroute_core.dir/filters.cc.o"
+  "CMakeFiles/altroute_core.dir/filters.cc.o.d"
+  "CMakeFiles/altroute_core.dir/path.cc.o"
+  "CMakeFiles/altroute_core.dir/path.cc.o.d"
+  "CMakeFiles/altroute_core.dir/penalty.cc.o"
+  "CMakeFiles/altroute_core.dir/penalty.cc.o.d"
+  "CMakeFiles/altroute_core.dir/plateau.cc.o"
+  "CMakeFiles/altroute_core.dir/plateau.cc.o.d"
+  "CMakeFiles/altroute_core.dir/quality.cc.o"
+  "CMakeFiles/altroute_core.dir/quality.cc.o.d"
+  "CMakeFiles/altroute_core.dir/similarity.cc.o"
+  "CMakeFiles/altroute_core.dir/similarity.cc.o.d"
+  "CMakeFiles/altroute_core.dir/skyline.cc.o"
+  "CMakeFiles/altroute_core.dir/skyline.cc.o.d"
+  "CMakeFiles/altroute_core.dir/turn_aware_alternatives.cc.o"
+  "CMakeFiles/altroute_core.dir/turn_aware_alternatives.cc.o.d"
+  "CMakeFiles/altroute_core.dir/yen_overlap.cc.o"
+  "CMakeFiles/altroute_core.dir/yen_overlap.cc.o.d"
+  "libaltroute_core.a"
+  "libaltroute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/latlng.cc" "src/geo/CMakeFiles/altroute_geo.dir/latlng.cc.o" "gcc" "src/geo/CMakeFiles/altroute_geo.dir/latlng.cc.o.d"
+  "/root/repo/src/geo/polyline.cc" "src/geo/CMakeFiles/altroute_geo.dir/polyline.cc.o" "gcc" "src/geo/CMakeFiles/altroute_geo.dir/polyline.cc.o.d"
+  "/root/repo/src/geo/simplify.cc" "src/geo/CMakeFiles/altroute_geo.dir/simplify.cc.o" "gcc" "src/geo/CMakeFiles/altroute_geo.dir/simplify.cc.o.d"
+  "/root/repo/src/geo/spatial_index.cc" "src/geo/CMakeFiles/altroute_geo.dir/spatial_index.cc.o" "gcc" "src/geo/CMakeFiles/altroute_geo.dir/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_geo.dir/latlng.cc.o"
+  "CMakeFiles/altroute_geo.dir/latlng.cc.o.d"
+  "CMakeFiles/altroute_geo.dir/polyline.cc.o"
+  "CMakeFiles/altroute_geo.dir/polyline.cc.o.d"
+  "CMakeFiles/altroute_geo.dir/simplify.cc.o"
+  "CMakeFiles/altroute_geo.dir/simplify.cc.o.d"
+  "CMakeFiles/altroute_geo.dir/spatial_index.cc.o"
+  "CMakeFiles/altroute_geo.dir/spatial_index.cc.o.d"
+  "libaltroute_geo.a"
+  "libaltroute_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/altroute_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/altroute_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/altroute_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/altroute_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/road_class.cc" "src/graph/CMakeFiles/altroute_graph.dir/road_class.cc.o" "gcc" "src/graph/CMakeFiles/altroute_graph.dir/road_class.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/graph/CMakeFiles/altroute_graph.dir/road_network.cc.o" "gcc" "src/graph/CMakeFiles/altroute_graph.dir/road_network.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/altroute_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/altroute_graph.dir/serialization.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/graph/CMakeFiles/altroute_graph.dir/statistics.cc.o" "gcc" "src/graph/CMakeFiles/altroute_graph.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_graph.dir/components.cc.o"
+  "CMakeFiles/altroute_graph.dir/components.cc.o.d"
+  "CMakeFiles/altroute_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/altroute_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/altroute_graph.dir/road_class.cc.o"
+  "CMakeFiles/altroute_graph.dir/road_class.cc.o.d"
+  "CMakeFiles/altroute_graph.dir/road_network.cc.o"
+  "CMakeFiles/altroute_graph.dir/road_network.cc.o.d"
+  "CMakeFiles/altroute_graph.dir/serialization.cc.o"
+  "CMakeFiles/altroute_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/altroute_graph.dir/statistics.cc.o"
+  "CMakeFiles/altroute_graph.dir/statistics.cc.o.d"
+  "libaltroute_graph.a"
+  "libaltroute_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

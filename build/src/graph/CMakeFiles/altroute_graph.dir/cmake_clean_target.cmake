@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaltroute_graph.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osm/network_constructor.cc" "src/osm/CMakeFiles/altroute_osm.dir/network_constructor.cc.o" "gcc" "src/osm/CMakeFiles/altroute_osm.dir/network_constructor.cc.o.d"
+  "/root/repo/src/osm/osm_parser.cc" "src/osm/CMakeFiles/altroute_osm.dir/osm_parser.cc.o" "gcc" "src/osm/CMakeFiles/altroute_osm.dir/osm_parser.cc.o.d"
+  "/root/repo/src/osm/restrictions.cc" "src/osm/CMakeFiles/altroute_osm.dir/restrictions.cc.o" "gcc" "src/osm/CMakeFiles/altroute_osm.dir/restrictions.cc.o.d"
+  "/root/repo/src/osm/speed_model.cc" "src/osm/CMakeFiles/altroute_osm.dir/speed_model.cc.o" "gcc" "src/osm/CMakeFiles/altroute_osm.dir/speed_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

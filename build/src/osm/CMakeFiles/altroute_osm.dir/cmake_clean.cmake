@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_osm.dir/network_constructor.cc.o"
+  "CMakeFiles/altroute_osm.dir/network_constructor.cc.o.d"
+  "CMakeFiles/altroute_osm.dir/osm_parser.cc.o"
+  "CMakeFiles/altroute_osm.dir/osm_parser.cc.o.d"
+  "CMakeFiles/altroute_osm.dir/restrictions.cc.o"
+  "CMakeFiles/altroute_osm.dir/restrictions.cc.o.d"
+  "CMakeFiles/altroute_osm.dir/speed_model.cc.o"
+  "CMakeFiles/altroute_osm.dir/speed_model.cc.o.d"
+  "libaltroute_osm.a"
+  "libaltroute_osm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

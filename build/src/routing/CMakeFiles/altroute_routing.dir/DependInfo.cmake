@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/astar.cc" "src/routing/CMakeFiles/altroute_routing.dir/astar.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/astar.cc.o.d"
+  "/root/repo/src/routing/bidirectional_dijkstra.cc" "src/routing/CMakeFiles/altroute_routing.dir/bidirectional_dijkstra.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/bidirectional_dijkstra.cc.o.d"
+  "/root/repo/src/routing/contraction_hierarchy.cc" "src/routing/CMakeFiles/altroute_routing.dir/contraction_hierarchy.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/contraction_hierarchy.cc.o.d"
+  "/root/repo/src/routing/dijkstra.cc" "src/routing/CMakeFiles/altroute_routing.dir/dijkstra.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/dijkstra.cc.o.d"
+  "/root/repo/src/routing/many_to_many.cc" "src/routing/CMakeFiles/altroute_routing.dir/many_to_many.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/many_to_many.cc.o.d"
+  "/root/repo/src/routing/pareto.cc" "src/routing/CMakeFiles/altroute_routing.dir/pareto.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/pareto.cc.o.d"
+  "/root/repo/src/routing/phast.cc" "src/routing/CMakeFiles/altroute_routing.dir/phast.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/phast.cc.o.d"
+  "/root/repo/src/routing/turn_aware.cc" "src/routing/CMakeFiles/altroute_routing.dir/turn_aware.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/turn_aware.cc.o.d"
+  "/root/repo/src/routing/yen.cc" "src/routing/CMakeFiles/altroute_routing.dir/yen.cc.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/yen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

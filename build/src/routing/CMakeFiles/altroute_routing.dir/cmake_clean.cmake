@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_routing.dir/astar.cc.o"
+  "CMakeFiles/altroute_routing.dir/astar.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/bidirectional_dijkstra.cc.o"
+  "CMakeFiles/altroute_routing.dir/bidirectional_dijkstra.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/contraction_hierarchy.cc.o"
+  "CMakeFiles/altroute_routing.dir/contraction_hierarchy.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/dijkstra.cc.o"
+  "CMakeFiles/altroute_routing.dir/dijkstra.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/many_to_many.cc.o"
+  "CMakeFiles/altroute_routing.dir/many_to_many.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/pareto.cc.o"
+  "CMakeFiles/altroute_routing.dir/pareto.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/phast.cc.o"
+  "CMakeFiles/altroute_routing.dir/phast.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/turn_aware.cc.o"
+  "CMakeFiles/altroute_routing.dir/turn_aware.cc.o.d"
+  "CMakeFiles/altroute_routing.dir/yen.cc.o"
+  "CMakeFiles/altroute_routing.dir/yen.cc.o.d"
+  "libaltroute_routing.a"
+  "libaltroute_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaltroute_routing.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/demo_service.cc" "src/server/CMakeFiles/altroute_server.dir/demo_service.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/demo_service.cc.o.d"
+  "/root/repo/src/server/directions.cc" "src/server/CMakeFiles/altroute_server.dir/directions.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/directions.cc.o.d"
+  "/root/repo/src/server/geojson.cc" "src/server/CMakeFiles/altroute_server.dir/geojson.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/geojson.cc.o.d"
+  "/root/repo/src/server/http_server.cc" "src/server/CMakeFiles/altroute_server.dir/http_server.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/http_server.cc.o.d"
+  "/root/repo/src/server/json.cc" "src/server/CMakeFiles/altroute_server.dir/json.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/json.cc.o.d"
+  "/root/repo/src/server/query_processor.cc" "src/server/CMakeFiles/altroute_server.dir/query_processor.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/query_processor.cc.o.d"
+  "/root/repo/src/server/rating_store.cc" "src/server/CMakeFiles/altroute_server.dir/rating_store.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/rating_store.cc.o.d"
+  "/root/repo/src/server/url.cc" "src/server/CMakeFiles/altroute_server.dir/url.cc.o" "gcc" "src/server/CMakeFiles/altroute_server.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/altroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/altroute_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_server.dir/demo_service.cc.o"
+  "CMakeFiles/altroute_server.dir/demo_service.cc.o.d"
+  "CMakeFiles/altroute_server.dir/directions.cc.o"
+  "CMakeFiles/altroute_server.dir/directions.cc.o.d"
+  "CMakeFiles/altroute_server.dir/geojson.cc.o"
+  "CMakeFiles/altroute_server.dir/geojson.cc.o.d"
+  "CMakeFiles/altroute_server.dir/http_server.cc.o"
+  "CMakeFiles/altroute_server.dir/http_server.cc.o.d"
+  "CMakeFiles/altroute_server.dir/json.cc.o"
+  "CMakeFiles/altroute_server.dir/json.cc.o.d"
+  "CMakeFiles/altroute_server.dir/query_processor.cc.o"
+  "CMakeFiles/altroute_server.dir/query_processor.cc.o.d"
+  "CMakeFiles/altroute_server.dir/rating_store.cc.o"
+  "CMakeFiles/altroute_server.dir/rating_store.cc.o.d"
+  "CMakeFiles/altroute_server.dir/url.cc.o"
+  "CMakeFiles/altroute_server.dir/url.cc.o.d"
+  "libaltroute_server.a"
+  "libaltroute_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

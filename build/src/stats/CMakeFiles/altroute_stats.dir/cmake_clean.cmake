@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_stats.dir/anova.cc.o"
+  "CMakeFiles/altroute_stats.dir/anova.cc.o.d"
+  "CMakeFiles/altroute_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/altroute_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/altroute_stats.dir/descriptive.cc.o"
+  "CMakeFiles/altroute_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/altroute_stats.dir/distributions.cc.o"
+  "CMakeFiles/altroute_stats.dir/distributions.cc.o.d"
+  "libaltroute_stats.a"
+  "libaltroute_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_traffic.dir/traffic_model.cc.o"
+  "CMakeFiles/altroute_traffic.dir/traffic_model.cc.o.d"
+  "libaltroute_traffic.a"
+  "libaltroute_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/userstudy/comments.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/comments.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/comments.cc.o.d"
+  "/root/repo/src/userstudy/export.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/export.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/export.cc.o.d"
+  "/root/repo/src/userstudy/participant.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/participant.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/participant.cc.o.d"
+  "/root/repo/src/userstudy/rating_model.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/rating_model.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/rating_model.cc.o.d"
+  "/root/repo/src/userstudy/report.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/report.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/report.cc.o.d"
+  "/root/repo/src/userstudy/study_runner.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/study_runner.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/study_runner.cc.o.d"
+  "/root/repo/src/userstudy/tables.cc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/tables.cc.o" "gcc" "src/userstudy/CMakeFiles/altroute_userstudy.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/altroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/altroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/altroute_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

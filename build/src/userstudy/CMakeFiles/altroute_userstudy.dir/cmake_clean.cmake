@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_userstudy.dir/comments.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/comments.cc.o.d"
+  "CMakeFiles/altroute_userstudy.dir/export.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/export.cc.o.d"
+  "CMakeFiles/altroute_userstudy.dir/participant.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/participant.cc.o.d"
+  "CMakeFiles/altroute_userstudy.dir/rating_model.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/rating_model.cc.o.d"
+  "CMakeFiles/altroute_userstudy.dir/report.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/report.cc.o.d"
+  "CMakeFiles/altroute_userstudy.dir/study_runner.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/study_runner.cc.o.d"
+  "CMakeFiles/altroute_userstudy.dir/tables.cc.o"
+  "CMakeFiles/altroute_userstudy.dir/tables.cc.o.d"
+  "libaltroute_userstudy.a"
+  "libaltroute_userstudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_userstudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

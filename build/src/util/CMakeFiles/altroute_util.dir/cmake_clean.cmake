@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_util.dir/logging.cc.o"
+  "CMakeFiles/altroute_util.dir/logging.cc.o.d"
+  "CMakeFiles/altroute_util.dir/random.cc.o"
+  "CMakeFiles/altroute_util.dir/random.cc.o.d"
+  "CMakeFiles/altroute_util.dir/status.cc.o"
+  "CMakeFiles/altroute_util.dir/status.cc.o.d"
+  "CMakeFiles/altroute_util.dir/string_util.cc.o"
+  "CMakeFiles/altroute_util.dir/string_util.cc.o.d"
+  "libaltroute_util.a"
+  "libaltroute_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_testutil.dir/testutil.cc.o"
+  "CMakeFiles/altroute_testutil.dir/testutil.cc.o.d"
+  "libaltroute_testutil.a"
+  "libaltroute_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citygen_tests.dir/citygen/city_generator_test.cc.o"
+  "CMakeFiles/citygen_tests.dir/citygen/city_generator_test.cc.o.d"
+  "citygen_tests"
+  "citygen_tests.pdb"
+  "citygen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citygen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alternative_graph_test.cc" "tests/CMakeFiles/core_tests.dir/core/alternative_graph_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/alternative_graph_test.cc.o.d"
+  "/root/repo/tests/core/commercial_test.cc" "tests/CMakeFiles/core_tests.dir/core/commercial_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/commercial_test.cc.o.d"
+  "/root/repo/tests/core/dissimilarity_test.cc" "tests/CMakeFiles/core_tests.dir/core/dissimilarity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dissimilarity_test.cc.o.d"
+  "/root/repo/tests/core/engine_registry_test.cc" "tests/CMakeFiles/core_tests.dir/core/engine_registry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/engine_registry_test.cc.o.d"
+  "/root/repo/tests/core/filters_test.cc" "tests/CMakeFiles/core_tests.dir/core/filters_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/filters_test.cc.o.d"
+  "/root/repo/tests/core/path_test.cc" "tests/CMakeFiles/core_tests.dir/core/path_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/path_test.cc.o.d"
+  "/root/repo/tests/core/penalty_test.cc" "tests/CMakeFiles/core_tests.dir/core/penalty_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/penalty_test.cc.o.d"
+  "/root/repo/tests/core/plateau_test.cc" "tests/CMakeFiles/core_tests.dir/core/plateau_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/plateau_test.cc.o.d"
+  "/root/repo/tests/core/quality_test.cc" "tests/CMakeFiles/core_tests.dir/core/quality_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/quality_test.cc.o.d"
+  "/root/repo/tests/core/similarity_test.cc" "tests/CMakeFiles/core_tests.dir/core/similarity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/similarity_test.cc.o.d"
+  "/root/repo/tests/core/skyline_test.cc" "tests/CMakeFiles/core_tests.dir/core/skyline_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/skyline_test.cc.o.d"
+  "/root/repo/tests/core/turn_aware_alternatives_test.cc" "tests/CMakeFiles/core_tests.dir/core/turn_aware_alternatives_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/turn_aware_alternatives_test.cc.o.d"
+  "/root/repo/tests/core/yen_overlap_test.cc" "tests/CMakeFiles/core_tests.dir/core/yen_overlap_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/yen_overlap_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/altroute_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/userstudy/CMakeFiles/altroute_userstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/altroute_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/citygen/CMakeFiles/altroute_citygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/altroute_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/altroute_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/altroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/alternative_graph_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/alternative_graph_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/commercial_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/commercial_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/dissimilarity_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/dissimilarity_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/engine_registry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/engine_registry_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/filters_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/filters_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/path_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/path_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/penalty_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/penalty_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/plateau_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/plateau_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/quality_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/quality_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/similarity_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/similarity_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/skyline_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/skyline_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/turn_aware_alternatives_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/turn_aware_alternatives_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/yen_overlap_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/yen_overlap_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

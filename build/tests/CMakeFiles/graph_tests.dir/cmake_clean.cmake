@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/components_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/components_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/graph_builder_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/graph_builder_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/road_class_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/road_class_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/serialization_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/serialization_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/statistics_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/statistics_test.cc.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

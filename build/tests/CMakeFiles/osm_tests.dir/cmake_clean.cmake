@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_tests.dir/osm/network_constructor_test.cc.o"
+  "CMakeFiles/osm_tests.dir/osm/network_constructor_test.cc.o.d"
+  "CMakeFiles/osm_tests.dir/osm/osm_parser_test.cc.o"
+  "CMakeFiles/osm_tests.dir/osm/osm_parser_test.cc.o.d"
+  "CMakeFiles/osm_tests.dir/osm/restrictions_test.cc.o"
+  "CMakeFiles/osm_tests.dir/osm/restrictions_test.cc.o.d"
+  "CMakeFiles/osm_tests.dir/osm/speed_model_test.cc.o"
+  "CMakeFiles/osm_tests.dir/osm/speed_model_test.cc.o.d"
+  "osm_tests"
+  "osm_tests.pdb"
+  "osm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

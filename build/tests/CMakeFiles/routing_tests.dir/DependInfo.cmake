@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing/astar_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/astar_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/astar_test.cc.o.d"
+  "/root/repo/tests/routing/bidirectional_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/bidirectional_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/bidirectional_test.cc.o.d"
+  "/root/repo/tests/routing/contraction_hierarchy_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/contraction_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/contraction_hierarchy_test.cc.o.d"
+  "/root/repo/tests/routing/dijkstra_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/dijkstra_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/dijkstra_test.cc.o.d"
+  "/root/repo/tests/routing/indexed_heap_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/indexed_heap_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/indexed_heap_test.cc.o.d"
+  "/root/repo/tests/routing/many_to_many_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/many_to_many_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/many_to_many_test.cc.o.d"
+  "/root/repo/tests/routing/pareto_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/pareto_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/pareto_test.cc.o.d"
+  "/root/repo/tests/routing/phast_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/phast_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/phast_test.cc.o.d"
+  "/root/repo/tests/routing/turn_aware_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/turn_aware_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/turn_aware_test.cc.o.d"
+  "/root/repo/tests/routing/yen_test.cc" "tests/CMakeFiles/routing_tests.dir/routing/yen_test.cc.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/yen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/altroute_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/userstudy/CMakeFiles/altroute_userstudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/altroute_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/citygen/CMakeFiles/altroute_citygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/altroute_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/altroute_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/altroute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/altroute_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/altroute_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/altroute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

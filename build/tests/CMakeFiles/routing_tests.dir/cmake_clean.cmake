@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tests.dir/routing/astar_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/astar_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/bidirectional_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/bidirectional_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/contraction_hierarchy_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/contraction_hierarchy_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/dijkstra_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/dijkstra_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/indexed_heap_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/indexed_heap_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/many_to_many_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/many_to_many_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/pareto_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/pareto_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/phast_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/phast_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/turn_aware_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/turn_aware_test.cc.o.d"
+  "CMakeFiles/routing_tests.dir/routing/yen_test.cc.o"
+  "CMakeFiles/routing_tests.dir/routing/yen_test.cc.o.d"
+  "routing_tests"
+  "routing_tests.pdb"
+  "routing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

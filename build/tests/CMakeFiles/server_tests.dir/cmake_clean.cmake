@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_tests.dir/server/directions_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/directions_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/geojson_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/geojson_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/http_edge_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/http_edge_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/http_server_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/http_server_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/json_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/json_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/query_processor_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/query_processor_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/rating_store_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/rating_store_test.cc.o.d"
+  "CMakeFiles/server_tests.dir/server/url_test.cc.o"
+  "CMakeFiles/server_tests.dir/server/url_test.cc.o.d"
+  "server_tests"
+  "server_tests.pdb"
+  "server_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

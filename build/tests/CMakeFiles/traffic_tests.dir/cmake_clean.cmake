@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_tests.dir/traffic/traffic_model_test.cc.o"
+  "CMakeFiles/traffic_tests.dir/traffic/traffic_model_test.cc.o.d"
+  "traffic_tests"
+  "traffic_tests.pdb"
+  "traffic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

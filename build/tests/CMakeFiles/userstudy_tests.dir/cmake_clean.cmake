@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userstudy_tests.dir/userstudy/comments_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/comments_test.cc.o.d"
+  "CMakeFiles/userstudy_tests.dir/userstudy/export_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/export_test.cc.o.d"
+  "CMakeFiles/userstudy_tests.dir/userstudy/participant_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/participant_test.cc.o.d"
+  "CMakeFiles/userstudy_tests.dir/userstudy/rating_model_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/rating_model_test.cc.o.d"
+  "CMakeFiles/userstudy_tests.dir/userstudy/report_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/report_test.cc.o.d"
+  "CMakeFiles/userstudy_tests.dir/userstudy/study_runner_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/study_runner_test.cc.o.d"
+  "CMakeFiles/userstudy_tests.dir/userstudy/tables_test.cc.o"
+  "CMakeFiles/userstudy_tests.dir/userstudy/tables_test.cc.o.d"
+  "userstudy_tests"
+  "userstudy_tests.pdb"
+  "userstudy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userstudy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

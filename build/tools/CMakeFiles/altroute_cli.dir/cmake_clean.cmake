@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_cli.dir/altroute_cli.cc.o"
+  "CMakeFiles/altroute_cli.dir/altroute_cli.cc.o.d"
+  "altroute_cli"
+  "altroute_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

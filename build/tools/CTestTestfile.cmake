@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/altroute_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_route_smoke "/root/repo/build/tools/altroute_cli" "route" "--city" "melbourne" "--scale" "0.25" "--from" "1" "--to" "50")
+set_tests_properties(cli_route_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_route_geojson_smoke "/root/repo/build/tools/altroute_cli" "route" "--city" "copenhagen" "--scale" "0.25" "--from" "3" "--to" "40" "--engine" "plateau" "--geojson")
+set_tests_properties(cli_route_geojson_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_build_city_smoke "/root/repo/build/tools/altroute_cli" "build-city" "dhaka" "--scale" "0.2")
+set_tests_properties(cli_build_city_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
