@@ -34,13 +34,14 @@ void RunEngine(benchmark::State& state, Approach approach) {
   SuiteHolder& h = Holder();
   Rng rng(7);
   size_t routes = 0, sets = 0;
+  obs::SearchStats stats;
   for (auto _ : state) {
     NodeId s, t;
     do {
       s = static_cast<NodeId>(rng.NextUint64(h.net->num_nodes()));
       t = static_cast<NodeId>(rng.NextUint64(h.net->num_nodes()));
     } while (s == t);
-    auto set = h.suite->engine(approach).Generate(s, t);
+    auto set = h.suite->engine(approach).Generate(s, t, &stats);
     benchmark::DoNotOptimize(set);
     if (set.ok()) {
       routes += set->routes.size();
@@ -50,6 +51,12 @@ void RunEngine(benchmark::State& state, Approach approach) {
   if (sets > 0) {
     state.counters["routes/query"] =
         static_cast<double>(routes) / static_cast<double>(sets);
+  }
+  // Per-engine search effort, averaged per query (paper Sec. 2 cost claims).
+  for (const auto& [key, value] : SearchStatsCounters(stats)) {
+    if (value == 0.0) continue;
+    state.counters[key] =
+        benchmark::Counter(value, benchmark::Counter::kAvgIterations);
   }
 }
 

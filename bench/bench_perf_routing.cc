@@ -54,6 +54,27 @@ void BM_DijkstraPointToPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_DijkstraPointToPoint);
 
+// Same query mix with SearchStats collection enabled: the delta against
+// BM_DijkstraPointToPoint is the observability overhead (budget: < 5%).
+void BM_DijkstraPointToPointWithStats(benchmark::State& state) {
+  auto net = BenchCity();
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  obs::SearchStats stats;
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times(),
+                                   /*skip_edge=*/nullptr, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  for (const auto& [key, value] : SearchStatsCounters(stats)) {
+    if (value == 0.0) continue;
+    state.counters[key] =
+        benchmark::Counter(value, benchmark::Counter::kAvgIterations);
+  }
+}
+BENCHMARK(BM_DijkstraPointToPointWithStats);
+
 void BM_DijkstraFullTree(benchmark::State& state) {
   auto net = BenchCity();
   Dijkstra dijkstra(*net);

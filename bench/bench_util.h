@@ -5,11 +5,13 @@
 
 #include <array>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "citygen/city_generator.h"
+#include "obs/search_stats.h"
 #include "userstudy/tables.h"
 #include "util/logging.h"
 
@@ -41,6 +43,21 @@ inline StudyResults RunPaperStudy(std::shared_ptr<RoadNetwork> net,
   auto results = runner.Run();
   ALTROUTE_CHECK(results.ok()) << results.status();
   return std::move(results).ValueOrDie();
+}
+
+/// Flattens SearchStats into named values, in a form both google-benchmark
+/// counters and the plain reproduction executables' JSON output can consume
+/// (this header must stay independent of benchmark.h — see the repro mains).
+inline std::map<std::string, double> SearchStatsCounters(
+    const obs::SearchStats& s) {
+  return {
+      {"nodes_settled", static_cast<double>(s.nodes_settled)},
+      {"edges_relaxed", static_cast<double>(s.edges_relaxed)},
+      {"heap_pushes", static_cast<double>(s.heap_pushes)},
+      {"heap_pops", static_cast<double>(s.heap_pops)},
+      {"paths_generated", static_cast<double>(s.paths_generated)},
+      {"paths_rejected", static_cast<double>(s.paths_rejected_total())},
+  };
 }
 
 /// One published table row: mean/sd per approach + response count.

@@ -10,6 +10,7 @@
 
 #include "core/path.h"
 #include "graph/road_network.h"
+#include "obs/search_stats.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -54,8 +55,12 @@ class AlternativeRouteGenerator {
   virtual const std::string& name() const = 0;
 
   /// Computes alternatives from `source` to `target`. Returns NotFound when
-  /// no s-t path exists, InvalidArgument on bad node ids.
-  virtual Result<AlternativeSet> Generate(NodeId source, NodeId target) = 0;
+  /// no s-t path exists, InvalidArgument on bad node ids. When `stats` is
+  /// non-null, search counters (settled nodes, relaxed edges, generated and
+  /// rejected candidates) are accumulated into it; passing nullptr (the
+  /// default) disables collection at zero cost.
+  virtual Result<AlternativeSet> Generate(NodeId source, NodeId target,
+                                          obs::SearchStats* stats = nullptr) = 0;
 
   /// The weight vector the generator searches with (one entry per edge).
   virtual const std::vector<double>& weights() const = 0;

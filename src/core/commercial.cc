@@ -25,10 +25,14 @@ CommercialBaseline::CommercialBaseline(std::shared_ptr<const RoadNetwork> net,
 }
 
 Result<AlternativeSet> CommercialBaseline::Generate(NodeId source,
-                                                    NodeId target) {
+                                                    NodeId target,
+                                                    obs::SearchStats* stats) {
   // Candidate pool: plateau routes + via-node routes on commercial data.
-  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet plat, plateau_->Generate(source, target));
-  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet via, via_->Generate(source, target));
+  // Both sub-generators accumulate into the same stats object.
+  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet plat,
+                            plateau_->Generate(source, target, stats));
+  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet via,
+                            via_->Generate(source, target, stats));
 
   AlternativeSet out;
   out.optimal_cost = plat.optimal_cost;
@@ -38,14 +42,24 @@ Result<AlternativeSet> CommercialBaseline::Generate(NodeId source,
   for (Path& p : via.routes) {
     const bool duplicate = std::any_of(
         pool.begin(), pool.end(), [&](const Path& q) { return SameEdges(p, q); });
-    if (!duplicate) pool.push_back(std::move(p));
+    if (duplicate) {
+      if (stats != nullptr) ++stats->paths_rejected_similarity;
+      continue;
+    }
+    pool.push_back(std::move(p));
   }
 
   // Proprietary-style refinement: enforce the hard stretch bound on the
   // commercial data, rank by perceptual score, prune near-duplicates.
+  const size_t before_stretch = pool.size();
   pool = PruneByStretch(pool, out.optimal_cost, options_.stretch_bound, weights_);
+  const size_t before_similarity = pool.size();
   pool = RankPerceptually(*net_, pool, out.optimal_cost, weights_);
   pool = PruneBySimilarity(*net_, pool, /*max_similarity=*/0.6);
+  if (stats != nullptr) {
+    stats->paths_rejected_stretch += before_stretch - before_similarity;
+    stats->paths_rejected_similarity += before_similarity - pool.size();
+  }
 
   if (pool.empty()) return Status::NotFound("no route found");
   if (static_cast<int>(pool.size()) > options_.max_routes) {

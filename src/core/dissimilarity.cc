@@ -20,15 +20,18 @@ DissimilarityGenerator::DissimilarityGenerator(
 }
 
 Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,
-                                                        NodeId target) {
+                                                        NodeId target,
+                                                        obs::SearchStats* stats) {
   // Like Plateaus, SSVP-D+ is powered by the two shortest-path trees.
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree fwd,
-      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward));
+      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward,
+                          kInfCost, stats));
   size_t settled = dijkstra_.last_settled_count();
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree bwd,
-      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward));
+      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward,
+                          kInfCost, stats));
   settled += dijkstra_.last_settled_count();
 
   if (!fwd.Reached(target)) {
@@ -47,6 +50,7 @@ Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,
       Path shortest,
       MakePath(*net_, source, target, std::move(sp_edges), weights_));
   out.routes.push_back(std::move(shortest));
+  if (stats != nullptr) ++stats->paths_generated;
 
   // Candidate via nodes in ascending via-path length, bounded by the
   // stretch limit. Nodes unreached in either tree are excluded.
@@ -77,14 +81,19 @@ Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,
     auto path_or = MakePath(*net_, source, target, std::move(edges), weights_);
     if (!path_or.ok()) continue;
     Path path = std::move(path_or).ValueOrDie();
+    if (stats != nullptr) ++stats->paths_generated;
 
     // Via-paths whose halves share nodes contain loops; such candidates are
     // not valid simple alternatives.
-    if (!IsLoopless(*net_, path)) continue;
+    if (!IsLoopless(*net_, path)) {
+      if (stats != nullptr) ++stats->paths_rejected_filter;
+      continue;
+    }
 
     // The defining acceptance test: dis(p, P) > theta.
     if (DissimilarityToSet(*net_, path, out.routes, measure_) <=
         options_.dissimilarity_threshold) {
+      if (stats != nullptr) ++stats->paths_rejected_similarity;
       continue;
     }
     out.routes.push_back(std::move(path));

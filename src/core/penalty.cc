@@ -18,14 +18,20 @@ PenaltyGenerator::PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
       << "weight vector size mismatch";
 }
 
-Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target) {
+Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
+                                                  obs::SearchStats* stats) {
   AlternativeSet out;
   penalized_.assign(weights_.begin(), weights_.end());
 
   // Iteration 1 yields the true shortest path (no penalties applied yet).
-  auto first = dijkstra_.ShortestPath(source, target, penalized_);
+  auto first = dijkstra_.ShortestPath(source, target, penalized_,
+                                      /*skip_edge=*/nullptr, stats);
   if (!first.ok()) return first.status();
   out.work_settled_nodes += dijkstra_.last_settled_count();
+  if (stats != nullptr) {
+    ++stats->iterations;
+    ++stats->paths_generated;
+  }
 
   ALTROUTE_ASSIGN_OR_RETURN(
       Path shortest, MakePath(*net_, source, target, std::move(first->edges),
@@ -47,9 +53,14 @@ Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target) 
       if (twin != kInvalidEdge) penalized_[twin] *= options_.penalty_factor;
     }
 
-    auto next = dijkstra_.ShortestPath(source, target, penalized_);
+    auto next = dijkstra_.ShortestPath(source, target, penalized_,
+                                       /*skip_edge=*/nullptr, stats);
     if (!next.ok()) break;  // penalties cannot disconnect, but stay defensive
     out.work_settled_nodes += dijkstra_.last_settled_count();
+    if (stats != nullptr) {
+      ++stats->iterations;
+      ++stats->paths_generated;
+    }
 
     auto path_or = MakePath(*net_, source, target, std::move(next->edges),
                             weights_);
@@ -60,13 +71,19 @@ Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target) 
     // cheapest new path exceeds it, later iterations only get worse in
     // penalized cost but can oscillate in real cost, so keep iterating
     // until the iteration cap — but never accept an over-bound path.
-    if (path.cost > cost_limit + 1e-9) continue;
+    if (path.cost > cost_limit + 1e-9) {
+      if (stats != nullptr) ++stats->paths_rejected_stretch;
+      continue;
+    }
 
     // Reject exact duplicates of already accepted paths.
     const bool duplicate =
         std::any_of(out.routes.begin(), out.routes.end(),
                     [&](const Path& p) { return SameEdges(p, path); });
-    if (duplicate) continue;
+    if (duplicate) {
+      if (stats != nullptr) ++stats->paths_rejected_similarity;
+      continue;
+    }
 
     out.routes.push_back(std::move(path));
   }

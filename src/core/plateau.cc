@@ -79,15 +79,18 @@ Result<std::vector<Plateau>> PlateauGenerator::ComputePlateaus(NodeId source,
   return PlateausFromTrees(fwd, bwd);
 }
 
-Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target) {
+Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target,
+                                                  obs::SearchStats* stats) {
   // Two full Dijkstra trees dominate the cost, exactly as the paper notes.
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree fwd,
-      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward));
+      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward,
+                          kInfCost, stats));
   size_t settled = dijkstra_.last_settled_count();
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree bwd,
-      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward));
+      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward,
+                          kInfCost, stats));
   settled += dijkstra_.last_settled_count();
 
   if (!fwd.Reached(target)) {
@@ -107,13 +110,17 @@ Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target) 
       Path shortest,
       MakePath(*net_, source, target, std::move(sp_edges), weights_));
   out.routes.push_back(std::move(shortest));
+  if (stats != nullptr) ++stats->paths_generated;
 
   ALTROUTE_ASSIGN_OR_RETURN(std::vector<Plateau> plateaus,
                             PlateausFromTrees(fwd, bwd));
 
   for (const Plateau& pl : plateaus) {
     if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
-    if (pl.route_cost > cost_limit + 1e-9) continue;
+    if (pl.route_cost > cost_limit + 1e-9) {
+      if (stats != nullptr) ++stats->paths_rejected_stretch;
+      continue;
+    }
 
     auto prefix_or = fwd.PathTo(*net_, pl.start);
     auto suffix_or = bwd.PathTo(*net_, pl.end);
@@ -124,14 +131,24 @@ Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target) 
     edges.insert(edges.end(), suffix.begin(), suffix.end());
 
     auto path_or = MakePath(*net_, source, target, std::move(edges), weights_);
-    if (!path_or.ok()) continue;  // defensive: malformed joins are dropped
+    if (!path_or.ok()) {  // defensive: malformed joins are dropped
+      if (stats != nullptr) ++stats->paths_rejected_filter;
+      continue;
+    }
     Path path = std::move(path_or).ValueOrDie();
+    if (stats != nullptr) ++stats->paths_generated;
 
     const bool duplicate =
         std::any_of(out.routes.begin(), out.routes.end(),
                     [&](const Path& p) { return SameEdges(p, path); });
-    if (duplicate) continue;
-    if (!IsLoopless(*net_, path)) continue;  // tree joins can rarely loop
+    if (duplicate) {
+      if (stats != nullptr) ++stats->paths_rejected_similarity;
+      continue;
+    }
+    if (!IsLoopless(*net_, path)) {  // tree joins can rarely loop
+      if (stats != nullptr) ++stats->paths_rejected_filter;
+      continue;
+    }
 
     out.routes.push_back(std::move(path));
   }

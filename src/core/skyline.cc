@@ -22,7 +22,8 @@ SkylineGenerator::SkylineGenerator(std::shared_ptr<const RoadNetwork> net,
 }
 
 Result<AlternativeSet> SkylineGenerator::Generate(NodeId source,
-                                                  NodeId target) {
+                                                  NodeId target,
+                                                  obs::SearchStats* stats) {
   BiCriteriaOptions search_options;
   search_options.cost1_bound_factor = options_.stretch_bound;
   ALTROUTE_ASSIGN_OR_RETURN(
@@ -39,8 +40,15 @@ Result<AlternativeSet> SkylineGenerator::Generate(NodeId source,
     if (pp.cost1 > cost_limit + 1e-9) break;
     auto path_or =
         MakePath(*net_, source, target, std::move(pp.edges), weights_);
-    if (!path_or.ok()) continue;
-    if (!IsLoopless(*net_, *path_or)) continue;
+    if (!path_or.ok()) {
+      if (stats != nullptr) ++stats->paths_rejected_filter;
+      continue;
+    }
+    if (!IsLoopless(*net_, *path_or)) {
+      if (stats != nullptr) ++stats->paths_rejected_filter;
+      continue;
+    }
+    if (stats != nullptr) ++stats->paths_generated;
     candidates.push_back(std::move(path_or).ValueOrDie());
   }
   if (candidates.empty()) return Status::NotFound("no route found");

@@ -26,7 +26,8 @@ class SkylineGenerator final : public AlternativeRouteGenerator {
 
   /// Reports the fastest path plus up to k-1 Pareto-optimal alternatives
   /// within the stretch bound, greedily selected for pairwise diversity.
-  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+  Result<AlternativeSet> Generate(NodeId source, NodeId target,
+                                  obs::SearchStats* stats = nullptr) override;
 
  private:
   std::string name_ = "skyline";

@@ -152,14 +152,15 @@ const std::vector<double>& TurnAwareAlternatives::weights() const {
 }
 
 Result<AlternativeSet> TurnAwareAlternatives::Generate(NodeId source,
-                                                       NodeId target) {
+                                                       NodeId target,
+                                                       obs::SearchStats* stats) {
   if (source >= net_->num_nodes() || target >= net_->num_nodes()) {
     return Status::InvalidArgument("endpoint out of range");
   }
   ALTROUTE_ASSIGN_OR_RETURN(
       AlternativeSet expanded_set,
       inner_->Generate(expansion_.out_gateway[source],
-                       expansion_.in_gateway[target]));
+                       expansion_.in_gateway[target], stats));
 
   AlternativeSet out;
   out.optimal_cost = expanded_set.optimal_cost;

@@ -56,7 +56,8 @@ class TurnAwareAlternatives final : public AlternativeRouteGenerator {
   const std::string& name() const override { return name_; }
   const std::vector<double>& weights() const override;
 
-  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+  Result<AlternativeSet> Generate(NodeId source, NodeId target,
+                                  obs::SearchStats* stats = nullptr) override;
 
  private:
   TurnAwareAlternatives() = default;

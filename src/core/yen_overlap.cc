@@ -18,7 +18,8 @@ YenOverlapGenerator::YenOverlapGenerator(std::shared_ptr<const RoadNetwork> net,
 }
 
 Result<AlternativeSet> YenOverlapGenerator::Generate(NodeId source,
-                                                     NodeId target) {
+                                                     NodeId target,
+                                                     obs::SearchStats* stats) {
   // Yen enumerates in cost order; the incremental variant of [8] would stop
   // adaptively, we request a bounded batch and filter. The batch size trades
   // completeness for cost exactly like the published heuristics.
@@ -39,9 +40,11 @@ Result<AlternativeSet> YenOverlapGenerator::Generate(NodeId source,
                             weights_);
     if (!path_or.ok()) continue;
     Path path = std::move(path_or).ValueOrDie();
+    if (stats != nullptr) ++stats->paths_generated;
     if (!out.routes.empty() &&
         DissimilarityToSet(*net_, path, out.routes) <=
             options_.dissimilarity_threshold) {
+      if (stats != nullptr) ++stats->paths_rejected_similarity;
       continue;  // overlap with an accepted path is too high
     }
     out.routes.push_back(std::move(path));

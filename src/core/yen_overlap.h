@@ -22,7 +22,8 @@ class YenOverlapGenerator final : public AlternativeRouteGenerator {
   const std::string& name() const override { return name_; }
   const std::vector<double>& weights() const override { return weights_; }
 
-  Result<AlternativeSet> Generate(NodeId source, NodeId target) override;
+  Result<AlternativeSet> Generate(NodeId source, NodeId target,
+                                  obs::SearchStats* stats = nullptr) override;
 
  private:
   std::string name_ = "yen-overlap";

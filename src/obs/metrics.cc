@@ -1,0 +1,353 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace altroute {
+namespace obs {
+
+void Gauge::Add(double delta) {
+  // fetch_add on atomic<double> is C++20 but not universally lowered well;
+  // a CAS loop is portable and the gauge is not a hot-path instrument.
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int count) {
+  ALTROUTE_CHECK(start > 0.0) << "bucket start must be positive";
+  ALTROUTE_CHECK(factor > 1.0) << "bucket factor must exceed 1";
+  ALTROUTE_CHECK(count > 0) << "bucket count must be positive";
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  ALTROUTE_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
+  ALTROUTE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "bucket bounds must be increasing";
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound: the `le` bucket bound is inclusive (Prometheus semantics).
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      if (i == counts.size() - 1) return bounds_.back();  // +Inf bucket
+      const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+namespace {
+
+constexpr int kCounter = 0;
+constexpr int kGauge = 1;
+constexpr int kHistogram = 2;
+constexpr int kCounterFamily = 3;
+constexpr int kGaugeFamily = 4;
+constexpr int kHistogramFamily = 5;
+
+const char* TypeName(int kind) {
+  switch (kind) {
+    case kCounter:
+    case kCounterFamily:
+      return "counter";
+    case kGauge:
+    case kGaugeFamily:
+      return "gauge";
+    case kHistogram:
+    case kHistogramFamily:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Escapes a label value per the exposition format: backslash, quote, LF.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Renders `{k1="v1",k2="v2"}`; empty when there are no labels.
+std::string LabelBlock(const std::vector<std::string>& keys,
+                       const std::vector<std::string>& values,
+                       const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  std::ostringstream os;
+  bool any = false;
+  for (size_t i = 0; i < keys.size() && i < values.size(); ++i) {
+    os << (any ? "," : "{") << keys[i] << "=\"" << EscapeLabelValue(values[i])
+       << "\"";
+    any = true;
+  }
+  if (!extra_key.empty()) {
+    os << (any ? "," : "{") << extra_key << "=\"" << extra_value << "\"";
+    any = true;
+  }
+  if (any) os << "}";
+  return os.str();
+}
+
+void RenderHistogram(std::ostringstream& os, const std::string& name,
+                     const std::vector<std::string>& keys,
+                     const std::vector<std::string>& values,
+                     const Histogram& h) {
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.bounds().size(); ++i) {
+    cumulative += counts[i];
+    os << name << "_bucket"
+       << LabelBlock(keys, values, "le", FormatValue(h.bounds()[i])) << " "
+       << cumulative << "\n";
+  }
+  cumulative += counts.back();
+  os << name << "_bucket" << LabelBlock(keys, values, "le", "+Inf") << " "
+     << cumulative << "\n";
+  os << name << "_sum" << LabelBlock(keys, values) << " "
+     << FormatValue(h.Sum()) << "\n";
+  os << name << "_count" << LabelBlock(keys, values) << " " << cumulative
+     << "\n";
+}
+
+}  // namespace
+
+struct MetricsRegistry::Entry {
+  int kind = -1;
+  std::string help;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<CounterFamily> counter_family;
+  std::unique_ptr<GaugeFamily> gauge_family;
+  std::unique_ptr<HistogramFamily> histogram_family;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     const std::string& help,
+                                                     int kind) {
+  // Caller holds mu_.
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ALTROUTE_CHECK(it->second->kind == kind)
+        << "metric '" << name << "' re-registered as a different kind";
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->help = help;
+  return *entries_.emplace(name, std::move(entry)).first->second;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                                    int kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second->kind != kind) return nullptr;
+  return it->second.get();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = GetOrCreate(name, help, kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = GetOrCreate(name, help, kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = GetOrCreate(name, help, kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+CounterFamily& MetricsRegistry::GetCounterFamily(
+    const std::string& name, const std::string& help,
+    std::vector<std::string> label_keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = GetOrCreate(name, help, kCounterFamily);
+  if (!e.counter_family) {
+    e.counter_family =
+        std::make_unique<CounterFamily>(name, help, std::move(label_keys));
+  }
+  return *e.counter_family;
+}
+
+GaugeFamily& MetricsRegistry::GetGaugeFamily(const std::string& name,
+                                             const std::string& help,
+                                             std::vector<std::string> label_keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = GetOrCreate(name, help, kGaugeFamily);
+  if (!e.gauge_family) {
+    e.gauge_family =
+        std::make_unique<GaugeFamily>(name, help, std::move(label_keys));
+  }
+  return *e.gauge_family;
+}
+
+HistogramFamily& MetricsRegistry::GetHistogramFamily(
+    const std::string& name, const std::string& help,
+    std::vector<std::string> label_keys, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = GetOrCreate(name, help, kHistogramFamily);
+  if (!e.histogram_family) {
+    e.histogram_family = std::make_unique<HistogramFamily>(
+        name, help, std::move(label_keys), std::move(bounds));
+  }
+  return *e.histogram_family;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const Entry* e = Find(name, kCounter);
+  return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const Entry* e = Find(name, kGauge);
+  return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const Entry* e = Find(name, kHistogram);
+  return e ? e->histogram.get() : nullptr;
+}
+
+const CounterFamily* MetricsRegistry::FindCounterFamily(
+    const std::string& name) const {
+  const Entry* e = Find(name, kCounterFamily);
+  return e ? e->counter_family.get() : nullptr;
+}
+
+std::string MetricsRegistry::ExposePrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  static const std::vector<std::string> kNoKeys;
+  static const std::vector<std::string> kNoValues;
+  // std::map iteration is already name-sorted.
+  for (const auto& [name, entry] : entries_) {
+    if (!entry->help.empty()) {
+      os << "# HELP " << name << " " << entry->help << "\n";
+    }
+    os << "# TYPE " << name << " " << TypeName(entry->kind) << "\n";
+    switch (entry->kind) {
+      case kCounter:
+        os << name << " " << entry->counter->Value() << "\n";
+        break;
+      case kGauge:
+        os << name << " " << FormatValue(entry->gauge->Value()) << "\n";
+        break;
+      case kHistogram:
+        RenderHistogram(os, name, kNoKeys, kNoValues, *entry->histogram);
+        break;
+      case kCounterFamily:
+        for (const auto& [labels, child] : entry->counter_family->Children()) {
+          os << name << LabelBlock(entry->counter_family->keys(), labels)
+             << " " << child->Value() << "\n";
+        }
+        break;
+      case kGaugeFamily:
+        for (const auto& [labels, child] : entry->gauge_family->Children()) {
+          os << name << LabelBlock(entry->gauge_family->keys(), labels) << " "
+             << FormatValue(child->Value()) << "\n";
+        }
+        break;
+      case kHistogramFamily:
+        for (const auto& [labels, child] : entry->histogram_family->Children()) {
+          RenderHistogram(os, name, entry->histogram_family->keys(), labels,
+                          *child);
+        }
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace altroute

@@ -1,0 +1,109 @@
+// Per-query tracing: a tree of timed spans, each optionally carrying the
+// SearchStats its subtree produced and free-form string attributes.
+//
+// Usage (single-threaded — one Trace belongs to one query):
+//   Trace trace;
+//   {
+//     TraceSpan query(&trace, "query");
+//     {
+//       TraceSpan gen(&trace, "generate:penalty");
+//       engine.Generate(s, t, gen.stats());
+//       gen.SetAttr("routes", "3");
+//     }  // gen ends here
+//   }
+//   std::string json = trace.ToJson();
+//
+// A TraceSpan constructed with a null Trace* is a complete no-op (stats()
+// returns nullptr, which disables collection down the call chain), so call
+// sites create spans unconditionally and pay nothing when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/search_stats.h"
+
+namespace altroute {
+namespace obs {
+
+class Trace;
+
+/// RAII handle for one span. Nesting is inferred from construction order:
+/// a span started while another is open becomes its child.
+class TraceSpan {
+ public:
+  /// Starts a span named `name`; no-op when `trace` is null.
+  TraceSpan(Trace* trace, std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Stats sink for this span, or nullptr when tracing is disabled —
+  /// pass straight through as the kernels' out-parameter.
+  SearchStats* stats();
+
+  /// Attaches a string attribute (last write wins on duplicate keys).
+  void SetAttr(const std::string& key, std::string value);
+
+  /// Ends the span early (idempotent; the destructor calls it too).
+  void End();
+
+ private:
+  Trace* trace_ = nullptr;
+  size_t id_ = 0;
+  bool ended_ = true;
+};
+
+/// Owns the span tree of one query. Not thread-safe (a query is processed
+/// on one thread; create one Trace per query).
+class Trace {
+ public:
+  Trace();
+
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  /// Number of spans recorded so far.
+  size_t size() const { return spans_.size(); }
+
+  /// True while at least one span is open.
+  bool HasOpenSpan() const { return !open_.empty(); }
+
+  /// Renders the span forest as JSON: [{"name":..., "start_ms":...,
+  /// "duration_ms":..., "attrs":{...}, "stats":{...}, "children":[...]}].
+  /// Spans still open render with their current elapsed time.
+  std::string ToJson() const;
+
+  /// Total wall time of the first root span, in milliseconds (0 when empty).
+  double RootDurationMs() const;
+
+ private:
+  friend class TraceSpan;
+
+  struct Span {
+    std::string name;
+    size_t parent = kNoParent;
+    double start_ms = 0.0;
+    double duration_ms = 0.0;
+    bool open = true;
+    SearchStats stats;
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::vector<size_t> children;
+  };
+
+  size_t StartSpan(std::string name);
+  void EndSpan(size_t id);
+  double NowMs() const;
+  void AppendSpanJson(size_t id, std::string* out) const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;
+  std::vector<size_t> roots_;
+  std::vector<size_t> open_;  // stack of open span ids (parent inference)
+};
+
+}  // namespace obs
+}  // namespace altroute

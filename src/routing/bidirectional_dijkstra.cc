@@ -10,7 +10,8 @@ BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& net)
     : net_(net) {}
 
 Result<RouteResult> BidirectionalDijkstra::ShortestPath(
-    NodeId source, NodeId target, std::span<const double> weights) {
+    NodeId source, NodeId target, std::span<const double> weights,
+    obs::SearchStats* stats) {
   const size_t n = net_.num_nodes();
   if (source >= n || target >= n) {
     return Status::InvalidArgument("endpoint out of range");
@@ -33,6 +34,7 @@ Result<RouteResult> BidirectionalDijkstra::ShortestPath(
   double best = kInfCost;
   NodeId meet = kInvalidNode;
   last_settled_ = 0;
+  uint64_t relaxed = 0, pushes = 2, pops = 0;
 
   auto try_improve = [&](NodeId v) {
     if (dist_f[v] < kInfCost && dist_b[v] < kInfCost &&
@@ -51,35 +53,48 @@ Result<RouteResult> BidirectionalDijkstra::ShortestPath(
 
     if (top_f <= top_b) {
       const auto [u, du] = heap_f.PopMin();
+      ++pops;
       if (settled_f[u]) continue;
       settled_f[u] = true;
       ++last_settled_;
       for (EdgeId e : net_.OutEdges(u)) {
         const NodeId v = net_.head(e);
         const double dv = du + weights[e];
+        ++relaxed;
         if (dv < dist_f[v]) {
           dist_f[v] = dv;
           parent_f[v] = e;
           heap_f.PushOrDecrease(v, dv);
+          ++pushes;
         }
         try_improve(v);
       }
     } else {
       const auto [u, du] = heap_b.PopMin();
+      ++pops;
       if (settled_b[u]) continue;
       settled_b[u] = true;
       ++last_settled_;
       for (EdgeId e : net_.InEdges(u)) {
         const NodeId v = net_.tail(e);
         const double dv = du + weights[e];
+        ++relaxed;
         if (dv < dist_b[v]) {
           dist_b[v] = dv;
           parent_b[v] = e;
           heap_b.PushOrDecrease(v, dv);
+          ++pushes;
         }
         try_improve(v);
       }
     }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_settled += last_settled_;
+    stats->edges_relaxed += relaxed;
+    stats->heap_pushes += pushes;
+    stats->heap_pops += pops;
   }
 
   if (meet == kInvalidNode) {

@@ -15,8 +15,11 @@ class BidirectionalDijkstra {
   explicit BidirectionalDijkstra(const RoadNetwork& net);
 
   /// One-to-one shortest path; semantics identical to Dijkstra::ShortestPath.
+  /// When `stats` is non-null, search counters for both frontiers are
+  /// accumulated into it.
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
-                                   std::span<const double> weights);
+                                   std::span<const double> weights,
+                                   obs::SearchStats* stats = nullptr);
 
   /// Nodes settled by the last query across both frontiers.
   size_t last_settled_count() const { return last_settled_; }

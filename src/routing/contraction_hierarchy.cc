@@ -242,8 +242,8 @@ void ContractionHierarchy::UnpackArc(uint32_t arc,
   UnpackArc(a.child2, out);
 }
 
-Result<RouteResult> ContractionHierarchy::ShortestPath(NodeId source,
-                                                       NodeId target) const {
+Result<RouteResult> ContractionHierarchy::ShortestPath(
+    NodeId source, NodeId target, obs::SearchStats* stats) const {
   const size_t n = net_->num_nodes();
   if (source >= n || target >= n) {
     return Status::InvalidArgument("endpoint out of range");
@@ -261,6 +261,7 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(NodeId source,
 
   double best = kInfCost;
   NodeId meet = kInvalidNode;
+  uint64_t settled = 0, relaxed = 0, pushes = 2, pops = 0;
 
   // Both searches go strictly upward; neither can be stopped at the first
   // meeting, so run each to exhaustion of entries below `best`.
@@ -270,6 +271,8 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(NodeId source,
     if (std::min(tf, tb) >= best) break;
     if (tf <= tb) {
       const auto [u, du] = heap_f.PopMin();
+      ++pops;
+      ++settled;
       if (dist_b[u] < kInfCost && du + dist_b[u] < best) {
         best = du + dist_b[u];
         meet = u;
@@ -278,14 +281,18 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(NodeId source,
         const uint32_t aid = up_arcs_[i];
         const Arc& a = arcs_[aid];
         const double dv = du + a.weight;
+        ++relaxed;
         if (dv < dist_f[a.to]) {
           dist_f[a.to] = dv;
           parent_f[a.to] = aid;
           heap_f.PushOrDecrease(a.to, dv);
+          ++pushes;
         }
       }
     } else {
       const auto [u, du] = heap_b.PopMin();
+      ++pops;
+      ++settled;
       if (dist_f[u] < kInfCost && du + dist_f[u] < best) {
         best = du + dist_f[u];
         meet = u;
@@ -294,13 +301,22 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(NodeId source,
         const uint32_t aid = down_arcs_[i];
         const Arc& a = arcs_[aid];  // arc a.from -> u with rank[a.from] higher
         const double dv = du + a.weight;
+        ++relaxed;
         if (dv < dist_b[a.from]) {
           dist_b[a.from] = dv;
           parent_b[a.from] = aid;
           heap_b.PushOrDecrease(a.from, dv);
+          ++pushes;
         }
       }
     }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_settled += settled;
+    stats->edges_relaxed += relaxed;
+    stats->heap_pushes += pushes;
+    stats->heap_pops += pops;
   }
 
   if (meet == kInvalidNode) {

@@ -37,8 +37,10 @@ class ContractionHierarchy {
       const ChOptions& options = {});
 
   /// Point-to-point query. Thread-compatible: each call allocates its own
-  /// workspace (see Query class for a reusable-workspace variant).
-  Result<RouteResult> ShortestPath(NodeId source, NodeId target) const;
+  /// workspace (see Query class for a reusable-workspace variant). When
+  /// `stats` is non-null, upward-search counters are accumulated into it.
+  Result<RouteResult> ShortestPath(NodeId source, NodeId target,
+                                   obs::SearchStats* stats = nullptr) const;
 
   /// Contraction rank of each node (0 = contracted first).
   const std::vector<uint32_t>& ranks() const { return rank_; }

@@ -49,7 +49,8 @@ Status Dijkstra::ValidateInputs(NodeId source,
 
 Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
                                            std::span<const double> weights,
-                                           const EdgeFilter& skip_edge) {
+                                           const EdgeFilter& skip_edge,
+                                           obs::SearchStats* stats) {
   ALTROUTE_RETURN_NOT_OK(ValidateInputs(source, weights));
   if (target >= net_.num_nodes()) {
     return Status::InvalidArgument("target node out of range");
@@ -60,12 +61,17 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
   heap.Clear();
   last_settled_ = 0;
 
+  // Register-resident counters; flushed to `stats` once after the loop so
+  // the disabled path costs nothing beyond local increments.
+  uint64_t relaxed = 0, pushes = 0;
+
   auto relax = [&](NodeId v, double d, EdgeId via) {
     if (stamp_[v] != current_stamp_ || d < dist_[v]) {
       stamp_[v] = current_stamp_;
       dist_[v] = d;
       parent_[v] = via;
       heap.PushOrDecrease(v, d);
+      ++pushes;
     }
   };
 
@@ -76,8 +82,16 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
     if (u == target) break;
     for (EdgeId e : net_.OutEdges(u)) {
       if (skip_edge && skip_edge(e)) continue;
+      ++relaxed;
       relax(net_.head(e), du + weights[e], e);
     }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_settled += last_settled_;
+    stats->edges_relaxed += relaxed;
+    stats->heap_pushes += pushes;
+    stats->heap_pops += last_settled_;
   }
 
   if (stamp_[target] != current_stamp_ || dist_[target] == kInfCost ||
@@ -100,7 +114,8 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
 Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
                                              std::span<const double> weights,
                                              SearchDirection direction,
-                                             double max_cost) {
+                                             double max_cost,
+                                             obs::SearchStats* stats) {
   ALTROUTE_RETURN_NOT_OK(ValidateInputs(root, weights));
 
   ShortestPathTree tree;
@@ -118,8 +133,11 @@ Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
   heap.PushOrDecrease(root, 0.0);
   std::vector<bool> settled(net_.num_nodes(), false);
 
+  uint64_t relaxed = 0, pushes = 1, pops = 0;
+
   while (!heap.Empty()) {
     const auto [u, du] = heap.PopMin();
+    ++pops;
     if (du > max_cost) break;
     settled[u] = true;
     ++last_settled_;
@@ -130,13 +148,22 @@ Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
       const NodeId v =
           (direction == SearchDirection::kForward) ? net_.head(e) : net_.tail(e);
       if (settled[v]) continue;
+      ++relaxed;
       const double dv = du + weights[e];
       if (dv < tree.dist[v]) {
         tree.dist[v] = dv;
         tree.parent_edge[v] = e;
         heap.PushOrDecrease(v, dv);
+        ++pushes;
       }
     }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_settled += last_settled_;
+    stats->edges_relaxed += relaxed;
+    stats->heap_pushes += pushes;
+    stats->heap_pops += pops;
   }
   return tree;
 }

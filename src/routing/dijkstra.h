@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/road_network.h"
+#include "obs/search_stats.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -56,15 +57,19 @@ class Dijkstra {
 
   /// One-to-one shortest path under `weights` (size num_edges). Returns
   /// NotFound when t is unreachable from s, InvalidArgument on bad inputs.
+  /// When `stats` is non-null, search counters are accumulated into it
+  /// (zero cost when null: counts are kept in locals and flushed once).
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
                                    std::span<const double> weights,
-                                   const EdgeFilter& skip_edge = nullptr);
+                                   const EdgeFilter& skip_edge = nullptr,
+                                   obs::SearchStats* stats = nullptr);
 
   /// Full shortest-path tree from `root` in the given direction. Nodes
   /// farther than `max_cost` may be left unreached (pruning bound).
   Result<ShortestPathTree> BuildTree(NodeId root, std::span<const double> weights,
                                      SearchDirection direction,
-                                     double max_cost = kInfCost);
+                                     double max_cost = kInfCost,
+                                     obs::SearchStats* stats = nullptr);
 
   /// Number of nodes settled by the most recent query (instrumentation).
   size_t last_settled_count() const { return last_settled_; }

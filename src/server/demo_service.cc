@@ -1,5 +1,7 @@
 #include "server/demo_service.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/directions.h"
 #include "server/json.h"
 #include "util/string_util.h"
@@ -18,6 +20,8 @@ void DemoService::Install(HttpServer* server) {
   server->Route("/rate", [this](const HttpRequest& r) { return HandleRate(r); });
   server->Route("/stats",
                 [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Route("/metrics",
+                [this](const HttpRequest& r) { return HandleMetrics(r); });
 }
 
 namespace {
@@ -41,13 +45,19 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
   for (const auto* p : {&slat, &slng, &tlat, &tlng}) {
     if (!p->ok()) return HttpResponse::Error(400, p->status().ToString());
   }
-  auto response =
-      processor_->Process(LatLng(*slat, *slng), LatLng(*tlat, *tlng));
+  const auto trace_it = req.query.find("trace");
+  const bool want_trace = trace_it != req.query.end() &&
+                          trace_it->second == "1";
+  obs::Trace trace;
+  auto response = processor_->Process(LatLng(*slat, *slng),
+                                      LatLng(*tlat, *tlng),
+                                      want_trace ? &trace : nullptr);
   if (!response.ok()) {
     const int code = response.status().IsInvalidArgument() ? 400 : 404;
     return HttpResponse::Error(code, response.status().ToString());
   }
-  return HttpResponse::Json(processor_->ToJson(*response));
+  return HttpResponse::Json(
+      processor_->ToJson(*response, want_trace ? &trace : nullptr));
 }
 
 HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
@@ -135,6 +145,13 @@ HttpResponse DemoService::HandleStats(const HttpRequest&) const {
   w.EndObject();
   w.EndObject();
   return HttpResponse::Json(w.TakeString());
+}
+
+HttpResponse DemoService::HandleMetrics(const HttpRequest&) const {
+  HttpResponse r;
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = obs::MetricsRegistry::Global().ExposePrometheus();
+  return r;
 }
 
 HttpResponse DemoService::HandleIndex(const HttpRequest&) const {

@@ -5,6 +5,9 @@
 //   GET /directions  - ?slat=&slng=&tlat=&tlng=&label=A..D -> turn-by-turn
 //   GET /rate        - ?a=&b=&c=&d=&resident=&comment= -> store a form
 //   GET /stats       - submission count + mean rating per masked label
+//   GET /metrics     - Prometheus text exposition of the process registry
+// /route additionally honours &trace=1, appending a "trace" member with the
+// query's span tree (wall times + per-engine search statistics).
 #pragma once
 
 #include <memory>
@@ -31,6 +34,7 @@ class DemoService {
   HttpResponse HandleRate(const HttpRequest& req);
   HttpResponse HandleStats(const HttpRequest& req) const;
   HttpResponse HandleIndex(const HttpRequest& req) const;
+  HttpResponse HandleMetrics(const HttpRequest& req) const;
 
   std::unique_ptr<QueryProcessor> processor_;
   RatingStore ratings_;

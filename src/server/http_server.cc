@@ -8,6 +8,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "server/json.h"
 #include "server/url.h"
 #include "util/logging.h"
@@ -61,6 +62,7 @@ Status HttpServer::Start(uint16_t port) {
   }
   running_.store(true);
   thread_ = std::thread([this] { AcceptLoop(); });
+  ALTROUTE_LOG(Info) << "HTTP server listening on 127.0.0.1:" << port_;
   return Status::OK();
 }
 
@@ -153,6 +155,17 @@ void HttpServer::HandleConnection(int fd) {
   } else {
     resp = it->second(req);
   }
+
+  // Path label cardinality is bounded: only registered routes are named.
+  static obs::CounterFamily& requests =
+      obs::MetricsRegistry::Global().GetCounterFamily(
+          "altroute_http_requests_total", "HTTP requests served.",
+          {"path", "code"});
+  requests
+      .WithLabels({it == routes_.end() ? "unmatched" : req.path,
+                   std::to_string(resp.status)})
+      .Increment();
+  ALTROUTE_LOG(Debug) << req.method << " " << req.path << " -> " << resp.status;
 
   const char* reason = resp.status == 200   ? "OK"
                        : resp.status == 400 ? "Bad Request"

@@ -130,6 +130,13 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  ALTROUTE_DCHECK(!json.empty()) << "raw JSON value must not be empty";
+  BeforeValue();
+  out_ << json;
+  return *this;
+}
+
 std::string JsonWriter::TakeString() {
   ALTROUTE_DCHECK(stack_.empty()) << "unclosed JSON containers";
   return out_.str();

@@ -29,6 +29,9 @@ class JsonWriter {
   JsonWriter& Int(int64_t value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  /// Splices `json` verbatim as the next value. The caller vouches that it is
+  /// a complete, valid JSON value (used to embed pre-rendered trace blocks).
+  JsonWriter& RawValue(std::string_view json);
 
   /// The completed document. Precondition: all containers closed.
   std::string TakeString();

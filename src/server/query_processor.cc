@@ -1,13 +1,97 @@
 #include "server/query_processor.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "core/path.h"
 #include "geo/polyline.h"
 #include "geo/simplify.h"
+#include "obs/metrics.h"
 #include "server/json.h"
+#include "util/logging.h"
 
 namespace altroute {
+
+namespace {
+
+/// The query-path metric families, registered once and cached (registration
+/// takes the registry mutex; observations are wait-free).
+struct QueryMetrics {
+  obs::CounterFamily& queries;
+  obs::CounterFamily& query_errors;
+  obs::HistogramFamily& latency;
+  obs::CounterFamily& nodes_settled;
+  obs::CounterFamily& edges_relaxed;
+  obs::CounterFamily& heap_pushes;
+  obs::CounterFamily& heap_pops;
+  obs::CounterFamily& paths_generated;
+  obs::CounterFamily& paths_rejected;
+
+  static QueryMetrics& Get() {
+    static QueryMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new QueryMetrics{
+          reg.GetCounterFamily("altroute_queries_total",
+                               "Route queries processed successfully.",
+                               {"city"}),
+          reg.GetCounterFamily("altroute_query_errors_total",
+                               "Route queries that returned an error.",
+                               {"city"}),
+          reg.GetHistogramFamily(
+              "altroute_query_latency_seconds",
+              "Wall time of one engine's alternative-route generation.",
+              {"approach", "city"},
+              // 0.1 ms .. ~13 s in geometric steps of 2.
+              obs::ExponentialBuckets(1e-4, 2.0, 18)),
+          reg.GetCounterFamily("altroute_search_nodes_settled_total",
+                               "Nodes settled by the routing kernels.",
+                               {"approach", "city"}),
+          reg.GetCounterFamily("altroute_search_edges_relaxed_total",
+                               "Edges relaxed by the routing kernels.",
+                               {"approach", "city"}),
+          reg.GetCounterFamily("altroute_search_heap_pushes_total",
+                               "Priority-queue pushes by the routing kernels.",
+                               {"approach", "city"}),
+          reg.GetCounterFamily("altroute_search_heap_pops_total",
+                               "Priority-queue pops by the routing kernels.",
+                               {"approach", "city"}),
+          reg.GetCounterFamily("altroute_paths_generated_total",
+                               "Candidate paths produced by the generators.",
+                               {"approach", "city"}),
+          reg.GetCounterFamily(
+              "altroute_paths_rejected_total",
+              "Candidate paths dropped, by rejection reason.",
+              {"approach", "city", "reason"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+void RecordEngineRun(const std::string& approach, const std::string& city,
+                     const obs::SearchStats& s, double elapsed_s) {
+  QueryMetrics& m = QueryMetrics::Get();
+  m.latency.WithLabels({approach, city}).Observe(elapsed_s);
+  m.nodes_settled.WithLabels({approach, city}).Increment(s.nodes_settled);
+  m.edges_relaxed.WithLabels({approach, city}).Increment(s.edges_relaxed);
+  m.heap_pushes.WithLabels({approach, city}).Increment(s.heap_pushes);
+  m.heap_pops.WithLabels({approach, city}).Increment(s.heap_pops);
+  m.paths_generated.WithLabels({approach, city}).Increment(s.paths_generated);
+  if (s.paths_rejected_stretch > 0) {
+    m.paths_rejected.WithLabels({approach, city, "stretch"})
+        .Increment(s.paths_rejected_stretch);
+  }
+  if (s.paths_rejected_similarity > 0) {
+    m.paths_rejected.WithLabels({approach, city, "similarity"})
+        .Increment(s.paths_rejected_similarity);
+  }
+  if (s.paths_rejected_filter > 0) {
+    m.paths_rejected.WithLabels({approach, city, "filter"})
+        .Increment(s.paths_rejected_filter);
+  }
+}
+
+}  // namespace
 
 QueryProcessor::QueryProcessor(EngineSuite suite)
     : suite_(std::move(suite)), index_(suite_.network().coords()) {}
@@ -44,10 +128,23 @@ static Result<Snapped> Snap(const SpatialIndex& index, const RoadNetwork& net,
 }
 
 Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
-                                              const LatLng& target) {
-  ALTROUTE_ASSIGN_OR_RETURN(
-      Snapped snapped, Snap(index_, suite_.network(), source, target,
-                            max_snap_distance_m_));
+                                              const LatLng& target,
+                                              obs::Trace* trace) {
+  const std::string& city = suite_.network().name();
+  QueryMetrics& metrics = QueryMetrics::Get();
+  obs::TraceSpan query_span(trace, "query");
+
+  obs::TraceSpan snap_span(trace, "snap");
+  auto snapped_or = Snap(index_, suite_.network(), source, target,
+                         max_snap_distance_m_);
+  snap_span.End();
+  if (!snapped_or.ok()) {
+    metrics.query_errors.WithLabels({city}).Increment();
+    ALTROUTE_LOG(Warning) << "snap failed: " << snapped_or.status().ToString();
+    return snapped_or.status();
+  }
+  const Snapped snapped = snapped_or.ValueOrDie();
+
   QueryResponse response;
   const NodeId s = snapped.source;
   const NodeId t = snapped.target;
@@ -58,7 +155,26 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
 
   const std::vector<double>& display = suite_.display_weights();
   for (Approach a : kAllApproaches) {
-    ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet set, suite_.engine(a).Generate(s, t));
+    AlternativeRouteGenerator& engine = suite_.engine(a);
+    obs::TraceSpan span(trace, "generate:" + engine.name());
+    obs::SearchStats search_stats;
+    const auto begin = std::chrono::steady_clock::now();
+    auto set_or = engine.Generate(s, t, &search_stats);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    RecordEngineRun(engine.name(), city, search_stats, elapsed_s);
+    if (obs::SearchStats* sink = span.stats()) sink->MergeFrom(search_stats);
+    span.SetAttr("label", std::string(1, ApproachLabel(a)));
+    if (!set_or.ok()) {
+      metrics.query_errors.WithLabels({city}).Increment();
+      ALTROUTE_LOG(Warning) << engine.name()
+                            << " failed: " << set_or.status().ToString();
+      return set_or.status();
+    }
+    AlternativeSet set = std::move(set_or).ValueOrDie();
+    span.SetAttr("routes", std::to_string(set.routes.size()));
+
     ApproachDisplay ad;
     ad.label = ApproachLabel(a);
     for (const Path& p : set.routes) {
@@ -74,19 +190,23 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
     }
     response.approaches.push_back(std::move(ad));
   }
+  metrics.queries.WithLabels({city}).Increment();
   return response;
 }
 
 Result<AlternativeSet> QueryProcessor::GenerateFor(const LatLng& source,
                                                    const LatLng& target,
-                                                   Approach approach) {
+                                                   Approach approach,
+                                                   obs::SearchStats* stats) {
   ALTROUTE_ASSIGN_OR_RETURN(
       Snapped snapped, Snap(index_, suite_.network(), source, target,
                             max_snap_distance_m_));
-  return suite_.engine(approach).Generate(snapped.source, snapped.target);
+  return suite_.engine(approach).Generate(snapped.source, snapped.target,
+                                          stats);
 }
 
-std::string QueryProcessor::ToJson(const QueryResponse& response) const {
+std::string QueryProcessor::ToJson(const QueryResponse& response,
+                                   const obs::Trace* trace) const {
   JsonWriter w;
   w.BeginObject();
   w.Key("snapped_source").Int(static_cast<int64_t>(response.snapped_source));
@@ -107,6 +227,9 @@ std::string QueryProcessor::ToJson(const QueryResponse& response) const {
     w.EndObject();
   }
   w.EndArray();
+  if (trace != nullptr && trace->size() > 0) {
+    w.Key("trace").RawValue(trace->ToJson());
+  }
   w.EndObject();
   return w.TakeString();
 }

@@ -10,6 +10,7 @@
 
 #include "core/engine_registry.h"
 #include "geo/spatial_index.h"
+#include "obs/trace.h"
 
 namespace altroute {
 
@@ -48,16 +49,23 @@ class QueryProcessor {
 
   /// Processes a query given raw clicked coordinates. Returns
   /// InvalidArgument for coordinates outside the study rectangle (plus a
-  /// tolerance ring) and NotFound when no route exists.
-  Result<QueryResponse> Process(const LatLng& source, const LatLng& target);
+  /// tolerance ring) and NotFound when no route exists. When `trace` is
+  /// non-null, the snap and each engine run get a span carrying wall time
+  /// and the engine's SearchStats. Global metrics (latency histograms and
+  /// search counters, labeled by approach and city) record regardless.
+  Result<QueryResponse> Process(const LatLng& source, const LatLng& target,
+                                obs::Trace* trace = nullptr);
 
-  /// Serialises a response to JSON for the web UI.
-  std::string ToJson(const QueryResponse& response) const;
+  /// Serialises a response to JSON for the web UI. A non-null `trace`
+  /// contributes an extra "trace" member with the recorded span tree.
+  std::string ToJson(const QueryResponse& response,
+                     const obs::Trace* trace = nullptr) const;
 
   /// Snaps the clicked coordinates and runs ONE approach, returning the raw
   /// route set (for directions/GeoJSON endpoints that need geometry).
   Result<AlternativeSet> GenerateFor(const LatLng& source, const LatLng& target,
-                                     Approach approach);
+                                     Approach approach,
+                                     obs::SearchStats* stats = nullptr);
 
   const RoadNetwork& network() const { return suite_.network(); }
 

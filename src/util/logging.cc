@@ -1,11 +1,18 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "util/string_util.h"
 
 namespace altroute {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink*> g_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,27 +27,78 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// "2026-08-05T07:55:01.123Z" — UTC with millisecond precision.
+std::string Iso8601Now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  // 24 chars + NUL in practice; sized for the compiler's worst-case int
+  // widths so -Wformat-truncation stays quiet.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+void EmitLine(LogLevel level, const std::string& line) {
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink->Write(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
 
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  const std::string lower = ToLower(name);
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_min_level.load()) {
+    : level_(level),
+      enabled_(static_cast<int>(level) >= g_min_level.load()) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << Iso8601Now() << " [" << LevelName(level) << " "
+            << std::this_thread::get_id() << " " << base << ":" << line
+            << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) EmitLine(level_, stream_.str());
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
@@ -49,7 +107,9 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 }
 
 FatalMessage::~FatalMessage() {
-  std::cerr << stream_.str() << std::endl;
+  // Fatal messages bypass the sink: they must reach stderr even when a
+  // capturing sink is installed, because abort() follows immediately.
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
   std::abort();
 }
 

@@ -13,8 +13,28 @@ namespace altroute {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Global minimum level; messages below it are dropped. Defaults to kInfo.
+/// Backed by an atomic: safe to call concurrently with logging threads.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warn" / "warning" / "error" (case-insensitive).
+/// Returns false and leaves `out` untouched on unknown names.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Destination for formatted log lines. Implementations must be
+/// thread-safe; `line` is the full formatted record without a trailing
+/// newline, e.g. "2026-08-05T07:55:01.123Z [INFO 139872 file.cc:42] msg".
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Replaces the process-wide sink (nullptr restores the default stderr
+/// sink). The caller keeps ownership and must keep the sink alive until it
+/// is swapped out again; returns the previously installed sink (nullptr for
+/// the default). Used by the server tests to capture logs.
+LogSink* SetLogSink(LogSink* sink);
 
 namespace internal {
 
@@ -30,6 +50,7 @@ class LogMessage {
   }
 
  private:
+  LogLevel level_;
   bool enabled_;
   std::ostringstream stream_;
 };

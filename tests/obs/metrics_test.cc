@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  g.Add(-4.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(ExponentialBucketsTest, GeometricProgression) {
+  const std::vector<double> bounds = ExponentialBuckets(0.001, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  EXPECT_DOUBLE_EQ(bounds[1], 0.01);
+  EXPECT_DOUBLE_EQ(bounds[2], 0.1);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreUpperInclusive) {
+  // Prometheus semantics: bucket `le=B` counts observations <= B.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (le=1)
+  h.Observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.Observe(1.001); // bucket 1 (le=2)
+  h.Observe(4.0);   // bucket 2 (le=4)
+  h.Observe(100.0); // overflow (+Inf)
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.001 + 4.0 + 100.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);   // all in (0, 10]
+  // Every observation sits in the first bucket: the median interpolates to
+  // its midpoint.
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 0.2);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileOnEmptyIsZeroAndOverflowClamps) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  h.Observe(50.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);  // clamped to largest finite bound
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("requests_total", "Requests.");
+  Counter& b = reg.GetCounter("requests_total", "Requests.");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+TEST(RegistryTest, FindReturnsNullForAbsentOrWrongKind) {
+  MetricsRegistry reg;
+  reg.GetCounter("a_counter", "help");
+  reg.GetGauge("a_gauge", "help");
+  EXPECT_NE(reg.FindCounter("a_counter"), nullptr);
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_EQ(reg.FindCounter("a_gauge"), nullptr);  // wrong kind
+  EXPECT_EQ(reg.FindHistogram("a_counter"), nullptr);
+}
+
+TEST(FamilyTest, LabeledChildrenAreDistinctAndCached) {
+  MetricsRegistry reg;
+  CounterFamily& fam = reg.GetCounterFamily("queries_total", "Queries.",
+                                            {"approach", "city"});
+  Counter& penalty_mel = fam.WithLabels({"penalty", "Melbourne"});
+  Counter& plateau_mel = fam.WithLabels({"plateau", "Melbourne"});
+  Counter& penalty_dhk = fam.WithLabels({"penalty", "Dhaka"});
+  EXPECT_NE(&penalty_mel, &plateau_mel);
+  EXPECT_NE(&penalty_mel, &penalty_dhk);
+  EXPECT_EQ(&penalty_mel, &fam.WithLabels({"penalty", "Melbourne"}));
+  EXPECT_EQ(fam.Cardinality(), 3u);
+}
+
+TEST(FamilyTest, HistogramFamilySharesBucketLayout) {
+  MetricsRegistry reg;
+  HistogramFamily& fam = reg.GetHistogramFamily(
+      "latency_seconds", "Latency.", {"approach"}, {0.1, 1.0, 10.0});
+  Histogram& h = fam.WithLabels({"penalty"});
+  EXPECT_EQ(h.bounds(), std::vector<double>({0.1, 1.0, 10.0}));
+}
+
+TEST(ExposeTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("altroute_up_total", "Liveness.").Increment(3);
+  reg.GetGauge("altroute_temperature", "A gauge.").Set(1.5);
+  CounterFamily& fam =
+      reg.GetCounterFamily("altroute_hits_total", "Hits.", {"city"});
+  fam.WithLabels({"Melbourne"}).Increment(7);
+  Histogram& h = reg.GetHistogram("altroute_latency_seconds", "Latency.",
+                                  {0.5, 1.0});
+  h.Observe(0.25);
+  h.Observe(2.0);
+
+  const std::string text = reg.ExposePrometheus();
+  EXPECT_NE(text.find("# HELP altroute_up_total Liveness.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE altroute_up_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("altroute_up_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE altroute_temperature gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("altroute_hits_total{city=\"Melbourne\"} 7\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum and _count series.
+  EXPECT_NE(text.find("altroute_latency_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("altroute_latency_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("altroute_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("altroute_latency_seconds_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("altroute_latency_seconds_sum"), std::string::npos);
+}
+
+TEST(ExposeTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  CounterFamily& fam = reg.GetCounterFamily("esc_total", "Esc.", {"k"});
+  fam.WithLabels({"a\"b\\c\nd"}).Increment();
+  const std::string text = reg.ExposePrometheus();
+  EXPECT_NE(text.find("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("spins_total", "Spins.");
+  Histogram& h = reg.GetHistogram("spin_seconds", "Spin time.", {1.0, 2.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c, &h] {
+      for (int j = 0; j < kPerThread; ++j) {
+        c.Increment();
+        h.Observe(1.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1.5 * kThreads * kPerThread);
+}
+
+TEST(GlobalRegistryTest, IsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace altroute

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace obs {
+namespace {
+
+TEST(TraceSpanTest, NullTraceIsANoOp) {
+  TraceSpan span(nullptr, "query");
+  EXPECT_EQ(span.stats(), nullptr);
+  span.SetAttr("key", "value");  // must not crash
+  span.End();
+  span.End();  // idempotent
+}
+
+TEST(TraceTest, RecordsASingleSpan) {
+  Trace trace;
+  EXPECT_EQ(trace.size(), 0u);
+  {
+    TraceSpan span(&trace, "query");
+    EXPECT_TRUE(trace.HasOpenSpan());
+    ASSERT_NE(span.stats(), nullptr);
+    span.stats()->nodes_settled = 42;
+  }
+  EXPECT_FALSE(trace.HasOpenSpan());
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_GE(trace.RootDurationMs(), 0.0);
+}
+
+TEST(TraceTest, NestingFollowsConstructionOrder) {
+  Trace trace;
+  {
+    TraceSpan root(&trace, "query");
+    {
+      TraceSpan child_a(&trace, "snap");
+    }
+    {
+      TraceSpan child_b(&trace, "generate:penalty");
+      {
+        TraceSpan grandchild(&trace, "dijkstra");
+      }
+    }
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  const std::string json = trace.ToJson();
+  // Root contains both children; "dijkstra" nests under the generate span.
+  const size_t root_pos = json.find("\"name\":\"query\"");
+  const size_t snap_pos = json.find("\"name\":\"snap\"");
+  const size_t gen_pos = json.find("\"name\":\"generate:penalty\"");
+  const size_t dij_pos = json.find("\"name\":\"dijkstra\"");
+  ASSERT_NE(root_pos, std::string::npos);
+  ASSERT_NE(snap_pos, std::string::npos);
+  ASSERT_NE(gen_pos, std::string::npos);
+  ASSERT_NE(dij_pos, std::string::npos);
+  EXPECT_LT(root_pos, snap_pos);
+  EXPECT_LT(gen_pos, dij_pos);
+  // The generate span has a children array wrapping the dijkstra span.
+  const size_t gen_children = json.find("\"children\":[", gen_pos);
+  ASSERT_NE(gen_children, std::string::npos);
+  EXPECT_LT(gen_children, dij_pos);
+}
+
+TEST(TraceTest, SiblingsAfterEndDoNotNest) {
+  Trace trace;
+  TraceSpan first(&trace, "first");
+  first.End();
+  TraceSpan second(&trace, "second");
+  second.End();
+  const std::string json = trace.ToJson();
+  // Both are roots: the rendered forest has two top-level entries.
+  EXPECT_EQ(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"second\""), std::string::npos);
+}
+
+TEST(TraceTest, StatsAndAttrsAppearInJson) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "generate:plateau");
+    span.stats()->nodes_settled = 7;
+    span.stats()->paths_generated = 3;
+    span.SetAttr("routes", "3");
+  }
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"nodes_settled\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"paths_generated\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"attrs\":{\"routes\":\"3\"}"), std::string::npos);
+}
+
+TEST(TraceTest, ZeroStatsAreOmitted) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "snap");
+  }
+  const std::string json = trace.ToJson();
+  EXPECT_EQ(json.find("\"stats\""), std::string::npos);
+  EXPECT_EQ(json.find("\"attrs\""), std::string::npos);
+}
+
+TEST(TraceTest, JsonEscapesSpecialCharacters) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "name\"with\\quotes");
+    span.SetAttr("note", "line1\nline2");
+  }
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("name\\\"with\\\\quotes"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+TEST(TraceTest, EarlyEndFreezesDuration) {
+  Trace trace;
+  TraceSpan span(&trace, "work");
+  span.End();
+  const double after_end = trace.RootDurationMs();
+  EXPECT_GE(after_end, 0.0);
+  // A second End() must not restart or extend the span.
+  span.End();
+  EXPECT_DOUBLE_EQ(trace.RootDurationMs(), after_end);
+}
+
+TEST(TraceTest, DurationCoversNestedWork) {
+  Trace trace;
+  {
+    TraceSpan root(&trace, "query");
+    {
+      TraceSpan child(&trace, "child");
+      // Busy-wait a hair so child duration is measurable but tiny.
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+      (void)sink;
+    }
+  }
+  EXPECT_GE(trace.RootDurationMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace altroute

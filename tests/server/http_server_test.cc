@@ -8,6 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <regex>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
@@ -18,7 +21,8 @@ namespace altroute {
 namespace {
 
 std::string HttpGet(uint16_t port, const std::string& target,
-                    std::string* status_line = nullptr) {
+                    std::string* status_line = nullptr,
+                    std::string* headers = nullptr) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return "";
   sockaddr_in addr{};
@@ -44,7 +48,29 @@ std::string HttpGet(uint16_t port, const std::string& target,
     *status_line = out.substr(0, out.find("\r\n"));
   }
   const size_t body = out.find("\r\n\r\n");
+  if (headers != nullptr) {
+    *headers = body == std::string::npos ? out : out.substr(0, body);
+  }
   return body == std::string::npos ? out : out.substr(body + 4);
+}
+
+/// True when every non-empty line of `body` is a valid Prometheus text
+/// exposition line: a # HELP/# TYPE comment or `name[{labels}] value`.
+bool LooksLikePrometheusText(const std::string& body) {
+  static const std::regex sample(
+      R"(^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? ([-+0-9.eE]+|[-+]Inf|NaN)$)");
+  std::istringstream in(body);
+  std::string line;
+  bool any_sample = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    if (!std::regex_match(line, sample)) return false;
+    any_sample = true;
+  }
+  return any_sample;
 }
 
 class DemoServerFixture : public ::testing::Test {
@@ -166,6 +192,72 @@ TEST_F(DemoServerFixture, StatsEndpointAggregates) {
   const std::string body = HttpGet(server_->port(), "/stats");
   EXPECT_NE(body.find("\"submissions\":"), std::string::npos);
   EXPECT_NE(body.find("\"mean_ratings\":"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, MetricsEndpointServesPrometheusText) {
+  // Run one query first so the per-approach instruments exist.
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  HttpGet(server_->port(), target);
+
+  std::string status, headers;
+  const std::string body =
+      HttpGet(server_->port(), "/metrics", &status, &headers);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(headers.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_TRUE(LooksLikePrometheusText(body)) << body;
+
+  // Per-approach latency histogram and search counters are present.
+  EXPECT_NE(body.find("# TYPE altroute_query_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("altroute_query_latency_seconds_bucket{approach="
+                      "\"penalty\""),
+            std::string::npos);
+  EXPECT_NE(body.find("altroute_search_nodes_settled_total{approach="),
+            std::string::npos);
+  EXPECT_NE(body.find("altroute_queries_total{city="), std::string::npos);
+  // The HTTP layer counts requests by path and status code.
+  EXPECT_NE(body.find("altroute_http_requests_total{path=\"/route\","
+                      "code=\"200\"}"),
+            std::string::npos);
+}
+
+TEST_F(DemoServerFixture, RouteWithTraceReturnsSpanTree) {
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f&trace=1",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  std::string status;
+  const std::string body = HttpGet(server_->port(), target, &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  // The trace block is a well-formed span forest: a root query span with
+  // snap + one generate child per approach, each carrying search stats.
+  EXPECT_NE(body.find("\"trace\":[{\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"snap\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"generate:plateau\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"generate:penalty\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"generate:dissimilarity\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"generate:commercial\""), std::string::npos);
+  EXPECT_NE(body.find("\"duration_ms\":"), std::string::npos);
+  EXPECT_NE(body.find("\"nodes_settled\":"), std::string::npos);
+  // Routes payload still present alongside the trace.
+  EXPECT_NE(body.find("\"approaches\":["), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, RouteWithoutTraceOmitsTraceBlock) {
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  const std::string body = HttpGet(server_->port(), target);
+  EXPECT_EQ(body.find("\"trace\""), std::string::npos);
 }
 
 TEST_F(DemoServerFixture, UnknownPathIs404) {

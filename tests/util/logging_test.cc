@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <regex>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace altroute {
@@ -40,6 +44,87 @@ TEST(LoggingTest, CheckPassesSilently) {
   ALTROUTE_CHECK_LE(3, 3);
   ALTROUTE_CHECK_GT(4, 3);
   ALTROUTE_CHECK_GE(4, 4);
+}
+
+class CapturingSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& line) override {
+    levels.push_back(level);
+    lines.push_back(line);
+  }
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+/// Installs a capturing sink for the duration of a test body.
+class SinkGuard {
+ public:
+  explicit SinkGuard(LogSink* sink) : prev_(SetLogSink(sink)) {}
+  ~SinkGuard() { SetLogSink(prev_); }
+
+ private:
+  LogSink* prev_;
+};
+
+TEST(LoggingTest, SinkCapturesFormattedLines) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  CapturingSink sink;
+  SinkGuard sink_guard(&sink);
+  ALTROUTE_LOG(Warning) << "penalised " << 3 << " edges";
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.levels[0], LogLevel::kWarning);
+  const std::string& line = sink.lines[0];
+  EXPECT_NE(line.find("penalised 3 edges"), std::string::npos);
+  EXPECT_NE(line.find("[WARN "), std::string::npos);
+  EXPECT_NE(line.find("logging_test.cc:"), std::string::npos);
+}
+
+TEST(LoggingTest, PrefixIsIso8601UtcWithMillis) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  CapturingSink sink;
+  SinkGuard sink_guard(&sink);
+  ALTROUTE_LOG(Info) << "timestamped";
+  ASSERT_EQ(sink.lines.size(), 1u);
+  const std::regex iso8601(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[INFO )");
+  EXPECT_TRUE(std::regex_search(sink.lines[0], iso8601)) << sink.lines[0];
+}
+
+TEST(LoggingTest, SinkRespectsMinimumLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  CapturingSink sink;
+  SinkGuard sink_guard(&sink);
+  ALTROUTE_LOG(Info) << "below threshold";
+  ALTROUTE_LOG(Error) << "kept";
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.levels[0], LogLevel::kError);
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPrevious) {
+  CapturingSink first;
+  LogSink* original = SetLogSink(&first);
+  CapturingSink second;
+  EXPECT_EQ(SetLogSink(&second), &first);
+  EXPECT_EQ(SetLogSink(original), &second);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndAliases) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
 }
 
 TEST(LoggingDeathTestSuite, CheckFailureAborts) {

@@ -17,12 +17,14 @@
 #include "core/engine_registry.h"
 #include "core/quality.h"
 #include "graph/serialization.h"
+#include "obs/search_stats.h"
 #include "server/demo_service.h"
 #include "server/directions.h"
 #include "server/geojson.h"
 #include "userstudy/export.h"
 #include "userstudy/report.h"
 #include "userstudy/tables.h"
+#include "util/logging.h"
 
 namespace altroute {
 namespace {
@@ -76,11 +78,16 @@ Commands:
       --engine <plateau|dissimilarity|penalty|commercial|all> (default all)
       --geojson                                        GeoJSON output
       --directions                                     turn-by-turn text
+      --stats                                          per-engine search counters
   study
       --city NAME --scale S --seed N
       [--csv FILE] [--report FILE.md]                  run the user study
   serve
       --city NAME --scale S [--port P]                 web demo backend
+                                                       (metrics at /metrics)
+
+Global options:
+  --log-level <debug|info|warn|error>                  log verbosity (default info)
 )");
   return 2;
 }
@@ -108,6 +115,9 @@ Result<std::shared_ptr<RoadNetwork>> LoadNetwork(const Args& args,
   if (args.flags.count("seed")) {
     spec.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
   }
+  ALTROUTE_LOG(Debug) << "generating " << spec.name << " (seed " << spec.seed
+                      << ", scale " << args.GetDouble("scale", default_scale)
+                      << ")";
   return citygen::BuildCityNetwork(spec);
 }
 
@@ -154,10 +164,13 @@ int CmdRoute(const Args& args) {
 
   const std::string engine_name = args.Get("engine", "all");
   const bool geojson = args.flags.count("geojson") > 0;
+  const bool want_stats = args.flags.count("stats") > 0;
   for (Approach a : kAllApproaches) {
     const std::string name(suite.engine(a).name());
     if (engine_name != "all" && name != engine_name) continue;
-    auto set = suite.engine(a).Generate(from, to);
+    obs::SearchStats stats;
+    auto set = suite.engine(a).Generate(from, to,
+                                        want_stats ? &stats : nullptr);
     if (!set.ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(),
                    set.status().ToString().c_str());
@@ -184,6 +197,21 @@ int CmdRoute(const Args& args) {
            BuildDirections(*net, set->routes[0])) {
         std::printf("    - %s\n", step.text.c_str());
       }
+    }
+    if (want_stats) {
+      std::printf(
+          "  search: %llu settled, %llu relaxed, %llu pushes, %llu pops\n"
+          "  paths:  %llu generated, %llu rejected "
+          "(%llu stretch, %llu similarity, %llu filter)\n",
+          static_cast<unsigned long long>(stats.nodes_settled),
+          static_cast<unsigned long long>(stats.edges_relaxed),
+          static_cast<unsigned long long>(stats.heap_pushes),
+          static_cast<unsigned long long>(stats.heap_pops),
+          static_cast<unsigned long long>(stats.paths_generated),
+          static_cast<unsigned long long>(stats.paths_rejected_total()),
+          static_cast<unsigned long long>(stats.paths_rejected_stretch),
+          static_cast<unsigned long long>(stats.paths_rejected_similarity),
+          static_cast<unsigned long long>(stats.paths_rejected_filter));
     }
   }
   return 0;
@@ -266,6 +294,15 @@ int CmdServe(const Args& args) {
 int main(int argc, char** argv) {
   using namespace altroute;
   const Args args = Args::Parse(argc, argv);
+  if (const std::string level_name = args.Get("log-level");
+      !level_name.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(level_name, &level)) {
+      std::fprintf(stderr, "unknown --log-level '%s'\n", level_name.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
   if (args.positional.empty()) return Usage();
   const std::string& command = args.positional[0];
   if (command == "build-city") return CmdBuildCity(args);
