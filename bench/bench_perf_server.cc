@@ -1,0 +1,175 @@
+// Closed-loop throughput benchmark of the concurrent HTTP serving path:
+// C client threads issue /route queries back-to-back against a server with
+// T worker threads (one QueryProcessor context per worker), for T sweeping
+// 1 -> N. Alternative-route generation is embarrassingly parallel across
+// queries, so requests-per-second should scale near-linearly with T until
+// the hardware runs out of cores.
+//
+//   bench_perf_server [--city melbourne] [--scale 0.2] [--seconds 2]
+//                     [--max-threads N (default: min(hw, 4))] [--clients C]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/demo_service.h"
+#include "util/random.h"
+
+using namespace altroute;
+using namespace altroute::bench;
+
+namespace {
+
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: localhost\r\nConnection: "
+                          "close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string out;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+struct Flags {
+  std::string city = "melbourne";
+  double scale = 0.2;
+  double seconds = 2.0;
+  int max_threads = 0;
+  int clients = 0;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* value = argv[i + 1];
+    if (key == "--city") f.city = value;
+    else if (key == "--scale") f.scale = std::atof(value);
+    else if (key == "--seconds") f.seconds = std::atof(value);
+    else if (key == "--max-threads") f.max_threads = std::atoi(value);
+    else if (key == "--clients") f.clients = std::atoi(value);
+  }
+  return f;
+}
+
+/// One closed-loop run: `clients` threads hammer /route until the deadline;
+/// returns completed 200 responses per second.
+double MeasureRps(uint16_t port, int clients, double seconds,
+                  const std::vector<std::string>& targets) {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      size_t i = static_cast<size_t>(c);  // offset so clients spread queries
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string response =
+            HttpGet(port, targets[i++ % targets.size()]);
+        if (response.find(" 200 ") != std::string::npos) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  int max_threads = flags.max_threads;
+  if (max_threads <= 0) {
+    max_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (max_threads <= 0) max_threads = 4;
+    if (max_threads > 4) max_threads = 4;
+  }
+  const int clients = flags.clients > 0 ? flags.clients : max_threads;
+
+  auto net = City(flags.city, flags.scale);
+  std::printf("=== /route throughput scaling, %s at scale %.2f "
+              "(%zu vertices, %zu edges) ===\n",
+              net->name().c_str(), flags.scale, net->num_nodes(),
+              net->num_edges());
+  std::printf("closed loop: %d client thread(s), %.1f s per run\n\n", clients,
+              flags.seconds);
+
+  // Pre-generate a pool of valid query targets between random vertices.
+  Rng rng(42);
+  std::vector<std::string> targets;
+  while (targets.size() < 64) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    if (s == t) continue;
+    const LatLng a = net->coord(s);
+    const LatLng b = net->coord(t);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f", a.lat,
+                  a.lng, b.lat, b.lng);
+    targets.emplace_back(buf);
+  }
+
+  std::printf("%8s %12s %10s %10s\n", "threads", "requests/s", "speedup",
+              "ideal");
+  double base_rps = 0.0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    auto pool = QueryProcessorPool::Create(net, static_cast<size_t>(threads));
+    ALTROUTE_CHECK(pool.ok()) << pool.status();
+    DemoService service(std::make_unique<QueryProcessorPool>(
+        std::move(pool).ValueOrDie()));
+    HttpServerOptions options;
+    options.num_threads = threads;
+    HttpServer server(options);
+    service.Install(&server);
+    ALTROUTE_CHECK(server.Start(0).ok());
+
+    // Short warmup so lazily-registered metrics and caches are in place.
+    MeasureRps(server.port(), clients, 0.2, targets);
+    const double rps =
+        MeasureRps(server.port(), clients, flags.seconds, targets);
+    server.Stop();
+
+    if (threads == 1) base_rps = rps;
+    std::printf("%8d %12.1f %9.2fx %9dx\n", threads, rps,
+                base_rps > 0.0 ? rps / base_rps : 0.0, threads);
+  }
+  std::printf("\n(speedup is against the single-threaded run; near-linear "
+              "scaling is expected\n up to the physical core count because "
+              "per-query searches are independent)\n");
+  return 0;
+}

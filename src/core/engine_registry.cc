@@ -28,25 +28,35 @@ char ApproachLabel(Approach a) {
 
 Result<EngineSuite> EngineSuite::MakePaperSuite(
     std::shared_ptr<const RoadNetwork> net, const AlternativeOptions& options,
-    int commercial_hour) {
+    int commercial_hour,
+    std::shared_ptr<const std::vector<double>> display_weights) {
   if (net == nullptr) return Status::InvalidArgument("null network");
   if (net->num_nodes() == 0) return Status::InvalidArgument("empty network");
+  if (display_weights == nullptr) {
+    display_weights = std::make_shared<const std::vector<double>>(
+        FreeFlowModel().Weights(*net));
+  } else if (display_weights->size() != net->num_edges()) {
+    return Status::InvalidArgument(
+        "display_weights size does not match the network's edge count");
+  }
 
   EngineSuite suite;
   suite.net_ = net;
-  suite.display_weights_ = FreeFlowModel().Weights(*net);
+  suite.display_weights_ = std::move(display_weights);
 
   const CommercialTrafficModel commercial(commercial_hour);
   suite.engines_[static_cast<size_t>(Approach::kGoogleMaps)] =
       std::make_unique<CommercialBaseline>(net, commercial.Weights(*net),
                                            options);
   suite.engines_[static_cast<size_t>(Approach::kPlateaus)] =
-      std::make_unique<PlateauGenerator>(net, suite.display_weights_, options);
+      std::make_unique<PlateauGenerator>(net, *suite.display_weights_,
+                                         options);
   suite.engines_[static_cast<size_t>(Approach::kDissimilarity)] =
-      std::make_unique<DissimilarityGenerator>(net, suite.display_weights_,
+      std::make_unique<DissimilarityGenerator>(net, *suite.display_weights_,
                                                options);
   suite.engines_[static_cast<size_t>(Approach::kPenalty)] =
-      std::make_unique<PenaltyGenerator>(net, suite.display_weights_, options);
+      std::make_unique<PenaltyGenerator>(net, *suite.display_weights_,
+                                         options);
   return suite;
 }
 

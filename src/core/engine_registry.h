@@ -5,6 +5,7 @@
 #include <array>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "core/alternative_generator.h"
 #include "util/result.h"
@@ -39,9 +40,14 @@ class EngineSuite {
   /// Builds the paper's configuration: Penalty/Plateaus/Dissimilarity on
   /// free-flow OSM weights, CommercialBaseline on CommercialTrafficModel
   /// weights at `commercial_hour` (paper queries Google at 3:00 am).
+  /// `display_weights` lets several suites over the same network (e.g. the
+  /// server's per-worker contexts) share one free-flow weight vector instead
+  /// of each recomputing it; pass nullptr to compute it here. Its size must
+  /// match the network's edge count.
   static Result<EngineSuite> MakePaperSuite(
       std::shared_ptr<const RoadNetwork> net,
-      const AlternativeOptions& options = {}, int commercial_hour = 3);
+      const AlternativeOptions& options = {}, int commercial_hour = 3,
+      std::shared_ptr<const std::vector<double>> display_weights = nullptr);
 
   AlternativeRouteGenerator& engine(Approach a) {
     return *engines_[static_cast<size_t>(a)];
@@ -51,13 +57,19 @@ class EngineSuite {
 
   /// Free-flow OSM weights (what the demo uses to *display* travel times for
   /// all four approaches, paper Sec. 3 "Query Processor").
-  const std::vector<double>& display_weights() const { return display_weights_; }
+  const std::vector<double>& display_weights() const {
+    return *display_weights_;
+  }
+  /// The shared handle, for building further suites over the same network.
+  std::shared_ptr<const std::vector<double>> display_weights_ptr() const {
+    return display_weights_;
+  }
 
  private:
   EngineSuite() = default;
 
   std::shared_ptr<const RoadNetwork> net_;
-  std::vector<double> display_weights_;
+  std::shared_ptr<const std::vector<double>> display_weights_;
   std::array<std::unique_ptr<AlternativeRouteGenerator>, kNumApproaches> engines_;
 };
 

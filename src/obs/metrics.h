@@ -43,6 +43,20 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// RAII in-flight tracker: adds +1 to a gauge on construction and -1 on
+/// destruction. Scope one over each unit of concurrent work (request,
+/// checked-out context) to expose an instantaneous "how many right now".
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge& gauge) : gauge_(gauge) { gauge_.Add(1.0); }
+  ~GaugeGuard() { gauge_.Add(-1.0); }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  Gauge& gauge_;
+};
+
 /// Returns `count` bucket upper bounds growing geometrically from `start`
 /// by `factor` (the "log-bucketed" layout: constant relative error).
 std::vector<double> ExponentialBuckets(double start, double factor, int count);

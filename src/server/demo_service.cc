@@ -8,8 +8,15 @@
 
 namespace altroute {
 
+DemoService::DemoService(std::unique_ptr<QueryProcessorPool> pool)
+    : pool_(std::move(pool)) {}
+
 DemoService::DemoService(std::unique_ptr<QueryProcessor> processor)
-    : processor_(std::move(processor)) {}
+    : pool_(std::make_unique<QueryProcessorPool>([&] {
+        std::vector<std::unique_ptr<QueryProcessor>> contexts;
+        contexts.push_back(std::move(processor));
+        return contexts;
+      }())) {}
 
 void DemoService::Install(HttpServer* server) {
   server->Route("/", [this](const HttpRequest& r) { return HandleIndex(r); });
@@ -49,15 +56,16 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
   const bool want_trace = trace_it != req.query.end() &&
                           trace_it->second == "1";
   obs::Trace trace;
-  auto response = processor_->Process(LatLng(*slat, *slng),
-                                      LatLng(*tlat, *tlng),
-                                      want_trace ? &trace : nullptr);
+  QueryProcessorPool::Lease processor = pool_->Acquire();
+  auto response = processor->Process(LatLng(*slat, *slng),
+                                     LatLng(*tlat, *tlng),
+                                     want_trace ? &trace : nullptr);
   if (!response.ok()) {
     const int code = response.status().IsInvalidArgument() ? 400 : 404;
     return HttpResponse::Error(code, response.status().ToString());
   }
   return HttpResponse::Json(
-      processor_->ToJson(*response, want_trace ? &trace : nullptr));
+      processor->ToJson(*response, want_trace ? &trace : nullptr));
 }
 
 HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
@@ -76,8 +84,9 @@ HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
   }
   const auto approach = static_cast<Approach>(label[0] - 'A');
 
-  auto set = processor_->GenerateFor(LatLng(*slat, *slng),
-                                     LatLng(*tlat, *tlng), approach);
+  QueryProcessorPool::Lease processor = pool_->Acquire();
+  auto set = processor->GenerateFor(LatLng(*slat, *slng),
+                                    LatLng(*tlat, *tlng), approach);
   if (!set.ok()) {
     const int code = set.status().IsInvalidArgument() ? 400 : 404;
     return HttpResponse::Error(code, set.status().ToString());
@@ -89,7 +98,7 @@ HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
   w.Key("label").String(label);
   w.Key("steps").BeginArray();
   for (const DirectionStep& step :
-       BuildDirections(processor_->network(), set->routes[0])) {
+       BuildDirections(processor->network(), set->routes[0])) {
     w.BeginObject();
     w.Key("maneuver").String(std::string(ManeuverName(step.maneuver)));
     w.Key("text").String(step.text);
@@ -168,9 +177,9 @@ HttpResponse DemoService::HandleIndex(const HttpRequest&) const {
       "(worst) to 5 (best) via <code>/rate?a=&amp;b=&amp;c=&amp;d=&amp;"
       "resident=</code>.</p>"
       "<p>Network: " +
-      processor_->network().name() + ", " +
-      std::to_string(processor_->network().num_nodes()) + " vertices, " +
-      std::to_string(processor_->network().num_edges()) +
+      pool_->network().name() + ", " +
+      std::to_string(pool_->network().num_nodes()) + " vertices, " +
+      std::to_string(pool_->network().num_edges()) +
       " edges.</p></body></html>";
   return r;
 }

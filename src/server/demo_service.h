@@ -1,5 +1,5 @@
-// DemoService: wires the query processor and rating store into HTTP routes,
-// forming the complete web demo backend of paper Sec. 3 / Figs. 2-3:
+// DemoService: wires the query-processor pool and rating store into HTTP
+// routes, forming the complete web demo backend of paper Sec. 3 / Figs. 2-3:
 //   GET /            - landing page (instructions, Fig. 2 stand-in)
 //   GET /route       - ?slat=&slng=&tlat=&tlng= -> masked A-D route sets
 //   GET /directions  - ?slat=&slng=&tlat=&tlng=&label=A..D -> turn-by-turn
@@ -8,25 +8,36 @@
 //   GET /metrics     - Prometheus text exposition of the process registry
 // /route additionally honours &trace=1, appending a "trace" member with the
 // query's span tree (wall times + per-engine search statistics).
+//
+// Handlers are thread-safe: each request checks a QueryProcessor context
+// out of the pool for its duration (the engines are per-context mutable
+// state; the network and index are shared, immutable). RatingStore is
+// internally synchronised.
 #pragma once
 
 #include <memory>
 
 #include "server/http_server.h"
 #include "server/query_processor.h"
+#include "server/query_processor_pool.h"
 #include "server/rating_store.h"
 
 namespace altroute {
 
 class DemoService {
  public:
+  /// Concurrent serving: one checked-out context per in-flight query.
+  explicit DemoService(std::unique_ptr<QueryProcessorPool> pool);
+
+  /// Single-context convenience (tests, serial tools): wraps the processor
+  /// in a pool of one, so handlers still serialise on it safely.
   explicit DemoService(std::unique_ptr<QueryProcessor> processor);
 
   /// Registers all demo routes on `server`. The service must outlive it.
   void Install(HttpServer* server);
 
   RatingStore& ratings() { return ratings_; }
-  QueryProcessor& processor() { return *processor_; }
+  QueryProcessorPool& pool() { return *pool_; }
 
  private:
   HttpResponse HandleRoute(const HttpRequest& req);
@@ -36,7 +47,7 @@ class DemoService {
   HttpResponse HandleIndex(const HttpRequest& req) const;
   HttpResponse HandleMetrics(const HttpRequest& req) const;
 
-  std::unique_ptr<QueryProcessor> processor_;
+  std::unique_ptr<QueryProcessorPool> pool_;
   RatingStore ratings_;
 };
 

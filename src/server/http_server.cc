@@ -3,8 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <sstream>
 
@@ -15,6 +18,71 @@
 #include "util/string_util.h"
 
 namespace altroute {
+
+namespace {
+
+/// The HTTP-layer instruments, registered once and cached (registration
+/// takes the registry mutex; updates are wait-free).
+struct ServerMetrics {
+  obs::CounterFamily& requests;
+  obs::Counter& shed;
+  obs::Gauge& inflight;
+  obs::Gauge& queue_depth;
+  obs::Gauge& worker_threads;
+  obs::Gauge& workers_busy;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new ServerMetrics{
+          // Path label cardinality is bounded: registered routes plus the
+          // fixed labels "unmatched", "malformed" and "shed" (the path is
+          // never percent-decoded before matching).
+          reg.GetCounterFamily("altroute_http_requests_total",
+                               "HTTP requests served.", {"path", "code"}),
+          reg.GetCounter("altroute_http_requests_shed_total",
+                         "Connections rejected with 503 because the "
+                         "connection queue was full or the server was "
+                         "draining."),
+          reg.GetGauge("altroute_http_inflight_requests",
+                       "Requests currently being parsed or handled."),
+          reg.GetGauge("altroute_http_queue_depth",
+                       "Accepted connections waiting for a worker."),
+          reg.GetGauge("altroute_http_worker_threads",
+                       "Size of the HTTP worker pool."),
+          reg.GetGauge("altroute_http_workers_busy",
+                       "Workers currently handling a connection."),
+      };
+    }();
+    return *m;
+  }
+};
+
+void SetSocketTimeouts(int fd, const HttpServerOptions& options) {
+  const auto set = [fd](int opt, int ms) {
+    if (ms <= 0) return;
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+  };
+  set(SO_RCVTIMEO, options.recv_timeout_ms);
+  set(SO_SNDTIMEO, options.send_timeout_ms);
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
 
 HttpResponse HttpResponse::Error(int status, const std::string& message) {
   JsonWriter w;
@@ -37,6 +105,10 @@ void HttpServer::Route(const std::string& path, HttpHandler handler) {
 Status HttpServer::Start(uint16_t port) {
   if (running_.load()) return Status::FailedPrecondition("already running");
 
+  // Belt and braces alongside MSG_NOSIGNAL: a write to a half-closed socket
+  // must return EPIPE, never kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::IOError("socket() failed");
   const int one = 1;
@@ -51,7 +123,7 @@ Status HttpServer::Start(uint16_t port) {
     listen_fd_ = -1;
     return Status::IOError("bind() failed (port in use?)");
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 128) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IOError("listen() failed");
@@ -60,49 +132,170 @@ Status HttpServer::Start(uint16_t port) {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = false;
+    workers_exit_ = false;
+  }
   running_.store(true);
-  thread_ = std::thread([this] { AcceptLoop(); });
-  ALTROUTE_LOG(Info) << "HTTP server listening on 127.0.0.1:" << port_;
+  accepting_.store(true);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  ServerMetrics::Get().worker_threads.Set(static_cast<double>(threads));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ALTROUTE_LOG(Info) << "HTTP server listening on 127.0.0.1:" << port_
+                     << " with " << threads << " worker thread(s)";
   return Status::OK();
 }
 
 void HttpServer::Stop() {
-  if (!running_.exchange(false)) {
-    if (thread_.joinable()) thread_.join();
-    return;
+  if (!running_.exchange(false)) return;
+
+  // Phase 1: shed new connections with 503 while the listener winds down.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
   }
+  accepting_.store(false);
   // shutdown() unblocks accept(); close() releases the port.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   listen_fd_ = -1;
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Phase 2: workers finish queued and in-flight requests, then exit.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_exit_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  ServerMetrics::Get().worker_threads.Set(0.0);
 }
 
 void HttpServer::AcceptLoop() {
-  while (running_.load()) {
+  while (accepting_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (!running_.load()) break;
+      if (!accepting_.load()) break;
       continue;  // transient accept error
     }
-    HandleConnection(fd);
+    SetSocketTimeouts(fd, options_);
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_ || queue_.size() >= options_.queue_capacity) {
+        shed = true;
+      } else {
+        queue_.push_back(fd);
+        ServerMetrics::Get().queue_depth.Set(
+            static_cast<double>(queue_.size()));
+      }
+    }
+    if (shed) {
+      // Backpressure: reply immediately instead of queueing unbounded work.
+      ServerMetrics::Get().shed.Increment();
+      SendResponse(fd, HttpResponse::Error(503, "server overloaded"), "shed");
+      ::close(fd);
+      continue;
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || workers_exit_; });
+      if (queue_.empty()) return;  // workers_exit_ and nothing left to drain
+      fd = queue_.front();
+      queue_.pop_front();
+      metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    {
+      obs::GaugeGuard busy(metrics.workers_busy);
+      HandleConnection(fd);
+    }
     ::close(fd);
   }
 }
 
+bool HttpServer::SendAll(int fd, std::string_view payload) {
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;  // EPIPE/timeout: peer is gone, give up quietly
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::SendResponse(int fd, const HttpResponse& resp,
+                              const std::string& path_label) {
+  ServerMetrics::Get()
+      .requests.WithLabels({path_label, std::to_string(resp.status)})
+      .Increment();
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << ReasonPhrase(resp.status)
+      << "\r\n"
+      << "Content-Type: " << resp.content_type << "\r\n"
+      << "Content-Length: " << resp.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << resp.body;
+  SendAll(fd, out.str());
+}
+
 void HttpServer::HandleConnection(int fd) {
+  obs::GaugeGuard inflight(ServerMetrics::Get().inflight);
+
   // Read until the end of headers (plus Content-Length body bytes).
   std::string data;
   char buf[4096];
   size_t header_end = std::string::npos;
-  while (data.size() < (1u << 20)) {
+  bool timed_out = false;
+  while (data.size() < options_.max_header_bytes) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n < 0) {
+      timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+      break;
+    }
+    if (n == 0) break;  // peer closed
     data.append(buf, static_cast<size_t>(n));
     header_end = data.find("\r\n\r\n");
     if (header_end != std::string::npos) break;
   }
-  if (header_end == std::string::npos) return;
+  if (header_end == std::string::npos) {
+    // A connection with no bytes at all closes quietly (the client went
+    // away); anything else gets an explicit error instead of vanishing.
+    if (data.empty()) return;
+    if (data.size() >= options_.max_header_bytes) {
+      SendResponse(fd,
+                   HttpResponse::Error(431, "request header fields too large"),
+                   "malformed");
+    } else if (timed_out) {
+      SendResponse(fd, HttpResponse::Error(408, "request timed out"),
+                   "malformed");
+    } else {
+      SendResponse(fd, HttpResponse::Error(400, "malformed request"),
+                   "malformed");
+    }
+    return;
+  }
 
   HttpRequest req;
   {
@@ -112,11 +305,14 @@ void HttpServer::HandleConnection(int fd) {
     if (!request_line.empty() && request_line.back() == '\r') {
       request_line.pop_back();
     }
-    const auto parts = Split(request_line, ' ');
-    if (parts.size() < 2) return;
-    req.method = parts[0];
+    std::string target;
+    if (!ParseRequestLine(request_line, &req.method, &target)) {
+      SendResponse(fd, HttpResponse::Error(400, "malformed request line"),
+                   "malformed");
+      return;
+    }
     std::string raw_query;
-    SplitTarget(parts[1], &req.path, &raw_query);
+    SplitTarget(target, &req.path, &raw_query);
     req.query = ParseQueryString(raw_query);
 
     std::string header_line;
@@ -131,18 +327,19 @@ void HttpServer::HandleConnection(int fd) {
     }
   }
 
-  // Body (bounded at 1 MiB).
+  // Body (bounded at max_body_bytes; larger declared lengths are ignored).
   size_t content_length = 0;
   if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
     auto parsed = ParseInt64(it->second);
-    if (parsed.ok() && *parsed >= 0 && *parsed <= (1 << 20)) {
+    if (parsed.ok() && *parsed >= 0 &&
+        static_cast<size_t>(*parsed) <= options_.max_body_bytes) {
       content_length = static_cast<size_t>(*parsed);
     }
   }
   const size_t body_start = header_end + 4;
   while (data.size() - body_start < content_length) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // peer closed or timed out mid-body
     data.append(buf, static_cast<size_t>(n));
   }
   req.body = data.substr(body_start,
@@ -155,35 +352,10 @@ void HttpServer::HandleConnection(int fd) {
   } else {
     resp = it->second(req);
   }
-
-  // Path label cardinality is bounded: only registered routes are named.
-  static obs::CounterFamily& requests =
-      obs::MetricsRegistry::Global().GetCounterFamily(
-          "altroute_http_requests_total", "HTTP requests served.",
-          {"path", "code"});
-  requests
-      .WithLabels({it == routes_.end() ? "unmatched" : req.path,
-                   std::to_string(resp.status)})
-      .Increment();
-  ALTROUTE_LOG(Debug) << req.method << " " << req.path << " -> " << resp.status;
-
-  const char* reason = resp.status == 200   ? "OK"
-                       : resp.status == 400 ? "Bad Request"
-                       : resp.status == 404 ? "Not Found"
-                                            : "Error";
-  std::ostringstream out;
-  out << "HTTP/1.1 " << resp.status << " " << reason << "\r\n"
-      << "Content-Type: " << resp.content_type << "\r\n"
-      << "Content-Length: " << resp.body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << resp.body;
-  const std::string payload = out.str();
-  size_t sent = 0;
-  while (sent < payload.size()) {
-    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
+  // Decoded for human eyes only; matching and metric labels use raw bytes.
+  ALTROUTE_LOG(Debug) << req.method << " " << UrlDecode(req.path) << " -> "
+                      << resp.status;
+  SendResponse(fd, resp, it == routes_.end() ? "unmatched" : req.path);
 }
 
 }  // namespace altroute

@@ -1,14 +1,23 @@
-// A minimal blocking HTTP/1.1 server sufficient for the web demo (paper
-// Sec. 3 / Fig. 2): routed GET/POST handlers, query-string parsing, JSON
-// responses. One accept loop on a background thread; requests are handled
-// sequentially (the demo serialises routing queries anyway).
+// A concurrent blocking HTTP/1.1 server for the web demo backend (paper
+// Sec. 3 / Fig. 2) grown toward production traffic: one accept thread feeds
+// a bounded connection queue drained by N worker threads, so slow or idle
+// clients cannot stall other users. Per-socket receive/send timeouts bound
+// how long a worker can be held by one connection, writes use MSG_NOSIGNAL
+// (a client hanging up mid-response must never SIGPIPE the process), a full
+// queue sheds load with an immediate 503, and Stop() drains gracefully:
+// queued and in-flight requests finish, new connections are rejected.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "util/result.h"
 
@@ -16,7 +25,10 @@ namespace altroute {
 
 struct HttpRequest {
   std::string method;  // "GET", "POST"
-  std::string path;    // percent-decoded, without query
+  /// Raw (NOT percent-decoded) path without the query string. Routes are
+  /// matched on the raw bytes — "/rou%74e" does not alias "/route" — which
+  /// also keeps the path metric label's cardinality bounded.
+  std::string path;
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;  // lowercased keys
   std::string body;
@@ -37,38 +49,80 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+struct HttpServerOptions {
+  /// Worker threads handling requests; 0 means hardware_concurrency.
+  int num_threads = 0;
+  /// Accepted connections waiting for a worker beyond those in flight;
+  /// when full, new connections are shed with an immediate 503.
+  size_t queue_capacity = 128;
+  /// SO_RCVTIMEO / SO_SNDTIMEO per accepted socket; <= 0 disables.
+  int recv_timeout_ms = 5000;
+  int send_timeout_ms = 5000;
+  /// Requests whose headers exceed this are rejected with 431.
+  size_t max_header_bytes = 1 << 20;
+  /// Content-Length values above this are treated as 0 (body ignored).
+  size_t max_body_bytes = 1 << 20;
+};
+
 class HttpServer {
  public:
   HttpServer() = default;
+  explicit HttpServer(HttpServerOptions options) : options_(options) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers a handler for an exact path (any method). Must be called
-  /// before Start().
+  /// Registers a handler for an exact raw path (any method). Must be called
+  /// before Start(). Handlers run concurrently on worker threads and must be
+  /// thread-safe.
   void Route(const std::string& path, HttpHandler handler);
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), spawns the worker pool and
+  /// starts the accept loop. Also ignores SIGPIPE process-wide as a
+  /// belt-and-braces fallback to MSG_NOSIGNAL.
   Status Start(uint16_t port);
 
   /// The bound port (valid after Start()).
   uint16_t port() const { return port_; }
 
-  /// Stops the accept loop and joins the thread. Idempotent.
+  /// Number of worker threads (valid after Start()).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Graceful drain: stops accepting, finishes queued and in-flight
+  /// requests, joins all threads. Idempotent; the server can Start() again.
   void Stop();
 
   bool running() const { return running_.load(); }
 
  private:
   void AcceptLoop();
+  void WorkerLoop();
   void HandleConnection(int fd);
+  /// Writes the full payload with MSG_NOSIGNAL; false on error (EPIPE etc.).
+  static bool SendAll(int fd, std::string_view payload);
+  /// Serialises `resp`, sends it, and counts it under
+  /// altroute_http_requests_total{path=`path_label`,code=...}. `path_label`
+  /// is drawn from a bounded set: registered routes plus "unmatched",
+  /// "malformed" and "shed".
+  void SendResponse(int fd, const HttpResponse& resp,
+                    const std::string& path_label);
 
+  HttpServerOptions options_;
   std::map<std::string, HttpHandler> routes_;
-  int listen_fd_ = -1;
+  // Written by Start()/Stop(), read concurrently by AcceptLoop's accept().
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
-  std::thread thread_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;     // accepted fds awaiting a worker
+  bool draining_ = false;     // Stop() begun: shed new connections with 503
+  bool workers_exit_ = false; // queue is final: drain it, then exit
   std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
 };
 
 }  // namespace altroute

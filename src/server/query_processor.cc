@@ -94,7 +94,16 @@ void RecordEngineRun(const std::string& approach, const std::string& city,
 }  // namespace
 
 QueryProcessor::QueryProcessor(EngineSuite suite)
-    : suite_(std::move(suite)), index_(suite_.network().coords()) {}
+    : suite_(std::move(suite)),
+      index_(std::make_shared<const SpatialIndex>(suite_.network().coords())) {}
+
+QueryProcessor::QueryProcessor(EngineSuite suite,
+                               std::shared_ptr<const SpatialIndex> index)
+    : suite_(std::move(suite)), index_(std::move(index)) {
+  ALTROUTE_CHECK(index_ != nullptr) << "null spatial index";
+  ALTROUTE_CHECK(index_->size() == suite_.network().num_nodes())
+      << "spatial index does not match the network";
+}
 
 namespace {
 struct Snapped {
@@ -135,7 +144,7 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
   obs::TraceSpan query_span(trace, "query");
 
   obs::TraceSpan snap_span(trace, "snap");
-  auto snapped_or = Snap(index_, suite_.network(), source, target,
+  auto snapped_or = Snap(*index_, suite_.network(), source, target,
                          max_snap_distance_m_);
   snap_span.End();
   if (!snapped_or.ok()) {
@@ -199,7 +208,7 @@ Result<AlternativeSet> QueryProcessor::GenerateFor(const LatLng& source,
                                                    Approach approach,
                                                    obs::SearchStats* stats) {
   ALTROUTE_ASSIGN_OR_RETURN(
-      Snapped snapped, Snap(index_, suite_.network(), source, target,
+      Snapped snapped, Snap(*index_, suite_.network(), source, target,
                             max_snap_distance_m_));
   return suite_.engine(approach).Generate(snapped.source, snapped.target,
                                           stats);

@@ -40,12 +40,18 @@ struct QueryResponse {
   std::vector<ApproachDisplay> approaches;  // in masked order A-D
 };
 
-/// Stateful processor over one city network. Not thread-safe (the demo
-/// serialises queries).
+/// Stateful processor over one city network. Not thread-safe: the engines
+/// hold mutable search state, so concurrent serving uses one processor per
+/// worker (see QueryProcessorPool) over the shared immutable network.
 class QueryProcessor {
  public:
   /// Takes ownership of the suite and builds the snapping index.
   explicit QueryProcessor(EngineSuite suite);
+
+  /// Shares a prebuilt snapping index (immutable after construction, safe
+  /// to share across processors) instead of rebuilding it. `index` must
+  /// index the suite's network coordinates.
+  QueryProcessor(EngineSuite suite, std::shared_ptr<const SpatialIndex> index);
 
   /// Processes a query given raw clicked coordinates. Returns
   /// InvalidArgument for coordinates outside the study rectangle (plus a
@@ -80,7 +86,7 @@ class QueryProcessor {
 
  private:
   EngineSuite suite_;
-  SpatialIndex index_;
+  std::shared_ptr<const SpatialIndex> index_;
   double max_snap_distance_m_ = 2000.0;
   double polyline_tolerance_m_ = 0.0;
 };

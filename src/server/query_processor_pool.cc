@@ -1,0 +1,84 @@
+#include "server/query_processor_pool.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace altroute {
+
+namespace {
+
+obs::Gauge& ContextsInUseGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "altroute_query_contexts_in_use",
+      "Query-processor contexts currently checked out by workers.");
+  return g;
+}
+
+}  // namespace
+
+Result<QueryProcessorPool> QueryProcessorPool::Create(
+    std::shared_ptr<const RoadNetwork> net, size_t num_contexts,
+    const AlternativeOptions& options, int commercial_hour) {
+  if (net == nullptr) return Status::InvalidArgument("null network");
+  if (num_contexts == 0) {
+    return Status::InvalidArgument("pool needs at least one context");
+  }
+  // Shared immutable state: one snapping index and one display-weight
+  // vector serve every context.
+  auto index = std::make_shared<const SpatialIndex>(net->coords());
+  std::shared_ptr<const std::vector<double>> display_weights;
+
+  std::vector<std::unique_ptr<QueryProcessor>> contexts;
+  contexts.reserve(num_contexts);
+  for (size_t i = 0; i < num_contexts; ++i) {
+    ALTROUTE_ASSIGN_OR_RETURN(
+        EngineSuite suite,
+        EngineSuite::MakePaperSuite(net, options, commercial_hour,
+                                    display_weights));
+    if (display_weights == nullptr) {
+      display_weights = suite.display_weights_ptr();
+    }
+    contexts.push_back(
+        std::make_unique<QueryProcessor>(std::move(suite), index));
+  }
+  return QueryProcessorPool(std::move(contexts));
+}
+
+QueryProcessorPool::QueryProcessorPool(
+    std::vector<std::unique_ptr<QueryProcessor>> contexts)
+    : contexts_(std::move(contexts)) {
+  ALTROUTE_CHECK(!contexts_.empty()) << "empty processor pool";
+  free_.reserve(contexts_.size());
+  for (const auto& c : contexts_) {
+    ALTROUTE_CHECK(c != nullptr) << "null processor in pool";
+    free_.push_back(c.get());
+  }
+}
+
+QueryProcessorPool::Lease QueryProcessorPool::Acquire() {
+  std::unique_lock<std::mutex> lock(*mu_);
+  cv_->wait(lock, [this] { return !free_.empty(); });
+  QueryProcessor* p = free_.back();
+  free_.pop_back();
+  ContextsInUseGauge().Add(1.0);
+  return Lease(this, p);
+}
+
+void QueryProcessorPool::Release(QueryProcessor* processor) {
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    free_.push_back(processor);
+  }
+  ContextsInUseGauge().Add(-1.0);
+  cv_->notify_one();
+}
+
+QueryProcessorPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->Release(processor_);
+}
+
+const RoadNetwork& QueryProcessorPool::network() const {
+  return contexts_.front()->network();
+}
+
+}  // namespace altroute

@@ -1,0 +1,80 @@
+// Per-worker query contexts for concurrent serving. QueryProcessor and the
+// engines in EngineSuite hold mutable search state and are not thread-safe,
+// but alternative-route generation is embarrassingly parallel across queries
+// (independent per-query searches, cf. Dees et al.), so the pool owns one
+// processor per HTTP worker: engines are rebuilt per context while the
+// immutable RoadNetwork, the free-flow display weights and the snapping
+// SpatialIndex are shared via shared_ptr. Handlers check a context out for
+// the duration of one request (RAII Lease) and return it on destruction.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "server/query_processor.h"
+
+namespace altroute {
+
+class QueryProcessorPool {
+ public:
+  /// Builds `num_contexts` processors over one shared network: the spatial
+  /// index and display weights are built once; each context gets its own
+  /// engine suite (per-worker mutable state).
+  static Result<QueryProcessorPool> Create(
+      std::shared_ptr<const RoadNetwork> net, size_t num_contexts,
+      const AlternativeOptions& options = {}, int commercial_hour = 3);
+
+  /// Adopts prebuilt processors (e.g. a single-context pool for tests or
+  /// the serial CLI paths). Must be non-empty and non-null.
+  explicit QueryProcessorPool(
+      std::vector<std::unique_ptr<QueryProcessor>> contexts);
+
+  QueryProcessorPool(QueryProcessorPool&&) = default;
+  QueryProcessorPool& operator=(QueryProcessorPool&&) = default;
+
+  /// RAII checkout: the processor is exclusively owned until the lease is
+  /// destroyed, then returns to the pool.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), processor_(other.processor_) {
+      other.pool_ = nullptr;
+      other.processor_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    QueryProcessor* operator->() { return processor_; }
+    QueryProcessor& operator*() { return *processor_; }
+
+   private:
+    friend class QueryProcessorPool;
+    Lease(QueryProcessorPool* pool, QueryProcessor* processor)
+        : pool_(pool), processor_(processor) {}
+
+    QueryProcessorPool* pool_;
+    QueryProcessor* processor_;
+  };
+
+  /// Checks a free context out, blocking until one is available. With one
+  /// context per HTTP worker this never blocks in the steady state.
+  Lease Acquire();
+
+  size_t size() const { return contexts_.size(); }
+  const RoadNetwork& network() const;
+
+ private:
+  void Release(QueryProcessor* processor);
+
+  std::vector<std::unique_ptr<QueryProcessor>> contexts_;
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::condition_variable> cv_ =
+      std::make_unique<std::condition_variable>();
+  std::vector<QueryProcessor*> free_;  // guarded by *mu_
+};
+
+}  // namespace altroute

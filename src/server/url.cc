@@ -58,12 +58,29 @@ void SplitTarget(std::string_view target, std::string* path,
                  std::string* query) {
   const size_t q = target.find('?');
   if (q == std::string_view::npos) {
-    *path = UrlDecode(target);
+    *path = std::string(target);
     query->clear();
   } else {
-    *path = UrlDecode(target.substr(0, q));
+    *path = std::string(target.substr(0, q));
     *query = std::string(target.substr(q + 1));
   }
+}
+
+bool ParseRequestLine(std::string_view line, std::string* method,
+                      std::string* target) {
+  std::string_view tokens[2];
+  size_t found = 0;
+  size_t i = 0;
+  while (i < line.size() && found < 2) {
+    while (i < line.size() && line[i] == ' ') ++i;  // skip repeated spaces
+    const size_t begin = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > begin) tokens[found++] = line.substr(begin, i - begin);
+  }
+  if (found < 2) return false;
+  *method = std::string(tokens[0]);
+  *target = std::string(tokens[1]);
+  return true;
 }
 
 }  // namespace altroute

@@ -27,6 +27,20 @@ TEST(GaugeTest, SetAndAdd) {
   EXPECT_DOUBLE_EQ(g.Value(), 0.0);
 }
 
+TEST(GaugeTest, GaugeGuardTracksScope) {
+  Gauge g;
+  {
+    GaugeGuard outer(g);
+    EXPECT_DOUBLE_EQ(g.Value(), 1.0);
+    {
+      GaugeGuard inner(g);
+      EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+    }
+    EXPECT_DOUBLE_EQ(g.Value(), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
 TEST(ExponentialBucketsTest, GeometricProgression) {
   const std::vector<double> bounds = ExponentialBuckets(0.001, 10.0, 4);
   ASSERT_EQ(bounds.size(), 4u);

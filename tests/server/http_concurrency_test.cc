@@ -1,0 +1,273 @@
+// Concurrency behaviour of the HTTP worker pool: overlapping requests on
+// different workers, SIGPIPE survival when a client hangs up mid-response,
+// 503 load shedding when the connection queue is full, graceful drain on
+// Stop(), and socket receive timeouts. All through real loopback sockets.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "server/http_server.h"
+
+namespace altroute {
+namespace {
+
+int Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendRequest(int fd, const std::string& target) {
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: localhost\r\nConnection: "
+                          "close\r\n\r\n";
+  ::send(fd, req.data(), req.size(), MSG_NOSIGNAL);
+}
+
+std::string ReadAll(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = Connect(port);
+  if (fd < 0) return "";
+  SendRequest(fd, target);
+  const std::string out = ReadAll(fd);
+  ::close(fd);
+  return out;
+}
+
+// Two slow requests on a two-worker server must be in their handlers at the
+// same time: each waits (bounded) for the other before answering, so a
+// serialised server would time out and answer overlap:false.
+TEST(HttpConcurrencyTest, TwoSlowRequestsOverlapAcrossWorkers) {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  HttpServer server(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int inside = 0;
+  server.Route("/slow", [&](const HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++inside;
+    cv.notify_all();
+    const bool overlapped = cv.wait_for(lock, std::chrono::seconds(2),
+                                        [&] { return inside >= 2; });
+    return HttpResponse::Json(overlapped ? "{\"overlap\":true}"
+                                         : "{\"overlap\":false}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_EQ(server.num_threads(), 2);
+
+  std::vector<std::string> responses(2);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < 2; ++i) {
+    clients.emplace_back(
+        [&, i] { responses[i] = HttpGet(server.port(), "/slow"); });
+  }
+  for (auto& c : clients) c.join();
+  for (const std::string& r : responses) {
+    EXPECT_NE(r.find("\"overlap\":true"), std::string::npos) << r;
+  }
+  server.Stop();
+}
+
+// Regression for the SIGPIPE crash: a client that disconnects mid-response
+// must not kill the process (writes use MSG_NOSIGNAL, SIGPIPE is ignored),
+// and the server must keep serving subsequent requests.
+TEST(HttpConcurrencyTest, ClientDisconnectMidResponseDoesNotKillServer) {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  HttpServer server(options);
+  // Big enough to overflow the socket send buffer, so the worker is still
+  // writing when the client is already gone.
+  const std::string big(4u << 20, 'x');
+  server.Route("/big", [&](const HttpRequest&) {
+    return HttpResponse::Json(big);
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    const int fd = Connect(server.port());
+    ASSERT_GE(fd, 0);
+    SendRequest(fd, "/big");
+    // Hang up without reading the response.
+    ::close(fd);
+  }
+  // Give the workers a moment to run into the half-closed sockets.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const std::string response = HttpGet(server.port(), "/big");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find(big), std::string::npos);
+  server.Stop();
+}
+
+// With one worker busy and the queue full, new connections are shed with an
+// immediate 503 and counted in altroute_http_requests_shed_total.
+TEST(HttpConcurrencyTest, FullQueueShedsWith503) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  HttpServer server(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  server.Route("/block", [&](const HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; });
+    return HttpResponse::Json("{\"blocked\":true}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Counter& shed = obs::MetricsRegistry::Global().GetCounter(
+      "altroute_http_requests_shed_total", "");
+  const uint64_t shed_before = shed.Value();
+
+  // A occupies the single worker.
+  std::string response_a;
+  std::thread client_a(
+      [&] { response_a = HttpGet(server.port(), "/block"); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered; }));
+  }
+
+  // B fills the one queue slot.
+  const int fd_b = Connect(server.port());
+  ASSERT_GE(fd_b, 0);
+  SendRequest(fd_b, "/block");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // C must be rejected immediately with 503 while the worker is still busy.
+  const int fd_c = Connect(server.port());
+  ASSERT_GE(fd_c, 0);
+  SendRequest(fd_c, "/block");
+  const std::string response_c = ReadAll(fd_c);
+  ::close(fd_c);
+  EXPECT_NE(response_c.find("503"), std::string::npos) << response_c;
+  EXPECT_NE(response_c.find("overloaded"), std::string::npos);
+  EXPECT_GT(shed.Value(), shed_before);
+
+  // Release the worker: both A and the queued B complete.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  client_a.join();
+  EXPECT_NE(response_a.find("200"), std::string::npos);
+  EXPECT_NE(ReadAll(fd_b).find("200"), std::string::npos);
+  ::close(fd_b);
+  server.Stop();
+}
+
+// Stop() drains gracefully: the in-flight request finishes and its response
+// reaches the client even though Stop() was called while it was running.
+TEST(HttpConcurrencyTest, StopFinishesInFlightRequests) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(options);
+
+  std::atomic<bool> entered{false};
+  server.Route("/slow", [&](const HttpRequest&) {
+    entered.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return HttpResponse::Json("{\"drained\":true}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::string response;
+  std::thread client([&] { response = HttpGet(server.port(), "/slow"); });
+  while (!entered.load()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(5));
+  server.Stop();  // must wait for the in-flight request, then join workers
+  client.join();
+  EXPECT_NE(response.find("\"drained\":true"), std::string::npos) << response;
+  EXPECT_FALSE(server.running());
+}
+
+// A client that sends a partial request and stalls is timed out by
+// SO_RCVTIMEO and answered 408, freeing the worker for other clients.
+TEST(HttpConcurrencyTest, StalledClientTimesOutWith408) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.recv_timeout_ms = 150;
+  HttpServer server(options);
+  server.Route("/ok", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = Connect(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string partial = "GET /ok HTT";  // never finishes the request
+  ::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL);
+  const auto begin = std::chrono::steady_clock::now();
+  const std::string response = ReadAll(fd);
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+
+  // The single worker is free again and serves the next client.
+  EXPECT_NE(HttpGet(server.port(), "/ok").find("200"), std::string::npos);
+  server.Stop();
+}
+
+// An idle connection that never sends a byte is closed quietly after the
+// receive timeout without occupying the worker forever.
+TEST(HttpConcurrencyTest, SilentIdleConnectionIsClosedQuietly) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.recv_timeout_ms = 100;
+  HttpServer server(options);
+  server.Route("/ok", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = Connect(server.port());
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(ReadAll(fd).empty());  // server closes with no response
+  ::close(fd);
+  EXPECT_NE(HttpGet(server.port(), "/ok").find("200"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace altroute

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "server/http_server.h"
 
 namespace altroute {
@@ -122,10 +123,69 @@ TEST_F(HttpEdgeFixture, HeadersAreCaseInsensitive) {
   EXPECT_NE(client.ReadAll().find("\"body_len\":3"), std::string::npos);
 }
 
-TEST_F(HttpEdgeFixture, PercentEncodedPathRoutes) {
+TEST_F(HttpEdgeFixture, PercentEncodedPathDoesNotAliasRoutes) {
+  // Routes match on the raw path: "/%6fk" must not reach the "/ok" handler
+  // (aliasing would also pollute the bounded-cardinality path metric label).
   RawClient client(server_->port());
-  client.Send("GET /%6fk HTTP/1.1\r\nHost: x\r\n\r\n");  // "/ok"
+  client.Send("GET /%6fk HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(client.ReadAll().find("404"), std::string::npos);
+  // The literal path still works.
+  RawClient plain(server_->port());
+  plain.Send("GET /ok HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(plain.ReadAll().find("200"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, RepeatedSpacesInRequestLineStillRoute) {
+  RawClient client(server_->port());
+  client.Send("GET   /ok   HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(client.ReadAll().find("200"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, MalformedRequestLineGets400) {
+  obs::CounterFamily& requests =
+      obs::MetricsRegistry::Global().GetCounterFamily(
+          "altroute_http_requests_total", "HTTP requests served.",
+          {"path", "code"});
+  const uint64_t before = requests.WithLabels({"malformed", "400"}).Value();
+
+  RawClient client(server_->port());
+  client.Send("ONLYONETOKEN\r\n\r\n");
+  const std::string response = client.ReadAll();
+  EXPECT_NE(response.find("400"), std::string::npos);
+  EXPECT_NE(response.find("malformed request line"), std::string::npos);
+
+  // Malformed requests are counted, not silently dropped.
+  EXPECT_GT(requests.WithLabels({"malformed", "400"}).Value(), before);
+}
+
+TEST_F(HttpEdgeFixture, IncompleteHeadersGet400NotSilence) {
+  RawClient client(server_->port());
+  // Bytes arrive but the client hangs up before "\r\n\r\n".
+  client.Send("GET /ok HTTP/1.1\r\nHost: x\r\n");
+  EXPECT_NE(client.ReadAll().find("400"), std::string::npos);
+}
+
+TEST_F(HttpEdgeFixture, OversizedHeadersGet431) {
+  // A local server with a small header cap, so the test stays fast.
+  HttpServerOptions options;
+  options.max_header_bytes = 4096;
+  HttpServer server(options);
+  server.Route("/ok", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  RawClient client(server.port());
+  std::string request = "GET /ok HTTP/1.1\r\n";
+  request.append("X-Padding: " + std::string(8192, 'a') + "\r\n\r\n");
+  client.Send(request);
+  EXPECT_NE(client.ReadAll().find("431"), std::string::npos);
+
+  // The server keeps serving after rejecting the oversized request.
+  RawClient plain(server.port());
+  plain.Send("GET /ok HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(plain.ReadAll().find("200"), std::string::npos);
+  server.Stop();
 }
 
 }  // namespace

@@ -79,11 +79,15 @@ class DemoServerFixture : public ::testing::Test {
     auto net = testutil::GridNetwork(6, 6, 60.0, 500.0);
     net_coord_origin_ = net->coord(0);
     net_coord_far_ = net->coord(static_cast<NodeId>(net->num_nodes() - 1));
-    auto suite = EngineSuite::MakePaperSuite(net);
-    ALTROUTE_CHECK(suite.ok());
+    // The full concurrent wiring: a two-context pool behind a two-worker
+    // server, exactly as `altroute_cli serve --threads 2` runs it.
+    auto pool = QueryProcessorPool::Create(net, 2);
+    ALTROUTE_CHECK(pool.ok());
     service_ = new DemoService(
-        std::make_unique<QueryProcessor>(std::move(suite).ValueOrDie()));
-    server_ = new HttpServer();
+        std::make_unique<QueryProcessorPool>(std::move(pool).ValueOrDie()));
+    HttpServerOptions options;
+    options.num_threads = 2;
+    server_ = new HttpServer(options);
     service_->Install(server_);
     ALTROUTE_CHECK(server_->Start(0).ok());
   }

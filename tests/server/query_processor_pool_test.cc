@@ -1,0 +1,108 @@
+// QueryProcessorPool: per-worker engine contexts over one shared immutable
+// network. Concurrent checkouts must produce exactly the results a single
+// serial processor produces (per-query searches are independent), and the
+// lease discipline must block when all contexts are out.
+#include "server/query_processor_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "util/logging.h"
+
+namespace altroute {
+namespace {
+
+class PoolFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new std::shared_ptr<RoadNetwork>(
+        testutil::GridNetwork(6, 6, 60.0, 500.0));
+  }
+  static void TearDownTestSuite() { delete net_; }
+  static const RoadNetwork& net() { return **net_; }
+  static std::shared_ptr<RoadNetwork>* net_;
+};
+
+std::shared_ptr<RoadNetwork>* PoolFixture::net_ = nullptr;
+
+TEST_F(PoolFixture, CreateValidates) {
+  EXPECT_TRUE(QueryProcessorPool::Create(nullptr, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(QueryProcessorPool::Create(*net_, 0)
+                  .status()
+                  .IsInvalidArgument());
+  auto pool = QueryProcessorPool::Create(*net_, 3);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool->size(), 3u);
+  EXPECT_EQ(&pool->network(), net_->get());
+}
+
+TEST_F(PoolFixture, ConcurrentQueriesMatchSerialResults) {
+  constexpr size_t kContexts = 4;
+  constexpr int kQueriesPerThread = 5;
+  auto pool_or = QueryProcessorPool::Create(*net_, kContexts);
+  ASSERT_TRUE(pool_or.ok());
+  QueryProcessorPool pool = std::move(pool_or).ValueOrDie();
+
+  const LatLng source = net().coord(0);
+  const LatLng target = net().coord(static_cast<NodeId>(net().num_nodes() - 1));
+
+  // Serial baseline from one context.
+  std::string expected;
+  {
+    auto lease = pool.Acquire();
+    auto response = lease->Process(source, target);
+    ASSERT_TRUE(response.ok());
+    expected = lease->ToJson(*response);
+  }
+
+  // 2x oversubscribed: every query from every thread must reproduce the
+  // serial answer bit-for-bit (shared network is immutable; all mutable
+  // search state is per-context).
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (size_t i = 0; i < 2 * kContexts; ++i) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto lease = pool.Acquire();
+        auto response = lease->Process(source, target);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (lease->ToJson(*response) != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(PoolFixture, AcquireBlocksUntilAContextIsFree) {
+  auto pool_or = QueryProcessorPool::Create(*net_, 1);
+  ASSERT_TRUE(pool_or.ok());
+  QueryProcessorPool pool = std::move(pool_or).ValueOrDie();
+
+  std::atomic<bool> acquired_second{false};
+  auto first = std::make_unique<QueryProcessorPool::Lease>(pool.Acquire());
+  std::thread waiter([&] {
+    auto second = pool.Acquire();  // blocks until `first` is released
+    acquired_second.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(acquired_second.load());
+  first.reset();  // release
+  waiter.join();
+  EXPECT_TRUE(acquired_second.load());
+}
+
+}  // namespace
+}  // namespace altroute

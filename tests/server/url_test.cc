@@ -19,6 +19,20 @@ TEST(UrlDecodeTest, MalformedEscapesKeptLiteral) {
   EXPECT_EQ(UrlDecode("a%zzb"), "a%zzb");
 }
 
+TEST(UrlDecodeTest, TruncatedEscapes) {
+  EXPECT_EQ(UrlDecode("%"), "%");
+  EXPECT_EQ(UrlDecode("%4"), "%4");
+  EXPECT_EQ(UrlDecode("abc%"), "abc%");
+  // A truncated escape mid-string keeps the '%' and continues decoding.
+  EXPECT_EQ(UrlDecode("%4%20"), "%4 ");
+}
+
+TEST(UrlDecodeTest, PlusIsSpace) {
+  EXPECT_EQ(UrlDecode("+"), " ");
+  EXPECT_EQ(UrlDecode("a++b"), "a  b");
+  EXPECT_EQ(UrlDecode("%2B"), "+");  // encoded plus stays a plus
+}
+
 TEST(ParseQueryStringTest, Basics) {
   const auto q = ParseQueryString("slat=-37.8&slng=144.9&resident=1");
   EXPECT_EQ(q.at("slat"), "-37.8");
@@ -42,6 +56,24 @@ TEST(ParseQueryStringTest, DecodesComponents) {
 TEST(ParseQueryStringTest, RepeatedKeysKeepLast) {
   const auto q = ParseQueryString("a=1&a=2");
   EXPECT_EQ(q.at("a"), "2");
+  const auto three = ParseQueryString("k=x&k=y&k=z");
+  EXPECT_EQ(three.at("k"), "z");
+}
+
+TEST(ParseQueryStringTest, EmptyKeysAndValues) {
+  const auto q = ParseQueryString("=v&a=&=&b");
+  EXPECT_EQ(q.at(""), "");     // "=" wins over "=v" (last write)
+  EXPECT_EQ(q.at("a"), "");
+  EXPECT_EQ(q.at("b"), "");
+  const auto only_empty = ParseQueryString("=v");
+  EXPECT_EQ(only_empty.at(""), "v");
+}
+
+TEST(ParseQueryStringTest, TruncatedEscapesInPairs) {
+  const auto q = ParseQueryString("a=%4&b=%&c=100%25");
+  EXPECT_EQ(q.at("a"), "%4");
+  EXPECT_EQ(q.at("b"), "%");
+  EXPECT_EQ(q.at("c"), "100%");
 }
 
 TEST(SplitTargetTest, WithAndWithoutQuery) {
@@ -52,8 +84,47 @@ TEST(SplitTargetTest, WithAndWithoutQuery) {
   SplitTarget("/stats", &path, &query);
   EXPECT_EQ(path, "/stats");
   EXPECT_TRUE(query.empty());
+}
+
+TEST(SplitTargetTest, PathStaysRaw) {
+  // Routes match on raw bytes: "/rou%74e" must NOT alias "/route" (that
+  // would also pollute the bounded path metric label). Decoding is only for
+  // display (UrlDecode).
+  std::string path, query;
   SplitTarget("/a%20b?x=1", &path, &query);
-  EXPECT_EQ(path, "/a b");
+  EXPECT_EQ(path, "/a%20b");
+  EXPECT_EQ(query, "x=1");
+  SplitTarget("/rou%74e?slat=1", &path, &query);
+  EXPECT_EQ(path, "/rou%74e");
+  EXPECT_EQ(UrlDecode(path), "/route");
+}
+
+TEST(ParseRequestLineTest, Basics) {
+  std::string method, target;
+  ASSERT_TRUE(ParseRequestLine("GET /route?x=1 HTTP/1.1", &method, &target));
+  EXPECT_EQ(method, "GET");
+  EXPECT_EQ(target, "/route?x=1");
+  ASSERT_TRUE(ParseRequestLine("POST /rate", &method, &target));
+  EXPECT_EQ(method, "POST");
+  EXPECT_EQ(target, "/rate");
+}
+
+TEST(ParseRequestLineTest, RepeatedSpacesYieldNoEmptyTokens) {
+  std::string method, target;
+  ASSERT_TRUE(ParseRequestLine("GET   /ok   HTTP/1.1", &method, &target));
+  EXPECT_EQ(method, "GET");
+  EXPECT_EQ(target, "/ok");
+  ASSERT_TRUE(ParseRequestLine("  GET /ok", &method, &target));
+  EXPECT_EQ(method, "GET");
+  EXPECT_EQ(target, "/ok");
+}
+
+TEST(ParseRequestLineTest, RejectsFewerThanTwoTokens) {
+  std::string method, target;
+  EXPECT_FALSE(ParseRequestLine("", &method, &target));
+  EXPECT_FALSE(ParseRequestLine("GET", &method, &target));
+  EXPECT_FALSE(ParseRequestLine("GET   ", &method, &target));
+  EXPECT_FALSE(ParseRequestLine("   ", &method, &target));
 }
 
 }  // namespace

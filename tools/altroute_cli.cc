@@ -6,12 +6,13 @@
 //   altroute_cli route --city melbourne --from 12 --to 3402 --engine plateau
 //   altroute_cli route --net melbourne.bin --from 12 --to 3402 --geojson
 //   altroute_cli study --city dhaka --seed 7 --csv responses.csv
-//   altroute_cli serve --city melbourne --port 8080
+//   altroute_cli serve --city melbourne --port 8080 --threads 8
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "citygen/city_generator.h"
 #include "core/engine_registry.h"
@@ -84,7 +85,10 @@ Commands:
       [--csv FILE] [--report FILE.md]                  run the user study
   serve
       --city NAME --scale S [--port P]                 web demo backend
-                                                       (metrics at /metrics)
+      [--threads N]                                    worker pool size
+                                                       (default: hardware
+                                                       concurrency; metrics
+                                                       at /metrics)
 
 Global options:
   --log-level <debug|info|warn|error>                  log verbosity (default info)
@@ -268,14 +272,23 @@ int CmdServe(const Args& args) {
     return 1;
   }
   std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
-  auto suite = EngineSuite::MakePaperSuite(net);
-  if (!suite.ok()) {
-    std::fprintf(stderr, "%s\n", suite.status().ToString().c_str());
+  int threads = static_cast<int>(args.GetInt("threads", 0));
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  // One query context per HTTP worker: engines are per-context mutable
+  // state; the network, weights and snapping index are shared.
+  auto pool = QueryProcessorPool::Create(net, static_cast<size_t>(threads));
+  if (!pool.ok()) {
+    std::fprintf(stderr, "%s\n", pool.status().ToString().c_str());
     return 1;
   }
-  DemoService service(
-      std::make_unique<QueryProcessor>(std::move(suite).ValueOrDie()));
-  HttpServer server;
+  DemoService service(std::make_unique<QueryProcessorPool>(
+      std::move(pool).ValueOrDie()));
+  HttpServerOptions options;
+  options.num_threads = threads;
+  HttpServer server(options);
   service.Install(&server);
   const Status st =
       server.Start(static_cast<uint16_t>(args.GetInt("port", 8080)));
@@ -283,8 +296,9 @@ int CmdServe(const Args& args) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("Serving %s on http://127.0.0.1:%u/ (Ctrl-C to stop)\n",
-              net->name().c_str(), server.port());
+  std::printf("Serving %s on http://127.0.0.1:%u/ with %d worker thread(s) "
+              "(Ctrl-C to stop)\n",
+              net->name().c_str(), server.port(), server.num_threads());
   for (;;) pause();
 }
 
