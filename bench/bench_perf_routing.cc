@@ -75,6 +75,24 @@ void BM_DijkstraPointToPointWithStats(benchmark::State& state) {
 }
 BENCHMARK(BM_DijkstraPointToPointWithStats);
 
+// Same query mix polling a live CancellationToken (far-future deadline, so
+// it never fires): the delta against BM_DijkstraPointToPoint is the
+// cooperative-cancellation overhead (budget: < 1%).
+void BM_DijkstraPointToPointWithCancellation(benchmark::State& state) {
+  auto net = BenchCity();
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  CancellationToken token{Deadline::AfterSeconds(3600.0)};
+  for (auto _ : state) {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times(),
+                                   /*skip_edge=*/nullptr, /*stats=*/nullptr,
+                                   &token);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraPointToPointWithCancellation);
+
 void BM_DijkstraFullTree(benchmark::State& state) {
   auto net = BenchCity();
   Dijkstra dijkstra(*net);

@@ -11,6 +11,7 @@
 #include "core/path.h"
 #include "graph/road_network.h"
 #include "obs/search_stats.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -42,6 +43,10 @@ struct AlternativeSet {
   double optimal_cost = 0.0;
   /// Instrumentation: settled nodes / iterations the generator spent.
   size_t work_settled_nodes = 0;
+  /// OK when the generator ran to completion; DeadlineExceeded when it was
+  /// cancelled after finding the shortest path, in which case `routes` holds
+  /// whatever alternatives were ready (a partial but usable answer).
+  Status completion = Status::OK();
 };
 
 /// Interface implemented by Penalty, Plateaus, Dissimilarity and the
@@ -59,8 +64,14 @@ class AlternativeRouteGenerator {
   /// non-null, search counters (settled nodes, relaxed edges, generated and
   /// rejected candidates) are accumulated into it; passing nullptr (the
   /// default) disables collection at zero cost.
+  ///
+  /// When `cancel` is non-null the generator polls it cooperatively. If it
+  /// fires before the shortest path is known the call fails with
+  /// DeadlineExceeded; if it fires later the call succeeds with the routes
+  /// found so far and `AlternativeSet::completion` set to DeadlineExceeded.
   virtual Result<AlternativeSet> Generate(NodeId source, NodeId target,
-                                          obs::SearchStats* stats = nullptr) = 0;
+                                          obs::SearchStats* stats = nullptr,
+                                          CancellationToken* cancel = nullptr) = 0;
 
   /// The weight vector the generator searches with (one entry per edge).
   virtual const std::vector<double>& weights() const = 0;

@@ -26,17 +26,33 @@ CommercialBaseline::CommercialBaseline(std::shared_ptr<const RoadNetwork> net,
 
 Result<AlternativeSet> CommercialBaseline::Generate(NodeId source,
                                                     NodeId target,
-                                                    obs::SearchStats* stats) {
+                                                    obs::SearchStats* stats,
+                                                    CancellationToken* cancel) {
   // Candidate pool: plateau routes + via-node routes on commercial data.
-  // Both sub-generators accumulate into the same stats object.
+  // Both sub-generators accumulate into the same stats object. If the
+  // plateau stage is cancelled before its shortest path we have nothing to
+  // ship (the error propagates); a cancelled via stage just shrinks the
+  // candidate pool.
   ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet plat,
-                            plateau_->Generate(source, target, stats));
-  ALTROUTE_ASSIGN_OR_RETURN(AlternativeSet via,
-                            via_->Generate(source, target, stats));
+                            plateau_->Generate(source, target, stats, cancel));
+  AlternativeSet via;
+  auto via_or = via_->Generate(source, target, stats, cancel);
+  if (via_or.ok()) {
+    via = std::move(via_or).ValueOrDie();
+  } else if (!via_or.status().IsDeadlineExceeded()) {
+    return via_or.status();
+  }
 
   AlternativeSet out;
   out.optimal_cost = plat.optimal_cost;
   out.work_settled_nodes = plat.work_settled_nodes + via.work_settled_nodes;
+  if (!plat.completion.ok()) {
+    out.completion = plat.completion;
+  } else if (!via_or.ok()) {
+    out.completion = via_or.status();
+  } else if (!via.completion.ok()) {
+    out.completion = via.completion;
+  }
 
   std::vector<Path> pool = std::move(plat.routes);
   for (Path& p : via.routes) {

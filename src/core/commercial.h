@@ -29,7 +29,8 @@ class CommercialBaseline final : public AlternativeRouteGenerator {
   const std::vector<double>& weights() const override { return weights_; }
 
   Result<AlternativeSet> Generate(NodeId source, NodeId target,
-                                  obs::SearchStats* stats = nullptr) override;
+                                  obs::SearchStats* stats = nullptr,
+                                  CancellationToken* cancel = nullptr) override;
 
  private:
   std::string name_ = "commercial";

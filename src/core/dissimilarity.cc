@@ -21,17 +21,18 @@ DissimilarityGenerator::DissimilarityGenerator(
 
 Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,
                                                         NodeId target,
-                                                        obs::SearchStats* stats) {
+                                                        obs::SearchStats* stats,
+                                                        CancellationToken* cancel) {
   // Like Plateaus, SSVP-D+ is powered by the two shortest-path trees.
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree fwd,
       dijkstra_.BuildTree(source, weights_, SearchDirection::kForward,
-                          kInfCost, stats));
+                          kInfCost, stats, cancel));
   size_t settled = dijkstra_.last_settled_count();
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree bwd,
       dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward,
-                          kInfCost, stats));
+                          kInfCost, stats, cancel));
   settled += dijkstra_.last_settled_count();
 
   if (!fwd.Reached(target)) {
@@ -70,6 +71,11 @@ Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,
 
   for (NodeId v : candidates) {
     if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      out.completion =
+          Status::DeadlineExceeded("via-candidate scan cut short");
+      break;  // shortest path already reported; ship what we have
+    }
 
     auto prefix_or = fwd.PathTo(*net_, v);
     auto suffix_or = bwd.PathTo(*net_, v);

@@ -19,13 +19,14 @@ PenaltyGenerator::PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
 }
 
 Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
-                                                  obs::SearchStats* stats) {
+                                                  obs::SearchStats* stats,
+                                                  CancellationToken* cancel) {
   AlternativeSet out;
   penalized_.assign(weights_.begin(), weights_.end());
 
   // Iteration 1 yields the true shortest path (no penalties applied yet).
   auto first = dijkstra_.ShortestPath(source, target, penalized_,
-                                      /*skip_edge=*/nullptr, stats);
+                                      /*skip_edge=*/nullptr, stats, cancel);
   if (!first.ok()) return first.status();
   out.work_settled_nodes += dijkstra_.last_settled_count();
   if (stats != nullptr) {
@@ -43,6 +44,10 @@ Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
   int iterations = 1;
   while (static_cast<int>(out.routes.size()) < options_.max_routes &&
          iterations < options_.max_iterations) {
+    if (cancel != nullptr && cancel->StopNow()) {
+      out.completion = Status::DeadlineExceeded("penalty iterations cut short");
+      break;  // shortest path already reported; ship what we have
+    }
     ++iterations;
     // Penalize the edges of the most recent path (and their reverse twins,
     // so the search does not sidestep the penalty by driving the opposite
@@ -54,8 +59,13 @@ Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
     }
 
     auto next = dijkstra_.ShortestPath(source, target, penalized_,
-                                       /*skip_edge=*/nullptr, stats);
-    if (!next.ok()) break;  // penalties cannot disconnect, but stay defensive
+                                       /*skip_edge=*/nullptr, stats, cancel);
+    if (!next.ok()) {
+      // Penalties cannot disconnect the graph, but stay defensive; a
+      // cancelled search additionally marks the set as cut short.
+      if (next.status().IsDeadlineExceeded()) out.completion = next.status();
+      break;
+    }
     out.work_settled_nodes += dijkstra_.last_settled_count();
     if (stats != nullptr) {
       ++stats->iterations;

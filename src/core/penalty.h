@@ -23,7 +23,8 @@ class PenaltyGenerator final : public AlternativeRouteGenerator {
   const std::vector<double>& weights() const override { return weights_; }
 
   Result<AlternativeSet> Generate(NodeId source, NodeId target,
-                                  obs::SearchStats* stats = nullptr) override;
+                                  obs::SearchStats* stats = nullptr,
+                                  CancellationToken* cancel = nullptr) override;
 
  private:
   std::string name_ = "penalty";

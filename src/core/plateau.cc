@@ -80,17 +80,20 @@ Result<std::vector<Plateau>> PlateauGenerator::ComputePlateaus(NodeId source,
 }
 
 Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target,
-                                                  obs::SearchStats* stats) {
+                                                  obs::SearchStats* stats,
+                                                  CancellationToken* cancel) {
   // Two full Dijkstra trees dominate the cost, exactly as the paper notes.
+  // Cancellation mid-tree means not even the shortest path is known yet, so
+  // the DeadlineExceeded from BuildTree propagates as the call's error.
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree fwd,
       dijkstra_.BuildTree(source, weights_, SearchDirection::kForward,
-                          kInfCost, stats));
+                          kInfCost, stats, cancel));
   size_t settled = dijkstra_.last_settled_count();
   ALTROUTE_ASSIGN_OR_RETURN(
       ShortestPathTree bwd,
       dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward,
-                          kInfCost, stats));
+                          kInfCost, stats, cancel));
   settled += dijkstra_.last_settled_count();
 
   if (!fwd.Reached(target)) {
@@ -117,6 +120,10 @@ Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target,
 
   for (const Plateau& pl : plateaus) {
     if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
+    if (cancel != nullptr && cancel->StopNow()) {
+      out.completion = Status::DeadlineExceeded("plateau ranking cut short");
+      break;  // shortest path already reported; ship what we have
+    }
     if (pl.route_cost > cost_limit + 1e-9) {
       if (stats != nullptr) ++stats->paths_rejected_stretch;
       continue;

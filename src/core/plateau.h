@@ -32,7 +32,8 @@ class PlateauGenerator final : public AlternativeRouteGenerator {
   const std::vector<double>& weights() const override { return weights_; }
 
   Result<AlternativeSet> Generate(NodeId source, NodeId target,
-                                  obs::SearchStats* stats = nullptr) override;
+                                  obs::SearchStats* stats = nullptr,
+                                  CancellationToken* cancel = nullptr) override;
 
   /// Exposed for tests and the Fig. 1 walkthrough: all plateaus of the query
   /// in descending length order (no stretch filtering, no k cap).

@@ -23,7 +23,14 @@ SkylineGenerator::SkylineGenerator(std::shared_ptr<const RoadNetwork> net,
 
 Result<AlternativeSet> SkylineGenerator::Generate(NodeId source,
                                                   NodeId target,
-                                                  obs::SearchStats* stats) {
+                                                  obs::SearchStats* stats,
+                                                  CancellationToken* cancel) {
+  // The label-setting Pareto search is monolithic: cancellation mid-front
+  // would not leave even the fastest path, so check once up front and once
+  // after; the front itself is bounded by cost1_bound_factor.
+  if (cancel != nullptr && cancel->StopNow()) {
+    return Status::DeadlineExceeded("skyline search cancelled");
+  }
   BiCriteriaOptions search_options;
   search_options.cost1_bound_factor = options_.stretch_bound;
   ALTROUTE_ASSIGN_OR_RETURN(
@@ -31,6 +38,9 @@ Result<AlternativeSet> SkylineGenerator::Generate(NodeId source,
       search_.ParetoPaths(source, target, weights_, lengths_, search_options));
 
   AlternativeSet out;
+  if (cancel != nullptr && cancel->StopNow()) {
+    out.completion = Status::DeadlineExceeded("skyline selection cut short");
+  }
   // front is ordered by ascending cost1 = travel time; front[0] is fastest.
   out.optimal_cost = front.front().cost1;
   const double cost_limit = options_.stretch_bound * out.optimal_cost;

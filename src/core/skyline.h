@@ -27,7 +27,8 @@ class SkylineGenerator final : public AlternativeRouteGenerator {
   /// Reports the fastest path plus up to k-1 Pareto-optimal alternatives
   /// within the stretch bound, greedily selected for pairwise diversity.
   Result<AlternativeSet> Generate(NodeId source, NodeId target,
-                                  obs::SearchStats* stats = nullptr) override;
+                                  obs::SearchStats* stats = nullptr,
+                                  CancellationToken* cancel = nullptr) override;
 
  private:
   std::string name_ = "skyline";

@@ -153,18 +153,20 @@ const std::vector<double>& TurnAwareAlternatives::weights() const {
 
 Result<AlternativeSet> TurnAwareAlternatives::Generate(NodeId source,
                                                        NodeId target,
-                                                       obs::SearchStats* stats) {
+                                                       obs::SearchStats* stats,
+                                                       CancellationToken* cancel) {
   if (source >= net_->num_nodes() || target >= net_->num_nodes()) {
     return Status::InvalidArgument("endpoint out of range");
   }
   ALTROUTE_ASSIGN_OR_RETURN(
       AlternativeSet expanded_set,
       inner_->Generate(expansion_.out_gateway[source],
-                       expansion_.in_gateway[target], stats));
+                       expansion_.in_gateway[target], stats, cancel));
 
   AlternativeSet out;
   out.optimal_cost = expanded_set.optimal_cost;
   out.work_settled_nodes = expanded_set.work_settled_nodes;
+  out.completion = expanded_set.completion;
   for (const Path& expanded_path : expanded_set.routes) {
     Path path;
     path.source = source;

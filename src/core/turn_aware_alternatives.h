@@ -57,7 +57,8 @@ class TurnAwareAlternatives final : public AlternativeRouteGenerator {
   const std::vector<double>& weights() const override;
 
   Result<AlternativeSet> Generate(NodeId source, NodeId target,
-                                  obs::SearchStats* stats = nullptr) override;
+                                  obs::SearchStats* stats = nullptr,
+                                  CancellationToken* cancel = nullptr) override;
 
  private:
   TurnAwareAlternatives() = default;

@@ -19,17 +19,24 @@ YenOverlapGenerator::YenOverlapGenerator(std::shared_ptr<const RoadNetwork> net,
 
 Result<AlternativeSet> YenOverlapGenerator::Generate(NodeId source,
                                                      NodeId target,
-                                                     obs::SearchStats* stats) {
+                                                     obs::SearchStats* stats,
+                                                     CancellationToken* cancel) {
   // Yen enumerates in cost order; the incremental variant of [8] would stop
   // adaptively, we request a bounded batch and filter. The batch size trades
   // completeness for cost exactly like the published heuristics.
   const size_t batch = static_cast<size_t>(
       std::max(options_.max_routes * 6, options_.max_iterations));
   ALTROUTE_ASSIGN_OR_RETURN(std::vector<RouteResult> candidates,
-                            yen_.Compute(source, target, batch, weights_));
+                            yen_.Compute(source, target, batch, weights_, cancel));
   if (candidates.empty()) return Status::NotFound("no route found");
 
   AlternativeSet out;
+  // Yen returns the paths found so far when cancelled mid-enumeration; mark
+  // the set as cut short so callers can tell a full batch from a truncated
+  // one.
+  if (cancel != nullptr && cancel->StopNow()) {
+    out.completion = Status::DeadlineExceeded("yen enumeration cut short");
+  }
   out.optimal_cost = candidates.front().cost;
   const double cost_limit = options_.stretch_bound * out.optimal_cost;
 

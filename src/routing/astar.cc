@@ -22,7 +22,8 @@ AStar::AStar(const RoadNetwork& net, double max_speed_mps)
     : net_(net), max_speed_mps_(max_speed_mps > 0.0 ? max_speed_mps : 1.0) {}
 
 Result<RouteResult> AStar::ShortestPath(NodeId source, NodeId target,
-                                        std::span<const double> weights) {
+                                        std::span<const double> weights,
+                                        CancellationToken* cancel) {
   const size_t n = net_.num_nodes();
   if (source >= n || target >= n) {
     return Status::InvalidArgument("endpoint out of range");
@@ -46,6 +47,9 @@ Result<RouteResult> AStar::ShortestPath(NodeId source, NodeId target,
   last_settled_ = 0;
 
   while (!open.Empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      return Status::DeadlineExceeded("astar search cancelled");
+    }
     const auto [u, fu] = open.PopMin();
     (void)fu;
     if (settled[u]) continue;

@@ -18,7 +18,8 @@ class AStar {
 
   /// One-to-one shortest path; same contract as Dijkstra::ShortestPath.
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
-                                   std::span<const double> weights);
+                                   std::span<const double> weights,
+                                   CancellationToken* cancel = nullptr);
 
   size_t last_settled_count() const { return last_settled_; }
 

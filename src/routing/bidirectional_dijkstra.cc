@@ -11,7 +11,7 @@ BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& net)
 
 Result<RouteResult> BidirectionalDijkstra::ShortestPath(
     NodeId source, NodeId target, std::span<const double> weights,
-    obs::SearchStats* stats) {
+    obs::SearchStats* stats, CancellationToken* cancel) {
   const size_t n = net_.num_nodes();
   if (source >= n || target >= n) {
     return Status::InvalidArgument("endpoint out of range");
@@ -44,7 +44,12 @@ Result<RouteResult> BidirectionalDijkstra::ShortestPath(
     }
   };
 
+  Status interrupted = Status::OK();
   while (!heap_f.Empty() || !heap_b.Empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      interrupted = Status::DeadlineExceeded("bidirectional search cancelled");
+      break;
+    }
     const double top_f = heap_f.Empty() ? kInfCost : heap_f.Top().second;
     const double top_b = heap_b.Empty() ? kInfCost : heap_b.Top().second;
     // Standard stopping criterion: no shorter s-t path can exist once the
@@ -96,6 +101,7 @@ Result<RouteResult> BidirectionalDijkstra::ShortestPath(
     stats->heap_pushes += pushes;
     stats->heap_pops += pops;
   }
+  if (!interrupted.ok()) return interrupted;
 
   if (meet == kInvalidNode) {
     return Status::NotFound("target unreachable from source");

@@ -19,7 +19,8 @@ class BidirectionalDijkstra {
   /// accumulated into it.
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
                                    std::span<const double> weights,
-                                   obs::SearchStats* stats = nullptr);
+                                   obs::SearchStats* stats = nullptr,
+                                   CancellationToken* cancel = nullptr);
 
   /// Nodes settled by the last query across both frontiers.
   size_t last_settled_count() const { return last_settled_; }

@@ -243,7 +243,8 @@ void ContractionHierarchy::UnpackArc(uint32_t arc,
 }
 
 Result<RouteResult> ContractionHierarchy::ShortestPath(
-    NodeId source, NodeId target, obs::SearchStats* stats) const {
+    NodeId source, NodeId target, obs::SearchStats* stats,
+    CancellationToken* cancel) const {
   const size_t n = net_->num_nodes();
   if (source >= n || target >= n) {
     return Status::InvalidArgument("endpoint out of range");
@@ -265,7 +266,12 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(
 
   // Both searches go strictly upward; neither can be stopped at the first
   // meeting, so run each to exhaustion of entries below `best`.
+  Status interrupted = Status::OK();
   while (!heap_f.Empty() || !heap_b.Empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      interrupted = Status::DeadlineExceeded("ch query cancelled");
+      break;
+    }
     const double tf = heap_f.Empty() ? kInfCost : heap_f.Top().second;
     const double tb = heap_b.Empty() ? kInfCost : heap_b.Top().second;
     if (std::min(tf, tb) >= best) break;
@@ -318,6 +324,7 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(
     stats->heap_pushes += pushes;
     stats->heap_pops += pops;
   }
+  if (!interrupted.ok()) return interrupted;
 
   if (meet == kInvalidNode) {
     return Status::NotFound("target unreachable from source");

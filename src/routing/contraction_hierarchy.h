@@ -40,7 +40,8 @@ class ContractionHierarchy {
   /// workspace (see Query class for a reusable-workspace variant). When
   /// `stats` is non-null, upward-search counters are accumulated into it.
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
-                                   obs::SearchStats* stats = nullptr) const;
+                                   obs::SearchStats* stats = nullptr,
+                                   CancellationToken* cancel = nullptr) const;
 
   /// Contraction rank of each node (0 = contracted first).
   const std::vector<uint32_t>& ranks() const { return rank_; }

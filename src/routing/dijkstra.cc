@@ -50,7 +50,8 @@ Status Dijkstra::ValidateInputs(NodeId source,
 Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
                                            std::span<const double> weights,
                                            const EdgeFilter& skip_edge,
-                                           obs::SearchStats* stats) {
+                                           obs::SearchStats* stats,
+                                           CancellationToken* cancel) {
   ALTROUTE_RETURN_NOT_OK(ValidateInputs(source, weights));
   if (target >= net_.num_nodes()) {
     return Status::InvalidArgument("target node out of range");
@@ -75,8 +76,13 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
     }
   };
 
+  Status interrupted = Status::OK();
   relax(source, 0.0, kInvalidEdge);
   while (!heap.Empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      interrupted = Status::DeadlineExceeded("dijkstra search cancelled");
+      break;
+    }
     const auto [u, du] = heap.PopMin();
     ++last_settled_;
     if (u == target) break;
@@ -93,6 +99,7 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
     stats->heap_pushes += pushes;
     stats->heap_pops += last_settled_;
   }
+  if (!interrupted.ok()) return interrupted;
 
   if (stamp_[target] != current_stamp_ || dist_[target] == kInfCost ||
       (target != source && parent_[target] == kInvalidEdge)) {
@@ -115,7 +122,8 @@ Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
                                              std::span<const double> weights,
                                              SearchDirection direction,
                                              double max_cost,
-                                             obs::SearchStats* stats) {
+                                             obs::SearchStats* stats,
+                                             CancellationToken* cancel) {
   ALTROUTE_RETURN_NOT_OK(ValidateInputs(root, weights));
 
   ShortestPathTree tree;
@@ -134,8 +142,13 @@ Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
   std::vector<bool> settled(net_.num_nodes(), false);
 
   uint64_t relaxed = 0, pushes = 1, pops = 0;
+  Status interrupted = Status::OK();
 
   while (!heap.Empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      interrupted = Status::DeadlineExceeded("tree build cancelled");
+      break;
+    }
     const auto [u, du] = heap.PopMin();
     ++pops;
     if (du > max_cost) break;
@@ -165,6 +178,7 @@ Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
     stats->heap_pushes += pushes;
     stats->heap_pops += pops;
   }
+  if (!interrupted.ok()) return interrupted;
   return tree;
 }
 

@@ -12,6 +12,7 @@
 
 #include "graph/road_network.h"
 #include "obs/search_stats.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -59,17 +60,21 @@ class Dijkstra {
   /// NotFound when t is unreachable from s, InvalidArgument on bad inputs.
   /// When `stats` is non-null, search counters are accumulated into it
   /// (zero cost when null: counts are kept in locals and flushed once).
+  /// When `cancel` is non-null the search polls it cooperatively every few
+  /// hundred heap pops and returns DeadlineExceeded once it fires.
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
                                    std::span<const double> weights,
                                    const EdgeFilter& skip_edge = nullptr,
-                                   obs::SearchStats* stats = nullptr);
+                                   obs::SearchStats* stats = nullptr,
+                                   CancellationToken* cancel = nullptr);
 
   /// Full shortest-path tree from `root` in the given direction. Nodes
   /// farther than `max_cost` may be left unreached (pruning bound).
   Result<ShortestPathTree> BuildTree(NodeId root, std::span<const double> weights,
                                      SearchDirection direction,
                                      double max_cost = kInfCost,
-                                     obs::SearchStats* stats = nullptr);
+                                     obs::SearchStats* stats = nullptr,
+                                     CancellationToken* cancel = nullptr);
 
   /// Number of nodes settled by the most recent query (instrumentation).
   size_t last_settled_count() const { return last_settled_; }

@@ -15,7 +15,8 @@ ManyToMany::ManyToMany(std::shared_ptr<const ContractionHierarchy> ch)
 }
 
 Result<std::vector<std::vector<double>>> ManyToMany::Table(
-    std::span<const NodeId> sources, std::span<const NodeId> targets) {
+    std::span<const NodeId> sources, std::span<const NodeId> targets,
+    CancellationToken* cancel) {
   const size_t n = ch_->ranks().size();
   for (NodeId s : sources) {
     if (s >= n) return Status::InvalidArgument("source out of range");
@@ -32,6 +33,12 @@ Result<std::vector<std::vector<double>>> ManyToMany::Table(
   // Phase 1: backward upward search from every target; record (target,
   // distance) in the bucket of every settled node.
   std::vector<NodeId> touched;  // nodes whose buckets must be cleared later
+  // Buckets are member state: any early return must clear the touched ones
+  // first or the next Table() call would read stale entries.
+  auto abort_cancelled = [&]() -> Status {
+    for (NodeId u : touched) buckets_[u].clear();
+    return Status::DeadlineExceeded("many-to-many table cancelled");
+  };
   IndexedHeap<double> heap(n);
   for (uint32_t ti = 0; ti < targets.size(); ++ti) {
     ++now_;
@@ -40,6 +47,7 @@ Result<std::vector<std::vector<double>>> ManyToMany::Table(
     stamp_[targets[ti]] = now_;
     heap.PushOrDecrease(targets[ti], 0.0);
     while (!heap.Empty()) {
+      if (cancel != nullptr && cancel->ShouldStop()) return abort_cancelled();
       const auto [u, du] = heap.PopMin();
       if (stamp_[u] != now_ || du > dist_[u]) continue;
       if (buckets_[u].empty()) touched.push_back(u);
@@ -68,6 +76,7 @@ Result<std::vector<std::vector<double>>> ManyToMany::Table(
     heap.PushOrDecrease(sources[si], 0.0);
     auto& row = table[si];
     while (!heap.Empty()) {
+      if (cancel != nullptr && cancel->ShouldStop()) return abort_cancelled();
       const auto [u, du] = heap.PopMin();
       if (stamp_[u] != now_ || du > dist_[u]) continue;
       for (const BucketEntry& entry : buckets_[u]) {

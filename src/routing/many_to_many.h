@@ -20,9 +20,11 @@ class ManyToMany {
   explicit ManyToMany(std::shared_ptr<const ContractionHierarchy> ch);
 
   /// distances[i][j] = shortest-path cost sources[i] -> targets[j]
-  /// (kInfCost when unreachable). InvalidArgument on out-of-range ids.
+  /// (kInfCost when unreachable). InvalidArgument on out-of-range ids,
+  /// DeadlineExceeded when `cancel` fires mid-computation (no partial table).
   Result<std::vector<std::vector<double>>> Table(
-      std::span<const NodeId> sources, std::span<const NodeId> targets);
+      std::span<const NodeId> sources, std::span<const NodeId> targets,
+      CancellationToken* cancel = nullptr);
 
  private:
   std::shared_ptr<const ContractionHierarchy> ch_;

@@ -22,11 +22,13 @@ YenKShortestPaths::YenKShortestPaths(const RoadNetwork& net)
     : net_(net), dijkstra_(net) {}
 
 Result<std::vector<RouteResult>> YenKShortestPaths::Compute(
-    NodeId source, NodeId target, size_t k, std::span<const double> weights) {
+    NodeId source, NodeId target, size_t k, std::span<const double> weights,
+    CancellationToken* cancel) {
   std::vector<RouteResult> result;
   if (k == 0) return result;
 
-  auto first = dijkstra_.ShortestPath(source, target, weights);
+  auto first =
+      dijkstra_.ShortestPath(source, target, weights, nullptr, nullptr, cancel);
   if (!first.ok()) return first.status();
   result.push_back(std::move(first).ValueOrDie());
 
@@ -43,6 +45,9 @@ Result<std::vector<RouteResult>> YenKShortestPaths::Compute(
 
     // Deviate at every node of the previous path (classic Yen).
     for (size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+      // One unamortised check per spur: each spur is a full Dijkstra, so the
+      // relative cost is negligible and reaction is prompt.
+      if (cancel != nullptr && cancel->StopNow()) return result;
       const NodeId spur_node = prev_nodes[i];
       // Root path: prefix of prev up to the spur node.
       std::vector<EdgeId> root_edges(prev.edges.begin(),
@@ -76,8 +81,9 @@ Result<std::vector<RouteResult>> YenKShortestPaths::Compute(
         return banned_nodes.count(h) > 0 || banned_nodes.count(t) > 0;
       };
 
-      auto spur = dijkstra_.ShortestPath(spur_node, target, weights, skip);
-      if (!spur.ok()) continue;  // no deviation here
+      auto spur = dijkstra_.ShortestPath(spur_node, target, weights, skip,
+                                         nullptr, cancel);
+      if (!spur.ok()) continue;  // no deviation here (incl. cancelled spur)
 
       RouteResult total;
       total.cost = root_cost + spur->cost;

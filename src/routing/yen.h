@@ -14,13 +14,18 @@ namespace altroute {
 /// Computes up to k shortest loopless paths from source to target, ordered by
 /// nondecreasing cost. Returns fewer than k when the graph runs out of
 /// distinct loopless paths. Errors mirror Dijkstra::ShortestPath.
+/// Cancellation: if `cancel` fires before the first path is found the call
+/// returns DeadlineExceeded; once at least one path exists the paths found
+/// so far are returned (callers can inspect the token to learn the run was
+/// cut short).
 class YenKShortestPaths {
  public:
   explicit YenKShortestPaths(const RoadNetwork& net);
 
   Result<std::vector<RouteResult>> Compute(NodeId source, NodeId target,
                                            size_t k,
-                                           std::span<const double> weights);
+                                           std::span<const double> weights,
+                                           CancellationToken* cancel = nullptr);
 
  private:
   const RoadNetwork& net_;

@@ -59,10 +59,12 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
   QueryProcessorPool::Lease processor = pool_->Acquire();
   auto response = processor->Process(LatLng(*slat, *slng),
                                      LatLng(*tlat, *tlng),
-                                     want_trace ? &trace : nullptr);
+                                     want_trace ? &trace : nullptr,
+                                     req.deadline);
   if (!response.ok()) {
-    const int code = response.status().IsInvalidArgument() ? 400 : 404;
-    return HttpResponse::Error(code, response.status().ToString());
+    // Semantic failures map by status code: snap failures 422, no route
+    // 404, spent request deadline 504 (see HttpStatusForStatusCode).
+    return HttpResponse::FromStatus(response.status());
   }
   return HttpResponse::Json(
       processor->ToJson(*response, want_trace ? &trace : nullptr));
@@ -86,10 +88,10 @@ HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
 
   QueryProcessorPool::Lease processor = pool_->Acquire();
   auto set = processor->GenerateFor(LatLng(*slat, *slng),
-                                    LatLng(*tlat, *tlng), approach);
+                                    LatLng(*tlat, *tlng), approach,
+                                    /*stats=*/nullptr, req.deadline);
   if (!set.ok()) {
-    const int code = set.status().IsInvalidArgument() ? 400 : 404;
-    return HttpResponse::Error(code, set.status().ToString());
+    return HttpResponse::FromStatus(set.status());
   }
   if (set->routes.empty()) return HttpResponse::Error(404, "no route found");
 
@@ -131,7 +133,10 @@ HttpResponse DemoService::HandleRate(const HttpRequest& req) {
     submission.comment = it->second;
   }
   const Status st = ratings_.Add(submission);
-  if (!st.ok()) return HttpResponse::Error(400, st.ToString());
+  if (st.IsInvalidArgument()) return HttpResponse::Error(400, st.ToString());
+  // Persistence failures (IOError when a ratings file is attached) are the
+  // server's fault, not the client's: 500, not 4xx.
+  if (!st.ok()) return HttpResponse::FromStatus(st);
 
   JsonWriter w;
   w.BeginObject();

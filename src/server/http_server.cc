@@ -76,23 +76,69 @@ const char* ReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 408: return "Request Timeout";
+    case 422: return "Unprocessable Content";
     case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Error";
+  }
+}
+
+/// Machine-readable error class for the structured body, keyed by the HTTP
+/// status (snake_case, matching the per-approach status codes in /route).
+const char* ErrorCodeForHttpStatus(int status) {
+  switch (status) {
+    case 400: return "bad_request";
+    case 404: return "not_found";
+    case 408: return "request_timeout";
+    case 422: return "invalid_argument";
+    case 431: return "headers_too_large";
+    case 500: return "internal";
+    case 501: return "unimplemented";
+    case 503: return "unavailable";
+    case 504: return "deadline_exceeded";
+    default: return "error";
   }
 }
 
 }  // namespace
 
+int HttpStatusForStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    // Semantically invalid input (well-formed request, bad content): the
+    // coordinates parsed but cannot be processed — 422, not 400.
+    case StatusCode::kInvalidArgument: return 422;
+    case StatusCode::kOutOfRange: return 422;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kDeadlineExceeded: return 504;
+    case StatusCode::kFailedPrecondition: return 503;
+    case StatusCode::kUnimplemented: return 501;
+    case StatusCode::kIOError: return 500;
+    case StatusCode::kCorruption: return 500;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
 HttpResponse HttpResponse::Error(int status, const std::string& message) {
   JsonWriter w;
   w.BeginObject();
-  w.Key("error").String(message);
+  w.Key("error").BeginObject();
+  w.Key("code").String(ErrorCodeForHttpStatus(status));
+  w.Key("message").String(message);
+  w.EndObject();
   w.EndObject();
   HttpResponse r;
   r.status = status;
   r.body = w.TakeString();
   return r;
+}
+
+HttpResponse HttpResponse::FromStatus(const Status& status) {
+  return Error(HttpStatusForStatusCode(status.code()), status.message());
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -192,13 +238,18 @@ void HttpServer::AcceptLoop() {
       continue;  // transient accept error
     }
     SetSocketTimeouts(fd, options_);
+    // The deadline is stamped here, not at dispatch: a request that sat in
+    // the queue has already consumed part of its budget.
+    const Deadline deadline = options_.request_timeout_ms > 0
+                                  ? Deadline::AfterMs(options_.request_timeout_ms)
+                                  : Deadline::Infinite();
     bool shed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (draining_ || queue_.size() >= options_.queue_capacity) {
         shed = true;
       } else {
-        queue_.push_back(fd);
+        queue_.push_back({fd, deadline});
         ServerMetrics::Get().queue_depth.Set(
             static_cast<double>(queue_.size()));
       }
@@ -217,20 +268,20 @@ void HttpServer::AcceptLoop() {
 void HttpServer::WorkerLoop() {
   ServerMetrics& metrics = ServerMetrics::Get();
   for (;;) {
-    int fd;
+    QueuedConnection conn;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [this] { return !queue_.empty() || workers_exit_; });
       if (queue_.empty()) return;  // workers_exit_ and nothing left to drain
-      fd = queue_.front();
+      conn = queue_.front();
       queue_.pop_front();
       metrics.queue_depth.Set(static_cast<double>(queue_.size()));
     }
     {
       obs::GaugeGuard busy(metrics.workers_busy);
-      HandleConnection(fd);
+      HandleConnection(conn.fd, conn.deadline);
     }
-    ::close(fd);
+    ::close(conn.fd);
   }
 }
 
@@ -260,7 +311,7 @@ void HttpServer::SendResponse(int fd, const HttpResponse& resp,
   SendAll(fd, out.str());
 }
 
-void HttpServer::HandleConnection(int fd) {
+void HttpServer::HandleConnection(int fd, const Deadline& deadline) {
   obs::GaugeGuard inflight(ServerMetrics::Get().inflight);
 
   // Read until the end of headers (plus Content-Length body bytes).
@@ -345,10 +396,16 @@ void HttpServer::HandleConnection(int fd) {
   req.body = data.substr(body_start,
                          std::min(content_length, data.size() - body_start));
 
+  req.deadline = deadline;
+
   HttpResponse resp;
   auto it = routes_.find(req.path);
   if (it == routes_.end()) {
     resp = HttpResponse::Error(404, "no such endpoint: " + req.path);
+  } else if (deadline.Expired()) {
+    // The budget was spent on queue wait + parsing; do not start the
+    // handler's (possibly expensive) work at all.
+    resp = HttpResponse::Error(504, "request deadline exceeded before dispatch");
   } else {
     resp = it->second(req);
   }

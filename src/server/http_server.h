@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -32,7 +33,17 @@ struct HttpRequest {
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;  // lowercased keys
   std::string body;
+  /// Wall deadline for the whole request, stamped when the connection was
+  /// accepted (queue wait counts against it). Infinite when the server runs
+  /// without --request-timeout-ms. Handlers thread it into their work.
+  Deadline deadline;
 };
+
+/// The HTTP status a Status-valued handler failure maps to: 422 for
+/// semantically invalid input (bad coordinates, snap failure), 404 NotFound,
+/// 504 DeadlineExceeded, 501 Unimplemented, 503 FailedPrecondition, 500 for
+/// internal classes (IOError/Corruption/Internal).
+int HttpStatusForStatusCode(StatusCode code);
 
 struct HttpResponse {
   int status = 200;
@@ -44,7 +55,11 @@ struct HttpResponse {
     r.body = std::move(json);
     return r;
   }
+  /// A structured error body: {"error": {"code": "...", "message": "..."}}.
+  /// The code string is the snake_case error class of the HTTP status.
   static HttpResponse Error(int status, const std::string& message);
+  /// Maps a non-OK Status to Error(HttpStatusForStatusCode(code), message).
+  static HttpResponse FromStatus(const Status& status);
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -62,6 +77,11 @@ struct HttpServerOptions {
   size_t max_header_bytes = 1 << 20;
   /// Content-Length values above this are treated as 0 (body ignored).
   size_t max_body_bytes = 1 << 20;
+  /// Wall budget per request, measured from accept (time spent waiting in
+  /// the connection queue counts). Handlers receive the resulting deadline
+  /// via HttpRequest::deadline; a request already expired when a worker
+  /// picks it up is answered 504 without dispatching. <= 0 disables.
+  int request_timeout_ms = 0;
 };
 
 class HttpServer {
@@ -98,7 +118,7 @@ class HttpServer {
  private:
   void AcceptLoop();
   void WorkerLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(int fd, const Deadline& deadline);
   /// Writes the full payload with MSG_NOSIGNAL; false on error (EPIPE etc.).
   static bool SendAll(int fd, std::string_view payload);
   /// Serialises `resp`, sends it, and counts it under
@@ -116,9 +136,16 @@ class HttpServer {
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
+  /// An accepted connection plus its request deadline (stamped at accept so
+  /// queue wait burns budget).
+  struct QueuedConnection {
+    int fd;
+    Deadline deadline;
+  };
+
   std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;     // accepted fds awaiting a worker
+  std::deque<QueuedConnection> queue_;  // accepted fds awaiting a worker
   bool draining_ = false;     // Stop() begun: shed new connections with 503
   bool workers_exit_ = false; // queue is final: drain it, then exit
   std::atomic<bool> running_{false};

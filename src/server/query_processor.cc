@@ -1,13 +1,16 @@
 #include "server/query_processor.h"
 
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <exception>
 
 #include "core/path.h"
 #include "geo/polyline.h"
 #include "geo/simplify.h"
 #include "obs/metrics.h"
 #include "server/json.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -26,6 +29,9 @@ struct QueryMetrics {
   obs::CounterFamily& heap_pops;
   obs::CounterFamily& paths_generated;
   obs::CounterFamily& paths_rejected;
+  obs::CounterFamily& deadline_exceeded;
+  obs::CounterFamily& degraded_responses;
+  obs::HistogramFamily& budget_remaining;
 
   static QueryMetrics& Get() {
     static QueryMetrics* m = [] {
@@ -62,6 +68,20 @@ struct QueryMetrics {
               "altroute_paths_rejected_total",
               "Candidate paths dropped, by rejection reason.",
               {"approach", "city", "reason"}),
+          reg.GetCounterFamily(
+              "altroute_deadline_exceeded_total",
+              "Engine runs cut short by a deadline, by engine.",
+              {"engine", "city"}),
+          reg.GetCounterFamily(
+              "altroute_degraded_responses_total",
+              "Responses served with at least one failed or truncated engine.",
+              {"city"}),
+          reg.GetHistogramFamily(
+              "altroute_engine_budget_remaining_seconds",
+              "Request-deadline budget remaining when each engine started.",
+              {"approach", "city"},
+              // 1 ms .. ~16 s in geometric steps of 2.
+              obs::ExponentialBuckets(1e-3, 2.0, 15)),
       };
     }();
     return *m;
@@ -89,6 +109,22 @@ void RecordEngineRun(const std::string& approach, const std::string& city,
     m.paths_rejected.WithLabels({approach, city, "filter"})
         .Increment(s.paths_rejected_filter);
   }
+}
+
+/// "DeadlineExceeded" -> "deadline_exceeded" for the per-approach JSON
+/// status field.
+std::string SnakeCase(std::string_view code_name) {
+  std::string out;
+  out.reserve(code_name.size() + 4);
+  for (char c : code_name) {
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      if (!out.empty()) out.push_back('_');
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -138,14 +174,18 @@ static Result<Snapped> Snap(const SpatialIndex& index, const RoadNetwork& net,
 
 Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
                                               const LatLng& target,
-                                              obs::Trace* trace) {
+                                              obs::Trace* trace,
+                                              Deadline deadline) {
   const std::string& city = suite_.network().name();
   QueryMetrics& metrics = QueryMetrics::Get();
   obs::TraceSpan query_span(trace, "query");
 
   obs::TraceSpan snap_span(trace, "snap");
-  auto snapped_or = Snap(*index_, suite_.network(), source, target,
-                         max_snap_distance_m_);
+  Status snap_fault = FaultInjector::Global().Check("snap");
+  auto snapped_or = snap_fault.ok()
+                        ? Snap(*index_, suite_.network(), source, target,
+                               max_snap_distance_m_)
+                        : Result<Snapped>(snap_fault);
   snap_span.End();
   if (!snapped_or.ok()) {
     metrics.query_errors.WithLabels({city}).Increment();
@@ -163,29 +203,98 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
   response.snap_distance_target_m = snapped.target_dist_m;
 
   const std::vector<double>& display = suite_.display_weights();
+  const size_t num_engines = kAllApproaches.size();
+  size_t engines_done = 0;
+  size_t engines_failed = 0;
+  Status first_failure = Status::OK();
   for (Approach a : kAllApproaches) {
     AlternativeRouteGenerator& engine = suite_.engine(a);
+    const std::string approach_label(1, ApproachLabel(a));
+
+    // A spent request deadline means nothing more can be computed: fail the
+    // whole request (the HTTP layer answers 504) rather than shipping an
+    // all-degraded body late.
+    const double remaining_s = deadline.RemainingSeconds();
+    if (deadline.Expired()) {
+      metrics.query_errors.WithLabels({city}).Increment();
+      metrics.deadline_exceeded.WithLabels({engine.name(), city}).Increment();
+      return Status::DeadlineExceeded("request deadline exhausted after " +
+                                      std::to_string(engines_done) +
+                                      " of " + std::to_string(num_engines) +
+                                      " engines");
+    }
+    // Slice the remaining budget evenly across the engines still to run, so
+    // one slow engine cannot starve the ones after it.
+    Deadline engine_deadline = deadline;
+    if (!deadline.is_infinite()) {
+      metrics.budget_remaining.WithLabels({approach_label, city})
+          .Observe(remaining_s);
+      engine_deadline = Deadline::AfterSeconds(
+          remaining_s / static_cast<double>(num_engines - engines_done));
+    }
+    CancellationToken token(engine_deadline);
+
     obs::TraceSpan span(trace, "generate:" + engine.name());
     obs::SearchStats search_stats;
     const auto begin = std::chrono::steady_clock::now();
-    auto set_or = engine.Generate(s, t, &search_stats);
+    // Injected latency is checked after the token is created so a simulated
+    // slow engine burns its own budget, exactly like a real one.
+    Result<AlternativeSet> set_or = [&]() -> Result<AlternativeSet> {
+      Status fault = FaultInjector::Global().Check("engine:" + engine.name());
+      if (!fault.ok()) return fault;
+      if (token.StopNow()) {
+        return Status::DeadlineExceeded("engine budget exhausted");
+      }
+      try {
+        return engine.Generate(s, t, &search_stats, &token);
+      } catch (const std::exception& e) {
+        return Status::Internal(engine.name() + std::string(" threw: ") +
+                                e.what());
+      } catch (...) {
+        return Status::Internal(engine.name() + " threw a non-exception");
+      }
+    }();
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
             .count();
     RecordEngineRun(engine.name(), city, search_stats, elapsed_s);
     if (obs::SearchStats* sink = span.stats()) sink->MergeFrom(search_stats);
-    span.SetAttr("label", std::string(1, ApproachLabel(a)));
-    if (!set_or.ok()) {
-      metrics.query_errors.WithLabels({city}).Increment();
-      ALTROUTE_LOG(Warning) << engine.name()
-                            << " failed: " << set_or.status().ToString();
-      return set_or.status();
-    }
-    AlternativeSet set = std::move(set_or).ValueOrDie();
-    span.SetAttr("routes", std::to_string(set.routes.size()));
+    span.SetAttr("label", approach_label);
+    ++engines_done;
 
     ApproachDisplay ad;
     ad.label = ApproachLabel(a);
+    AlternativeSet set;
+    if (!set_or.ok()) {
+      // Fault isolation: this engine ships empty, the others still run.
+      ++engines_failed;
+      if (first_failure.ok()) first_failure = set_or.status();
+      response.degraded = true;
+      ad.status = SnakeCase(StatusCodeToString(set_or.status().code()));
+      ad.message = set_or.status().message();
+      if (set_or.status().IsDeadlineExceeded()) {
+        metrics.deadline_exceeded.WithLabels({engine.name(), city}).Increment();
+      }
+      ALTROUTE_LOG(Warning) << engine.name()
+                            << " degraded: " << set_or.status().ToString();
+      span.SetAttr("status", ad.status);
+      response.approaches.push_back(std::move(ad));
+      continue;
+    }
+    set = std::move(set_or).ValueOrDie();
+    if (!set.completion.ok()) {
+      // Partial result: the routes found before the budget ran out still
+      // ship, but the approach (and response) are marked degraded.
+      response.degraded = true;
+      ad.status = SnakeCase(StatusCodeToString(set.completion.code()));
+      ad.message = set.completion.message();
+      if (set.completion.IsDeadlineExceeded()) {
+        metrics.deadline_exceeded.WithLabels({engine.name(), city}).Increment();
+      }
+      span.SetAttr("status", ad.status);
+    }
+    span.SetAttr("routes", std::to_string(set.routes.size()));
+
     for (const Path& p : set.routes) {
       DisplayedRoute route;
       // The demo computes every approach's displayed travel time from the
@@ -199,19 +308,30 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
     }
     response.approaches.push_back(std::move(ad));
   }
+  if (engines_failed == num_engines) {
+    // Nothing survived; surface the first failure so e.g. an unreachable
+    // pair still answers NotFound rather than a hollow 200.
+    metrics.query_errors.WithLabels({city}).Increment();
+    return first_failure;
+  }
   metrics.queries.WithLabels({city}).Increment();
+  if (response.degraded) {
+    metrics.degraded_responses.WithLabels({city}).Increment();
+  }
   return response;
 }
 
 Result<AlternativeSet> QueryProcessor::GenerateFor(const LatLng& source,
                                                    const LatLng& target,
                                                    Approach approach,
-                                                   obs::SearchStats* stats) {
+                                                   obs::SearchStats* stats,
+                                                   Deadline deadline) {
   ALTROUTE_ASSIGN_OR_RETURN(
       Snapped snapped, Snap(*index_, suite_.network(), source, target,
                             max_snap_distance_m_));
+  CancellationToken token(deadline);
   return suite_.engine(approach).Generate(snapped.source, snapped.target,
-                                          stats);
+                                          stats, &token);
 }
 
 std::string QueryProcessor::ToJson(const QueryResponse& response,
@@ -220,10 +340,13 @@ std::string QueryProcessor::ToJson(const QueryResponse& response,
   w.BeginObject();
   w.Key("snapped_source").Int(static_cast<int64_t>(response.snapped_source));
   w.Key("snapped_target").Int(static_cast<int64_t>(response.snapped_target));
+  w.Key("degraded").Bool(response.degraded);
   w.Key("approaches").BeginArray();
   for (const ApproachDisplay& ad : response.approaches) {
     w.BeginObject();
     w.Key("label").String(std::string(1, ad.label));
+    w.Key("status").String(ad.status);
+    if (!ad.message.empty()) w.Key("message").String(ad.message);
     w.Key("routes").BeginArray();
     for (const DisplayedRoute& r : ad.routes) {
       w.BeginObject();

@@ -11,6 +11,7 @@
 #include "core/engine_registry.h"
 #include "geo/spatial_index.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 
 namespace altroute {
 
@@ -29,6 +30,12 @@ struct DisplayedRoute {
 struct ApproachDisplay {
   char label = 'A';  // masked identity shown to the participant
   std::vector<DisplayedRoute> routes;
+  /// "ok" when the engine completed; otherwise the snake_case status code of
+  /// its failure or truncation ("deadline_exceeded", "internal", ...). A
+  /// degraded approach may still carry routes (partial result).
+  std::string status = "ok";
+  /// Human-readable detail when status != "ok".
+  std::string message;
 };
 
 /// The full response for a query.
@@ -38,6 +45,9 @@ struct QueryResponse {
   double snap_distance_source_m = 0.0;
   double snap_distance_target_m = 0.0;
   std::vector<ApproachDisplay> approaches;  // in masked order A-D
+  /// True when at least one approach timed out or failed: the response is
+  /// still served, with the surviving approaches intact.
+  bool degraded = false;
 };
 
 /// Stateful processor over one city network. Not thread-safe: the engines
@@ -59,8 +69,16 @@ class QueryProcessor {
   /// non-null, the snap and each engine run get a span carrying wall time
   /// and the engine's SearchStats. Global metrics (latency histograms and
   /// search counters, labeled by approach and city) record regardless.
+  ///
+  /// `deadline` bounds the whole request. The remaining budget is sliced
+  /// evenly across the engines still to run; an engine that exhausts its
+  /// slice (or errors) is reported degraded while the others still ship.
+  /// Only when the *request* deadline is spent before an engine can start
+  /// does the call fail with DeadlineExceeded (the server answers 504). All
+  /// four engines failing returns the first failure's status.
   Result<QueryResponse> Process(const LatLng& source, const LatLng& target,
-                                obs::Trace* trace = nullptr);
+                                obs::Trace* trace = nullptr,
+                                Deadline deadline = {});
 
   /// Serialises a response to JSON for the web UI. A non-null `trace`
   /// contributes an extra "trace" member with the recorded span tree.
@@ -71,7 +89,8 @@ class QueryProcessor {
   /// route set (for directions/GeoJSON endpoints that need geometry).
   Result<AlternativeSet> GenerateFor(const LatLng& source, const LatLng& target,
                                      Approach approach,
-                                     obs::SearchStats* stats = nullptr);
+                                     obs::SearchStats* stats = nullptr,
+                                     Deadline deadline = {});
 
   const RoadNetwork& network() const { return suite_.network(); }
 

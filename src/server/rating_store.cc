@@ -1,14 +1,203 @@
 #include "server/rating_store.h"
 
+#include <cctype>
+
+#include "server/json.h"
+#include "util/string_util.h"
+
 namespace altroute {
 
-Status RatingStore::Add(const RatingSubmission& submission) {
+namespace {
+
+Status ValidateRatings(const RatingSubmission& submission) {
   for (int r : submission.ratings) {
     if (r < 1 || r > 5) {
       return Status::InvalidArgument("ratings must be between 1 and 5");
     }
   }
+  return Status::OK();
+}
+
+/// Consumes `literal` at position `pos` of `line`, advancing `pos`.
+bool Consume(std::string_view line, size_t& pos, std::string_view literal) {
+  if (line.substr(pos, literal.size()) != literal) return false;
+  pos += literal.size();
+  return true;
+}
+
+/// Parses a non-negative decimal integer (the ratings are single digits, but
+/// accept a few for forward compatibility).
+bool ConsumeInt(std::string_view line, size_t& pos, int& out) {
+  size_t start = pos;
+  int value = 0;
+  while (pos < line.size() && pos - start < 6 &&
+         std::isdigit(static_cast<unsigned char>(line[pos]))) {
+    value = value * 10 + (line[pos] - '0');
+    ++pos;
+  }
+  if (pos == start) return false;
+  out = value;
+  return true;
+}
+
+/// Parses a JSON string body (after the opening quote), undoing the escapes
+/// JsonWriter::Escape produces.
+bool ConsumeStringBody(std::string_view line, size_t& pos, std::string& out) {
+  while (pos < line.size()) {
+    char c = line[pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos >= line.size()) return false;
+    char esc = line[pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (pos + 4 > line.size()) return false;
+        int code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = line[pos++];
+          int digit;
+          if (h >= '0' && h <= '9') digit = h - '0';
+          else if (h >= 'a' && h <= 'f') digit = h - 'a' + 10;
+          else if (h >= 'A' && h <= 'F') digit = h - 'A' + 10;
+          else return false;
+          code = code * 16 + digit;
+        }
+        // The writer only emits \u00xx for control characters; reject the
+        // rest rather than mis-decode multi-byte sequences.
+        if (code > 0xFF) return false;
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // unterminated string (truncated line)
+}
+
+}  // namespace
+
+std::string RatingSubmissionToJsonLine(const RatingSubmission& submission) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ratings").BeginArray();
+  for (int r : submission.ratings) w.Int(r);
+  w.EndArray();
+  w.Key("resident").Bool(submission.melbourne_resident);
+  w.Key("comment").String(submission.comment);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<RatingSubmission> ParseRatingSubmissionJsonLine(std::string_view line) {
+  line = Trim(line);
+  RatingSubmission s;
+  size_t pos = 0;
+  if (!Consume(line, pos, "{\"ratings\":[")) {
+    return Status::InvalidArgument("malformed rating record");
+  }
+  for (int a = 0; a < kNumApproaches; ++a) {
+    if (a > 0 && !Consume(line, pos, ",")) {
+      return Status::InvalidArgument("malformed rating record");
+    }
+    int value = 0;
+    if (!ConsumeInt(line, pos, value)) {
+      return Status::InvalidArgument("malformed rating record");
+    }
+    s.ratings[static_cast<size_t>(a)] = value;
+  }
+  if (!Consume(line, pos, "],\"resident\":")) {
+    return Status::InvalidArgument("malformed rating record");
+  }
+  if (Consume(line, pos, "true")) {
+    s.melbourne_resident = true;
+  } else if (Consume(line, pos, "false")) {
+    s.melbourne_resident = false;
+  } else {
+    return Status::InvalidArgument("malformed rating record");
+  }
+  if (!Consume(line, pos, ",\"comment\":\"")) {
+    return Status::InvalidArgument("malformed rating record");
+  }
+  if (!ConsumeStringBody(line, pos, s.comment)) {
+    return Status::InvalidArgument("truncated rating record");
+  }
+  if (!Consume(line, pos, "}") || pos != line.size()) {
+    return Status::InvalidArgument("malformed rating record");
+  }
+  if (Status valid = ValidateRatings(s); !valid.ok()) return valid;
+  return s;
+}
+
+Status RatingStore::AttachFile(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
+  corrupt_lines_ = 0;
+  {
+    // Replay whatever the previous process managed to write. A missing file
+    // is fine (first run); a torn final line is fine (crash mid-append).
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (Trim(line).empty()) continue;
+      auto parsed = ParseRatingSubmissionJsonLine(line);
+      if (parsed.ok()) {
+        submissions_.push_back(std::move(*parsed));
+      } else {
+        ++corrupt_lines_;
+      }
+    }
+  }
+  // A torn final line (crash between the record and its newline) must not
+  // absorb the next append: heal the tail with a newline so every future
+  // record starts a fresh line.
+  bool needs_newline = false;
+  {
+    std::ifstream tail(path, std::ios::binary);
+    if (tail.is_open() && tail.seekg(-1, std::ios::end)) {
+      char last = '\n';
+      if (tail.get(last)) needs_newline = last != '\n';
+    }
+  }
+  log_.open(path, std::ios::out | std::ios::app);
+  if (!log_.is_open()) {
+    return Status::IOError("cannot open ratings file for append: " + path);
+  }
+  if (needs_newline) {
+    log_ << '\n';
+    log_.flush();
+  }
+  return Status::OK();
+}
+
+size_t RatingStore::corrupt_lines_recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_lines_;
+}
+
+Status RatingStore::Add(const RatingSubmission& submission) {
+  if (Status valid = ValidateRatings(submission); !valid.ok()) return valid;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_.is_open()) {
+    // Durability before visibility: the line must reach the OS before the
+    // submission counts, so a crash can lose at most the in-flight form.
+    log_ << RatingSubmissionToJsonLine(submission) << '\n';
+    log_.flush();
+    if (!log_.good()) {
+      log_.clear();
+      return Status::IOError("failed to append rating to log file");
+    }
+  }
   submissions_.push_back(submission);
   return Status::OK();
 }

@@ -1,8 +1,11 @@
 // Storage for submitted feedback forms (paper Fig. 3): 1-5 rating per
 // approach plus the residency question and an optional free-text comment.
+// Optionally backed by an append-only JSONL log so participant data survives
+// a crash or restart of the demo server.
 #pragma once
 
 #include <array>
+#include <fstream>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -20,10 +23,25 @@ struct RatingSubmission {
   std::string comment;
 };
 
-/// Thread-safe in-memory submission log with CSV export.
+/// Thread-safe in-memory submission log with CSV export and optional
+/// crash-safe JSONL persistence.
 class RatingStore {
  public:
+  /// Enables persistence: replays existing submissions from `path` (one JSON
+  /// object per line), then keeps the file open for appending. Lines that
+  /// fail to parse — e.g. a trailing partial line from a crash mid-write —
+  /// are skipped and counted, never fatal; see corrupt_lines_recovered().
+  /// Returns IOError only when the file cannot be opened for append.
+  Status AttachFile(const std::string& path);
+
+  /// Lines skipped during the last AttachFile() replay because they were
+  /// corrupt or truncated.
+  size_t corrupt_lines_recovered() const;
+
   /// Validates that every rating is in [1, 5]; InvalidArgument otherwise.
+  /// With a file attached, the submission is appended and flushed to the log
+  /// BEFORE becoming visible in memory; a write failure returns IOError and
+  /// drops the submission (no memory/disk divergence).
   Status Add(const RatingSubmission& submission);
 
   size_t size() const;
@@ -38,6 +56,16 @@ class RatingStore {
  private:
   mutable std::mutex mu_;
   std::vector<RatingSubmission> submissions_;
+  std::ofstream log_;  // open iff a file is attached
+  size_t corrupt_lines_ = 0;
 };
+
+/// One submission as a single JSONL record (no trailing newline):
+///   {"ratings":[3,4,4,5],"resident":true,"comment":"..."}
+std::string RatingSubmissionToJsonLine(const RatingSubmission& submission);
+
+/// Parses a line produced by RatingSubmissionToJsonLine. InvalidArgument on
+/// malformed or truncated input (including out-of-range ratings).
+Result<RatingSubmission> ParseRatingSubmissionJsonLine(std::string_view line);
 
 }  // namespace altroute

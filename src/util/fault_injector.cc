@@ -1,0 +1,78 @@
+#include "util/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace altroute {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+  rules_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+}
+
+void FaultInjector::InjectError(std::string site, Status error,
+                                double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rules_[std::move(site)];
+  rule.error = std::move(error);
+  rule.error_probability = probability;
+}
+
+void FaultInjector::InjectLatencyMs(std::string site, int64_t latency_ms,
+                                    double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rules_[std::move(site)];
+  rule.latency_ms = latency_ms;
+  rule.latency_probability = probability;
+}
+
+Status FaultInjector::Check(std::string_view site) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+
+  int64_t sleep_ms = 0;
+  Status error = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    auto it = rules_.find(site);
+    if (it == rules_.end()) return Status::OK();
+    Rule& rule = it->second;
+    bool fired = false;
+    if (rule.latency_ms > 0 && rng_.Bernoulli(rule.latency_probability)) {
+      sleep_ms = rule.latency_ms;
+      fired = true;
+    }
+    if (!rule.error.ok() && rng_.Bernoulli(rule.error_probability)) {
+      error = rule.error;
+      fired = true;
+    }
+    if (fired) ++rule.triggers;
+  }
+  // Sleep outside the lock so concurrent sites are not serialised behind a
+  // slow rule.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return error;
+}
+
+int64_t FaultInjector::TriggerCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(site);
+  return it == rules_.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace altroute

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kCorruption = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "NotFound"...).
@@ -61,6 +62,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +80,9 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

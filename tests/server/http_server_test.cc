@@ -8,13 +8,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <regex>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
 #include "server/demo_service.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -269,6 +272,138 @@ TEST_F(DemoServerFixture, UnknownPathIs404) {
   const std::string body = HttpGet(server_->port(), "/nope", &status);
   EXPECT_NE(status.find("404"), std::string::npos);
   EXPECT_NE(body.find("error"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, FarAwayClickIs422WithStructuredError) {
+  // Coordinates parse fine but snap outside the study area: semantic
+  // rejection, not a malformed request.
+  std::string status;
+  const std::string body = HttpGet(
+      server_->port(), "/route?slat=45.0&slng=9.0&tlat=45.1&tlng=9.1",
+      &status);
+  EXPECT_NE(status.find("422"), std::string::npos);
+  EXPECT_NE(body.find("\"error\":{\"code\":\"invalid_argument\""),
+            std::string::npos);
+  EXPECT_NE(body.find("study area"), std::string::npos);
+}
+
+TEST_F(DemoServerFixture, InjectedEngineFailureYieldsDegraded200) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("engine:dissimilarity", Status::Internal("injected"));
+  char target[256];
+  std::snprintf(target, sizeof(target),
+                "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f",
+                net_coord_origin_.lat, net_coord_origin_.lng,
+                net_coord_far_.lat, net_coord_far_.lng);
+  std::string status;
+  const std::string body = HttpGet(server_->port(), target, &status);
+  fi.Disarm();
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"status\":\"internal\""), std::string::npos);
+  // All four masked labels are still present.
+  for (const char* label : {"\"label\":\"A\"", "\"label\":\"B\"",
+                            "\"label\":\"C\"", "\"label\":\"D\""}) {
+    EXPECT_NE(body.find(label), std::string::npos) << label;
+  }
+}
+
+/// A demo server with a per-request wall budget, as `serve
+/// --request-timeout-ms 100` would run it. Per-test (not per-suite) because
+/// the fault-injection rules differ between tests.
+class DeadlineServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto net = testutil::GridNetwork(6, 6, 60.0, 500.0);
+    origin_ = net->coord(0);
+    far_ = net->coord(static_cast<NodeId>(net->num_nodes() - 1));
+    auto pool = QueryProcessorPool::Create(net, 2);
+    ALTROUTE_CHECK(pool.ok());
+    service_ = std::make_unique<DemoService>(
+        std::make_unique<QueryProcessorPool>(std::move(pool).ValueOrDie()));
+    HttpServerOptions options;
+    options.num_threads = 2;
+    options.request_timeout_ms = 100;
+    server_ = std::make_unique<HttpServer>(options);
+    service_->Install(server_.get());
+    ALTROUTE_CHECK(server_->Start(0).ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    FaultInjector::Global().Disarm();
+  }
+
+  std::string RouteTarget() const {
+    char target[256];
+    std::snprintf(target, sizeof(target),
+                  "/route?slat=%.6f&slng=%.6f&tlat=%.6f&tlng=%.6f",
+                  origin_.lat, origin_.lng, far_.lat, far_.lng);
+    return target;
+  }
+
+  std::unique_ptr<DemoService> service_;
+  std::unique_ptr<HttpServer> server_;
+  LatLng origin_;
+  LatLng far_;
+};
+
+TEST_F(DeadlineServerFixture, ExhaustedRequestBudgetIs504WithinBound) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  // 110ms of injected engine latency overruns the 100ms request budget, so
+  // the engine loop must fail the request before starting engine #2.
+  fi.InjectLatencyMs("engine:commercial", 110);
+  fi.InjectError("engine:plateau", Status::Internal("must never run"));
+
+  const auto begin = std::chrono::steady_clock::now();
+  std::string status;
+  const std::string body = HttpGet(server_->port(), RouteTarget(), &status);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+  EXPECT_NE(status.find("504"), std::string::npos) << status;
+  EXPECT_NE(body.find("\"error\":{\"code\":\"deadline_exceeded\""),
+            std::string::npos)
+      << body;
+  // Acceptance bound: the 504 lands within deadline + 100ms of slack.
+  EXPECT_LE(elapsed, 100 + 100) << "504 took " << elapsed << "ms";
+  // The request failed fast: engines after the slow one never started.
+  EXPECT_EQ(fi.TriggerCount("engine:plateau"), 0);
+}
+
+TEST_F(DeadlineServerFixture, RequestExpiringInQueueGets504BeforeDispatch) {
+  // Stamp the deadline at accept, then let it expire before the request
+  // even arrives: the worker must answer 504 without running a handler.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::string req = "GET " + RouteTarget() +
+                          " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_GT(::send(fd, req.data(), req.size(), 0), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(out.find("504"), std::string::npos) << out;
+  EXPECT_NE(out.find("deadline_exceeded"), std::string::npos) << out;
+}
+
+TEST_F(DeadlineServerFixture, FastRequestsUnaffectedByBudget) {
+  std::string status;
+  const std::string body = HttpGet(server_->port(), RouteTarget(), &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"degraded\":false"), std::string::npos);
 }
 
 TEST(HttpServerTest, StopIsIdempotentAndRestartable) {

@@ -4,6 +4,7 @@
 
 #include "../testutil.h"
 #include "geo/polyline.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -149,6 +150,99 @@ TEST_F(QueryProcessorFixture, JsonSerialisationIsWellFormed) {
   EXPECT_NE(json.find("\"label\":\"D\""), std::string::npos);
   EXPECT_NE(json.find("\"travel_time_min\":"), std::string::npos);
   EXPECT_NE(json.find("\"polyline\":"), std::string::npos);
+}
+
+// Fault-isolation and deadline behaviour. Masked order is A=commercial,
+// B=plateau, C=dissimilarity, D=penalty (kAllApproaches).
+class QueryProcessorFaultFixture : public QueryProcessorFixture {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+
+  LatLng Origin() const { return processor_->network().coord(0); }
+  LatLng Far() const {
+    const RoadNetwork& net = processor_->network();
+    return net.coord(static_cast<NodeId>(net.num_nodes() - 1));
+  }
+};
+
+TEST_F(QueryProcessorFaultFixture, EngineFailureDegradesOnlyThatApproach) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("engine:plateau", Status::Internal("injected engine crash"));
+
+  auto response = processor_->Process(Origin(), Far());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->degraded);
+  ASSERT_EQ(response->approaches.size(), 4u);
+  // B (plateau) shipped empty with its failure class; the rest are intact.
+  EXPECT_EQ(response->approaches[1].status, "internal");
+  EXPECT_TRUE(response->approaches[1].routes.empty());
+  for (size_t i : {size_t{0}, size_t{2}, size_t{3}}) {
+    EXPECT_EQ(response->approaches[i].status, "ok") << "approach " << i;
+    EXPECT_FALSE(response->approaches[i].routes.empty()) << "approach " << i;
+  }
+  const std::string json = processor_->ToJson(*response);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"internal\""), std::string::npos);
+}
+
+TEST_F(QueryProcessorFaultFixture, SlowEngineExhaustsSliceOthersStillShip) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  // The request budget is 2s, so the first engine's slice is 500ms; 600ms of
+  // injected latency deterministically overruns it while leaving ~1.4s for
+  // the other three (sub-millisecond on this grid).
+  fi.InjectLatencyMs("engine:commercial", 600);
+
+  auto response =
+      processor_->Process(Origin(), Far(), nullptr, Deadline::AfterMs(2000));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->degraded);
+  ASSERT_EQ(response->approaches.size(), 4u);
+  EXPECT_EQ(response->approaches[0].status, "deadline_exceeded");
+  EXPECT_TRUE(response->approaches[0].routes.empty());
+  for (size_t i : {size_t{1}, size_t{2}, size_t{3}}) {
+    EXPECT_EQ(response->approaches[i].status, "ok") << "approach " << i;
+    EXPECT_FALSE(response->approaches[i].routes.empty()) << "approach " << i;
+  }
+  EXPECT_EQ(fi.TriggerCount("engine:commercial"), 1);
+}
+
+TEST_F(QueryProcessorFaultFixture, ExpiredRequestDeadlineFailsWholeRequest) {
+  auto response =
+      processor_->Process(Origin(), Far(), nullptr, Deadline::AfterMs(-1));
+  EXPECT_TRUE(response.status().IsDeadlineExceeded()) << response.status();
+}
+
+TEST_F(QueryProcessorFaultFixture, AllEnginesFailingReturnsFirstFailure) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  for (const char* site : {"engine:commercial", "engine:plateau",
+                           "engine:dissimilarity", "engine:penalty"}) {
+    fi.InjectError(site, Status::Internal("injected engine crash"));
+  }
+  auto response = processor_->Process(Origin(), Far());
+  EXPECT_TRUE(response.status().IsInternal()) << response.status();
+}
+
+TEST_F(QueryProcessorFaultFixture, SnapFaultSurfacesAsQueryError) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("snap", Status::Internal("index unavailable"));
+  auto response = processor_->Process(Origin(), Far());
+  EXPECT_TRUE(response.status().IsInternal()) << response.status();
+}
+
+TEST_F(QueryProcessorFaultFixture, GenerateForHonoursExpiredDeadline) {
+  auto set = processor_->GenerateFor(Origin(), Far(), Approach::kPenalty,
+                                     /*stats=*/nullptr, Deadline::AfterMs(-1));
+  // Either the engine bailed before the shortest path (error) or it shipped
+  // a truncated set — never a silently complete result.
+  if (set.ok()) {
+    EXPECT_FALSE(set->completion.ok());
+  } else {
+    EXPECT_TRUE(set.status().IsDeadlineExceeded()) << set.status();
+  }
 }
 
 }  // namespace

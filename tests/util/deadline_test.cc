@@ -1,0 +1,140 @@
+#include "util/deadline.h"
+
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/fault_injector.h"
+
+namespace altroute {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+  EXPECT_TRUE(Deadline::Infinite().is_infinite());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline d = Deadline::AfterMs(60'000);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 50.0);
+  EXPECT_LE(d.RemainingSeconds(), 60.0);
+}
+
+TEST(DeadlineTest, PastDeadlineExpired) {
+  Deadline d = Deadline::AfterMs(-1);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, AfterSecondsExpiresAfterSleep) {
+  Deadline d = Deadline::AfterSeconds(0.01);
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, MinPrefersEarlierAndTreatsInfiniteAsIdentity) {
+  Deadline early = Deadline::AfterMs(1'000);
+  Deadline late = Deadline::AfterMs(60'000);
+  EXPECT_EQ(Deadline::Min(early, late).time_point(), early.time_point());
+  EXPECT_EQ(Deadline::Min(late, early).time_point(), early.time_point());
+  EXPECT_EQ(Deadline::Min(Deadline::Infinite(), early).time_point(),
+            early.time_point());
+  EXPECT_EQ(Deadline::Min(early, Deadline::Infinite()).time_point(),
+            early.time_point());
+  EXPECT_TRUE(
+      Deadline::Min(Deadline::Infinite(), Deadline::Infinite()).is_infinite());
+}
+
+TEST(CancellationTokenTest, DefaultNeverStops) {
+  CancellationToken token;
+  EXPECT_FALSE(token.StopNow());
+  for (int i = 0; i < 10'000; ++i) EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineStops) {
+  CancellationToken token{Deadline::AfterMs(-1)};
+  EXPECT_TRUE(token.StopNow());
+}
+
+TEST(CancellationTokenTest, ShouldStopIsAmortised) {
+  // With an already-expired deadline the amortised check still takes up to
+  // kCheckIntervalPops calls to notice — that is the documented trade.
+  CancellationToken token{Deadline::AfterMs(-1)};
+  int calls = 0;
+  while (!token.ShouldStop()) {
+    ++calls;
+    ASSERT_LT(calls, static_cast<int>(CancellationToken::kCheckIntervalPops));
+  }
+  EXPECT_EQ(calls, static_cast<int>(CancellationToken::kCheckIntervalPops) - 1);
+}
+
+TEST(CancellationTokenTest, CancelIsSharedAcrossCopies) {
+  CancellationToken token{Deadline::AfterMs(60'000)};
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.StopNow());
+  token.RequestCancel();
+  EXPECT_TRUE(copy.cancel_requested());
+  EXPECT_TRUE(copy.StopNow());
+  EXPECT_TRUE(token.StopNow());
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedReturnsOk) {
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  EXPECT_TRUE(FaultInjector::Global().Check("anything").ok());
+}
+
+TEST_F(FaultInjectorTest, InjectedErrorFires) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("site-a", Status::Internal("boom"));
+  EXPECT_TRUE(fi.Check("site-a").IsInternal());
+  EXPECT_TRUE(fi.Check("site-b").ok());  // unrelated sites unaffected
+  EXPECT_EQ(fi.TriggerCount("site-a"), 1);
+  EXPECT_EQ(fi.TriggerCount("site-b"), 0);
+}
+
+TEST_F(FaultInjectorTest, InjectedLatencySleeps) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectLatencyMs("slow", 30);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fi.Check("slow").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_EQ(fi.TriggerCount("slow"), 1);
+}
+
+TEST_F(FaultInjectorTest, ZeroProbabilityNeverFires) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/7);
+  fi.InjectError("never", Status::Internal("boom"), /*probability=*/0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(fi.Check("never").ok());
+  EXPECT_EQ(fi.TriggerCount("never"), 0);
+}
+
+TEST_F(FaultInjectorTest, DisarmClearsRules) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("site", Status::Internal("boom"));
+  fi.Disarm();
+  EXPECT_TRUE(fi.Check("site").ok());
+  fi.Arm(/*seed=*/1);  // re-arming must not resurrect old rules
+  EXPECT_TRUE(fi.Check("site").ok());
+}
+
+}  // namespace
+}  // namespace altroute

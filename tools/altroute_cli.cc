@@ -26,6 +26,7 @@
 #include "userstudy/report.h"
 #include "userstudy/tables.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace altroute {
 namespace {
@@ -67,6 +68,23 @@ struct Args {
   }
 };
 
+/// Strictly-parsed integer flag with a range check: absent -> `fallback`;
+/// non-numeric or out-of-range input -> InvalidArgument with a one-line
+/// message naming the flag, the accepted range and the offending value.
+Result<int64_t> ValidatedIntFlag(const Args& args, const std::string& key,
+                                 int64_t fallback, int64_t min, int64_t max) {
+  auto it = args.flags.find(key);
+  if (it == args.flags.end()) return fallback;
+  auto value = ParseInt64(it->second);
+  if (!value.ok() || *value < min || *value > max) {
+    return Status::InvalidArgument("--" + key + " must be an integer in [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "], got '" +
+                                   it->second + "'");
+  }
+  return *value;
+}
+
 int Usage() {
   std::fprintf(stderr, R"(altroute_cli <command> [options]
 
@@ -89,6 +107,13 @@ Commands:
                                                        (default: hardware
                                                        concurrency; metrics
                                                        at /metrics)
+      [--request-timeout-ms MS]                        per-request wall budget
+                                                       measured from accept
+                                                       (default 10000;
+                                                       0 disables)
+      [--ratings-file FILE]                            persist submissions as
+                                                       append-only JSONL,
+                                                       replayed on restart
 
 Global options:
   --log-level <debug|info|warn|error>                  log verbosity (default info)
@@ -266,13 +291,25 @@ int CmdStudy(const Args& args) {
 }
 
 int CmdServe(const Args& args) {
+  // Validate serving flags before the (slow) network build: a typo'd port or
+  // a zero-thread pool should be one friendly line, immediately.
+  auto threads_or = ValidatedIntFlag(args, "threads", 0, 1, 1024);
+  auto port_or = ValidatedIntFlag(args, "port", 8080, 0, 65535);
+  auto timeout_or =
+      ValidatedIntFlag(args, "request-timeout-ms", 10000, 0, 3600000);
+  for (const Result<int64_t>* flag : {&threads_or, &port_or, &timeout_or}) {
+    if (!flag->ok()) {
+      std::fprintf(stderr, "%s\n", flag->status().message().c_str());
+      return 2;
+    }
+  }
   auto net_or = LoadNetwork(args, 0.5);
   if (!net_or.ok()) {
     std::fprintf(stderr, "%s\n", net_or.status().ToString().c_str());
     return 1;
   }
   std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
-  int threads = static_cast<int>(args.GetInt("threads", 0));
+  int threads = static_cast<int>(*threads_or);
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
@@ -286,12 +323,24 @@ int CmdServe(const Args& args) {
   }
   DemoService service(std::make_unique<QueryProcessorPool>(
       std::move(pool).ValueOrDie()));
+  if (const std::string ratings_file = args.Get("ratings-file");
+      !ratings_file.empty()) {
+    const Status attached = service.ratings().AttachFile(ratings_file);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "%s\n", attached.ToString().c_str());
+      return 1;
+    }
+    std::printf("Ratings persisted to %s (%zu replayed, %zu corrupt line(s) "
+                "skipped)\n",
+                ratings_file.c_str(), service.ratings().size(),
+                service.ratings().corrupt_lines_recovered());
+  }
   HttpServerOptions options;
   options.num_threads = threads;
+  options.request_timeout_ms = static_cast<int>(*timeout_or);
   HttpServer server(options);
   service.Install(&server);
-  const Status st =
-      server.Start(static_cast<uint16_t>(args.GetInt("port", 8080)));
+  const Status st = server.Start(static_cast<uint16_t>(*port_or));
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -299,6 +348,9 @@ int CmdServe(const Args& args) {
   std::printf("Serving %s on http://127.0.0.1:%u/ with %d worker thread(s) "
               "(Ctrl-C to stop)\n",
               net->name().c_str(), server.port(), server.num_threads());
+  // Startup lines must reach a redirected log even if the process is later
+  // killed: stdout is block-buffered when not a TTY.
+  std::fflush(stdout);
   for (;;) pause();
 }
 
