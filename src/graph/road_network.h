@@ -70,6 +70,10 @@ class RoadNetwork {
  private:
   friend class GraphBuilder;
   friend class NetworkSerializer;
+  // Test-only mutable access (tests/testutil.h) for building purposefully
+  // broken networks that exercise GraphValidator and the serializer's
+  // defenses. Never used by production code.
+  friend struct RoadNetworkTestPeer;
 
   RoadNetwork() = default;
 

@@ -1,5 +1,6 @@
 #include "graph/serialization.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -56,45 +57,117 @@ class Writer {
   Fnv1a hash_;
 };
 
+// Hard sanity limit: a continental network would be ~1e8; refuse beyond 2^31.
+constexpr uint64_t kMaxElems = 1ull << 31;
+// Network display names are short; a multi-megabyte "name" is an attack.
+constexpr uint32_t kMaxNameBytes = 1u << 20;
+// Vectors are materialised in bounded chunks, so even when the input size is
+// unknown (non-seekable stream) a forged length prefix can over-allocate by
+// at most one chunk beyond the bytes actually present.
+constexpr uint64_t kChunkElems = 1u << 20;
+
+/// Checksummed reader that never trusts a length prefix: every declared
+/// length is checked against the bytes remaining in the stream (when the
+/// stream is seekable) and a hard cap *before* any allocation, so a forged
+/// 16-byte header cannot demand a multi-GB resize.
 class Reader {
  public:
-  explicit Reader(std::istream& in) : in_(in) {}
+  explicit Reader(std::istream& in) : in_(in) {
+    // Bound declared lengths by the actual input size when the stream can
+    // tell us (files and stringstreams both can).
+    const std::streampos cur = in.tellg();
+    if (cur != std::streampos(-1)) {
+      in.seekg(0, std::ios::end);
+      const std::streampos end = in.tellg();
+      in.seekg(cur);
+      if (in.good() && end != std::streampos(-1) && end >= cur) {
+        bounded_ = true;
+        remaining_ = static_cast<uint64_t>(end - cur);
+      } else {
+        in.clear();
+        in.seekg(cur);
+      }
+    }
+  }
 
   bool Raw(void* data, size_t len) {
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
     if (!in_.good() && !(in_.eof() && static_cast<size_t>(in_.gcount()) == len)) {
       return false;
     }
+    if (bounded_) remaining_ -= std::min<uint64_t>(remaining_, len);
     hash_.Update(data, len);
     return true;
   }
   bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
   bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
-  bool Str(std::string* s) {
+
+  /// True when the stream is known to hold at least `n` more bytes (always
+  /// true for non-seekable streams, where chunked reads are the backstop).
+  bool HasBytes(uint64_t n) const { return !bounded_ || n <= remaining_; }
+
+  Status Str(std::string* s, const char* field) {
     uint32_t len = 0;
-    if (!U32(&len)) return false;
-    if (len > (1u << 20)) return false;  // sanity bound on name length
+    if (!U32(&len)) return TruncatedField(field);
+    if (len > kMaxNameBytes) {
+      return Status::Corruption(std::string(field) + " length " +
+                                std::to_string(len) + " exceeds the " +
+                                std::to_string(kMaxNameBytes) + "-byte cap");
+    }
+    if (!HasBytes(len)) return LengthBeyondInput(field, len);
     s->resize(len);
-    return len == 0 || Raw(s->data(), len);
+    if (len > 0 && !Raw(s->data(), len)) return TruncatedField(field);
+    return Status::OK();
   }
+
   template <typename T>
-  bool Vec(std::vector<T>* v, uint64_t max_elems) {
+  Status Vec(std::vector<T>* v, const char* field) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t len = 0;
-    if (!U64(&len)) return false;
-    if (len > max_elems) return false;
-    v->resize(len);
-    return len == 0 || Raw(v->data(), len * sizeof(T));
+    if (!U64(&len)) return TruncatedField(field);
+    if (len > kMaxElems) {
+      return Status::Corruption(std::string(field) + " length " +
+                                std::to_string(len) +
+                                " exceeds the element cap " +
+                                std::to_string(kMaxElems));
+    }
+    // len <= 2^31 and sizeof(T) <= 16, so the byte count cannot overflow.
+    const uint64_t bytes = len * sizeof(T);
+    if (!HasBytes(bytes)) return LengthBeyondInput(field, bytes);
+    v->clear();
+    // Chunked materialisation: allocation grows only as bytes actually
+    // arrive, so an unbounded stream lying about its length costs at most
+    // one chunk of memory before the read fails.
+    uint64_t done = 0;
+    while (done < len) {
+      const uint64_t chunk = std::min<uint64_t>(len - done, kChunkElems);
+      v->resize(static_cast<size_t>(done + chunk));
+      if (!Raw(v->data() + done, static_cast<size_t>(chunk * sizeof(T)))) {
+        return TruncatedField(field);
+      }
+      done += chunk;
+    }
+    return Status::OK();
   }
+
   uint64_t Digest() const { return hash_.Digest(); }
 
  private:
+  static Status TruncatedField(const char* field) {
+    return Status::Corruption(std::string("truncated input while reading ") +
+                              field);
+  }
+  static Status LengthBeyondInput(const char* field, uint64_t bytes) {
+    return Status::Corruption(std::string(field) + " declares " +
+                              std::to_string(bytes) +
+                              " payload bytes but fewer remain in the input");
+  }
+
   std::istream& in_;
   Fnv1a hash_;
+  bool bounded_ = false;
+  uint64_t remaining_ = 0;  // valid iff bounded_
 };
-
-// Hard sanity limit: a continental network would be ~1e8; refuse beyond 2^31.
-constexpr uint64_t kMaxElems = 1ull << 31;
 
 }  // namespace
 
@@ -132,16 +205,17 @@ Result<std::shared_ptr<RoadNetwork>> NetworkSerializer::Load(std::istream& in) {
                               std::to_string(version));
   }
   auto net = std::shared_ptr<RoadNetwork>(new RoadNetwork());
-  bool ok = r.Str(&net->name_) && r.Vec(&net->coords_, kMaxElems) &&
-            r.Vec(&net->first_out_, kMaxElems) &&
-            r.Vec(&net->out_edge_ids_, kMaxElems) &&
-            r.Vec(&net->first_in_, kMaxElems) &&
-            r.Vec(&net->in_edge_ids_, kMaxElems) &&
-            r.Vec(&net->tail_, kMaxElems) && r.Vec(&net->head_, kMaxElems) &&
-            r.Vec(&net->length_m_, kMaxElems) &&
-            r.Vec(&net->travel_time_s_, kMaxElems) &&
-            r.Vec(&net->road_class_, kMaxElems);
-  if (!ok) return Status::Corruption("truncated network payload");
+  ALTROUTE_RETURN_NOT_OK(r.Str(&net->name_, "name"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->coords_, "coords"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->first_out_, "first_out"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->out_edge_ids_, "out_edge_ids"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->first_in_, "first_in"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->in_edge_ids_, "in_edge_ids"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->tail_, "tail"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->head_, "head"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->length_m_, "length_m"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->travel_time_s_, "travel_time_s"));
+  ALTROUTE_RETURN_NOT_OK(r.Vec(&net->road_class_, "road_class"));
   const uint64_t expected = r.Digest();
   uint64_t stored = 0;
   in.read(reinterpret_cast<char*>(&stored), sizeof(stored));

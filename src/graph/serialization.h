@@ -21,6 +21,10 @@ class NetworkSerializer {
   static Status Save(const RoadNetwork& net, std::ostream& out);
 
   /// Deserializes a network. Returns Corruption on checksum/format errors.
+  /// Hostile inputs fail cleanly: every length prefix is checked against the
+  /// remaining stream bytes (seekable streams) and a hard cap before any
+  /// allocation, and vectors are materialised in bounded chunks, so a forged
+  /// header can never demand a multi-GB allocation.
   static Result<std::shared_ptr<RoadNetwork>> Load(std::istream& in);
 
   /// Convenience file wrappers.

@@ -1,0 +1,213 @@
+#include "graph/validator.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/components.h"
+
+namespace altroute {
+
+namespace {
+
+/// Appends an issue whose message names the first offender and the total
+/// offender count ("edge 17 travel_time_s is nan (3 offending edges)").
+void AddIssue(ValidationReport* report, const char* check, uint64_t count,
+              const std::string& first_offender) {
+  std::ostringstream msg;
+  msg << first_offender << " (" << count << " offending "
+      << (count == 1 ? "entry" : "entries") << ")";
+  report->issues.push_back({check, msg.str(), count});
+}
+
+bool CoordOk(const LatLng& c) {
+  return std::isfinite(c.lat) && std::isfinite(c.lng) && c.lat >= -90.0 &&
+         c.lat <= 90.0 && c.lng >= -180.0 && c.lng <= 180.0;
+}
+
+bool WeightOk(double w) { return std::isfinite(w) && w >= 0.0; }
+
+}  // namespace
+
+ValidationReport GraphValidator::Validate(const RoadNetwork& net) const {
+  ValidationReport report;
+  report.network_name = net.name();
+  report.num_nodes = net.num_nodes();
+  report.num_edges = net.num_edges();
+  const size_t n = net.num_nodes();
+  const size_t m = net.num_edges();
+
+  if (n == 0 || m == 0) {
+    if (!options_.allow_empty) {
+      report.issues.push_back(
+          {"empty",
+           "network has " + std::to_string(n) + " nodes and " +
+               std::to_string(m) + " edges",
+           1});
+    }
+    return report;  // nothing further to check on an empty graph
+  }
+
+  // Coordinates: finite and inside the WGS84 range.
+  {
+    uint64_t bad = 0;
+    std::string first;
+    for (NodeId v = 0; v < n; ++v) {
+      const LatLng& c = net.coord(v);
+      if (CoordOk(c)) continue;
+      if (bad == 0) {
+        std::ostringstream msg;
+        msg << "node " << v << " coordinate (" << c.lat << ", " << c.lng
+            << ") is non-finite or outside [-90,90]x[-180,180]";
+        first = msg.str();
+      }
+      ++bad;
+    }
+    if (bad > 0) AddIssue(&report, "coordinates", bad, first);
+  }
+
+  // Edge weights: both cost columns finite and non-negative. A single NaN
+  // here breaks the heap invariant of every Dijkstra variant.
+  {
+    uint64_t bad = 0;
+    std::string first;
+    for (EdgeId e = 0; e < m; ++e) {
+      const bool ok = WeightOk(net.travel_time_s(e)) && WeightOk(net.length_m(e));
+      if (ok) continue;
+      if (bad == 0) {
+        std::ostringstream msg;
+        msg << "edge " << e << " has travel_time_s=" << net.travel_time_s(e)
+            << ", length_m=" << net.length_m(e)
+            << " (must be finite and non-negative)";
+        first = msg.str();
+      }
+      ++bad;
+    }
+    if (bad > 0) AddIssue(&report, "edge_weights", bad, first);
+  }
+
+  // Dangling endpoints: every edge must connect two existing nodes. This
+  // must pass before any adjacency walk or SCC run (both index by endpoint).
+  bool structure_ok = true;
+  {
+    uint64_t bad = 0;
+    std::string first;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (net.tail(e) < n && net.head(e) < n) continue;
+      if (bad == 0) {
+        std::ostringstream msg;
+        msg << "edge " << e << " endpoints (" << net.tail(e) << " -> "
+            << net.head(e) << ") reference nodes >= " << n;
+        first = msg.str();
+      }
+      ++bad;
+    }
+    if (bad > 0) {
+      AddIssue(&report, "dangling_endpoints", bad, first);
+      structure_ok = false;
+    }
+  }
+
+  // Adjacency consistency: the forward CSR must list each edge exactly once
+  // under its tail, the reverse CSR under its head.
+  if (structure_ok) {
+    uint64_t bad = 0;
+    std::string first;
+    size_t out_total = 0;
+    size_t in_total = 0;
+    for (NodeId v = 0; v < n && bad == 0; ++v) {
+      for (EdgeId e : net.OutEdges(v)) {
+        if (e >= m || net.tail(e) != v) {
+          first = "node " + std::to_string(v) +
+                  " lists out-edge " + std::to_string(e) +
+                  " whose tail disagrees";
+          ++bad;
+          break;
+        }
+      }
+      out_total += net.OutEdges(v).size();
+      for (EdgeId e : net.InEdges(v)) {
+        if (e >= m || net.head(e) != v) {
+          first = "node " + std::to_string(v) +
+                  " lists in-edge " + std::to_string(e) +
+                  " whose head disagrees";
+          ++bad;
+          break;
+        }
+      }
+      in_total += net.InEdges(v).size();
+    }
+    if (bad == 0 && (out_total != m || in_total != m)) {
+      first = "CSR lists " + std::to_string(out_total) + " out / " +
+              std::to_string(in_total) + " in edges for " +
+              std::to_string(m) + " edges";
+      ++bad;
+    }
+    if (bad > 0) {
+      AddIssue(&report, "adjacency", bad, first);
+      structure_ok = false;
+    }
+  }
+
+  // Connectivity: constructors keep only the largest SCC, so a serving
+  // network fragmented below the threshold means many (s, t) pairs have no
+  // route at all.
+  if (structure_ok) {
+    const ComponentDecomposition scc = StronglyConnectedComponents(net);
+    report.num_components = scc.count;
+    const auto sizes = scc.Sizes();
+    const uint32_t largest = sizes[scc.LargestComponent()];
+    report.largest_component_fraction =
+        static_cast<double>(largest) / static_cast<double>(n);
+    if (report.largest_component_fraction <
+        options_.min_largest_scc_fraction) {
+      std::ostringstream msg;
+      msg << "largest strongly connected component covers "
+          << largest << "/" << n << " nodes ("
+          << report.largest_component_fraction << " < required "
+          << options_.min_largest_scc_fraction << ", " << scc.count
+          << " components)";
+      report.issues.push_back({"connectivity", msg.str(),
+                               static_cast<uint64_t>(n - largest)});
+    }
+  }
+
+  return report;
+}
+
+std::string ValidationReport::ToString() const {
+  std::ostringstream out;
+  out << "network '" << network_name << "': " << num_nodes << " nodes, "
+      << num_edges << " edges";
+  if (num_components > 0) {
+    out << ", " << num_components << " SCC(s), largest covers "
+        << largest_component_fraction * 100.0 << "%";
+  }
+  out << "\n";
+  if (ok()) {
+    out << "VALID: all checks passed\n";
+    return out.str();
+  }
+  out << "INVALID: " << issues.size() << " check(s) failed\n";
+  for (const ValidationIssue& issue : issues) {
+    out << "  [" << issue.check << "] " << issue.message << "\n";
+  }
+  return out.str();
+}
+
+Status ValidationReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  std::string checks;
+  for (const ValidationIssue& issue : issues) {
+    if (!checks.empty()) checks += ", ";
+    checks += issue.check;
+  }
+  return Status::Corruption("network '" + network_name +
+                            "' failed validation checks: " + checks);
+}
+
+ValidationReport ValidateNetwork(const RoadNetwork& net,
+                                 const ValidationOptions& options) {
+  return GraphValidator(options).Validate(net);
+}
+
+}  // namespace altroute

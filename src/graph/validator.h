@@ -1,0 +1,81 @@
+// GraphValidator: semantic sanity checks on a loaded RoadNetwork. The
+// serializer only guarantees *structural* integrity (checksummed payload,
+// consistent array sizes, in-range CSR offsets); a network can still carry a
+// NaN weight, a coordinate on the moon, or be shattered into tiny components
+// — any of which silently poisons every routing engine downstream. Startup
+// and hot reload both gate on the report this validator produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "util/status.h"
+
+namespace altroute {
+
+struct ValidationOptions {
+  /// Minimum fraction of nodes the largest strongly connected component must
+  /// cover. Constructors keep only the largest SCC, so anything materially
+  /// below 1.0 signals a corrupted or hand-assembled graph; the default
+  /// tolerates benign trimming but rejects a halved network.
+  double min_largest_scc_fraction = 0.5;
+  /// Accept a network with zero nodes (useful for format round-trip tests;
+  /// a serving network must never be empty).
+  bool allow_empty = false;
+};
+
+/// One failed check: which check fired, how many offenders, and a
+/// human-readable message naming the first offender.
+struct ValidationIssue {
+  /// Stable check identifier, used as the `check` metric label:
+  /// "empty", "coordinates", "edge_weights", "dangling_endpoints",
+  /// "adjacency", "connectivity".
+  std::string check;
+  std::string message;
+  uint64_t count = 0;
+};
+
+/// Outcome of validating one network: empty `issues` means the network is
+/// safe to serve. Summary statistics are filled in regardless.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  std::string network_name;
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  /// Strongly connected component census (only computed when the structural
+  /// checks pass; 0 components otherwise).
+  uint32_t num_components = 0;
+  double largest_component_fraction = 0.0;
+
+  bool ok() const { return issues.empty(); }
+
+  /// Multi-line human-readable report (one line per issue plus a summary),
+  /// as printed by `altroute_cli validate`.
+  std::string ToString() const;
+
+  /// OK when valid; otherwise Corruption with a one-line summary naming
+  /// every failed check.
+  Status ToStatus() const;
+};
+
+/// Runs every check against `net`. Checks that would make later checks
+/// unsafe run first: dangling endpoints and adjacency inconsistencies
+/// short-circuit the SCC analysis (which would index out of bounds).
+class GraphValidator {
+ public:
+  explicit GraphValidator(ValidationOptions options = {})
+      : options_(options) {}
+
+  ValidationReport Validate(const RoadNetwork& net) const;
+
+ private:
+  ValidationOptions options_;
+};
+
+/// Convenience: GraphValidator(options).Validate(net).
+ValidationReport ValidateNetwork(const RoadNetwork& net,
+                                 const ValidationOptions& options = {});
+
+}  // namespace altroute

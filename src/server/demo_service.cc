@@ -4,19 +4,46 @@
 #include "obs/trace.h"
 #include "server/directions.h"
 #include "server/json.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace altroute {
 
+namespace {
+
+/// City key for the single-pool convenience constructors: the network's
+/// display name lowercased ("Melbourne" -> "melbourne").
+std::string DefaultCityKey(const QueryProcessorPool& pool) {
+  const std::string key = ToLower(pool.network().name());
+  return key.empty() ? "default" : key;
+}
+
+std::shared_ptr<NetworkManager> ManagerFromPool(
+    std::unique_ptr<QueryProcessorPool> pool) {
+  auto manager = std::make_shared<NetworkManager>();
+  const std::string city = DefaultCityKey(*pool);
+  const Status st = manager->AddCityWithPool(
+      city, std::shared_ptr<QueryProcessorPool>(std::move(pool)));
+  ALTROUTE_CHECK(st.ok()) << st;
+  return manager;
+}
+
+}  // namespace
+
+DemoService::DemoService(std::shared_ptr<NetworkManager> manager)
+    : manager_(std::move(manager)) {
+  ALTROUTE_CHECK(manager_ != nullptr) << "null network manager";
+}
+
 DemoService::DemoService(std::unique_ptr<QueryProcessorPool> pool)
-    : pool_(std::move(pool)) {}
+    : manager_(ManagerFromPool(std::move(pool))) {}
 
 DemoService::DemoService(std::unique_ptr<QueryProcessor> processor)
-    : pool_(std::make_unique<QueryProcessorPool>([&] {
+    : manager_(ManagerFromPool(std::make_unique<QueryProcessorPool>([&] {
         std::vector<std::unique_ptr<QueryProcessor>> contexts;
         contexts.push_back(std::move(processor));
         return contexts;
-      }())) {}
+      }()))) {}
 
 void DemoService::Install(HttpServer* server) {
   server->Route("/", [this](const HttpRequest& r) { return HandleIndex(r); });
@@ -29,6 +56,12 @@ void DemoService::Install(HttpServer* server) {
                 [this](const HttpRequest& r) { return HandleStats(r); });
   server->Route("/metrics",
                 [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server->Route("/healthz",
+                [this](const HttpRequest& r) { return HandleHealthz(r); });
+  server->Route("/readyz",
+                [this](const HttpRequest& r) { return HandleReadyz(r); });
+  server->Route("/admin/reload",
+                [this](const HttpRequest& r) { return HandleReload(r); });
 }
 
 namespace {
@@ -44,7 +77,31 @@ Result<double> QueryDouble(const HttpRequest& req, const std::string& key) {
 
 }  // namespace
 
+Result<std::shared_ptr<const NetworkSnapshot>> DemoService::ResolveSnapshot(
+    const HttpRequest& req) const {
+  if (auto it = req.query.find("city"); it != req.query.end()) {
+    return manager_->GetSnapshot(it->second);
+  }
+  const std::vector<std::string> cities = manager_->cities();
+  if (cities.size() == 1) return manager_->GetSnapshot(cities.front());
+  std::string known;
+  for (const std::string& city : cities) {
+    if (!known.empty()) known += ", ";
+    known += city;
+  }
+  return Status::InvalidArgument(
+      "several cities are served; pass ?city= one of: " + known);
+}
+
 HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
+  auto snapshot = ResolveSnapshot(req);
+  if (!snapshot.ok()) {
+    // InvalidArgument here is a missing parameter, not bad content: 400.
+    if (snapshot.status().IsInvalidArgument()) {
+      return HttpResponse::Error(400, snapshot.status().message());
+    }
+    return HttpResponse::FromStatus(snapshot.status());
+  }
   auto slat = QueryDouble(req, "slat");
   auto slng = QueryDouble(req, "slng");
   auto tlat = QueryDouble(req, "tlat");
@@ -56,7 +113,9 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
   const bool want_trace = trace_it != req.query.end() &&
                           trace_it->second == "1";
   obs::Trace trace;
-  QueryProcessorPool::Lease processor = pool_->Acquire();
+  // The snapshot shared_ptr is held for the whole request: a reload swap
+  // that lands mid-query retires this generation only after we return.
+  QueryProcessorPool::Lease processor = (*snapshot)->pool->Acquire();
   auto response = processor->Process(LatLng(*slat, *slng),
                                      LatLng(*tlat, *tlng),
                                      want_trace ? &trace : nullptr,
@@ -71,6 +130,13 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
 }
 
 HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
+  auto snapshot = ResolveSnapshot(req);
+  if (!snapshot.ok()) {
+    if (snapshot.status().IsInvalidArgument()) {
+      return HttpResponse::Error(400, snapshot.status().message());
+    }
+    return HttpResponse::FromStatus(snapshot.status());
+  }
   auto slat = QueryDouble(req, "slat");
   auto slng = QueryDouble(req, "slng");
   auto tlat = QueryDouble(req, "tlat");
@@ -86,7 +152,7 @@ HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
   }
   const auto approach = static_cast<Approach>(label[0] - 'A');
 
-  QueryProcessorPool::Lease processor = pool_->Acquire();
+  QueryProcessorPool::Lease processor = (*snapshot)->pool->Acquire();
   auto set = processor->GenerateFor(LatLng(*slat, *slng),
                                     LatLng(*tlat, *tlng), approach,
                                     /*stats=*/nullptr, req.deadline);
@@ -162,13 +228,95 @@ HttpResponse DemoService::HandleStats(const HttpRequest&) const {
 }
 
 HttpResponse DemoService::HandleMetrics(const HttpRequest&) const {
+  // Age gauges are point-in-time; refresh them at scrape so
+  // altroute_network_snapshot_age_seconds grows between reloads.
+  manager_->RefreshGauges();
   HttpResponse r;
   r.content_type = "text/plain; version=0.0.4; charset=utf-8";
   r.body = obs::MetricsRegistry::Global().ExposePrometheus();
   return r;
 }
 
+HttpResponse DemoService::HandleHealthz(const HttpRequest&) const {
+  // Liveness only: the process is up and serving HTTP. Data-plane state is
+  // /readyz's job — a load balancer must not kill a pod whose reload failed.
+  HttpResponse r;
+  r.content_type = "text/plain";
+  r.body = "ok\n";
+  return r;
+}
+
+HttpResponse DemoService::HandleReadyz(const HttpRequest&) const {
+  const bool ready = manager_->Ready();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ready").Bool(ready);
+  w.Key("cities").BeginObject();
+  for (const std::string& city : manager_->cities()) {
+    auto snapshot = manager_->GetSnapshot(city);
+    w.Key(city).BeginObject();
+    w.Key("ready").Bool(snapshot.ok());
+    if (snapshot.ok()) {
+      w.Key("generation").Int(static_cast<int64_t>((*snapshot)->generation));
+      w.Key("age_seconds").Number((*snapshot)->age_seconds());
+      w.Key("nodes").Int(static_cast<int64_t>((*snapshot)->network().num_nodes()));
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  HttpResponse r = HttpResponse::Json(w.TakeString());
+  if (!ready) r.status = 503;
+  return r;
+}
+
+HttpResponse DemoService::HandleReload(const HttpRequest& req) {
+  if (req.method != "POST") {
+    return HttpResponse::Error(405, "reload requires POST");
+  }
+  std::map<std::string, Status> outcomes;
+  if (auto it = req.query.find("city"); it != req.query.end()) {
+    const Status st = manager_->Reload(it->second);
+    if (st.IsNotFound()) return HttpResponse::FromStatus(st);
+    outcomes.emplace(it->second, st);
+  } else {
+    outcomes = manager_->ReloadAll();
+  }
+  bool all_ok = true;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("reloads").BeginObject();
+  for (const auto& [city, st] : outcomes) {
+    w.Key(city).BeginObject();
+    w.Key("outcome").String(st.ok() ? "success" : "failed");
+    if (!st.ok()) {
+      all_ok = false;
+      w.Key("error").String(st.ToString());
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  HttpResponse r = HttpResponse::Json(w.TakeString());
+  // A failed reload never took the old snapshot down, but the caller asked
+  // for a swap that did not happen: 500 makes automation notice.
+  if (!all_ok) r.status = 500;
+  return r;
+}
+
 HttpResponse DemoService::HandleIndex(const HttpRequest&) const {
+  std::string cities_html;
+  for (const std::string& city : manager_->cities()) {
+    auto snapshot = manager_->GetSnapshot(city);
+    if (!snapshot.ok()) continue;
+    cities_html += "<li><code>" + city + "</code>: " +
+                   (*snapshot)->network().name() + ", " +
+                   std::to_string((*snapshot)->network().num_nodes()) +
+                   " vertices, " +
+                   std::to_string((*snapshot)->network().num_edges()) +
+                   " edges (generation " +
+                   std::to_string((*snapshot)->generation) + ")</li>";
+  }
   HttpResponse r;
   r.content_type = "text/html";
   r.body =
@@ -176,16 +324,14 @@ HttpResponse DemoService::HandleIndex(const HttpRequest&) const {
       "Demo</title></head><body>"
       "<h1>Comparing Alternative Route Planning Techniques</h1>"
       "<p>Pick a source and target inside the study area, then call "
-      "<code>/route?slat=&amp;slng=&amp;tlat=&amp;tlng=</code>. Four route "
+      "<code>/route?slat=&amp;slng=&amp;tlat=&amp;tlng=</code> (add "
+      "<code>&amp;city=</code> when several cities are served). Four route "
       "sets labelled A&ndash;D are returned; the identities of the "
       "approaches are masked to avoid bias. Rate each approach from 1 "
       "(worst) to 5 (best) via <code>/rate?a=&amp;b=&amp;c=&amp;d=&amp;"
       "resident=</code>.</p>"
-      "<p>Network: " +
-      pool_->network().name() + ", " +
-      std::to_string(pool_->network().num_nodes()) + " vertices, " +
-      std::to_string(pool_->network().num_edges()) +
-      " edges.</p></body></html>";
+      "<p>Served cities:</p><ul>" +
+      cities_html + "</ul></body></html>";
   return r;
 }
 

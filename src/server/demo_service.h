@@ -1,23 +1,33 @@
-// DemoService: wires the query-processor pool and rating store into HTTP
-// routes, forming the complete web demo backend of paper Sec. 3 / Figs. 2-3:
-//   GET /            - landing page (instructions, Fig. 2 stand-in)
-//   GET /route       - ?slat=&slng=&tlat=&tlng= -> masked A-D route sets
-//   GET /directions  - ?slat=&slng=&tlat=&tlng=&label=A..D -> turn-by-turn
-//   GET /rate        - ?a=&b=&c=&d=&resident=&comment= -> store a form
-//   GET /stats       - submission count + mean rating per masked label
-//   GET /metrics     - Prometheus text exposition of the process registry
+// DemoService: wires the network manager (per-city query-processor pools)
+// and rating store into HTTP routes, forming the complete web demo backend
+// of paper Sec. 3 / Figs. 2-3:
+//   GET  /              - landing page (instructions, Fig. 2 stand-in)
+//   GET  /route         - ?slat=&slng=&tlat=&tlng=[&city=] -> masked A-D sets
+//   GET  /directions    - ?slat=&slng=&tlat=&tlng=&label=A..D[&city=]
+//   GET  /rate          - ?a=&b=&c=&d=&resident=&comment= -> store a form
+//   GET  /stats         - submission count + mean rating per masked label
+//   GET  /metrics       - Prometheus text exposition of the process registry
+//   GET  /healthz       - liveness: 200 as long as the process serves
+//   GET  /readyz        - readiness: 200 iff every city has a valid snapshot
+//   POST /admin/reload  - [?city=] rebuild+validate+swap snapshot(s); a
+//                         failed reload keeps the old snapshot serving
 // /route additionally honours &trace=1, appending a "trace" member with the
 // query's span tree (wall times + per-engine search statistics).
 //
-// Handlers are thread-safe: each request checks a QueryProcessor context
-// out of the pool for its duration (the engines are per-context mutable
-// state; the network and index are shared, immutable). RatingStore is
-// internally synchronised.
+// Multi-city: query handlers take an optional `city` parameter. With exactly
+// one configured city it may be omitted; with several it is required (400).
+// Unknown cities answer 404.
+//
+// Handlers are thread-safe: each request copies the city's snapshot
+// (shared_ptr, so a concurrent reload swap never frees state under an
+// in-flight query) and checks a QueryProcessor context out of its pool for
+// the duration. RatingStore is internally synchronised.
 #pragma once
 
 #include <memory>
 
 #include "server/http_server.h"
+#include "server/network_manager.h"
 #include "server/query_processor.h"
 #include "server/query_processor_pool.h"
 #include "server/rating_store.h"
@@ -26,7 +36,14 @@ namespace altroute {
 
 class DemoService {
  public:
-  /// Concurrent serving: one checked-out context per in-flight query.
+  /// Full data plane: one snapshot (pool + index + weights) per city, hot
+  /// reload, readiness. The manager is shared so the CLI can also drive
+  /// reloads from signals.
+  explicit DemoService(std::shared_ptr<NetworkManager> manager);
+
+  /// Single-city convenience: adopts the pool as the only city, keyed by
+  /// the network's name. Reloading it requires a loader (see
+  /// NetworkManager::AddCity), so /admin/reload answers 503.
   explicit DemoService(std::unique_ptr<QueryProcessorPool> pool);
 
   /// Single-context convenience (tests, serial tools): wraps the processor
@@ -37,17 +54,25 @@ class DemoService {
   void Install(HttpServer* server);
 
   RatingStore& ratings() { return ratings_; }
-  QueryProcessorPool& pool() { return *pool_; }
+  NetworkManager& manager() { return *manager_; }
 
  private:
+  /// Picks the city for a query handler: explicit ?city=, or the single
+  /// configured city, or an error (400 with several cities, 404 unknown).
+  Result<std::shared_ptr<const NetworkSnapshot>> ResolveSnapshot(
+      const HttpRequest& req) const;
+
   HttpResponse HandleRoute(const HttpRequest& req);
   HttpResponse HandleDirections(const HttpRequest& req);
   HttpResponse HandleRate(const HttpRequest& req);
   HttpResponse HandleStats(const HttpRequest& req) const;
   HttpResponse HandleIndex(const HttpRequest& req) const;
   HttpResponse HandleMetrics(const HttpRequest& req) const;
+  HttpResponse HandleHealthz(const HttpRequest& req) const;
+  HttpResponse HandleReadyz(const HttpRequest& req) const;
+  HttpResponse HandleReload(const HttpRequest& req);
 
-  std::unique_ptr<QueryProcessorPool> pool_;
+  std::shared_ptr<NetworkManager> manager_;
   RatingStore ratings_;
 };
 

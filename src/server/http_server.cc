@@ -75,6 +75,7 @@ const char* ReasonPhrase(int status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 422: return "Unprocessable Content";
     case 431: return "Request Header Fields Too Large";
@@ -92,6 +93,7 @@ const char* ErrorCodeForHttpStatus(int status) {
   switch (status) {
     case 400: return "bad_request";
     case 404: return "not_found";
+    case 405: return "method_not_allowed";
     case 408: return "request_timeout";
     case 422: return "invalid_argument";
     case 431: return "headers_too_large";

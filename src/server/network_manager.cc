@@ -1,0 +1,213 @@
+#include "server/network_manager.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace altroute {
+
+namespace {
+
+/// Data-plane lifecycle instruments, registered once and cached.
+struct DataPlaneMetrics {
+  obs::CounterFamily& reloads;
+  obs::GaugeFamily& snapshot_age;
+  obs::CounterFamily& validation_failures;
+
+  static DataPlaneMetrics& Get() {
+    static DataPlaneMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new DataPlaneMetrics{
+          reg.GetCounterFamily(
+              "altroute_network_reloads_total",
+              "Network snapshot reload attempts by outcome "
+              "(success/failed).",
+              {"city", "outcome"}),
+          reg.GetGaugeFamily(
+              "altroute_network_snapshot_age_seconds",
+              "Seconds since the serving snapshot of this city was loaded.",
+              {"city"}),
+          reg.GetCounterFamily(
+              "altroute_network_validation_failures_total",
+              "GraphValidator checks that rejected a loaded network.",
+              {"city", "check"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::BuildSnapshot(
+    const std::string& city, const Loader& loader, uint64_t generation) const {
+  if (!loader) {
+    return Status::FailedPrecondition("city '" + city +
+                                      "' has no loader attached");
+  }
+  ALTROUTE_ASSIGN_OR_RETURN(std::shared_ptr<RoadNetwork> net, loader());
+  if (net == nullptr) {
+    return Status::Internal("loader for city '" + city +
+                            "' returned a null network");
+  }
+
+  const ValidationReport report = ValidateNetwork(*net, options_.validation);
+  if (!report.ok()) {
+    for (const ValidationIssue& issue : report.issues) {
+      DataPlaneMetrics::Get()
+          .validation_failures.WithLabels({city, issue.check})
+          .Increment();
+      ALTROUTE_LOG(Warning) << "validation of city '" << city << "' failed ["
+                         << issue.check << "]: " << issue.message;
+    }
+    return report.ToStatus();
+  }
+
+  ALTROUTE_ASSIGN_OR_RETURN(
+      QueryProcessorPool pool,
+      QueryProcessorPool::Create(net, options_.contexts_per_city));
+  auto snapshot = std::make_shared<NetworkSnapshot>();
+  snapshot->pool = std::make_shared<QueryProcessorPool>(std::move(pool));
+  snapshot->generation = generation;
+  snapshot->loaded_at = std::chrono::steady_clock::now();
+  return std::shared_ptr<const NetworkSnapshot>(std::move(snapshot));
+}
+
+Status NetworkManager::AddCity(const std::string& city, Loader loader) {
+  if (city.empty()) return Status::InvalidArgument("empty city key");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(city) > 0) {
+      return Status::InvalidArgument("city '" + city + "' already registered");
+    }
+  }
+  // The initial build runs outside mu_ (it is slow); the entry is only
+  // published once it has a valid snapshot, so GetSnapshot never observes a
+  // half-added city.
+  ALTROUTE_ASSIGN_OR_RETURN(std::shared_ptr<const NetworkSnapshot> snapshot,
+                            BuildSnapshot(city, loader, /*generation=*/1));
+  auto entry = std::make_unique<Entry>();
+  entry->loader = std::move(loader);
+  entry->snapshot = snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.emplace(city, std::move(entry)).second) {
+    return Status::InvalidArgument("city '" + city + "' already registered");
+  }
+  DataPlaneMetrics::Get().snapshot_age.WithLabels({city}).Set(0.0);
+  ALTROUTE_LOG(Info) << "city '" << city << "' loaded: "
+                     << snapshot->network().num_nodes() << " nodes, "
+                     << snapshot->network().num_edges() << " edges";
+  return Status::OK();
+}
+
+Status NetworkManager::AddCityWithPool(
+    const std::string& city, std::shared_ptr<QueryProcessorPool> pool) {
+  if (city.empty()) return Status::InvalidArgument("empty city key");
+  if (pool == nullptr) return Status::InvalidArgument("null pool");
+  auto snapshot = std::make_shared<NetworkSnapshot>();
+  snapshot->pool = std::move(pool);
+  snapshot->generation = 1;
+  snapshot->loaded_at = std::chrono::steady_clock::now();
+  auto entry = std::make_unique<Entry>();
+  entry->snapshot = std::move(snapshot);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.emplace(city, std::move(entry)).second) {
+    return Status::InvalidArgument("city '" + city + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::GetSnapshot(
+    const std::string& city) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(city);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown city '" + city + "'");
+  }
+  if (it->second->snapshot == nullptr) {
+    return Status::FailedPrecondition("city '" + city +
+                                      "' has no valid snapshot");
+  }
+  return it->second->snapshot;
+}
+
+Status NetworkManager::Reload(const std::string& city) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(city);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown city '" + city + "'");
+    }
+    entry = it->second.get();
+  }
+  // entries_ never shrinks, so `entry` stays valid after mu_ is dropped.
+  // reload_mu serialises concurrent reloads of this city; the expensive
+  // rebuild runs without mu_, so serving threads are never blocked.
+  std::lock_guard<std::mutex> reload_lock(entry->reload_mu);
+  uint64_t next_generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_generation =
+        entry->snapshot == nullptr ? 1 : entry->snapshot->generation + 1;
+  }
+  auto rebuilt = BuildSnapshot(city, entry->loader, next_generation);
+  if (!rebuilt.ok()) {
+    DataPlaneMetrics::Get().reloads.WithLabels({city, "failed"}).Increment();
+    ALTROUTE_LOG(Warning) << "reload of city '" << city
+                       << "' failed, old snapshot keeps serving: "
+                       << rebuilt.status();
+    return rebuilt.status();
+  }
+  std::shared_ptr<const NetworkSnapshot> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = entry->snapshot;  // keep alive past the lock: dtor can be slow
+    entry->snapshot = std::move(rebuilt).ValueOrDie();
+  }
+  DataPlaneMetrics::Get().reloads.WithLabels({city, "success"}).Increment();
+  DataPlaneMetrics::Get().snapshot_age.WithLabels({city}).Set(0.0);
+  ALTROUTE_LOG(Info) << "city '" << city << "' swapped to generation "
+                     << next_generation;
+  return Status::OK();
+}
+
+std::map<std::string, Status> NetworkManager::ReloadAll() {
+  std::map<std::string, Status> outcomes;
+  for (const std::string& city : cities()) {
+    outcomes.emplace(city, Reload(city));
+  }
+  return outcomes;
+}
+
+std::vector<std::string> NetworkManager::cities() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [city, entry] : entries_) keys.push_back(city);
+  return keys;
+}
+
+bool NetworkManager::Ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return false;
+  for (const auto& [city, entry] : entries_) {
+    if (entry->snapshot == nullptr) return false;
+  }
+  return true;
+}
+
+size_t NetworkManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void NetworkManager::RefreshGauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [city, entry] : entries_) {
+    if (entry->snapshot == nullptr) continue;
+    DataPlaneMetrics::Get().snapshot_age.WithLabels({city}).Set(
+        entry->snapshot->age_seconds());
+  }
+}
+
+}  // namespace altroute

@@ -1,0 +1,131 @@
+// NetworkManager: the serving data plane. Owns an atomic last-known-good
+// snapshot per city — the immutable RoadNetwork plus everything derived from
+// it (spatial snapping index, display weights, per-worker engine contexts,
+// all inside a QueryProcessorPool) — and the machinery to replace a snapshot
+// without dropping traffic:
+//
+//   AddCity(city, loader)   load -> validate (GraphValidator) -> build pool
+//   GetSnapshot(city)       lock-cheap shared_ptr copy; handlers hold it for
+//                           the request, so a concurrent swap never frees a
+//                           network out from under an in-flight query
+//   Reload(city)            re-runs the loader OFF the serving path (on the
+//                           caller's thread), validates, then atomically
+//                           swaps; ANY failure leaves the old snapshot
+//                           serving and is reported, never a crash or a gap
+//
+// Lifecycle metrics: altroute_network_reloads_total{city,outcome},
+// altroute_network_snapshot_age_seconds{city} (refreshed on scrape via
+// RefreshGauges), altroute_network_validation_failures_total{city,check}.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/validator.h"
+#include "server/query_processor_pool.h"
+#include "util/result.h"
+
+namespace altroute {
+
+/// One immutable, validated generation of a city's serving state. Handlers
+/// copy the shared_ptr (GetSnapshot) and keep it for the whole request; the
+/// previous generation is destroyed only when its last in-flight request
+/// finishes.
+struct NetworkSnapshot {
+  std::shared_ptr<QueryProcessorPool> pool;
+  /// 1 for the startup load, incremented by every successful reload.
+  uint64_t generation = 0;
+  std::chrono::steady_clock::time_point loaded_at;
+
+  const RoadNetwork& network() const { return pool->network(); }
+  double age_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         loaded_at)
+        .count();
+  }
+};
+
+class NetworkManager {
+ public:
+  struct Options {
+    /// Query contexts per city (one per HTTP worker in `serve`).
+    size_t contexts_per_city = 1;
+    /// Gate applied to every load and reload.
+    ValidationOptions validation;
+  };
+
+  /// Produces a fresh RoadNetwork — from a file, a citygen spec, whatever.
+  /// Re-invoked on every reload, so a file-backed loader re-reads the file.
+  using Loader =
+      std::function<Result<std::shared_ptr<RoadNetwork>>()>;
+
+  // Two constructors instead of one defaulted argument: GCC rejects `= {}`
+  // for a nested aggregate with default member initializers here.
+  NetworkManager() : NetworkManager(Options()) {}
+  explicit NetworkManager(Options options) : options_(options) {}
+
+  NetworkManager(const NetworkManager&) = delete;
+  NetworkManager& operator=(const NetworkManager&) = delete;
+
+  /// Registers `city` and performs the initial load+validate+build. On
+  /// failure the city is not added (startup should abort; there is no old
+  /// snapshot to fall back on). City keys are case-sensitive and unique.
+  Status AddCity(const std::string& city, Loader loader);
+
+  /// Adopts a prebuilt pool as `city`'s snapshot (tests, single-network
+  /// tools). Without a loader, Reload returns FailedPrecondition.
+  Status AddCityWithPool(const std::string& city,
+                         std::shared_ptr<QueryProcessorPool> pool);
+
+  /// The city's current snapshot; NotFound for unknown cities. Cheap: one
+  /// mutex-guarded shared_ptr copy.
+  Result<std::shared_ptr<const NetworkSnapshot>> GetSnapshot(
+      const std::string& city) const;
+
+  /// Rebuilds `city` from its loader on the calling thread, validates, and
+  /// atomically swaps the snapshot. On any failure (load error, validation
+  /// reject, pool build error) the old snapshot keeps serving and the error
+  /// is returned. Concurrent reloads of the same city serialise; reloads of
+  /// different cities proceed in parallel; serving is never blocked.
+  Status Reload(const std::string& city);
+
+  /// Reloads every city (SIGHUP semantics); per-city outcomes.
+  std::map<std::string, Status> ReloadAll();
+
+  /// Registered city keys, sorted.
+  std::vector<std::string> cities() const;
+
+  /// True when every registered city has a valid snapshot — the /readyz
+  /// contract.
+  bool Ready() const;
+
+  size_t size() const;
+
+  /// Updates altroute_network_snapshot_age_seconds{city} from the current
+  /// snapshots; call before rendering /metrics.
+  void RefreshGauges() const;
+
+ private:
+  struct Entry {
+    Loader loader;  // may be empty (AddCityWithPool)
+    /// Serialises reloads of this city (held across the whole rebuild, which
+    /// runs outside mu_ so serving threads never wait on it).
+    std::mutex reload_mu;
+    std::shared_ptr<const NetworkSnapshot> snapshot;  // guarded by mu_
+  };
+
+  /// load -> validate -> pool; counts validation failures per check.
+  Result<std::shared_ptr<const NetworkSnapshot>> BuildSnapshot(
+      const std::string& city, const Loader& loader, uint64_t generation) const;
+
+  Options options_;
+  mutable std::mutex mu_;  // guards entries_ map shape + snapshot pointers
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace altroute

@@ -85,5 +85,74 @@ TEST(SerializationTest, MissingFileIsIOError) {
                   .IsIOError());
 }
 
+// --- Hostile-input defenses: length prefixes must be rejected before any
+// allocation, so a tiny forged file can never demand gigabytes. ---
+
+namespace hostile {
+
+void Append32(std::string* s, uint32_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void Append64(std::string* s, uint64_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// "ALTR" magic + version 1 + empty name: the smallest prefix that reaches
+/// the first vector length field.
+std::string ValidHeader() {
+  std::string bytes = "ALTR";
+  Append32(&bytes, 1);  // version
+  Append32(&bytes, 0);  // name length
+  return bytes;
+}
+
+}  // namespace hostile
+
+TEST(SerializationTest, ForgedHugeVectorLengthRejectedBeforeAllocation) {
+  // A 20-byte file claiming 2^40 coordinate entries (16 TiB). The length
+  // must be refused outright — resizing first would OOM the process.
+  std::string bytes = hostile::ValidHeader();
+  hostile::Append64(&bytes, 1ull << 40);
+  std::stringstream in(bytes);
+  const Status st = NetworkSerializer::Load(in).status();
+  EXPECT_TRUE(st.IsCorruption()) << st;
+  EXPECT_NE(st.message().find("cap"), std::string::npos) << st;
+}
+
+TEST(SerializationTest, VectorLengthBeyondInputSizeRejected) {
+  // Under the hard cap but far beyond the bytes actually present: the
+  // remaining-input check must fire before the allocation.
+  std::string bytes = hostile::ValidHeader();
+  hostile::Append64(&bytes, 100'000'000);  // ~1.6 GB of coords, 0 bytes follow
+  std::stringstream in(bytes);
+  const Status st = NetworkSerializer::Load(in).status();
+  EXPECT_TRUE(st.IsCorruption()) << st;
+  EXPECT_NE(st.message().find("remain"), std::string::npos) << st;
+}
+
+TEST(SerializationTest, ForgedStringLengthRejected) {
+  std::string bytes = "ALTR";
+  hostile::Append32(&bytes, 1);           // version
+  hostile::Append32(&bytes, 0xFFFFFFFFu); // 4 GiB name
+  std::stringstream in(bytes);
+  const Status st = NetworkSerializer::Load(in).status();
+  EXPECT_TRUE(st.IsCorruption()) << st;
+}
+
+TEST(SerializationTest, TruncatedAfterVersionRejected) {
+  std::string bytes = "ALTR";
+  hostile::Append32(&bytes, 1);
+  std::stringstream in(bytes);
+  EXPECT_TRUE(NetworkSerializer::Load(in).status().IsCorruption());
+}
+
+TEST(SerializationTest, CorruptionMessagesNameTheField) {
+  std::string bytes = hostile::ValidHeader();
+  hostile::Append64(&bytes, 1ull << 40);
+  std::stringstream in(bytes);
+  const Status st = NetworkSerializer::Load(in).status();
+  EXPECT_NE(st.message().find("coords"), std::string::npos) << st;
+}
+
 }  // namespace
 }  // namespace altroute

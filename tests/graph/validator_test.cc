@@ -1,0 +1,173 @@
+#include "graph/validator.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "citygen/city_generator.h"
+#include "graph/graph_builder.h"
+
+namespace altroute {
+namespace {
+
+bool HasCheck(const ValidationReport& report, const std::string& check) {
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.check == check) return true;
+  }
+  return false;
+}
+
+TEST(GraphValidatorTest, GridNetworkPasses) {
+  auto net = testutil::GridNetwork(5, 5);
+  const ValidationReport report = ValidateNetwork(*net);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.num_nodes, net->num_nodes());
+  EXPECT_EQ(report.num_edges, net->num_edges());
+  EXPECT_DOUBLE_EQ(report.largest_component_fraction, 1.0);
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(GraphValidatorTest, CitygenNetworkPasses) {
+  auto net_or = citygen::BuildCityNetwork(
+      citygen::Scaled(citygen::MelbourneSpec(), 0.15));
+  ASSERT_TRUE(net_or.ok()) << net_or.status();
+  const ValidationReport report = ValidateNetwork(**net_or);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // Constructors keep only the largest SCC, so the graph is fully connected.
+  EXPECT_DOUBLE_EQ(report.largest_component_fraction, 1.0);
+}
+
+TEST(GraphValidatorTest, EmptyNetworkFails) {
+  GraphBuilder builder("empty");
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const ValidationReport report = ValidateNetwork(*net);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCheck(report, "empty"));
+  EXPECT_TRUE(report.ToStatus().IsCorruption());
+}
+
+TEST(GraphValidatorTest, EmptyNetworkAllowedWhenOptedIn) {
+  GraphBuilder builder("empty");
+  auto net = std::move(builder.Build()).ValueOrDie();
+  ValidationOptions options;
+  options.allow_empty = true;
+  EXPECT_TRUE(ValidateNetwork(*net, options).ok());
+}
+
+TEST(GraphValidatorTest, NonFiniteTravelTimeFails) {
+  auto net = testutil::GridNetwork(3, 3);
+  RoadNetworkTestPeer::travel_times(*net)[2] =
+      std::numeric_limits<double>::quiet_NaN();
+  const ValidationReport report = ValidateNetwork(*net);
+  ASSERT_TRUE(HasCheck(report, "edge_weights")) << report.ToString();
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.check == "edge_weights") {
+      EXPECT_EQ(issue.count, 1u);
+    }
+  }
+}
+
+TEST(GraphValidatorTest, NegativeLengthFails) {
+  auto net = testutil::GridNetwork(3, 3);
+  RoadNetworkTestPeer::lengths(*net)[0] = -12.0;
+  RoadNetworkTestPeer::lengths(*net)[1] =
+      std::numeric_limits<double>::infinity();
+  const ValidationReport report = ValidateNetwork(*net);
+  ASSERT_TRUE(HasCheck(report, "edge_weights"));
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.check == "edge_weights") {
+      EXPECT_EQ(issue.count, 2u);
+    }
+  }
+}
+
+TEST(GraphValidatorTest, OutOfRangeCoordinateFails) {
+  auto net = testutil::GridNetwork(3, 3);
+  RoadNetworkTestPeer::coords(*net)[4] = LatLng(123.0, 0.0);  // lat > 90
+  const ValidationReport report = ValidateNetwork(*net);
+  EXPECT_TRUE(HasCheck(report, "coordinates")) << report.ToString();
+}
+
+TEST(GraphValidatorTest, NonFiniteCoordinateFails) {
+  auto net = testutil::GridNetwork(3, 3);
+  RoadNetworkTestPeer::coords(*net)[0] =
+      LatLng(std::numeric_limits<double>::quiet_NaN(), 10.0);
+  EXPECT_TRUE(HasCheck(ValidateNetwork(*net), "coordinates"));
+}
+
+TEST(GraphValidatorTest, DanglingEndpointFailsAndSkipsConnectivity) {
+  auto net = testutil::GridNetwork(3, 3);
+  RoadNetworkTestPeer::heads(*net)[3] = 999;  // beyond the 9 nodes
+  const ValidationReport report = ValidateNetwork(*net);
+  EXPECT_TRUE(HasCheck(report, "dangling_endpoints")) << report.ToString();
+  // The SCC pass must not run over a structurally broken graph.
+  EXPECT_EQ(report.num_components, 0u);
+}
+
+TEST(GraphValidatorTest, AdjacencyMismatchFails) {
+  auto net = testutil::GridNetwork(3, 3);
+  // Re-point an edge's tail without touching the CSR: the forward adjacency
+  // now lists an edge under a node that is no longer its tail.
+  RoadNetworkTestPeer::tails(*net)[0] = 5;
+  EXPECT_TRUE(HasCheck(ValidateNetwork(*net), "adjacency"));
+}
+
+TEST(GraphValidatorTest, DisconnectedNetworkFailsDefaultThreshold) {
+  // A one-way chain has only singleton SCCs: fraction 1/4 < 0.5.
+  GraphBuilder builder("oneway-chain");
+  for (int i = 0; i < 4; ++i) {
+    builder.AddNode(LatLng(0.0, 0.001 * i));
+  }
+  for (NodeId i = 0; i + 1 < 4; ++i) {
+    builder.AddEdge(i, i + 1, 100.0, 10.0);
+  }
+  auto net = std::move(builder.Build()).ValueOrDie();
+  const ValidationReport report = ValidateNetwork(*net);
+  ASSERT_TRUE(HasCheck(report, "connectivity")) << report.ToString();
+  EXPECT_GT(report.num_components, 1u);
+}
+
+TEST(GraphValidatorTest, ConnectivityThresholdIsConfigurable) {
+  // Two strongly connected islands of 2 and 3 nodes: fraction 0.6.
+  GraphBuilder builder("islands");
+  for (int i = 0; i < 5; ++i) builder.AddNode(LatLng(0.0, 0.001 * i));
+  builder.AddBidirectionalEdge(0, 1, 100.0, 10.0);
+  builder.AddBidirectionalEdge(2, 3, 100.0, 10.0);
+  builder.AddBidirectionalEdge(3, 4, 100.0, 10.0);
+  auto net = std::move(builder.Build()).ValueOrDie();
+
+  ValidationOptions lenient;
+  lenient.min_largest_scc_fraction = 0.5;
+  EXPECT_TRUE(ValidateNetwork(*net, lenient).ok());
+
+  ValidationOptions strict;
+  strict.min_largest_scc_fraction = 0.9;
+  const ValidationReport report = ValidateNetwork(*net, strict);
+  ASSERT_TRUE(HasCheck(report, "connectivity"));
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.check == "connectivity") {
+      EXPECT_EQ(issue.count, 2u);
+    }
+  }
+}
+
+TEST(GraphValidatorTest, ReportNamesEveryFailedCheck) {
+  auto net = testutil::GridNetwork(3, 3);
+  RoadNetworkTestPeer::travel_times(*net)[0] = -1.0;
+  RoadNetworkTestPeer::coords(*net)[0] = LatLng(0.0, 999.0);
+  const ValidationReport report = ValidateNetwork(*net);
+  EXPECT_TRUE(HasCheck(report, "edge_weights"));
+  EXPECT_TRUE(HasCheck(report, "coordinates"));
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("INVALID"), std::string::npos);
+  EXPECT_NE(text.find("edge_weights"), std::string::npos);
+  EXPECT_NE(text.find("coordinates"), std::string::npos);
+  const Status st = report.ToStatus();
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("edge_weights"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,213 @@
+#include "server/network_manager.h"
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "obs/metrics.h"
+
+namespace altroute {
+namespace {
+
+NetworkManager::Loader GridLoader(int rows = 4, int cols = 4) {
+  return [rows, cols]() -> Result<std::shared_ptr<RoadNetwork>> {
+    return std::shared_ptr<RoadNetwork>(testutil::GridNetwork(rows, cols));
+  };
+}
+
+NetworkManager::Loader BrokenLoader() {
+  return []() -> Result<std::shared_ptr<RoadNetwork>> {
+    auto net = testutil::GridNetwork(3, 3);
+    RoadNetworkTestPeer::travel_times(*net)[0] =
+        std::numeric_limits<double>::quiet_NaN();
+    return std::shared_ptr<RoadNetwork>(std::move(net));
+  };
+}
+
+/// Current value of a labeled child counter; 0 when not yet materialised.
+/// Global metrics accumulate across tests, so assertions compare deltas.
+uint64_t CounterValue(const std::string& family,
+                      const std::vector<std::string>& labels) {
+  const obs::CounterFamily* fam =
+      obs::MetricsRegistry::Global().FindCounterFamily(family);
+  if (fam == nullptr) return 0;
+  for (const auto& [values, counter] : fam->Children()) {
+    if (values == labels) return counter->Value();
+  }
+  return 0;
+}
+
+TEST(NetworkManagerTest, AddCityLoadsValidatesAndServes) {
+  NetworkManager manager;
+  EXPECT_FALSE(manager.Ready());  // nothing registered yet
+  ASSERT_TRUE(manager.AddCity("gridtown", GridLoader()).ok());
+
+  auto snapshot = manager.GetSnapshot("gridtown");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ((*snapshot)->generation, 1u);
+  EXPECT_EQ((*snapshot)->network().num_nodes(), 16u);
+  EXPECT_GE((*snapshot)->age_seconds(), 0.0);
+  EXPECT_TRUE(manager.Ready());
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_EQ(manager.cities(), std::vector<std::string>{"gridtown"});
+}
+
+TEST(NetworkManagerTest, AddCityRejectsInvalidNetwork) {
+  const uint64_t before = CounterValue(
+      "altroute_network_validation_failures_total", {"nm_bad", "edge_weights"});
+  NetworkManager manager;
+  const Status st = manager.AddCity("nm_bad", BrokenLoader());
+  EXPECT_TRUE(st.IsCorruption()) << st;
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_TRUE(manager.GetSnapshot("nm_bad").status().IsNotFound());
+  EXPECT_EQ(CounterValue("altroute_network_validation_failures_total",
+                         {"nm_bad", "edge_weights"}),
+            before + 1);
+}
+
+TEST(NetworkManagerTest, AddCityRejectsDuplicatesAndEmptyKeys) {
+  NetworkManager manager;
+  ASSERT_TRUE(manager.AddCity("twice", GridLoader()).ok());
+  EXPECT_TRUE(manager.AddCity("twice", GridLoader()).IsInvalidArgument());
+  EXPECT_TRUE(manager.AddCity("", GridLoader()).IsInvalidArgument());
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+TEST(NetworkManagerTest, GetSnapshotUnknownCityIsNotFound) {
+  NetworkManager manager;
+  ASSERT_TRUE(manager.AddCity("real", GridLoader()).ok());
+  EXPECT_TRUE(manager.GetSnapshot("imaginary").status().IsNotFound());
+}
+
+TEST(NetworkManagerTest, ReloadSwapsSnapshotAndBumpsGeneration) {
+  const uint64_t before =
+      CounterValue("altroute_network_reloads_total", {"nm_swap", "success"});
+  // The loader alternates sizes so the swap is observable in the network.
+  auto calls = std::make_shared<int>(0);
+  NetworkManager manager;
+  ASSERT_TRUE(manager
+                  .AddCity("nm_swap",
+                           [calls]() -> Result<std::shared_ptr<RoadNetwork>> {
+                             ++*calls;
+                             const int rows = (*calls % 2 == 1) ? 3 : 5;
+                             return std::shared_ptr<RoadNetwork>(
+                                 testutil::GridNetwork(rows, rows));
+                           })
+                  .ok());
+  auto old_snapshot = *manager.GetSnapshot("nm_swap");
+  EXPECT_EQ(old_snapshot->network().num_nodes(), 9u);
+
+  ASSERT_TRUE(manager.Reload("nm_swap").ok());
+  auto fresh = *manager.GetSnapshot("nm_swap");
+  EXPECT_EQ(fresh->generation, 2u);
+  EXPECT_EQ(fresh->network().num_nodes(), 25u);
+  EXPECT_EQ(*calls, 2);
+  EXPECT_EQ(CounterValue("altroute_network_reloads_total",
+                         {"nm_swap", "success"}),
+            before + 1);
+  // The old generation stays fully usable while anyone still holds it —
+  // that is what makes the swap safe for in-flight requests.
+  EXPECT_EQ(old_snapshot->generation, 1u);
+  EXPECT_EQ(old_snapshot->network().num_nodes(), 9u);
+  auto lease = old_snapshot->pool->Acquire();
+  EXPECT_EQ((*lease).network().num_nodes(), 9u);
+}
+
+TEST(NetworkManagerTest, FailedReloadKeepsOldSnapshotServing) {
+  const uint64_t before =
+      CounterValue("altroute_network_reloads_total", {"nm_fail", "failed"});
+  auto calls = std::make_shared<int>(0);
+  NetworkManager manager;
+  ASSERT_TRUE(manager
+                  .AddCity("nm_fail",
+                           [calls]() -> Result<std::shared_ptr<RoadNetwork>> {
+                             if (++*calls > 1) {
+                               return Status::IOError("disk went away");
+                             }
+                             return std::shared_ptr<RoadNetwork>(
+                                 testutil::GridNetwork(4, 4));
+                           })
+                  .ok());
+
+  const Status st = manager.Reload("nm_fail");
+  EXPECT_TRUE(st.IsIOError()) << st;
+  auto snapshot = manager.GetSnapshot("nm_fail");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->generation, 1u);  // old snapshot, untouched
+  EXPECT_TRUE(manager.Ready());
+  EXPECT_EQ(CounterValue("altroute_network_reloads_total",
+                         {"nm_fail", "failed"}),
+            before + 1);
+}
+
+TEST(NetworkManagerTest, ValidationRejectedReloadKeepsOldSnapshot) {
+  auto calls = std::make_shared<int>(0);
+  NetworkManager manager;
+  ASSERT_TRUE(manager
+                  .AddCity("nm_corrupt",
+                           [calls]() -> Result<std::shared_ptr<RoadNetwork>> {
+                             if (++*calls > 1) return BrokenLoader()();
+                             return std::shared_ptr<RoadNetwork>(
+                                 testutil::GridNetwork(4, 4));
+                           })
+                  .ok());
+  EXPECT_TRUE(manager.Reload("nm_corrupt").IsCorruption());
+  auto snapshot = manager.GetSnapshot("nm_corrupt");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->generation, 1u);
+  EXPECT_TRUE(manager.Ready());
+}
+
+TEST(NetworkManagerTest, ReloadUnknownCityIsNotFound) {
+  NetworkManager manager;
+  EXPECT_TRUE(manager.Reload("nowhere").IsNotFound());
+}
+
+TEST(NetworkManagerTest, AddCityWithPoolServesButCannotReload) {
+  auto net = testutil::GridNetwork(3, 3);
+  auto pool_or = QueryProcessorPool::Create(net, 1);
+  ASSERT_TRUE(pool_or.ok()) << pool_or.status();
+  NetworkManager manager;
+  ASSERT_TRUE(manager
+                  .AddCityWithPool("adopted",
+                                   std::make_shared<QueryProcessorPool>(
+                                       std::move(pool_or).ValueOrDie()))
+                  .ok());
+  EXPECT_TRUE(manager.GetSnapshot("adopted").ok());
+  EXPECT_TRUE(manager.Ready());
+  EXPECT_TRUE(manager.Reload("adopted").IsFailedPrecondition());
+}
+
+TEST(NetworkManagerTest, ReloadAllReportsPerCityOutcomes) {
+  auto calls = std::make_shared<int>(0);
+  NetworkManager manager;
+  ASSERT_TRUE(manager.AddCity("ra_good", GridLoader()).ok());
+  ASSERT_TRUE(manager
+                  .AddCity("ra_flaky",
+                           [calls]() -> Result<std::shared_ptr<RoadNetwork>> {
+                             if (++*calls > 1) {
+                               return Status::IOError("gone");
+                             }
+                             return std::shared_ptr<RoadNetwork>(
+                                 testutil::GridNetwork(3, 3));
+                           })
+                  .ok());
+  const std::map<std::string, Status> outcomes = manager.ReloadAll();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes.at("ra_good").ok());
+  EXPECT_TRUE(outcomes.at("ra_flaky").IsIOError());
+  EXPECT_TRUE(manager.Ready());  // the failed city still has generation 1
+}
+
+TEST(NetworkManagerTest, ContextsPerCityOptionSizesThePool) {
+  NetworkManager::Options options;
+  options.contexts_per_city = 3;
+  NetworkManager manager(options);
+  ASSERT_TRUE(manager.AddCity("pooled", GridLoader()).ok());
+  EXPECT_EQ((*manager.GetSnapshot("pooled"))->pool->size(), 3u);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -12,6 +12,21 @@
 #include "util/random.h"
 
 namespace altroute {
+
+/// Test-only mutable access to RoadNetwork internals: validator and
+/// serializer tests need networks that the public builders (correctly)
+/// refuse to construct — NaN weights, out-of-range coordinates, dangling
+/// endpoints. Befriended by RoadNetwork; never used outside tests.
+struct RoadNetworkTestPeer {
+  static std::vector<double>& travel_times(RoadNetwork& net) {
+    return net.travel_time_s_;
+  }
+  static std::vector<double>& lengths(RoadNetwork& net) { return net.length_m_; }
+  static std::vector<LatLng>& coords(RoadNetwork& net) { return net.coords_; }
+  static std::vector<NodeId>& tails(RoadNetwork& net) { return net.tail_; }
+  static std::vector<NodeId>& heads(RoadNetwork& net) { return net.head_; }
+};
+
 namespace testutil {
 
 /// A directed chain 0 -> 1 -> ... -> n-1 (and back), every hop `hop_s`

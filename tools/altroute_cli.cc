@@ -6,7 +6,9 @@
 //   altroute_cli route --city melbourne --from 12 --to 3402 --engine plateau
 //   altroute_cli route --net melbourne.bin --from 12 --to 3402 --geojson
 //   altroute_cli study --city dhaka --seed 7 --csv responses.csv
-//   altroute_cli serve --city melbourne --port 8080 --threads 8
+//   altroute_cli validate --net melbourne.bin
+//   altroute_cli serve --city melbourne --city dhaka --port 8080 --threads 8
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,6 +20,8 @@
 #include "core/engine_registry.h"
 #include "core/quality.h"
 #include "graph/serialization.h"
+#include "graph/validator.h"
+#include "server/network_manager.h"
 #include "obs/search_stats.h"
 #include "server/demo_service.h"
 #include "server/directions.h"
@@ -31,10 +35,13 @@
 namespace altroute {
 namespace {
 
-/// Minimal flag parser: positional args plus --key value pairs.
+/// Minimal flag parser: positional args plus --key value pairs. Repeated
+/// flags keep every occurrence in order (`flag_list`, for multi-city serve);
+/// the `flags` map keeps the last occurrence for single-valued lookups.
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
+  std::vector<std::pair<std::string, std::string>> flag_list;
 
   static Args Parse(int argc, char** argv) {
     Args args;
@@ -42,11 +49,12 @@ struct Args {
       std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
         const std::string key = a.substr(2);
+        std::string value = "true";
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          args.flags[key] = argv[++i];
-        } else {
-          args.flags[key] = "true";
+          value = argv[++i];
         }
+        args.flags[key] = value;
+        args.flag_list.emplace_back(key, std::move(value));
       } else {
         args.positional.push_back(std::move(a));
       }
@@ -57,6 +65,14 @@ struct Args {
   std::string Get(const std::string& key, const std::string& fallback = "") const {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
+  }
+  /// Every value the flag was given, in command-line order.
+  std::vector<std::string> GetAll(const std::string& key) const {
+    std::vector<std::string> values;
+    for (const auto& [k, v] : flag_list) {
+      if (k == key) values.push_back(v);
+    }
+    return values;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
@@ -101,8 +117,15 @@ Commands:
   study
       --city NAME --scale S --seed N
       [--csv FILE] [--report FILE.md]                  run the user study
+  validate
+      --net FILE | --city NAME [--scale S]             run GraphValidator and
+                                                       print the report (exit
+                                                       nonzero on failure)
   serve
-      --city NAME --scale S [--port P]                 web demo backend
+      --city NAME [--city NAME ...] --scale S          web demo backend; each
+      [--net FILE ...] [--port P]                      --city/--net adds a
+                                                       served network (route
+                                                       with /route?city=...)
       [--threads N]                                    worker pool size
                                                        (default: hardware
                                                        concurrency; metrics
@@ -114,6 +137,12 @@ Commands:
       [--ratings-file FILE]                            persist submissions as
                                                        append-only JSONL,
                                                        replayed on restart
+                                                       health at /healthz,
+                                                       readiness at /readyz;
+                                                       POST /admin/reload or
+                                                       SIGHUP swaps snapshots
+                                                       without dropping
+                                                       traffic
 
 Global options:
   --log-level <debug|info|warn|error>                  log verbosity (default info)
@@ -121,25 +150,32 @@ Global options:
   return 2;
 }
 
+/// Loads a serialized network from `path`, naming the path and the failure
+/// kind (I/O vs. corruption) in one line instead of a bare Status.
+Result<std::shared_ptr<RoadNetwork>> LoadNetworkFile(const std::string& path) {
+  auto net = NetworkSerializer::LoadFromFile(path);
+  if (!net.ok()) {
+    const char* kind = net.status().IsIOError() ? "I/O error" : "corrupt file";
+    return Status(net.status().code(), "cannot load network from '" + path +
+                                           "' (" + kind + "): " +
+                                           net.status().message());
+  }
+  return net;
+}
+
+Result<citygen::CitySpec> SpecForCity(const std::string& city) {
+  if (city == "dhaka") return citygen::DhakaSpec();
+  if (city == "copenhagen") return citygen::CopenhagenSpec();
+  if (city == "melbourne") return citygen::MelbourneSpec();
+  return Status::InvalidArgument("unknown city: " + city);
+}
+
 Result<std::shared_ptr<RoadNetwork>> LoadNetwork(const Args& args,
                                                  double default_scale) {
   const std::string net_file = args.Get("net");
-  if (!net_file.empty()) {
-    ALTROUTE_ASSIGN_OR_RETURN(std::shared_ptr<RoadNetwork> net,
-                              NetworkSerializer::LoadFromFile(net_file));
-    return net;
-  }
+  if (!net_file.empty()) return LoadNetworkFile(net_file);
   const std::string city = args.Get("city", "melbourne");
-  citygen::CitySpec spec;
-  if (city == "dhaka") {
-    spec = citygen::DhakaSpec();
-  } else if (city == "copenhagen") {
-    spec = citygen::CopenhagenSpec();
-  } else if (city == "melbourne") {
-    spec = citygen::MelbourneSpec();
-  } else {
-    return Status::InvalidArgument("unknown city: " + city);
-  }
+  ALTROUTE_ASSIGN_OR_RETURN(citygen::CitySpec spec, SpecForCity(city));
   spec = citygen::Scaled(spec, args.GetDouble("scale", default_scale));
   if (args.flags.count("seed")) {
     spec.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
@@ -148,6 +184,41 @@ Result<std::shared_ptr<RoadNetwork>> LoadNetwork(const Args& args,
                       << ", scale " << args.GetDouble("scale", default_scale)
                       << ")";
   return citygen::BuildCityNetwork(spec);
+}
+
+/// City key for a serialized network file: the basename without extension,
+/// lowercased ("nets/Melbourne.bin" -> "melbourne").
+std::string CityKeyForFile(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return ToLower(base.empty() ? path : base);
+}
+
+/// The serve data-plane sources requested on the command line: every
+/// repeated --city (citygen, honouring --scale/--seed) and --net (file).
+/// Defaults to citygen melbourne when neither flag is given.
+Result<std::vector<std::pair<std::string, NetworkManager::Loader>>>
+ServeSources(const Args& args, double default_scale) {
+  std::vector<std::pair<std::string, NetworkManager::Loader>> sources;
+  std::vector<std::string> cities = args.GetAll("city");
+  const std::vector<std::string> files = args.GetAll("net");
+  if (cities.empty() && files.empty()) cities.push_back("melbourne");
+  for (const std::string& city : cities) {
+    ALTROUTE_ASSIGN_OR_RETURN(citygen::CitySpec spec, SpecForCity(city));
+    spec = citygen::Scaled(spec, args.GetDouble("scale", default_scale));
+    if (args.flags.count("seed")) {
+      spec.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+    }
+    sources.emplace_back(city,
+                         [spec] { return citygen::BuildCityNetwork(spec); });
+  }
+  for (const std::string& file : files) {
+    sources.emplace_back(CityKeyForFile(file),
+                         [file] { return LoadNetworkFile(file); });
+  }
+  return sources;
 }
 
 int CmdBuildCity(const Args& args) {
@@ -290,6 +361,22 @@ int CmdStudy(const Args& args) {
   return 0;
 }
 
+int CmdValidate(const Args& args) {
+  auto net = LoadNetwork(args, 1.0);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const ValidationReport report = ValidateNetwork(**net);
+  std::printf("%s", report.ToString().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+/// SIGHUP requests a reload of every city; the serve loop below polls this
+/// after pause() returns (only async-signal-safe work happens in the
+/// handler itself).
+volatile std::sig_atomic_t g_sighup_reload = 0;
+
 int CmdServe(const Args& args) {
   // Validate serving flags before the (slow) network build: a typo'd port or
   // a zero-thread pool should be one friendly line, immediately.
@@ -303,26 +390,31 @@ int CmdServe(const Args& args) {
       return 2;
     }
   }
-  auto net_or = LoadNetwork(args, 0.5);
-  if (!net_or.ok()) {
-    std::fprintf(stderr, "%s\n", net_or.status().ToString().c_str());
-    return 1;
-  }
-  std::shared_ptr<RoadNetwork> net = std::move(net_or).ValueOrDie();
   int threads = static_cast<int>(*threads_or);
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  // One query context per HTTP worker: engines are per-context mutable
-  // state; the network, weights and snapping index are shared.
-  auto pool = QueryProcessorPool::Create(net, static_cast<size_t>(threads));
-  if (!pool.ok()) {
-    std::fprintf(stderr, "%s\n", pool.status().ToString().c_str());
-    return 1;
+  auto sources = ServeSources(args, 0.5);
+  if (!sources.ok()) {
+    std::fprintf(stderr, "%s\n", sources.status().ToString().c_str());
+    return 2;
   }
-  DemoService service(std::make_unique<QueryProcessorPool>(
-      std::move(pool).ValueOrDie()));
+  // The data plane: one validated snapshot per requested city, each with one
+  // query context per HTTP worker (engines are per-context mutable state;
+  // the network, weights and snapping index are shared per city).
+  NetworkManager::Options mopts;
+  mopts.contexts_per_city = static_cast<size_t>(threads);
+  auto manager = std::make_shared<NetworkManager>(mopts);
+  for (auto& [city, loader] : *sources) {
+    const Status st = manager->AddCity(city, std::move(loader));
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to load city '%s': %s\n", city.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  DemoService service(manager);
   if (const std::string ratings_file = args.Get("ratings-file");
       !ratings_file.empty()) {
     const Status attached = service.ratings().AttachFile(ratings_file);
@@ -345,13 +437,32 @@ int CmdServe(const Args& args) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  std::string city_list;
+  for (const std::string& city : manager->cities()) {
+    if (!city_list.empty()) city_list += ", ";
+    city_list += city;
+  }
   std::printf("Serving %s on http://127.0.0.1:%u/ with %d worker thread(s) "
-              "(Ctrl-C to stop)\n",
-              net->name().c_str(), server.port(), server.num_threads());
+              "(SIGHUP reloads all cities, Ctrl-C to stop)\n",
+              city_list.c_str(), server.port(), server.num_threads());
   // Startup lines must reach a redirected log even if the process is later
   // killed: stdout is block-buffered when not a TTY.
   std::fflush(stdout);
-  for (;;) pause();
+  std::signal(SIGHUP, [](int) { g_sighup_reload = 1; });
+  for (;;) {
+    pause();
+    if (g_sighup_reload != 0) {
+      g_sighup_reload = 0;
+      ALTROUTE_LOG(Info) << "SIGHUP: reloading all cities";
+      for (const auto& [city, outcome] : manager->ReloadAll()) {
+        if (outcome.ok()) {
+          ALTROUTE_LOG(Info) << "reload '" << city << "': success";
+        } else {
+          ALTROUTE_LOG(Warning) << "reload '" << city << "': " << outcome;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -374,6 +485,7 @@ int main(int argc, char** argv) {
   if (command == "build-city") return CmdBuildCity(args);
   if (command == "route") return CmdRoute(args);
   if (command == "study") return CmdStudy(args);
+  if (command == "validate") return CmdValidate(args);
   if (command == "serve") return CmdServe(args);
   return Usage();
 }
