@@ -236,9 +236,18 @@ Result<std::shared_ptr<RoadNetwork>> NetworkSerializer::Load(std::istream& in) {
       return Status::Corruption("edge endpoint out of range");
     }
   }
-  if (n > 0 && (net->first_out_[0] != 0 || net->first_out_[n] != m ||
-                net->first_in_[0] != 0 || net->first_in_[n] != m)) {
+  if (net->first_out_[0] != 0 || net->first_out_[n] != m ||
+      net->first_in_[0] != 0 || net->first_in_[n] != m) {
     return Status::Corruption("bad CSR offsets");
+  }
+  // OutEdges/InEdges build spans straight from these offsets, so every
+  // intermediate entry must be validated too: monotonically non-decreasing,
+  // which together with the endpoint checks above bounds each entry by m.
+  for (size_t i = 0; i < n; ++i) {
+    if (net->first_out_[i] > net->first_out_[i + 1] ||
+        net->first_in_[i] > net->first_in_[i + 1]) {
+      return Status::Corruption("non-monotonic CSR offsets");
+    }
   }
   for (const LatLng& c : net->coords_) net->bounds_.Extend(c);
   return net;

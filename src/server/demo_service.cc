@@ -83,6 +83,11 @@ Result<std::shared_ptr<const NetworkSnapshot>> DemoService::ResolveSnapshot(
     return manager_->GetSnapshot(it->second);
   }
   const std::vector<std::string> cities = manager_->cities();
+  if (cities.empty()) {
+    // Not a client mistake: the service has no data plane yet. 503 via
+    // FailedPrecondition, so probes and retries treat it as "not ready".
+    return Status::FailedPrecondition("no cities configured");
+  }
   if (cities.size() == 1) return manager_->GetSnapshot(cities.front());
   std::string known;
   for (const std::string& city : cities) {
@@ -299,8 +304,15 @@ HttpResponse DemoService::HandleReload(const HttpRequest& req) {
   w.EndObject();
   HttpResponse r = HttpResponse::Json(w.TakeString());
   // A failed reload never took the old snapshot down, but the caller asked
-  // for a swap that did not happen: 500 makes automation notice.
-  if (!all_ok) r.status = 500;
+  // for a swap that did not happen, so a failure must surface to automation.
+  // A single-city reload maps its cause (no reload loader /
+  // FailedPrecondition -> 503, failed load or validation -> 500); a bulk
+  // reload with any failure is 500.
+  if (!all_ok) {
+    r.status = outcomes.size() == 1
+                   ? HttpStatusForStatusCode(outcomes.begin()->second.code())
+                   : 500;
+  }
   return r;
 }
 
@@ -309,8 +321,10 @@ HttpResponse DemoService::HandleIndex(const HttpRequest&) const {
   for (const std::string& city : manager_->cities()) {
     auto snapshot = manager_->GetSnapshot(city);
     if (!snapshot.ok()) continue;
-    cities_html += "<li><code>" + city + "</code>: " +
-                   (*snapshot)->network().name() + ", " +
+    // City keys and network names are operator-controlled (a --net file
+    // basename becomes the key) but still must not inject markup.
+    cities_html += "<li><code>" + HtmlEscape(city) + "</code>: " +
+                   HtmlEscape((*snapshot)->network().name()) + ", " +
                    std::to_string((*snapshot)->network().num_nodes()) +
                    " vertices, " +
                    std::to_string((*snapshot)->network().num_edges()) +

@@ -58,7 +58,8 @@ class DemoService {
 
  private:
   /// Picks the city for a query handler: explicit ?city=, or the single
-  /// configured city, or an error (400 with several cities, 404 unknown).
+  /// configured city, or an error (400 with several cities, 404 unknown,
+  /// 503 when no cities are configured at all).
   Result<std::shared_ptr<const NetworkSnapshot>> ResolveSnapshot(
       const HttpRequest& req) const;
 

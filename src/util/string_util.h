@@ -33,4 +33,8 @@ std::string ToLower(std::string_view s);
 /// Formats a double with the given number of decimal places ("3.37").
 std::string FormatFixed(double value, int decimals);
 
+/// Escapes &, <, >, " and ' for safe interpolation into HTML text or
+/// attribute values.
+std::string HtmlEscape(std::string_view s);
+
 }  // namespace altroute

@@ -1,5 +1,6 @@
 #include "graph/serialization.h"
 
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -106,6 +107,24 @@ std::string ValidHeader() {
   return bytes;
 }
 
+/// Mirrors the serializer's FNV-1a so a tampered payload can be re-signed:
+/// checksum-bypassing forgeries must still be rejected by structural checks.
+uint64_t Fnv1a(const char* data, size_t len) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Recomputes the trailing checksum over the (possibly tampered) payload.
+std::string Resign(std::string bytes) {
+  const uint64_t digest = Fnv1a(bytes.data(), bytes.size() - sizeof(uint64_t));
+  std::memcpy(&bytes[bytes.size() - sizeof(uint64_t)], &digest, sizeof(digest));
+  return bytes;
+}
+
 }  // namespace hostile
 
 TEST(SerializationTest, ForgedHugeVectorLengthRejectedBeforeAllocation) {
@@ -144,6 +163,51 @@ TEST(SerializationTest, TruncatedAfterVersionRejected) {
   hostile::Append32(&bytes, 1);
   std::stringstream in(bytes);
   EXPECT_TRUE(NetworkSerializer::Load(in).status().IsCorruption());
+}
+
+TEST(SerializationTest, NonMonotonicCsrOffsetRejectedDespiteValidChecksum) {
+  // A hostile file can recompute the checksum, so structural validation must
+  // catch a poisoned intermediate first_out_ entry: spans built from it
+  // would read far out of bounds in everything downstream (validator
+  // included). Only the first and last offsets used to be checked.
+  auto net = testutil::GridNetwork(3, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(NetworkSerializer::Save(*net, buffer).ok());
+  std::string bytes = buffer.str();
+  // Byte offset of first_out_[1]: magic + version + name (u32 length +
+  // chars) + coords (u64 length + n entries) + first_out u64 length + one
+  // uint32_t entry.
+  const size_t off = 4 + 4 + 4 + net->name().size() + 8 +
+                     net->num_nodes() * sizeof(LatLng) + 8 + sizeof(uint32_t);
+  const uint32_t poisoned = 0xFFFFFFFFu;
+  std::memcpy(&bytes[off], &poisoned, sizeof(poisoned));
+  std::stringstream in(hostile::Resign(std::move(bytes)));
+  const Status st = NetworkSerializer::Load(in).status();
+  ASSERT_TRUE(st.IsCorruption()) << st;
+  EXPECT_NE(st.message().find("CSR"), std::string::npos) << st;
+}
+
+TEST(SerializationTest, DecreasingCsrOffsetRejectedDespiteValidChecksum) {
+  // In-range but decreasing offsets are just as lethal (negative-size span).
+  auto net = testutil::GridNetwork(3, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(NetworkSerializer::Save(*net, buffer).ok());
+  std::string bytes = buffer.str();
+  const size_t first_out_start =
+      4 + 4 + 4 + net->name().size() + 8 + net->num_nodes() * sizeof(LatLng) + 8;
+  // Swap entries 1 and 2 of first_out_ (distinct in a grid, so the result
+  // is non-monotonic but still starts at 0 and ends at m).
+  uint32_t a = 0;
+  uint32_t b = 0;
+  std::memcpy(&a, &bytes[first_out_start + 1 * sizeof(uint32_t)], sizeof(a));
+  std::memcpy(&b, &bytes[first_out_start + 2 * sizeof(uint32_t)], sizeof(b));
+  ASSERT_NE(a, b);
+  std::memcpy(&bytes[first_out_start + 1 * sizeof(uint32_t)], &b, sizeof(b));
+  std::memcpy(&bytes[first_out_start + 2 * sizeof(uint32_t)], &a, sizeof(a));
+  std::stringstream in(hostile::Resign(std::move(bytes)));
+  const Status st = NetworkSerializer::Load(in).status();
+  ASSERT_TRUE(st.IsCorruption()) << st;
+  EXPECT_NE(st.message().find("CSR"), std::string::npos) << st;
 }
 
 TEST(SerializationTest, CorruptionMessagesNameTheField) {

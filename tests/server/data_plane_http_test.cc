@@ -236,6 +236,70 @@ TEST_F(DataPlaneFixture, ReloadUnknownCityIs404) {
   EXPECT_NE(status.find("404"), std::string::npos) << status;
 }
 
+// Standalone servers (no fixture) for degenerate manager configurations.
+
+TEST(DataPlaneEdgeTest, NoCitiesConfiguredIs503NotReady) {
+  auto manager = std::make_shared<NetworkManager>();
+  DemoService service(manager);
+  HttpServer server{HttpServerOptions{}};
+  service.Install(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string status;
+  const std::string body = HttpGet(
+      server.port(), "/route?slat=0&slng=0&tlat=0.001&tlng=0.001", &status);
+  EXPECT_NE(status.find("503"), std::string::npos) << status;
+  EXPECT_NE(body.find("no cities configured"), std::string::npos) << body;
+  HttpGet(server.port(), "/readyz", &status);
+  EXPECT_NE(status.find("503"), std::string::npos) << status;
+  server.Stop();
+}
+
+TEST(DataPlaneEdgeTest, ReloadOfCityWithoutLoaderIs503) {
+  // A pool-adopted city has no loader, so a reload cannot possibly succeed:
+  // FailedPrecondition, surfaced as 503 (as the DemoService header promises).
+  auto manager = std::make_shared<NetworkManager>();
+  auto net = testutil::GridNetwork(3, 3);
+  auto pool = QueryProcessorPool::Create(net, 1);
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE(manager
+                  ->AddCityWithPool("adopted",
+                                    std::make_shared<QueryProcessorPool>(
+                                        std::move(*pool)))
+                  .ok());
+  DemoService service(manager);
+  HttpServer server{HttpServerOptions{}};
+  service.Install(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string status;
+  const std::string body =
+      HttpDo(server.port(), "POST", "/admin/reload?city=adopted", &status);
+  EXPECT_NE(status.find("503"), std::string::npos) << status;
+  EXPECT_NE(body.find("\"outcome\":\"failed\""), std::string::npos) << body;
+  server.Stop();
+}
+
+TEST(DataPlaneEdgeTest, IndexEscapesCityKeysAndNetworkNames) {
+  // A --net file basename becomes the city key verbatim, so a hostile name
+  // must not inject markup into the landing page.
+  auto manager = std::make_shared<NetworkManager>();
+  auto net = testutil::GridNetwork(3, 3);
+  auto pool = QueryProcessorPool::Create(net, 1);
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE(manager
+                  ->AddCityWithPool("<script>alert(1)</script>",
+                                    std::make_shared<QueryProcessorPool>(
+                                        std::move(*pool)))
+                  .ok());
+  DemoService service(manager);
+  HttpServer server{HttpServerOptions{}};
+  service.Install(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string body = HttpGet(server.port(), "/");
+  EXPECT_EQ(body.find("<script>"), std::string::npos) << body;
+  EXPECT_NE(body.find("&lt;script&gt;"), std::string::npos) << body;
+  server.Stop();
+}
+
 TEST_F(DataPlaneFixture, NoRequestFailsDuringRepeatedReloads) {
   // The acceptance test for zero-downtime swaps: clients hammer /route while
   // the backing file alternates between two valid networks and is reloaded

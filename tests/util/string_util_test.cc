@@ -69,5 +69,12 @@ TEST(FormatFixedTest, Decimals) {
   EXPECT_EQ(FormatFixed(-2.5, 1), "-2.5");
 }
 
+TEST(HtmlEscapeTest, EscapesMarkupCharacters) {
+  EXPECT_EQ(HtmlEscape("melbourne"), "melbourne");
+  EXPECT_EQ(HtmlEscape("<script>\"x\" & 'y'</script>"),
+            "&lt;script&gt;&quot;x&quot; &amp; &#39;y&#39;&lt;/script&gt;");
+  EXPECT_EQ(HtmlEscape(""), "");
+}
+
 }  // namespace
 }  // namespace altroute

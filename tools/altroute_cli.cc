@@ -372,12 +372,28 @@ int CmdValidate(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
-/// SIGHUP requests a reload of every city; the serve loop below polls this
-/// after pause() returns (only async-signal-safe work happens in the
-/// handler itself).
+/// SIGHUP requests a reload of every city; the serve loop below checks this
+/// after sigsuspend() returns (only async-signal-safe work happens in the
+/// handler itself). SIGHUP stays blocked outside sigsuspend, so the handler
+/// can only run inside the wait — delivery and the flag check are atomic and
+/// a reload request can never be lost.
 volatile std::sig_atomic_t g_sighup_reload = 0;
 
 int CmdServe(const Args& args) {
+  // Install the SIGHUP handler and block the signal FIRST, before the slow
+  // network build and before the server (whose worker threads inherit the
+  // mask) starts: a SIGHUP arriving any time during startup is deferred
+  // until the sigsuspend wait below instead of killing the process.
+  struct sigaction sighup_action = {};
+  sighup_action.sa_handler = [](int) { g_sighup_reload = 1; };
+  sigemptyset(&sighup_action.sa_mask);
+  sigaction(SIGHUP, &sighup_action, nullptr);
+  sigset_t block_hup;
+  sigemptyset(&block_hup);
+  sigaddset(&block_hup, SIGHUP);
+  sigset_t wait_mask;
+  sigprocmask(SIG_BLOCK, &block_hup, &wait_mask);
+  sigdelset(&wait_mask, SIGHUP);
   // Validate serving flags before the (slow) network build: a typo'd port or
   // a zero-thread pool should be one friendly line, immediately.
   auto threads_or = ValidatedIntFlag(args, "threads", 0, 1, 1024);
@@ -448,9 +464,12 @@ int CmdServe(const Args& args) {
   // Startup lines must reach a redirected log even if the process is later
   // killed: stdout is block-buffered when not a TTY.
   std::fflush(stdout);
-  std::signal(SIGHUP, [](int) { g_sighup_reload = 1; });
   for (;;) {
-    pause();
+    // Atomically unblock SIGHUP and wait: a signal pending from before this
+    // call (or arriving any time during it) makes sigsuspend return
+    // immediately with the flag set — there is no window in which a SIGHUP
+    // is seen but not acted on.
+    sigsuspend(&wait_mask);
     if (g_sighup_reload != 0) {
       g_sighup_reload = 0;
       ALTROUTE_LOG(Info) << "SIGHUP: reloading all cities";
