@@ -4,6 +4,7 @@
 // difference (p = 0.16 / 0.68 / 0.18) — is the headline result.
 #include "bench_util.h"
 #include "stats/bootstrap.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -25,7 +26,7 @@ int main() {
   bool any_significant = false;
   for (const Subset& subset : subsets) {
     auto anova = StudyAnova(results, subset.resident);
-    ALTROUTE_CHECK(anova.ok()) << anova.status();
+    ALT_CHECK(anova.ok()) << anova.status();
     std::printf("%-22s F(%.0f, %4.0f) = %6.3f   p = %.3f   (paper: p = %.2f)%s\n",
                 subset.label, anova->df_between, anova->df_within,
                 anova->f_statistic, anova->p_value, subset.paper_p,
@@ -43,7 +44,7 @@ int main() {
       const auto a = results.RatingsOf(static_cast<Approach>(i));
       const auto b = results.RatingsOf(static_cast<Approach>(j));
       auto ci = BootstrapMeanDifferenceCi(a, b, 0.95, 2000, &rng);
-      ALTROUTE_CHECK(ci.ok());
+      ALT_CHECK(ci.ok());
       std::printf("  %-13s - %-13s: %+0.3f  [%+0.3f, %+0.3f]%s\n",
                   std::string(ApproachName(static_cast<Approach>(i))).c_str(),
                   std::string(ApproachName(static_cast<Approach>(j))).c_str(),

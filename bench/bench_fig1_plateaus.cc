@@ -5,6 +5,7 @@
 #include "bench_util.h"
 #include "core/plateau.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -35,7 +36,7 @@ int main() {
     // (a) + (b): the two shortest-path trees.
     auto fwd = probe.BuildTree(s, weights, SearchDirection::kForward);
     auto bwd = probe.BuildTree(t, weights, SearchDirection::kBackward);
-    ALTROUTE_CHECK(fwd.ok() && bwd.ok());
+    ALT_CHECK(fwd.ok() && bwd.ok());
     size_t fwd_reached = 0, bwd_reached = 0;
     for (NodeId v = 0; v < net->num_nodes(); ++v) {
       fwd_reached += fwd->Reached(v);
@@ -46,7 +47,7 @@ int main() {
 
     // (c): the most prominent plateaus.
     auto plateaus = generator.ComputePlateaus(s, t);
-    ALTROUTE_CHECK(plateaus.ok());
+    ALT_CHECK(plateaus.ok());
     std::printf("(c) %zu plateaus; top 5 by length:\n", plateaus->size());
     const double opt = fwd->dist[t];
     for (size_t i = 0; i < plateaus->size() && i < 5; ++i) {
@@ -59,7 +60,7 @@ int main() {
 
     // (d): alternative paths from the top plateaus.
     auto set = generator.Generate(s, t);
-    ALTROUTE_CHECK(set.ok());
+    ALT_CHECK(set.ok());
     std::printf("(d) %zu alternative paths generated:\n", set->routes.size());
     for (size_t i = 0; i < set->routes.size(); ++i) {
       const Path& p = set->routes[i];

@@ -12,6 +12,7 @@
 #include "core/quality.h"
 #include "traffic/traffic_model.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -20,7 +21,7 @@ int main() {
   std::printf("=== Fig. 4: Different data -> different route rankings ===\n\n");
   auto net = City("melbourne");
   auto suite_or = EngineSuite::MakePaperSuite(net);
-  ALTROUTE_CHECK(suite_or.ok());
+  ALT_CHECK(suite_or.ok());
   EngineSuite suite = std::move(suite_or).ValueOrDie();
   const std::vector<double>& osm = suite.display_weights();
   const std::vector<double> commercial = CommercialTrafficModel(3).Weights(*net);
@@ -82,7 +83,7 @@ int main() {
   std::printf("\nPaper's observation reproduced: each engine's preferred "
               "route is optimal on its own data, and the rank of the two "
               "routes flips with the dataset used to display travel times.\n");
-  ALTROUTE_CHECK(rank_flips > 0)
+  ALT_CHECK(rank_flips > 0)
       << "expected at least one Fig. 4-style rank flip";
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "core/filters.h"
 #include "core/quality.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -37,7 +38,7 @@ int main() {
   std::printf("=== Filter ablation (Sec. 4.2) ===\n\n");
   auto net = City("melbourne", 0.6);
   auto suite_or = EngineSuite::MakePaperSuite(net);
-  ALTROUTE_CHECK(suite_or.ok());
+  ALT_CHECK(suite_or.ok());
   EngineSuite suite = std::move(suite_or).ValueOrDie();
   const auto& weights = suite.display_weights();
   Dijkstra dijkstra(*net);

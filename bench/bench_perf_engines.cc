@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "core/engine_registry.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -23,7 +24,7 @@ SuiteHolder& Holder() {
     SuiteHolder h;
     h.net = City("melbourne", 0.5);
     auto suite = EngineSuite::MakePaperSuite(h.net);
-    ALTROUTE_CHECK(suite.ok());
+    ALT_CHECK(suite.ok());
     h.suite = std::make_unique<EngineSuite>(std::move(suite).ValueOrDie());
     return h;
   }();

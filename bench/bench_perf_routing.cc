@@ -13,6 +13,7 @@
 #include "routing/phast.h"
 #include "routing/turn_aware.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -28,7 +29,7 @@ std::shared_ptr<const ContractionHierarchy> BenchCh() {
   static std::shared_ptr<const ContractionHierarchy> ch = [] {
     auto net = BenchCity();
     auto built = ContractionHierarchy::Build(net, net->travel_times());
-    ALTROUTE_CHECK(built.ok());
+    ALT_CHECK(built.ok());
     return std::move(built).ValueOrDie();
   }();
   return ch;
@@ -182,7 +183,7 @@ BENCHMARK(BM_ManyToMany20x20)->Unit(benchmark::kMillisecond);
 void BM_TurnAwarePointToPoint(benchmark::State& state) {
   auto net = BenchCity();
   auto router = TurnAwareRouter::Build(net);
-  ALTROUTE_CHECK(router.ok());
+  ALT_CHECK(router.ok());
   Rng rng(9);
   for (auto _ : state) {
     const auto [s, t] = RandomQuery(*net, &rng);

@@ -21,7 +21,9 @@
 
 #include "bench_util.h"
 #include "server/demo_service.h"
+#include "util/check.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -70,10 +72,12 @@ Flags ParseFlags(int argc, char** argv) {
     const std::string key = argv[i];
     const char* value = argv[i + 1];
     if (key == "--city") f.city = value;
-    else if (key == "--scale") f.scale = std::atof(value);
-    else if (key == "--seconds") f.seconds = std::atof(value);
-    else if (key == "--max-threads") f.max_threads = std::atoi(value);
-    else if (key == "--clients") f.clients = std::atoi(value);
+    else if (key == "--scale") f.scale = ParseDouble(value).ValueOr(f.scale);
+    else if (key == "--seconds") f.seconds = ParseDouble(value).ValueOr(f.seconds);
+    else if (key == "--max-threads")
+      f.max_threads = static_cast<int>(ParseInt64(value).ValueOr(f.max_threads));
+    else if (key == "--clients")
+      f.clients = static_cast<int>(ParseInt64(value).ValueOr(f.clients));
   }
   return f;
 }
@@ -149,14 +153,14 @@ int main(int argc, char** argv) {
   double base_rps = 0.0;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
     auto pool = QueryProcessorPool::Create(net, static_cast<size_t>(threads));
-    ALTROUTE_CHECK(pool.ok()) << pool.status();
+    ALT_CHECK(pool.ok()) << pool.status();
     DemoService service(std::make_unique<QueryProcessorPool>(
         std::move(pool).ValueOrDie()));
     HttpServerOptions options;
     options.num_threads = threads;
     HttpServer server(options);
     service.Install(&server);
-    ALTROUTE_CHECK(server.Start(0).ok());
+    ALT_CHECK_OK(server.Start(0));
 
     // Short warmup so lazily-registered metrics and caches are in place.
     MeasureRps(server.port(), clients, 0.2, targets);

@@ -4,6 +4,7 @@
 // headline quantities move. It answers "which documented paper effect
 // drives which part of the reproduced tables".
 #include "bench_util.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -66,7 +67,7 @@ int main() {
     config.rating_params = variant.params;
     StudyRunner runner(net, config);
     auto results = runner.Run();
-    ALTROUTE_CHECK(results.ok());
+    ALT_CHECK(results.ok());
 
     auto gap_for = [&](std::optional<bool> resident) {
       const TableRow row = ComputeRow(*results, "x", resident);
@@ -84,7 +85,7 @@ int main() {
     (void)gm_r;
     (void)gm_n;
     auto anova = StudyAnova(*results);
-    ALTROUTE_CHECK(anova.ok());
+    ALT_CHECK(anova.ok());
     std::printf("%-30s |   %5.2f |    %5.2f | %+5.2f |  %+5.2f  |   %+5.2f    "
                 "| %6.3f\n",
                 variant.label, gm, gm + gap, gap, gap_r, gap_n,

@@ -5,6 +5,7 @@
 // reproduction's conclusions depended on one lucky seed, it would show here.
 #include "bench_util.h"
 #include "stats/descriptive.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -35,7 +36,7 @@ int main() {
     if (gm <= worst_other) ++gm_lowest;
 
     auto anova = StudyAnova(results);
-    ALTROUTE_CHECK(anova.ok());
+    ALT_CHECK(anova.ok());
     p_value.Add(anova->p_value);
     if (anova->SignificantAt(0.05)) ++significant;
 

@@ -2,6 +2,7 @@
 // over all 237 responses, with resident/non-resident and trip-length rows.
 // Prints the regenerated table next to the published values.
 #include "bench_util.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -18,7 +19,7 @@ int main() {
 
   std::printf("Paper vs measured (mean(sd) per approach: Google Maps, "
               "Plateaus, Dissimilarity, Penalty):\n\n");
-  ALTROUTE_CHECK(rows.size() == std::size(kPaperTable1));
+  ALT_CHECK(rows.size() == std::size(kPaperTable1));
   for (size_t i = 0; i < rows.size(); ++i) {
     PrintComparisonRow(kPaperTable1[i], rows[i]);
   }

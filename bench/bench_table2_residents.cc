@@ -1,5 +1,6 @@
 // Reproduces paper Table 2: ratings from Melbourne residents only.
 #include "bench_util.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -12,7 +13,7 @@ int main() {
   std::printf("%s\n", FormatTable(rows, "Table 2 (measured)").c_str());
 
   std::printf("Paper vs measured:\n\n");
-  ALTROUTE_CHECK(rows.size() == std::size(kPaperTable2));
+  ALT_CHECK(rows.size() == std::size(kPaperTable2));
   for (size_t i = 0; i < rows.size(); ++i) {
     PrintComparisonRow(kPaperTable2[i], rows[i]);
   }

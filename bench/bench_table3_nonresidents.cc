@@ -1,5 +1,6 @@
 // Reproduces paper Table 3: ratings from non-residents only.
 #include "bench_util.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -12,7 +13,7 @@ int main() {
   std::printf("%s\n", FormatTable(rows, "Table 3 (measured)").c_str());
 
   std::printf("Paper vs measured:\n\n");
-  ALTROUTE_CHECK(rows.size() == std::size(kPaperTable3));
+  ALT_CHECK(rows.size() == std::size(kPaperTable3));
   for (size_t i = 0; i < rows.size(); ++i) {
     PrintComparisonRow(kPaperTable3[i], rows[i]);
   }

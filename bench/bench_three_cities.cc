@@ -5,6 +5,7 @@
 // differences not statistically significant — reproduces in all three
 // topologies (see bench_seed_robustness for the across-seed spread).
 #include "bench_util.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -26,7 +27,7 @@ int main() {
          std::initializer_list<std::pair<const char*, std::optional<bool>>>{
              {"all", std::nullopt}, {"residents", true}, {"non-res", false}}) {
       auto anova = StudyAnova(results, resident);
-      ALTROUTE_CHECK(anova.ok());
+      ALT_CHECK(anova.ok());
       std::printf("ANOVA (%-9s): F = %5.3f, p = %.3f%s\n", label,
                   anova->f_statistic, anova->p_value,
                   anova->SignificantAt(0.05) ? "  SIGNIFICANT" : "");

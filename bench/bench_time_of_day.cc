@@ -9,6 +9,7 @@
 #include "core/similarity.h"
 #include "traffic/traffic_model.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -34,7 +35,7 @@ int main() {
   std::vector<std::vector<Path>> night_routes;
   for (const auto& [s, t] : queries) {
     auto set = night.Generate(s, t);
-    ALTROUTE_CHECK(set.ok());
+    ALT_CHECK(set.ok());
     night_routes.push_back(std::move(set->routes));
   }
 

@@ -10,6 +10,7 @@
 #include "core/turn_aware_alternatives.h"
 #include "userstudy/rating_model.h"
 #include "util/random.h"
+#include "util/check.h"
 
 using namespace altroute;
 using namespace altroute::bench;
@@ -63,7 +64,7 @@ int main() {
     model.sharp_turn_penalty_s = penalty * 2;
     auto turn_aware = TurnAwareAlternatives::Create(
         net, TurnAwareBase::kPlateaus, model);
-    ALTROUTE_CHECK(turn_aware.ok());
+    ALT_CHECK(turn_aware.ok());
     char label[64];
     std::snprintf(label, sizeof(label), "turn-aware Plateaus (%.0fs/turn)",
                   penalty);

@@ -13,6 +13,7 @@
 #include "citygen/city_generator.h"
 #include "obs/search_stats.h"
 #include "userstudy/tables.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -30,7 +31,7 @@ inline std::shared_ptr<RoadNetwork> City(const std::string& name,
     spec = citygen::MelbourneSpec();
   }
   auto net = citygen::BuildCityNetwork(citygen::Scaled(spec, scale));
-  ALTROUTE_CHECK(net.ok()) << net.status();
+  ALT_CHECK_OK(net);
   return std::move(net).ValueOrDie();
 }
 
@@ -41,7 +42,7 @@ inline StudyResults RunPaperStudy(std::shared_ptr<RoadNetwork> net,
   config.seed = seed;
   StudyRunner runner(std::move(net), config);
   auto results = runner.Run();
-  ALTROUTE_CHECK(results.ok()) << results.status();
+  ALT_CHECK_OK(results);
   return std::move(results).ValueOrDie();
 }
 

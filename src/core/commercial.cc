@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -12,7 +13,7 @@ CommercialBaseline::CommercialBaseline(std::shared_ptr<const RoadNetwork> net,
     : net_(std::move(net)),
       weights_(std::move(commercial_weights)),
       options_(options) {
-  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+  ALT_CHECK(weights_.size() == net_->num_edges())
       << "weight vector size mismatch";
   AlternativeOptions wide = options_;
   wide.max_routes = std::max(8, options_.max_routes * 3);

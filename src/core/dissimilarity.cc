@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -15,8 +16,14 @@ DissimilarityGenerator::DissimilarityGenerator(
       options_(options),
       measure_(measure),
       dijkstra_(*net_) {
-  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+  ALT_CHECK(weights_.size() == net_->num_edges())
       << "weight vector size mismatch";
+  // The pairwise acceptance test dis(p, P) > theta needs theta in [0, 1):
+  // dissimilarity is a [0, 1] ratio, so theta >= 1 rejects every candidate
+  // and theta < 0 accepts duplicates (paper fixes theta = 0.5).
+  ALT_CHECK(options_.dissimilarity_threshold >= 0.0 &&
+            options_.dissimilarity_threshold < 1.0)
+      << "dissimilarity threshold out of [0,1)";
 }
 
 Result<AlternativeSet> DissimilarityGenerator::Generate(NodeId source,

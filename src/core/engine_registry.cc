@@ -5,6 +5,7 @@
 #include "core/penalty.h"
 #include "core/plateau.h"
 #include "traffic/traffic_model.h"
+#include "util/check.h"
 
 namespace altroute {
 
@@ -19,7 +20,7 @@ std::string_view ApproachName(Approach a) {
     case Approach::kPenalty:
       return "Penalty";
   }
-  return "?";
+  ALT_UNREACHABLE() << "approach " << static_cast<int>(a);
 }
 
 char ApproachLabel(Approach a) {

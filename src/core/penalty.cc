@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/similarity.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -14,8 +15,13 @@ PenaltyGenerator::PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
       weights_(std::move(weights)),
       options_(options),
       dijkstra_(*net_) {
-  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+  ALT_CHECK(weights_.size() == net_->num_edges())
       << "weight vector size mismatch";
+  // The method is only correct for a non-shrinking re-weighting: a factor
+  // below 1 would make penalized edges MORE attractive each round and the
+  // iteration would re-discover the same path forever (paper uses 1.4).
+  ALT_CHECK_GE(options_.penalty_factor, 1.0)
+      << "penalty factor must not shrink edge weights";
 }
 
 Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
@@ -56,6 +62,9 @@ Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
       penalized_[e] *= options_.penalty_factor;
       const EdgeId twin = net_->FindEdge(net_->head(e), net_->tail(e));
       if (twin != kInvalidEdge) penalized_[twin] *= options_.penalty_factor;
+      // Re-weighting monotonicity: a penalized weight never drops below the
+      // true weight, so real path costs stay a lower bound of search costs.
+      ALT_DCHECK_GE(penalized_[e], weights_[e]);
     }
 
     auto next = dijkstra_.ShortestPath(source, target, penalized_,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -13,7 +14,7 @@ PlateauGenerator::PlateauGenerator(std::shared_ptr<const RoadNetwork> net,
       weights_(std::move(weights)),
       options_(options),
       dijkstra_(*net_) {
-  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+  ALT_CHECK(weights_.size() == net_->num_edges())
       << "weight vector size mismatch";
 }
 
@@ -45,6 +46,10 @@ Result<std::vector<Plateau>> PlateauGenerator::PlateausFromTrees(
     pl.start = u;
     EdgeId e = first;
     for (;;) {
+      // Tree-join containment: every edge of the chained run must itself be
+      // a plateau edge, i.e. lie on BOTH shortest-path trees. Joining a
+      // non-plateau edge would splice a detour into the middle of the run.
+      ALT_DCHECK(is_plateau[e]) << "non-plateau edge chained into run";
       pl.edges.push_back(e);
       pl.length += weights_[e];
       const NodeId head = net.head(e);
@@ -53,6 +58,11 @@ Result<std::vector<Plateau>> PlateauGenerator::PlateausFromTrees(
       if (next == kInvalidEdge || !is_plateau[next]) break;
       e = next;
     }
+    // Both run endpoints are on their respective trees by construction, so
+    // the via cost through the plateau is well defined and can never beat
+    // the optimal s-t cost.
+    ALT_DCHECK(fwd.Reached(pl.start) && bwd.Reached(pl.end))
+        << "plateau endpoints not contained in both trees";
     pl.route_cost = fwd.dist[pl.start] + pl.length + bwd.dist[pl.end];
     plateaus.push_back(std::move(pl));
   }
@@ -119,6 +129,10 @@ Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target,
                             PlateausFromTrees(fwd, bwd));
 
   for (const Plateau& pl : plateaus) {
+    // A plateau route walks tree branches end to end; its cost is bounded
+    // below by the optimal cost (equality for the run spanning the shortest
+    // path itself). Small epsilon absorbs re-summation error.
+    ALT_DCHECK_GE(pl.route_cost, out.optimal_cost - 1e-6);
     if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
     if (cancel != nullptr && cancel->StopNow()) {
       out.completion = Status::DeadlineExceeded("plateau ranking cut short");

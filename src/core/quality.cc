@@ -116,10 +116,11 @@ RouteSetQuality ComputeRouteSetQuality(const RoadNetwork& net,
     detour_sum += q.detour_count;
     lanes_sum += q.mean_lanes;
   }
-  out.mean_stretch = stretch_sum / routes.size();
-  out.mean_turns_per_km = turns_sum / routes.size();
-  out.mean_detours = detour_sum / routes.size();
-  out.mean_lanes = lanes_sum / routes.size();
+  const double n = static_cast<double>(routes.size());
+  out.mean_stretch = stretch_sum / n;
+  out.mean_turns_per_km = turns_sum / n;
+  out.mean_detours = detour_sum / n;
+  out.mean_lanes = lanes_sum / n;
 
   for (size_t i = 0; i < routes.size(); ++i) {
     for (size_t j = i + 1; j < routes.size(); ++j) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -14,7 +15,7 @@ SkylineGenerator::SkylineGenerator(std::shared_ptr<const RoadNetwork> net,
       lengths_(net_->lengths().begin(), net_->lengths().end()),
       options_(options),
       search_(*net_) {
-  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+  ALT_CHECK(weights_.size() == net_->num_edges())
       << "weight vector size mismatch";
   // Zero-length edges would make the secondary criterion non-positive for
   // the label-setting search; clamp to a centimeter.

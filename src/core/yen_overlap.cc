@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -13,7 +14,7 @@ YenOverlapGenerator::YenOverlapGenerator(std::shared_ptr<const RoadNetwork> net,
       weights_(std::move(weights)),
       options_(options),
       yen_(*net_) {
-  ALTROUTE_CHECK(weights_.size() == net_->num_edges())
+  ALT_CHECK(weights_.size() == net_->num_edges())
       << "weight vector size mismatch";
 }
 

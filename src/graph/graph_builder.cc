@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace altroute {
 
 NodeId GraphBuilder::AddNode(const LatLng& coord) {
@@ -93,6 +95,16 @@ Result<std::shared_ptr<RoadNetwork>> GraphBuilder::Build() {
   std::vector<uint32_t> cursor(net->first_in_.begin(), net->first_in_.end() - 1);
   for (size_t i = 0; i < m; ++i) {
     net->in_edge_ids_[cursor[net->head_[i]]++] = static_cast<EdgeId>(i);
+  }
+
+  // Contract: both CSR index arrays are monotone prefix sums covering every
+  // edge exactly once. A violation here means the counting sort above is
+  // broken and every later OutEdges/InEdges span would be garbage.
+  ALT_CHECK_EQ(net->first_out_.back(), m) << "forward CSR does not cover m";
+  ALT_CHECK_EQ(net->first_in_.back(), m) << "reverse CSR does not cover m";
+  for (size_t v = 0; v < n; ++v) {
+    ALT_DCHECK_LE(net->first_out_[v], net->first_out_[v + 1]);
+    ALT_DCHECK_LE(net->first_in_[v], net->first_in_[v + 1]);
   }
 
   edges_.clear();

@@ -14,6 +14,7 @@
 #include "geo/bounding_box.h"
 #include "geo/latlng.h"
 #include "graph/road_class.h"
+#include "util/check.h"
 
 namespace altroute {
 
@@ -29,12 +30,16 @@ class RoadNetwork {
  public:
   /// Outgoing edge ids of `node`, contiguous by construction.
   std::span<const EdgeId> OutEdges(NodeId node) const {
+    ALT_DCHECK_LT(node, num_nodes());
+    ALT_DCHECK_LE(first_out_[node], first_out_[node + 1]);  // CSR monotone
     return {out_edge_ids_.data() + first_out_[node],
             out_edge_ids_.data() + first_out_[node + 1]};
   }
 
   /// Incoming edge ids of `node` (ids refer to the same edge arrays).
   std::span<const EdgeId> InEdges(NodeId node) const {
+    ALT_DCHECK_LT(node, num_nodes());
+    ALT_DCHECK_LE(first_in_[node], first_in_[node + 1]);  // CSR monotone
     return {in_edge_ids_.data() + first_in_[node],
             in_edge_ids_.data() + first_in_[node + 1]};
   }
@@ -42,15 +47,33 @@ class RoadNetwork {
   size_t num_nodes() const { return first_out_.size() - 1; }
   size_t num_edges() const { return head_.size(); }
 
-  NodeId tail(EdgeId e) const { return tail_[e]; }
-  NodeId head(EdgeId e) const { return head_[e]; }
+  NodeId tail(EdgeId e) const {
+    ALT_DCHECK_LT(e, num_edges());
+    return tail_[e];
+  }
+  NodeId head(EdgeId e) const {
+    ALT_DCHECK_LT(e, num_edges());
+    return head_[e];
+  }
   /// Segment length in meters.
-  double length_m(EdgeId e) const { return length_m_[e]; }
+  double length_m(EdgeId e) const {
+    ALT_DCHECK_LT(e, num_edges());
+    return length_m_[e];
+  }
   /// Free-flow travel time in seconds (the paper's OSM weight: length /
   /// maxspeed, x1.3 on non-freeway segments).
-  double travel_time_s(EdgeId e) const { return travel_time_s_[e]; }
-  RoadClass road_class(EdgeId e) const { return road_class_[e]; }
-  const LatLng& coord(NodeId n) const { return coords_[n]; }
+  double travel_time_s(EdgeId e) const {
+    ALT_DCHECK_LT(e, num_edges());
+    return travel_time_s_[e];
+  }
+  RoadClass road_class(EdgeId e) const {
+    ALT_DCHECK_LT(e, num_edges());
+    return road_class_[e];
+  }
+  const LatLng& coord(NodeId n) const {
+    ALT_DCHECK_LT(n, num_nodes());
+    return coords_[n];
+  }
   const std::vector<LatLng>& coords() const { return coords_; }
 
   /// The default weight vector (travel_time_s for every edge). Algorithms

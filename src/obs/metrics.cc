@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -19,9 +20,9 @@ void Gauge::Add(double delta) {
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor, int count) {
-  ALTROUTE_CHECK(start > 0.0) << "bucket start must be positive";
-  ALTROUTE_CHECK(factor > 1.0) << "bucket factor must exceed 1";
-  ALTROUTE_CHECK(count > 0) << "bucket count must be positive";
+  ALT_CHECK(start > 0.0) << "bucket start must be positive";
+  ALT_CHECK(factor > 1.0) << "bucket factor must exceed 1";
+  ALT_CHECK(count > 0) << "bucket count must be positive";
   std::vector<double> bounds;
   bounds.reserve(static_cast<size_t>(count));
   double bound = start;
@@ -33,8 +34,8 @@ std::vector<double> ExponentialBuckets(double start, double factor, int count) {
 }
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-  ALTROUTE_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
-  ALTROUTE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+  ALT_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
+  ALT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "bucket bounds must be increasing";
   buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
@@ -205,7 +206,7 @@ MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
   // Caller holds mu_.
   auto it = entries_.find(name);
   if (it != entries_.end()) {
-    ALTROUTE_CHECK(it->second->kind == kind)
+    ALT_CHECK(it->second->kind == kind)
         << "metric '" << name << "' re-registered as a different kind";
     return *it->second;
   }

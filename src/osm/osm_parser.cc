@@ -37,12 +37,13 @@ std::string DecodeEntities(std::string_view s) {
     } else if (ent == "apos") {
       out.push_back('\'');
     } else if (!ent.empty() && ent[0] == '#') {
-      long code = 0;
-      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
-        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
-      }
+      // Hardened parse: malformed refs ("&#zz;") yield code 0 and fall into
+      // the '?' replacement below instead of silently truncating.
+      const auto code_or =
+          (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X'))
+              ? ParseHex64(ent.substr(2))
+              : ParseInt64(ent.substr(1));
+      const int64_t code = code_or.ValueOr(0);
       if (code > 0 && code < 128) {
         out.push_back(static_cast<char>(code));
       } else {

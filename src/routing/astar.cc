@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "routing/indexed_heap.h"
+#include "util/check.h"
 
 namespace altroute {
 
@@ -51,7 +52,11 @@ Result<RouteResult> AStar::ShortestPath(NodeId source, NodeId target,
       return Status::DeadlineExceeded("astar search cancelled");
     }
     const auto [u, fu] = open.PopMin();
-    (void)fu;
+    // Admissible-heuristic contract: the f-key must dominate the g-label
+    // (h >= 0); a popped key below g means the heuristic went negative and
+    // the search is no longer optimal.
+    ALT_DCHECK(fu >= g[u] - 1e-9) << "negative heuristic at node " << u;
+    static_cast<void>(fu);
     if (settled[u]) continue;
     settled[u] = true;
     ++last_settled_;
@@ -59,6 +64,7 @@ Result<RouteResult> AStar::ShortestPath(NodeId source, NodeId target,
     for (EdgeId e : net_.OutEdges(u)) {
       const NodeId v = net_.head(e);
       if (settled[v]) continue;
+      ALT_DCHECK(weights[e] >= 0.0) << "negative weight on edge " << e;
       const double gv = g[u] + weights[e];
       if (gv < g[v]) {
         g[v] = gv;

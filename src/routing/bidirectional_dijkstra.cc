@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "routing/indexed_heap.h"
+#include "util/check.h"
 
 namespace altroute {
 
@@ -64,6 +65,7 @@ Result<RouteResult> BidirectionalDijkstra::ShortestPath(
       ++last_settled_;
       for (EdgeId e : net_.OutEdges(u)) {
         const NodeId v = net_.head(e);
+        ALT_DCHECK(weights[e] >= 0.0) << "negative weight on edge " << e;
         const double dv = du + weights[e];
         ++relaxed;
         if (dv < dist_f[v]) {
@@ -82,6 +84,7 @@ Result<RouteResult> BidirectionalDijkstra::ShortestPath(
       ++last_settled_;
       for (EdgeId e : net_.InEdges(u)) {
         const NodeId v = net_.tail(e);
+        ALT_DCHECK(weights[e] >= 0.0) << "negative weight on edge " << e;
         const double dv = du + weights[e];
         ++relaxed;
         if (dv < dist_b[v]) {

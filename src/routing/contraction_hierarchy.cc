@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "routing/indexed_heap.h"
+#include "util/check.h"
 
 namespace altroute {
 
@@ -236,7 +237,7 @@ void ContractionHierarchy::UnpackArc(uint32_t arc,
     out->push_back(a.orig_edge);
     return;
   }
-  ALTROUTE_CHECK(a.child1 != kNoChild && a.child2 != kNoChild)
+  ALT_CHECK(a.child1 != kNoChild && a.child2 != kNoChild)
       << "shortcut without children";
   UnpackArc(a.child1, out);
   UnpackArc(a.child2, out);

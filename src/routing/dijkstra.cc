@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "routing/indexed_heap.h"
+#include "util/check.h"
 
 namespace altroute {
 
@@ -67,6 +68,7 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
   uint64_t relaxed = 0, pushes = 0;
 
   auto relax = [&](NodeId v, double d, EdgeId via) {
+    ALT_DCHECK(d >= 0.0) << "negative path cost at node " << v;
     if (stamp_[v] != current_stamp_ || d < dist_[v]) {
       stamp_[v] = current_stamp_;
       dist_[v] = d;
@@ -84,10 +86,16 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
       break;
     }
     const auto [u, du] = heap.PopMin();
+    // Settled-once/label-setting contract: the popped key is the final
+    // distance label. With an indexed decrease-key heap each id is popped at
+    // most once, so a mismatch means the heap or relax logic regressed.
+    ALT_DCHECK(du == dist_[u] && stamp_[u] == current_stamp_)
+        << "popped key diverges from distance label at node " << u;
     ++last_settled_;
     if (u == target) break;
     for (EdgeId e : net_.OutEdges(u)) {
       if (skip_edge && skip_edge(e)) continue;
+      ALT_DCHECK(weights[e] >= 0.0) << "negative weight on edge " << e;
       ++relaxed;
       relax(net_.head(e), du + weights[e], e);
     }
@@ -152,6 +160,8 @@ Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
     const auto [u, du] = heap.PopMin();
     ++pops;
     if (du > max_cost) break;
+    ALT_DCHECK(!settled[u]) << "node " << u << " settled twice in BuildTree";
+    ALT_DCHECK(du == tree.dist[u]) << "popped key diverges from tree label";
     settled[u] = true;
     ++last_settled_;
     const auto edges = (direction == SearchDirection::kForward)

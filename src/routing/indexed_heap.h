@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -35,18 +36,21 @@ class IndexedHeap {
   size_t Size() const { return heap_.size(); }
   size_t Capacity() const { return pos_.size(); }
 
-  bool Contains(uint32_t id) const { return pos_[id] != kAbsent; }
+  bool Contains(uint32_t id) const {
+    ALT_DCHECK_LT(id, pos_.size());
+    return pos_[id] != kAbsent;
+  }
 
   /// Priority of a contained id. Precondition: Contains(id).
   P PriorityOf(uint32_t id) const {
-    ALTROUTE_DCHECK(Contains(id));
+    ALT_DCHECK(Contains(id));
     return heap_[pos_[id]].priority;
   }
 
   /// Inserts id, or decreases its priority if already present with a larger
   /// one. Returns true if the heap changed.
   bool PushOrDecrease(uint32_t id, P priority) {
-    ALTROUTE_DCHECK(id < pos_.size());
+    ALT_DCHECK(id < pos_.size());
     const uint32_t p = pos_[id];
     if (p == kAbsent) {
       heap_.push_back({priority, id});
@@ -64,13 +68,13 @@ class IndexedHeap {
 
   /// Smallest entry without removing it. Precondition: !Empty().
   std::pair<uint32_t, P> Top() const {
-    ALTROUTE_DCHECK(!Empty());
+    ALT_DCHECK(!Empty());
     return {heap_[0].id, heap_[0].priority};
   }
 
   /// Removes and returns (id, priority) of the smallest entry.
   std::pair<uint32_t, P> PopMin() {
-    ALTROUTE_DCHECK(!Empty());
+    ALT_DCHECK(!Empty());
     const Entry top = heap_[0];
     pos_[top.id] = kAbsent;
     if (heap_.size() > 1) {

@@ -4,6 +4,7 @@
 #include "obs/trace.h"
 #include "server/directions.h"
 #include "server/json.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -24,7 +25,7 @@ std::shared_ptr<NetworkManager> ManagerFromPool(
   const std::string city = DefaultCityKey(*pool);
   const Status st = manager->AddCityWithPool(
       city, std::shared_ptr<QueryProcessorPool>(std::move(pool)));
-  ALTROUTE_CHECK(st.ok()) << st;
+  ALT_CHECK_OK(st);
   return manager;
 }
 
@@ -32,7 +33,7 @@ std::shared_ptr<NetworkManager> ManagerFromPool(
 
 DemoService::DemoService(std::shared_ptr<NetworkManager> manager)
     : manager_(std::move(manager)) {
-  ALTROUTE_CHECK(manager_ != nullptr) << "null network manager";
+  ALT_CHECK(manager_ != nullptr) << "null network manager";
 }
 
 DemoService::DemoService(std::unique_ptr<QueryProcessorPool> pool)

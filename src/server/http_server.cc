@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "server/json.h"
 #include "server/url.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -146,7 +147,7 @@ HttpResponse HttpResponse::FromStatus(const Status& status) {
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Route(const std::string& path, HttpHandler handler) {
-  ALTROUTE_CHECK(!running_.load()) << "Route() after Start()";
+  ALT_CHECK(!running_.load()) << "Route() after Start()";
   routes_[path] = std::move(handler);
 }
 

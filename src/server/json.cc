@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -49,7 +50,7 @@ void JsonWriter::BeforeValue() {
   } else if (top == 'o') {
     top = 'O';  // value written; next comes a key
   } else {
-    ALTROUTE_DCHECK(false) << "JSON value written where key expected";
+    ALT_DCHECK(false) << "JSON value written where key expected";
   }
 }
 
@@ -62,7 +63,7 @@ JsonWriter& JsonWriter::BeginObject() {
 }
 
 JsonWriter& JsonWriter::EndObject() {
-  ALTROUTE_DCHECK(!stack_.empty() && stack_.back() == 'O');
+  ALT_DCHECK(!stack_.empty() && stack_.back() == 'O');
   stack_.pop_back();
   out_ << "}";
   first_in_container_ = false;
@@ -78,7 +79,7 @@ JsonWriter& JsonWriter::BeginArray() {
 }
 
 JsonWriter& JsonWriter::EndArray() {
-  ALTROUTE_DCHECK(!stack_.empty() && stack_.back() == 'A');
+  ALT_DCHECK(!stack_.empty() && stack_.back() == 'A');
   stack_.pop_back();
   out_ << "]";
   first_in_container_ = false;
@@ -86,7 +87,7 @@ JsonWriter& JsonWriter::EndArray() {
 }
 
 JsonWriter& JsonWriter::Key(std::string_view key) {
-  ALTROUTE_DCHECK(!stack_.empty() && stack_.back() == 'O');
+  ALT_DCHECK(!stack_.empty() && stack_.back() == 'O');
   if (!first_in_container_) out_ << ",";
   first_in_container_ = false;
   out_ << '"' << Escape(key) << "\":";
@@ -131,14 +132,14 @@ JsonWriter& JsonWriter::Null() {
 }
 
 JsonWriter& JsonWriter::RawValue(std::string_view json) {
-  ALTROUTE_DCHECK(!json.empty()) << "raw JSON value must not be empty";
+  ALT_DCHECK(!json.empty()) << "raw JSON value must not be empty";
   BeforeValue();
   out_ << json;
   return *this;
 }
 
 std::string JsonWriter::TakeString() {
-  ALTROUTE_DCHECK(stack_.empty()) << "unclosed JSON containers";
+  ALT_DCHECK(stack_.empty()) << "unclosed JSON containers";
   return out_.str();
 }
 

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "server/json.h"
 #include "util/fault_injector.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -31,6 +32,7 @@ struct QueryMetrics {
   obs::CounterFamily& paths_rejected;
   obs::CounterFamily& deadline_exceeded;
   obs::CounterFamily& degraded_responses;
+  obs::CounterFamily& engine_exceptions;
   obs::HistogramFamily& budget_remaining;
 
   static QueryMetrics& Get() {
@@ -76,6 +78,11 @@ struct QueryMetrics {
               "altroute_degraded_responses_total",
               "Responses served with at least one failed or truncated engine.",
               {"city"}),
+          reg.GetCounterFamily(
+              "altroute_engine_exceptions_total",
+              "Exceptions thrown by an engine and converted to a degraded "
+              "response, by engine.",
+              {"engine"}),
           reg.GetHistogramFamily(
               "altroute_engine_budget_remaining_seconds",
               "Request-deadline budget remaining when each engine started.",
@@ -136,8 +143,8 @@ QueryProcessor::QueryProcessor(EngineSuite suite)
 QueryProcessor::QueryProcessor(EngineSuite suite,
                                std::shared_ptr<const SpatialIndex> index)
     : suite_(std::move(suite)), index_(std::move(index)) {
-  ALTROUTE_CHECK(index_ != nullptr) << "null spatial index";
-  ALTROUTE_CHECK(index_->size() == suite_.network().num_nodes())
+  ALT_CHECK(index_ != nullptr) << "null spatial index";
+  ALT_CHECK(index_->size() == suite_.network().num_nodes())
       << "spatial index does not match the network";
 }
 
@@ -248,9 +255,18 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
       try {
         return engine.Generate(s, t, &search_stats, &token);
       } catch (const std::exception& e) {
+        // Isolation barrier: one engine's bug degrades its lane only. The
+        // exception is logged with its message and counted per engine so a
+        // throwing engine is visible on /metrics, never silently absorbed.
+        metrics.engine_exceptions.WithLabels({engine.name()}).Increment();
+        ALTROUTE_LOG(Error) << engine.name() << " threw: " << e.what();
         return Status::Internal(engine.name() + std::string(" threw: ") +
                                 e.what());
-      } catch (...) {
+      } catch (...) {  // allowlisted in altroute_lint (bare-catch): last-resort
+                       // barrier for non-std::exception throws; logged and
+                       // counted above all the same, nothing is swallowed.
+        metrics.engine_exceptions.WithLabels({engine.name()}).Increment();
+        ALTROUTE_LOG(Error) << engine.name() << " threw a non-exception object";
         return Status::Internal(engine.name() + " threw a non-exception");
       }
     }();

@@ -1,6 +1,7 @@
 #include "server/query_processor_pool.h"
 
 #include "obs/metrics.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -47,10 +48,10 @@ Result<QueryProcessorPool> QueryProcessorPool::Create(
 QueryProcessorPool::QueryProcessorPool(
     std::vector<std::unique_ptr<QueryProcessor>> contexts)
     : contexts_(std::move(contexts)) {
-  ALTROUTE_CHECK(!contexts_.empty()) << "empty processor pool";
+  ALT_CHECK(!contexts_.empty()) << "empty processor pool";
   free_.reserve(contexts_.size());
   for (const auto& c : contexts_) {
-    ALTROUTE_CHECK(c != nullptr) << "null processor in pool";
+    ALT_CHECK(c != nullptr) << "null processor in pool";
     free_.push_back(c.get());
   }
 }

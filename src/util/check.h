@@ -1,0 +1,91 @@
+// Contract macros: the project's invariant-enforcement layer.
+//
+//   ALT_CHECK(cond)       always-on invariant; aborts with file:line and the
+//                         failed condition text. Use for cheap checks on cold
+//                         paths (constructors, load/build boundaries) whose
+//                         violation means memory corruption is next.
+//   ALT_CHECK_OK(expr)    always-on; `expr` must yield an OK Status. Aborts
+//                         with the status text. Use where a Status cannot be
+//                         propagated and failure is a programmer error.
+//   ALT_DCHECK(cond)      debug/sanitizer-build invariant; compiled out in
+//                         Release (NDEBUG) — the condition is NOT evaluated,
+//                         so it is free on hot paths (per-pop, per-relaxation
+//                         call sites in the routing kernels).
+//   ALT_UNREACHABLE()     marks control flow that must never execute (e.g.
+//                         the default arm of a switch over a closed enum).
+//                         Always aborts, in every build type.
+//
+// CHECK failures flag programmer errors, never user input errors — bad input
+// goes through Status/Result (util/status.h). See docs/architecture.md
+// ("Static analysis & contracts") for when to reach for ALT_CHECK vs
+// ALT_DCHECK vs GraphValidator.
+#pragma once
+
+#include "util/logging.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace altroute {
+namespace internal {
+
+/// Aborts with the status text when `s` is not OK. Cold helper so
+/// ALT_CHECK_OK call sites stay one test-and-branch.
+inline void CheckOkImpl(const Status& s, const char* file, int line,
+                        const char* expr) {
+  if (!s.ok()) {
+    FatalMessage(file, line, expr) << "-> " << s.ToString();
+  }
+}
+
+/// ALT_CHECK_OK also accepts Result<T> expressions (the value is discarded).
+template <typename T>
+inline void CheckOkImpl(const Result<T>& r, const char* file, int line,
+                        const char* expr) {
+  CheckOkImpl(r.status(), file, line, expr);
+}
+
+}  // namespace internal
+}  // namespace altroute
+
+/// Always-on invariant check. Streams extra context:
+///   ALT_CHECK(offset <= max) << "offset " << offset;
+#define ALT_CHECK(cond)                                                 \
+  if (cond) {                                                           \
+  } else /* NOLINT(readability-misleading-indentation) */               \
+    ::altroute::internal::FatalMessage(__FILE__, __LINE__, #cond)
+
+#define ALT_CHECK_EQ(a, b) ALT_CHECK((a) == (b))
+#define ALT_CHECK_NE(a, b) ALT_CHECK((a) != (b))
+#define ALT_CHECK_LT(a, b) ALT_CHECK((a) < (b))
+#define ALT_CHECK_LE(a, b) ALT_CHECK((a) <= (b))
+#define ALT_CHECK_GT(a, b) ALT_CHECK((a) > (b))
+#define ALT_CHECK_GE(a, b) ALT_CHECK((a) >= (b))
+
+/// Always-on check that a Status-returning expression succeeded.
+#define ALT_CHECK_OK(expr) \
+  ::altroute::internal::CheckOkImpl((expr), __FILE__, __LINE__, #expr)
+
+/// Debug-only invariant check. In Release (NDEBUG) the condition is inside a
+/// short-circuited `true || ...`, so it still type-checks (no -Wunused fallout,
+/// no bit-rot) but is never evaluated and folds away to nothing.
+#ifndef NDEBUG
+#define ALT_DCHECK(cond) ALT_CHECK(cond)
+#else
+#define ALT_DCHECK(cond)                                                \
+  if (true || (cond)) {                                                 \
+  } else /* NOLINT(readability-misleading-indentation) */               \
+    ::altroute::internal::FatalMessage(__FILE__, __LINE__, #cond)
+#endif
+
+#define ALT_DCHECK_EQ(a, b) ALT_DCHECK((a) == (b))
+#define ALT_DCHECK_NE(a, b) ALT_DCHECK((a) != (b))
+#define ALT_DCHECK_LT(a, b) ALT_DCHECK((a) < (b))
+#define ALT_DCHECK_LE(a, b) ALT_DCHECK((a) <= (b))
+#define ALT_DCHECK_GT(a, b) ALT_DCHECK((a) > (b))
+#define ALT_DCHECK_GE(a, b) ALT_DCHECK((a) >= (b))
+
+/// Control flow that must never be reached. Aborts in all build types: a
+/// wrong branch in a routing kernel must crash loudly, not fall through into
+/// undefined behaviour.
+#define ALT_UNREACHABLE() \
+  ::altroute::internal::FatalMessage(__FILE__, __LINE__, "unreachable")

@@ -1,6 +1,6 @@
-// Minimal leveled logging plus CHECK macros for invariant enforcement.
-// CHECK failures abort: they flag programmer errors, never user input errors
-// (those go through Status).
+// Minimal leveled logging. The invariant-enforcement (CHECK) macros live in
+// util/check.h; this header only provides the log levels, sinks, and the
+// FatalMessage machinery the contract layer is built on.
 #pragma once
 
 #include <cstdlib>
@@ -75,26 +75,5 @@ class FatalMessage {
 #define ALTROUTE_LOG(level)                                              \
   ::altroute::internal::LogMessage(::altroute::LogLevel::k##level, __FILE__, \
                                    __LINE__)
-
-#define ALTROUTE_CHECK(cond)                                            \
-  if (cond) {                                                           \
-  } else /* NOLINT */                                                   \
-    ::altroute::internal::FatalMessage(__FILE__, __LINE__, #cond)
-
-#define ALTROUTE_CHECK_EQ(a, b) ALTROUTE_CHECK((a) == (b))
-#define ALTROUTE_CHECK_NE(a, b) ALTROUTE_CHECK((a) != (b))
-#define ALTROUTE_CHECK_LT(a, b) ALTROUTE_CHECK((a) < (b))
-#define ALTROUTE_CHECK_LE(a, b) ALTROUTE_CHECK((a) <= (b))
-#define ALTROUTE_CHECK_GT(a, b) ALTROUTE_CHECK((a) > (b))
-#define ALTROUTE_CHECK_GE(a, b) ALTROUTE_CHECK((a) >= (b))
-
-#ifndef NDEBUG
-#define ALTROUTE_DCHECK(cond) ALTROUTE_CHECK(cond)
-#else
-#define ALTROUTE_DCHECK(cond) \
-  if (true) {                 \
-  } else /* NOLINT */         \
-    ::altroute::internal::FatalMessage(__FILE__, __LINE__, #cond)
-#endif
 
 }  // namespace altroute

@@ -77,6 +77,22 @@ Result<int64_t> ParseInt64(std::string_view s) {
   return static_cast<int64_t>(v);
 }
 
+Result<int64_t> ParseHex64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("empty string is not hex");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 16);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a hex integer: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("hex integer out of range: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
 std::string ToLower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

@@ -27,6 +27,10 @@ Result<double> ParseDouble(std::string_view s);
 /// Parses a signed 64-bit integer; errors on trailing garbage or empty input.
 Result<int64_t> ParseInt64(std::string_view s);
 
+/// Parses a base-16 integer (no "0x" prefix, e.g. the payload of an XML
+/// "&#xA9;" entity); errors on trailing garbage or empty input.
+Result<int64_t> ParseHex64(std::string_view s);
+
 /// Lowercases ASCII letters.
 std::string ToLower(std::string_view s);
 

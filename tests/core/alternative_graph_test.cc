@@ -4,6 +4,7 @@
 
 #include "../testutil.h"
 #include "core/penalty.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -16,7 +17,7 @@ Path PathThrough(const RoadNetwork& net, const std::vector<NodeId>& nodes) {
   }
   auto p = MakePath(net, nodes.front(), nodes.back(), std::move(edges),
                     net.travel_times());
-  ALTROUTE_CHECK(p.ok());
+  ALT_CHECK(p.ok());
   return std::move(p).ValueOrDie();
 }
 

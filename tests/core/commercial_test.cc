@@ -5,6 +5,7 @@
 #include "../testutil.h"
 #include "citygen/city_generator.h"
 #include "traffic/traffic_model.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -14,7 +15,7 @@ std::shared_ptr<RoadNetwork> City() {
   static std::shared_ptr<RoadNetwork> net = [] {
     auto n = citygen::BuildCityNetwork(
         citygen::Scaled(citygen::MelbourneSpec(), 0.3));
-    ALTROUTE_CHECK(n.ok());
+    ALT_CHECK(n.ok());
     return std::move(n).ValueOrDie();
   }();
   return net;

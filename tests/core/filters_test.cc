@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -22,7 +23,7 @@ class FiltersFixture : public ::testing::Test {
     }
     auto p = MakePath(*net_, nodes.front(), nodes.back(), std::move(edges),
                       weights_);
-    ALTROUTE_CHECK(p.ok());
+    ALT_CHECK(p.ok());
     return std::move(p).ValueOrDie();
   }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -19,12 +20,12 @@ class SimilarityFixture : public ::testing::Test {
     std::vector<EdgeId> edges;
     for (size_t i = 0; i + 1 < nodes.size(); ++i) {
       const EdgeId e = net_->FindEdge(nodes[i], nodes[i + 1]);
-      ALTROUTE_CHECK(e != kInvalidEdge);
+      ALT_CHECK(e != kInvalidEdge);
       edges.push_back(e);
     }
     auto p = MakePath(*net_, nodes.front(), nodes.back(), std::move(edges),
                       weights_);
-    ALTROUTE_CHECK(p.ok());
+    ALT_CHECK(p.ok());
     return std::move(p).ValueOrDie();
   }
 

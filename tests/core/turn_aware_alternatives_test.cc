@@ -4,6 +4,7 @@
 
 #include "../testutil.h"
 #include "core/similarity.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -16,7 +17,7 @@ std::unique_ptr<TurnAwareAlternatives> Make(
     const AlternativeOptions& options = {}) {
   auto g = TurnAwareAlternatives::Create(std::move(net), base, model,
                                          restrictions, options);
-  ALTROUTE_CHECK(g.ok()) << g.status();
+  ALT_CHECK(g.ok()) << g.status();
   return std::move(g).ValueOrDie();
 }
 

@@ -11,6 +11,7 @@
 #include "../testutil.h"
 #include "graph/serialization.h"
 #include "util/random.h"
+#include "util/check.h"
 
 namespace altroute {
 namespace {
@@ -18,7 +19,7 @@ namespace {
 std::string SerializedGrid() {
   auto net = testutil::GridNetwork(4, 4);
   std::stringstream buffer;
-  ALTROUTE_CHECK(NetworkSerializer::Save(*net, buffer).ok());
+  ALT_CHECK(NetworkSerializer::Save(*net, buffer).ok());
   return buffer.str();
 }
 

@@ -13,6 +13,7 @@
 #include "routing/contraction_hierarchy.h"
 #include "userstudy/export.h"
 #include "userstudy/tables.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -24,7 +25,7 @@ class EndToEndFixture : public ::testing::Test {
   static void SetUpTestSuite() {
     auto net = citygen::BuildCityNetwork(
         citygen::Scaled(citygen::CopenhagenSpec(), 0.3));
-    ALTROUTE_CHECK(net.ok());
+    ALT_CHECK(net.ok());
     net_ = new std::shared_ptr<RoadNetwork>(std::move(net).ValueOrDie());
   }
   static void TearDownTestSuite() { delete net_; }

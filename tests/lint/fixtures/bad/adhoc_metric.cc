@@ -1,0 +1,6 @@
+// Fixture: an ad-hoc static instrument the /metrics endpoint can never see.
+namespace obs {
+class Counter;
+}
+
+static obs::Counter* g_requests_total = nullptr;

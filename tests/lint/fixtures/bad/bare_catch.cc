@@ -1,0 +1,10 @@
+// Fixture: a swallow-everything handler outside the allowlist.
+int Risky();
+
+int Swallow() {
+  try {
+    return Risky();
+  } catch (...) {
+    return -1;
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: a generator entry point that threads SearchStats* but forgot the
+// trailing CancellationToken* — deadlines could never reach its search loop.
+#pragma once
+
+namespace altroute {
+
+class BadGenerator {
+ public:
+  int Generate(int source, int target, obs::SearchStats* stats);
+};
+
+}  // namespace altroute

@@ -1,0 +1,4 @@
+// Fixture: raw std::stoi in a parsing path instead of the hardened helpers.
+#include <string>
+
+int ParsePort(const std::string& s) { return std::stoi(s); }

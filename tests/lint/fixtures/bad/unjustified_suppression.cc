@@ -1,0 +1,6 @@
+// Fixture: a suppression without a reason is itself a finding, and does NOT
+// silence the underlying rule.
+#include <string>
+
+// ALT_LINT(allow:unchecked-parse)
+int ParsePort(const std::string& s) { return std::stoi(s); }

@@ -1,0 +1,4 @@
+// Fixture: a file that violates nothing.
+#include <string>
+
+std::string Greeting() { return "hello"; }

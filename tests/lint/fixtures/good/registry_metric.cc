@@ -1,0 +1,18 @@
+// Fixture: caching a registry-owned family reference in a static is the
+// sanctioned pattern — the registry keeps ownership and /metrics sees it.
+#include <string>
+
+namespace obs {
+class CounterFamily;
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+  CounterFamily& GetCounterFamily(const std::string& name);
+};
+}  // namespace obs
+
+void Observe() {
+  static obs::CounterFamily& family =
+      obs::MetricsRegistry::Global().GetCounterFamily("altroute_good_total");
+  (void)family;
+}

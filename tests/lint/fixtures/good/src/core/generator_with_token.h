@@ -1,0 +1,13 @@
+// Fixture: the compliant twin of generator_missing_token.h — the entry point
+// carries the trailing CancellationToken*.
+#pragma once
+
+namespace altroute {
+
+class GoodGenerator {
+ public:
+  int Generate(int source, int target, obs::SearchStats* stats,
+               CancellationToken* cancel = nullptr);
+};
+
+}  // namespace altroute

@@ -1,0 +1,11 @@
+// Fixture: a justified inline suppression silences the rule.
+int Risky();
+
+int Swallow() {
+  try {
+    return Risky();
+    // ALT_LINT(allow:bare-catch): fixture proves justified suppressions pass
+  } catch (...) {
+    return -1;
+  }
+}

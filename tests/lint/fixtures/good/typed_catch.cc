@@ -1,0 +1,15 @@
+// Fixture: catching a concrete exception type is fine, and a bare catch in a
+// comment or string must not trip the rule: catch (...) { /* in comment */ }
+#include <exception>
+
+int Risky();
+
+const char* kDecoy = "catch (...) { inside a string literal }";
+
+int Convert() {
+  try {
+    return Risky();
+  } catch (const std::exception& e) {
+    return -1;
+  }
+}

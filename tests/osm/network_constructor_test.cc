@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "osm/osm_parser.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -42,9 +43,9 @@ constexpr const char* kExtract = R"(<osm>
 
 ConstructedNetwork Construct(const char* xml, ConstructorOptions options = {}) {
   auto data = ParseOsmXml(xml);
-  ALTROUTE_CHECK(data.ok());
+  ALT_CHECK(data.ok());
   auto net = ConstructRoadNetwork(*data, options);
-  ALTROUTE_CHECK(net.ok()) << net.status();
+  ALT_CHECK(net.ok()) << net.status();
   return std::move(net).ValueOrDie();
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "osm/osm_parser.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -41,12 +42,12 @@ struct BuiltCross {
 BuiltCross BuildCross(const std::string& relations) {
   BuiltCross out;
   auto data = ParseOsmXml(WithRelations(relations));
-  ALTROUTE_CHECK(data.ok()) << data.status();
+  ALT_CHECK(data.ok()) << data.status();
   out.data = std::move(data).ValueOrDie();
   ConstructorOptions options;
   options.largest_scc_only = false;
   auto built = ConstructRoadNetwork(out.data, options);
-  ALTROUTE_CHECK(built.ok());
+  ALT_CHECK(built.ok());
   out.built = std::move(built).ValueOrDie();
   for (NodeId v = 0; v < out.built.node_osm_ids.size(); ++v) {
     switch (out.built.node_osm_ids[v]) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 
 namespace altroute {
 namespace {
@@ -10,7 +11,7 @@ namespace {
 std::shared_ptr<const ContractionHierarchy> Ch(
     const std::shared_ptr<RoadNetwork>& net) {
   auto ch = ContractionHierarchy::Build(net, net->travel_times());
-  ALTROUTE_CHECK(ch.ok());
+  ALT_CHECK(ch.ok());
   return std::move(ch).ValueOrDie();
 }
 

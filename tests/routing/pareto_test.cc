@@ -131,7 +131,7 @@ TEST(ParetoTest, LabelCapBoundsFrontSize) {
   // Perturbed second criterion so the true front is large.
   std::vector<double> second = Lengths(*net);
   for (size_t i = 0; i < second.size(); ++i) {
-    second[i] *= 1.0 + 0.3 * ((i * 2654435761u) % 97) / 97.0;
+    second[i] *= 1.0 + 0.3 * static_cast<double>((i * 2654435761u) % 97) / 97.0;
   }
   BiCriteriaOptions options;
   options.max_labels_per_node = 4;

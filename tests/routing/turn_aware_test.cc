@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 
 namespace altroute {
 namespace {
@@ -11,7 +12,7 @@ std::unique_ptr<TurnAwareRouter> Router(
     std::shared_ptr<RoadNetwork> net, const TurnCostModel& model = {},
     std::vector<TurnRestriction> restrictions = {}) {
   auto r = TurnAwareRouter::Build(std::move(net), model, restrictions);
-  ALTROUTE_CHECK(r.ok()) << r.status();
+  ALT_CHECK(r.ok()) << r.status();
   return std::move(r).ValueOrDie();
 }
 

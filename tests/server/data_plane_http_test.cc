@@ -23,6 +23,7 @@
 #include "server/demo_service.h"
 #include "server/http_server.h"
 #include "server/network_manager.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -95,7 +96,7 @@ class DataPlaneFixture : public ::testing::Test {
 
   static void WriteNetwork(const std::string& path, int rows) {
     auto net = testutil::GridNetwork(rows, rows);
-    ALTROUTE_CHECK(NetworkSerializer::SaveToFile(*net, path).ok());
+    ALT_CHECK(NetworkSerializer::SaveToFile(*net, path).ok());
   }
 
   static void WriteGarbage(const std::string& path) {

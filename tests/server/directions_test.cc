@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -15,7 +16,7 @@ Path PathThrough(const RoadNetwork& net, const std::vector<NodeId>& nodes) {
   }
   auto p = MakePath(net, nodes.front(), nodes.back(), std::move(edges),
                     net.travel_times());
-  ALTROUTE_CHECK(p.ok());
+  ALT_CHECK(p.ok());
   return std::move(p).ValueOrDie();
 }
 

@@ -4,6 +4,7 @@
 
 #include "../testutil.h"
 #include "core/plateau.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -12,7 +13,7 @@ namespace {
 Path SamplePath(const RoadNetwork& net) {
   auto p = MakePath(net, 0, 2, {net.FindEdge(0, 1), net.FindEdge(1, 2)},
                     net.travel_times());
-  ALTROUTE_CHECK(p.ok());
+  ALT_CHECK(p.ok());
   return std::move(p).ValueOrDie();
 }
 

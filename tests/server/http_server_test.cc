@@ -18,6 +18,7 @@
 #include "../testutil.h"
 #include "server/demo_service.h"
 #include "util/fault_injector.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -85,14 +86,14 @@ class DemoServerFixture : public ::testing::Test {
     // The full concurrent wiring: a two-context pool behind a two-worker
     // server, exactly as `altroute_cli serve --threads 2` runs it.
     auto pool = QueryProcessorPool::Create(net, 2);
-    ALTROUTE_CHECK(pool.ok());
+    ALT_CHECK(pool.ok());
     service_ = new DemoService(
         std::make_unique<QueryProcessorPool>(std::move(pool).ValueOrDie()));
     HttpServerOptions options;
     options.num_threads = 2;
     server_ = new HttpServer(options);
     service_->Install(server_);
-    ALTROUTE_CHECK(server_->Start(0).ok());
+    ALT_CHECK(server_->Start(0).ok());
   }
 
   static void TearDownTestSuite() {
@@ -319,7 +320,7 @@ class DeadlineServerFixture : public ::testing::Test {
     origin_ = net->coord(0);
     far_ = net->coord(static_cast<NodeId>(net->num_nodes() - 1));
     auto pool = QueryProcessorPool::Create(net, 2);
-    ALTROUTE_CHECK(pool.ok());
+    ALT_CHECK(pool.ok());
     service_ = std::make_unique<DemoService>(
         std::make_unique<QueryProcessorPool>(std::move(pool).ValueOrDie()));
     HttpServerOptions options;
@@ -327,7 +328,7 @@ class DeadlineServerFixture : public ::testing::Test {
     options.request_timeout_ms = 100;
     server_ = std::make_unique<HttpServer>(options);
     service_->Install(server_.get());
-    ALTROUTE_CHECK(server_->Start(0).ok());
+    ALT_CHECK(server_->Start(0).ok());
   }
 
   void TearDown() override {

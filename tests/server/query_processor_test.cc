@@ -5,6 +5,7 @@
 #include "../testutil.h"
 #include "geo/polyline.h"
 #include "util/fault_injector.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -15,7 +16,7 @@ class QueryProcessorFixture : public ::testing::Test {
   static void SetUpTestSuite() {
     auto net = testutil::GridNetwork(8, 8, 60.0, 500.0);
     auto suite = EngineSuite::MakePaperSuite(net);
-    ALTROUTE_CHECK(suite.ok());
+    ALT_CHECK(suite.ok());
     processor_ = new QueryProcessor(std::move(suite).ValueOrDie());
   }
   static void TearDownTestSuite() {

@@ -1,6 +1,7 @@
 #include "testutil.h"
 
 #include <algorithm>
+#include "util/check.h"
 
 namespace altroute {
 namespace testutil {
@@ -16,7 +17,7 @@ std::shared_ptr<RoadNetwork> LineNetwork(int n, double hop_s, double hop_m) {
                                  RoadClass::kResidential);
   }
   auto net = builder.Build();
-  ALTROUTE_CHECK(net.ok());
+  ALT_CHECK(net.ok());
   return std::move(net).ValueOrDie();
 }
 
@@ -43,7 +44,7 @@ std::shared_ptr<RoadNetwork> GridNetwork(int rows, int cols, double hop_s,
     }
   }
   auto net = builder.Build();
-  ALTROUTE_CHECK(net.ok());
+  ALT_CHECK(net.ok());
   return std::move(net).ValueOrDie();
 }
 
@@ -69,7 +70,7 @@ std::shared_ptr<RoadNetwork> RandomConnectedNetwork(uint64_t seed, int n,
     builder.AddBidirectionalEdge(a, b, w * 10.0, w, RoadClass::kSecondary);
   }
   auto net = builder.Build();
-  ALTROUTE_CHECK(net.ok());
+  ALT_CHECK(net.ok());
   return std::move(net).ValueOrDie();
 }
 

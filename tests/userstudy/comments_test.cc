@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -13,10 +14,10 @@ class CommentsFixture : public ::testing::Test {
   void SetUp() override {
     net_ = testutil::GridNetwork(7, 7);
     auto suite = EngineSuite::MakePaperSuite(net_);
-    ALTROUTE_CHECK(suite.ok());
+    ALT_CHECK(suite.ok());
     for (Approach a : kAllApproaches) {
       auto set = suite->engine(a).Generate(0, 48);
-      ALTROUTE_CHECK(set.ok());
+      ALT_CHECK(set.ok());
       sets_[static_cast<size_t>(a)] = std::move(set).ValueOrDie();
     }
   }

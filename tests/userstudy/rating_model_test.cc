@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -14,10 +15,10 @@ class RatingModelFixture : public ::testing::Test {
     net_ = testutil::GridNetwork(6, 6);
     weights_ = testutil::Weights(*net_);
     auto suite = EngineSuite::MakePaperSuite(net_);
-    ALTROUTE_CHECK(suite.ok());
+    ALT_CHECK(suite.ok());
     for (Approach a : kAllApproaches) {
       auto set = suite->engine(a).Generate(0, 35);
-      ALTROUTE_CHECK(set.ok());
+      ALT_CHECK(set.ok());
       sets_[static_cast<size_t>(a)] = std::move(set).ValueOrDie();
     }
   }

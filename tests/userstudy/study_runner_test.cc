@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "citygen/city_generator.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -15,13 +16,13 @@ class StudyRunnerFixture : public ::testing::Test {
   static void SetUpTestSuite() {
     auto net = citygen::BuildCityNetwork(
         citygen::Scaled(citygen::MelbourneSpec(), 0.25));
-    ALTROUTE_CHECK(net.ok());
+    ALT_CHECK(net.ok());
     net_ = new std::shared_ptr<RoadNetwork>(std::move(net).ValueOrDie());
 
     StudyConfig config = SmallConfig();
     StudyRunner runner(*net_, config);
     auto results = runner.Run();
-    ALTROUTE_CHECK(results.ok()) << results.status();
+    ALT_CHECK(results.ok()) << results.status();
     results_ = new StudyResults(std::move(results).ValueOrDie());
   }
 

@@ -1,0 +1,78 @@
+// Death tests for the contract layer (util/check.h), including the proof
+// that ALT_DCHECK is compiled out — not merely passing — in Release builds.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace altroute {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  ALT_CHECK(1 + 1 == 2) << "never printed";
+  ALT_CHECK_EQ(4, 4);
+  ALT_CHECK_LT(1, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithFileLineAndCondition) {
+  EXPECT_DEATH(ALT_CHECK(1 == 2) << "extra context 42",
+               "check_test\\.cc.*Check failed: 1 == 2.*extra context 42");
+}
+
+TEST(CheckDeathTest, ComparisonFormsAbort) {
+  EXPECT_DEATH(ALT_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(ALT_CHECK_GE(1, 2), "Check failed");
+}
+
+TEST(CheckTest, CheckOkPassesOnOkStatus) {
+  ALT_CHECK_OK(Status::OK());
+  ALT_CHECK_OK(Result<int>(7));
+}
+
+TEST(CheckDeathTest, CheckOkAbortsWithStatusText) {
+  EXPECT_DEATH(ALT_CHECK_OK(Status::Internal("engine melted")),
+               "Internal: engine melted");
+  EXPECT_DEATH(ALT_CHECK_OK(Result<int>(Status::NotFound("no such node"))),
+               "NotFound: no such node");
+}
+
+TEST(CheckDeathTest, UnreachableAbortsInEveryBuildType) {
+  EXPECT_DEATH(ALT_UNREACHABLE() << "bad enum 9", "unreachable.*bad enum 9");
+}
+
+#ifdef NDEBUG
+// Release: the DCHECK condition must not run at all. A side-effecting
+// condition is the strongest observable proof short of reading the
+// disassembly — if the macro evaluated it, `evaluations` would be 1 and the
+// false result would have aborted.
+TEST(CheckTest, DCheckConditionIsNotEvaluatedInRelease) {
+  int evaluations = 0;
+  auto failing_condition = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  ALT_DCHECK(failing_condition()) << "never reached in Release";
+  ALT_DCHECK_EQ(++evaluations, 12345);
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+// Debug/sanitizer builds: ALT_DCHECK is exactly ALT_CHECK.
+TEST(CheckDeathTest, DCheckAbortsInDebug) {
+  EXPECT_DEATH(ALT_DCHECK(2 < 1), "Check failed: 2 < 1");
+}
+
+TEST(CheckTest, DCheckConditionIsEvaluatedInDebug) {
+  int evaluations = 0;
+  auto passing_condition = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  ALT_DCHECK(passing_condition());
+  EXPECT_EQ(evaluations, 1);
+}
+#endif
+
+}  // namespace
+}  // namespace altroute

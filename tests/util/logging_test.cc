@@ -1,3 +1,4 @@
+#include "util/check.h"
 #include "util/logging.h"
 
 #include <regex>
@@ -37,13 +38,13 @@ TEST(LoggingTest, FilteredMessagesAreCheap) {
 }
 
 TEST(LoggingTest, CheckPassesSilently) {
-  ALTROUTE_CHECK(1 + 1 == 2) << "never evaluated";
-  ALTROUTE_CHECK_EQ(3, 3);
-  ALTROUTE_CHECK_NE(3, 4);
-  ALTROUTE_CHECK_LT(3, 4);
-  ALTROUTE_CHECK_LE(3, 3);
-  ALTROUTE_CHECK_GT(4, 3);
-  ALTROUTE_CHECK_GE(4, 4);
+  ALT_CHECK(1 + 1 == 2) << "never evaluated";
+  ALT_CHECK_EQ(3, 3);
+  ALT_CHECK_NE(3, 4);
+  ALT_CHECK_LT(3, 4);
+  ALT_CHECK_LE(3, 3);
+  ALT_CHECK_GT(4, 3);
+  ALT_CHECK_GE(4, 4);
 }
 
 class CapturingSink : public LogSink {
@@ -128,11 +129,11 @@ TEST(LoggingTest, ParseLogLevelAcceptsNamesAndAliases) {
 }
 
 TEST(LoggingDeathTestSuite, CheckFailureAborts) {
-  EXPECT_DEATH({ ALTROUTE_CHECK(false) << "boom"; }, "Check failed: false");
+  EXPECT_DEATH({ ALT_CHECK(false) << "boom"; }, "Check failed: false");
 }
 
 TEST(LoggingDeathTestSuite, CheckEqFailureMentionsCondition) {
-  EXPECT_DEATH({ ALTROUTE_CHECK_EQ(2 + 2, 5); }, "Check failed");
+  EXPECT_DEATH({ ALT_CHECK_EQ(2 + 2, 5); }, "Check failed");
 }
 
 }  // namespace

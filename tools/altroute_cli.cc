@@ -76,11 +76,11 @@ struct Args {
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+    return it == flags.end() ? fallback : ParseDouble(it->second).ValueOr(fallback);
   }
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+    return it == flags.end() ? fallback : ParseInt64(it->second).ValueOr(fallback);
   }
 };
 

@@ -1,0 +1,67 @@
+// altroute_lint: project-convention rule checker. See tools/lint/lint.h for
+// the rule catalogue and the suppression syntax.
+//
+// Usage:
+//   altroute_lint [--root DIR]     lint every .h/.cc under DIR (default .)
+//   altroute_lint FILE...          lint the named files only
+//   altroute_lint --list-rules     print the rule names and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage error. Output is one
+// compiler-style "file:line: [rule] message" line per finding, so editors
+// and CI annotations can jump to the site.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list-rules") == 0) {
+      for (const std::string& r : altroute::lint::AllRules()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(arg, "--root") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --root needs a directory argument\n");
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "error: unknown flag '%s'\n"
+                   "usage: altroute_lint [--root DIR] [--list-rules] "
+                   "[FILE...]\n",
+                   arg);
+      return 2;
+    }
+    files.emplace_back(arg);
+  }
+
+  std::vector<altroute::lint::Finding> findings;
+  if (files.empty()) {
+    findings = altroute::lint::LintTree(root);
+  } else {
+    for (const std::string& f : files) {
+      std::vector<altroute::lint::Finding> fnd = altroute::lint::LintFile(f);
+      findings.insert(findings.end(), fnd.begin(), fnd.end());
+    }
+  }
+
+  for (const altroute::lint::Finding& f : findings) {
+    std::printf("%s\n", f.ToString().c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "altroute_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

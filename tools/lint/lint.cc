@@ -1,0 +1,421 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string_view>
+
+namespace altroute {
+namespace lint {
+
+namespace {
+
+/// Built-in allowlist for the bare-catch rule. Each entry names the one
+/// place a swallow-everything handler is the right tool, and why.
+struct CatchAllowEntry {
+  std::string_view path_suffix;
+  std::string_view reason;
+};
+
+// src/server/query_processor.cc: the per-engine isolation barrier. A
+// non-std::exception throw from one engine must not take down the request
+// (the other engines still ship); the handler there logs the engine name and
+// increments altroute_engine_exceptions_total{engine} before converting to
+// Status::Internal, so nothing is swallowed silently.
+constexpr CatchAllowEntry kBareCatchAllowlist[] = {
+    {"src/server/query_processor.cc",
+     "engine isolation barrier; logs + altroute_engine_exceptions_total"},
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool PathContains(std::string_view path, std::string_view needle) {
+  return path.find(needle) != std::string_view::npos;
+}
+
+/// Replaces comments and the contents of string/char literals with spaces,
+/// preserving line breaks, so rule regexes never match inside either.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = (i + 1 < in.size()) ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // Raw string literal: find the delimiter up to the '('.
+          size_t open = in.find('(', i + 2);
+          if (open == std::string::npos) {
+            out += c;
+            break;
+          }
+          raw_delim = ")" + in.substr(i + 2, open - (i + 2)) + "\"";
+          for (size_t j = i; j <= open; ++j) out += ' ';
+          i = open;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out += ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out += (c == '\n') ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// The suppression marker, assembled so the linter never matches its own
+/// implementation strings.
+const std::regex& SuppressionRegex() {
+  static const std::regex re(R"(ALT_LINT\(allow:([a-z0-9-]+)\)(:\s*(\S.*))?)");
+  return re;
+}
+
+/// True when raw line `line_idx` (0-based) or the one above carries a
+/// justified suppression for `rule`.
+bool IsSuppressed(const std::vector<std::string>& raw_lines, size_t line_idx,
+                  std::string_view rule) {
+  for (size_t k = (line_idx == 0 ? 0 : line_idx - 1); k <= line_idx; ++k) {
+    if (k >= raw_lines.size()) break;
+    std::smatch m;
+    if (std::regex_search(raw_lines[k], m, SuppressionRegex()) &&
+        m[1].str() == rule && m[3].matched) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsHeader(std::string_view path) { return EndsWith(path, ".h"); }
+
+void CheckPragmaOnce(const std::string& path,
+                     const std::vector<std::string>& stripped,
+                     std::vector<Finding>* out) {
+  if (!IsHeader(path)) return;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank / comment-only
+    static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\b)");
+    if (!std::regex_search(line, kPragma)) {
+      out->push_back({path, static_cast<int>(i) + 1, "pragma-once",
+                      "header must start with #pragma once before any code"});
+    }
+    return;  // only the first substantive line matters
+  }
+  out->push_back({path, 1, "pragma-once", "header is empty or comment-only"});
+}
+
+void CheckBareCatch(const std::string& path,
+                    const std::vector<std::string>& stripped,
+                    const std::vector<std::string>& raw,
+                    std::vector<Finding>* out) {
+  for (const CatchAllowEntry& e : kBareCatchAllowlist) {
+    if (EndsWith(path, e.path_suffix)) return;
+  }
+  static const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (!std::regex_search(stripped[i], kCatchAll)) continue;
+    if (IsSuppressed(raw, i, "bare-catch")) continue;
+    out->push_back(
+        {path, static_cast<int>(i) + 1, "bare-catch",
+         "catch (...) swallows unknown failures; catch std::exception and "
+         "convert to Status, or add this site to the linter allowlist"});
+  }
+}
+
+void CheckUncheckedParse(const std::string& path,
+                         const std::vector<std::string>& stripped,
+                         const std::vector<std::string>& raw,
+                         std::vector<Finding>* out) {
+  // The hardened helpers themselves are the one sanctioned wrapper around
+  // the raw C parsing functions.
+  if (EndsWith(path, "src/util/string_util.cc")) return;
+  static const std::regex kParse(
+      R"((\bstd\s*::\s*|\b)(stoi|stol|stoll|stoul|stoull|stof|stod|stold|atoi|atol|atoll|atof|strtol|strtoul|strtoll|strtoull|strtof|strtod|strtold)\s*\()");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(stripped[i], m, kParse)) continue;
+    if (IsSuppressed(raw, i, "unchecked-parse")) continue;
+    out->push_back({path, static_cast<int>(i) + 1, "unchecked-parse",
+                    m[2].str() +
+                        " bypasses the hardened parsers; use "
+                        "ParseInt64/ParseDouble/ParseHex64 (util/string_util.h)"});
+  }
+}
+
+void CheckCancellationToken(const std::string& path,
+                            const std::string& stripped_all,
+                            const std::vector<std::string>& raw,
+                            std::vector<Finding>* out) {
+  if (!IsHeader(path)) return;
+  if (!PathContains(path, "src/routing/") && !PathContains(path, "src/core/")) {
+    return;
+  }
+  // A declaration that threads SearchStats* out of a search is a kernel /
+  // generator entry point; the same parameter list must carry the
+  // cooperative-cancellation token.
+  static const std::regex kStats(R"(SearchStats\s*\*)");
+  for (auto it = std::sregex_iterator(stripped_all.begin(), stripped_all.end(),
+                                      kStats);
+       it != std::sregex_iterator(); ++it) {
+    const size_t pos = static_cast<size_t>(it->position());
+    // Walk back to the opening parenthesis of the enclosing parameter list.
+    int depth = 0;
+    size_t open = std::string::npos;
+    for (size_t j = pos; j-- > 0;) {
+      const char c = stripped_all[j];
+      if (c == ')') ++depth;
+      if (c == '(') {
+        if (depth == 0) {
+          open = j;
+          break;
+        }
+        --depth;
+      }
+      if (depth == 0 && (c == ';' || c == '{' || c == '}')) break;
+    }
+    if (open == std::string::npos) continue;  // not inside a parameter list
+    // Walk forward to the matching close.
+    depth = 0;
+    size_t close = std::string::npos;
+    for (size_t j = open; j < stripped_all.size(); ++j) {
+      const char c = stripped_all[j];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+    }
+    if (close == std::string::npos) continue;
+    const std::string params = stripped_all.substr(open, close - open + 1);
+    if (params.find("CancellationToken") != std::string::npos) continue;
+    const int line =
+        static_cast<int>(std::count(stripped_all.begin(),
+                                    stripped_all.begin() +
+                                        static_cast<std::ptrdiff_t>(pos),
+                                    '\n')) +
+        1;
+    if (IsSuppressed(raw, static_cast<size_t>(line) - 1, "cancellation-token"))
+      continue;
+    out->push_back(
+        {path, line, "cancellation-token",
+         "kernel/generator entry point takes SearchStats* but no trailing "
+         "CancellationToken*; deadlines cannot reach this search loop"});
+  }
+}
+
+void CheckMetricRegistration(const std::string& path,
+                             const std::vector<std::string>& stripped,
+                             const std::vector<std::string>& raw,
+                             std::vector<Finding>* out) {
+  // The instruments' own implementation and its unit tests construct raw
+  // objects by design.
+  if (PathContains(path, "src/obs/") || PathContains(path, "tests/obs/")) {
+    return;
+  }
+  static const std::regex kAdhoc(
+      R"((\bstatic\s+|\bnew\s+)(::\s*)?(altroute\s*::\s*)?obs\s*::\s*(Counter|Gauge|Histogram)(Family)?\b)");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(stripped[i], m, kAdhoc)) continue;
+    // References returned by the registry are fine to cache in statics:
+    //   static obs::CounterFamily& f = reg.GetCounterFamily(...).
+    // The initializer may wrap, so look at a small window of the statement.
+    std::string window;
+    for (size_t j = i; j < stripped.size() && j < i + 3; ++j) {
+      window += stripped[j];
+      if (stripped[j].find(';') != std::string::npos) break;
+    }
+    if (window.find('&') != std::string::npos &&
+        window.find("Get") != std::string::npos) {
+      continue;
+    }
+    if (IsSuppressed(raw, i, "metric-registration")) continue;
+    out->push_back({path, static_cast<int>(i) + 1, "metric-registration",
+                    "ad-hoc metric instrument; register through "
+                    "obs::MetricsRegistry so /metrics exports it"});
+  }
+}
+
+void CheckSuppressionsJustified(const std::string& path,
+                                const std::vector<std::string>& raw,
+                                std::vector<Finding>* out) {
+  for (size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(raw[i], m, SuppressionRegex()) && !m[3].matched) {
+      out->push_back({path, static_cast<int>(i) + 1, "lint-suppression",
+                      "suppression for '" + m[1].str() +
+                          "' is missing its justification (append ': why')"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      "pragma-once",   "bare-catch",          "unchecked-parse",
+      "cancellation-token", "metric-registration", "lint-suppression",
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> out;
+  const std::string stripped_all = StripCommentsAndStrings(content);
+  const std::vector<std::string> stripped = SplitLines(stripped_all);
+  const std::vector<std::string> raw = SplitLines(content);
+  CheckPragmaOnce(path, stripped, &out);
+  CheckBareCatch(path, stripped, raw, &out);
+  CheckUncheckedParse(path, stripped, raw, &out);
+  CheckCancellationToken(path, stripped_all, raw, &out);
+  CheckMetricRegistration(path, stripped, raw, &out);
+  CheckSuppressionsJustified(path, raw, &out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Finding> LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LintContent(path, buf.str());
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> out;
+  std::vector<std::string> files;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root, ec), end;
+  if (ec) {
+    return {{root, 0, "io", "cannot open directory: " + ec.message()}};
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory()) {
+      // Skip generated/output trees and the deliberately-broken fixtures.
+      if (name == ".git" || name.rfind("build", 0) == 0 ||
+          name == "fixtures") {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (EndsWith(name, ".h") || EndsWith(name, ".cc")) {
+      files.push_back(p.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    std::vector<Finding> fnd = LintFile(f);
+    out.insert(out.end(), fnd.begin(), fnd.end());
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace altroute

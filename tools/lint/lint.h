@@ -1,0 +1,62 @@
+// altroute_lint: a file-scanning rule checker for project conventions that
+// clang-tidy cannot express. The rules are deliberately textual — they run in
+// milliseconds over the whole tree, need no compile database, and catch the
+// conventions that drift silently during refactors:
+//
+//   pragma-once          every header starts with #pragma once.
+//   bare-catch           no `catch (...)` outside the built-in allowlist;
+//                        a swallow-everything handler hides engine bugs.
+//   unchecked-parse      no raw std::stoi/atoi/strtol-family calls; parsing
+//                        must go through the hardened helpers in
+//                        util/string_util.h (ParseInt64/ParseDouble/...),
+//                        which reject empty input and trailing garbage.
+//   cancellation-token   every routing-kernel / generator entry point (any
+//                        declaration taking an obs::SearchStats*) must also
+//                        accept a trailing CancellationToken* so request
+//                        deadlines propagate into the search loops.
+//   metric-registration  metrics come from obs::MetricsRegistry, never from
+//                        ad-hoc `static obs::Counter ...` definitions that
+//                        /metrics cannot see.
+//
+// Suppressing a finding: add `// ALT_LINT(allow:<rule>): <reason>` on the
+// offending line or the line above. The reason is mandatory; a suppression
+// without one is itself reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace altroute {
+namespace lint {
+
+/// One rule violation at a specific location.
+struct Finding {
+  std::string file;     // path as given to the scanner
+  int line = 0;         // 1-based
+  std::string rule;     // e.g. "bare-catch"
+  std::string message;  // human-readable explanation
+
+  /// "file:line: [rule] message" — the compiler-style format editors parse.
+  std::string ToString() const;
+};
+
+/// Names of all implemented rules, in reporting order.
+const std::vector<std::string>& AllRules();
+
+/// Lints one file's contents. `path` decides which rules apply (headers vs
+/// sources, helper-implementation exemptions, allowlist entries) and is
+/// matched on suffix, so absolute and repo-relative paths both work.
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+/// Reads and lints one file from disk. Unreadable files produce a finding
+/// (rule "io") rather than a crash.
+std::vector<Finding> LintFile(const std::string& path);
+
+/// Recursively lints every .h/.cc file under `root`, skipping build trees
+/// (build*/), VCS internals (.git/), and the deliberately-broken lint
+/// fixtures (tests/lint/fixtures/). Results are sorted by path then line.
+std::vector<Finding> LintTree(const std::string& root);
+
+}  // namespace lint
+}  // namespace altroute
