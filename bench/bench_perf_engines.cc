@@ -2,6 +2,10 @@
 // verifying the paper's Sec. 2 cost claims: Plateaus ~ two Dijkstra trees;
 // Dissimilarity ~ two trees + dissimilarity checks; Penalty ~ k penalised
 // searches; the commercial stand-in is the heaviest (two generators + rank).
+//
+// With --bench-json FILE [--smoke] the binary instead runs its own
+// measurement loops and writes a BENCH_perf_engines.json report for
+// tools/bench_compare.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -79,6 +83,57 @@ BENCHMARK(BM_EngineDissimilarity)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EnginePenalty)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineCommercial)->Unit(benchmark::kMillisecond);
 
+/// --bench-json mode: one entry per engine, self-timed per-query samples
+/// with settled-node counters.
+int RunJsonMode(const std::string& out_path, bool smoke) {
+  const double scale = smoke ? 0.05 : 0.5;
+  const int iters = smoke ? 15 : 60;
+  auto net = City("melbourne", scale);
+  auto suite_or = EngineSuite::MakePaperSuite(net);
+  ALT_CHECK(suite_or.ok());
+  EngineSuite suite = std::move(suite_or).ValueOrDie();
+  BenchReporter reporter("perf_engines", smoke ? "smoke" : "full");
+  std::printf("perf_engines (%s): melbourne at scale %.2f, %d iterations\n",
+              smoke ? "smoke" : "full", scale, iters);
+
+  for (Approach a : kAllApproaches) {
+    AlternativeRouteGenerator& engine = suite.engine(a);
+    Rng rng(7);
+    obs::SearchStats stats;
+    const auto samples_ms = TimeIterationsMs(iters, [&] {
+      NodeId s, t;
+      do {
+        s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+        t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+      } while (s == t);
+      auto set = engine.Generate(s, t, &stats);
+      benchmark::DoNotOptimize(set);
+    });
+    std::map<std::string, double> counters;
+    for (const auto& [key, value] : SearchStatsCounters(stats)) {
+      if (value == 0.0) continue;
+      counters[key] = value / static_cast<double>(iters);
+    }
+    reporter.Add("engine_" + std::string(engine.name()), samples_ms,
+                 std::move(counters));
+  }
+  return reporter.WriteFile(out_path) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string bench_json;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-json" && i + 1 < argc) bench_json = argv[++i];
+    else if (arg == "--smoke") smoke = true;
+  }
+  if (!bench_json.empty()) return RunJsonMode(bench_json, smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,16 @@
 // Google-benchmark microbenchmarks of the routing substrate: Dijkstra
 // (one-to-one and full tree), bidirectional Dijkstra, A*, and contraction
 // hierarchies (build + query) on the synthetic study cities.
+//
+// With --bench-json FILE [--smoke] the binary instead runs its own
+// measurement loops and writes a BENCH_perf_routing.json report
+// (per-iteration p50/p95/p99 + settled-node counters) for
+// tools/bench_compare; --smoke shrinks the city and iteration counts to
+// CI size.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "obs/phase_timer.h"
 #include "routing/astar.h"
 #include "routing/bidirectional_dijkstra.h"
 #include "routing/contraction_hierarchy.h"
@@ -93,6 +100,38 @@ void BM_DijkstraPointToPointWithCancellation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DijkstraPointToPointWithCancellation);
+
+// Same query mix with a live RequestProfile and one PhaseTimer per query:
+// the delta against BM_DijkstraPointToPointProfileOff is the attribution
+// overhead (budget: p99 within 2% of the disabled path).
+void BM_DijkstraPointToPointProfiled(benchmark::State& state) {
+  auto net = BenchCity();
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  obs::RequestProfile profile;
+  for (auto _ : state) {
+    obs::PhaseTimer timer(&profile, "engine:dijkstra");
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraPointToPointProfiled);
+
+// The disabled path: identical loop, null profile (the PhaseTimer must be a
+// complete no-op — no clock reads, no allocation).
+void BM_DijkstraPointToPointProfileOff(benchmark::State& state) {
+  auto net = BenchCity();
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  for (auto _ : state) {
+    obs::PhaseTimer timer(nullptr, "engine:dijkstra");
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DijkstraPointToPointProfileOff);
 
 void BM_DijkstraFullTree(benchmark::State& state) {
   auto net = BenchCity();
@@ -207,6 +246,96 @@ void BM_NearestNeighborSnap(benchmark::State& state) {
 }
 BENCHMARK(BM_NearestNeighborSnap);
 
+/// --bench-json mode: self-timed measurement loops over a representative
+/// kernel subset, written as a BenchReport. Smoke mode shrinks the city and
+/// the iteration counts so the whole run fits a CI minute.
+int RunJsonMode(const std::string& out_path, bool smoke) {
+  const double scale = smoke ? 0.05 : 0.5;
+  const int iters = smoke ? 40 : 300;
+  auto net = City("melbourne", scale);
+  BenchReporter reporter("perf_routing", smoke ? "smoke" : "full");
+  std::printf("perf_routing (%s): melbourne at scale %.2f, %d iterations\n",
+              smoke ? "smoke" : "full", scale, iters);
+
+  Dijkstra dijkstra(*net);
+  Rng rng(1);
+  reporter.Add("dijkstra_p2p", TimeIterationsMs(iters, [&] {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }));
+
+  obs::SearchStats stats;
+  reporter.Add("dijkstra_p2p_stats",
+               TimeIterationsMs(iters,
+                                [&] {
+                                  const auto [s, t] = RandomQuery(*net, &rng);
+                                  auto r = dijkstra.ShortestPath(
+                                      s, t, net->travel_times(),
+                                      /*skip_edge=*/nullptr, &stats);
+                                  benchmark::DoNotOptimize(r);
+                                }),
+               {{"nodes_settled", static_cast<double>(stats.nodes_settled) /
+                                      static_cast<double>(iters)}});
+
+  obs::RequestProfile profile;
+  reporter.Add("dijkstra_p2p_profiled", TimeIterationsMs(iters, [&] {
+    obs::PhaseTimer timer(&profile, "engine:dijkstra");
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = dijkstra.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }));
+
+  BidirectionalDijkstra bidir(*net);
+  reporter.Add("bidirectional_dijkstra", TimeIterationsMs(iters, [&] {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = bidir.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }));
+
+  AStar astar(*net, MaxSpeedMps(*net, net->travel_times()));
+  reporter.Add("astar", TimeIterationsMs(iters, [&] {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = astar.ShortestPath(s, t, net->travel_times());
+    benchmark::DoNotOptimize(r);
+  }));
+
+  auto ch_or = ContractionHierarchy::Build(net, net->travel_times());
+  ALT_CHECK(ch_or.ok());
+  std::shared_ptr<const ContractionHierarchy> ch =
+      std::move(ch_or).ValueOrDie();
+  reporter.Add("ch_query", TimeIterationsMs(iters, [&] {
+    const auto [s, t] = RandomQuery(*net, &rng);
+    auto r = ch->ShortestPath(s, t);
+    benchmark::DoNotOptimize(r);
+  }));
+
+  SpatialIndex index(net->coords());
+  const BoundingBox& box = net->bounds();
+  reporter.Add("nearest_neighbor_snap", TimeIterationsMs(iters, [&] {
+    const LatLng q(rng.Uniform(box.min_lat, box.max_lat),
+                   rng.Uniform(box.min_lng, box.max_lng));
+    auto r = index.Nearest(q);
+    benchmark::DoNotOptimize(r);
+  }));
+
+  return reporter.WriteFile(out_path) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string bench_json;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-json" && i + 1 < argc) bench_json = argv[++i];
+    else if (arg == "--smoke") smoke = true;
+  }
+  if (!bench_json.empty()) return RunJsonMode(bench_json, smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,12 @@
 //
 //   bench_perf_server [--city melbourne] [--scale 0.2] [--seconds 2]
 //                     [--max-threads N (default: min(hw, 4))] [--clients C]
+//                     [--smoke] [--bench-json FILE]
+//
+// --smoke shrinks the run to CI size (tiny city, sub-second measurement,
+// at most 2 worker threads). --bench-json FILE additionally writes a
+// BENCH_perf_server.json report (per-request latency percentiles +
+// requests/s per thread count) for tools/bench_compare.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -15,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,13 +71,24 @@ struct Flags {
   double seconds = 2.0;
   int max_threads = 0;
   int clients = 0;
+  bool smoke = false;
+  std::string bench_json;
 };
 
 Flags ParseFlags(int argc, char** argv) {
   Flags f;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    const char* value = argv[i + 1];
+    if (key == "--smoke") {
+      // CI-sized run: tiny city, sub-second measurement, tiny thread sweep.
+      f.smoke = true;
+      f.scale = 0.05;
+      f.seconds = 0.3;
+      if (f.max_threads <= 0) f.max_threads = 2;
+      continue;
+    }
+    if (i + 1 >= argc) break;
+    const char* value = argv[++i];
     if (key == "--city") f.city = value;
     else if (key == "--scale") f.scale = ParseDouble(value).ValueOr(f.scale);
     else if (key == "--seconds") f.seconds = ParseDouble(value).ValueOr(f.seconds);
@@ -78,29 +96,48 @@ Flags ParseFlags(int argc, char** argv) {
       f.max_threads = static_cast<int>(ParseInt64(value).ValueOr(f.max_threads));
     else if (key == "--clients")
       f.clients = static_cast<int>(ParseInt64(value).ValueOr(f.clients));
+    else if (key == "--bench-json")
+      f.bench_json = value;
   }
   return f;
 }
 
-/// One closed-loop run: `clients` threads hammer /route until the deadline;
-/// returns completed 200 responses per second.
-double MeasureRps(uint16_t port, int clients, double seconds,
-                  const std::vector<std::string>& targets) {
+/// One closed-loop run's outcome: completed 200s per second, plus every
+/// completed request's wall time (for the BENCH_perf_server.json
+/// percentiles).
+struct RunResult {
+  double rps = 0.0;
+  std::vector<double> latencies_ms;
+};
+
+/// One closed-loop run: `clients` threads hammer /route until the deadline.
+RunResult MeasureRps(uint16_t port, int clients, double seconds,
+                     const std::vector<std::string>& targets) {
   std::atomic<uint64_t> completed{0};
   std::atomic<bool> stop{false};
+  std::mutex latencies_mu;
+  RunResult result;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
   const auto begin = std::chrono::steady_clock::now();
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       size_t i = static_cast<size_t>(c);  // offset so clients spread queries
+      std::vector<double> local_ms;
       while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
         const std::string response =
             HttpGet(port, targets[i++ % targets.size()]);
         if (response.find(" 200 ") != std::string::npos) {
           completed.fetch_add(1, std::memory_order_relaxed);
+          local_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
         }
       }
+      std::lock_guard<std::mutex> lock(latencies_mu);
+      result.latencies_ms.insert(result.latencies_ms.end(), local_ms.begin(),
+                                 local_ms.end());
     });
   }
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
@@ -109,7 +146,8 @@ double MeasureRps(uint16_t port, int clients, double seconds,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();
-  return static_cast<double>(completed.load()) / elapsed;
+  result.rps = static_cast<double>(completed.load()) / elapsed;
+  return result;
 }
 
 }  // namespace
@@ -148,6 +186,7 @@ int main(int argc, char** argv) {
     targets.emplace_back(buf);
   }
 
+  BenchReporter reporter("perf_server", flags.smoke ? "smoke" : "full");
   std::printf("%8s %12s %10s %10s\n", "threads", "requests/s", "speedup",
               "ideal");
   double base_rps = 0.0;
@@ -164,16 +203,23 @@ int main(int argc, char** argv) {
 
     // Short warmup so lazily-registered metrics and caches are in place.
     MeasureRps(server.port(), clients, 0.2, targets);
-    const double rps =
+    const RunResult run =
         MeasureRps(server.port(), clients, flags.seconds, targets);
     server.Stop();
 
-    if (threads == 1) base_rps = rps;
-    std::printf("%8d %12.1f %9.2fx %9dx\n", threads, rps,
-                base_rps > 0.0 ? rps / base_rps : 0.0, threads);
+    if (threads == 1) base_rps = run.rps;
+    std::printf("%8d %12.1f %9.2fx %9dx\n", threads, run.rps,
+                base_rps > 0.0 ? run.rps / base_rps : 0.0, threads);
+    if (!flags.bench_json.empty()) {
+      reporter.Add("route_t" + std::to_string(threads), run.latencies_ms,
+                   {{"requests_per_s", run.rps}});
+    }
   }
   std::printf("\n(speedup is against the single-threaded run; near-linear "
               "scaling is expected\n up to the physical core count because "
               "per-query searches are independent)\n");
+  if (!flags.bench_json.empty()) {
+    return reporter.WriteFile(flags.bench_json) ? 0 : 1;
+  }
   return 0;
 }

@@ -1,16 +1,21 @@
 // Shared helpers for the reproduction benches: city construction, one full
-// study run per process, the paper's published reference numbers, and
-// side-by-side "paper vs measured" table printing.
+// study run per process, the paper's published reference numbers,
+// side-by-side "paper vs measured" table printing, and the BenchReporter
+// behind the committed BENCH_*.json regression baselines.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "citygen/city_generator.h"
+#include "obs/bench_report.h"
 #include "obs/search_stats.h"
 #include "userstudy/tables.h"
 #include "util/check.h"
@@ -59,6 +64,73 @@ inline std::map<std::string, double> SearchStatsCounters(
       {"paths_generated", static_cast<double>(s.paths_generated)},
       {"paths_rejected", static_cast<double>(s.paths_rejected_total())},
   };
+}
+
+/// Accumulates per-iteration wall-time samples into a BenchReport
+/// (obs/bench_report.h) — the machine-readable output behind the committed
+/// BENCH_perf_{routing,engines,server}.json baselines and tools/bench_compare.
+/// Like the rest of this header it is independent of benchmark.h: the
+/// --bench-json modes run their own measurement loops so the recorded
+/// percentiles are true per-iteration numbers, not aggregate means.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench, std::string mode) {
+    report_.bench = std::move(bench);
+    report_.mode = std::move(mode);
+  }
+
+  /// Records one benchmark case from raw per-iteration samples.
+  void Add(const std::string& name, const std::vector<double>& samples_ms,
+           std::map<std::string, double> counters = {}) {
+    obs::BenchEntry e;
+    e.name = name;
+    e.samples = samples_ms.size();
+    e.p50_ms = obs::PercentileMs(samples_ms, 0.50);
+    e.p95_ms = obs::PercentileMs(samples_ms, 0.95);
+    e.p99_ms = obs::PercentileMs(samples_ms, 0.99);
+    double sum = 0.0;
+    for (double ms : samples_ms) sum += ms;
+    e.mean_ms = samples_ms.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(samples_ms.size());
+    e.counters = std::move(counters);
+    std::printf("  %-40s p50 %10.3f ms  p99 %10.3f ms  (%zu iters)\n",
+                name.c_str(), e.p50_ms, e.p99_ms, samples_ms.size());
+    report_.entries.push_back(std::move(e));
+  }
+
+  const obs::BenchReport& report() const { return report_; }
+
+  /// Writes the report; on failure prints the status and returns false (the
+  /// bench mains exit nonzero so CI cannot mistake a missing file for a run).
+  bool WriteFile(const std::string& path) const {
+    const Status st = report_.WriteFile(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return false;
+    }
+    std::printf("bench report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  obs::BenchReport report_;
+};
+
+/// Times `fn` for `iterations` runs and returns per-iteration milliseconds.
+template <typename Fn>
+std::vector<double> TimeIterationsMs(int iterations, Fn&& fn) {
+  std::vector<double> samples_ms;
+  samples_ms.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    fn();
+    samples_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+  }
+  return samples_ms;
 }
 
 /// One published table row: mean/sd per approach + response count.

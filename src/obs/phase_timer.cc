@@ -1,0 +1,70 @@
+#include "obs/phase_timer.h"
+
+#include <sstream>
+
+namespace altroute {
+namespace obs {
+
+void RequestProfile::Record(std::string_view name, double seconds) {
+  for (Phase& p : phases_) {
+    if (p.name == name) {
+      p.seconds += seconds;
+      return;
+    }
+  }
+  phases_.push_back(Phase{std::string(name), seconds});
+}
+
+void RequestProfile::RecordPreceding(std::string_view name, double seconds) {
+  Record(name, seconds);
+  preceding_s_ += seconds;
+}
+
+double RequestProfile::PhaseSum() const {
+  double sum = 0.0;
+  for (const Phase& p : phases_) sum += p.seconds;
+  return sum;
+}
+
+double RequestProfile::TotalSeconds() const {
+  return preceding_s_ +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+             .count();
+}
+
+std::string RequestProfile::ToJson() const {
+  // Hand-rolled rather than JsonWriter: obs must not depend on the server
+  // library, and the phase names are code literals that never need escaping.
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"total_ms\":" << TotalSeconds() * 1e3 << ",\"phases\":[";
+  bool first = true;
+  for (const Phase& p : phases_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << p.name << "\",\"ms\":" << p.seconds * 1e3 << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+PhaseTimer::PhaseTimer(RequestProfile* profile, std::string_view name)
+    : profile_(profile) {
+  if (profile_ == nullptr) return;
+  name_ = std::string(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void PhaseTimer::End() {
+  if (profile_ == nullptr) return;
+  profile_->Record(
+      name_, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count());
+  profile_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace altroute

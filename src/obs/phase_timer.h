@@ -1,0 +1,93 @@
+// Per-request performance attribution: a RequestProfile decomposes one
+// request's wall time into a small, bounded list of labeled phases (queue
+// wait, snapshot acquire, snap-to-graph, one sub-phase per engine, result
+// rendering, JSON serialization), so a latency regression names the layer
+// that regressed instead of only "the request got slower".
+//
+// Usage mirrors TraceSpan (obs/trace.h):
+//   RequestProfile profile;
+//   {
+//     PhaseTimer t(&profile, "snap");
+//     ... snap ...
+//   }  // records {"snap", elapsed}
+//   profile.Record("queue_wait", waited_s);   // measured elsewhere
+//
+// A PhaseTimer constructed with a null profile is a complete no-op — no
+// clock reads, no allocation — so call sites create timers unconditionally
+// and the disabled path costs nothing (same bar as SearchStats, proven by
+// BM_DijkstraPointToPointProfiled in bench_perf_routing).
+//
+// Re-recording an existing phase name accumulates into it, so a phase that
+// runs once per engine ("render") reports one aggregate entry.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace altroute {
+namespace obs {
+
+/// The labeled phase breakdown of one request. Not thread-safe (one request
+/// is processed on one thread; create one profile per request).
+class RequestProfile {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+  };
+
+  RequestProfile() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Adds `seconds` to phase `name` (appending it on first use). Phase
+  /// count stays bounded by the call sites: the taxonomy is fixed per
+  /// release, never derived from request data.
+  void Record(std::string_view name, double seconds);
+
+  /// Records a phase that happened BEFORE this profile was constructed
+  /// (queue wait, stamped by the HTTP layer): the time is also added to
+  /// TotalSeconds() so the phase sum and the total stay comparable.
+  void RecordPreceding(std::string_view name, double seconds);
+
+  /// Phases in first-recorded order.
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Sum of all recorded phase durations.
+  double PhaseSum() const;
+
+  /// Wall time since construction plus any RecordPreceding() time: the
+  /// request total the phase breakdown is attributed against.
+  double TotalSeconds() const;
+
+  /// {"total_ms":..., "phases":[{"name":"snap","ms":...}, ...]} — embedded
+  /// in ?trace=1 responses and slow-query records.
+  std::string ToJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  double preceding_s_ = 0.0;
+  std::vector<Phase> phases_;
+};
+
+/// RAII phase stopwatch; records into the profile on destruction or End().
+/// Null profile: complete no-op (the name is not even copied).
+class PhaseTimer {
+ public:
+  PhaseTimer(RequestProfile* profile, std::string_view name);
+  ~PhaseTimer() { End(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Ends the phase early (idempotent; the destructor calls it too).
+  void End();
+
+ private:
+  RequestProfile* profile_ = nullptr;
+  std::string name_;  // copied: call sites may pass temporaries
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace altroute

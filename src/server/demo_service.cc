@@ -1,5 +1,6 @@
 #include "server/demo_service.h"
 
+#include "obs/bench_report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/directions.h"
@@ -11,6 +12,34 @@
 namespace altroute {
 
 namespace {
+
+/// The performance-attribution instruments, registered once and cached.
+struct AttributionMetrics {
+  obs::HistogramFamily& phase_seconds;
+  obs::Counter& slow_queries;
+
+  static AttributionMetrics& Get() {
+    static AttributionMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new AttributionMetrics{
+          // Phase label cardinality is bounded: the fixed taxonomy
+          // (queue_wait, snapshot_acquire, snap, render, serialize) plus
+          // one "engine:<name>" per registered engine.
+          reg.GetHistogramFamily(
+              "altroute_request_phase_seconds",
+              "Wall time of one request phase (per-phase latency "
+              "attribution of /route).",
+              {"phase"},
+              // 10 us .. ~5 s in geometric steps of 2.
+              obs::ExponentialBuckets(1e-5, 2.0, 20)),
+          reg.GetCounter(
+              "altroute_slow_queries_total",
+              "Requests slower than the --slow-query-ms threshold."),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// City key for the single-pool convenience constructors: the network's
 /// display name lowercased ("Melbourne" -> "melbourne").
@@ -63,6 +92,13 @@ void DemoService::Install(HttpServer* server) {
                 [this](const HttpRequest& r) { return HandleReadyz(r); });
   server->Route("/admin/reload",
                 [this](const HttpRequest& r) { return HandleReload(r); });
+  server->Route("/debug/slow",
+                [this](const HttpRequest& r) { return HandleDebugSlow(r); });
+  server->Route("/debug/requests", [this](const HttpRequest& r) {
+    return HandleDebugRequests(r);
+  });
+  server->Route("/debug/build",
+                [this](const HttpRequest& r) { return HandleDebugBuild(r); });
 }
 
 namespace {
@@ -100,20 +136,32 @@ Result<std::shared_ptr<const NetworkSnapshot>> DemoService::ResolveSnapshot(
 }
 
 HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
+  obs::RequestProfile profile;
+  // Queue wait was measured by the HTTP layer before this handler existed;
+  // record it as a preceding phase so it counts into the total too.
+  if (req.queue_wait_s > 0.0) {
+    profile.RecordPreceding("queue_wait", req.queue_wait_s);
+  }
+
+  obs::PhaseTimer resolve_phase(&profile, "snapshot_acquire");
   auto snapshot = ResolveSnapshot(req);
+  resolve_phase.End();
   if (!snapshot.ok()) {
     // InvalidArgument here is a missing parameter, not bad content: 400.
     if (snapshot.status().IsInvalidArgument()) {
-      return HttpResponse::Error(400, snapshot.status().message());
+      return HttpResponse::Error(400, snapshot.status().message(),
+                                 req.request_id);
     }
-    return HttpResponse::FromStatus(snapshot.status());
+    return HttpResponse::FromStatus(snapshot.status(), req.request_id);
   }
   auto slat = QueryDouble(req, "slat");
   auto slng = QueryDouble(req, "slng");
   auto tlat = QueryDouble(req, "tlat");
   auto tlng = QueryDouble(req, "tlng");
   for (const auto* p : {&slat, &slng, &tlat, &tlng}) {
-    if (!p->ok()) return HttpResponse::Error(400, p->status().ToString());
+    if (!p->ok()) {
+      return HttpResponse::Error(400, p->status().ToString(), req.request_id);
+    }
   }
   const auto trace_it = req.query.find("trace");
   const bool want_trace = trace_it != req.query.end() &&
@@ -121,40 +169,93 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
   obs::Trace trace;
   // The snapshot shared_ptr is held for the whole request: a reload swap
   // that lands mid-query retires this generation only after we return.
+  // Waiting for a pool context accumulates into "snapshot_acquire" next to
+  // the resolve above: both are time spent obtaining the data plane.
+  obs::PhaseTimer lease_phase(&profile, "snapshot_acquire");
   QueryProcessorPool::Lease processor = (*snapshot)->pool->Acquire();
+  lease_phase.End();
   auto response = processor->Process(LatLng(*slat, *slng),
                                      LatLng(*tlat, *tlng),
                                      want_trace ? &trace : nullptr,
-                                     req.deadline);
+                                     req.deadline, &profile);
+  const std::string& city = (*snapshot)->network().name();
   if (!response.ok()) {
     // Semantic failures map by status code: snap failures 422, no route
-    // 404, spent request deadline 504 (see HttpStatusForStatusCode).
-    return HttpResponse::FromStatus(response.status());
+    // 404, spent request deadline 504 (see HttpStatusForStatusCode). They
+    // still feed the forensics log: a slow failure is still slow.
+    RecordRouteForensics(req, city, nullptr, profile);
+    return HttpResponse::FromStatus(response.status(), req.request_id);
   }
-  return HttpResponse::Json(
-      processor->ToJson(*response, want_trace ? &trace : nullptr));
+  HttpResponse ok = HttpResponse::Json(
+      processor->ToJson(*response, want_trace ? &trace : nullptr, &profile,
+                        req.request_id));
+  RecordRouteForensics(req, city, &*response, profile);
+  return ok;
+}
+
+void DemoService::RecordRouteForensics(const HttpRequest& req,
+                                       const std::string& city,
+                                       const QueryResponse* response,
+                                       const obs::RequestProfile& profile) {
+  AttributionMetrics& metrics = AttributionMetrics::Get();
+  for (const obs::RequestProfile::Phase& phase : profile.phases()) {
+    metrics.phase_seconds.WithLabels({phase.name}).Observe(phase.seconds);
+  }
+
+  SlowQueryRecord record;
+  record.request_id = req.request_id;
+  record.city = city;
+  // Copy only the route parameters we understand: the record must stay
+  // bounded and free of arbitrary client input.
+  for (const char* key : {"slat", "slng", "tlat", "tlng", "city", "trace"}) {
+    if (auto it = req.query.find(key); it != req.query.end()) {
+      record.params[key] = it->second;
+    }
+  }
+  record.total_ms = profile.TotalSeconds() * 1e3;
+  for (const obs::RequestProfile::Phase& phase : profile.phases()) {
+    record.phases.emplace_back(phase.name, phase.seconds * 1e3);
+  }
+  if (response != nullptr) {
+    record.degraded = response->degraded;
+    for (const ApproachDisplay& ad : response->approaches) {
+      record.engines.push_back(
+          SlowQueryEngine{ad.engine_name, ad.status, ad.elapsed_ms, ad.stats});
+    }
+  } else {
+    // Process() failed outright; there is no per-engine story to tell.
+    record.degraded = true;
+  }
+  record.budget_remaining_ms = req.deadline.is_infinite()
+                                   ? -1.0
+                                   : req.deadline.RemainingSeconds() * 1e3;
+  if (slow_queries_.Add(record)) metrics.slow_queries.Increment();
 }
 
 HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
   auto snapshot = ResolveSnapshot(req);
   if (!snapshot.ok()) {
     if (snapshot.status().IsInvalidArgument()) {
-      return HttpResponse::Error(400, snapshot.status().message());
+      return HttpResponse::Error(400, snapshot.status().message(),
+                                 req.request_id);
     }
-    return HttpResponse::FromStatus(snapshot.status());
+    return HttpResponse::FromStatus(snapshot.status(), req.request_id);
   }
   auto slat = QueryDouble(req, "slat");
   auto slng = QueryDouble(req, "slng");
   auto tlat = QueryDouble(req, "tlat");
   auto tlng = QueryDouble(req, "tlng");
   for (const auto* p : {&slat, &slng, &tlat, &tlng}) {
-    if (!p->ok()) return HttpResponse::Error(400, p->status().ToString());
+    if (!p->ok()) {
+      return HttpResponse::Error(400, p->status().ToString(), req.request_id);
+    }
   }
   auto label_it = req.query.find("label");
   const std::string label = label_it == req.query.end() ? "B" : label_it->second;
   if (label.size() != 1 || label[0] < 'A' ||
       label[0] >= 'A' + kNumApproaches) {
-    return HttpResponse::Error(400, "label must be one of A-D");
+    return HttpResponse::Error(400, "label must be one of A-D",
+                               req.request_id);
   }
   const auto approach = static_cast<Approach>(label[0] - 'A');
 
@@ -163,9 +264,11 @@ HttpResponse DemoService::HandleDirections(const HttpRequest& req) {
                                     LatLng(*tlat, *tlng), approach,
                                     /*stats=*/nullptr, req.deadline);
   if (!set.ok()) {
-    return HttpResponse::FromStatus(set.status());
+    return HttpResponse::FromStatus(set.status(), req.request_id);
   }
-  if (set->routes.empty()) return HttpResponse::Error(404, "no route found");
+  if (set->routes.empty()) {
+    return HttpResponse::Error(404, "no route found", req.request_id);
+  }
 
   JsonWriter w;
   w.BeginObject();
@@ -315,6 +418,72 @@ HttpResponse DemoService::HandleReload(const HttpRequest& req) {
                    : 500;
   }
   return r;
+}
+
+namespace {
+
+/// Shared shape of /debug/slow and /debug/requests: a records array of
+/// SlowQueryRecord JSON (the same layout the JSONL log persists).
+HttpResponse DebugRecordsResponse(const char* kind,
+                                  const std::vector<SlowQueryRecord>& records,
+                                  const SlowQueryLog& log) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("kind").String(kind);
+  w.Key("threshold_ms").Number(log.options().threshold_ms);
+  w.Key("offenders_total")
+      .Int(static_cast<int64_t>(log.offenders_total()));
+  w.Key("records").BeginArray();
+  for (const SlowQueryRecord& r : records) {
+    w.RawValue(SlowQueryRecordToJsonLine(r));
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(w.TakeString());
+}
+
+}  // namespace
+
+HttpResponse DemoService::HandleDebugSlow(const HttpRequest&) const {
+  return DebugRecordsResponse("slow", slow_queries_.Worst(), slow_queries_);
+}
+
+HttpResponse DemoService::HandleDebugRequests(const HttpRequest&) const {
+  return DebugRecordsResponse("recent", slow_queries_.Recent(), slow_queries_);
+}
+
+HttpResponse DemoService::HandleDebugBuild(const HttpRequest&) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("compiler").String(__VERSION__);
+#ifdef NDEBUG
+  w.Key("build_type").String("release");
+#else
+  w.Key("build_type").String("debug");
+#endif
+  w.Key("cxx_standard").Int(static_cast<int64_t>(__cplusplus));
+  w.Key("bench_schema_version").Int(obs::kBenchSchemaVersion);
+  w.Key("uptime_seconds")
+      .Number(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start_time_)
+                  .count());
+  w.Key("cities").BeginObject();
+  for (const std::string& city : manager_->cities()) {
+    auto snapshot = manager_->GetSnapshot(city);
+    w.Key(city).BeginObject();
+    w.Key("ready").Bool(snapshot.ok());
+    if (snapshot.ok()) {
+      w.Key("generation").Int(static_cast<int64_t>((*snapshot)->generation));
+      w.Key("nodes").Int(
+          static_cast<int64_t>((*snapshot)->network().num_nodes()));
+      w.Key("edges").Int(
+          static_cast<int64_t>((*snapshot)->network().num_edges()));
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse::Json(w.TakeString());
 }
 
 HttpResponse DemoService::HandleIndex(const HttpRequest&) const {

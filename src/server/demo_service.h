@@ -9,10 +9,14 @@
 //   GET  /metrics       - Prometheus text exposition of the process registry
 //   GET  /healthz       - liveness: 200 as long as the process serves
 //   GET  /readyz        - readiness: 200 iff every city has a valid snapshot
+//   GET  /debug/slow    - worst recorded requests with phase breakdowns
+//   GET  /debug/requests- most recent requests with phase breakdowns
+//   GET  /debug/build   - compiler / build mode / uptime / served cities
 //   POST /admin/reload  - [?city=] rebuild+validate+swap snapshot(s); a
 //                         failed reload keeps the old snapshot serving
 // /route additionally honours &trace=1, appending a "trace" member with the
-// query's span tree (wall times + per-engine search statistics).
+// query's span tree (wall times + per-engine search statistics) and a
+// "phases" member with the request's phase breakdown.
 //
 // Multi-city: query handlers take an optional `city` parameter. With exactly
 // one configured city it may be omitted; with several it is required (400).
@@ -24,13 +28,16 @@
 // the duration. RatingStore is internally synchronised.
 #pragma once
 
+#include <chrono>
 #include <memory>
 
+#include "obs/phase_timer.h"
 #include "server/http_server.h"
 #include "server/network_manager.h"
 #include "server/query_processor.h"
 #include "server/query_processor_pool.h"
 #include "server/rating_store.h"
+#include "server/slow_query_log.h"
 
 namespace altroute {
 
@@ -55,6 +62,8 @@ class DemoService {
 
   RatingStore& ratings() { return ratings_; }
   NetworkManager& manager() { return *manager_; }
+  /// Request forensics (--slow-query-ms / --slow-query-log wire up here).
+  SlowQueryLog& slow_queries() { return slow_queries_; }
 
  private:
   /// Picks the city for a query handler: explicit ?city=, or the single
@@ -72,9 +81,22 @@ class DemoService {
   HttpResponse HandleHealthz(const HttpRequest& req) const;
   HttpResponse HandleReadyz(const HttpRequest& req) const;
   HttpResponse HandleReload(const HttpRequest& req);
+  HttpResponse HandleDebugSlow(const HttpRequest& req) const;
+  HttpResponse HandleDebugRequests(const HttpRequest& req) const;
+  HttpResponse HandleDebugBuild(const HttpRequest& req) const;
+
+  /// Attribution sink for one finished /route request: observes every phase
+  /// into the altroute_request_phase_seconds histogram and feeds the
+  /// slow-query log. `response` is null when Process() failed outright.
+  void RecordRouteForensics(const HttpRequest& req, const std::string& city,
+                            const QueryResponse* response,
+                            const obs::RequestProfile& profile);
 
   std::shared_ptr<NetworkManager> manager_;
   RatingStore ratings_;
+  SlowQueryLog slow_queries_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace altroute

@@ -59,6 +59,14 @@ struct ServerMetrics {
   }
 };
 
+/// "r" + sequence number. Built by append, not operator+(const char*,
+/// string&&): GCC 12 raises a false-positive -Wrestrict on the latter.
+std::string RequestIdString(uint64_t id) {
+  std::string s = "r";
+  s += std::to_string(id);
+  return s;
+}
+
 void SetSocketTimeouts(int fd, const HttpServerOptions& options) {
   const auto set = [fd](int opt, int ms) {
     if (ms <= 0) return;
@@ -126,22 +134,27 @@ int HttpStatusForStatusCode(StatusCode code) {
   return 500;
 }
 
-HttpResponse HttpResponse::Error(int status, const std::string& message) {
+HttpResponse HttpResponse::Error(int status, const std::string& message,
+                                 const std::string& request_id) {
   JsonWriter w;
   w.BeginObject();
   w.Key("error").BeginObject();
   w.Key("code").String(ErrorCodeForHttpStatus(status));
   w.Key("message").String(message);
+  if (!request_id.empty()) w.Key("request_id").String(request_id);
   w.EndObject();
   w.EndObject();
   HttpResponse r;
   r.status = status;
   r.body = w.TakeString();
+  r.request_id = request_id;
   return r;
 }
 
-HttpResponse HttpResponse::FromStatus(const Status& status) {
-  return Error(HttpStatusForStatusCode(status.code()), status.message());
+HttpResponse HttpResponse::FromStatus(const Status& status,
+                                      const std::string& request_id) {
+  return Error(HttpStatusForStatusCode(status.code()), status.message(),
+               request_id);
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -242,17 +255,20 @@ void HttpServer::AcceptLoop() {
     }
     SetSocketTimeouts(fd, options_);
     // The deadline is stamped here, not at dispatch: a request that sat in
-    // the queue has already consumed part of its budget.
+    // the queue has already consumed part of its budget. The request id is
+    // assigned here too, so even shed connections are identifiable.
     const Deadline deadline = options_.request_timeout_ms > 0
                                   ? Deadline::AfterMs(options_.request_timeout_ms)
                                   : Deadline::Infinite();
+    const uint64_t request_id = next_request_id_.fetch_add(1) + 1;
     bool shed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (draining_ || queue_.size() >= options_.queue_capacity) {
         shed = true;
       } else {
-        queue_.push_back({fd, deadline});
+        queue_.push_back({fd, deadline, request_id,
+                          std::chrono::steady_clock::now()});
         ServerMetrics::Get().queue_depth.Set(
             static_cast<double>(queue_.size()));
       }
@@ -260,7 +276,10 @@ void HttpServer::AcceptLoop() {
     if (shed) {
       // Backpressure: reply immediately instead of queueing unbounded work.
       ServerMetrics::Get().shed.Increment();
-      SendResponse(fd, HttpResponse::Error(503, "server overloaded"), "shed");
+      SendResponse(fd,
+                   HttpResponse::Error(503, "server overloaded",
+                                       RequestIdString(request_id)),
+                   "shed");
       ::close(fd);
       continue;
     }
@@ -282,7 +301,12 @@ void HttpServer::WorkerLoop() {
     }
     {
       obs::GaugeGuard busy(metrics.workers_busy);
-      HandleConnection(conn.fd, conn.deadline);
+      const double queue_wait_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        conn.accepted_at)
+              .count();
+      HandleConnection(conn.fd, conn.deadline,
+                       RequestIdString(conn.request_id), queue_wait_s);
     }
     ::close(conn.fd);
   }
@@ -308,13 +332,17 @@ void HttpServer::SendResponse(int fd, const HttpResponse& resp,
   out << "HTTP/1.1 " << resp.status << " " << ReasonPhrase(resp.status)
       << "\r\n"
       << "Content-Type: " << resp.content_type << "\r\n"
-      << "Content-Length: " << resp.body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << resp.body;
+      << "Content-Length: " << resp.body.size() << "\r\n";
+  if (!resp.request_id.empty()) {
+    out << "X-Request-Id: " << resp.request_id << "\r\n";
+  }
+  out << "Connection: close\r\n\r\n" << resp.body;
   SendAll(fd, out.str());
 }
 
-void HttpServer::HandleConnection(int fd, const Deadline& deadline) {
+void HttpServer::HandleConnection(int fd, const Deadline& deadline,
+                                  const std::string& request_id,
+                                  double queue_wait_s) {
   obs::GaugeGuard inflight(ServerMetrics::Get().inflight);
 
   // Read until the end of headers (plus Content-Length body bytes).
@@ -339,13 +367,16 @@ void HttpServer::HandleConnection(int fd, const Deadline& deadline) {
     if (data.empty()) return;
     if (data.size() >= options_.max_header_bytes) {
       SendResponse(fd,
-                   HttpResponse::Error(431, "request header fields too large"),
+                   HttpResponse::Error(431, "request header fields too large",
+                                       request_id),
                    "malformed");
     } else if (timed_out) {
-      SendResponse(fd, HttpResponse::Error(408, "request timed out"),
+      SendResponse(fd,
+                   HttpResponse::Error(408, "request timed out", request_id),
                    "malformed");
     } else {
-      SendResponse(fd, HttpResponse::Error(400, "malformed request"),
+      SendResponse(fd,
+                   HttpResponse::Error(400, "malformed request", request_id),
                    "malformed");
     }
     return;
@@ -361,8 +392,9 @@ void HttpServer::HandleConnection(int fd, const Deadline& deadline) {
     }
     std::string target;
     if (!ParseRequestLine(request_line, &req.method, &target)) {
-      SendResponse(fd, HttpResponse::Error(400, "malformed request line"),
-                   "malformed");
+      SendResponse(
+          fd, HttpResponse::Error(400, "malformed request line", request_id),
+          "malformed");
       return;
     }
     std::string raw_query;
@@ -400,21 +432,27 @@ void HttpServer::HandleConnection(int fd, const Deadline& deadline) {
                          std::min(content_length, data.size() - body_start));
 
   req.deadline = deadline;
+  req.request_id = request_id;
+  req.queue_wait_s = queue_wait_s;
 
   HttpResponse resp;
   auto it = routes_.find(req.path);
   if (it == routes_.end()) {
-    resp = HttpResponse::Error(404, "no such endpoint: " + req.path);
+    resp = HttpResponse::Error(404, "no such endpoint: " + req.path,
+                               request_id);
   } else if (deadline.Expired()) {
     // The budget was spent on queue wait + parsing; do not start the
     // handler's (possibly expensive) work at all.
-    resp = HttpResponse::Error(504, "request deadline exceeded before dispatch");
+    resp = HttpResponse::Error(
+        504, "request deadline exceeded before dispatch", request_id);
   } else {
     resp = it->second(req);
   }
+  // Every response carries the id, whether or not the handler set it.
+  resp.request_id = request_id;
   // Decoded for human eyes only; matching and metric labels use raw bytes.
-  ALTROUTE_LOG(Debug) << req.method << " " << UrlDecode(req.path) << " -> "
-                      << resp.status;
+  ALTROUTE_LOG(Debug) << request_id << " " << req.method << " "
+                      << UrlDecode(req.path) << " -> " << resp.status;
   SendResponse(fd, resp, it == routes_.end() ? "unmatched" : req.path);
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -37,6 +38,14 @@ struct HttpRequest {
   /// accepted (queue wait counts against it). Infinite when the server runs
   /// without --request-timeout-ms. Handlers thread it into their work.
   Deadline deadline;
+  /// Server-assigned id ("r" + accept sequence number), stamped when the
+  /// connection was accepted. Threaded through logs, trace output, error
+  /// bodies and slow-query records, and echoed as X-Request-Id, so one slow
+  /// request can be followed across every surface.
+  std::string request_id;
+  /// Seconds this request waited in the connection queue before a worker
+  /// picked it up. Handlers record it as the "queue_wait" phase.
+  double queue_wait_s = 0.0;
 };
 
 /// The HTTP status a Status-valued handler failure maps to: 422 for
@@ -49,17 +58,24 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Echoed as the X-Request-Id response header when non-empty. The server
+  /// fills it from HttpRequest::request_id after the handler runs.
+  std::string request_id;
 
   static HttpResponse Json(std::string json) {
     HttpResponse r;
     r.body = std::move(json);
     return r;
   }
-  /// A structured error body: {"error": {"code": "...", "message": "..."}}.
-  /// The code string is the snake_case error class of the HTTP status.
-  static HttpResponse Error(int status, const std::string& message);
+  /// A structured error body:
+  ///   {"error": {"code": "...", "message": "...", "request_id": "..."}}
+  /// The code string is the snake_case error class of the HTTP status; the
+  /// request_id member is present only when one was assigned.
+  static HttpResponse Error(int status, const std::string& message,
+                            const std::string& request_id = "");
   /// Maps a non-OK Status to Error(HttpStatusForStatusCode(code), message).
-  static HttpResponse FromStatus(const Status& status);
+  static HttpResponse FromStatus(const Status& status,
+                                 const std::string& request_id = "");
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -118,7 +134,8 @@ class HttpServer {
  private:
   void AcceptLoop();
   void WorkerLoop();
-  void HandleConnection(int fd, const Deadline& deadline);
+  void HandleConnection(int fd, const Deadline& deadline,
+                        const std::string& request_id, double queue_wait_s);
   /// Writes the full payload with MSG_NOSIGNAL; false on error (EPIPE etc.).
   static bool SendAll(int fd, std::string_view payload);
   /// Serialises `resp`, sends it, and counts it under
@@ -137,11 +154,18 @@ class HttpServer {
   std::vector<std::thread> workers_;
 
   /// An accepted connection plus its request deadline (stamped at accept so
-  /// queue wait burns budget).
+  /// queue wait burns budget), its id, and its accept timestamp (so the
+  /// worker can attribute queue wait as a request phase).
   struct QueuedConnection {
     int fd;
     Deadline deadline;
+    uint64_t request_id;
+    std::chrono::steady_clock::time_point accepted_at;
   };
+
+  /// Monotonic request-id source; ids are assigned at accept, before
+  /// queueing, so even shed connections are identifiable in logs.
+  std::atomic<uint64_t> next_request_id_{0};
 
   std::mutex mu_;
   std::condition_variable queue_cv_;

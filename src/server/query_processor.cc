@@ -182,17 +182,20 @@ static Result<Snapped> Snap(const SpatialIndex& index, const RoadNetwork& net,
 Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
                                               const LatLng& target,
                                               obs::Trace* trace,
-                                              Deadline deadline) {
+                                              Deadline deadline,
+                                              obs::RequestProfile* profile) {
   const std::string& city = suite_.network().name();
   QueryMetrics& metrics = QueryMetrics::Get();
   obs::TraceSpan query_span(trace, "query");
 
   obs::TraceSpan snap_span(trace, "snap");
+  obs::PhaseTimer snap_phase(profile, "snap");
   Status snap_fault = FaultInjector::Global().Check("snap");
   auto snapped_or = snap_fault.ok()
                         ? Snap(*index_, suite_.network(), source, target,
                                max_snap_distance_m_)
                         : Result<Snapped>(snap_fault);
+  snap_phase.End();
   snap_span.End();
   if (!snapped_or.ok()) {
     metrics.query_errors.WithLabels({city}).Increment();
@@ -274,12 +277,18 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
             .count();
     RecordEngineRun(engine.name(), city, search_stats, elapsed_s);
+    if (profile != nullptr) {
+      profile->Record("engine:" + engine.name(), elapsed_s);
+    }
     if (obs::SearchStats* sink = span.stats()) sink->MergeFrom(search_stats);
     span.SetAttr("label", approach_label);
     ++engines_done;
 
     ApproachDisplay ad;
     ad.label = ApproachLabel(a);
+    ad.engine_name = engine.name();
+    ad.elapsed_ms = elapsed_s * 1e3;
+    ad.stats = search_stats;
     AlternativeSet set;
     if (!set_or.ok()) {
       // Fault isolation: this engine ships empty, the others still run.
@@ -311,6 +320,9 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
     }
     span.SetAttr("routes", std::to_string(set.routes.size()));
 
+    // "render" accumulates across engines: one aggregate entry for turning
+    // raw paths into display routes (travel time, simplify, polyline).
+    obs::PhaseTimer render_phase(profile, "render");
     for (const Path& p : set.routes) {
       DisplayedRoute route;
       // The demo computes every approach's displayed travel time from the
@@ -322,6 +334,7 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
           PathCoords(suite_.network(), p), polyline_tolerance_m_));
       ad.routes.push_back(std::move(route));
     }
+    render_phase.End();
     response.approaches.push_back(std::move(ad));
   }
   if (engines_failed == num_engines) {
@@ -351,9 +364,16 @@ Result<AlternativeSet> QueryProcessor::GenerateFor(const LatLng& source,
 }
 
 std::string QueryProcessor::ToJson(const QueryResponse& response,
-                                   const obs::Trace* trace) const {
+                                   const obs::Trace* trace,
+                                   obs::RequestProfile* profile,
+                                   std::string_view request_id) const {
+  // Serialization is itself a phase: it runs until just before the phases
+  // block is written, so the breakdown accounts for (almost all of) the
+  // bytes it is embedded in.
+  obs::PhaseTimer serialize_phase(profile, "serialize");
   JsonWriter w;
   w.BeginObject();
+  if (!request_id.empty()) w.Key("request_id").String(request_id);
   w.Key("snapped_source").Int(static_cast<int64_t>(response.snapped_source));
   w.Key("snapped_target").Int(static_cast<int64_t>(response.snapped_target));
   w.Key("degraded").Bool(response.degraded);
@@ -377,6 +397,13 @@ std::string QueryProcessor::ToJson(const QueryResponse& response,
   w.EndArray();
   if (trace != nullptr && trace->size() > 0) {
     w.Key("trace").RawValue(trace->ToJson());
+  }
+  serialize_phase.End();
+  if (trace != nullptr && profile != nullptr) {
+    // Phase breakdown ships only on ?trace=1, alongside the span tree; the
+    // profile still timed "serialize" above either way (slow-query records
+    // need it even for untraced requests).
+    w.Key("phases").RawValue(profile->ToJson());
   }
   w.EndObject();
   return w.TakeString();

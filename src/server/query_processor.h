@@ -6,10 +6,13 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/engine_registry.h"
 #include "geo/spatial_index.h"
+#include "obs/phase_timer.h"
+#include "obs/search_stats.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
 
@@ -36,6 +39,13 @@ struct ApproachDisplay {
   std::string status = "ok";
   /// Human-readable detail when status != "ok".
   std::string message;
+
+  // Forensics fields, filled by Process() for slow-query records and
+  // /debug endpoints. NOT serialized into the participant-facing JSON:
+  // engine_name would unmask the A-D identity blinding.
+  std::string engine_name;
+  double elapsed_ms = 0.0;
+  obs::SearchStats stats;
 };
 
 /// The full response for a query.
@@ -76,14 +86,24 @@ class QueryProcessor {
   /// Only when the *request* deadline is spent before an engine can start
   /// does the call fail with DeadlineExceeded (the server answers 504). All
   /// four engines failing returns the first failure's status.
+  ///
+  /// A non-null `profile` receives the phase breakdown ("snap", one
+  /// "engine:<name>" per engine, "render"); null costs nothing.
   Result<QueryResponse> Process(const LatLng& source, const LatLng& target,
                                 obs::Trace* trace = nullptr,
-                                Deadline deadline = {});
+                                Deadline deadline = {},
+                                obs::RequestProfile* profile = nullptr);
 
   /// Serialises a response to JSON for the web UI. A non-null `trace`
-  /// contributes an extra "trace" member with the recorded span tree.
+  /// contributes an extra "trace" member with the recorded span tree. A
+  /// non-null `profile` times serialization as the "serialize" phase and —
+  /// when `trace` is also non-null (?trace=1) — embeds the phase breakdown
+  /// as a "phases" member. A non-empty `request_id` is echoed as a
+  /// top-level "request_id" member.
   std::string ToJson(const QueryResponse& response,
-                     const obs::Trace* trace = nullptr) const;
+                     const obs::Trace* trace = nullptr,
+                     obs::RequestProfile* profile = nullptr,
+                     std::string_view request_id = {}) const;
 
   /// Snaps the clicked coordinates and runs ONE approach, returning the raw
   /// route set (for directions/GeoJSON endpoints that need geometry).

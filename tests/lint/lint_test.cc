@@ -177,6 +177,52 @@ TEST(SuppressionRule, UnjustifiedSuppressionIsAFindingAndDoesNotSilence) {
   EXPECT_EQ(rules[1], "unchecked-parse");
 }
 
+// --------------------------------------------------------- debug-endpoint-doc
+
+TEST(DebugEndpointDocRule, FlagsUndocumentedDebugRoute) {
+  const std::string code =
+      "void Install(HttpServer* s) {\n"
+      "  s->Route(\"/debug/frobnicate\", handler);\n"
+      "}\n";
+  auto findings = CheckDebugEndpointDocs("src/server/x.cc", code,
+                                         "# README\nno endpoint table here\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "debug-endpoint-doc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("/debug/frobnicate"), std::string::npos);
+}
+
+TEST(DebugEndpointDocRule, DocumentedRouteIsClean) {
+  const std::string code = "s->Route(\"/debug/slow\", handler);\n";
+  const std::string readme =
+      "| `GET /debug/slow` | worst requests by total time |\n";
+  ExpectClean(CheckDebugEndpointDocs("src/server/x.cc", code, readme));
+}
+
+TEST(DebugEndpointDocRule, NonDebugRoutesAreNotCovered) {
+  ExpectClean(CheckDebugEndpointDocs(
+      "src/server/x.cc", "s->Route(\"/metrics\", handler);\n", "nothing"));
+}
+
+TEST(DebugEndpointDocRule, OnlyAppliesToSourceFiles) {
+  ExpectClean(CheckDebugEndpointDocs(
+      "src/server/x.h", "s->Route(\"/debug/hidden\", handler);\n", ""));
+}
+
+TEST(DebugEndpointDocRule, JustifiedSuppressionSilencesTheFinding) {
+  const std::string code =
+      "// ALT_LINT(allow:debug-endpoint-doc): experimental, docs follow\n"
+      "s->Route(\"/debug/experimental\", handler);\n";
+  ExpectClean(CheckDebugEndpointDocs("src/server/x.cc", code, ""));
+}
+
+TEST(DebugEndpointDocRule, RepoTreeDebugEndpointsAreAllDocumented) {
+  // The repo-wide gate runs LintTree over the real tree: every /debug/*
+  // route DemoService registers must therefore stay in README.md.
+  ExpectClean(LintTree(std::string(ALTROUTE_LINT_FIXTURES_DIR) +
+                       "/../../.."));
+}
+
 // -------------------------------------------------------------- infra / misc
 
 TEST(Lint, CleanFileHasNoFindings) {
@@ -197,7 +243,7 @@ TEST(Lint, AllRulesListsEveryRuleOnce) {
               sorted.end());
   for (const char* expected :
        {"pragma-once", "bare-catch", "unchecked-parse", "cancellation-token",
-        "metric-registration", "lint-suppression"}) {
+        "metric-registration", "lint-suppression", "debug-endpoint-doc"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
         << "missing rule " << expected;
   }

@@ -1,0 +1,177 @@
+#include "server/slow_query_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+SlowQueryRecord Record(const std::string& id, double total_ms) {
+  SlowQueryRecord r;
+  r.request_id = id;
+  r.city = "melbourne";
+  r.params["slat"] = "-37.81";
+  r.params["slng"] = "144.96";
+  r.total_ms = total_ms;
+  r.phases = {{"snap", total_ms * 0.1}, {"engine:plateaus", total_ms * 0.8}};
+  SlowQueryEngine e;
+  e.name = "plateaus";
+  e.elapsed_ms = total_ms * 0.8;
+  e.stats.nodes_settled = 100;
+  e.stats.edges_relaxed = 250;
+  r.engines.push_back(e);
+  r.budget_remaining_ms = 42.0;
+  return r;
+}
+
+TEST(SlowQueryRecordTest, JsonLineRoundTrip) {
+  SlowQueryRecord r = Record("r17", 12.5);
+  r.degraded = true;
+  const std::string line = SlowQueryRecordToJsonLine(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // JSONL: one line
+  const auto parsed = ParseSlowQueryRecordJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->request_id, "r17");
+  EXPECT_EQ(parsed->city, "melbourne");
+  EXPECT_EQ(parsed->params.at("slat"), "-37.81");
+  EXPECT_DOUBLE_EQ(parsed->total_ms, 12.5);
+  ASSERT_EQ(parsed->phases.size(), 2u);
+  EXPECT_EQ(parsed->phases[0].first, "snap");
+  EXPECT_EQ(parsed->phases[1].first, "engine:plateaus");
+  ASSERT_EQ(parsed->engines.size(), 1u);
+  EXPECT_EQ(parsed->engines[0].name, "plateaus");
+  EXPECT_EQ(parsed->engines[0].status, "ok");
+  EXPECT_EQ(parsed->engines[0].stats.nodes_settled, 100u);
+  EXPECT_DOUBLE_EQ(parsed->budget_remaining_ms, 42.0);
+  EXPECT_TRUE(parsed->degraded);
+}
+
+TEST(SlowQueryRecordTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(
+      ParseSlowQueryRecordJsonLine("{half a rec").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSlowQueryRecordJsonLine("[]").status().IsInvalidArgument());
+  // Valid JSON that is not a slow-query record.
+  EXPECT_TRUE(
+      ParseSlowQueryRecordJsonLine("{\"x\":1}").status().IsInvalidArgument());
+}
+
+TEST(SlowQueryLogTest, RecentRingEvictsOldestAndReturnsNewestFirst) {
+  SlowQueryLog::Options options;
+  options.recent_capacity = 3;
+  SlowQueryLog log(options);
+  for (int i = 1; i <= 5; ++i) {
+    std::string id = "r";  // built by append: GCC 12 -Wrestrict false
+    id += std::to_string(i);  // positive on operator+(const char*, string&&)
+    log.Add(Record(id, static_cast<double>(i)));
+  }
+  const auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].request_id, "r5");  // newest first
+  EXPECT_EQ(recent[1].request_id, "r4");
+  EXPECT_EQ(recent[2].request_id, "r3");  // r1, r2 evicted
+}
+
+TEST(SlowQueryLogTest, WorstListKeepsSlowestSorted) {
+  SlowQueryLog::Options options;
+  options.worst_capacity = 3;
+  SlowQueryLog log(options);
+  log.Add(Record("fast", 1.0));
+  log.Add(Record("slowest", 100.0));
+  log.Add(Record("mid", 10.0));
+  log.Add(Record("slow", 50.0));
+  const auto worst = log.Worst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_EQ(worst[0].request_id, "slowest");
+  EXPECT_EQ(worst[1].request_id, "slow");
+  EXPECT_EQ(worst[2].request_id, "mid");  // "fast" fell off the list
+}
+
+TEST(SlowQueryLogTest, ThresholdBoundaryIsStrict) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 10.0;
+  SlowQueryLog log(options);
+  EXPECT_FALSE(log.Add(Record("under", 9.999)));
+  EXPECT_FALSE(log.Add(Record("exact", 10.0)));  // == threshold: NOT an offender
+  EXPECT_TRUE(log.Add(Record("over", 10.001)));
+  EXPECT_EQ(log.offenders_total(), 1u);
+}
+
+TEST(SlowQueryLogTest, ZeroThresholdDisablesOffenders) {
+  SlowQueryLog log;
+  EXPECT_FALSE(log.Add(Record("r1", 99999.0)));
+  EXPECT_EQ(log.offenders_total(), 0u);
+  EXPECT_EQ(log.Recent().size(), 1u);  // rings still record everything
+}
+
+class SlowQueryPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/altroute_slow_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SlowQueryPersistenceTest, OffendersSurviveRestart) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 5.0;
+  {
+    SlowQueryLog log(options);
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    EXPECT_TRUE(log.Add(Record("r1", 20.0)));
+    EXPECT_FALSE(log.Add(Record("r2", 1.0)));  // under threshold: not persisted
+    EXPECT_TRUE(log.Add(Record("r3", 30.0)));
+  }
+  SlowQueryLog reborn(options);
+  ASSERT_TRUE(reborn.AttachFile(path_).ok());
+  EXPECT_EQ(reborn.corrupt_lines_recovered(), 0u);
+  const auto worst = reborn.Worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].request_id, "r3");
+  EXPECT_EQ(worst[1].request_id, "r1");
+  // Replayed stats round-trip too.
+  EXPECT_EQ(worst[0].engines.at(0).stats.nodes_settled, 100u);
+}
+
+TEST_F(SlowQueryPersistenceTest, TornTailIsHealedAndCounted) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 5.0;
+  {
+    SlowQueryLog log(options);
+    ASSERT_TRUE(log.AttachFile(path_).ok());
+    EXPECT_TRUE(log.Add(Record("r1", 20.0)));
+  }
+  // Simulate a crash mid-append: a truncated record with no newline.
+  {
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << "{\"request_id\":\"torn";
+  }
+  SlowQueryLog reborn(options);
+  ASSERT_TRUE(reborn.AttachFile(path_).ok());
+  EXPECT_EQ(reborn.corrupt_lines_recovered(), 1u);
+  ASSERT_EQ(reborn.Worst().size(), 1u);
+  EXPECT_EQ(reborn.Worst()[0].request_id, "r1");
+
+  // The heal means new appends start on a fresh line: a third generation
+  // replays both intact records and still exactly one corrupt line.
+  EXPECT_TRUE(reborn.Add(Record("r2", 40.0)));
+  SlowQueryLog third(options);
+  ASSERT_TRUE(third.AttachFile(path_).ok());
+  EXPECT_EQ(third.corrupt_lines_recovered(), 1u);
+  ASSERT_EQ(third.Worst().size(), 2u);
+  EXPECT_EQ(third.Worst()[0].request_id, "r2");
+}
+
+TEST_F(SlowQueryPersistenceTest, AttachFailsOnUnopenablePath) {
+  SlowQueryLog log;
+  EXPECT_TRUE(log.AttachFile("/nonexistent-dir/slow.jsonl").IsIOError());
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,78 @@
+#include "util/json_parse.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e2")->AsNumber(), -150.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, ParsesStringEscapes) {
+  const auto v = ParseJson(R"("a\"b\\c\/d\n\t\r\b\f")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(ParseJson(R"("A")")->AsString(), "A");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  const auto v = ParseJson(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  ASSERT_TRUE(v.ok());
+  const auto& a = *v->Find("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.AsArray().size(), 3u);
+  EXPECT_TRUE(a.AsArray()[2].Find("b")->AsBool());
+  EXPECT_TRUE(v->Find("c")->Find("d")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, TolerantAccessorsFallBack) {
+  const auto v = ParseJson(R"({"n":3,"s":"x","b":true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->GetNumber("n", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(v->GetNumber("s", -1.0), -1.0);   // wrong type
+  EXPECT_DOUBLE_EQ(v->GetNumber("gone", -1.0), -1.0);  // absent
+  EXPECT_EQ(v->GetString("s", "f"), "x");
+  EXPECT_EQ(v->GetString("n", "f"), "f");
+  EXPECT_TRUE(v->GetBool("b", false));
+  EXPECT_TRUE(v->GetBool("gone", true));
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseJson("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("{").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("[1,").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("\"unterminated").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("{\"a\" 1}").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("nul").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("01").status().IsInvalidArgument());
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_TRUE(ParseJson("{} x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJson("1 2").status().IsInvalidArgument());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_TRUE(ParseJson(deep).status().IsInvalidArgument());
+}
+
+TEST(JsonParseTest, WhitespaceIsInsignificant) {
+  const auto v = ParseJson("  { \"a\" :\t[ 1 ,\n2 ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->AsArray().size(), 2u);
+}
+
+}  // namespace
+}  // namespace altroute

@@ -137,6 +137,14 @@ Commands:
       [--ratings-file FILE]                            persist submissions as
                                                        append-only JSONL,
                                                        replayed on restart
+      [--slow-query-ms MS]                             requests strictly
+                                                       slower than MS are
+                                                       logged as slow-query
+                                                       offenders (0 disables;
+                                                       browse /debug/slow)
+      [--slow-query-log FILE]                          persist offenders as
+                                                       append-only JSONL,
+                                                       replayed on restart
                                                        health at /healthz,
                                                        readiness at /readyz;
                                                        POST /admin/reload or
@@ -400,7 +408,9 @@ int CmdServe(const Args& args) {
   auto port_or = ValidatedIntFlag(args, "port", 8080, 0, 65535);
   auto timeout_or =
       ValidatedIntFlag(args, "request-timeout-ms", 10000, 0, 3600000);
-  for (const Result<int64_t>* flag : {&threads_or, &port_or, &timeout_or}) {
+  auto slow_ms_or = ValidatedIntFlag(args, "slow-query-ms", 0, 0, 3600000);
+  for (const Result<int64_t>* flag :
+       {&threads_or, &port_or, &timeout_or, &slow_ms_or}) {
     if (!flag->ok()) {
       std::fprintf(stderr, "%s\n", flag->status().message().c_str());
       return 2;
@@ -442,6 +452,22 @@ int CmdServe(const Args& args) {
                 "skipped)\n",
                 ratings_file.c_str(), service.ratings().size(),
                 service.ratings().corrupt_lines_recovered());
+  }
+  if (*slow_ms_or > 0) {
+    service.slow_queries().set_threshold_ms(static_cast<double>(*slow_ms_or));
+  }
+  if (const std::string slow_log = args.Get("slow-query-log");
+      !slow_log.empty()) {
+    const Status attached = service.slow_queries().AttachFile(slow_log);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "%s\n", attached.ToString().c_str());
+      return 1;
+    }
+    std::printf("Slow queries persisted to %s (%zu corrupt line(s) skipped); "
+                "threshold %lld ms\n",
+                slow_log.c_str(),
+                service.slow_queries().corrupt_lines_recovered(),
+                static_cast<long long>(*slow_ms_or));
   }
   HttpServerOptions options;
   options.num_threads = threads;

@@ -341,6 +341,28 @@ void CheckSuppressionsJustified(const std::string& path,
 
 }  // namespace
 
+std::vector<Finding> CheckDebugEndpointDocs(const std::string& path,
+                                            const std::string& content,
+                                            const std::string& readme_content) {
+  std::vector<Finding> out;
+  if (!EndsWith(path, ".cc")) return out;
+  // Registrations live inside string literals, so this rule matches RAW
+  // lines (string contents are exactly what it needs).
+  const std::vector<std::string> raw = SplitLines(content);
+  static const std::regex kRegistration(R"!(Route\(\s*"(/debug/[^"]*)")!");
+  for (size_t i = 0; i < raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw[i], m, kRegistration)) continue;
+    const std::string endpoint = m[1].str();
+    if (readme_content.find(endpoint) != std::string::npos) continue;
+    if (IsSuppressed(raw, i, "debug-endpoint-doc")) continue;
+    out.push_back({path, static_cast<int>(i) + 1, "debug-endpoint-doc",
+                   "debug endpoint '" + endpoint +
+                       "' is not documented in the README endpoint table"});
+  }
+  return out;
+}
+
 std::string Finding::ToString() const {
   std::ostringstream os;
   os << file << ":" << line << ": [" << rule << "] " << message;
@@ -351,6 +373,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "pragma-once",   "bare-catch",          "unchecked-parse",
       "cancellation-token", "metric-registration", "lint-suppression",
+      "debug-endpoint-doc",
   };
   return kRules;
 }
@@ -409,9 +432,33 @@ std::vector<Finding> LintTree(const std::string& root) {
       files.push_back(p.generic_string());
     }
   }
+  // The endpoint table the debug-endpoint-doc rule checks against.
+  std::string readme;
+  {
+    std::ifstream in(fs::path(root) / "README.md", std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      readme = buf.str();
+    }
+  }
   std::sort(files.begin(), files.end());
   for (const std::string& f : files) {
     std::vector<Finding> fnd = LintFile(f);
+    if (!readme.empty() && EndsWith(f, ".cc")) {
+      std::ifstream in(f, std::ios::binary);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<Finding> doc = CheckDebugEndpointDocs(f, buf.str(), readme);
+        fnd.insert(fnd.end(), doc.begin(), doc.end());
+        std::sort(fnd.begin(), fnd.end(),
+                  [](const Finding& a, const Finding& b) {
+                    if (a.line != b.line) return a.line < b.line;
+                    return a.rule < b.rule;
+                  });
+      }
+    }
     out.insert(out.end(), fnd.begin(), fnd.end());
   }
   return out;

@@ -17,6 +17,11 @@
 //   metric-registration  metrics come from obs::MetricsRegistry, never from
 //                        ad-hoc `static obs::Counter ...` definitions that
 //                        /metrics cannot see.
+//   debug-endpoint-doc   every `/debug/...` route registered in code must be
+//                        documented in the README endpoint table; forensic
+//                        endpoints nobody can find are dead weight. (Tree
+//                        scans read README.md from the root; the rule is
+//                        skipped when no README content is available.)
 //
 // Suppressing a finding: add `// ALT_LINT(allow:<rule>): <reason>` on the
 // offending line or the line above. The reason is mandatory; a suppression
@@ -48,6 +53,15 @@ const std::vector<std::string>& AllRules();
 /// matched on suffix, so absolute and repo-relative paths both work.
 std::vector<Finding> LintContent(const std::string& path,
                                  const std::string& content);
+
+/// The debug-endpoint-doc rule: reports every `Route("/debug/...")`
+/// registration in `content` whose path does not appear in
+/// `readme_content` (the documentation the endpoint table lives in).
+/// Split out of LintContent because it needs cross-file input; LintTree
+/// wires it up with the root README.md.
+std::vector<Finding> CheckDebugEndpointDocs(const std::string& path,
+                                            const std::string& content,
+                                            const std::string& readme_content);
 
 /// Reads and lints one file from disk. Unreadable files produce a finding
 /// (rule "io") rather than a crash.
