@@ -8,8 +8,12 @@
 // tools/bench_compare.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "bench_util.h"
+#include "core/ch_via.h"
 #include "core/engine_registry.h"
+#include "routing/contraction_hierarchy.h"
 #include "util/random.h"
 #include "util/check.h"
 
@@ -35,18 +39,45 @@ SuiteHolder& Holder() {
   return holder;
 }
 
-void RunEngine(benchmark::State& state, Approach approach) {
-  SuiteHolder& h = Holder();
+/// CH-backed engines over the same city + display weights as Holder().
+struct ChSuiteHolder {
+  std::shared_ptr<const ContractionHierarchy> ch;
+  std::unique_ptr<EngineSuite> suite;     // plateau_ch / penalty_ch
+  std::unique_ptr<ChViaGenerator> via;    // ch_via
+};
+
+ChSuiteHolder& ChHolder() {
+  static ChSuiteHolder holder = [] {
+    SuiteHolder& base = Holder();
+    ChSuiteHolder h;
+    auto ch = ContractionHierarchy::Build(base.net,
+                                          base.suite->display_weights());
+    ALT_CHECK(ch.ok()) << ch.status();
+    h.ch = std::move(ch).ValueOrDie();
+    auto suite = EngineSuite::MakePaperSuite(
+        base.net, {}, /*commercial_hour=*/3,
+        base.suite->display_weights_ptr(), h.ch);
+    ALT_CHECK(suite.ok()) << suite.status();
+    h.suite = std::make_unique<EngineSuite>(std::move(suite).ValueOrDie());
+    h.via = std::make_unique<ChViaGenerator>(
+        base.net, h.suite->display_weights(), h.ch);
+    return h;
+  }();
+  return holder;
+}
+
+void RunGenerator(benchmark::State& state, AlternativeRouteGenerator& engine) {
+  const RoadNetwork& net = Holder().suite->network();
   Rng rng(7);
   size_t routes = 0, sets = 0;
   obs::SearchStats stats;
   for (auto _ : state) {
     NodeId s, t;
     do {
-      s = static_cast<NodeId>(rng.NextUint64(h.net->num_nodes()));
-      t = static_cast<NodeId>(rng.NextUint64(h.net->num_nodes()));
+      s = static_cast<NodeId>(rng.NextUint64(net.num_nodes()));
+      t = static_cast<NodeId>(rng.NextUint64(net.num_nodes()));
     } while (s == t);
-    auto set = h.suite->engine(approach).Generate(s, t, &stats);
+    auto set = engine.Generate(s, t, &stats);
     benchmark::DoNotOptimize(set);
     if (set.ok()) {
       routes += set->routes.size();
@@ -65,6 +96,10 @@ void RunEngine(benchmark::State& state, Approach approach) {
   }
 }
 
+void RunEngine(benchmark::State& state, Approach approach) {
+  RunGenerator(state, Holder().suite->engine(approach));
+}
+
 void BM_EnginePlateaus(benchmark::State& state) {
   RunEngine(state, Approach::kPlateaus);
 }
@@ -77,11 +112,23 @@ void BM_EnginePenalty(benchmark::State& state) {
 void BM_EngineCommercial(benchmark::State& state) {
   RunEngine(state, Approach::kGoogleMaps);
 }
+void BM_EnginePlateausCh(benchmark::State& state) {
+  RunGenerator(state, ChHolder().suite->engine(Approach::kPlateaus));
+}
+void BM_EnginePenaltyCh(benchmark::State& state) {
+  RunGenerator(state, ChHolder().suite->engine(Approach::kPenalty));
+}
+void BM_EngineChVia(benchmark::State& state) {
+  RunGenerator(state, *ChHolder().via);
+}
 
 BENCHMARK(BM_EnginePlateaus)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineDissimilarity)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EnginePenalty)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineCommercial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnginePlateausCh)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnginePenaltyCh)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineChVia)->Unit(benchmark::kMillisecond);
 
 /// --bench-json mode: one entry per engine, self-timed per-query samples
 /// with settled-node counters.
@@ -96,8 +143,44 @@ int RunJsonMode(const std::string& out_path, bool smoke) {
   std::printf("perf_engines (%s): melbourne at scale %.2f, %d iterations\n",
               smoke ? "smoke" : "full", scale, iters);
 
-  for (Approach a : kAllApproaches) {
-    AlternativeRouteGenerator& engine = suite.engine(a);
+  // CH-backed counterparts over the same network and display weights.
+  auto ch_or = ContractionHierarchy::Build(net, suite.display_weights());
+  ALT_CHECK(ch_or.ok()) << ch_or.status();
+  auto ch = std::move(ch_or).ValueOrDie();
+  auto ch_suite_or = EngineSuite::MakePaperSuite(
+      net, {}, /*commercial_hour=*/3, suite.display_weights_ptr(), ch);
+  ALT_CHECK(ch_suite_or.ok()) << ch_suite_or.status();
+  EngineSuite ch_suite = std::move(ch_suite_or).ValueOrDie();
+  ChViaGenerator via(net, suite.display_weights(), ch);
+
+  // Correctness gate before timing: plain and CH-backed engines must agree
+  // on the optimal cost for the exact workload distribution being measured.
+  {
+    Rng rng(7);
+    for (int q = 0; q < 10; ++q) {
+      NodeId s, t;
+      do {
+        s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+        t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+      } while (s == t);
+      auto plain_pl = suite.engine(Approach::kPlateaus).Generate(s, t);
+      auto ch_pl = ch_suite.engine(Approach::kPlateaus).Generate(s, t);
+      auto plain_pe = suite.engine(Approach::kPenalty).Generate(s, t);
+      auto ch_pe = ch_suite.engine(Approach::kPenalty).Generate(s, t);
+      auto ch_via_set = via.Generate(s, t);
+      ALT_CHECK(plain_pl.ok() && ch_pl.ok() && plain_pe.ok() && ch_pe.ok() &&
+                ch_via_set.ok());
+      const auto near = [](double a, double b) {
+        return std::abs(a - b) <= 1e-6 * std::max(1.0, std::abs(a));
+      };
+      ALT_CHECK(near(plain_pl->optimal_cost, ch_pl->optimal_cost));
+      ALT_CHECK(near(plain_pe->optimal_cost, ch_pe->optimal_cost));
+      ALT_CHECK(near(plain_pl->optimal_cost, ch_via_set->optimal_cost));
+    }
+    std::printf("equal-optimum gate: 10/10 query pairs agree\n");
+  }
+
+  const auto measure = [&](AlternativeRouteGenerator& engine) {
     Rng rng(7);
     obs::SearchStats stats;
     const auto samples_ms = TimeIterationsMs(iters, [&] {
@@ -116,7 +199,12 @@ int RunJsonMode(const std::string& out_path, bool smoke) {
     }
     reporter.Add("engine_" + std::string(engine.name()), samples_ms,
                  std::move(counters));
-  }
+  };
+
+  for (Approach a : kAllApproaches) measure(suite.engine(a));
+  measure(ch_suite.engine(Approach::kPlateaus));
+  measure(ch_suite.engine(Approach::kPenalty));
+  measure(via);
   return reporter.WriteFile(out_path) ? 0 : 1;
 }
 

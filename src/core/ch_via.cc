@@ -1,0 +1,192 @@
+#include "core/ch_via.h"
+
+#include <algorithm>
+
+#include "core/similarity.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace altroute {
+
+namespace {
+
+/// Fraction of the optimal cost used as the T-test window radius. X-CHV
+/// suggests testing a window proportional to the detour; a quarter of the
+/// optimal cost keeps the exact sub-query local while still rejecting
+/// zig-zag vias whose detour is concentrated at the via node.
+constexpr double kTTestRadiusFraction = 0.25;
+
+}  // namespace
+
+ChViaGenerator::ChViaGenerator(std::shared_ptr<const RoadNetwork> net,
+                               std::vector<double> weights,
+                               std::shared_ptr<const ContractionHierarchy> ch,
+                               const AlternativeOptions& options)
+    : net_(std::move(net)),
+      weights_(std::move(weights)),
+      ch_(std::move(ch)),
+      options_(options),
+      query_(*ch_),
+      tquery_(*ch_) {
+  ALT_CHECK(weights_.size() == net_->num_edges())
+      << "weight vector size mismatch";
+  ALT_CHECK(&ch_->network() == net_.get())
+      << "hierarchy built over a different network";
+}
+
+Result<bool> ChViaGenerator::PassesTTest(const Path& path, NodeId via,
+                                         double radius,
+                                         obs::SearchStats* stats,
+                                         CancellationToken* cancel) {
+  const RoadNetwork& net = *net_;
+  // Locate the via node on the path (unique: callers test loopless paths).
+  size_t via_idx = 0;
+  NodeId node = path.source;
+  while (node != via && via_idx < path.edges.size()) {
+    node = net.head(path.edges[via_idx]);
+    ++via_idx;
+  }
+  if (node != via) return Status::Internal("via node not on its own path");
+
+  // Walk outward from the via until the window radius is covered (or the
+  // path ends). a / b are node indices into the path's node sequence.
+  size_t a = via_idx;
+  double before = 0.0;
+  while (a > 0 && before < radius) before += weights_[path.edges[--a]];
+  size_t b = via_idx;
+  double after = 0.0;
+  while (b < path.edges.size() && after < radius) {
+    after += weights_[path.edges[b++]];
+  }
+  if (a == b) return true;  // degenerate window (radius 0)
+
+  const NodeId from = a == 0 ? path.source : net.head(path.edges[a - 1]);
+  const NodeId to = b == 0 ? path.source : net.head(path.edges[b - 1]);
+  const double window_cost = before + after;
+
+  ALTROUTE_ASSIGN_OR_RETURN(RouteResult sp,
+                            tquery_.ShortestPath(from, to, stats, cancel));
+  // Locally optimal iff the window already is a shortest path (tolerance
+  // absorbs re-summation noise over the window's edges).
+  return sp.cost >= window_cost - 1e-9 * std::max(1.0, window_cost);
+}
+
+Result<AlternativeSet> ChViaGenerator::Generate(NodeId source, NodeId target,
+                                                obs::SearchStats* stats,
+                                                CancellationToken* cancel) {
+  // Local stats double as the work_settled_nodes source; merged once at the
+  // end so the stats == nullptr path stays cheap.
+  obs::SearchStats local;
+
+  // One bidirectional run with the stretch bound as the pruning slack keeps
+  // every label that can still be part of an admissible alternative alive.
+  auto run_or = query_.RunBidirectional(source, target, options_.stretch_bound,
+                                        &local, cancel);
+  if (!run_or.ok()) {
+    if (stats != nullptr) stats->MergeFrom(local);
+    return run_or.status();
+  }
+
+  AlternativeSet out;
+  out.optimal_cost = run_or->best_cost;
+  const double cost_limit = options_.stretch_bound * out.optimal_cost;
+
+  // routes[0]: the optimal path, unpacked through the meeting node.
+  {
+    Result<RouteResult> sp = source == target
+                                 ? Result<RouteResult>(RouteResult{0.0, {}})
+                                 : query_.UnpackViaPath(run_or->meet);
+    if (!sp.ok()) {
+      if (stats != nullptr) stats->MergeFrom(local);
+      return sp.status();
+    }
+    auto path_or =
+        MakePath(*net_, source, target, std::move(sp->edges), weights_);
+    if (!path_or.ok()) {
+      if (stats != nullptr) stats->MergeFrom(local);
+      return path_or.status();
+    }
+    out.routes.push_back(std::move(path_or).ValueOrDie());
+    ++local.paths_generated;
+  }
+
+  // Candidate vias in ascending via-cost order: cheaper detours first, which
+  // matches the paper's preference for low-stretch alternatives.
+  std::vector<NodeId> vias = query_.meeting_nodes();
+  std::sort(vias.begin(), vias.end(), [&](NodeId x, NodeId y) {
+    const double cx = query_.forward_distance(x) + query_.backward_distance(x);
+    const double cy = query_.forward_distance(y) + query_.backward_distance(y);
+    if (cx != cy) return cx < cy;
+    return x < y;  // deterministic ties
+  });
+
+  const double t_radius = kTTestRadiusFraction * out.optimal_cost;
+  for (NodeId via : vias) {
+    if (static_cast<int>(out.routes.size()) >= options_.max_routes) break;
+    if (cancel != nullptr && cancel->StopNow()) {
+      out.completion = Status::DeadlineExceeded("via enumeration cut short");
+      break;  // shortest path already reported; ship what we have
+    }
+    const double via_cost =
+        query_.forward_distance(via) + query_.backward_distance(via);
+    // Equal-cost vias are NOT skipped: on graphs with shortest-path ties
+    // (grids) distinct optimal paths are the best alternatives, and vias
+    // that merely reproduce routes[0] fall to the SameEdges dedup below.
+    if (via_cost > cost_limit + 1e-9) {
+      ++local.paths_rejected_stretch;
+      // Ascending order: every remaining via is over the bound too.
+      break;
+    }
+
+    auto unpacked_or = query_.UnpackViaPath(via);
+    if (!unpacked_or.ok()) continue;  // defensive: stale label
+    auto path_or = MakePath(*net_, source, target,
+                            std::move(unpacked_or->edges), weights_);
+    if (!path_or.ok()) {
+      ++local.paths_rejected_filter;
+      continue;
+    }
+    Path path = std::move(path_or).ValueOrDie();
+    ++local.paths_generated;
+
+    const bool duplicate =
+        std::any_of(out.routes.begin(), out.routes.end(),
+                    [&](const Path& p) { return SameEdges(p, path); });
+    if (duplicate) {
+      ++local.paths_rejected_similarity;
+      continue;
+    }
+    if (!IsLoopless(*net_, path)) {  // up-down concatenations can loop
+      ++local.paths_rejected_filter;
+      continue;
+    }
+    if (DissimilarityToSet(*net_, path, out.routes) <=
+        options_.dissimilarity_threshold) {
+      ++local.paths_rejected_similarity;
+      continue;
+    }
+
+    // Most expensive test last: exact CH sub-query around the via node.
+    auto t_or = PassesTTest(path, via, t_radius, &local, cancel);
+    if (!t_or.ok()) {
+      if (t_or.status().IsDeadlineExceeded()) {
+        out.completion = t_or.status();
+        break;
+      }
+      ++local.paths_rejected_filter;
+      continue;
+    }
+    if (!*t_or) {
+      ++local.paths_rejected_filter;
+      continue;
+    }
+
+    out.routes.push_back(std::move(path));
+  }
+
+  out.work_settled_nodes = local.nodes_settled;
+  if (stats != nullptr) stats->MergeFrom(local);
+  return out;
+}
+
+}  // namespace altroute

@@ -30,7 +30,8 @@ char ApproachLabel(Approach a) {
 Result<EngineSuite> EngineSuite::MakePaperSuite(
     std::shared_ptr<const RoadNetwork> net, const AlternativeOptions& options,
     int commercial_hour,
-    std::shared_ptr<const std::vector<double>> display_weights) {
+    std::shared_ptr<const std::vector<double>> display_weights,
+    std::shared_ptr<const ContractionHierarchy> ch) {
   if (net == nullptr) return Status::InvalidArgument("null network");
   if (net->num_nodes() == 0) return Status::InvalidArgument("empty network");
   if (display_weights == nullptr) {
@@ -40,24 +41,38 @@ Result<EngineSuite> EngineSuite::MakePaperSuite(
     return Status::InvalidArgument(
         "display_weights size does not match the network's edge count");
   }
+  if (ch != nullptr && &ch->network() != net.get()) {
+    return Status::InvalidArgument(
+        "hierarchy was built over a different network");
+  }
 
   EngineSuite suite;
   suite.net_ = net;
   suite.display_weights_ = std::move(display_weights);
+  suite.ch_ = ch;
 
   const CommercialTrafficModel commercial(commercial_hour);
   suite.engines_[static_cast<size_t>(Approach::kGoogleMaps)] =
       std::make_unique<CommercialBaseline>(net, commercial.Weights(*net),
                                            options);
-  suite.engines_[static_cast<size_t>(Approach::kPlateaus)] =
-      std::make_unique<PlateauGenerator>(net, *suite.display_weights_,
-                                         options);
   suite.engines_[static_cast<size_t>(Approach::kDissimilarity)] =
       std::make_unique<DissimilarityGenerator>(net, *suite.display_weights_,
                                                options);
-  suite.engines_[static_cast<size_t>(Approach::kPenalty)] =
-      std::make_unique<PenaltyGenerator>(net, *suite.display_weights_,
-                                         options);
+  if (ch != nullptr) {
+    suite.engines_[static_cast<size_t>(Approach::kPlateaus)] =
+        std::make_unique<PlateauGenerator>(net, *suite.display_weights_, ch,
+                                           options);
+    suite.engines_[static_cast<size_t>(Approach::kPenalty)] =
+        std::make_unique<PenaltyGenerator>(net, *suite.display_weights_,
+                                           std::move(ch), options);
+  } else {
+    suite.engines_[static_cast<size_t>(Approach::kPlateaus)] =
+        std::make_unique<PlateauGenerator>(net, *suite.display_weights_,
+                                           options);
+    suite.engines_[static_cast<size_t>(Approach::kPenalty)] =
+        std::make_unique<PenaltyGenerator>(net, *suite.display_weights_,
+                                           options);
+  }
   return suite;
 }
 

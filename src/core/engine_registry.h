@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/alternative_generator.h"
+#include "routing/contraction_hierarchy.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -44,10 +45,18 @@ class EngineSuite {
   /// server's per-worker contexts) share one free-flow weight vector instead
   /// of each recomputing it; pass nullptr to compute it here. Its size must
   /// match the network's edge count.
+  ///
+  /// A non-null `ch` (a contraction hierarchy built over the SAME network
+  /// and the free-flow display weights) selects the CH-backed execution
+  /// paths: Plateaus runs on PHAST one-to-all sweeps ("plateau_ch") and
+  /// Penalty's inner searches become goal-directed A* over CH potentials
+  /// ("penalty_ch"). Results are equivalent; only the work changes. The
+  /// hierarchy is immutable and shared across suites/workers.
   static Result<EngineSuite> MakePaperSuite(
       std::shared_ptr<const RoadNetwork> net,
       const AlternativeOptions& options = {}, int commercial_hour = 3,
-      std::shared_ptr<const std::vector<double>> display_weights = nullptr);
+      std::shared_ptr<const std::vector<double>> display_weights = nullptr,
+      std::shared_ptr<const ContractionHierarchy> ch = nullptr);
 
   AlternativeRouteGenerator& engine(Approach a) {
     return *engines_[static_cast<size_t>(a)];
@@ -65,11 +74,17 @@ class EngineSuite {
     return display_weights_;
   }
 
+  /// The hierarchy the suite was built with; null for the plain-Dijkstra
+  /// configuration. Lets callers (bench, debug endpoints) detect which
+  /// execution path is live and build further CH consumers.
+  std::shared_ptr<const ContractionHierarchy> ch() const { return ch_; }
+
  private:
   EngineSuite() = default;
 
   std::shared_ptr<const RoadNetwork> net_;
   std::shared_ptr<const std::vector<double>> display_weights_;
+  std::shared_ptr<const ContractionHierarchy> ch_;
   std::array<std::unique_ptr<AlternativeRouteGenerator>, kNumApproaches> engines_;
 };
 

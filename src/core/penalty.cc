@@ -24,15 +24,62 @@ PenaltyGenerator::PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
       << "penalty factor must not shrink edge weights";
 }
 
+PenaltyGenerator::PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
+                                   std::vector<double> weights,
+                                   std::shared_ptr<const ContractionHierarchy> ch,
+                                   const AlternativeOptions& options)
+    : PenaltyGenerator(std::move(net), std::move(weights), options) {
+  ALT_CHECK(ch != nullptr) << "null hierarchy";
+  ALT_CHECK(&ch->network() == net_.get())
+      << "hierarchy built over a different network";
+  phast_ = std::make_unique<Phast>(std::move(ch));
+  name_ = "penalty_ch";
+}
+
+void PenaltyGenerator::PenalizeStreet(EdgeId e) {
+  const NodeId u = net_->tail(e);
+  const NodeId v = net_->head(e);
+  for (EdgeId same : net_->OutEdges(u)) {
+    if (net_->head(same) == v) penalized_[same] *= options_.penalty_factor;
+  }
+  for (EdgeId twin : net_->OutEdges(v)) {
+    if (net_->head(twin) == u) penalized_[twin] *= options_.penalty_factor;
+  }
+  // Re-weighting monotonicity: a penalized weight never drops below the
+  // true weight, so real path costs stay a lower bound of search costs.
+  ALT_DCHECK_GE(penalized_[e], weights_[e]);
+}
+
+Result<RouteResult> PenaltyGenerator::InnerSearch(NodeId source, NodeId target,
+                                                  obs::SearchStats* stats,
+                                                  CancellationToken* cancel) {
+  if (phast_ == nullptr || potential_target_ != target) {
+    return dijkstra_.ShortestPath(source, target, penalized_,
+                                  /*skip_edge=*/nullptr, stats, cancel);
+  }
+  return dijkstra_.ShortestPathWithPotential(source, target, penalized_,
+                                             potential_, stats, cancel);
+}
+
 Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
                                                   obs::SearchStats* stats,
                                                   CancellationToken* cancel) {
   AlternativeSet out;
   penalized_.assign(weights_.begin(), weights_.end());
 
+  // CH mode: one backward PHAST sweep from the target yields the exact
+  // distance-to-target potential every iteration's A* reuses. Invalidated
+  // first so a cancelled sweep cannot leave a stale table behind.
+  potential_target_ = kInvalidNode;
+  if (phast_ != nullptr && target < net_->num_nodes()) {
+    potential_.resize(net_->num_nodes());
+    ALTROUTE_RETURN_NOT_OK(phast_->DistancesInto(
+        target, SearchDirection::kBackward, potential_, stats, cancel));
+    potential_target_ = target;
+  }
+
   // Iteration 1 yields the true shortest path (no penalties applied yet).
-  auto first = dijkstra_.ShortestPath(source, target, penalized_,
-                                      /*skip_edge=*/nullptr, stats, cancel);
+  auto first = InnerSearch(source, target, stats, cancel);
   if (!first.ok()) return first.status();
   out.work_settled_nodes += dijkstra_.last_settled_count();
   if (stats != nullptr) {
@@ -55,20 +102,13 @@ Result<AlternativeSet> PenaltyGenerator::Generate(NodeId source, NodeId target,
       break;  // shortest path already reported; ship what we have
     }
     ++iterations;
-    // Penalize the edges of the most recent path (and their reverse twins,
-    // so the search does not sidestep the penalty by driving the opposite
-    // carriageway of the same street).
-    for (EdgeId e : out.routes.back().edges) {
-      penalized_[e] *= options_.penalty_factor;
-      const EdgeId twin = net_->FindEdge(net_->head(e), net_->tail(e));
-      if (twin != kInvalidEdge) penalized_[twin] *= options_.penalty_factor;
-      // Re-weighting monotonicity: a penalized weight never drops below the
-      // true weight, so real path costs stay a lower bound of search costs.
-      ALT_DCHECK_GE(penalized_[e], weights_[e]);
-    }
+    // Penalize every edge of the most recent path's streets — all parallel
+    // edges between the endpoints and all reverse twins, so the search can
+    // sidestep the penalty neither by driving the opposite carriageway nor
+    // by hopping onto a parallel twin of the same direction.
+    for (EdgeId e : out.routes.back().edges) PenalizeStreet(e);
 
-    auto next = dijkstra_.ShortestPath(source, target, penalized_,
-                                       /*skip_edge=*/nullptr, stats, cancel);
+    auto next = InnerSearch(source, target, stats, cancel);
     if (!next.ok()) {
       // Penalties cannot disconnect the graph, but stay defensive; a
       // cancelled search additionally marks the set as cut short.

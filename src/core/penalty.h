@@ -8,6 +8,7 @@
 
 #include "core/alternative_generator.h"
 #include "routing/dijkstra.h"
+#include "routing/phast.h"
 
 namespace altroute {
 
@@ -19,6 +20,17 @@ class PenaltyGenerator final : public AlternativeRouteGenerator {
                    std::vector<double> weights,
                    const AlternativeOptions& options = {});
 
+  /// CH-backed variant ("penalty_ch"): one backward PHAST sweep from the
+  /// target (over `ch`, which must be built for the same network and the
+  /// same `weights`) yields exact distance-to-target potentials, turning
+  /// every penalty iteration's inner Dijkstra into goal-directed A*. The
+  /// potentials stay admissible across iterations because penalties only
+  /// grow weights above the base the hierarchy was built for.
+  PenaltyGenerator(std::shared_ptr<const RoadNetwork> net,
+                   std::vector<double> weights,
+                   std::shared_ptr<const ContractionHierarchy> ch,
+                   const AlternativeOptions& options = {});
+
   const std::string& name() const override { return name_; }
   const std::vector<double>& weights() const override { return weights_; }
 
@@ -27,12 +39,27 @@ class PenaltyGenerator final : public AlternativeRouteGenerator {
                                   CancellationToken* cancel = nullptr) override;
 
  private:
+  /// Multiplies the penalty factor into every edge between the endpoints of
+  /// `e`, both directions. Parallel edges (dual carriageways digitized as
+  /// multi-edges) must all be penalized, or the next search sidesteps the
+  /// penalty through an untouched twin.
+  void PenalizeStreet(EdgeId e);
+
+  /// One inner shortest-path search: goal-directed A* over the CH potential
+  /// when available, plain Dijkstra otherwise.
+  Result<RouteResult> InnerSearch(NodeId source, NodeId target,
+                                  obs::SearchStats* stats,
+                                  CancellationToken* cancel);
+
   std::string name_ = "penalty";
   std::shared_ptr<const RoadNetwork> net_;
   std::vector<double> weights_;
   AlternativeOptions options_;
   Dijkstra dijkstra_;
   std::vector<double> penalized_;  // workspace reused across queries
+  std::unique_ptr<Phast> phast_;   // null: plain Dijkstra inner searches
+  std::vector<double> potential_;  // distance-to-target table (CH mode)
+  NodeId potential_target_ = kInvalidNode;  // node potential_ is valid for
 };
 
 }  // namespace altroute

@@ -18,6 +18,84 @@ PlateauGenerator::PlateauGenerator(std::shared_ptr<const RoadNetwork> net,
       << "weight vector size mismatch";
 }
 
+PlateauGenerator::PlateauGenerator(std::shared_ptr<const RoadNetwork> net,
+                                   std::vector<double> weights,
+                                   std::shared_ptr<const ContractionHierarchy> ch,
+                                   const AlternativeOptions& options)
+    : PlateauGenerator(std::move(net), std::move(weights), options) {
+  ALT_CHECK(ch != nullptr) << "null hierarchy";
+  ALT_CHECK(&ch->network() == net_.get())
+      << "hierarchy built over a different network";
+  phast_ = std::make_unique<Phast>(std::move(ch));
+  name_ = "plateau_ch";
+}
+
+void PlateauGenerator::DeriveParents(ShortestPathTree* tree) const {
+  const RoadNetwork& net = *net_;
+  const bool forward = tree->direction == SearchDirection::kForward;
+  tree->parent_edge.assign(net.num_nodes(), kInvalidEdge);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const double dv = tree->dist[v];
+    if (v == tree->root || dv == kInfCost) continue;
+    // PHAST labels are sums along shortcut arcs, so an original tree edge
+    // matches only up to re-association noise. The strict `<` on the
+    // neighbour label guarantees acyclicity (weights are positive).
+    const double tol = 1e-9 * std::max(1.0, dv);
+    const auto edges = forward ? net.InEdges(v) : net.OutEdges(v);
+    for (EdgeId e : edges) {
+      const NodeId u = forward ? net.tail(e) : net.head(e);
+      const double du = tree->dist[u];
+      if (du < dv && du + weights_[e] <= dv + tol) {
+        tree->parent_edge[v] = e;
+        break;
+      }
+    }
+    // No matching edge (possible only if accumulated shortcut error exceeds
+    // the tolerance): mark unreached so downstream joins skip v instead of
+    // walking a broken chain.
+    if (tree->parent_edge[v] == kInvalidEdge) tree->dist[v] = kInfCost;
+  }
+}
+
+Status PlateauGenerator::BuildTrees(NodeId source, NodeId target,
+                                    ShortestPathTree* fwd,
+                                    ShortestPathTree* bwd, size_t* settled,
+                                    obs::SearchStats* stats,
+                                    CancellationToken* cancel) {
+  if (phast_ == nullptr) {
+    auto fwd_or = dijkstra_.BuildTree(source, weights_,
+                                      SearchDirection::kForward, kInfCost,
+                                      stats, cancel);
+    if (!fwd_or.ok()) return fwd_or.status();
+    *fwd = std::move(fwd_or).ValueOrDie();
+    *settled = dijkstra_.last_settled_count();
+    auto bwd_or = dijkstra_.BuildTree(target, weights_,
+                                      SearchDirection::kBackward, kInfCost,
+                                      stats, cancel);
+    if (!bwd_or.ok()) return bwd_or.status();
+    *bwd = std::move(bwd_or).ValueOrDie();
+    *settled += dijkstra_.last_settled_count();
+    return Status::OK();
+  }
+
+  obs::SearchStats local;
+  fwd->root = source;
+  fwd->direction = SearchDirection::kForward;
+  fwd->dist.resize(net_->num_nodes());
+  ALTROUTE_RETURN_NOT_OK(phast_->DistancesInto(
+      source, SearchDirection::kForward, fwd->dist, &local, cancel));
+  DeriveParents(fwd);
+  bwd->root = target;
+  bwd->direction = SearchDirection::kBackward;
+  bwd->dist.resize(net_->num_nodes());
+  ALTROUTE_RETURN_NOT_OK(phast_->DistancesInto(
+      target, SearchDirection::kBackward, bwd->dist, &local, cancel));
+  DeriveParents(bwd);
+  *settled = local.nodes_settled;
+  if (stats != nullptr) stats->MergeFrom(local);
+  return Status::OK();
+}
+
 Result<std::vector<Plateau>> PlateauGenerator::PlateausFromTrees(
     const ShortestPathTree& fwd, const ShortestPathTree& bwd) {
   const RoadNetwork& net = *net_;
@@ -77,12 +155,10 @@ Result<std::vector<Plateau>> PlateauGenerator::PlateausFromTrees(
 
 Result<std::vector<Plateau>> PlateauGenerator::ComputePlateaus(NodeId source,
                                                                NodeId target) {
-  ALTROUTE_ASSIGN_OR_RETURN(
-      ShortestPathTree fwd,
-      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward));
-  ALTROUTE_ASSIGN_OR_RETURN(
-      ShortestPathTree bwd,
-      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward));
+  ShortestPathTree fwd, bwd;
+  size_t settled = 0;
+  ALTROUTE_RETURN_NOT_OK(BuildTrees(source, target, &fwd, &bwd, &settled,
+                                    /*stats=*/nullptr, /*cancel=*/nullptr));
   if (!fwd.Reached(target)) {
     return Status::NotFound("target unreachable from source");
   }
@@ -92,19 +168,14 @@ Result<std::vector<Plateau>> PlateauGenerator::ComputePlateaus(NodeId source,
 Result<AlternativeSet> PlateauGenerator::Generate(NodeId source, NodeId target,
                                                   obs::SearchStats* stats,
                                                   CancellationToken* cancel) {
-  // Two full Dijkstra trees dominate the cost, exactly as the paper notes.
+  // Tree construction dominates the cost, exactly as the paper notes — two
+  // full Dijkstras, or two PHAST sweeps in the CH-backed configuration.
   // Cancellation mid-tree means not even the shortest path is known yet, so
-  // the DeadlineExceeded from BuildTree propagates as the call's error.
-  ALTROUTE_ASSIGN_OR_RETURN(
-      ShortestPathTree fwd,
-      dijkstra_.BuildTree(source, weights_, SearchDirection::kForward,
-                          kInfCost, stats, cancel));
-  size_t settled = dijkstra_.last_settled_count();
-  ALTROUTE_ASSIGN_OR_RETURN(
-      ShortestPathTree bwd,
-      dijkstra_.BuildTree(target, weights_, SearchDirection::kBackward,
-                          kInfCost, stats, cancel));
-  settled += dijkstra_.last_settled_count();
+  // the DeadlineExceeded from BuildTrees propagates as the call's error.
+  ShortestPathTree fwd, bwd;
+  size_t settled = 0;
+  ALTROUTE_RETURN_NOT_OK(
+      BuildTrees(source, target, &fwd, &bwd, &settled, stats, cancel));
 
   if (!fwd.Reached(target)) {
     return Status::NotFound("target unreachable from source");

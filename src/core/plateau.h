@@ -9,6 +9,7 @@
 
 #include "core/alternative_generator.h"
 #include "routing/dijkstra.h"
+#include "routing/phast.h"
 
 namespace altroute {
 
@@ -28,6 +29,16 @@ class PlateauGenerator final : public AlternativeRouteGenerator {
                    std::vector<double> weights,
                    const AlternativeOptions& options = {});
 
+  /// CH-backed variant ("plateau_ch"): the two full Dijkstra trees — the
+  /// dominant cost of this technique — are replaced by PHAST one-to-all
+  /// sweeps over `ch` (which must be built for the same network and the same
+  /// `weights`), with tree parents re-derived from the distance labels.
+  /// Plateau detection and route assembly are unchanged.
+  PlateauGenerator(std::shared_ptr<const RoadNetwork> net,
+                   std::vector<double> weights,
+                   std::shared_ptr<const ContractionHierarchy> ch,
+                   const AlternativeOptions& options = {});
+
   const std::string& name() const override { return name_; }
   const std::vector<double>& weights() const override { return weights_; }
 
@@ -43,11 +54,24 @@ class PlateauGenerator final : public AlternativeRouteGenerator {
   Result<std::vector<Plateau>> PlateausFromTrees(const ShortestPathTree& fwd,
                                                  const ShortestPathTree& bwd);
 
+  /// Builds both trees: PHAST sweeps + label-derived parents when phast_ is
+  /// set, two full Dijkstras otherwise. `settled` reports the work done.
+  Status BuildTrees(NodeId source, NodeId target, ShortestPathTree* fwd,
+                    ShortestPathTree* bwd, size_t* settled,
+                    obs::SearchStats* stats, CancellationToken* cancel);
+
+  /// Fills parent_edge from the distance labels: the tree edge of v is an
+  /// incident edge realising dist[v] (within re-association tolerance, since
+  /// PHAST sums along shortcuts). Strictly decreasing labels keep the
+  /// derived parents acyclic.
+  void DeriveParents(ShortestPathTree* tree) const;
+
   std::string name_ = "plateau";
   std::shared_ptr<const RoadNetwork> net_;
   std::vector<double> weights_;
   AlternativeOptions options_;
   Dijkstra dijkstra_;
+  std::unique_ptr<Phast> phast_;  // null: plain-Dijkstra trees
 };
 
 }  // namespace altroute

@@ -43,8 +43,8 @@ Result<std::shared_ptr<RoadNetwork>> GraphBuilder::Build() {
                               [](const PendingEdge& e) { return e.tail == e.head; }),
                edges_.end());
 
-  // Sort by (tail, head, travel_time) then collapse parallel edges keeping
-  // the fastest representative.
+  // Sort by (tail, head, travel_time) then — unless the caller asked for a
+  // multigraph — collapse parallel edges keeping the fastest representative.
   std::sort(edges_.begin(), edges_.end(),
             [](const PendingEdge& a, const PendingEdge& b) {
               if (a.tail != b.tail) return a.tail < b.tail;
@@ -54,8 +54,8 @@ Result<std::shared_ptr<RoadNetwork>> GraphBuilder::Build() {
   std::vector<PendingEdge> dedup;
   dedup.reserve(edges_.size());
   for (const PendingEdge& e : edges_) {
-    if (!dedup.empty() && dedup.back().tail == e.tail &&
-        dedup.back().head == e.head) {
+    if (!keep_parallel_edges_ && !dedup.empty() &&
+        dedup.back().tail == e.tail && dedup.back().head == e.head) {
       continue;  // keep the fastest (first after sort)
     }
     dedup.push_back(e);

@@ -33,9 +33,18 @@ class GraphBuilder {
   size_t num_nodes() const { return coords_.size(); }
   size_t num_edges() const { return edges_.size(); }
 
+  /// Keep parallel edges between the same endpoint pair instead of
+  /// collapsing them at Build() (default: collapse, keeping the fastest).
+  /// Real imports are multigraphs — dual carriageways and service roads
+  /// digitized as distinct ways between the same junctions — and serialized
+  /// networks preserve them, so generator fixes for parallel edges need
+  /// fixtures that do too (GraphValidator accepts multigraphs).
+  void set_keep_parallel_edges(bool keep) { keep_parallel_edges_ = keep; }
+
   /// Finalizes into an immutable network. Validates endpoints and weights,
-  /// drops self-loops, and collapses parallel edges keeping the one with the
-  /// smallest travel time. The builder is left empty afterwards.
+  /// drops self-loops, and (unless set_keep_parallel_edges(true)) collapses
+  /// parallel edges keeping the one with the smallest travel time. The
+  /// builder is left empty afterwards.
   Result<std::shared_ptr<RoadNetwork>> Build();
 
  private:
@@ -50,6 +59,7 @@ class GraphBuilder {
   std::string name_;
   std::vector<LatLng> coords_;
   std::vector<PendingEdge> edges_;
+  bool keep_parallel_edges_ = false;
 };
 
 }  // namespace altroute

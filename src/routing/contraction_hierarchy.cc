@@ -246,75 +246,137 @@ void ContractionHierarchy::UnpackArc(uint32_t arc,
 Result<RouteResult> ContractionHierarchy::ShortestPath(
     NodeId source, NodeId target, obs::SearchStats* stats,
     CancellationToken* cancel) const {
-  const size_t n = net_->num_nodes();
+  Query query(*this);
+  return query.ShortestPath(source, target, stats, cancel);
+}
+
+/// Per-instance search state. Label arrays are timestamped so a new run
+/// costs O(touched) instead of O(n) to reset.
+struct ContractionHierarchy::Query::Workspace {
+  explicit Workspace(size_t n)
+      : dist_f(n, kInfCost),
+        dist_b(n, kInfCost),
+        parent_f(n, kNoChild),
+        parent_b(n, kNoChild),
+        stamp_f(n, 0),
+        stamp_b(n, 0),
+        heap_f(n),
+        heap_b(n) {}
+
+  bool ForwardValid(NodeId v) const { return stamp_f[v] == stamp_now; }
+  bool BackwardValid(NodeId v) const { return stamp_b[v] == stamp_now; }
+
+  std::vector<double> dist_f, dist_b;
+  std::vector<uint32_t> parent_f, parent_b;
+  std::vector<uint32_t> stamp_f, stamp_b;
+  uint32_t stamp_now = 0;
+  IndexedHeap<double> heap_f, heap_b;
+  std::vector<NodeId> reached_f;  // nodes labeled by the forward search
+};
+
+ContractionHierarchy::Query::Query(const ContractionHierarchy& ch)
+    : ch_(&ch), ws_(std::make_unique<Workspace>(ch.net_->num_nodes())) {}
+
+ContractionHierarchy::Query::Query(
+    std::shared_ptr<const ContractionHierarchy> ch)
+    : keepalive_(std::move(ch)), ch_(keepalive_.get()) {
+  ALT_CHECK(keepalive_ != nullptr) << "null hierarchy";
+  ws_ = std::make_unique<Workspace>(keepalive_->net_->num_nodes());
+}
+
+ContractionHierarchy::Query::~Query() = default;
+
+Result<ContractionHierarchy::Query::BidirResult>
+ContractionHierarchy::Query::RunBidirectional(NodeId source, NodeId target,
+                                              double prune_factor,
+                                              obs::SearchStats* stats,
+                                              CancellationToken* cancel) {
+  const ContractionHierarchy& h = ch();
+  const size_t n = h.net_->num_nodes();
   if (source >= n || target >= n) {
     return Status::InvalidArgument("endpoint out of range");
   }
-  if (source == target) return RouteResult{0.0, {}};
+  if (!(prune_factor >= 1.0)) {
+    return Status::InvalidArgument("prune factor must be >= 1");
+  }
 
-  std::vector<double> dist_f(n, kInfCost), dist_b(n, kInfCost);
-  std::vector<uint32_t> parent_f(n, kNoChild), parent_b(n, kNoChild);
-  IndexedHeap<double> heap_f(n), heap_b(n);
+  Workspace& ws = *ws_;
+  ++ws.stamp_now;
+  ws.heap_f.Clear();
+  ws.heap_b.Clear();
+  ws.reached_f.clear();
+  meeting_.clear();
+  last_source_ = source;
+  last_target_ = target;
 
-  dist_f[source] = 0.0;
-  dist_b[target] = 0.0;
-  heap_f.PushOrDecrease(source, 0.0);
-  heap_b.PushOrDecrease(target, 0.0);
+  auto relax_f = [&](NodeId v, double d, uint32_t via) {
+    if (!ws.ForwardValid(v)) {
+      ws.stamp_f[v] = ws.stamp_now;
+      ws.reached_f.push_back(v);
+    } else if (d >= ws.dist_f[v]) {
+      return false;
+    }
+    ws.dist_f[v] = d;
+    ws.parent_f[v] = via;
+    ws.heap_f.PushOrDecrease(v, d);
+    return true;
+  };
+  auto relax_b = [&](NodeId v, double d, uint32_t via) {
+    if (!ws.BackwardValid(v)) {
+      ws.stamp_b[v] = ws.stamp_now;
+    } else if (d >= ws.dist_b[v]) {
+      return false;
+    }
+    ws.dist_b[v] = d;
+    ws.parent_b[v] = via;
+    ws.heap_b.PushOrDecrease(v, d);
+    return true;
+  };
 
-  double best = kInfCost;
-  NodeId meet = kInvalidNode;
+  relax_f(source, 0.0, kNoChild);
+  relax_b(target, 0.0, kNoChild);
+
+  BidirResult result;
   uint64_t settled = 0, relaxed = 0, pushes = 2, pops = 0;
 
   // Both searches go strictly upward; neither can be stopped at the first
-  // meeting, so run each to exhaustion of entries below `best`.
+  // meeting, so run each to exhaustion of entries below the prune bound.
   Status interrupted = Status::OK();
-  while (!heap_f.Empty() || !heap_b.Empty()) {
+  while (!ws.heap_f.Empty() || !ws.heap_b.Empty()) {
     if (cancel != nullptr && cancel->ShouldStop()) {
       interrupted = Status::DeadlineExceeded("ch query cancelled");
       break;
     }
-    const double tf = heap_f.Empty() ? kInfCost : heap_f.Top().second;
-    const double tb = heap_b.Empty() ? kInfCost : heap_b.Top().second;
-    if (std::min(tf, tb) >= best) break;
+    const double tf = ws.heap_f.Empty() ? kInfCost : ws.heap_f.Top().second;
+    const double tb = ws.heap_b.Empty() ? kInfCost : ws.heap_b.Top().second;
+    if (std::min(tf, tb) >= prune_factor * result.best_cost) break;
     if (tf <= tb) {
-      const auto [u, du] = heap_f.PopMin();
+      const auto [u, du] = ws.heap_f.PopMin();
       ++pops;
       ++settled;
-      if (dist_b[u] < kInfCost && du + dist_b[u] < best) {
-        best = du + dist_b[u];
-        meet = u;
+      if (ws.BackwardValid(u) && du + ws.dist_b[u] < result.best_cost) {
+        result.best_cost = du + ws.dist_b[u];
+        result.meet = u;
       }
-      for (uint32_t i = up_first_[u]; i < up_first_[u + 1]; ++i) {
-        const uint32_t aid = up_arcs_[i];
-        const Arc& a = arcs_[aid];
-        const double dv = du + a.weight;
+      for (uint32_t i = h.up_first_[u]; i < h.up_first_[u + 1]; ++i) {
+        const uint32_t aid = h.up_arcs_[i];
+        const Arc& a = h.arcs_[aid];
         ++relaxed;
-        if (dv < dist_f[a.to]) {
-          dist_f[a.to] = dv;
-          parent_f[a.to] = aid;
-          heap_f.PushOrDecrease(a.to, dv);
-          ++pushes;
-        }
+        if (relax_f(a.to, du + a.weight, aid)) ++pushes;
       }
     } else {
-      const auto [u, du] = heap_b.PopMin();
+      const auto [u, du] = ws.heap_b.PopMin();
       ++pops;
       ++settled;
-      if (dist_f[u] < kInfCost && du + dist_f[u] < best) {
-        best = du + dist_f[u];
-        meet = u;
+      if (ws.ForwardValid(u) && du + ws.dist_f[u] < result.best_cost) {
+        result.best_cost = du + ws.dist_f[u];
+        result.meet = u;
       }
-      for (uint32_t i = down_first_[u]; i < down_first_[u + 1]; ++i) {
-        const uint32_t aid = down_arcs_[i];
-        const Arc& a = arcs_[aid];  // arc a.from -> u with rank[a.from] higher
-        const double dv = du + a.weight;
+      for (uint32_t i = h.down_first_[u]; i < h.down_first_[u + 1]; ++i) {
+        const uint32_t aid = h.down_arcs_[i];
+        const Arc& a = h.arcs_[aid];  // arc a.from -> u, rank[a.from] higher
         ++relaxed;
-        if (dv < dist_b[a.from]) {
-          dist_b[a.from] = dv;
-          parent_b[a.from] = aid;
-          heap_b.PushOrDecrease(a.from, dv);
-          ++pushes;
-        }
+        if (relax_b(a.from, du + a.weight, aid)) ++pushes;
       }
     }
   }
@@ -327,28 +389,66 @@ Result<RouteResult> ContractionHierarchy::ShortestPath(
   }
   if (!interrupted.ok()) return interrupted;
 
-  if (meet == kInvalidNode) {
+  if (result.meet == kInvalidNode) {
     return Status::NotFound("target unreachable from source");
   }
 
+  // Candidate via set: nodes carrying labels from both sides.
+  for (NodeId v : ws.reached_f) {
+    if (ws.BackwardValid(v)) meeting_.push_back(v);
+  }
+  return result;
+}
+
+double ContractionHierarchy::Query::forward_distance(NodeId v) const {
+  return ws_->ForwardValid(v) ? ws_->dist_f[v] : kInfCost;
+}
+
+double ContractionHierarchy::Query::backward_distance(NodeId v) const {
+  return ws_->BackwardValid(v) ? ws_->dist_b[v] : kInfCost;
+}
+
+Result<RouteResult> ContractionHierarchy::Query::UnpackViaPath(
+    NodeId via) const {
+  const Workspace& ws = *ws_;
+  if (via >= ws.dist_f.size() || !ws.ForwardValid(via) ||
+      !ws.BackwardValid(via)) {
+    return Status::InvalidArgument("via node not reached by both searches");
+  }
   RouteResult out;
-  out.cost = best;
-  // Forward chain: source .. meet (arcs recorded at their heads).
+  out.cost = ws.dist_f[via] + ws.dist_b[via];
+  // Forward chain: source .. via (arcs recorded at their heads).
   std::vector<uint32_t> fwd_arcs;
-  for (NodeId cur = meet; cur != source;) {
-    const uint32_t aid = parent_f[cur];
+  for (NodeId cur = via; cur != last_source_;) {
+    const uint32_t aid = ws.parent_f[cur];
+    ALT_CHECK(aid != kNoChild) << "broken forward parent chain";
     fwd_arcs.push_back(aid);
-    cur = arcs_[aid].from;
+    cur = ch().arcs_[aid].from;
   }
   std::reverse(fwd_arcs.begin(), fwd_arcs.end());
-  for (uint32_t aid : fwd_arcs) UnpackArc(aid, &out.edges);
-  // Backward chain: meet .. target (arcs recorded at their tails).
-  for (NodeId cur = meet; cur != target;) {
-    const uint32_t aid = parent_b[cur];
-    UnpackArc(aid, &out.edges);
-    cur = arcs_[aid].to;
+  for (uint32_t aid : fwd_arcs) ch().UnpackArc(aid, &out.edges);
+  // Backward chain: via .. target (arcs recorded at their tails).
+  for (NodeId cur = via; cur != last_target_;) {
+    const uint32_t aid = ws.parent_b[cur];
+    ALT_CHECK(aid != kNoChild) << "broken backward parent chain";
+    ch().UnpackArc(aid, &out.edges);
+    cur = ch().arcs_[aid].to;
   }
   return out;
+}
+
+Result<RouteResult> ContractionHierarchy::Query::ShortestPath(
+    NodeId source, NodeId target, obs::SearchStats* stats,
+    CancellationToken* cancel) {
+  const size_t n = ch().net_->num_nodes();
+  if (source >= n || target >= n) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (source == target) return RouteResult{0.0, {}};
+  ALTROUTE_ASSIGN_OR_RETURN(
+      BidirResult run,
+      RunBidirectional(source, target, /*prune_factor=*/1.0, stats, cancel));
+  return UnpackViaPath(run.meet);
 }
 
 }  // namespace altroute

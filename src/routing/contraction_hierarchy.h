@@ -30,6 +30,8 @@ struct ChOptions {
 /// An immutable contraction hierarchy over a RoadNetwork + weight vector.
 class ContractionHierarchy {
  public:
+  class Query;
+
   /// Builds the hierarchy. `weights` must have one positive finite entry per
   /// edge of `net` and is captured by value (queries are self-contained).
   static Result<std::shared_ptr<const ContractionHierarchy>> Build(
@@ -37,8 +39,9 @@ class ContractionHierarchy {
       const ChOptions& options = {});
 
   /// Point-to-point query. Thread-compatible: each call allocates its own
-  /// workspace (see Query class for a reusable-workspace variant). When
-  /// `stats` is non-null, upward-search counters are accumulated into it.
+  /// workspace (see the Query class below for the reusable-workspace variant
+  /// that repeated queries should prefer). When `stats` is non-null,
+  /// upward-search counters are accumulated into it.
   Result<RouteResult> ShortestPath(NodeId source, NodeId target,
                                    obs::SearchStats* stats = nullptr,
                                    CancellationToken* cancel = nullptr) const;
@@ -71,6 +74,8 @@ class ContractionHierarchy {
   const std::vector<uint32_t>& down_arcs() const { return down_arcs_; }
 
  private:
+  friend class Query;
+
   ContractionHierarchy() = default;
 
   void UnpackArc(uint32_t arc, std::vector<EdgeId>* out) const;
@@ -87,6 +92,81 @@ class ContractionHierarchy {
   // bucketed by `to` (traversed in reverse).
   std::vector<uint32_t> down_first_;  // CSR by `to`
   std::vector<uint32_t> down_arcs_;
+};
+
+/// Reusable-workspace CH query engine. Repeated point-to-point queries reuse
+/// timestamped distance/parent arrays and heaps instead of allocating fresh
+/// n-sized workspaces per call (ContractionHierarchy::ShortestPath does the
+/// latter). Thread-compatible, not thread-safe: distinct Query instances over
+/// the same (immutable) hierarchy may run concurrently; one instance must not
+/// be shared across threads. Cancellation-token aware like the kernels.
+///
+/// Beyond plain shortest paths, RunBidirectional keeps the complete forward
+/// and backward upward search spaces alive, which is exactly the state the
+/// X-CHV via-node alternative generator needs: every node reached by both
+/// searches is a candidate via node, and UnpackViaPath materialises the
+/// s->via->t route in original edge ids.
+class ContractionHierarchy::Query {
+ public:
+  /// Binds to a hierarchy whose lifetime the caller guarantees.
+  explicit Query(const ContractionHierarchy& ch);
+  /// Shares ownership (the Query keeps the hierarchy alive).
+  explicit Query(std::shared_ptr<const ContractionHierarchy> ch);
+  ~Query();
+
+  Query(const Query&) = delete;
+  Query& operator=(const Query&) = delete;
+
+  /// Point-to-point query; same contract as
+  /// ContractionHierarchy::ShortestPath but reusing this instance's
+  /// workspace.
+  Result<RouteResult> ShortestPath(NodeId source, NodeId target,
+                                   obs::SearchStats* stats = nullptr,
+                                   CancellationToken* cancel = nullptr);
+
+  /// Outcome of one bidirectional upward run.
+  struct BidirResult {
+    double best_cost = kInfCost;    // optimal s-t cost
+    NodeId meet = kInvalidNode;     // node minimising df(v) + db(v)
+  };
+
+  /// Runs both upward searches until every remaining heap entry exceeds
+  /// `prune_factor * best_cost` (1.0 = plain shortest-path pruning; the
+  /// via-node generator passes its stretch bound so candidate labels within
+  /// the bound survive). NotFound when no s-t path exists. The labels and
+  /// parent pointers stay valid until the next run on this instance.
+  Result<BidirResult> RunBidirectional(NodeId source, NodeId target,
+                                       double prune_factor = 1.0,
+                                       obs::SearchStats* stats = nullptr,
+                                       CancellationToken* cancel = nullptr);
+
+  /// Distance labels of the last RunBidirectional (kInfCost when the node
+  /// was not reached by that side). Labels of unsettled nodes are upper
+  /// bounds realised by an actual upward/downward path.
+  double forward_distance(NodeId v) const;
+  double backward_distance(NodeId v) const;
+
+  /// Nodes reached by BOTH searches in the last run — the candidate via set
+  /// (unsorted). Valid until the next run.
+  const std::vector<NodeId>& meeting_nodes() const { return meeting_; }
+
+  /// The s->via->t route of the last run, unpacked to original edge ids.
+  /// Its cost is forward_distance(via) + backward_distance(via) — exact for
+  /// this route, an upper bound on d(s,via) + d(via,t). InvalidArgument when
+  /// `via` was not reached by both searches.
+  Result<RouteResult> UnpackViaPath(NodeId via) const;
+
+ private:
+  struct Workspace;  // heaps + timestamped label arrays (see .cc)
+
+  const ContractionHierarchy& ch() const { return *ch_; }
+
+  std::shared_ptr<const ContractionHierarchy> keepalive_;  // may be null
+  const ContractionHierarchy* ch_;
+  std::unique_ptr<Workspace> ws_;
+  std::vector<NodeId> meeting_;
+  NodeId last_source_ = kInvalidNode;
+  NodeId last_target_ = kInvalidNode;
 };
 
 }  // namespace altroute

@@ -126,6 +126,92 @@ Result<RouteResult> Dijkstra::ShortestPath(NodeId source, NodeId target,
   return out;
 }
 
+Result<RouteResult> Dijkstra::ShortestPathWithPotential(
+    NodeId source, NodeId target, std::span<const double> weights,
+    std::span<const double> potential, obs::SearchStats* stats,
+    CancellationToken* cancel) {
+  ALTROUTE_RETURN_NOT_OK(ValidateInputs(source, weights));
+  if (target >= net_.num_nodes()) {
+    return Status::InvalidArgument("target node out of range");
+  }
+  if (potential.size() != net_.num_nodes()) {
+    return Status::InvalidArgument("potential vector size mismatch");
+  }
+  if (potential[source] == kInfCost) {
+    // A feasible potential is a lower bound on the distance to the target;
+    // an infinite bound at the source proves there is no path.
+    return Status::NotFound("target unreachable from source");
+  }
+
+  ++current_stamp_;
+  auto& heap = heap_->heap;
+  heap.Clear();
+  last_settled_ = 0;
+
+  uint64_t relaxed = 0, pushes = 0, pops = 0;
+
+  // dist_ holds true g-costs; the heap is ordered by g + potential. The
+  // indexed heap keeps one entry per node, so no stale-entry filtering is
+  // needed; ulp-level potential inconsistency merely re-expands a node.
+  auto relax = [&](NodeId v, double d, EdgeId via) {
+    ALT_DCHECK(d >= 0.0) << "negative path cost at node " << v;
+    if (stamp_[v] != current_stamp_ || d < dist_[v]) {
+      stamp_[v] = current_stamp_;
+      dist_[v] = d;
+      parent_[v] = via;
+      heap.PushOrDecrease(v, d + potential[v]);
+      ++pushes;
+    }
+  };
+
+  Status interrupted = Status::OK();
+  relax(source, 0.0, kInvalidEdge);
+  while (!heap.Empty()) {
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      interrupted = Status::DeadlineExceeded("a-star search cancelled");
+      break;
+    }
+    const auto [u, key] = heap.PopMin();
+    ++pops;
+    ++last_settled_;
+    if (u == target) break;
+    const double du = dist_[u];
+    for (EdgeId e : net_.OutEdges(u)) {
+      const NodeId v = net_.head(e);
+      // potential == inf proves v cannot reach the target; skipping keeps
+      // inf out of the heap-key arithmetic.
+      if (potential[v] == kInfCost) continue;
+      ALT_DCHECK(weights[e] >= 0.0) << "negative weight on edge " << e;
+      ++relaxed;
+      relax(v, du + weights[e], e);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->nodes_settled += last_settled_;
+    stats->edges_relaxed += relaxed;
+    stats->heap_pushes += pushes;
+    stats->heap_pops += pops;
+  }
+  if (!interrupted.ok()) return interrupted;
+
+  if (stamp_[target] != current_stamp_ || dist_[target] == kInfCost ||
+      (target != source && parent_[target] == kInvalidEdge)) {
+    return Status::NotFound("target unreachable from source");
+  }
+
+  RouteResult out;
+  out.cost = dist_[target];
+  NodeId cur = target;
+  while (cur != source) {
+    const EdgeId e = parent_[cur];
+    out.edges.push_back(e);
+    cur = net_.tail(e);
+  }
+  std::reverse(out.edges.begin(), out.edges.end());
+  return out;
+}
+
 Result<ShortestPathTree> Dijkstra::BuildTree(NodeId root,
                                              std::span<const double> weights,
                                              SearchDirection direction,

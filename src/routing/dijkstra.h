@@ -68,6 +68,21 @@ class Dijkstra {
                                    obs::SearchStats* stats = nullptr,
                                    CancellationToken* cancel = nullptr);
 
+  /// Goal-directed variant (A*): the heap is ordered by dist + potential[v].
+  /// `potential` (size num_nodes) must be feasible and consistent under
+  /// `weights` — potential[tail(e)] <= weights[e] + potential[head(e)] for
+  /// every edge and potential[target] == 0. Exact distance-to-target tables
+  /// under a lower bound of `weights` satisfy this; the CH-backed Penalty
+  /// generator passes backward PHAST distances under the *unpenalized* base
+  /// weights (penalties only grow weights, so the bound stays valid across
+  /// iterations). Nodes with potential[v] == kInfCost provably cannot reach
+  /// the target and are never relaxed. Floating-point noise may re-expand a
+  /// handful of nodes; results stay exact.
+  Result<RouteResult> ShortestPathWithPotential(
+      NodeId source, NodeId target, std::span<const double> weights,
+      std::span<const double> potential, obs::SearchStats* stats = nullptr,
+      CancellationToken* cancel = nullptr);
+
   /// Full shortest-path tree from `root` in the given direction. Nodes
   /// farther than `max_cost` may be left unreached (pruning bound).
   Result<ShortestPathTree> BuildTree(NodeId root, std::span<const double> weights,

@@ -2,65 +2,119 @@
 
 #include <algorithm>
 
-#include "routing/indexed_heap.h"
+#include "util/check.h"
 
 namespace altroute {
 
 Phast::Phast(std::shared_ptr<const ContractionHierarchy> ch)
     : ch_(std::move(ch)) {
+  ALT_CHECK(ch_ != nullptr) << "null hierarchy";
   const auto& arcs = ch_->arcs();
   const auto& rank = ch_->ranks();
-  const auto& down_first = ch_->down_first();
-  const auto& down_arcs = ch_->down_arcs();
   const size_t n = rank.size();
 
-  sweep_.reserve(down_arcs.size());
-  for (NodeId v = 0; v < n; ++v) {
-    for (uint32_t k = down_first[v]; k < down_first[v + 1]; ++k) {
-      const auto& a = arcs[down_arcs[k]];
-      sweep_.push_back({a.from, a.to, a.weight});
-    }
+  // Forward sweep: downward arcs relaxed tail -> head, descending tail rank.
+  sweep_fwd_.reserve(ch_->down_arcs().size());
+  for (uint32_t id : ch_->down_arcs()) {
+    const ContractionHierarchy::Arc& a = arcs[id];
+    sweep_fwd_.push_back({a.from, a.to, a.weight});
   }
-  std::sort(sweep_.begin(), sweep_.end(),
+  std::sort(sweep_fwd_.begin(), sweep_fwd_.end(),
             [&](const SweepArc& a, const SweepArc& b) {
               return rank[a.from] > rank[b.from];
             });
-  dist_.assign(n, kInfCost);
+
+  // Backward sweep: the reverse graph's downward arcs are the upward arcs
+  // traversed head -> tail, so relax dist[a.from] from dist[a.to] in
+  // descending rank of the (reverse-graph) tail a.to.
+  sweep_bwd_.reserve(ch_->up_arcs().size());
+  for (uint32_t id : ch_->up_arcs()) {
+    const ContractionHierarchy::Arc& a = arcs[id];
+    sweep_bwd_.push_back({a.to, a.from, a.weight});
+  }
+  std::sort(sweep_bwd_.begin(), sweep_bwd_.end(),
+            [&](const SweepArc& a, const SweepArc& b) {
+              return rank[a.from] > rank[b.from];
+            });
+
+  heap_.Reset(n);
 }
 
-Result<std::vector<double>> Phast::Distances(NodeId source) {
+Status Phast::DistancesInto(NodeId source, SearchDirection direction,
+                            std::span<double> dist, obs::SearchStats* stats,
+                            CancellationToken* cancel) {
   const size_t n = ch_->ranks().size();
   if (source >= n) return Status::InvalidArgument("source out of range");
+  if (dist.size() != n) {
+    return Status::InvalidArgument("distance buffer size mismatch");
+  }
   const auto& arcs = ch_->arcs();
-  const auto& up_first = ch_->up_first();
-  const auto& up_arcs = ch_->up_arcs();
+  const bool forward = direction == SearchDirection::kForward;
+  // Phase 1 walks the upward graph of the search direction: the up CSR
+  // (bucketed by `from`) forward, the down CSR (bucketed by `to`, traversed
+  // in reverse) backward.
+  const auto& first = forward ? ch_->up_first() : ch_->down_first();
+  const auto& arc_ids = forward ? ch_->up_arcs() : ch_->down_arcs();
 
-  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  std::fill(dist.begin(), dist.end(), kInfCost);
+
+  // Local counters, flushed once (the nullptr path stays free).
+  uint64_t settled = 0, relaxed = 0, pushes = 0, pops = 0;
 
   // Phase 1: upward Dijkstra from the source.
-  IndexedHeap<double> heap(n);
-  dist_[source] = 0.0;
-  heap.PushOrDecrease(source, 0.0);
-  while (!heap.Empty()) {
-    const auto [u, du] = heap.PopMin();
-    if (du > dist_[u]) continue;
-    for (uint32_t k = up_first[u]; k < up_first[u + 1]; ++k) {
-      const auto& a = arcs[up_arcs[k]];
+  heap_.Clear();
+  dist[source] = 0.0;
+  heap_.PushOrDecrease(source, 0.0);
+  ++pushes;
+  while (!heap_.Empty()) {
+    const auto [u, du] = heap_.PopMin();
+    ++pops;
+    if (du > dist[u]) continue;
+    ++settled;
+    if (cancel != nullptr && (settled & 0xFF) == 0 && cancel->StopNow()) {
+      return Status::DeadlineExceeded("phast upward phase cancelled");
+    }
+    for (uint32_t k = first[u]; k < first[u + 1]; ++k) {
+      const ContractionHierarchy::Arc& a = arcs[arc_ids[k]];
+      const NodeId v = forward ? a.to : a.from;
+      ++relaxed;
       const double dv = du + a.weight;
-      if (dv < dist_[a.to]) {
-        dist_[a.to] = dv;
-        heap.PushOrDecrease(a.to, dv);
+      if (dv < dist[v]) {
+        dist[v] = dv;
+        if (heap_.PushOrDecrease(v, dv)) ++pushes;
       }
     }
   }
 
-  // Phase 2: one sweep over downward arcs in descending tail rank.
-  for (const SweepArc& a : sweep_) {
-    if (dist_[a.from] == kInfCost) continue;
-    const double d = dist_[a.from] + a.weight;
-    if (d < dist_[a.to]) dist_[a.to] = d;
+  // Phase 2: one linear sweep in descending rank order. The sweep arcs are
+  // pre-oriented so dist[a.to] is always improved from dist[a.from].
+  const auto& sweep = forward ? sweep_fwd_ : sweep_bwd_;
+  size_t i = 0;
+  for (const SweepArc& a : sweep) {
+    if (cancel != nullptr && (++i & 0xFFF) == 0 && cancel->StopNow()) {
+      return Status::DeadlineExceeded("phast sweep cancelled");
+    }
+    if (dist[a.from] == kInfCost) continue;
+    ++relaxed;
+    const double d = dist[a.from] + a.weight;
+    if (d < dist[a.to]) dist[a.to] = d;
   }
-  return dist_;
+
+  if (stats != nullptr) {
+    stats->nodes_settled += settled;
+    stats->edges_relaxed += relaxed;
+    stats->heap_pushes += pushes;
+    stats->heap_pops += pops;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> Phast::Distances(NodeId source) {
+  std::vector<double> dist(ch_->ranks().size(), kInfCost);
+  const Status status =
+      DistancesInto(source, SearchDirection::kForward, dist);
+  if (!status.ok()) return status;
+  return dist;
 }
 
 }  // namespace altroute

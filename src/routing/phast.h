@@ -4,36 +4,70 @@
 // networks this computes full distance tables several times faster than
 // Dijkstra, which matters here because the Plateaus and SSVP-D+ generators
 // are dominated by full-tree construction (paper Sec. 2.2).
+//
+// Both orientations are supported: forward distances (source -> every node)
+// and backward distances (every node -> source, i.e. PHAST over the reverse
+// graph, whose upward phase walks the hierarchy's down-arcs in reverse and
+// whose sweep walks the up-arcs in reverse). The CH-backed Plateau generator
+// consumes one of each per query; the CH-potential Penalty generator consumes
+// one backward table per query.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "routing/contraction_hierarchy.h"
+#include "routing/indexed_heap.h"
 
 namespace altroute {
 
-/// One-to-all engine bound to a hierarchy. Reusable workspace;
-/// not thread-safe.
+/// One-to-all engine bound to a hierarchy. Reusable workspace (sweep lists
+/// are built once at construction; the upward-phase heap is reused across
+/// calls). Thread-compatible, not thread-safe: one instance per thread;
+/// distinct instances may share the immutable hierarchy concurrently.
 class Phast {
  public:
   explicit Phast(std::shared_ptr<const ContractionHierarchy> ch);
 
-  /// Distance from `source` to every node (kInfCost where unreachable),
-  /// identical to Dijkstra::BuildTree(...).dist up to floating-point noise.
+  /// Distance table written into the caller-supplied buffer `dist`, whose
+  /// size must equal the network's node count (InvalidArgument otherwise).
+  /// For kForward, dist[v] is the source->v distance; for kBackward the
+  /// v->source distance — identical to Dijkstra::BuildTree(...).dist in the
+  /// matching direction up to floating-point noise; kInfCost when
+  /// unreachable. Avoids the n-sized allocation/copy of Distances(), so the
+  /// serving path can keep per-worker buffers. When `stats` is non-null the
+  /// upward-phase and sweep counters are accumulated into it; `cancel` is
+  /// polled cooperatively (the buffer contents are unspecified after a
+  /// DeadlineExceeded return).
+  Status DistancesInto(NodeId source, SearchDirection direction,
+                       std::span<double> dist,
+                       obs::SearchStats* stats = nullptr,
+                       CancellationToken* cancel = nullptr);
+
+  /// Convenience wrapper: allocates and returns the full n-sized table per
+  /// call (forward orientation). Prefer DistancesInto on hot paths.
   Result<std::vector<double>> Distances(NodeId source);
+
+  const ContractionHierarchy& hierarchy() const { return *ch_; }
 
  private:
   std::shared_ptr<const ContractionHierarchy> ch_;
-  /// Downward arcs (higher-rank tail -> lower-rank head), sorted by tail
-  /// rank descending so one forward pass relaxes them in topological order.
+  /// Arcs of one sweep phase, sorted so a single forward pass relaxes them
+  /// in topological (descending-rank) order. `from`/`to` are already
+  /// oriented in relaxation order: dist[to] is improved from dist[from].
   struct SweepArc {
     NodeId from;
     NodeId to;
     double weight;
   };
-  std::vector<SweepArc> sweep_;
-  std::vector<double> dist_;
+  /// Forward sweep: downward arcs (higher-rank tail -> lower-rank head) in
+  /// descending tail rank.
+  std::vector<SweepArc> sweep_fwd_;
+  /// Backward sweep: upward arcs traversed in reverse (higher-rank head ->
+  /// lower-rank tail) in descending head rank.
+  std::vector<SweepArc> sweep_bwd_;
+  IndexedHeap<double> heap_;
 };
 
 }  // namespace altroute

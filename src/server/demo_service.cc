@@ -369,6 +369,7 @@ HttpResponse DemoService::HandleReadyz(const HttpRequest&) const {
       w.Key("generation").Int(static_cast<int64_t>((*snapshot)->generation));
       w.Key("age_seconds").Number((*snapshot)->age_seconds());
       w.Key("nodes").Int(static_cast<int64_t>((*snapshot)->network().num_nodes()));
+      w.Key("ch").Bool((*snapshot)->ch != nullptr);
     }
     w.EndObject();
   }
@@ -478,6 +479,14 @@ HttpResponse DemoService::HandleDebugBuild(const HttpRequest&) const {
           static_cast<int64_t>((*snapshot)->network().num_nodes()));
       w.Key("edges").Int(
           static_cast<int64_t>((*snapshot)->network().num_edges()));
+      // CH preprocessing state of this generation: whether the CH-backed
+      // engines are live, and what the (off-serving-path) build cost.
+      w.Key("ch").Bool((*snapshot)->ch != nullptr);
+      if ((*snapshot)->ch != nullptr) {
+        w.Key("ch_build_seconds").Number((*snapshot)->ch_build_seconds);
+        w.Key("ch_shortcuts").Int(
+            static_cast<int64_t>((*snapshot)->ch->num_shortcuts()));
+      }
     }
     w.EndObject();
   }

@@ -1,6 +1,7 @@
 #include "server/network_manager.h"
 
 #include "obs/metrics.h"
+#include "traffic/traffic_model.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -62,13 +63,42 @@ Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::BuildSnapshot(
     return report.ToStatus();
   }
 
+  // Optional CH preprocessing, still off the serving path (we are on the
+  // loader's thread). Built over the free-flow weights — the same vector
+  // MakePaperSuite derives for the Plateau/Penalty/Dissimilarity engines —
+  // so the CH-backed engines answer exactly the queries the plain ones do.
+  std::shared_ptr<const ContractionHierarchy> ch;
+  double ch_build_seconds = 0.0;
+  if (options_.build_ch) {
+    const auto ch_start = std::chrono::steady_clock::now();
+    const std::vector<double> weights = FreeFlowModel().Weights(*net);
+    auto ch_or = ContractionHierarchy::Build(net, weights, options_.ch_options);
+    if (!ch_or.ok()) {
+      ALTROUTE_LOG(Warning) << "CH build for city '" << city
+                         << "' failed: " << ch_or.status();
+      return ch_or.status();
+    }
+    ch = std::move(ch_or).ValueOrDie();
+    ch_build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ch_start)
+            .count();
+    ALTROUTE_LOG(Info) << "CH for city '" << city << "' built in "
+                       << ch_build_seconds << "s: " << ch->num_shortcuts()
+                       << " shortcuts over " << net->num_edges() << " edges";
+  }
+
   ALTROUTE_ASSIGN_OR_RETURN(
       QueryProcessorPool pool,
-      QueryProcessorPool::Create(net, options_.contexts_per_city));
+      QueryProcessorPool::Create(net, options_.contexts_per_city,
+                                 AlternativeOptions{}, /*commercial_hour=*/3,
+                                 ch));
   auto snapshot = std::make_shared<NetworkSnapshot>();
   snapshot->pool = std::make_shared<QueryProcessorPool>(std::move(pool));
   snapshot->generation = generation;
   snapshot->loaded_at = std::chrono::steady_clock::now();
+  snapshot->ch = std::move(ch);
+  snapshot->ch_build_seconds = ch_build_seconds;
   return std::shared_ptr<const NetworkSnapshot>(std::move(snapshot));
 }
 

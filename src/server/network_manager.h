@@ -41,6 +41,15 @@ struct NetworkSnapshot {
   /// 1 for the startup load, incremented by every successful reload.
   uint64_t generation = 0;
   std::chrono::steady_clock::time_point loaded_at;
+  /// Contraction hierarchy the pool's CH-backed engines run on; null when
+  /// the data plane was built without Options::build_ch. Rebuilt from
+  /// scratch on every reload (the hierarchy is valid for exactly one
+  /// network + weight generation).
+  std::shared_ptr<const ContractionHierarchy> ch;
+  /// Wall seconds spent building `ch` for this generation (0 when absent);
+  /// surfaced in /readyz and /debug/build so preprocessing cost stays
+  /// visible per swap.
+  double ch_build_seconds = 0.0;
 
   const RoadNetwork& network() const { return pool->network(); }
   double age_seconds() const {
@@ -57,6 +66,13 @@ class NetworkManager {
     size_t contexts_per_city = 1;
     /// Gate applied to every load and reload.
     ValidationOptions validation;
+    /// Build a contraction hierarchy per snapshot (off the serving path,
+    /// like the rest of the load) and hand the CH-backed Plateau/Penalty
+    /// engines to every query context. A CH build failure fails the whole
+    /// snapshot build: on reload the old snapshot keeps serving.
+    bool build_ch = false;
+    /// Preprocessing knobs used when build_ch is set.
+    ChOptions ch_options;
   };
 
   /// Produces a fresh RoadNetwork — from a file, a citygen spec, whatever.

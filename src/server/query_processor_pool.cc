@@ -19,13 +19,15 @@ obs::Gauge& ContextsInUseGauge() {
 
 Result<QueryProcessorPool> QueryProcessorPool::Create(
     std::shared_ptr<const RoadNetwork> net, size_t num_contexts,
-    const AlternativeOptions& options, int commercial_hour) {
+    const AlternativeOptions& options, int commercial_hour,
+    std::shared_ptr<const ContractionHierarchy> ch) {
   if (net == nullptr) return Status::InvalidArgument("null network");
   if (num_contexts == 0) {
     return Status::InvalidArgument("pool needs at least one context");
   }
-  // Shared immutable state: one snapping index and one display-weight
-  // vector serve every context.
+  // Shared immutable state: one snapping index, one display-weight vector
+  // and (when CH-backed) one hierarchy serve every context; each context's
+  // engines keep only their own mutable search workspaces.
   auto index = std::make_shared<const SpatialIndex>(net->coords());
   std::shared_ptr<const std::vector<double>> display_weights;
 
@@ -35,7 +37,7 @@ Result<QueryProcessorPool> QueryProcessorPool::Create(
     ALTROUTE_ASSIGN_OR_RETURN(
         EngineSuite suite,
         EngineSuite::MakePaperSuite(net, options, commercial_hour,
-                                    display_weights));
+                                    display_weights, ch));
     if (display_weights == nullptr) {
       display_weights = suite.display_weights_ptr();
     }

@@ -21,10 +21,14 @@ class QueryProcessorPool {
  public:
   /// Builds `num_contexts` processors over one shared network: the spatial
   /// index and display weights are built once; each context gets its own
-  /// engine suite (per-worker mutable state).
+  /// engine suite (per-worker mutable state). A non-null `ch` (built over
+  /// the same network and its free-flow weights) is shared by every context
+  /// and selects the CH-backed Plateau/Penalty engines — see
+  /// EngineSuite::MakePaperSuite.
   static Result<QueryProcessorPool> Create(
       std::shared_ptr<const RoadNetwork> net, size_t num_contexts,
-      const AlternativeOptions& options = {}, int commercial_hour = 3);
+      const AlternativeOptions& options = {}, int commercial_hour = 3,
+      std::shared_ptr<const ContractionHierarchy> ch = nullptr);
 
   /// Adopts prebuilt processors (e.g. a single-context pool for tests or
   /// the serial CLI paths). Must be non-empty and non-null.

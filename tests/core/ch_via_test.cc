@@ -1,0 +1,128 @@
+#include "core/ch_via.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "core/similarity.h"
+#include "util/check.h"
+
+namespace altroute {
+namespace {
+
+std::shared_ptr<const ContractionHierarchy> BuildCh(
+    const std::shared_ptr<RoadNetwork>& net) {
+  auto ch = ContractionHierarchy::Build(net, net->travel_times());
+  ALT_CHECK(ch.ok()) << ch.status();
+  return std::move(ch).ValueOrDie();
+}
+
+TEST(ChViaTest, FirstRouteIsTheShortestPath) {
+  auto net = testutil::GridNetwork(6, 6);
+  ChViaGenerator gen(net, testutil::Weights(*net), BuildCh(net));
+  EXPECT_EQ(gen.name(), "ch_via");
+  auto set = gen.Generate(0, 35);
+  ASSERT_TRUE(set.ok());
+  ASSERT_FALSE(set->routes.empty());
+  Dijkstra dijkstra(*net);
+  auto sp = dijkstra.ShortestPath(0, 35, net->travel_times());
+  ASSERT_TRUE(sp.ok());
+  EXPECT_NEAR(set->routes[0].cost, sp->cost, 1e-6);
+  EXPECT_NEAR(set->optimal_cost, sp->cost, 1e-6);
+}
+
+TEST(ChViaTest, GridHasViaAlternatives) {
+  auto net = testutil::GridNetwork(8, 8);
+  AlternativeOptions options;
+  options.max_routes = 3;
+  ChViaGenerator gen(net, testutil::Weights(*net), BuildCh(net), options);
+  auto set = gen.Generate(0, 63);
+  ASSERT_TRUE(set.ok());
+  EXPECT_GE(set->routes.size(), 2u);  // a grid has dissimilar via routes
+  EXPECT_LE(set->routes.size(), 3u);
+}
+
+TEST(ChViaTest, UnreachableIsNotFound) {
+  auto net = testutil::TwoIslandNetwork(906, 30, 20);
+  ChViaGenerator gen(net, testutil::Weights(*net), BuildCh(net));
+  EXPECT_TRUE(gen.Generate(0, 31).status().IsNotFound());
+}
+
+TEST(ChViaTest, SourceEqualsTargetYieldsTrivialRoute) {
+  auto net = testutil::GridNetwork(4, 4);
+  ChViaGenerator gen(net, testutil::Weights(*net), BuildCh(net));
+  auto set = gen.Generate(5, 5);
+  ASSERT_TRUE(set.ok());
+  ASSERT_FALSE(set->routes.empty());
+  EXPECT_DOUBLE_EQ(set->routes[0].cost, 0.0);
+  EXPECT_TRUE(set->routes[0].edges.empty());
+}
+
+class ChViaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChViaPropertyTest, InvariantsOnRandomNetworks) {
+  // ISSUE satellite (d): across seeded random cities, the via-node
+  // generator's optimum matches plain Dijkstra exactly and every emitted
+  // route is a contiguous, loopless, stretch-bounded real path.
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 180, 240);
+  const auto weights = testutil::Weights(*net);
+  ChViaGenerator gen(net, weights, BuildCh(net));
+  Dijkstra dijkstra(*net);
+  Rng rng(GetParam() + 900);
+  for (int q = 0; q < 6; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    if (s == t) continue;
+    auto set = gen.Generate(s, t);
+    ASSERT_TRUE(set.ok()) << s << "->" << t;
+    ASSERT_FALSE(set->routes.empty());
+    auto sp = dijkstra.ShortestPath(s, t, weights);
+    ASSERT_TRUE(sp.ok());
+    EXPECT_NEAR(set->optimal_cost, sp->cost, 1e-6) << s << "->" << t;
+    EXPECT_NEAR(set->routes[0].cost, sp->cost, 1e-6) << s << "->" << t;
+    for (size_t i = 0; i < set->routes.size(); ++i) {
+      const Path& p = set->routes[i];
+      EXPECT_EQ(p.source, s);
+      EXPECT_EQ(p.target, t);
+      EXPECT_TRUE(IsLoopless(*net, p));
+      EXPECT_LE(p.cost, 1.4 * set->optimal_cost + 1e-6);
+      // Contiguous real edges whose weights sum to the reported cost.
+      NodeId cur = s;
+      double cost = 0.0;
+      for (EdgeId e : p.edges) {
+        ASSERT_LT(e, net->num_edges());
+        ASSERT_EQ(net->tail(e), cur);
+        cur = net->head(e);
+        cost += weights[e];
+      }
+      EXPECT_EQ(cur, t);
+      EXPECT_NEAR(cost, p.cost, 1e-6);
+      for (size_t j = i + 1; j < set->routes.size(); ++j) {
+        EXPECT_FALSE(SameEdges(p, set->routes[j]));
+        EXPECT_LT(Similarity(*net, p, set->routes[j]), 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChViaPropertyTest,
+                         ::testing::Values(61, 62, 63, 64));
+
+TEST(ChViaTest, DisconnectedPairsInsideMixedWorkload) {
+  // Alternating reachable and unreachable queries on one generator instance:
+  // the reusable workspace must not leak state across outcomes.
+  auto net = testutil::TwoIslandNetwork(907, 40, 30);
+  ChViaGenerator gen(net, testutil::Weights(*net), BuildCh(net));
+  Dijkstra dijkstra(*net);
+  const auto weights = testutil::Weights(*net);
+  for (int round = 0; round < 3; ++round) {
+    auto same = gen.Generate(1, 17);
+    ASSERT_TRUE(same.ok());
+    auto sp = dijkstra.ShortestPath(1, 17, weights);
+    ASSERT_TRUE(sp.ok());
+    EXPECT_NEAR(same->routes[0].cost, sp->cost, 1e-6);
+    EXPECT_TRUE(gen.Generate(1, 41 + round).status().IsNotFound());
+  }
+}
+
+}  // namespace
+}  // namespace altroute

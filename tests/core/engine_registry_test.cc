@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
+#include "traffic/traffic_model.h"
 
 namespace altroute {
 namespace {
@@ -55,6 +56,37 @@ TEST(EngineRegistryTest, AllEnginesAnswerTheSameQuery) {
     EXPECT_FALSE(set->routes.empty()) << ApproachName(a);
     EXPECT_LE(set->routes.size(), 3u) << ApproachName(a);
   }
+}
+
+TEST(EngineRegistryTest, ChSuiteSelectsChBackedEngines) {
+  auto net = testutil::GridNetwork(6, 6);
+  auto ch_or =
+      ContractionHierarchy::Build(net, FreeFlowModel().Weights(*net));
+  ASSERT_TRUE(ch_or.ok());
+  auto ch = std::move(ch_or).ValueOrDie();
+  auto suite = EngineSuite::MakePaperSuite(net, {}, 3, nullptr, ch);
+  ASSERT_TRUE(suite.ok()) << suite.status();
+  EXPECT_EQ(suite->ch(), ch);
+  EXPECT_EQ(suite->engine(Approach::kPlateaus).name(), "plateau_ch");
+  EXPECT_EQ(suite->engine(Approach::kPenalty).name(), "penalty_ch");
+  // The other two approaches keep their plain engines.
+  EXPECT_EQ(suite->engine(Approach::kGoogleMaps).name(), "commercial");
+  EXPECT_EQ(suite->engine(Approach::kDissimilarity).name(), "dissimilarity");
+  for (Approach a : kAllApproaches) {
+    EXPECT_TRUE(suite->engine(a).Generate(0, 35).ok()) << ApproachName(a);
+  }
+}
+
+TEST(EngineRegistryTest, RejectsForeignHierarchy) {
+  auto net = testutil::GridNetwork(5, 5);
+  auto other = testutil::GridNetwork(5, 5);
+  auto ch_or =
+      ContractionHierarchy::Build(other, FreeFlowModel().Weights(*other));
+  ASSERT_TRUE(ch_or.ok());
+  EXPECT_TRUE(EngineSuite::MakePaperSuite(net, {}, 3, nullptr,
+                                          std::move(ch_or).ValueOrDie())
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(EngineRegistryTest, RejectsBadInput) {

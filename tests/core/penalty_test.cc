@@ -4,6 +4,7 @@
 
 #include "../testutil.h"
 #include "core/similarity.h"
+#include "util/check.h"
 
 namespace altroute {
 namespace {
@@ -126,6 +127,112 @@ TEST(PenaltyTest, RepeatedQueriesAreDeterministic) {
   for (size_t i = 0; i < a->routes.size(); ++i) {
     EXPECT_TRUE(SameEdges(a->routes[i], b->routes[i]));
   }
+}
+
+TEST(PenaltyTest, PenalizesAllParallelEdgesOfAStreet) {
+  // Regression: the generator used to penalize the reverse direction via
+  // FindEdge, which returns only the FIRST matching edge — on a multigraph
+  // the parallel twin kept its base weight and came back as a sham
+  // "alternative" that is geometrically the same street. Build a multigraph
+  // with a near-duplicate direct edge (100 vs 100.5) and a genuine detour
+  // via node 2 (60 + 60 = 120), all within the 1.4 stretch bound.
+  GraphBuilder builder("multigraph");
+  builder.set_keep_parallel_edges(true);
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0.005, 0.005));
+  builder.AddEdge(0, 1, 1000, 100.0);
+  builder.AddEdge(0, 1, 1000, 100.5);  // parallel twin
+  builder.AddEdge(1, 0, 1000, 100.0);
+  builder.AddEdge(1, 0, 1000, 100.5);  // parallel twin, reverse
+  builder.AddBidirectionalEdge(0, 2, 600, 60.0);
+  builder.AddBidirectionalEdge(2, 1, 600, 60.0);
+  auto net = std::move(builder.Build()).ValueOrDie();
+
+  AlternativeOptions options;
+  options.max_routes = 2;
+  options.stretch_bound = 1.4;
+  PenaltyGenerator gen(net, testutil::Weights(*net), options);
+  auto set = gen.Generate(0, 1);
+  ASSERT_TRUE(set.ok());
+  EXPECT_DOUBLE_EQ(set->optimal_cost, 100.0);
+  ASSERT_EQ(set->routes.size(), 2u);
+  // The alternative must be the real detour through node 2, not the
+  // unpenalized parallel twin of the optimal street.
+  EXPECT_NEAR(set->routes[1].cost, 120.0, 1e-9);
+  bool via_detour = false;
+  for (EdgeId e : set->routes[1].edges) {
+    if (net->head(e) == 2u) via_detour = true;
+  }
+  EXPECT_TRUE(via_detour) << "alternative does not use the detour node";
+}
+
+std::shared_ptr<const ContractionHierarchy> BuildCh(
+    const std::shared_ptr<RoadNetwork>& net) {
+  auto ch = ContractionHierarchy::Build(net, net->travel_times());
+  ALT_CHECK(ch.ok()) << ch.status();
+  return std::move(ch).ValueOrDie();
+}
+
+TEST(PenaltyChTest, GoalDirectedSearchMatchesPlainGenerator) {
+  auto net = testutil::GridNetwork(7, 7);
+  const auto weights = testutil::Weights(*net);
+  PenaltyGenerator plain(net, weights);
+  PenaltyGenerator ch_backed(net, weights, BuildCh(net));
+  EXPECT_EQ(ch_backed.name(), "penalty_ch");
+  auto a = plain.Generate(3, 45);
+  auto b = ch_backed.Generate(3, 45);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->optimal_cost, a->optimal_cost, 1e-6);
+  ASSERT_FALSE(b->routes.empty());
+  // A* may break shortest-path ties differently from Dijkstra, which can
+  // steer the penalization sequence elsewhere — so the comparison is
+  // cost-level: identical optimum, and every route within the shared bound.
+  EXPECT_NEAR(b->routes[0].cost, a->routes[0].cost, 1e-6);
+  for (const Path& p : b->routes) {
+    EXPECT_TRUE(IsLoopless(*net, p));
+    EXPECT_LE(p.cost, 1.4 * b->optimal_cost + 1e-6);
+  }
+}
+
+class PenaltyChPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PenaltyChPropertyTest, ChBackedInvariantsOnRandomNetworks) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 150, 220);
+  const auto weights = testutil::Weights(*net);
+  PenaltyGenerator plain(net, weights);
+  PenaltyGenerator ch_backed(net, weights, BuildCh(net));
+  Rng rng(GetParam() + 800);
+  for (int q = 0; q < 6; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    if (s == t) continue;
+    auto expected = plain.Generate(s, t);
+    auto got = ch_backed.Generate(s, t);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_FALSE(got->routes.empty());
+    EXPECT_NEAR(got->optimal_cost, expected->optimal_cost, 1e-6);
+    EXPECT_NEAR(got->routes[0].cost, expected->routes[0].cost, 1e-6);
+    for (size_t i = 0; i < got->routes.size(); ++i) {
+      const Path& p = got->routes[i];
+      EXPECT_TRUE(IsLoopless(*net, p));
+      EXPECT_LE(p.cost, 1.4 * got->optimal_cost + 1e-6);
+      for (size_t j = i + 1; j < got->routes.size(); ++j) {
+        EXPECT_FALSE(SameEdges(p, got->routes[j]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PenaltyChPropertyTest,
+                         ::testing::Values(85, 86, 87));
+
+TEST(PenaltyChTest, ChBackedUnreachableIsNotFound) {
+  auto net = testutil::TwoIslandNetwork(905, 30, 20);
+  PenaltyGenerator gen(net, testutil::Weights(*net), BuildCh(net));
+  EXPECT_TRUE(gen.Generate(0, 31).status().IsNotFound());
 }
 
 class PenaltyPropertyTest : public ::testing::TestWithParam<uint64_t> {};

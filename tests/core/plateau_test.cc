@@ -6,6 +6,7 @@
 
 #include "../testutil.h"
 #include "core/similarity.h"
+#include "util/check.h"
 
 namespace altroute {
 namespace {
@@ -118,6 +119,70 @@ TEST(PlateauTest, WorkIsAboutTwoDijkstraTrees) {
   auto set = gen.Generate(0, 99);
   ASSERT_TRUE(set.ok());
   EXPECT_EQ(set->work_settled_nodes, 2 * net->num_nodes());
+}
+
+std::shared_ptr<const ContractionHierarchy> BuildCh(
+    const std::shared_ptr<RoadNetwork>& net) {
+  auto ch = ContractionHierarchy::Build(net, net->travel_times());
+  ALT_CHECK(ch.ok()) << ch.status();
+  return std::move(ch).ValueOrDie();
+}
+
+TEST(PlateauChTest, ChBackedTreesMatchPlainOptimalCost) {
+  auto net = testutil::GridNetwork(8, 8);
+  const auto weights = testutil::Weights(*net);
+  PlateauGenerator plain(net, weights);
+  PlateauGenerator ch_backed(net, weights, BuildCh(net));
+  EXPECT_EQ(ch_backed.name(), "plateau_ch");
+  auto a = plain.Generate(0, 63);
+  auto b = ch_backed.Generate(0, 63);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(b->routes.empty());
+  EXPECT_NEAR(a->optimal_cost, b->optimal_cost, 1e-6);
+  EXPECT_NEAR(a->routes[0].cost, b->routes[0].cost, 1e-6);
+}
+
+class PlateauChPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlateauChPropertyTest, ChBackedInvariantsOnRandomNetworks) {
+  auto net = testutil::RandomConnectedNetwork(GetParam(), 180, 240);
+  const auto weights = testutil::Weights(*net);
+  PlateauGenerator plain(net, weights);
+  PlateauGenerator ch_backed(net, weights, BuildCh(net));
+  Rng rng(GetParam() + 700);
+  for (int q = 0; q < 6; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    if (s == t) continue;
+    auto expected = plain.Generate(s, t);
+    auto got = ch_backed.Generate(s, t);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_FALSE(got->routes.empty());
+    // PHAST-built trees must reproduce the plain Dijkstra optimum exactly;
+    // tie-breaking inside the trees may differ, so route sets are only held
+    // to the generator invariants rather than edge-for-edge equality.
+    EXPECT_NEAR(got->optimal_cost, expected->optimal_cost, 1e-6);
+    EXPECT_NEAR(got->routes[0].cost, expected->routes[0].cost, 1e-6);
+    for (size_t i = 0; i < got->routes.size(); ++i) {
+      const Path& p = got->routes[i];
+      EXPECT_TRUE(IsLoopless(*net, p));
+      EXPECT_LE(p.cost, 1.4 * got->optimal_cost + 1e-6);
+      for (size_t j = i + 1; j < got->routes.size(); ++j) {
+        EXPECT_FALSE(SameEdges(p, got->routes[j]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlateauChPropertyTest,
+                         ::testing::Values(95, 96, 97));
+
+TEST(PlateauChTest, ChBackedUnreachableIsNotFound) {
+  auto net = testutil::TwoIslandNetwork(904, 30, 20);
+  PlateauGenerator gen(net, testutil::Weights(*net), BuildCh(net));
+  EXPECT_TRUE(gen.Generate(0, 31).status().IsNotFound());
 }
 
 class PlateauPropertyTest : public ::testing::TestWithParam<uint64_t> {};

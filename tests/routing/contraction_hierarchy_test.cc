@@ -108,6 +108,106 @@ TEST(ContractionHierarchyTest, GridExhaustiveSmall) {
   }
 }
 
+TEST(ChQueryTest, ReusedWorkspaceMatchesPerCallApi) {
+  auto net = testutil::RandomConnectedNetwork(901, 120, 160);
+  const auto weights = testutil::Weights(*net);
+  auto ch = BuildCh(net);
+  ContractionHierarchy::Query query(ch);
+  Rng rng(901 + 5000);
+  for (int q = 0; q < 40; ++q) {
+    const auto s = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    const auto t = static_cast<NodeId>(rng.NextUint64(net->num_nodes()));
+    auto per_call = ch->ShortestPath(s, t);
+    auto reused = query.ShortestPath(s, t);
+    ASSERT_EQ(per_call.ok(), reused.ok()) << s << "->" << t;
+    if (!per_call.ok()) continue;
+    EXPECT_NEAR(reused->cost, per_call->cost, 1e-9) << s << "->" << t;
+    EXPECT_EQ(reused->edges, per_call->edges) << s << "->" << t;
+  }
+}
+
+TEST(ChQueryTest, BidirectionalLabelsAndViaPathsAreConsistent) {
+  auto net = testutil::RandomConnectedNetwork(902, 100, 140);
+  const auto weights = testutil::Weights(*net);
+  auto ch = BuildCh(net);
+  Dijkstra dijkstra(*net);
+  ContractionHierarchy::Query query(ch);
+
+  const NodeId s = 3, t = 77;
+  auto opt = dijkstra.ShortestPath(s, t, weights);
+  ASSERT_TRUE(opt.ok());
+  auto run = query.RunBidirectional(s, t, /*prune_factor=*/1.4);
+  ASSERT_TRUE(run.ok());
+  EXPECT_NEAR(run->best_cost, opt->cost, 1e-6);
+  ASSERT_NE(run->meet, kInvalidNode);
+
+  // The meet node realises the optimum, and unpacking it yields a valid
+  // contiguous s->t route of exactly that cost.
+  EXPECT_NEAR(query.forward_distance(run->meet) +
+                  query.backward_distance(run->meet),
+              opt->cost, 1e-6);
+  ASSERT_FALSE(query.meeting_nodes().empty());
+
+  for (NodeId via : query.meeting_nodes()) {
+    const double df = query.forward_distance(via);
+    const double db = query.backward_distance(via);
+    ASSERT_LT(df, kInfCost);
+    ASSERT_LT(db, kInfCost);
+    // Labels are upper bounds realised by actual paths.
+    auto unpacked = query.UnpackViaPath(via);
+    ASSERT_TRUE(unpacked.ok()) << "via " << via;
+    EXPECT_NEAR(unpacked->cost, df + db, 1e-6);
+    EXPECT_GE(unpacked->cost, opt->cost - 1e-9);
+    double cost = 0.0;
+    NodeId cur = s;
+    bool saw_via = (via == s);
+    for (EdgeId e : unpacked->edges) {
+      ASSERT_LT(e, net->num_edges());
+      ASSERT_EQ(net->tail(e), cur);
+      cur = net->head(e);
+      if (cur == via) saw_via = true;
+      cost += weights[e];
+    }
+    EXPECT_EQ(cur, t);
+    EXPECT_TRUE(saw_via) << "via " << via << " not on its own route";
+    EXPECT_NEAR(cost, unpacked->cost, 1e-6);
+  }
+
+  // A node reached by neither/one search is rejected.
+  NodeId outside = kInvalidNode;
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    if (query.forward_distance(v) == kInfCost ||
+        query.backward_distance(v) == kInfCost) {
+      outside = v;
+      break;
+    }
+  }
+  if (outside != kInvalidNode) {
+    EXPECT_TRUE(query.UnpackViaPath(outside).status().IsInvalidArgument());
+  }
+}
+
+TEST(ChQueryTest, DisconnectedIslandsAreNotFound) {
+  auto net = testutil::TwoIslandNetwork(903, 40, 30);
+  auto ch = BuildCh(net);
+  ContractionHierarchy::Query query(ch);
+  // Cross-island in both directions; then a same-island query still works.
+  EXPECT_TRUE(query.ShortestPath(0, 41).status().IsNotFound());
+  EXPECT_TRUE(query.RunBidirectional(41, 0).status().IsNotFound());
+  auto same = query.ShortestPath(2, 17);
+  EXPECT_TRUE(same.ok());
+}
+
+TEST(ChQueryTest, SourceEqualsTargetIsZero) {
+  auto net = testutil::GridNetwork(4, 4);
+  auto ch = BuildCh(net);
+  ContractionHierarchy::Query query(*ch);
+  auto r = query.ShortestPath(7, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  EXPECT_TRUE(r->edges.empty());
+}
+
 TEST(ContractionHierarchyTest, ShortcutCountIsReasonable) {
   auto net = testutil::GridNetwork(10, 10);
   auto ch = BuildCh(net);

@@ -89,5 +89,75 @@ TEST(PhastTest, RejectsOutOfRangeSource) {
   EXPECT_TRUE(phast.Distances(99).status().IsInvalidArgument());
 }
 
+TEST(PhastTest, BackwardMatchesReverseDijkstraTree) {
+  auto net = testutil::RandomConnectedNetwork(121, 150, 200);
+  Phast phast(Ch(net));
+  Dijkstra dijkstra(*net);
+  std::vector<double> dist(net->num_nodes(), -1.0);
+  for (NodeId target : {0u, 42u, 149u}) {
+    ASSERT_TRUE(phast
+                    .DistancesInto(target, SearchDirection::kBackward,
+                                   std::span<double>(dist))
+                    .ok());
+    auto tree = dijkstra.BuildTree(target, net->travel_times(),
+                                   SearchDirection::kBackward);
+    ASSERT_TRUE(tree.ok());
+    for (NodeId v = 0; v < net->num_nodes(); ++v) {
+      EXPECT_NEAR(dist[v], tree->dist[v], 1e-6)
+          << "target " << target << " node " << v;
+    }
+  }
+}
+
+TEST(PhastTest, BackwardHandlesOneWayReachability) {
+  // 0 -> 1 -> 2 one-way: backward from 0, only node 0 reaches it.
+  GraphBuilder builder;
+  builder.AddNode(LatLng(0, 0));
+  builder.AddNode(LatLng(0, 0.01));
+  builder.AddNode(LatLng(0, 0.02));
+  builder.AddEdge(0, 1, 10, 5);
+  builder.AddEdge(1, 2, 10, 5);
+  auto net = std::move(builder.Build()).ValueOrDie();
+  Phast phast(Ch(net));
+  std::vector<double> dist(net->num_nodes(), 0.0);
+  ASSERT_TRUE(phast
+                  .DistancesInto(0, SearchDirection::kBackward,
+                                 std::span<double>(dist))
+                  .ok());
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_EQ(dist[1], kInfCost);
+  EXPECT_EQ(dist[2], kInfCost);
+  // Backward from 2 sees the whole chain.
+  ASSERT_TRUE(phast
+                  .DistancesInto(2, SearchDirection::kBackward,
+                                 std::span<double>(dist))
+                  .ok());
+  EXPECT_DOUBLE_EQ(dist[0], 10.0);
+  EXPECT_DOUBLE_EQ(dist[1], 5.0);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+}
+
+TEST(PhastTest, DistancesIntoValidatesBufferAndReusesIt) {
+  auto net = testutil::GridNetwork(6, 6);
+  Phast phast(Ch(net));
+  std::vector<double> wrong(net->num_nodes() - 1);
+  EXPECT_TRUE(phast
+                  .DistancesInto(0, SearchDirection::kForward,
+                                 std::span<double>(wrong))
+                  .IsInvalidArgument());
+
+  // Same buffer across calls: results match the allocating overload.
+  std::vector<double> dist(net->num_nodes());
+  for (NodeId source : {0u, 17u, 35u}) {
+    ASSERT_TRUE(phast
+                    .DistancesInto(source, SearchDirection::kForward,
+                                   std::span<double>(dist))
+                    .ok());
+    auto expected = phast.Distances(source);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(dist, *expected) << "source " << source;
+  }
+}
+
 }  // namespace
 }  // namespace altroute

@@ -201,6 +201,32 @@ TEST(NetworkManagerTest, ReloadAllReportsPerCityOutcomes) {
   EXPECT_TRUE(manager.Ready());  // the failed city still has generation 1
 }
 
+TEST(NetworkManagerTest, BuildChOptionAttachesHierarchyToSnapshots) {
+  NetworkManager::Options options;
+  options.build_ch = true;
+  NetworkManager manager(options);
+  ASSERT_TRUE(manager.AddCity("ch_city", GridLoader(5, 5)).ok());
+  auto snapshot = manager.GetSnapshot("ch_city");
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_NE((*snapshot)->ch, nullptr);
+  EXPECT_EQ(&(*snapshot)->ch->network(), &(*snapshot)->network());
+  EXPECT_GE((*snapshot)->ch_build_seconds, 0.0);
+
+  // Reload rebuilds the hierarchy for the fresh network.
+  ASSERT_TRUE(manager.Reload("ch_city").ok());
+  auto fresh = manager.GetSnapshot("ch_city");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_NE((*fresh)->ch, nullptr);
+  EXPECT_NE((*fresh)->ch, (*snapshot)->ch);
+  EXPECT_EQ(&(*fresh)->ch->network(), &(*fresh)->network());
+}
+
+TEST(NetworkManagerTest, ChOffByDefault) {
+  NetworkManager manager;
+  ASSERT_TRUE(manager.AddCity("plain_city", GridLoader()).ok());
+  EXPECT_EQ((*manager.GetSnapshot("plain_city"))->ch, nullptr);
+}
+
 TEST(NetworkManagerTest, ContextsPerCityOptionSizesThePool) {
   NetworkManager::Options options;
   options.contexts_per_city = 3;

@@ -74,6 +74,39 @@ std::shared_ptr<RoadNetwork> RandomConnectedNetwork(uint64_t seed, int n,
   return std::move(net).ValueOrDie();
 }
 
+std::shared_ptr<RoadNetwork> TwoIslandNetwork(uint64_t seed, int n_per_island,
+                                              int extra_edges_per_island) {
+  Rng rng(seed);
+  GraphBuilder builder("two_islands");
+  const int total = 2 * n_per_island;
+  for (int i = 0; i < total; ++i) {
+    builder.AddNode(LatLng(rng.Uniform(-0.05, 0.05), rng.Uniform(-0.05, 0.05)));
+  }
+  for (int island = 0; island < 2; ++island) {
+    const int base = island * n_per_island;
+    // Random spanning tree within the island, then extra edges.
+    for (int i = 1; i < n_per_island; ++i) {
+      const auto j = static_cast<NodeId>(
+          base + rng.NextUint64(static_cast<uint64_t>(i)));
+      const double w = rng.Uniform(30.0, 300.0);
+      builder.AddBidirectionalEdge(static_cast<NodeId>(base + i), j, w * 10.0,
+                                   w, RoadClass::kResidential);
+    }
+    for (int k = 0; k < extra_edges_per_island; ++k) {
+      const auto a = static_cast<NodeId>(
+          base + rng.NextUint64(static_cast<uint64_t>(n_per_island)));
+      const auto b = static_cast<NodeId>(
+          base + rng.NextUint64(static_cast<uint64_t>(n_per_island)));
+      if (a == b) continue;
+      const double w = rng.Uniform(30.0, 300.0);
+      builder.AddBidirectionalEdge(a, b, w * 10.0, w, RoadClass::kSecondary);
+    }
+  }
+  auto net = builder.Build();
+  ALT_CHECK(net.ok());
+  return std::move(net).ValueOrDie();
+}
+
 std::vector<double> BellmanFordDistances(const RoadNetwork& net, NodeId source,
                                          std::span<const double> weights) {
   std::vector<double> dist(net.num_nodes(), kInfCost);

@@ -46,6 +46,13 @@ std::shared_ptr<RoadNetwork> GridNetwork(int rows, int cols,
 std::shared_ptr<RoadNetwork> RandomConnectedNetwork(uint64_t seed, int n,
                                                     int extra_edges);
 
+/// Two disjoint random strongly connected islands in one network: nodes
+/// [0, n_per_island) and [n_per_island, 2 * n_per_island) with no edge
+/// between them. Cross-island queries exercise the unreachable paths of
+/// search kernels. Deterministic in `seed`.
+std::shared_ptr<RoadNetwork> TwoIslandNetwork(uint64_t seed, int n_per_island,
+                                              int extra_edges_per_island);
+
 /// O(V*E) Bellman-Ford oracle: distance from `source` to every node under
 /// `weights`; kInfCost when unreachable.
 std::vector<double> BellmanFordDistances(const RoadNetwork& net, NodeId source,

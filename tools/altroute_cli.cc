@@ -145,6 +145,12 @@ Commands:
       [--slow-query-log FILE]                          persist offenders as
                                                        append-only JSONL,
                                                        replayed on restart
+      [--ch]                                           build a contraction
+                                                       hierarchy per snapshot
+                                                       and serve the CH-backed
+                                                       Plateau/Penalty engines
+                                                       (build cost reported at
+                                                       /debug/build)
                                                        health at /healthz,
                                                        readiness at /readyz;
                                                        POST /admin/reload or
@@ -431,6 +437,10 @@ int CmdServe(const Args& args) {
   // the network, weights and snapping index are shared per city).
   NetworkManager::Options mopts;
   mopts.contexts_per_city = static_cast<size_t>(threads);
+  // --ch: build a contraction hierarchy per snapshot (slower startup/reload,
+  // off the serving path) so every context serves the CH-backed
+  // Plateau/Penalty engines. /debug/build reports the build cost.
+  mopts.build_ch = args.Get("ch") == "true";
   auto manager = std::make_shared<NetworkManager>(mopts);
   for (auto& [city, loader] : *sources) {
     const Status st = manager->AddCity(city, std::move(loader));
