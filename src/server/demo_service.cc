@@ -6,6 +6,7 @@
 #include "server/directions.h"
 #include "server/json.h"
 #include "util/check.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -185,6 +186,14 @@ HttpResponse DemoService::HandleRoute(const HttpRequest& req) {
     // still feed the forensics log: a slow failure is still slow.
     RecordRouteForensics(req, city, nullptr, profile);
     return HttpResponse::FromStatus(response.status(), req.request_id);
+  }
+  // Chaos site "serialize": a failure here models the response encoder
+  // breaking after a successful computation — the request still answers,
+  // with the fault's status instead of a body it cannot produce.
+  Status serialize_fault = FaultInjector::Global().Check("serialize");
+  if (!serialize_fault.ok()) {
+    RecordRouteForensics(req, city, &*response, profile);
+    return HttpResponse::FromStatus(serialize_fault, req.request_id);
   }
   HttpResponse ok = HttpResponse::Json(
       processor->ToJson(*response, want_trace ? &trace : nullptr, &profile,

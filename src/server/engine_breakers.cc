@@ -1,0 +1,82 @@
+#include "server/engine_breakers.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace altroute {
+
+namespace {
+
+/// The breaker observability instruments, registered once and cached.
+struct BreakerMetrics {
+  obs::GaugeFamily& state;
+  obs::CounterFamily& transitions;
+
+  static BreakerMetrics& Get() {
+    static BreakerMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new BreakerMetrics{
+          reg.GetGaugeFamily(
+              "altroute_breaker_state",
+              "Circuit-breaker state per (city, engine): 0 closed, 1 open, "
+              "2 half_open.",
+              {"city", "engine"}),
+          reg.GetCounterFamily(
+              "altroute_breaker_transitions_total",
+              "Circuit-breaker state transitions per (city, engine), by "
+              "target state.",
+              {"city", "engine", "to"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+EngineBreakerSet::EngineBreakerSet(std::string city,
+                                   CircuitBreakerOptions options,
+                                   CircuitBreaker::ClockFn clock)
+    : city_(std::move(city)), options_(options), clock_(std::move(clock)) {}
+
+CircuitBreaker& EngineBreakerSet::ForEngine(std::string_view engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(engine);
+  if (it != breakers_.end()) return *it->second;
+
+  const std::string engine_name(engine);
+  auto breaker = std::make_unique<CircuitBreaker>(options_, clock_);
+  // Cache the per-tuple instruments in the closure: WithLabels takes the
+  // family mutex and transitions are rare, but the gauge write must not.
+  obs::Gauge& state_gauge =
+      BreakerMetrics::Get().state.WithLabels({city_, engine_name});
+  state_gauge.Set(static_cast<double>(static_cast<int>(BreakerState::kClosed)));
+  const std::string city_name = city_;
+  breaker->set_on_transition([&state_gauge, city_name,
+                              engine_name](BreakerState to) {
+    state_gauge.Set(static_cast<double>(static_cast<int>(to)));
+    BreakerMetrics::Get()
+        .transitions
+        .WithLabels({city_name, engine_name, std::string(BreakerStateName(to))})
+        .Increment();
+    ALTROUTE_LOG(Info) << "breaker [" << city_name << ", " << engine_name
+                       << "] -> " << BreakerStateName(to);
+  });
+  it = breakers_.emplace(engine_name, std::move(breaker)).first;
+  return *it->second;
+}
+
+bool EngineBreakerSet::CountsAsFailure(const Status& status) {
+  if (status.ok()) return false;
+  switch (status.code()) {
+    // The engine did its job; the query (or the data) had no answer.
+    case StatusCode::kNotFound:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace altroute

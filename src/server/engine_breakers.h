@@ -1,0 +1,57 @@
+// Per-(city, engine) circuit breakers for the serving path. One
+// EngineBreakerSet guards one city's engine suite and is shared by every
+// query-processor context over that city (the breakers are the cross-worker
+// shared state: engine health is a property of the city's data plane, not of
+// one worker). QueryProcessor::Process consults the breaker before running
+// each engine: an open breaker skips the engine immediately — its budget
+// slice flows to the engines still running — and the approach ships with
+// status "breaker_open" in the degraded response.
+//
+// Every state machine is observable: altroute_breaker_state{city,engine}
+// (0 closed, 1 open, 2 half_open) and
+// altroute_breaker_transitions_total{city,engine,to}.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/circuit_breaker.h"
+#include "util/status.h"
+
+namespace altroute {
+
+class EngineBreakerSet {
+ public:
+  /// One breaker per engine name, created on first use, all sharing
+  /// `options`. `clock` is handed to every breaker (tests inject a fake
+  /// clock to drive cooldowns deterministically; null = steady clock).
+  EngineBreakerSet(std::string city, CircuitBreakerOptions options,
+                   CircuitBreaker::ClockFn clock = nullptr);
+
+  EngineBreakerSet(const EngineBreakerSet&) = delete;
+  EngineBreakerSet& operator=(const EngineBreakerSet&) = delete;
+
+  /// The breaker guarding `engine` in this city; created closed on first
+  /// use. The reference stays valid for the set's lifetime.
+  CircuitBreaker& ForEngine(std::string_view engine);
+
+  const std::string& city() const { return city_; }
+
+  /// Whether a failed engine run with this status should count against the
+  /// breaker. Client/data outcomes (no route between the snapped vertices,
+  /// invalid input) say nothing about engine health and never trip it;
+  /// deadline exhaustion, internal errors and injected faults do.
+  static bool CountsAsFailure(const Status& status);
+
+ private:
+  const std::string city_;
+  const CircuitBreakerOptions options_;
+  const CircuitBreaker::ClockFn clock_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>, std::less<>>
+      breakers_;  // guarded by mu_; values are never erased
+};
+
+}  // namespace altroute

@@ -2,10 +2,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -27,6 +29,7 @@ namespace {
 struct ServerMetrics {
   obs::CounterFamily& requests;
   obs::Counter& shed;
+  obs::CounterFamily& queue_rejected;
   obs::Gauge& inflight;
   obs::Gauge& queue_depth;
   obs::Gauge& worker_threads;
@@ -42,9 +45,15 @@ struct ServerMetrics {
           reg.GetCounterFamily("altroute_http_requests_total",
                                "HTTP requests served.", {"path", "code"}),
           reg.GetCounter("altroute_http_requests_shed_total",
-                         "Connections rejected with 503 because the "
-                         "connection queue was full or the server was "
-                         "draining."),
+                         "Connections rejected with 503 before dispatch "
+                         "(backpressure shed: queue full, draining, or "
+                         "sustained queue delay)."),
+          reg.GetCounterFamily(
+              "altroute_queue_rejected_total",
+              "Connections rejected before their handler ran, by reason: "
+              "queue_full and draining (hard shed), queue_delay (CoDel-style "
+              "adaptive shed), expired (budget spent while queued).",
+              {"reason"}),
           reg.GetGauge("altroute_http_inflight_requests",
                        "Requests currently being parsed or handled."),
           reg.GetGauge("altroute_http_queue_depth",
@@ -205,6 +214,7 @@ Status HttpServer::Start(uint16_t port) {
     draining_ = false;
     workers_exit_ = false;
   }
+  queue_above_target_since_ns_.store(0);
   running_.store(true);
   accepting_.store(true);
   workers_.reserve(static_cast<size_t>(threads));
@@ -261,21 +271,52 @@ void HttpServer::AcceptLoop() {
                                   ? Deadline::AfterMs(options_.request_timeout_ms)
                                   : Deadline::Infinite();
     const uint64_t request_id = next_request_id_.fetch_add(1) + 1;
-    bool shed = false;
+
+    // Liveness is answered here, on the accept thread: a probe must succeed
+    // even when every worker is wedged and the queue is full. The peek is
+    // non-blocking — a probe whose bytes are already in gets the fast path;
+    // one still in flight gets a second, bounded chance below, but only
+    // when it would otherwise be shed.
+    const bool healthz_routed = routes_.count("/healthz") > 0;
+    if (healthz_routed && PeekIsHealthz(fd, /*poll_ms=*/0)) {
+      ServeHealthzInline(fd, request_id);
+      ::close(fd);
+      continue;
+    }
+
+    const char* shed_reason = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (draining_ || queue_.size() >= options_.queue_capacity) {
-        shed = true;
+      if (draining_) {
+        shed_reason = "draining";
+      } else if (queue_.size() >= options_.queue_capacity) {
+        shed_reason = "queue_full";
+      } else if (QueueDelayExceeded()) {
+        shed_reason = "queue_delay";
       } else {
+        if (queue_.empty()) {
+          // An empty queue means zero wait: clear any stale CoDel latch left
+          // from a burst that has since drained.
+          queue_above_target_since_ns_.store(0);
+        }
         queue_.push_back({fd, deadline, request_id,
                           std::chrono::steady_clock::now()});
         ServerMetrics::Get().queue_depth.Set(
             static_cast<double>(queue_.size()));
       }
     }
-    if (shed) {
+    if (shed_reason != nullptr) {
+      // About to shed: wait briefly for the first bytes in case this is a
+      // probe whose request was still in flight at the peek above.
+      if (healthz_routed && options_.healthz_poll_ms > 0 &&
+          PeekIsHealthz(fd, options_.healthz_poll_ms)) {
+        ServeHealthzInline(fd, request_id);
+        ::close(fd);
+        continue;
+      }
       // Backpressure: reply immediately instead of queueing unbounded work.
       ServerMetrics::Get().shed.Increment();
+      ServerMetrics::Get().queue_rejected.WithLabels({shed_reason}).Increment();
       SendResponse(fd,
                    HttpResponse::Error(503, "server overloaded",
                                        RequestIdString(request_id)),
@@ -285,6 +326,61 @@ void HttpServer::AcceptLoop() {
     }
     queue_cv_.notify_one();
   }
+}
+
+bool HttpServer::PeekIsHealthz(int fd, int poll_ms) {
+  // "GET /healthz " — the trailing space rules out longer paths; a probe
+  // with a query string takes the normal queued path.
+  static constexpr char kProbe[] = "GET /healthz ";
+  static constexpr size_t kProbeLen = sizeof(kProbe) - 1;
+  char buf[kProbeLen];
+  ssize_t n = ::recv(fd, buf, kProbeLen, MSG_PEEK | MSG_DONTWAIT);
+  if (n < static_cast<ssize_t>(kProbeLen) && poll_ms > 0) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (::poll(&p, 1, poll_ms) > 0) {
+      n = ::recv(fd, buf, kProbeLen, MSG_PEEK | MSG_DONTWAIT);
+    }
+  }
+  return n == static_cast<ssize_t>(kProbeLen) &&
+         std::memcmp(buf, kProbe, kProbeLen) == 0;
+}
+
+void HttpServer::ServeHealthzInline(int fd, uint64_t request_id) {
+  const std::string id = RequestIdString(request_id);
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/healthz";
+  req.deadline = Deadline::Infinite();
+  req.request_id = id;
+  HttpResponse resp = routes_.at("/healthz")(req);
+  resp.request_id = id;
+  SendResponse(fd, resp, "/healthz");
+}
+
+void HttpServer::ObserveQueueWait(double queue_wait_s) {
+  if (options_.queue_target_delay_ms <= 0) return;
+  if (queue_wait_s * 1e3 > static_cast<double>(options_.queue_target_delay_ms)) {
+    int64_t expected = 0;
+    const int64_t now_ns =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    // Only the first above-target observation stamps the clock; later ones
+    // leave it so the duration above target keeps accumulating.
+    queue_above_target_since_ns_.compare_exchange_strong(expected, now_ns);
+  } else {
+    queue_above_target_since_ns_.store(0);
+  }
+}
+
+bool HttpServer::QueueDelayExceeded() const {
+  if (options_.queue_target_delay_ms <= 0) return false;
+  const int64_t since_ns = queue_above_target_since_ns_.load();
+  if (since_ns == 0) return false;
+  const int64_t now_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  return now_ns - since_ns >=
+         static_cast<int64_t>(options_.queue_delay_interval_ms) * 1'000'000;
 }
 
 void HttpServer::WorkerLoop() {
@@ -299,12 +395,26 @@ void HttpServer::WorkerLoop() {
       queue_.pop_front();
       metrics.queue_depth.Set(static_cast<double>(queue_.size()));
     }
+    const double queue_wait_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      conn.accepted_at)
+            .count();
+    ObserveQueueWait(queue_wait_s);
+    // A request whose whole budget was spent waiting in the queue is dead
+    // on arrival: answer 504 without even reading its bytes, so the worker
+    // is immediately free for a request that can still make its deadline.
+    if (conn.deadline.Expired()) {
+      metrics.queue_rejected.WithLabels({"expired"}).Increment();
+      HttpResponse resp = HttpResponse::Error(
+          504, "request expired waiting in queue",
+          RequestIdString(conn.request_id));
+      resp.retry_after_s = 1;
+      SendResponse(conn.fd, resp, "shed");
+      ::close(conn.fd);
+      continue;
+    }
     {
       obs::GaugeGuard busy(metrics.workers_busy);
-      const double queue_wait_s =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        conn.accepted_at)
-              .count();
       HandleConnection(conn.fd, conn.deadline,
                        RequestIdString(conn.request_id), queue_wait_s);
     }
@@ -335,6 +445,11 @@ void HttpServer::SendResponse(int fd, const HttpResponse& resp,
       << "Content-Length: " << resp.body.size() << "\r\n";
   if (!resp.request_id.empty()) {
     out << "X-Request-Id: " << resp.request_id << "\r\n";
+  }
+  // Every 503 tells the client when to come back, even when the handler
+  // forgot to say; other statuses only when explicitly asked.
+  if (resp.status == 503 || resp.retry_after_s > 0) {
+    out << "Retry-After: " << std::max(1, resp.retry_after_s) << "\r\n";
   }
   out << "Connection: close\r\n\r\n" << resp.body;
   SendAll(fd, out.str());

@@ -61,6 +61,11 @@ struct HttpResponse {
   /// Echoed as the X-Request-Id response header when non-empty. The server
   /// fills it from HttpRequest::request_id after the handler runs.
   std::string request_id;
+  /// Retry-After header value in seconds. Every 503 carries the header
+  /// (defaulting to 1s when this is 0) so shed and not-ready responses
+  /// always tell clients when to come back; any other status emits it only
+  /// when a handler sets this > 0.
+  int retry_after_s = 0;
 
   static HttpResponse Json(std::string json) {
     HttpResponse r;
@@ -96,8 +101,25 @@ struct HttpServerOptions {
   /// Wall budget per request, measured from accept (time spent waiting in
   /// the connection queue counts). Handlers receive the resulting deadline
   /// via HttpRequest::deadline; a request already expired when a worker
-  /// picks it up is answered 504 without dispatching. <= 0 disables.
+  /// picks it up is answered 504 without dispatching (and a request whose
+  /// budget is already spent at dequeue is dropped with a 504 before its
+  /// bytes are even read). <= 0 disables.
   int request_timeout_ms = 0;
+  /// CoDel-style adaptive admission: when the queue wait observed at
+  /// dequeue stays above this target continuously for
+  /// queue_delay_interval_ms, new connections are shed with 503 +
+  /// Retry-After BEFORE the hard queue_capacity bound is reached — a
+  /// standing queue is paid by every request behind it, so it is cheaper to
+  /// reject at the door than to serve everyone late. <= 0 disables.
+  int queue_target_delay_ms = 0;
+  /// How long the observed queue wait must stay above the target before
+  /// shedding starts.
+  int queue_delay_interval_ms = 100;
+  /// When the accept thread is about to shed a connection, it waits up to
+  /// this long for the first bytes so a liveness probe ("GET /healthz ")
+  /// can still be recognised and answered inline. <= 0 disables the wait
+  /// (probes whose bytes are still in flight get shed like anyone else).
+  int healthz_poll_ms = 20;
 };
 
 class HttpServer {
@@ -111,7 +133,10 @@ class HttpServer {
 
   /// Registers a handler for an exact raw path (any method). Must be called
   /// before Start(). Handlers run concurrently on worker threads and must be
-  /// thread-safe.
+  /// thread-safe. The "/healthz" handler is special: plain GET probes for it
+  /// are answered directly on the accept thread — bypassing the queue and
+  /// every shed path, so liveness stays observable while the worker pool is
+  /// saturated — and must therefore be fast and non-blocking.
   void Route(const std::string& path, HttpHandler handler);
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral), spawns the worker pool and
@@ -136,6 +161,17 @@ class HttpServer {
   void WorkerLoop();
   void HandleConnection(int fd, const Deadline& deadline,
                         const std::string& request_id, double queue_wait_s);
+  /// True when the connection's first bytes spell a plain "GET /healthz "
+  /// request. Peeks without consuming; with `poll_ms` > 0, waits up to that
+  /// long for the bytes to arrive first.
+  static bool PeekIsHealthz(int fd, int poll_ms);
+  /// Runs the registered /healthz handler on the calling (accept) thread.
+  void ServeHealthzInline(int fd, uint64_t request_id);
+  /// Updates the CoDel state with a queue wait observed at dequeue.
+  void ObserveQueueWait(double queue_wait_s);
+  /// True when the observed queue delay has been above target long enough
+  /// that new connections should be shed.
+  bool QueueDelayExceeded() const;
   /// Writes the full payload with MSG_NOSIGNAL; false on error (EPIPE etc.).
   static bool SendAll(int fd, std::string_view payload);
   /// Serialises `resp`, sends it, and counts it under
@@ -166,6 +202,11 @@ class HttpServer {
   /// Monotonic request-id source; ids are assigned at accept, before
   /// queueing, so even shed connections are identifiable in logs.
   std::atomic<uint64_t> next_request_id_{0};
+
+  /// CoDel state: steady-clock ns timestamp of when the observed queue wait
+  /// first went above target (0 = currently below target). Written by
+  /// workers at dequeue, read by the accept thread.
+  std::atomic<int64_t> queue_above_target_since_ns_{0};
 
   std::mutex mu_;
   std::condition_variable queue_cv_;

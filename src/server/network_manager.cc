@@ -1,7 +1,11 @@
 #include "server/network_manager.h"
 
+#include <functional>
+#include <iterator>
+
 #include "obs/metrics.h"
 #include "traffic/traffic_model.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace altroute {
@@ -13,6 +17,7 @@ struct DataPlaneMetrics {
   obs::CounterFamily& reloads;
   obs::GaugeFamily& snapshot_age;
   obs::CounterFamily& validation_failures;
+  obs::CounterFamily& reload_retries;
 
   static DataPlaneMetrics& Get() {
     static DataPlaneMetrics* m = [] {
@@ -31,6 +36,10 @@ struct DataPlaneMetrics {
               "altroute_network_validation_failures_total",
               "GraphValidator checks that rejected a loaded network.",
               {"city", "check"}),
+          reg.GetCounterFamily(
+              "altroute_reload_retries_total",
+              "Background reload retry attempts after a failed reload.",
+              {"city"}),
       };
     }();
     return *m;
@@ -71,6 +80,12 @@ Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::BuildSnapshot(
   double ch_build_seconds = 0.0;
   if (options_.build_ch) {
     const auto ch_start = std::chrono::steady_clock::now();
+    Status ch_fault = FaultInjector::Global().Check("ch_build");
+    if (!ch_fault.ok()) {
+      ALTROUTE_LOG(Warning) << "CH build for city '" << city
+                            << "' failed: " << ch_fault;
+      return ch_fault;
+    }
     const std::vector<double> weights = FreeFlowModel().Weights(*net);
     auto ch_or = ContractionHierarchy::Build(net, weights, options_.ch_options);
     if (!ch_or.ok()) {
@@ -88,17 +103,26 @@ Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::BuildSnapshot(
                        << " shortcuts over " << net->num_edges() << " edges";
   }
 
+  // A fresh breaker set per snapshot: new data plane, new health record. The
+  // set is shared by every context in the pool — engine health is a property
+  // of the city, not of one worker.
+  std::shared_ptr<EngineBreakerSet> breakers;
+  if (options_.enable_breakers) {
+    breakers = std::make_shared<EngineBreakerSet>(city, options_.breaker,
+                                                  options_.breaker_clock);
+  }
   ALTROUTE_ASSIGN_OR_RETURN(
       QueryProcessorPool pool,
       QueryProcessorPool::Create(net, options_.contexts_per_city,
                                  AlternativeOptions{}, /*commercial_hour=*/3,
-                                 ch));
+                                 ch, breakers));
   auto snapshot = std::make_shared<NetworkSnapshot>();
   snapshot->pool = std::make_shared<QueryProcessorPool>(std::move(pool));
   snapshot->generation = generation;
   snapshot->loaded_at = std::chrono::steady_clock::now();
   snapshot->ch = std::move(ch);
   snapshot->ch_build_seconds = ch_build_seconds;
+  snapshot->breakers = std::move(breakers);
   return std::shared_ptr<const NetworkSnapshot>(std::move(snapshot));
 }
 
@@ -186,6 +210,7 @@ Status NetworkManager::Reload(const std::string& city) {
     ALTROUTE_LOG(Warning) << "reload of city '" << city
                        << "' failed, old snapshot keeps serving: "
                        << rebuilt.status();
+    if (options_.retry_failed_reloads) ScheduleRetry(city);
     return rebuilt.status();
   }
   std::shared_ptr<const NetworkSnapshot> old;
@@ -196,9 +221,80 @@ Status NetworkManager::Reload(const std::string& city) {
   }
   DataPlaneMetrics::Get().reloads.WithLabels({city, "success"}).Increment();
   DataPlaneMetrics::Get().snapshot_age.WithLabels({city}).Set(0.0);
+  if (options_.retry_failed_reloads) ClearRetry(city);
   ALTROUTE_LOG(Info) << "city '" << city << "' swapped to generation "
                      << next_generation;
   return Status::OK();
+}
+
+NetworkManager::~NetworkManager() {
+  {
+    std::lock_guard<std::mutex> lock(retry_mu_);
+    retry_stop_ = true;
+  }
+  retry_cv_.notify_all();
+  if (retry_thread_.joinable()) retry_thread_.join();
+}
+
+void NetworkManager::ScheduleRetry(const std::string& city) {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  if (retry_stop_) return;
+  auto it = retry_.find(city);
+  if (it == retry_.end()) {
+    // Seed the jitter per city so two cities failing together do not retry
+    // in lockstep; deterministic across runs for testability.
+    RetryState state{
+        ExponentialBackoff(options_.reload_backoff,
+                           static_cast<uint64_t>(std::hash<std::string>{}(
+                               city))),
+        {}};
+    it = retry_.emplace(city, std::move(state)).first;
+  }
+  it->second.next_attempt =
+      std::chrono::steady_clock::now() + it->second.backoff.NextDelay();
+  if (!retry_thread_started_) {
+    retry_thread_started_ = true;
+    retry_thread_ = std::thread([this] { RetryLoop(); });
+  }
+  retry_cv_.notify_all();
+}
+
+void NetworkManager::ClearRetry(const std::string& city) {
+  std::lock_guard<std::mutex> lock(retry_mu_);
+  retry_.erase(city);
+}
+
+void NetworkManager::RetryLoop() {
+  std::unique_lock<std::mutex> lock(retry_mu_);
+  while (!retry_stop_) {
+    if (retry_.empty()) {
+      retry_cv_.wait(lock,
+                     [this] { return retry_stop_ || !retry_.empty(); });
+      continue;
+    }
+    // Earliest pending attempt across cities.
+    auto due = retry_.begin();
+    for (auto it = std::next(retry_.begin()); it != retry_.end(); ++it) {
+      if (it->second.next_attempt < due->second.next_attempt) due = it;
+    }
+    const auto when = due->second.next_attempt;
+    if (std::chrono::steady_clock::now() < when) {
+      retry_cv_.wait_until(lock, when);
+      continue;  // re-evaluate: stop flag, new failures, cleared cities
+    }
+    const std::string city = due->first;
+    lock.unlock();
+    DataPlaneMetrics::Get().reload_retries.WithLabels({city}).Increment();
+    ALTROUTE_LOG(Info) << "retrying reload of city '" << city << "'";
+    // Reload itself reschedules on failure (advancing the backoff) and
+    // clears the retry state on success.
+    Status status = Reload(city);
+    if (!status.ok()) {
+      ALTROUTE_LOG(Warning) << "background reload retry of city '" << city
+                            << "' failed: " << status;
+    }
+    lock.lock();
+  }
 }
 
 std::map<std::string, Status> NetworkManager::ReloadAll() {

@@ -19,15 +19,18 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/validator.h"
 #include "server/query_processor_pool.h"
+#include "util/backoff.h"
 #include "util/result.h"
 
 namespace altroute {
@@ -50,6 +53,11 @@ struct NetworkSnapshot {
   /// surfaced in /readyz and /debug/build so preprocessing cost stays
   /// visible per swap.
   double ch_build_seconds = 0.0;
+  /// Per-engine circuit breakers shared by every context in `pool`; null
+  /// when the manager was built without Options::enable_breakers. Created
+  /// fresh per snapshot: a reload resets breaker state (new data plane, new
+  /// health record).
+  std::shared_ptr<EngineBreakerSet> breakers;
 
   const RoadNetwork& network() const { return pool->network(); }
   double age_seconds() const {
@@ -73,6 +81,23 @@ class NetworkManager {
     bool build_ch = false;
     /// Preprocessing knobs used when build_ch is set.
     ChOptions ch_options;
+    /// Attach a per-(city, engine) circuit-breaker set to every query
+    /// context (see EngineBreakerSet). Off by default: library users and
+    /// tests that build a manager directly keep the old always-run
+    /// behavior; `serve` turns it on.
+    bool enable_breakers = false;
+    /// Thresholds shared by every breaker when enable_breakers is set.
+    CircuitBreakerOptions breaker;
+    /// Clock handed to every breaker (tests inject a fake one to drive
+    /// cooldowns deterministically); null = steady clock.
+    CircuitBreaker::ClockFn breaker_clock;
+    /// Retry failed reloads in the background with exponential backoff
+    /// (jittered, capped — see BackoffOptions) until one succeeds. Covers
+    /// CH build failures too: they fail the snapshot build, which is what
+    /// gets retried. Startup loads (AddCity) still fail fast — there is no
+    /// old snapshot to serve meanwhile.
+    bool retry_failed_reloads = false;
+    BackoffOptions reload_backoff;
   };
 
   /// Produces a fresh RoadNetwork — from a file, a citygen spec, whatever.
@@ -83,7 +108,10 @@ class NetworkManager {
   // Two constructors instead of one defaulted argument: GCC rejects `= {}`
   // for a nested aggregate with default member initializers here.
   NetworkManager() : NetworkManager(Options()) {}
-  explicit NetworkManager(Options options) : options_(options) {}
+  explicit NetworkManager(Options options) : options_(std::move(options)) {}
+
+  /// Stops and joins the background retry thread, if one was started.
+  ~NetworkManager();
 
   NetworkManager(const NetworkManager&) = delete;
   NetworkManager& operator=(const NetworkManager&) = delete;
@@ -108,6 +136,10 @@ class NetworkManager {
   /// reject, pool build error) the old snapshot keeps serving and the error
   /// is returned. Concurrent reloads of the same city serialise; reloads of
   /// different cities proceed in parallel; serving is never blocked.
+  ///
+  /// With Options::retry_failed_reloads, a failure additionally schedules a
+  /// background retry (exponential backoff, altroute_reload_retries_total);
+  /// a later success — background or explicit — clears the retry state.
   Status Reload(const std::string& city);
 
   /// Reloads every city (SIGHUP semantics); per-city outcomes.
@@ -139,9 +171,29 @@ class NetworkManager {
   Result<std::shared_ptr<const NetworkSnapshot>> BuildSnapshot(
       const std::string& city, const Loader& loader, uint64_t generation) const;
 
+  /// Backoff state for one city whose last reload failed.
+  struct RetryState {
+    ExponentialBackoff backoff;
+    std::chrono::steady_clock::time_point next_attempt;
+  };
+
+  /// Schedules (or reschedules, advancing the backoff) a background retry
+  /// for `city`; lazily starts the retry thread. Call without locks held.
+  void ScheduleRetry(const std::string& city);
+  /// Drops `city`'s retry state after a successful reload.
+  void ClearRetry(const std::string& city);
+  void RetryLoop();
+
   Options options_;
   mutable std::mutex mu_;  // guards entries_ map shape + snapshot pointers
   std::map<std::string, std::unique_ptr<Entry>> entries_;
+
+  std::mutex retry_mu_;  // guards the four fields below
+  std::condition_variable retry_cv_;
+  bool retry_stop_ = false;
+  bool retry_thread_started_ = false;
+  std::map<std::string, RetryState> retry_;
+  std::thread retry_thread_;  // started under retry_mu_, joined in the dtor
 };
 
 }  // namespace altroute

@@ -217,7 +217,8 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
   size_t engines_done = 0;
   size_t engines_failed = 0;
   Status first_failure = Status::OK();
-  for (Approach a : kAllApproaches) {
+  for (size_t engine_index = 0; engine_index < num_engines; ++engine_index) {
+    const Approach a = kAllApproaches[engine_index];
     AlternativeRouteGenerator& engine = suite_.engine(a);
     const std::string approach_label(1, ApproachLabel(a));
 
@@ -233,14 +234,52 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
                                       " of " + std::to_string(num_engines) +
                                       " engines");
     }
-    // Slice the remaining budget evenly across the engines still to run, so
-    // one slow engine cannot starve the ones after it.
+
+    // Failure containment: an open circuit breaker skips the engine
+    // immediately — the persistently failing engine must not burn its
+    // budget slice on every request — and the approach ships with status
+    // "breaker_open". Every admitted run reports its outcome back below.
+    CircuitBreaker* breaker = nullptr;
+    if (breakers_ != nullptr) {
+      breaker = &breakers_->ForEngine(engine.name());
+      if (!breaker->Allow()) {
+        ++engines_done;
+        ++engines_failed;
+        if (first_failure.ok()) {
+          first_failure = Status::FailedPrecondition(
+              engine.name() + std::string(": circuit breaker open"));
+        }
+        response.degraded = true;
+        obs::TraceSpan skip_span(trace, "generate:" + engine.name());
+        skip_span.SetAttr("label", approach_label);
+        skip_span.SetAttr("status", "breaker_open");
+        ApproachDisplay skipped;
+        skipped.label = ApproachLabel(a);
+        skipped.engine_name = engine.name();
+        skipped.status = "breaker_open";
+        skipped.message = "circuit breaker open; engine skipped";
+        response.approaches.push_back(std::move(skipped));
+        continue;
+      }
+    }
+
+    // Slice the remaining budget evenly across the engines still expected
+    // to run: this engine plus every later one whose breaker is not open.
+    // A skipped engine's slice is thereby redistributed to the survivors.
     Deadline engine_deadline = deadline;
     if (!deadline.is_infinite()) {
       metrics.budget_remaining.WithLabels({approach_label, city})
           .Observe(remaining_s);
-      engine_deadline = Deadline::AfterSeconds(
-          remaining_s / static_cast<double>(num_engines - engines_done));
+      size_t runnable = 1;
+      for (size_t j = engine_index + 1; j < num_engines; ++j) {
+        if (breakers_ == nullptr ||
+            breakers_->ForEngine(suite_.engine(kAllApproaches[j]).name())
+                    .state() != BreakerState::kOpen) {
+          ++runnable;
+        }
+      }
+      engine_deadline =
+          Deadline::AfterSeconds(remaining_s / static_cast<double>(runnable));
     }
     CancellationToken token(engine_deadline);
 
@@ -277,6 +316,17 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
             .count();
     RecordEngineRun(engine.name(), city, search_stats, elapsed_s);
+    if (breaker != nullptr) {
+      // Every admitted run reports exactly one outcome. A partial result's
+      // completion status is judged the same way as an outright failure.
+      const Status& outcome =
+          set_or.ok() ? set_or.ValueOrDie().completion : set_or.status();
+      if (EngineBreakerSet::CountsAsFailure(outcome)) {
+        breaker->RecordFailure();
+      } else {
+        breaker->RecordSuccess();
+      }
+    }
     if (profile != nullptr) {
       profile->Record("engine:" + engine.name(), elapsed_s);
     }
@@ -323,16 +373,31 @@ Result<QueryResponse> QueryProcessor::Process(const LatLng& source,
     // "render" accumulates across engines: one aggregate entry for turning
     // raw paths into display routes (travel time, simplify, polyline).
     obs::PhaseTimer render_phase(profile, "render");
-    for (const Path& p : set.routes) {
-      DisplayedRoute route;
-      // The demo computes every approach's displayed travel time from the
-      // OSM data and rounds to minutes (paper Sec. 3).
-      route.travel_time_min =
-          static_cast<int>(std::lround(CostUnder(p, display) / 60.0));
-      route.length_km = p.length_m / 1000.0;
-      route.polyline = EncodePolyline(SimplifyPolyline(
-          PathCoords(suite_.network(), p), polyline_tolerance_m_));
-      ad.routes.push_back(std::move(route));
+    Status render_fault = FaultInjector::Global().Check("render");
+    if (!render_fault.ok()) {
+      // The routes were computed but cannot be turned into display geometry:
+      // the approach ships empty and degraded. Not an engine failure — the
+      // breaker already recorded the generation outcome above.
+      response.degraded = true;
+      if (ad.status == "ok") {
+        ad.status = SnakeCase(StatusCodeToString(render_fault.code()));
+        span.SetAttr("status", ad.status);
+      }
+      ad.message = render_fault.message();
+      ALTROUTE_LOG(Warning) << engine.name()
+                            << " render degraded: " << render_fault.ToString();
+    } else {
+      for (const Path& p : set.routes) {
+        DisplayedRoute route;
+        // The demo computes every approach's displayed travel time from the
+        // OSM data and rounds to minutes (paper Sec. 3).
+        route.travel_time_min =
+            static_cast<int>(std::lround(CostUnder(p, display) / 60.0));
+        route.length_km = p.length_m / 1000.0;
+        route.polyline = EncodePolyline(SimplifyPolyline(
+            PathCoords(suite_.network(), p), polyline_tolerance_m_));
+        ad.routes.push_back(std::move(route));
+      }
     }
     render_phase.End();
     response.approaches.push_back(std::move(ad));

@@ -14,6 +14,7 @@
 #include "obs/phase_timer.h"
 #include "obs/search_stats.h"
 #include "obs/trace.h"
+#include "server/engine_breakers.h"
 #include "util/deadline.h"
 
 namespace altroute {
@@ -34,8 +35,10 @@ struct ApproachDisplay {
   char label = 'A';  // masked identity shown to the participant
   std::vector<DisplayedRoute> routes;
   /// "ok" when the engine completed; otherwise the snake_case status code of
-  /// its failure or truncation ("deadline_exceeded", "internal", ...). A
-  /// degraded approach may still carry routes (partial result).
+  /// its failure or truncation ("deadline_exceeded", "internal", ...), or
+  /// "breaker_open" when the engine's circuit breaker rejected the run
+  /// before it started. A degraded approach may still carry routes (partial
+  /// result).
   std::string status = "ok";
   /// Human-readable detail when status != "ok".
   std::string message;
@@ -123,9 +126,25 @@ class QueryProcessor {
   double polyline_tolerance_m() const { return polyline_tolerance_m_; }
   void set_polyline_tolerance_m(double d) { polyline_tolerance_m_ = d; }
 
+  /// Attaches per-engine circuit breakers (shared across all processors
+  /// serving one city — engine health is per data plane, not per worker).
+  /// Null (the default) disables breaker checks entirely: every engine runs
+  /// on every request, as before. Process() consults the breaker before each
+  /// engine: a rejected engine is skipped with status "breaker_open" and its
+  /// budget slice is redistributed to the engines still admitted; each
+  /// admitted run reports success or failure back (see
+  /// EngineBreakerSet::CountsAsFailure for what trips it).
+  void set_breakers(std::shared_ptr<EngineBreakerSet> breakers) {
+    breakers_ = std::move(breakers);
+  }
+  const std::shared_ptr<EngineBreakerSet>& breakers() const {
+    return breakers_;
+  }
+
  private:
   EngineSuite suite_;
   std::shared_ptr<const SpatialIndex> index_;
+  std::shared_ptr<EngineBreakerSet> breakers_;
   double max_snap_distance_m_ = 2000.0;
   double polyline_tolerance_m_ = 0.0;
 };

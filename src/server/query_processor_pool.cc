@@ -20,7 +20,8 @@ obs::Gauge& ContextsInUseGauge() {
 Result<QueryProcessorPool> QueryProcessorPool::Create(
     std::shared_ptr<const RoadNetwork> net, size_t num_contexts,
     const AlternativeOptions& options, int commercial_hour,
-    std::shared_ptr<const ContractionHierarchy> ch) {
+    std::shared_ptr<const ContractionHierarchy> ch,
+    std::shared_ptr<EngineBreakerSet> breakers) {
   if (net == nullptr) return Status::InvalidArgument("null network");
   if (num_contexts == 0) {
     return Status::InvalidArgument("pool needs at least one context");
@@ -43,6 +44,7 @@ Result<QueryProcessorPool> QueryProcessorPool::Create(
     }
     contexts.push_back(
         std::make_unique<QueryProcessor>(std::move(suite), index));
+    contexts.back()->set_breakers(breakers);
   }
   return QueryProcessorPool(std::move(contexts));
 }

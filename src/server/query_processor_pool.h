@@ -24,11 +24,15 @@ class QueryProcessorPool {
   /// engine suite (per-worker mutable state). A non-null `ch` (built over
   /// the same network and its free-flow weights) is shared by every context
   /// and selects the CH-backed Plateau/Penalty engines — see
-  /// EngineSuite::MakePaperSuite.
+  /// EngineSuite::MakePaperSuite. A non-null `breakers` set is attached to
+  /// every context (breakers are the deliberately shared cross-worker state:
+  /// engine health is a property of the city's data plane); null disables
+  /// breaker checks.
   static Result<QueryProcessorPool> Create(
       std::shared_ptr<const RoadNetwork> net, size_t num_contexts,
       const AlternativeOptions& options = {}, int commercial_hour = 3,
-      std::shared_ptr<const ContractionHierarchy> ch = nullptr);
+      std::shared_ptr<const ContractionHierarchy> ch = nullptr,
+      std::shared_ptr<EngineBreakerSet> breakers = nullptr);
 
   /// Adopts prebuilt processors (e.g. a single-context pool for tests or
   /// the serial CLI paths). Must be non-empty and non-null.

@@ -1,0 +1,37 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace altroute {
+
+ExponentialBackoff::ExponentialBackoff(BackoffOptions options, uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      current_ms_(static_cast<double>(options.initial_delay.count())) {
+  ALT_CHECK(options_.initial_delay.count() > 0);
+  ALT_CHECK(options_.multiplier >= 1.0);
+  ALT_CHECK(options_.max_delay >= options_.initial_delay);
+  ALT_CHECK(options_.jitter >= 0.0 && options_.jitter <= 1.0);
+}
+
+std::chrono::milliseconds ExponentialBackoff::NextDelay() {
+  const double cap = static_cast<double>(options_.max_delay.count());
+  const double delay = std::min(current_ms_, cap);
+  current_ms_ = std::min(current_ms_ * options_.multiplier, cap);
+  ++attempts_;
+  double jittered = delay;
+  if (options_.jitter > 0.0) {
+    jittered = rng_.Uniform(delay * (1.0 - options_.jitter), delay);
+  }
+  return std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(jittered)));
+}
+
+void ExponentialBackoff::Reset() {
+  attempts_ = 0;
+  current_ms_ = static_cast<double>(options_.initial_delay.count());
+}
+
+}  // namespace altroute

@@ -1,0 +1,45 @@
+// Exponential backoff with decorrelated jitter for retrying failed
+// background work (snapshot reloads, CH builds). Each NextDelay() call
+// returns the next wait: base * multiplier^attempt, capped, then jittered
+// uniformly in [delay * (1 - jitter), delay] so a fleet of processes whose
+// dependency recovers at once does not retry in lockstep. Deterministic in
+// the seed, so tests can assert exact schedules.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace altroute {
+
+struct BackoffOptions {
+  std::chrono::milliseconds initial_delay{500};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_delay{60000};
+  /// Fraction of the delay randomised away: 0 disables jitter, 0.25 draws
+  /// uniformly from [0.75 * delay, delay]. Must be in [0, 1].
+  double jitter = 0.25;
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffOptions options = {}, uint64_t seed = 0);
+
+  /// The next delay in the schedule; each call advances the attempt count.
+  std::chrono::milliseconds NextDelay();
+
+  /// Back to the initial delay (call after a success).
+  void Reset();
+
+  /// Completed NextDelay() calls since construction or the last Reset().
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  int attempts_ = 0;
+  double current_ms_;
+};
+
+}  // namespace altroute

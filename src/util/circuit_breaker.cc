@@ -1,0 +1,176 @@
+#include "util/circuit_breaker.h"
+
+#include "util/check.h"
+
+namespace altroute {
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  ALT_UNREACHABLE();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {
+  ALT_CHECK(options_.consecutive_failures_to_open > 0);
+  ALT_CHECK(options_.half_open_max_probes > 0);
+  ALT_CHECK(options_.half_open_successes_to_close > 0);
+  ALT_CHECK(options_.window_size > 0);
+  window_.assign(options_.window_size, false);
+}
+
+CircuitBreaker::Clock::time_point CircuitBreaker::Now() const {
+  return clock_ ? clock_() : Clock::now();
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to) {
+  state_ = to;
+  ++transitions_to_[static_cast<int>(to)];
+  switch (to) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      window_.assign(options_.window_size, false);
+      window_next_ = 0;
+      window_filled_ = 0;
+      window_failures_ = 0;
+      break;
+    case BreakerState::kOpen:
+      opened_at_ = Now();
+      break;
+    case BreakerState::kHalfOpen:
+      half_open_in_flight_ = 0;
+      half_open_successes_ = 0;
+      break;
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  BreakerState notify;
+  bool transitioned = false;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case BreakerState::kClosed:
+        admitted = true;
+        break;
+      case BreakerState::kOpen:
+        if (Now() - opened_at_ >= options_.open_cooldown) {
+          TransitionLocked(BreakerState::kHalfOpen);
+          transitioned = true;
+          ++half_open_in_flight_;
+          admitted = true;
+        } else {
+          admitted = false;
+        }
+        break;
+      case BreakerState::kHalfOpen:
+        if (half_open_in_flight_ < options_.half_open_max_probes) {
+          ++half_open_in_flight_;
+          admitted = true;
+        } else {
+          admitted = false;
+        }
+        break;
+    }
+    notify = state_;
+  }
+  if (transitioned && on_transition_) on_transition_(notify);
+  return admitted;
+}
+
+void CircuitBreaker::RecordOutcomeLocked(bool success) {
+  // Sliding-window bookkeeping (rate trigger; meaningful while closed).
+  const bool evicted = window_[window_next_];
+  if (window_filled_ == window_.size() && evicted) --window_failures_;
+  window_[window_next_] = !success;
+  if (!success) ++window_failures_;
+  window_next_ = (window_next_ + 1) % window_.size();
+  if (window_filled_ < window_.size()) ++window_filled_;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  bool transitioned = false;
+  BreakerState notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case BreakerState::kClosed:
+        consecutive_failures_ = 0;
+        RecordOutcomeLocked(/*success=*/true);
+        break;
+      case BreakerState::kHalfOpen:
+        if (half_open_in_flight_ > 0) --half_open_in_flight_;
+        if (++half_open_successes_ >= options_.half_open_successes_to_close) {
+          TransitionLocked(BreakerState::kClosed);
+          transitioned = true;
+        }
+        break;
+      case BreakerState::kOpen:
+        // A straggler admitted before the trip finished late; open state
+        // does not credit it (recovery is proven by probes, not leftovers).
+        break;
+    }
+    notify = state_;
+  }
+  if (transitioned && on_transition_) on_transition_(notify);
+}
+
+void CircuitBreaker::RecordFailure() {
+  bool transitioned = false;
+  BreakerState notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case BreakerState::kClosed: {
+        ++consecutive_failures_;
+        RecordOutcomeLocked(/*success=*/false);
+        const bool consecutive_trip =
+            consecutive_failures_ >= options_.consecutive_failures_to_open;
+        const bool rate_trip =
+            window_filled_ >= options_.window_min_calls &&
+            static_cast<double>(window_failures_) >=
+                options_.failure_rate_to_open *
+                    static_cast<double>(window_filled_);
+        if (consecutive_trip || rate_trip) {
+          TransitionLocked(BreakerState::kOpen);
+          transitioned = true;
+        }
+        break;
+      }
+      case BreakerState::kHalfOpen:
+        // One failed probe is proof enough: back to open, fresh cooldown.
+        TransitionLocked(BreakerState::kOpen);
+        transitioned = true;
+        break;
+      case BreakerState::kOpen:
+        break;  // straggler outcome; already open
+    }
+    notify = state_;
+  }
+  if (transitioned && on_transition_) on_transition_(notify);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::transitions(BreakerState to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_to_[static_cast<int>(to)];
+}
+
+double CircuitBreaker::cooldown_remaining_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != BreakerState::kOpen) return 0.0;
+  const auto elapsed = Now() - opened_at_;
+  if (elapsed >= options_.open_cooldown) return 0.0;
+  return std::chrono::duration<double>(options_.open_cooldown - elapsed)
+      .count();
+}
+
+}  // namespace altroute

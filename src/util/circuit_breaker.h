@@ -1,0 +1,128 @@
+// A generic circuit breaker for failure containment (the classic
+// closed -> open -> half-open state machine). Wrap it around a dependency
+// that can fail persistently — an alternative-route engine, a background
+// build — so a broken dependency is skipped immediately instead of burning
+// its budget slice on every request:
+//
+//   closed     all calls admitted. K consecutive failures — or a failure
+//              rate above `failure_rate_to_open` across a sliding count
+//              window with at least `window_min_calls` samples — trips the
+//              breaker open.
+//   open       calls are rejected without running the dependency. After
+//              `open_cooldown` the next admission probe moves to half-open.
+//   half-open  at most `half_open_max_probes` concurrent probe calls are
+//              admitted; `half_open_successes_to_close` consecutive probe
+//              successes close the breaker, any probe failure re-opens it
+//              (and restarts the cooldown).
+//
+// Thread-safe: Allow/RecordSuccess/RecordFailure take an internal mutex and
+// are called once per request, not per relaxation, so contention is
+// negligible. The clock is injectable (steady_clock by default) so tests
+// drive cooldown expiry deterministically, without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace altroute {
+
+enum class BreakerState : int {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+/// "closed" / "open" / "half_open" (snake_case, as exposed on /metrics and
+/// in degraded-response statuses).
+std::string_view BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip a closed breaker open.
+  int consecutive_failures_to_open = 5;
+  /// Sliding count window for the rate trigger: with at least
+  /// `window_min_calls` outcomes recorded among the last `window_size`, a
+  /// failure rate >= `failure_rate_to_open` also trips the breaker. Set
+  /// `failure_rate_to_open` > 1.0 to disable the rate trigger.
+  size_t window_size = 32;
+  size_t window_min_calls = 8;
+  double failure_rate_to_open = 0.5;
+  /// How long an open breaker rejects before admitting recovery probes.
+  std::chrono::milliseconds open_cooldown{5000};
+  /// Probe calls admitted concurrently while half-open.
+  int half_open_max_probes = 1;
+  /// Consecutive probe successes that close a half-open breaker.
+  int half_open_successes_to_close = 2;
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Injectable time source; defaults to the steady clock. Must be
+  /// monotonic and callable from any thread.
+  using ClockFn = std::function<Clock::time_point()>;
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {},
+                          ClockFn clock = nullptr);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Admission check, called once before each use of the protected
+  /// dependency. Returns true when the call may proceed (closed, or
+  /// admitted as a half-open probe). An open breaker whose cooldown has
+  /// elapsed transitions to half-open here and admits the caller as the
+  /// first probe. Every admitted call MUST be matched by exactly one
+  /// RecordSuccess or RecordFailure.
+  bool Allow();
+
+  /// Outcome of an admitted call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+
+  /// How many times the breaker has entered `to` since construction.
+  uint64_t transitions(BreakerState to) const;
+
+  /// Seconds until an open breaker admits probes; 0 when not open.
+  double cooldown_remaining_seconds() const;
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+  /// Observer invoked (outside the breaker mutex) after every state
+  /// transition: (new_state). Used to mirror state into metrics gauges.
+  void set_on_transition(std::function<void(BreakerState)> fn) {
+    on_transition_ = std::move(fn);
+  }
+
+ private:
+  /// Transition helper; `mu_` must be held. Records the transition and
+  /// returns true so callers can chain-notify outside the lock.
+  void TransitionLocked(BreakerState to);
+  void RecordOutcomeLocked(bool success);
+  Clock::time_point Now() const;
+
+  const CircuitBreakerOptions options_;
+  const ClockFn clock_;  // null -> steady_clock
+  std::function<void(BreakerState)> on_transition_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;     // closed: failures in a row
+  int half_open_in_flight_ = 0;      // half-open: probes admitted, un-recorded
+  int half_open_successes_ = 0;      // half-open: probe successes in a row
+  Clock::time_point opened_at_{};    // open: cooldown start
+  /// Sliding outcome window (ring buffer of success/failure bits) for the
+  /// rate trigger; only maintained while closed.
+  std::vector<bool> window_;
+  size_t window_next_ = 0;
+  size_t window_filled_ = 0;
+  size_t window_failures_ = 0;
+  uint64_t transitions_to_[3] = {0, 0, 0};
+};
+
+}  // namespace altroute

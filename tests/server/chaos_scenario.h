@@ -1,0 +1,168 @@
+// Deterministic chaos-scenario driver for the failure-containment tests.
+//
+// A scenario is a *fault timeline*: a fixed number of sequential requests
+// plus a list of events, each fired on the driving thread immediately
+// before the request with the matching index is sent. Determinism comes
+// from three properties: the FaultInjector is armed with a fixed seed, the
+// circuit breakers run on an injectable fake clock that only timeline
+// events advance, and the driver issues requests strictly sequentially —
+// so a timeline replays identically on every run and under every
+// sanitizer.
+//
+//   auto records = chaos::RunTimeline(port, target, /*total_requests=*/25, {
+//       {0, "plateau fails hard", [&] { fi.InjectError(...); }},
+//       {20, "fault clears; cooldown elapses",
+//        [&] { fi.Disarm(); AdvanceClockMs(1001); }},
+//   });
+//
+// The result is one RequestRecord per request (HTTP status, raw headers,
+// body, client-observed latency) for the test to assert SLO invariants on:
+// healthy engines never 5xx, breakers open within K failures and recover
+// within N probes, shed responses carry Retry-After, tail latency stays
+// bounded.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace altroute {
+namespace chaos {
+
+/// What one scripted request observed, from the client's side of the socket.
+struct RequestRecord {
+  int status = 0;       // parsed HTTP status; 0 when the response was torn
+  std::string headers;  // raw header block, status line included
+  std::string body;
+  double latency_ms = 0.0;  // client-observed wall latency
+
+  bool HasHeader(const std::string& name) const {
+    return headers.find(name) != std::string::npos;
+  }
+};
+
+/// One scripted action in a fault timeline, fired on the driving thread
+/// just before the request with index `at_request` is sent.
+struct TimelineEvent {
+  int at_request = 0;
+  std::string description;  // logged, so a failing run reads as a story
+  std::function<void()> action;
+};
+
+inline int Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline void SendRequest(int fd, const std::string& method,
+                        const std::string& target) {
+  const std::string req = method + " " + target +
+                          " HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0"
+                          "\r\nConnection: close\r\n\r\n";
+  ::send(fd, req.data(), req.size(), MSG_NOSIGNAL);
+}
+
+inline std::string ReadAll(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+/// Splits a raw HTTP/1.1 response into a RequestRecord (latency unset).
+inline RequestRecord ParseResponse(const std::string& raw) {
+  RequestRecord record;
+  const size_t sep = raw.find("\r\n\r\n");
+  record.headers = sep == std::string::npos ? raw : raw.substr(0, sep);
+  record.body = sep == std::string::npos ? "" : raw.substr(sep + 4);
+  // "HTTP/1.1 503 Service Unavailable" -> 503.
+  const size_t space = record.headers.find(' ');
+  if (space != std::string::npos) {
+    const Result<int64_t> code =
+        ParseInt64(record.headers.substr(space + 1, 3));
+    if (code.ok()) record.status = static_cast<int>(*code);
+  }
+  return record;
+}
+
+/// One synchronous request; returns the parsed response with latency.
+inline RequestRecord Fetch(uint16_t port, const std::string& target,
+                           const std::string& method = "GET") {
+  const auto begin = std::chrono::steady_clock::now();
+  RequestRecord record;
+  const int fd = Connect(port);
+  if (fd < 0) return record;
+  SendRequest(fd, method, target);
+  record = ParseResponse(ReadAll(fd));
+  ::close(fd);
+  record.latency_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+  return record;
+}
+
+/// Drives `total_requests` sequential GETs of `target`, firing timeline
+/// events at their request indices. Events are stably ordered by index, so
+/// several events on the same index run in declaration order.
+inline std::vector<RequestRecord> RunTimeline(
+    uint16_t port, const std::string& target, int total_requests,
+    std::vector<TimelineEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.at_request < b.at_request;
+                   });
+  std::vector<RequestRecord> records;
+  records.reserve(static_cast<size_t>(total_requests));
+  size_t next_event = 0;
+  for (int i = 0; i < total_requests; ++i) {
+    while (next_event < events.size() &&
+           events[next_event].at_request <= i) {
+      ALTROUTE_LOG(Info) << "chaos timeline @" << i << ": "
+                         << events[next_event].description;
+      events[next_event].action();
+      ++next_event;
+    }
+    records.push_back(Fetch(port, target));
+  }
+  return records;
+}
+
+/// Nearest-rank percentile (p in [0, 100]) of the client latencies.
+inline double LatencyPercentileMs(const std::vector<RequestRecord>& records,
+                                  double p) {
+  std::vector<double> latencies;
+  latencies.reserve(records.size());
+  for (const RequestRecord& r : records) latencies.push_back(r.latency_ms);
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const double rank = p / 100.0 * static_cast<double>(latencies.size() - 1);
+  return latencies[static_cast<size_t>(std::lround(rank))];
+}
+
+}  // namespace chaos
+}  // namespace altroute

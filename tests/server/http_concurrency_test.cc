@@ -63,6 +63,20 @@ std::string HttpGet(uint16_t port, const std::string& target) {
   return out;
 }
 
+/// Current value of one altroute_queue_rejected_total{reason} child; 0 when
+/// not yet materialised. The global registry accumulates across tests, so
+/// assertions compare deltas.
+uint64_t RejectedCount(const std::string& reason) {
+  const obs::CounterFamily* fam =
+      obs::MetricsRegistry::Global().FindCounterFamily(
+          "altroute_queue_rejected_total");
+  if (fam == nullptr) return 0;
+  for (const auto& [values, counter] : fam->Children()) {
+    if (values == std::vector<std::string>{reason}) return counter->Value();
+  }
+  return 0;
+}
+
 // Two slow requests on a two-worker server must be in their handlers at the
 // same time: each waits (bounded) for the other before answering, so a
 // serialised server would time out and answer overlap:false.
@@ -179,6 +193,8 @@ TEST(HttpConcurrencyTest, FullQueueShedsWith503) {
   ::close(fd_c);
   EXPECT_NE(response_c.find("503"), std::string::npos) << response_c;
   EXPECT_NE(response_c.find("overloaded"), std::string::npos);
+  // Every 503 tells the client when to come back.
+  EXPECT_NE(response_c.find("Retry-After:"), std::string::npos) << response_c;
   EXPECT_GT(shed.Value(), shed_before);
 
   // Release the worker: both A and the queued B complete.
@@ -191,6 +207,205 @@ TEST(HttpConcurrencyTest, FullQueueShedsWith503) {
   EXPECT_NE(response_a.find("200"), std::string::npos);
   EXPECT_NE(ReadAll(fd_b).find("200"), std::string::npos);
   ::close(fd_b);
+  server.Stop();
+}
+
+// Liveness must stay observable while the pool is saturated: with the single
+// worker blocked and the queue full, a plain GET /healthz is recognised on
+// the accept thread and answered 200 instead of being shed.
+TEST(HttpConcurrencyTest, HealthzAnsweredWhileQueueFull) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  // Generous wait for the probe bytes so the test is deterministic even if
+  // the accept races ahead of the client's send.
+  options.healthz_poll_ms = 1000;
+  HttpServer server(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  server.Route("/block", [&](const HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; });
+    return HttpResponse::Json("{\"blocked\":true}");
+  });
+  server.Route("/healthz", [](const HttpRequest&) {
+    return HttpResponse::Json("{\"status\":\"ok\"}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // A occupies the single worker; B fills the one queue slot.
+  std::string response_a;
+  std::thread client_a(
+      [&] { response_a = HttpGet(server.port(), "/block"); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered; }));
+  }
+  const int fd_b = Connect(server.port());
+  ASSERT_GE(fd_b, 0);
+  SendRequest(fd_b, "/block");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The probe bypasses the saturated queue entirely.
+  const std::string probe = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(probe.find("200"), std::string::npos) << probe;
+  EXPECT_NE(probe.find("\"status\":\"ok\""), std::string::npos) << probe;
+
+  // A non-probe request is still shed: the fast lane is for /healthz only.
+  const std::string other = HttpGet(server.port(), "/block");
+  EXPECT_NE(other.find("503"), std::string::npos) << other;
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  client_a.join();
+  EXPECT_NE(response_a.find("200"), std::string::npos);
+  EXPECT_NE(ReadAll(fd_b).find("200"), std::string::npos);
+  ::close(fd_b);
+  server.Stop();
+}
+
+// CoDel-style admission: once the queue wait observed at dequeue has stayed
+// above queue_target_delay_ms for queue_delay_interval_ms, new connections
+// are shed with 503 + Retry-After even though the queue is nowhere near its
+// hard capacity bound.
+TEST(HttpConcurrencyTest, SustainedQueueDelayShedsBeforeQueueIsFull) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 100;  // the hard bound is never the trigger here
+  options.queue_target_delay_ms = 10;
+  options.queue_delay_interval_ms = 50;
+  HttpServer server(options);
+
+  // Each request blocks until its 1-based arrival index has been released,
+  // so the test controls exactly when the worker dequeues the next one.
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  int released = 0;
+  server.Route("/block", [&](const HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    const int my = ++entered;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(5),
+                [&] { return released >= my; });
+    return HttpResponse::Json("{\"blocked\":true}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const uint64_t delay_before = RejectedCount("queue_delay");
+
+  // A is dequeued immediately (queue wait ~0); B and C stand in the queue.
+  std::vector<std::string> responses(3);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < 3; ++i) {
+    clients.emplace_back(
+        [&, i] { responses[i] = HttpGet(server.port(), "/block"); });
+    if (i == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                              [&] { return entered >= 1; }));
+    }
+  }
+  // Let B and C age in the queue well past the 10ms target.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Release A: the worker dequeues B, observes ~100ms of queue wait and
+  // latches "above target".
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    released = 1;
+  }
+  cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered >= 2; }));
+  }
+  // Hold the latch past the 50ms interval, then knock: D must be shed even
+  // though only C occupies the 100-slot queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  const std::string response_d = HttpGet(server.port(), "/block");
+  EXPECT_NE(response_d.find("503"), std::string::npos) << response_d;
+  EXPECT_NE(response_d.find("Retry-After:"), std::string::npos) << response_d;
+  EXPECT_GE(RejectedCount("queue_delay"), delay_before + 1);
+
+  // Drain everyone; the admitted requests all complete normally.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    released = 100;
+  }
+  cv.notify_all();
+  for (auto& c : clients) c.join();
+  for (const std::string& r : responses) {
+    EXPECT_NE(r.find("200"), std::string::npos) << r;
+  }
+  server.Stop();
+}
+
+// A request whose whole wall budget was burned waiting in the queue is
+// dropped at dequeue with 504 + Retry-After, before a worker reads a single
+// byte of it, and counted under altroute_queue_rejected_total{expired}.
+TEST(HttpConcurrencyTest, ExpiredInQueueIsDroppedAtDequeue) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 4;
+  options.request_timeout_ms = 100;
+  HttpServer server(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  server.Route("/block", [&](const HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; });
+    return HttpResponse::Json("{\"blocked\":true}");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const uint64_t expired_before = RejectedCount("expired");
+
+  // A occupies the worker long enough for B's 100ms budget to expire while
+  // B is still sitting in the queue.
+  std::string response_a;
+  std::thread client_a(
+      [&] { response_a = HttpGet(server.port(), "/block"); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered; }));
+  }
+  const int fd_b = Connect(server.port());
+  ASSERT_GE(fd_b, 0);
+  SendRequest(fd_b, "/block");
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  const std::string response_b = ReadAll(fd_b);
+  ::close(fd_b);
+  EXPECT_NE(response_b.find("504"), std::string::npos) << response_b;
+  EXPECT_NE(response_b.find("expired"), std::string::npos) << response_b;
+  EXPECT_NE(response_b.find("Retry-After:"), std::string::npos) << response_b;
+  EXPECT_GE(RejectedCount("expired"), expired_before + 1);
+
+  client_a.join();
+  EXPECT_NE(response_a.find("200"), std::string::npos);
   server.Stop();
 }
 

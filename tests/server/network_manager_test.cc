@@ -1,12 +1,17 @@
 #include "server/network_manager.h"
 
+#include <atomic>
+#include <chrono>
 #include <limits>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
 #include "obs/metrics.h"
+#include "util/fault_injector.h"
 
 namespace altroute {
 namespace {
@@ -233,6 +238,113 @@ TEST(NetworkManagerTest, ContextsPerCityOptionSizesThePool) {
   NetworkManager manager(options);
   ASSERT_TRUE(manager.AddCity("pooled", GridLoader()).ok());
   EXPECT_EQ((*manager.GetSnapshot("pooled"))->pool->size(), 3u);
+}
+
+TEST(NetworkManagerTest, BreakersOffByDefaultOnWhenEnabled) {
+  NetworkManager plain;
+  ASSERT_TRUE(plain.AddCity("nb_city", GridLoader()).ok());
+  EXPECT_EQ((*plain.GetSnapshot("nb_city"))->breakers, nullptr);
+
+  NetworkManager::Options options;
+  options.enable_breakers = true;
+  options.breaker.consecutive_failures_to_open = 2;
+  NetworkManager manager(options);
+  ASSERT_TRUE(manager.AddCity("wb_city", GridLoader()).ok());
+  auto snapshot = manager.GetSnapshot("wb_city");
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_NE((*snapshot)->breakers, nullptr);
+  EXPECT_EQ((*snapshot)->breakers->city(), "wb_city");
+  EXPECT_EQ((*snapshot)->breakers->ForEngine("plateau").state(),
+            BreakerState::kClosed);
+}
+
+TEST(NetworkManagerTest, ReloadReplacesTheBreakerSet) {
+  NetworkManager::Options options;
+  options.enable_breakers = true;
+  NetworkManager manager(options);
+  ASSERT_TRUE(manager.AddCity("rb_city", GridLoader()).ok());
+  auto before = (*manager.GetSnapshot("rb_city"))->breakers;
+  ASSERT_TRUE(manager.Reload("rb_city").ok());
+  auto after = (*manager.GetSnapshot("rb_city"))->breakers;
+  // A reload is a fresh data plane: breaker history does not carry over.
+  EXPECT_NE(before, after);
+}
+
+TEST(NetworkManagerTest, ChBuildFaultFailsTheSnapshotBuild) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("ch_build", Status::Internal("injected CH build failure"));
+  NetworkManager::Options options;
+  options.build_ch = true;
+  NetworkManager manager(options);
+  EXPECT_TRUE(manager.AddCity("chf_city", GridLoader()).IsInternal());
+  fi.Disarm();
+}
+
+/// A loader whose outcome is scripted per call: entry i of `fail` says
+/// whether call i fails. Calls past the script succeed.
+NetworkManager::Loader ScriptedLoader(std::shared_ptr<std::atomic<int>> calls,
+                                      std::vector<bool> fail) {
+  return [calls,
+          fail = std::move(fail)]() -> Result<std::shared_ptr<RoadNetwork>> {
+    const int call = calls->fetch_add(1);
+    if (call < static_cast<int>(fail.size()) && fail[static_cast<size_t>(call)]) {
+      return Status::IOError("injected load failure on call " +
+                             std::to_string(call));
+    }
+    return std::shared_ptr<RoadNetwork>(testutil::GridNetwork(4, 4));
+  };
+}
+
+TEST(NetworkManagerTest, FailedReloadRetriesInBackgroundUntilSuccess) {
+  const uint64_t retries_before =
+      CounterValue("altroute_reload_retries_total", {"retry_city"});
+  NetworkManager::Options options;
+  options.retry_failed_reloads = true;
+  options.reload_backoff.initial_delay = std::chrono::milliseconds(5);
+  options.reload_backoff.max_delay = std::chrono::milliseconds(20);
+  options.reload_backoff.jitter = 0.0;
+  NetworkManager manager(options);
+  // Call 0 (startup) succeeds; calls 1 and 2 (explicit reload + first
+  // background retry) fail; call 3 (second retry) succeeds.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  ASSERT_TRUE(
+      manager
+          .AddCity("retry_city",
+                   ScriptedLoader(calls, {false, true, true, false}))
+          .ok());
+
+  EXPECT_TRUE(manager.Reload("retry_city").IsIOError());
+
+  // The background retries drive the city to generation 2 without any
+  // further calls from us. Poll with a generous deadline (the waits
+  // themselves are milliseconds).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  uint64_t generation = 1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    generation = (*manager.GetSnapshot("retry_city"))->generation;
+    if (generation >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(generation, 2u);
+  EXPECT_EQ(calls->load(), 4);
+  EXPECT_EQ(CounterValue("altroute_reload_retries_total", {"retry_city"}) -
+                retries_before,
+            2u);
+}
+
+TEST(NetworkManagerTest, RetryDisabledByDefault) {
+  NetworkManager manager;
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  ASSERT_TRUE(
+      manager.AddCity("noretry_city", ScriptedLoader(calls, {false, true}))
+          .ok());
+  EXPECT_TRUE(manager.Reload("noretry_city").IsIOError());
+  // No retry thread exists; nothing else ever calls the loader.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(calls->load(), 2);
+  EXPECT_EQ((*manager.GetSnapshot("noretry_city"))->generation, 1u);
 }
 
 }  // namespace

@@ -246,5 +246,132 @@ TEST_F(QueryProcessorFaultFixture, GenerateForHonoursExpiredDeadline) {
   }
 }
 
+TEST_F(QueryProcessorFaultFixture, RenderFaultShipsApproachesWithoutRoutes) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("render", Status::Internal("injected render crash"));
+  auto response = processor_->Process(Origin(), Far());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->degraded);
+  ASSERT_EQ(response->approaches.size(), 4u);
+  for (const auto& approach : response->approaches) {
+    EXPECT_EQ(approach.status, "internal");
+    EXPECT_TRUE(approach.routes.empty());
+  }
+}
+
+// Circuit-breaker integration: own fixture (not the shared static processor)
+// so breaker state never leaks across tests. The breaker clock is a fake the
+// test advances by hand — cooldown expiry is exact, no sleeping.
+class QueryProcessorBreakerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto net = testutil::GridNetwork(6, 6, 60.0, 500.0);
+    auto suite = EngineSuite::MakePaperSuite(net);
+    ALT_CHECK(suite.ok());
+    processor_ =
+        std::make_unique<QueryProcessor>(std::move(suite).ValueOrDie());
+    CircuitBreakerOptions options;
+    options.consecutive_failures_to_open = 3;
+    options.open_cooldown = std::chrono::milliseconds(1000);
+    options.half_open_successes_to_close = 2;
+    breakers_ = std::make_shared<EngineBreakerSet>(
+        "testcity", options, [this] { return fake_now_; });
+    processor_->set_breakers(breakers_);
+  }
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+
+  Result<QueryResponse> Query() {
+    const RoadNetwork& net = processor_->network();
+    return processor_->Process(
+        net.coord(0), net.coord(static_cast<NodeId>(net.num_nodes() - 1)));
+  }
+
+  std::unique_ptr<QueryProcessor> processor_;
+  std::shared_ptr<EngineBreakerSet> breakers_;
+  CircuitBreaker::Clock::time_point fake_now_{};
+};
+
+TEST_F(QueryProcessorBreakerTest, OpensAfterKFailuresAndSkipsTheEngine) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("engine:plateau", Status::Internal("injected engine crash"));
+
+  // Exactly K = 3 failing runs trip the breaker...
+  for (int i = 0; i < 3; ++i) {
+    auto response = Query();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->approaches[1].status, "internal") << "query " << i;
+  }
+  EXPECT_EQ(breakers_->ForEngine("plateau").state(), BreakerState::kOpen);
+  EXPECT_EQ(fi.TriggerCount("engine:plateau"), 3);
+
+  // ...and from then on the engine is not invoked at all: the approach ships
+  // "breaker_open" and the fault site stops firing.
+  for (int i = 0; i < 5; ++i) {
+    auto response = Query();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->degraded);
+    ASSERT_EQ(response->approaches.size(), 4u);
+    EXPECT_EQ(response->approaches[1].status, "breaker_open");
+    EXPECT_TRUE(response->approaches[1].routes.empty());
+    // The healthy engines keep shipping full results.
+    for (size_t a : {size_t{0}, size_t{2}, size_t{3}}) {
+      EXPECT_EQ(response->approaches[a].status, "ok") << "approach " << a;
+      EXPECT_FALSE(response->approaches[a].routes.empty());
+    }
+  }
+  EXPECT_EQ(fi.TriggerCount("engine:plateau"), 3);
+}
+
+TEST_F(QueryProcessorBreakerTest, RecoversViaProbesAfterFaultClears) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("engine:plateau", Status::Internal("injected engine crash"));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(Query().ok());
+  ASSERT_EQ(breakers_->ForEngine("plateau").state(), BreakerState::kOpen);
+
+  // Fault cleared but the cooldown has not elapsed: still skipped.
+  fi.Disarm();
+  auto response = Query();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->approaches[1].status, "breaker_open");
+
+  // Cooldown over: the next two queries run the engine as recovery probes
+  // and their successes close the breaker.
+  fake_now_ += std::chrono::milliseconds(1000);
+  for (int probe = 0; probe < 2; ++probe) {
+    response = Query();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->approaches[1].status, "ok") << "probe " << probe;
+  }
+  EXPECT_EQ(breakers_->ForEngine("plateau").state(), BreakerState::kClosed);
+  response = Query();
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->degraded);
+}
+
+TEST_F(QueryProcessorBreakerTest, ClientOutcomesNeverTrip) {
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  // NotFound means the query had no answer, not that the engine is broken.
+  fi.InjectError("engine:plateau", Status::NotFound("no route"));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(Query().ok());
+  EXPECT_EQ(breakers_->ForEngine("plateau").state(), BreakerState::kClosed);
+}
+
+TEST_F(QueryProcessorBreakerTest, NullBreakerSetDisablesChecks) {
+  processor_->set_breakers(nullptr);
+  auto& fi = FaultInjector::Global();
+  fi.Arm(/*seed=*/1);
+  fi.InjectError("engine:plateau", Status::Internal("injected engine crash"));
+  for (int i = 0; i < 20; ++i) {
+    auto response = Query();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->approaches[1].status, "internal");
+  }
+  EXPECT_EQ(fi.TriggerCount("engine:plateau"), 20);
+}
+
 }  // namespace
 }  // namespace altroute

@@ -1,0 +1,74 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace altroute {
+namespace {
+
+BackoffOptions NoJitter() {
+  BackoffOptions o;
+  o.initial_delay = std::chrono::milliseconds(100);
+  o.multiplier = 2.0;
+  o.max_delay = std::chrono::milliseconds(1000);
+  o.jitter = 0.0;
+  return o;
+}
+
+TEST(BackoffTest, DoublesUpToTheCap) {
+  ExponentialBackoff b(NoJitter());
+  EXPECT_EQ(b.NextDelay().count(), 100);
+  EXPECT_EQ(b.NextDelay().count(), 200);
+  EXPECT_EQ(b.NextDelay().count(), 400);
+  EXPECT_EQ(b.NextDelay().count(), 800);
+  EXPECT_EQ(b.NextDelay().count(), 1000);  // capped
+  EXPECT_EQ(b.NextDelay().count(), 1000);  // stays capped
+  EXPECT_EQ(b.attempts(), 6);
+}
+
+TEST(BackoffTest, ResetRestartsTheSchedule) {
+  ExponentialBackoff b(NoJitter());
+  b.NextDelay();
+  b.NextDelay();
+  b.Reset();
+  EXPECT_EQ(b.attempts(), 0);
+  EXPECT_EQ(b.NextDelay().count(), 100);
+}
+
+TEST(BackoffTest, JitterStaysInsideTheBand) {
+  BackoffOptions o = NoJitter();
+  o.jitter = 0.25;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    ExponentialBackoff b(o, seed);
+    const int64_t first = b.NextDelay().count();
+    EXPECT_GE(first, 75);
+    EXPECT_LE(first, 100);
+    const int64_t second = b.NextDelay().count();
+    EXPECT_GE(second, 150);
+    EXPECT_LE(second, 200);
+  }
+}
+
+TEST(BackoffTest, DeterministicInTheSeed) {
+  BackoffOptions o = NoJitter();
+  o.jitter = 0.5;
+  ExponentialBackoff a(o, 42), b(o, 42);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.NextDelay().count(), b.NextDelay().count());
+  }
+}
+
+TEST(BackoffTest, DelayIsNeverBelowOneMillisecond) {
+  // With a 1ms base and 90% jitter the raw draw can land below 1ms and
+  // truncate to 0; the floor keeps every returned delay at >= 1ms.
+  BackoffOptions o;
+  o.initial_delay = std::chrono::milliseconds(1);
+  o.max_delay = std::chrono::milliseconds(1);
+  o.jitter = 0.9;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    ExponentialBackoff b(o, seed);
+    for (int i = 0; i < 4; ++i) EXPECT_GE(b.NextDelay().count(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace altroute

@@ -1,0 +1,241 @@
+#include "util/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace altroute {
+namespace {
+
+/// A hand-cranked clock: tests advance it explicitly, so cooldown expiry is
+/// exact and no test ever sleeps.
+struct FakeClock {
+  CircuitBreaker::Clock::time_point now{};
+  CircuitBreaker::ClockFn Fn() {
+    return [this] { return now; };
+  }
+  void AdvanceMs(int64_t ms) { now += std::chrono::milliseconds(ms); }
+};
+
+CircuitBreakerOptions SmallOptions() {
+  CircuitBreakerOptions o;
+  o.consecutive_failures_to_open = 3;
+  o.window_size = 8;
+  o.window_min_calls = 4;
+  o.failure_rate_to_open = 0.5;
+  o.open_cooldown = std::chrono::milliseconds(1000);
+  o.half_open_max_probes = 1;
+  o.half_open_successes_to_close = 2;
+  return o;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAdmitsEverything) {
+  CircuitBreaker b(SmallOptions());
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordSuccess();
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.transitions(BreakerState::kOpen), 0u);
+}
+
+TEST(CircuitBreakerTest, OpensAfterExactlyKConsecutiveFailures) {
+  CircuitBreaker b(SmallOptions());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+    EXPECT_EQ(b.state(), BreakerState::kClosed) << "after failure " << i + 1;
+  }
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();  // third consecutive failure trips it
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.transitions(BreakerState::kOpen), 1u);
+  EXPECT_FALSE(b.Allow());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreakerOptions o = SmallOptions();
+  o.failure_rate_to_open = 2.0;  // isolate the consecutive trigger
+  CircuitBreaker b(o);
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+    ASSERT_TRUE(b.Allow());
+    b.RecordSuccess();  // breaks the streak before the third failure
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, RateTriggerOpensWithoutAConsecutiveRun) {
+  CircuitBreakerOptions o = SmallOptions();
+  o.consecutive_failures_to_open = 100;  // only the rate can trip
+  CircuitBreaker b(o);
+  // Alternate failure/success: never two failures in a row, but the window
+  // rate reaches 0.5 once window_min_calls samples are in.
+  BreakerState observed = BreakerState::kClosed;
+  for (int i = 0; i < 8 && observed == BreakerState::kClosed; ++i) {
+    ASSERT_TRUE(b.Allow());
+    if (i % 2 == 0) {
+      b.RecordFailure();
+    } else {
+      b.RecordSuccess();
+    }
+    observed = b.state();
+  }
+  EXPECT_EQ(observed, BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, RateTriggerCanBeDisabled) {
+  CircuitBreakerOptions o = SmallOptions();
+  o.consecutive_failures_to_open = 1000;
+  o.failure_rate_to_open = 1.5;  // > 1.0: never trips on rate
+  CircuitBreaker b(o);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilCooldownElapses) {
+  FakeClock clock;
+  CircuitBreaker b(SmallOptions(), clock.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.Allow());
+  EXPECT_NEAR(b.cooldown_remaining_seconds(), 1.0, 1e-9);
+
+  clock.AdvanceMs(999);
+  EXPECT_FALSE(b.Allow());
+
+  clock.AdvanceMs(1);  // cooldown complete: next admission is a probe
+  EXPECT_TRUE(b.Allow());
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.RecordSuccess();
+}
+
+TEST(CircuitBreakerTest, HalfOpenLimitsConcurrentProbes) {
+  FakeClock clock;
+  CircuitBreaker b(SmallOptions(), clock.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  clock.AdvanceMs(1000);
+  ASSERT_TRUE(b.Allow());   // the single allowed probe
+  EXPECT_FALSE(b.Allow());  // a second concurrent probe is rejected
+  b.RecordSuccess();
+  EXPECT_TRUE(b.Allow());  // probe slot free again
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ClosesAfterConfiguredProbeSuccesses) {
+  FakeClock clock;
+  CircuitBreakerOptions o = SmallOptions();
+  o.half_open_successes_to_close = 3;
+  CircuitBreaker b(o, clock.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  clock.AdvanceMs(1000);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordSuccess();
+    EXPECT_EQ(b.state(), BreakerState::kHalfOpen) << "after probe " << i + 1;
+  }
+  ASSERT_TRUE(b.Allow());
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.transitions(BreakerState::kClosed), 1u);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
+  FakeClock clock;
+  CircuitBreaker b(SmallOptions(), clock.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  clock.AdvanceMs(1000);
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();  // the probe fails: straight back to open
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.transitions(BreakerState::kOpen), 2u);
+  EXPECT_FALSE(b.Allow());  // fresh cooldown
+  clock.AdvanceMs(1000);
+  EXPECT_TRUE(b.Allow());
+  b.RecordSuccess();
+}
+
+TEST(CircuitBreakerTest, ReclosingResetsTheFailureHistory) {
+  FakeClock clock;
+  CircuitBreaker b(SmallOptions(), clock.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  clock.AdvanceMs(1000);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordSuccess();
+  }
+  ASSERT_EQ(b.state(), BreakerState::kClosed);
+  // The old window and streak are gone: it takes a full K new failures to
+  // trip again.
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();
+  ASSERT_TRUE(b.Allow());
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglerOutcomeAfterReopenIsIgnored) {
+  FakeClock clock;
+  CircuitBreaker b(SmallOptions(), clock.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  // A call admitted before the trip reports late, while open: a no-op, not
+  // a crash and not a state change.
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, TransitionObserverSeesEveryChange) {
+  FakeClock clock;
+  CircuitBreaker b(SmallOptions(), clock.Fn());
+  std::vector<BreakerState> seen;
+  b.set_on_transition([&seen](BreakerState to) { seen.push_back(to); });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(b.Allow());
+    b.RecordFailure();
+  }
+  clock.AdvanceMs(1000);
+  ASSERT_TRUE(b.Allow());
+  b.RecordSuccess();
+  ASSERT_TRUE(b.Allow());
+  b.RecordSuccess();
+  const std::vector<BreakerState> expected = {
+      BreakerState::kOpen, BreakerState::kHalfOpen, BreakerState::kClosed};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreSnakeCase) {
+  EXPECT_EQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_EQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_EQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace altroute

@@ -151,6 +151,27 @@ Commands:
                                                        Plateau/Penalty engines
                                                        (build cost reported at
                                                        /debug/build)
+      [--breaker-failures N]                           consecutive engine
+                                                       failures that open its
+                                                       circuit breaker
+                                                       (default 5; 0 disables
+                                                       breakers)
+      [--breaker-cooldown-ms MS]                       open-state cooldown
+                                                       before recovery probes
+                                                       (default 5000)
+      [--breaker-probes N]                             consecutive half-open
+                                                       probe successes needed
+                                                       to close (default 2)
+      [--queue-target-delay-ms MS]                     shed new connections
+                                                       once queue wait stays
+                                                       above this target
+                                                       (CoDel-style; 0
+                                                       disables, the default)
+      [--reload-retry-initial-ms MS]                   first backoff delay for
+                                                       background retry of
+                                                       failed reloads
+                                                       (default 500;
+                                                       0 disables retries)
                                                        health at /healthz,
                                                        readiness at /readyz;
                                                        POST /admin/reload or
@@ -415,8 +436,19 @@ int CmdServe(const Args& args) {
   auto timeout_or =
       ValidatedIntFlag(args, "request-timeout-ms", 10000, 0, 3600000);
   auto slow_ms_or = ValidatedIntFlag(args, "slow-query-ms", 0, 0, 3600000);
+  auto breaker_failures_or =
+      ValidatedIntFlag(args, "breaker-failures", 5, 0, 1000);
+  auto breaker_cooldown_or =
+      ValidatedIntFlag(args, "breaker-cooldown-ms", 5000, 1, 3600000);
+  auto breaker_probes_or = ValidatedIntFlag(args, "breaker-probes", 2, 1, 100);
+  auto queue_delay_or =
+      ValidatedIntFlag(args, "queue-target-delay-ms", 0, 0, 3600000);
+  auto retry_initial_or =
+      ValidatedIntFlag(args, "reload-retry-initial-ms", 500, 0, 3600000);
   for (const Result<int64_t>* flag :
-       {&threads_or, &port_or, &timeout_or, &slow_ms_or}) {
+       {&threads_or, &port_or, &timeout_or, &slow_ms_or, &breaker_failures_or,
+        &breaker_cooldown_or, &breaker_probes_or, &queue_delay_or,
+        &retry_initial_or}) {
     if (!flag->ok()) {
       std::fprintf(stderr, "%s\n", flag->status().message().c_str());
       return 2;
@@ -441,6 +473,20 @@ int CmdServe(const Args& args) {
   // off the serving path) so every context serves the CH-backed
   // Plateau/Penalty engines. /debug/build reports the build cost.
   mopts.build_ch = args.Get("ch") == "true";
+  // Failure containment: per-(city, engine) circuit breakers (on by default;
+  // --breaker-failures 0 turns them off) and background retry of failed
+  // reloads with exponential backoff (--reload-retry-initial-ms 0 turns it
+  // off).
+  mopts.enable_breakers = *breaker_failures_or > 0;
+  mopts.breaker.consecutive_failures_to_open =
+      static_cast<int>(*breaker_failures_or);
+  mopts.breaker.open_cooldown =
+      std::chrono::milliseconds(*breaker_cooldown_or);
+  mopts.breaker.half_open_successes_to_close =
+      static_cast<int>(*breaker_probes_or);
+  mopts.retry_failed_reloads = *retry_initial_or > 0;
+  mopts.reload_backoff.initial_delay =
+      std::chrono::milliseconds(*retry_initial_or);
   auto manager = std::make_shared<NetworkManager>(mopts);
   for (auto& [city, loader] : *sources) {
     const Status st = manager->AddCity(city, std::move(loader));
@@ -482,6 +528,7 @@ int CmdServe(const Args& args) {
   HttpServerOptions options;
   options.num_threads = threads;
   options.request_timeout_ms = static_cast<int>(*timeout_or);
+  options.queue_target_delay_ms = static_cast<int>(*queue_delay_or);
   HttpServer server(options);
   service.Install(&server);
   const Status st = server.Start(static_cast<uint16_t>(*port_or));
