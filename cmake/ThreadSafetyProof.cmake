@@ -1,0 +1,62 @@
+# Configure-time proof that Clang Thread Safety Analysis is live, not just
+# decorative. Two tiny TUs exercise the annotated Mutex layer:
+#
+#   locked_write.cc   — writes an ALT_GUARDED_BY member under MutexLock;
+#                       MUST compile under -Wthread-safety -Werror.
+#   unlocked_write.cc — writes the same member without the lock;
+#                       MUST FAIL to compile under the same flags.
+#
+# If either expectation breaks, configuration aborts: a passing negative TU
+# means annotation/flag rot silently disabled the analysis tree-wide, and a
+# failing positive TU means the wrapper annotations themselves regressed.
+#
+# The analysis only exists in Clang, so the proof is skipped (with a status
+# message) under other compilers; the dedicated thread-safety CI job builds
+# with clang++ and therefore always runs it.
+
+function(altroute_prove_thread_safety)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS
+      "Thread-safety proof: skipped (${CMAKE_CXX_COMPILER_ID} has no "
+      "-Wthread-safety; the clang CI job enforces it)")
+    return()
+  endif()
+
+  set(proof_dir "${PROJECT_SOURCE_DIR}/cmake/thread_safety_proof")
+  set(proof_flags "-Wthread-safety;-Werror")
+
+  try_compile(locked_write_compiles
+    "${CMAKE_BINARY_DIR}/thread_safety_proof/locked"
+    "${proof_dir}/locked_write.cc"
+    COMPILE_DEFINITIONS "${proof_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE locked_write_output)
+  if(NOT locked_write_compiles)
+    message(FATAL_ERROR
+      "Thread-safety proof: the LOCKED write failed to compile under "
+      "-Wthread-safety -Werror — the annotated Mutex wrappers have "
+      "regressed.\n${locked_write_output}")
+  endif()
+
+  try_compile(unlocked_write_compiles
+    "${CMAKE_BINARY_DIR}/thread_safety_proof/unlocked"
+    "${proof_dir}/unlocked_write.cc"
+    COMPILE_DEFINITIONS "${proof_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE unlocked_write_output)
+  if(unlocked_write_compiles)
+    message(FATAL_ERROR
+      "Thread-safety proof: the UNLOCKED write to an ALT_GUARDED_BY member "
+      "COMPILED — Clang Thread Safety Analysis is not enforcing the lock "
+      "discipline (check ALT_* macro definitions and -Wthread-safety).")
+  endif()
+
+  message(STATUS "Thread-safety proof: analysis is live "
+    "(guarded write compiles locked, rejected unlocked)")
+endfunction()

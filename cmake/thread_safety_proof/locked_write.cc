@@ -1,0 +1,27 @@
+// Positive half of the thread-safety proof: a write to an ALT_GUARDED_BY
+// member under MutexLock must compile cleanly with -Wthread-safety -Werror.
+// If this TU fails, the wrapper annotations themselves have regressed.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    altroute::MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  altroute::Mutex mu_;
+  int count_ ALT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

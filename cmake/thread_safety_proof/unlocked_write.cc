@@ -1,0 +1,28 @@
+// Negative half of the thread-safety proof: this TU writes an ALT_GUARDED_BY
+// member WITHOUT holding its mutex and must FAIL to compile under
+// -Wthread-safety -Werror. If it ever compiles, the analysis is not actually
+// enforcing the lock discipline (macro rot, flag rot, or a broken wrapper)
+// and the configure step aborts with FATAL_ERROR.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++count_;  // BUG (on purpose): mu_ is not held.
+  }
+
+ private:
+  altroute::Mutex mu_;
+  int count_ ALT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

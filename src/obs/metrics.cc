@@ -203,7 +203,6 @@ MetricsRegistry& MetricsRegistry::Global() {
 MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
                                                      const std::string& help,
                                                      int kind) {
-  // Caller holds mu_.
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     ALT_CHECK(it->second->kind == kind)
@@ -218,7 +217,7 @@ MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
 
 const MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
                                                     int kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second->kind != kind) return nullptr;
   return it->second.get();
@@ -226,7 +225,7 @@ const MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = GetOrCreate(name, help, kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
@@ -234,7 +233,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = GetOrCreate(name, help, kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -243,7 +242,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name,
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = GetOrCreate(name, help, kHistogram);
   if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
   return *e.histogram;
@@ -252,7 +251,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 CounterFamily& MetricsRegistry::GetCounterFamily(
     const std::string& name, const std::string& help,
     std::vector<std::string> label_keys) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = GetOrCreate(name, help, kCounterFamily);
   if (!e.counter_family) {
     e.counter_family =
@@ -264,7 +263,7 @@ CounterFamily& MetricsRegistry::GetCounterFamily(
 GaugeFamily& MetricsRegistry::GetGaugeFamily(const std::string& name,
                                              const std::string& help,
                                              std::vector<std::string> label_keys) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = GetOrCreate(name, help, kGaugeFamily);
   if (!e.gauge_family) {
     e.gauge_family =
@@ -276,7 +275,7 @@ GaugeFamily& MetricsRegistry::GetGaugeFamily(const std::string& name,
 HistogramFamily& MetricsRegistry::GetHistogramFamily(
     const std::string& name, const std::string& help,
     std::vector<std::string> label_keys, std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   Entry& e = GetOrCreate(name, help, kHistogramFamily);
   if (!e.histogram_family) {
     e.histogram_family = std::make_unique<HistogramFamily>(
@@ -307,7 +306,7 @@ const CounterFamily* MetricsRegistry::FindCounterFamily(
 }
 
 std::string MetricsRegistry::ExposePrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::ostringstream os;
   static const std::vector<std::string> kNoKeys;
   static const std::vector<std::string> kNoValues;

@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 namespace obs {
@@ -108,7 +110,7 @@ class Family {
 
   template <typename Factory>
   T& WithLabels(const std::vector<std::string>& values, Factory make) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = children_.find(values);
     if (it == children_.end()) {
       it = children_.emplace(values, make()).first;
@@ -118,7 +120,7 @@ class Family {
 
   /// Number of distinct label tuples materialised so far.
   size_t Cardinality() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return children_.size();
   }
 
@@ -128,7 +130,7 @@ class Family {
 
   /// Snapshot of (label values, instrument) pairs in deterministic order.
   std::vector<std::pair<std::vector<std::string>, const T*>> Children() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<std::pair<std::vector<std::string>, const T*>> out;
     out.reserve(children_.size());
     for (const auto& [labels, child] : children_) {
@@ -141,8 +143,9 @@ class Family {
   std::string name_;
   std::string help_;
   std::vector<std::string> keys_;
-  mutable std::mutex mu_;
-  std::map<std::vector<std::string>, std::unique_ptr<T>> children_;
+  mutable Mutex mu_;
+  std::map<std::vector<std::string>, std::unique_ptr<T>> children_
+      ALT_GUARDED_BY(mu_);
 };
 
 using CounterFamily = Family<Counter>;
@@ -211,11 +214,15 @@ class MetricsRegistry {
  private:
   struct Entry;
   Entry& GetOrCreate(const std::string& name, const std::string& help,
-                     int kind);
+                     int kind) ALT_REQUIRES(mu_);
   const Entry* Find(const std::string& name, int kind) const;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  /// Reader/writer split: registration (startup) takes the writer side;
+  /// Find* lookups and /metrics scrapes share the reader side, so a scrape
+  /// never serialises against concurrent lookups. Entry pointees are stable
+  /// (instruments are never unregistered), so only the map shape is guarded.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ ALT_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -40,7 +40,7 @@ EngineBreakerSet::EngineBreakerSet(std::string city,
     : city_(std::move(city)), options_(options), clock_(std::move(clock)) {}
 
 CircuitBreaker& EngineBreakerSet::ForEngine(std::string_view engine) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = breakers_.find(engine);
   if (it != breakers_.end()) return *it->second;
 

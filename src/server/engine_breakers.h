@@ -18,7 +18,9 @@
 #include <string_view>
 
 #include "util/circuit_breaker.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -49,9 +51,9 @@ class EngineBreakerSet {
   const std::string city_;
   const CircuitBreakerOptions options_;
   const CircuitBreaker::ClockFn clock_;
-  std::mutex mu_;
-  std::map<std::string, std::unique_ptr<CircuitBreaker>, std::less<>>
-      breakers_;  // guarded by mu_; values are never erased
+  Mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>, std::less<>> breakers_
+      ALT_GUARDED_BY(mu_);  // values are never erased
 };
 
 }  // namespace altroute

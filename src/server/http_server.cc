@@ -210,7 +210,7 @@ Status HttpServer::Start(uint16_t port) {
     if (threads <= 0) threads = 1;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     draining_ = false;
     workers_exit_ = false;
   }
@@ -233,7 +233,7 @@ void HttpServer::Stop() {
 
   // Phase 1: shed new connections with 503 while the listener winds down.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     draining_ = true;
   }
   accepting_.store(false);
@@ -245,10 +245,10 @@ void HttpServer::Stop() {
 
   // Phase 2: workers finish queued and in-flight requests, then exit.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     workers_exit_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -286,7 +286,7 @@ void HttpServer::AcceptLoop() {
 
     const char* shed_reason = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (draining_) {
         shed_reason = "draining";
       } else if (queue_.size() >= options_.queue_capacity) {
@@ -324,7 +324,7 @@ void HttpServer::AcceptLoop() {
       ::close(fd);
       continue;
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -388,8 +388,8 @@ void HttpServer::WorkerLoop() {
   for (;;) {
     QueuedConnection conn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return !queue_.empty() || workers_exit_; });
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !workers_exit_) queue_cv_.Wait(&mu_);
       if (queue_.empty()) return;  // workers_exit_ and nothing left to drain
       conn = queue_.front();
       queue_.pop_front();

@@ -10,18 +10,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "util/deadline.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -182,6 +182,8 @@ class HttpServer {
                     const std::string& path_label);
 
   HttpServerOptions options_;
+  /// Not guarded: Route() CHECK-fails after Start(), so the map is frozen
+  /// before the accept/worker threads exist and is immutable while they run.
   std::map<std::string, HttpHandler> routes_;
   // Written by Start()/Stop(), read concurrently by AcceptLoop's accept().
   std::atomic<int> listen_fd_{-1};
@@ -208,11 +210,14 @@ class HttpServer {
   /// workers at dequeue, read by the accept thread.
   std::atomic<int64_t> queue_above_target_since_ns_{0};
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::deque<QueuedConnection> queue_;  // accepted fds awaiting a worker
-  bool draining_ = false;     // Stop() begun: shed new connections with 503
-  bool workers_exit_ = false; // queue is final: drain it, then exit
+  Mutex mu_;
+  CondVar queue_cv_;
+  // accepted fds awaiting a worker
+  std::deque<QueuedConnection> queue_ ALT_GUARDED_BY(mu_);
+  // Stop() begun: shed new connections with 503
+  bool draining_ ALT_GUARDED_BY(mu_) = false;
+  // queue is final: drain it, then exit
+  bool workers_exit_ ALT_GUARDED_BY(mu_) = false;
   std::atomic<bool> running_{false};
   std::atomic<bool> accepting_{false};
 };

@@ -129,7 +129,7 @@ Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::BuildSnapshot(
 Status NetworkManager::AddCity(const std::string& city, Loader loader) {
   if (city.empty()) return Status::InvalidArgument("empty city key");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (entries_.count(city) > 0) {
       return Status::InvalidArgument("city '" + city + "' already registered");
     }
@@ -141,8 +141,13 @@ Status NetworkManager::AddCity(const std::string& city, Loader loader) {
                             BuildSnapshot(city, loader, /*generation=*/1));
   auto entry = std::make_unique<Entry>();
   entry->loader = std::move(loader);
-  entry->snapshot = snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    // Not shared yet, but the analysis (rightly) has no notion of "not yet
+    // published"; the uncontended lock is free.
+    MutexLock entry_lock(&entry->mu);
+    entry->snapshot = snapshot;
+  }
+  MutexLock lock(&mu_);
   if (!entries_.emplace(city, std::move(entry)).second) {
     return Status::InvalidArgument("city '" + city + "' already registered");
   }
@@ -162,8 +167,11 @@ Status NetworkManager::AddCityWithPool(
   snapshot->generation = 1;
   snapshot->loaded_at = std::chrono::steady_clock::now();
   auto entry = std::make_unique<Entry>();
-  entry->snapshot = std::move(snapshot);
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    MutexLock entry_lock(&entry->mu);
+    entry->snapshot = std::move(snapshot);
+  }
+  MutexLock lock(&mu_);
   if (!entries_.emplace(city, std::move(entry)).second) {
     return Status::InvalidArgument("city '" + city + "' already registered");
   }
@@ -172,22 +180,29 @@ Status NetworkManager::AddCityWithPool(
 
 Result<std::shared_ptr<const NetworkSnapshot>> NetworkManager::GetSnapshot(
     const std::string& city) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(city);
-  if (it == entries_.end()) {
-    return Status::NotFound("unknown city '" + city + "'");
+  const Entry* entry = nullptr;
+  {
+    MutexLock lock(&mu_);
+    auto it = entries_.find(city);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown city '" + city + "'");
+    }
+    entry = it->second.get();
   }
-  if (it->second->snapshot == nullptr) {
+  // entries_ never shrinks, so `entry` stays valid after mu_ is dropped; the
+  // snapshot copy contends only with this city's swap, not the whole map.
+  MutexLock lock(&entry->mu);
+  if (entry->snapshot == nullptr) {
     return Status::FailedPrecondition("city '" + city +
                                       "' has no valid snapshot");
   }
-  return it->second->snapshot;
+  return entry->snapshot;
 }
 
 Status NetworkManager::Reload(const std::string& city) {
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = entries_.find(city);
     if (it == entries_.end()) {
       return Status::NotFound("unknown city '" + city + "'");
@@ -196,11 +211,11 @@ Status NetworkManager::Reload(const std::string& city) {
   }
   // entries_ never shrinks, so `entry` stays valid after mu_ is dropped.
   // reload_mu serialises concurrent reloads of this city; the expensive
-  // rebuild runs without mu_, so serving threads are never blocked.
-  std::lock_guard<std::mutex> reload_lock(entry->reload_mu);
+  // rebuild runs without any serving lock, so readers are never blocked.
+  MutexLock reload_lock(&entry->reload_mu);
   uint64_t next_generation;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&entry->mu);
     next_generation =
         entry->snapshot == nullptr ? 1 : entry->snapshot->generation + 1;
   }
@@ -215,7 +230,7 @@ Status NetworkManager::Reload(const std::string& city) {
   }
   std::shared_ptr<const NetworkSnapshot> old;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&entry->mu);
     old = entry->snapshot;  // keep alive past the lock: dtor can be slow
     entry->snapshot = std::move(rebuilt).ValueOrDie();
   }
@@ -229,15 +244,15 @@ Status NetworkManager::Reload(const std::string& city) {
 
 NetworkManager::~NetworkManager() {
   {
-    std::lock_guard<std::mutex> lock(retry_mu_);
+    MutexLock lock(&retry_mu_);
     retry_stop_ = true;
   }
-  retry_cv_.notify_all();
+  retry_cv_.NotifyAll();
   if (retry_thread_.joinable()) retry_thread_.join();
 }
 
 void NetworkManager::ScheduleRetry(const std::string& city) {
-  std::lock_guard<std::mutex> lock(retry_mu_);
+  MutexLock lock(&retry_mu_);
   if (retry_stop_) return;
   auto it = retry_.find(city);
   if (it == retry_.end()) {
@@ -256,20 +271,19 @@ void NetworkManager::ScheduleRetry(const std::string& city) {
     retry_thread_started_ = true;
     retry_thread_ = std::thread([this] { RetryLoop(); });
   }
-  retry_cv_.notify_all();
+  retry_cv_.NotifyAll();
 }
 
 void NetworkManager::ClearRetry(const std::string& city) {
-  std::lock_guard<std::mutex> lock(retry_mu_);
+  MutexLock lock(&retry_mu_);
   retry_.erase(city);
 }
 
 void NetworkManager::RetryLoop() {
-  std::unique_lock<std::mutex> lock(retry_mu_);
+  MutexLock lock(&retry_mu_);
   while (!retry_stop_) {
     if (retry_.empty()) {
-      retry_cv_.wait(lock,
-                     [this] { return retry_stop_ || !retry_.empty(); });
+      while (!retry_stop_ && retry_.empty()) retry_cv_.Wait(&retry_mu_);
       continue;
     }
     // Earliest pending attempt across cities.
@@ -279,11 +293,11 @@ void NetworkManager::RetryLoop() {
     }
     const auto when = due->second.next_attempt;
     if (std::chrono::steady_clock::now() < when) {
-      retry_cv_.wait_until(lock, when);
+      retry_cv_.WaitUntil(&retry_mu_, when);
       continue;  // re-evaluate: stop flag, new failures, cleared cities
     }
     const std::string city = due->first;
-    lock.unlock();
+    lock.Unlock();
     DataPlaneMetrics::Get().reload_retries.WithLabels({city}).Increment();
     ALTROUTE_LOG(Info) << "retrying reload of city '" << city << "'";
     // Reload itself reschedules on failure (advancing the backoff) and
@@ -293,7 +307,7 @@ void NetworkManager::RetryLoop() {
       ALTROUTE_LOG(Warning) << "background reload retry of city '" << city
                             << "' failed: " << status;
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -306,7 +320,7 @@ std::map<std::string, Status> NetworkManager::ReloadAll() {
 }
 
 std::vector<std::string> NetworkManager::cities() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> keys;
   keys.reserve(entries_.size());
   for (const auto& [city, entry] : entries_) keys.push_back(city);
@@ -314,25 +328,30 @@ std::vector<std::string> NetworkManager::cities() const {
 }
 
 bool NetworkManager::Ready() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (entries_.empty()) return false;
   for (const auto& [city, entry] : entries_) {
+    MutexLock entry_lock(&entry->mu);  // lock order: mu_ -> entry->mu
     if (entry->snapshot == nullptr) return false;
   }
   return true;
 }
 
 size_t NetworkManager::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 void NetworkManager::RefreshGauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [city, entry] : entries_) {
-    if (entry->snapshot == nullptr) continue;
-    DataPlaneMetrics::Get().snapshot_age.WithLabels({city}).Set(
-        entry->snapshot->age_seconds());
+    double age_seconds = -1.0;
+    {
+      MutexLock entry_lock(&entry->mu);  // lock order: mu_ -> entry->mu
+      if (entry->snapshot == nullptr) continue;
+      age_seconds = entry->snapshot->age_seconds();
+    }
+    DataPlaneMetrics::Get().snapshot_age.WithLabels({city}).Set(age_seconds);
   }
 }
 

@@ -19,11 +19,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,7 +29,9 @@
 #include "graph/validator.h"
 #include "server/query_processor_pool.h"
 #include "util/backoff.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -159,12 +159,19 @@ class NetworkManager {
   void RefreshGauges() const;
 
  private:
+  /// Lock order within one entry (and across the manager): mu_ (map lookup)
+  /// -> entry->mu (snapshot copy/swap). reload_mu is held across the whole
+  /// rebuild and only ever takes entry->mu inside it, never mu_ while a
+  /// serving thread could hold entry->mu.
   struct Entry {
-    Loader loader;  // may be empty (AddCityWithPool)
+    Loader loader;  // may be empty (AddCityWithPool); immutable once published
     /// Serialises reloads of this city (held across the whole rebuild, which
-    /// runs outside mu_ so serving threads never wait on it).
-    std::mutex reload_mu;
-    std::shared_ptr<const NetworkSnapshot> snapshot;  // guarded by mu_
+    /// runs outside `mu` so serving threads never wait on it).
+    Mutex reload_mu;
+    /// Guards only the snapshot pointer: one copy per GetSnapshot, one swap
+    /// per successful reload. Never held across a build.
+    mutable Mutex mu;
+    std::shared_ptr<const NetworkSnapshot> snapshot ALT_GUARDED_BY(mu);
   };
 
   /// load -> validate -> pool; counts validation failures per check.
@@ -178,22 +185,27 @@ class NetworkManager {
   };
 
   /// Schedules (or reschedules, advancing the backoff) a background retry
-  /// for `city`; lazily starts the retry thread. Call without locks held.
-  void ScheduleRetry(const std::string& city);
+  /// for `city`; lazily starts the retry thread. Call without retry_mu_ held.
+  void ScheduleRetry(const std::string& city) ALT_EXCLUDES(retry_mu_);
   /// Drops `city`'s retry state after a successful reload.
-  void ClearRetry(const std::string& city);
-  void RetryLoop();
+  void ClearRetry(const std::string& city) ALT_EXCLUDES(retry_mu_);
+  void RetryLoop() ALT_EXCLUDES(retry_mu_);
 
   Options options_;
-  mutable std::mutex mu_;  // guards entries_ map shape + snapshot pointers
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  /// Guards only the map shape; each entry guards its own snapshot (Entry
+  /// pointers are stable: entries_ never shrinks).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ ALT_GUARDED_BY(mu_);
 
-  std::mutex retry_mu_;  // guards the four fields below
-  std::condition_variable retry_cv_;
-  bool retry_stop_ = false;
-  bool retry_thread_started_ = false;
-  std::map<std::string, RetryState> retry_;
-  std::thread retry_thread_;  // started under retry_mu_, joined in the dtor
+  Mutex retry_mu_;
+  CondVar retry_cv_;
+  bool retry_stop_ ALT_GUARDED_BY(retry_mu_) = false;
+  bool retry_thread_started_ ALT_GUARDED_BY(retry_mu_) = false;
+  std::map<std::string, RetryState> retry_ ALT_GUARDED_BY(retry_mu_);
+  /// Started under retry_mu_; joined in the destructor, which runs after
+  /// every other thread that could touch the manager is gone (destructors
+  /// are outside the analysis, like constructors).
+  std::thread retry_thread_ ALT_GUARDED_BY(retry_mu_);
 };
 
 }  // namespace altroute

@@ -53,29 +53,32 @@ QueryProcessorPool::QueryProcessorPool(
     std::vector<std::unique_ptr<QueryProcessor>> contexts)
     : contexts_(std::move(contexts)) {
   ALT_CHECK(!contexts_.empty()) << "empty processor pool";
-  free_.reserve(contexts_.size());
+  gate_->free_list.reserve(contexts_.size());
   for (const auto& c : contexts_) {
     ALT_CHECK(c != nullptr) << "null processor in pool";
-    free_.push_back(c.get());
+    gate_->free_list.push_back(c.get());
   }
 }
 
 QueryProcessorPool::Lease QueryProcessorPool::Acquire() {
-  std::unique_lock<std::mutex> lock(*mu_);
-  cv_->wait(lock, [this] { return !free_.empty(); });
-  QueryProcessor* p = free_.back();
-  free_.pop_back();
+  QueryProcessor* p = nullptr;
+  {
+    MutexLock lock(&gate_->mu);
+    while (gate_->free_list.empty()) gate_->cv.Wait(&gate_->mu);
+    p = gate_->free_list.back();
+    gate_->free_list.pop_back();
+  }
   ContextsInUseGauge().Add(1.0);
   return Lease(this, p);
 }
 
 void QueryProcessorPool::Release(QueryProcessor* processor) {
   {
-    std::lock_guard<std::mutex> lock(*mu_);
-    free_.push_back(processor);
+    MutexLock lock(&gate_->mu);
+    gate_->free_list.push_back(processor);
   }
   ContextsInUseGauge().Add(-1.0);
-  cv_->notify_one();
+  gate_->cv.NotifyOne();
 }
 
 QueryProcessorPool::Lease::~Lease() {

@@ -8,12 +8,12 @@
 // the duration of one request (RAII Lease) and return it on destruction.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "server/query_processor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -78,11 +78,19 @@ class QueryProcessorPool {
  private:
   void Release(QueryProcessor* processor);
 
+  /// The checkout gate lives behind one unique_ptr so the pool stays movable
+  /// (Mutex and CondVar are not). Heap placement also keeps the guarded
+  /// free list and its mutex at a stable address across moves, which lets
+  /// the analysis track `gate_->mu` / `gate_->free_list` as one consistent
+  /// capability expression.
+  struct Gate {
+    Mutex mu;
+    CondVar cv;
+    std::vector<QueryProcessor*> free_list ALT_GUARDED_BY(mu);
+  };
+
   std::vector<std::unique_ptr<QueryProcessor>> contexts_;
-  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
-  std::unique_ptr<std::condition_variable> cv_ =
-      std::make_unique<std::condition_variable>();
-  std::vector<QueryProcessor*> free_;  // guarded by *mu_
+  std::unique_ptr<Gate> gate_ = std::make_unique<Gate>();
 };
 
 }  // namespace altroute

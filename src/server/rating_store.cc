@@ -141,7 +141,7 @@ Result<RatingSubmission> ParseRatingSubmissionJsonLine(std::string_view line) {
 }
 
 Status RatingStore::AttachFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   corrupt_lines_ = 0;
   {
     // Replay whatever the previous process managed to write. A missing file
@@ -181,13 +181,13 @@ Status RatingStore::AttachFile(const std::string& path) {
 }
 
 size_t RatingStore::corrupt_lines_recovered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return corrupt_lines_;
 }
 
 Status RatingStore::Add(const RatingSubmission& submission) {
   if (Status valid = ValidateRatings(submission); !valid.ok()) return valid;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (log_.is_open()) {
     // Durability before visibility: the line must reach the OS before the
     // submission counts, so a crash can lose at most the in-flight form.
@@ -203,17 +203,17 @@ Status RatingStore::Add(const RatingSubmission& submission) {
 }
 
 size_t RatingStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return submissions_.size();
 }
 
 std::vector<RatingSubmission> RatingStore::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return submissions_;
 }
 
 std::array<double, kNumApproaches> RatingStore::MeanRatings() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::array<double, kNumApproaches> means{};
   if (submissions_.empty()) return means;
   for (const RatingSubmission& s : submissions_) {
@@ -226,7 +226,7 @@ std::array<double, kNumApproaches> RatingStore::MeanRatings() const {
 }
 
 Status RatingStore::ExportCsv(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out << "A,B,C,D,resident,comment\n";
   for (const RatingSubmission& s : submissions_) {
     for (int a = 0; a < kNumApproaches; ++a) {

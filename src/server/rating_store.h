@@ -6,13 +6,14 @@
 
 #include <array>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/engine_registry.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -54,10 +55,10 @@ class RatingStore {
   Status ExportCsv(std::ostream& out) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<RatingSubmission> submissions_;
-  std::ofstream log_;  // open iff a file is attached
-  size_t corrupt_lines_ = 0;
+  mutable Mutex mu_;
+  std::vector<RatingSubmission> submissions_ ALT_GUARDED_BY(mu_);
+  std::ofstream log_ ALT_GUARDED_BY(mu_);  // open iff a file is attached
+  size_t corrupt_lines_ ALT_GUARDED_BY(mu_) = 0;
 };
 
 /// One submission as a single JSONL record (no trailing newline):

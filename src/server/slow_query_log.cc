@@ -130,7 +130,7 @@ Result<SlowQueryRecord> ParseSlowQueryRecordJsonLine(std::string_view line) {
 }
 
 Status SlowQueryLog::AttachFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   corrupt_lines_ = 0;
   {
     // Replay what the previous process persisted so /debug/slow survives a
@@ -170,7 +170,7 @@ Status SlowQueryLog::AttachFile(const std::string& path) {
 }
 
 size_t SlowQueryLog::corrupt_lines_recovered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return corrupt_lines_;
 }
 
@@ -188,7 +188,7 @@ void SlowQueryLog::InsertWorstLocked(const SlowQueryRecord& record) {
 }
 
 bool SlowQueryLog::Add(const SlowQueryRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   recent_.push_back(record);
   while (recent_.size() > options_.recent_capacity) recent_.pop_front();
   InsertWorstLocked(record);
@@ -209,17 +209,17 @@ bool SlowQueryLog::Add(const SlowQueryRecord& record) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::vector<SlowQueryRecord>(recent_.rbegin(), recent_.rend());
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Worst() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return worst_;
 }
 
 uint64_t SlowQueryLog::offenders_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return offenders_;
 }
 

@@ -16,13 +16,14 @@
 #include <deque>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/search_stats.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -105,22 +106,29 @@ class SlowQueryLog {
   /// not a file is attached).
   uint64_t offenders_total() const;
 
-  const Options& options() const { return options_; }
+  /// Snapshot of the current options. By value: set_threshold_ms() mutates
+  /// options_ under mu_ at runtime, so handing out a reference would let the
+  /// caller read a field mid-write.
+  Options options() const {
+    MutexLock lock(&mu_);
+    return options_;
+  }
   void set_threshold_ms(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     options_.threshold_ms = ms;
   }
 
  private:
-  mutable std::mutex mu_;
-  Options options_;
-  std::deque<SlowQueryRecord> recent_;  // newest at back
-  std::vector<SlowQueryRecord> worst_;  // sorted slowest-first
-  uint64_t offenders_ = 0;
-  std::ofstream log_;  // open iff a file is attached
-  size_t corrupt_lines_ = 0;
+  mutable Mutex mu_;
+  Options options_ ALT_GUARDED_BY(mu_);
+  std::deque<SlowQueryRecord> recent_ ALT_GUARDED_BY(mu_);  // newest at back
+  std::vector<SlowQueryRecord> worst_
+      ALT_GUARDED_BY(mu_);  // sorted slowest-first
+  uint64_t offenders_ ALT_GUARDED_BY(mu_) = 0;
+  std::ofstream log_ ALT_GUARDED_BY(mu_);  // open iff a file is attached
+  size_t corrupt_lines_ ALT_GUARDED_BY(mu_) = 0;
 
-  void InsertWorstLocked(const SlowQueryRecord& record);
+  void InsertWorstLocked(const SlowQueryRecord& record) ALT_REQUIRES(mu_);
 };
 
 }  // namespace altroute

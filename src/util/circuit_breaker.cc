@@ -52,7 +52,7 @@ bool CircuitBreaker::Allow() {
   bool transitioned = false;
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     switch (state_) {
       case BreakerState::kClosed:
         admitted = true;
@@ -96,7 +96,7 @@ void CircuitBreaker::RecordSuccess() {
   bool transitioned = false;
   BreakerState notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     switch (state_) {
       case BreakerState::kClosed:
         consecutive_failures_ = 0;
@@ -123,7 +123,7 @@ void CircuitBreaker::RecordFailure() {
   bool transitioned = false;
   BreakerState notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     switch (state_) {
       case BreakerState::kClosed: {
         ++consecutive_failures_;
@@ -155,17 +155,17 @@ void CircuitBreaker::RecordFailure() {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return state_;
 }
 
 uint64_t CircuitBreaker::transitions(BreakerState to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return transitions_to_[static_cast<int>(to)];
 }
 
 double CircuitBreaker::cooldown_remaining_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (state_ != BreakerState::kOpen) return 0.0;
   const auto elapsed = Now() - opened_at_;
   if (elapsed >= options_.open_cooldown) return 0.0;

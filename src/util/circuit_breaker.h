@@ -24,9 +24,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -102,27 +104,34 @@ class CircuitBreaker {
  private:
   /// Transition helper; `mu_` must be held. Records the transition and
   /// returns true so callers can chain-notify outside the lock.
-  void TransitionLocked(BreakerState to);
-  void RecordOutcomeLocked(bool success);
+  void TransitionLocked(BreakerState to) ALT_REQUIRES(mu_);
+  void RecordOutcomeLocked(bool success) ALT_REQUIRES(mu_);
   Clock::time_point Now() const;
 
   const CircuitBreakerOptions options_;
   const ClockFn clock_;  // null -> steady_clock
+  /// Deliberately NOT guarded by mu_: invoked after the critical section so
+  /// an observer that re-enters the breaker (reads state, flips a gauge)
+  /// cannot deadlock. Set once during setup, before concurrent use.
   std::function<void(BreakerState)> on_transition_;
 
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;     // closed: failures in a row
-  int half_open_in_flight_ = 0;      // half-open: probes admitted, un-recorded
-  int half_open_successes_ = 0;      // half-open: probe successes in a row
-  Clock::time_point opened_at_{};    // open: cooldown start
+  mutable Mutex mu_;
+  BreakerState state_ ALT_GUARDED_BY(mu_) = BreakerState::kClosed;
+  // closed: failures in a row
+  int consecutive_failures_ ALT_GUARDED_BY(mu_) = 0;
+  // half-open: probes admitted, un-recorded
+  int half_open_in_flight_ ALT_GUARDED_BY(mu_) = 0;
+  // half-open: probe successes in a row
+  int half_open_successes_ ALT_GUARDED_BY(mu_) = 0;
+  // open: cooldown start
+  Clock::time_point opened_at_ ALT_GUARDED_BY(mu_){};
   /// Sliding outcome window (ring buffer of success/failure bits) for the
   /// rate trigger; only maintained while closed.
-  std::vector<bool> window_;
-  size_t window_next_ = 0;
-  size_t window_filled_ = 0;
-  size_t window_failures_ = 0;
-  uint64_t transitions_to_[3] = {0, 0, 0};
+  std::vector<bool> window_ ALT_GUARDED_BY(mu_);
+  size_t window_next_ ALT_GUARDED_BY(mu_) = 0;
+  size_t window_filled_ ALT_GUARDED_BY(mu_) = 0;
+  size_t window_failures_ ALT_GUARDED_BY(mu_) = 0;
+  uint64_t transitions_to_[3] ALT_GUARDED_BY(mu_) = {0, 0, 0};
 };
 
 }  // namespace altroute

@@ -8,6 +8,12 @@
 // Kernels and generators take a trailing `CancellationToken* cancel =
 // nullptr` parameter (mirroring `obs::SearchStats*`): nullptr means "run to
 // completion", so existing call sites are unaffected.
+//
+// Lock discipline: this header is deliberately mutex-free. Deadline is an
+// immutable value type and the token's shared cancel flag is a single
+// relaxed atomic, so there is nothing for the thread-safety analysis
+// (util/thread_annotations.h) to guard — hot search loops must never take a
+// lock per pop.
 #pragma once
 
 #include <atomic>

@@ -11,21 +11,21 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rng_ = Rng(seed);
   rules_.clear();
   armed_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_.store(false, std::memory_order_relaxed);
   rules_.clear();
 }
 
 void FaultInjector::InjectError(std::string site, Status error,
                                 double probability) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Rule& rule = rules_[std::move(site)];
   rule.error = std::move(error);
   rule.error_probability = probability;
@@ -33,7 +33,7 @@ void FaultInjector::InjectError(std::string site, Status error,
 
 void FaultInjector::InjectLatencyMs(std::string site, int64_t latency_ms,
                                     double probability) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Rule& rule = rules_[std::move(site)];
   rule.latency_ms = latency_ms;
   rule.latency_probability = probability;
@@ -45,7 +45,7 @@ Status FaultInjector::Check(std::string_view site) {
   int64_t sleep_ms = 0;
   Status error = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
     auto it = rules_.find(site);
     if (it == rules_.end()) return Status::OK();
@@ -70,7 +70,7 @@ Status FaultInjector::Check(std::string_view site) {
 }
 
 int64_t FaultInjector::TriggerCount(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = rules_.find(site);
   return it == rules_.end() ? 0 : it->second.triggers;
 }

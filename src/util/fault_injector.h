@@ -13,12 +13,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace altroute {
 
@@ -64,9 +65,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mu_;
-  Rng rng_{0};              // guarded by mu_
-  std::map<std::string, Rule, std::less<>> rules_;  // guarded by mu_
+  mutable Mutex mu_;
+  Rng rng_ ALT_GUARDED_BY(mu_){0};
+  std::map<std::string, Rule, std::less<>> rules_ ALT_GUARDED_BY(mu_);
 };
 
 }  // namespace altroute

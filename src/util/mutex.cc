@@ -1,0 +1,32 @@
+#include "util/mutex.h"
+
+namespace altroute {
+
+// The adopt/release dance: the caller already holds mu (TSA-verified via
+// ALT_REQUIRES), so adopt the raw handle into a std::unique_lock for the
+// wait, then release() it so the unique_lock's destructor does not unlock a
+// mutex the caller still owns. The analysis is told nothing changes hands —
+// which is exactly the contract: held on entry, held on return.
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const bool notified = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+  lock.release();
+  return notified;
+}
+
+bool CondVar::WaitUntil(Mutex* mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const bool notified = cv_.wait_until(lock, deadline) == std::cv_status::no_timeout;
+  lock.release();
+  return notified;
+}
+
+}  // namespace altroute

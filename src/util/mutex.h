@@ -1,0 +1,160 @@
+// Annotated synchronization primitives: thin wrappers over the std types
+// that carry Clang Thread Safety Analysis capability attributes
+// (util/thread_annotations.h). All of src/ must use these instead of raw
+// std::mutex / std::shared_mutex / std::condition_variable — the `raw-mutex`
+// lint rule forbids the std names outside this header and mutex.cc, because
+// a raw primitive is invisible to the analysis and silently punches a hole
+// in the compile-time lock discipline.
+//
+// Usage:
+//   class Counter {
+//    public:
+//     void Increment() {
+//       MutexLock lock(&mu_);
+//       ++value_;
+//     }
+//    private:
+//     mutable Mutex mu_;
+//     int value_ ALT_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition waits: CondVar has no predicate overload on purpose. The
+// analysis cannot see into lambdas, so the canonical predicate-wait form is
+// an explicit loop, which it checks completely:
+//   MutexLock lock(&mu_);
+//   while (queue_.empty() && !stop_) cv_.Wait(&mu_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace altroute {
+
+class CondVar;
+
+/// Exclusive mutex. Identical semantics to std::mutex; the wrapper exists to
+/// carry the `capability` attribute so Clang TSA can track it.
+class ALT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ALT_ACQUIRE() { mu_.lock(); }
+  void Unlock() ALT_RELEASE() { mu_.unlock(); }
+  bool TryLock() ALT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the mutex is held on paths it cannot follow (e.g.
+  /// after an indirect call chain). Runtime no-op; use sparingly.
+  void AssertHeld() const ALT_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;  // needs the underlying handle for atomic wait
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex over std::shared_mutex. Writers use Lock/Unlock,
+/// readers ReaderLock/ReaderUnlock (or the scoped wrappers below).
+class ALT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ALT_ACQUIRE() { mu_.lock(); }
+  void Unlock() ALT_RELEASE() { mu_.unlock(); }
+  void ReaderLock() ALT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() ALT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const ALT_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ALT_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock, relockable: Unlock()/Lock() let a critical section
+/// open a window (e.g. to run a callback without the lock) and the analysis
+/// tracks the held/released state across the window.
+class ALT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ALT_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ALT_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() ALT_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+  void Lock() ALT_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class ALT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ALT_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() ALT_RELEASE() { mu_->Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class ALT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ALT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() ALT_RELEASE() { mu_->ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to altroute::Mutex. Wait atomically releases the
+/// mutex and reacquires it before returning, exactly like
+/// std::condition_variable — the ALT_REQUIRES annotation makes the analysis
+/// verify the caller actually holds the mutex it names.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken — always re-check the
+  /// predicate in a while loop).
+  void Wait(Mutex* mu) ALT_REQUIRES(mu);
+
+  /// Returns false on timeout, true when notified before the deadline.
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) ALT_REQUIRES(mu);
+  bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
+      ALT_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace altroute

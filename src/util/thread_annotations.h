@@ -1,0 +1,93 @@
+// Macros for Clang's Thread Safety Analysis (TSA): compile-time lock
+// discipline. Annotate every member guarded by a mutex with ALT_GUARDED_BY
+// and every caller-must-hold-the-lock method with ALT_REQUIRES, and the
+// clang `-Wthread-safety -Werror` CI job rejects any access that the
+// analysis cannot prove is protected — a whole class of data race becomes a
+// build break instead of a TSan lottery ticket.
+//
+// Under non-Clang compilers (the default GCC build) every macro expands to
+// nothing, so the annotations are pure documentation there; only the
+// dedicated clang CI job enforces them. Use the annotated altroute::Mutex /
+// altroute::SharedMutex wrappers from util/mutex.h — raw std primitives
+// carry no capability attributes and are forbidden in src/ by the
+// `raw-mutex` lint rule.
+//
+// Vocabulary (see docs/architecture.md "Lock discipline" for policy):
+//   ALT_GUARDED_BY(mu)      data member readable/writable only with mu held
+//   ALT_PT_GUARDED_BY(mu)   pointer member whose *pointee* is guarded by mu
+//   ALT_REQUIRES(mu)        function demands mu held on entry (and exit)
+//   ALT_REQUIRES_SHARED(mu) ... at least shared (reader) access
+//   ALT_EXCLUDES(mu)        function must NOT be entered with mu held
+//   ALT_ACQUIRE/ALT_RELEASE function acquires/releases mu itself
+//   ALT_NO_THREAD_SAFETY_ANALYSIS  opt a definition out (last resort; the
+//                           suppression policy requires a justifying comment)
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define ALT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ALT_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// --- Capability declarations (types acting as lockable resources) ---------
+
+#define ALT_CAPABILITY(x) ALT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define ALT_SCOPED_CAPABILITY ALT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// --- Data-member annotations ----------------------------------------------
+
+#define ALT_GUARDED_BY(x) ALT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define ALT_PT_GUARDED_BY(x) ALT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// --- Lock-ordering declarations -------------------------------------------
+
+#define ALT_ACQUIRED_BEFORE(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ALT_ACQUIRED_AFTER(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// --- Function annotations -------------------------------------------------
+
+#define ALT_REQUIRES(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define ALT_REQUIRES_SHARED(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ALT_EXCLUDES(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ALT_ACQUIRE(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ALT_ACQUIRE_SHARED(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define ALT_RELEASE(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define ALT_RELEASE_SHARED(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define ALT_RELEASE_GENERIC(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define ALT_TRY_ACQUIRE(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define ALT_TRY_ACQUIRE_SHARED(...) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ALT_ASSERT_CAPABILITY(x) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ALT_ASSERT_SHARED_CAPABILITY(x) \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define ALT_RETURN_CAPABILITY(x) ALT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define ALT_NO_THREAD_SAFETY_ANALYSIS \
+  ALT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

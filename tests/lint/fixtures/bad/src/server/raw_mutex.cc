@@ -1,0 +1,14 @@
+// Deliberately bad: raw std synchronization primitives in src/ are invisible
+// to the thread-safety analysis and must go through util/mutex.h.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+int Locked(int x) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return x + 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Deliberately bad: a class owning a Mutex whose data members carry no
+// ALT_GUARDED_BY — the analysis has nothing to check.
+#pragma once
+
+namespace fixture {
+
+class UnguardedCounter {
+ public:
+  void Increment();
+
+ private:
+  mutable Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace fixture

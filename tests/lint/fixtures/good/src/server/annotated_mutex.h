@@ -1,0 +1,23 @@
+// Deliberately clean: the annotated Mutex plus ALT_GUARDED_BY members is the
+// sanctioned shape for shared mutable state in src/.
+#pragma once
+
+namespace fixture {
+
+class AnnotatedCounter {
+ public:
+  void Increment();
+
+ private:
+  mutable Mutex mu_;
+  int count_ ALT_GUARDED_BY(mu_) = 0;
+};
+
+// A function-local mutex is not a class member; the guarded-member
+// heuristic must not fire here.
+inline int LocalScope() {
+  Mutex mu;
+  return 0;
+}
+
+}  // namespace fixture

@@ -164,6 +164,98 @@ TEST(MetricRegistrationRule, FlagsNewHistogram) {
   EXPECT_EQ(findings[0].rule, "metric-registration");
 }
 
+// ------------------------------------------------------------------ raw-mutex
+
+TEST(RawMutexRule, FlagsRawStdPrimitivesInSrc) {
+  auto findings = LintFile(Fixture("bad/src/server/raw_mutex.cc"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "raw-mutex");
+  EXPECT_EQ(findings[1].rule, "raw-mutex");
+  // The message must point people at the annotated wrappers.
+  EXPECT_NE(findings[0].message.find("util/mutex.h"), std::string::npos);
+}
+
+TEST(RawMutexRule, FlagsEveryPrimitiveInTheFamily) {
+  for (const char* decl :
+       {"std::shared_mutex mu;\n", "std::condition_variable cv;\n",
+        "std::unique_lock<std::mutex> l(mu);\n",
+        "std::scoped_lock l(mu);\n", "std::shared_lock l(mu);\n"}) {
+    auto findings = LintContent("src/server/x.cc", decl);
+    ASSERT_GE(findings.size(), 1u) << decl;
+    EXPECT_EQ(findings[0].rule, "raw-mutex") << decl;
+  }
+}
+
+TEST(RawMutexRule, MutexWrapperImplementationIsExempt) {
+  ExpectClean(LintContent("src/util/mutex.h", "#pragma once\nstd::mutex mu_;\n"));
+  ExpectClean(LintContent(
+      "src/util/mutex.cc",
+      "std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);\n"));
+}
+
+TEST(RawMutexRule, TestsAndBenchesAreOutsideTheGate) {
+  ExpectClean(LintContent("tests/server/x_test.cc", "std::mutex mu;\n"));
+  ExpectClean(LintContent("bench/bench_x.cc", "std::mutex mu;\n"));
+}
+
+TEST(RawMutexRule, JustifiedSuppressionSilencesTheFinding) {
+  ExpectClean(LintFile(Fixture("good/src/server/suppressed_raw_mutex.cc")));
+}
+
+TEST(RawMutexRule, DoesNotMatchInsideCommentsOrStrings) {
+  ExpectClean(LintContent("src/server/x.cc",
+                          "// std::mutex in prose\n"
+                          "const char* s = \"std::lock_guard\";\n"));
+}
+
+// ------------------------------------------------------------- guarded-member
+
+TEST(GuardedMemberRule, FlagsClassWithMutexButNoAnnotatedMembers) {
+  auto findings = LintFile(Fixture("bad/src/server/unguarded_members.h"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-member");
+  EXPECT_NE(findings[0].message.find("ALT_GUARDED_BY"), std::string::npos);
+}
+
+TEST(GuardedMemberRule, AnnotatedClassAndFunctionLocalMutexAreClean) {
+  ExpectClean(LintFile(Fixture("good/src/server/annotated_mutex.h")));
+}
+
+TEST(GuardedMemberRule, MutexOnlyClassIsNotFlagged) {
+  // Nothing to guard: a wrapper that owns only the mutex (e.g. handing it to
+  // other classes) has no member the analysis could check.
+  ExpectClean(LintContent("src/server/x.h",
+                          "#pragma once\n"
+                          "class Token {\n"
+                          " public:\n"
+                          "  void Lock();\n"
+                          " private:\n"
+                          "  Mutex mu_;\n"
+                          "};\n"));
+}
+
+TEST(GuardedMemberRule, SharedMutexIsCovered) {
+  auto findings = LintContent("src/server/x.h",
+                              "#pragma once\n"
+                              "class Cache {\n"
+                              "  mutable SharedMutex mu_;\n"
+                              "  int entries_ = 0;\n"
+                              "};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-member");
+}
+
+TEST(GuardedMemberRule, JustifiedSuppressionSilencesTheFinding) {
+  ExpectClean(LintContent(
+      "src/server/x.h",
+      "#pragma once\n"
+      "class External {\n"
+      "  // ALT_LINT(allow:guarded-member): mu_ guards a file, not a member\n"
+      "  Mutex mu_;\n"
+      "  int fd_ = -1;\n"
+      "};\n"));
+}
+
 // ----------------------------------------------------------- lint-suppression
 
 TEST(SuppressionRule, UnjustifiedSuppressionIsAFindingAndDoesNotSilence) {
@@ -243,7 +335,8 @@ TEST(Lint, AllRulesListsEveryRuleOnce) {
               sorted.end());
   for (const char* expected :
        {"pragma-once", "bare-catch", "unchecked-parse", "cancellation-token",
-        "metric-registration", "lint-suppression", "debug-endpoint-doc"}) {
+        "metric-registration", "raw-mutex", "guarded-member",
+        "lint-suppression", "debug-endpoint-doc"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
         << "missing rule " << expected;
   }

@@ -1,8 +1,10 @@
 #include "server/slow_query_log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -97,6 +99,28 @@ TEST(SlowQueryLogTest, ThresholdBoundaryIsStrict) {
   EXPECT_FALSE(log.Add(Record("exact", 10.0)));  // == threshold: NOT an offender
   EXPECT_TRUE(log.Add(Record("over", 10.001)));
   EXPECT_EQ(log.offenders_total(), 1u);
+}
+
+TEST(SlowQueryLogTest, OptionsSnapshotIsRaceFreeUnderConcurrentRetune) {
+  // Regression: options() used to return a const reference to options_, so a
+  // reader could observe threshold_ms mid-write while an admin retuned it via
+  // set_threshold_ms. It now returns a copy taken under the log's mutex; the
+  // TSan CI job turns any backslide into a hard failure here.
+  SlowQueryLog log;
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    double t = 1.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      log.set_threshold_ms(t);
+      t = (t < 1000.0) ? t * 2.0 : 1.0;
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    const double seen = log.options().threshold_ms;
+    EXPECT_GE(seen, 0.0);
+  }
+  stop = true;
+  tuner.join();
 }
 
 TEST(SlowQueryLogTest, ZeroThresholdDisablesOffenders) {

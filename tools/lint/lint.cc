@@ -326,6 +326,121 @@ void CheckMetricRegistration(const std::string& path,
   }
 }
 
+void CheckRawMutex(const std::string& path,
+                   const std::vector<std::string>& stripped,
+                   const std::vector<std::string>& raw,
+                   std::vector<Finding>* out) {
+  // src/ only: tests and benches sit outside the thread-safety analysis
+  // gate and may use raw primitives for scaffolding.
+  if (!PathContains(path, "src/")) return;
+  // The annotated wrappers are the one sanctioned home for the std names.
+  if (EndsWith(path, "src/util/mutex.h") ||
+      EndsWith(path, "src/util/mutex.cc")) {
+    return;
+  }
+  static const std::regex kRaw(
+      R"(\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b)");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(stripped[i], m, kRaw)) continue;
+    if (IsSuppressed(raw, i, "raw-mutex")) continue;
+    out->push_back({path, static_cast<int>(i) + 1, "raw-mutex",
+                    "std::" + m[1].str() +
+                        " is invisible to the thread-safety analysis; use the "
+                        "annotated types in util/mutex.h (Mutex/SharedMutex/"
+                        "MutexLock/CondVar)"});
+  }
+}
+
+void CheckGuardedMember(const std::string& path,
+                        const std::string& stripped_all,
+                        const std::vector<std::string>& raw,
+                        std::vector<Finding>* out) {
+  if (!PathContains(path, "src/")) return;
+  // The wrapper types themselves declare raw members by design.
+  if (EndsWith(path, "src/util/mutex.h")) return;
+  // A class that owns a Mutex but annotates nothing is the tell-tale of a
+  // conversion that stopped halfway: the analysis will happily prove nothing
+  // about members it was never told are guarded.
+  static const std::regex kMutexMember(
+      R"(^\s*(mutable\s+)?((altroute\s*::\s*)?(Mutex|SharedMutex))\s+[A-Za-z_]\w*\s*;)");
+  const std::vector<std::string> stripped = SplitLines(stripped_all);
+  // Byte offset of each line start, for brace matching in the flat text.
+  std::vector<size_t> line_start(stripped.size(), 0);
+  for (size_t i = 1; i < stripped.size(); ++i) {
+    line_start[i] = line_start[i - 1] + stripped[i - 1].size() + 1;
+  }
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (!std::regex_search(stripped[i], kMutexMember)) continue;
+    // Enclosing block: the unmatched '{' before the declaration...
+    size_t open = std::string::npos;
+    int depth = 0;
+    for (size_t j = line_start[i]; j-- > 0;) {
+      const char c = stripped_all[j];
+      if (c == '}') ++depth;
+      if (c == '{') {
+        if (depth == 0) {
+          open = j;
+          break;
+        }
+        --depth;
+      }
+    }
+    if (open == std::string::npos) continue;
+    // ...introduced by a class/struct head (skips function-local mutexes).
+    size_t head_begin = 0;
+    for (size_t j = open; j-- > 0;) {
+      const char c = stripped_all[j];
+      if (c == ';' || c == '{' || c == '}') {
+        head_begin = j + 1;
+        break;
+      }
+    }
+    const std::string head = stripped_all.substr(head_begin, open - head_begin);
+    static const std::regex kClassHead(R"(\b(class|struct)\s+\w+)");
+    if (!std::regex_search(head, kClassHead)) continue;
+    // Matching close brace bounds the class body.
+    depth = 0;
+    size_t close = stripped_all.size();
+    for (size_t j = open; j < stripped_all.size(); ++j) {
+      const char c = stripped_all[j];
+      if (c == '{') ++depth;
+      if (c == '}' && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    const std::string body = stripped_all.substr(open, close - open);
+    if (body.find("ALT_GUARDED_BY") != std::string::npos ||
+        body.find("ALT_PT_GUARDED_BY") != std::string::npos) {
+      continue;
+    }
+    // Only flag when there is state to guard: at least one plain data-member
+    // declaration besides the mutex (no parentheses rules out methods; the
+    // heuristic errs toward silence).
+    static const std::regex kDataMember(
+        R"(^\s*(mutable\s+)?[A-Za-z_][\w:<>,\s*&\[\]]*\s[A-Za-z_]\w*\s*(=[^;()]*|\{[^;()]*\})?\s*;)");
+    bool has_member = false;
+    for (const std::string& line : SplitLines(body)) {
+      if (std::regex_search(line, kMutexMember)) continue;
+      static const std::regex kNonData(
+          R"(^\s*(using|typedef|friend|static|return)\b)");
+      if (std::regex_search(line, kNonData)) continue;
+      if (std::regex_search(line, kDataMember)) {
+        has_member = true;
+        break;
+      }
+    }
+    if (!has_member) continue;
+    if (IsSuppressed(raw, i, "guarded-member")) continue;
+    out->push_back(
+        {path, static_cast<int>(i) + 1, "guarded-member",
+         "class declares a Mutex but no member carries ALT_GUARDED_BY; "
+         "annotate the guarded state so the thread-safety analysis can "
+         "check it"});
+  }
+}
+
 void CheckSuppressionsJustified(const std::string& path,
                                 const std::vector<std::string>& raw,
                                 std::vector<Finding>* out) {
@@ -372,8 +487,8 @@ std::string Finding::ToString() const {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "pragma-once",   "bare-catch",          "unchecked-parse",
-      "cancellation-token", "metric-registration", "lint-suppression",
-      "debug-endpoint-doc",
+      "cancellation-token", "metric-registration", "raw-mutex",
+      "guarded-member", "lint-suppression",    "debug-endpoint-doc",
   };
   return kRules;
 }
@@ -389,6 +504,8 @@ std::vector<Finding> LintContent(const std::string& path,
   CheckUncheckedParse(path, stripped, raw, &out);
   CheckCancellationToken(path, stripped_all, raw, &out);
   CheckMetricRegistration(path, stripped, raw, &out);
+  CheckRawMutex(path, stripped, raw, &out);
+  CheckGuardedMember(path, stripped_all, raw, &out);
   CheckSuppressionsJustified(path, raw, &out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;

@@ -17,6 +17,19 @@
 //   metric-registration  metrics come from obs::MetricsRegistry, never from
 //                        ad-hoc `static obs::Counter ...` definitions that
 //                        /metrics cannot see.
+//   raw-mutex            no raw std synchronization primitives (std::mutex,
+//                        std::shared_mutex, std::condition_variable,
+//                        std::lock_guard, ...) in src/ outside
+//                        src/util/mutex.{h,cc}; raw primitives carry no
+//                        capability attributes, so the clang thread-safety
+//                        analysis cannot see locks taken through them.
+//   guarded-member       a class in src/ that declares a Mutex/SharedMutex
+//                        member alongside data members must annotate at
+//                        least one of them with ALT_GUARDED_BY — a mutex
+//                        guarding nothing the analysis knows about is a
+//                        conversion that stopped halfway (heuristic;
+//                        suppress with a justification when the mutex
+//                        guards external state).
 //   debug-endpoint-doc   every `/debug/...` route registered in code must be
 //                        documented in the README endpoint table; forensic
 //                        endpoints nobody can find are dead weight. (Tree
